@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each figure/table benchmark runs its experiment exactly once under
+pytest-benchmark timing (``pedantic(rounds=1)``) — these are experiment
+regenerations, not microbenchmarks — prints the same series the paper
+plots, and archives the rendered report under ``results/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bindings import registry
+from repro.harness.report import render_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    registry.reset()
+    yield
+    registry.reset()
+
+
+def archive(result, x_label="threads"):
+    """Render, print, and save an experiment report; returns the text."""
+    text = render_experiment(result, x_label=x_label)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment}.txt").write_text(text)
+    return text

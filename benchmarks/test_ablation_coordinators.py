@@ -1,0 +1,48 @@
+"""Ablation — coordinator designs under central-oracle RPC latency.
+
+§II-B's qualitative claim, measured: Percolator-style and ReTSO-style
+commit both pay per-transaction round trips to a central oracle, so
+raising that oracle's RPC latency (the WAN scenario) degrades their
+throughput; the client-coordinated design has no oracle and stays flat.
+"""
+
+from repro.harness import ablation_coordinators
+
+from conftest import archive
+
+
+def test_ablation_coordinators(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_coordinators(quick=True), rounds=1, iterations=1
+    )
+    archive(result, x_label="oracle RPC delay (ms)")
+
+    client = result.series_by_label("client-coordinated")
+    percolator = result.series_by_label("percolator-style")
+    retso = result.series_by_label("retso-style")
+
+    def by_delay(series):
+        return {point.x: point.throughput for point in series.points}
+
+    client_curve = by_delay(client)
+    # No oracle -> RPC delay is irrelevant: flat within noise (2x band).
+    assert max(client_curve.values()) < 2.5 * min(client_curve.values())
+
+    # Oracle-based designs degrade clearly as the oracle slows down.
+    for name, series in (("percolator", percolator), ("retso", retso)):
+        curve = by_delay(series)
+        zero_delay = curve[0.0]
+        worst_delay = curve[max(curve)]
+        assert worst_delay < 0.7 * zero_delay, (
+            f"{name} did not degrade: {zero_delay:.0f} -> {worst_delay:.0f}"
+        )
+
+    # At the highest delay the client-coordinated design wins outright.
+    highest = max(client_curve)
+    assert client_curve[highest] > by_delay(percolator)[highest]
+    assert client_curve[highest] > by_delay(retso)[highest]
+
+    # Every coordinator kept the economy consistent (gamma == 0).
+    for series in result.series:
+        for point in series.points:
+            assert point.anomaly_score == 0.0

@@ -1,0 +1,91 @@
+"""Ablation — the latency-vs-durability dial of the storage engine (§II-A).
+
+"Persisting data to disk achieves durability but increases write latency
+significantly.  Not synching writes to the disk reduces latency and
+improves throughput but reduces durability guarantees."  The
+log-structured store exposes exactly that dial (``sync_writes``); this
+benchmark measures both settings, plus the read-amplification effect of
+segment count that compaction repairs.
+"""
+
+import statistics
+import time
+
+from repro.kvstore.lsm import LSMKVStore
+
+from conftest import RESULTS_DIR
+
+
+def _write_batch(store, count, prefix):
+    started = time.perf_counter()
+    for i in range(count):
+        store.put(f"{prefix}{i:06d}", {"field0": "x" * 100})
+    return time.perf_counter() - started
+
+
+def test_wal_sync_vs_async(benchmark, tmp_path):
+    writes = 300
+
+    def run_both():
+        async_store = LSMKVStore(tmp_path / "async", sync_writes=False)
+        async_seconds = _write_batch(async_store, writes, "a")
+        async_store.close()
+        sync_store = LSMKVStore(tmp_path / "sync", sync_writes=True)
+        sync_seconds = _write_batch(sync_store, writes, "s")
+        sync_store.close()
+        return async_seconds, sync_seconds
+
+    async_seconds, sync_seconds = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    async_rate = writes / async_seconds
+    sync_rate = writes / sync_seconds
+    report = (
+        "== durability ablation: WAL fsync per write ==\n"
+        f"async (no fsync): {async_rate:,.0f} writes/s\n"
+        f"sync  (fsync):    {sync_rate:,.0f} writes/s\n"
+        f"durability costs {async_rate / sync_rate:.1f}x write throughput\n"
+    )
+    print("\n" + report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "durability.txt").write_text(report)
+
+    # The paper's trade-off, measured: fsync is materially slower.
+    assert sync_rate < async_rate
+
+
+def test_compaction_repairs_read_amplification(benchmark, tmp_path):
+    def run() -> tuple[float, float, int]:
+        store = LSMKVStore(tmp_path / "frag", memtable_bytes=1 << 30)
+        # Build many segments, each superseding the same keys.
+        for round_number in range(30):
+            for i in range(50):
+                store.put(f"key{i:04d}", {"field0": f"round{round_number}"})
+            store.flush()
+        assert store.segment_count == 30
+
+        def read_all_us() -> float:
+            samples = []
+            for i in range(50):
+                started = time.perf_counter_ns()
+                store.get(f"key{i:04d}")
+                samples.append((time.perf_counter_ns() - started) / 1000)
+            return statistics.median(samples)
+
+        fragmented = read_all_us()
+        discarded_records = store.compact()
+        compacted = read_all_us()
+        store.close()
+        return fragmented, compacted, discarded_records
+
+    fragmented_us, compacted_us, discarded = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\n== compaction ablation ==\n"
+        f"30 segments: {fragmented_us:.1f} us/read; "
+        f"1 segment: {compacted_us:.1f} us/read; "
+        f"{discarded} shadowed records discarded\n"
+    )
+    assert discarded == 29 * 50
+    # Reads from one segment are no slower than from thirty (they are
+    # usually much faster; allow slack for timer noise).
+    assert compacted_us <= fragmented_us * 1.5

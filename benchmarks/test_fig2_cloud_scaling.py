@@ -1,0 +1,46 @@
+"""Figure 2 — YCSB+T throughput on EC2 with WAS (simulated).
+
+Regenerates the three curves (read:write 90:10, 80:20, 70:30) over client
+thread counts 1..128 and asserts the paper's shape: linear scale-out in
+the latency-bound region, a plateau once the container's request-rate
+ceiling binds, and a decline at 64/128 threads from client-side thread
+contention.
+"""
+
+from repro.harness import fig2_cloud_scaling
+
+from conftest import archive
+
+
+def test_fig2_cloud_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2_cloud_scaling(quick=True), rounds=1, iterations=1
+    )
+    archive(result)
+
+    for label in ("90:10", "80:20", "70:30"):
+        series = result.series_by_label(label)
+        by_threads = {int(p.x): p.throughput for p in series.points}
+
+        # Linear region: 1 -> 16 threads scales several-fold.
+        assert by_threads[16] > 6 * by_threads[1], label
+        # Plateau: past 16 threads, extra threads buy far less than the
+        # 2x another doubling would in the linear region.
+        assert by_threads[32] < 2.2 * by_threads[16], label
+        # Decline: 128 threads is clearly below the peak.
+        peak = max(by_threads.values())
+        assert by_threads[128] < 0.8 * peak, label
+
+    # Write-heavier mixes are slower overall (writes pay the commit
+    # protocol's extra requests).  Compare sweep averages, which are
+    # robust to single-point scheduler noise.
+    def average(label):
+        points = result.series_by_label(label).points
+        return sum(p.throughput for p in points) / len(points)
+
+    assert average("90:10") > average("70:30")
+
+    # Transactions kept the economy consistent throughout.
+    for series in result.series:
+        for point in series.points:
+            assert point.anomaly_score == 0.0

@@ -1,0 +1,38 @@
+"""Figure 3 — impact of transactions on throughput.
+
+Non-transactional vs transactional CEW over the same latency-shaped store,
+threads 1..16.  The paper reports transactions costing 30-40 % of raw
+throughput; we assert a reduction in a generous band around that.
+"""
+
+from repro.harness import fig3_transaction_overhead
+
+from conftest import archive
+
+
+def test_fig3_transaction_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3_transaction_overhead(quick=True), rounds=1, iterations=1
+    )
+    archive(result)
+
+    raw = result.series_by_label("non-transactional")
+    txn = result.series_by_label("transactional")
+
+    reductions = []
+    for raw_point, txn_point in zip(raw.points, txn.points):
+        assert raw_point.x == txn_point.x
+        # Transactions never win on raw throughput.
+        assert txn_point.throughput < raw_point.throughput
+        reductions.append(1 - txn_point.throughput / raw_point.throughput)
+
+    # Average reduction lands in a band around the paper's 30-40%.
+    average_reduction = sum(reductions) / len(reductions)
+    assert 0.15 < average_reduction < 0.65, f"reduction {average_reduction:.2f}"
+
+    # Both modes still scale with threads (shape, not absolute numbers).
+    assert raw.points[-1].throughput > 4 * raw.points[0].throughput
+    assert txn.points[-1].throughput > 4 * txn.points[0].throughput
+
+    # The overhead table rows exist for every thread count.
+    assert [row["threads"] for row in result.tables["overhead"]] == [1, 2, 4, 8, 16]

@@ -1,0 +1,27 @@
+"""Figure 4 — number of threads vs anomaly score (CEW, non-transactional).
+
+The paper's key Tier-6 figure: no anomalies with one thread (no
+concurrency), anomalies appearing and broadly growing as thread count
+(and thus contention on the Zipfian hot set) rises.
+"""
+
+from repro.harness import fig4_anomaly_score
+
+from conftest import archive
+
+
+def test_fig4_anomaly_score(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4_anomaly_score(quick=True), rounds=1, iterations=1
+    )
+    archive(result)
+
+    series = result.series[0]
+    scores = {int(p.x): p.anomaly_score for p in series.points}
+
+    # One thread: provably zero anomalies.
+    assert scores[1] == 0.0
+    # Concurrency introduces anomalies (drift is a random walk, so we
+    # assert presence at the contended end rather than strict monotonicity).
+    assert max(scores[8], scores[16]) > 0.0
+    assert max(scores.values()) > scores[1]

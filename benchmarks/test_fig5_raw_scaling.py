@@ -1,0 +1,28 @@
+"""Figure 5 — number of threads vs throughput for the Figure 4 runs.
+
+The companion plot: the same non-transactional CEW runs scale
+near-linearly from 1 to 16 threads when the store is latency-bound.
+"""
+
+from repro.harness import fig5_raw_scaling
+
+from conftest import archive
+
+
+def test_fig5_raw_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_raw_scaling(quick=True), rounds=1, iterations=1
+    )
+    archive(result)
+
+    series = result.series[0]
+    by_threads = {int(p.x): p.throughput for p in series.points}
+
+    # Monotonic growth across the sweep.
+    ordered = [by_threads[t] for t in (1, 2, 4, 8, 16)]
+    assert all(b > a for a, b in zip(ordered, ordered[1:]))
+    # Near-linear: 16 threads achieves a large fraction of ideal speedup.
+    assert by_threads[16] > 8 * by_threads[1]
+    # Every point completed its full operation budget.
+    for point in series.points:
+        assert point.operations > 0

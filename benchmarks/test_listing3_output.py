@@ -1,0 +1,88 @@
+"""Listing 3 — the full YCSB+T measurement report over the §V-C stack.
+
+Runs the Closed Economy Workload with 16 client threads against the
+log-structured store behind a real HTTP server (the WiredTiger +
+Boost-ASIO equivalent) and checks that the report carries every section
+Listing 3 shows: the validation block, the overall block, and per-series
+operation blocks including the transactional pairs and the START/COMMIT
+bookkeeping.
+"""
+
+import re
+import tempfile
+
+from repro.bindings.stores import RawHttpDB
+from repro.core import Client, ClosedEconomyWorkload, Properties
+from repro.http import KVStoreHTTPServer
+from repro.kvstore.lsm import LSMKVStore
+from repro.measurements import Measurements, TextExporter
+
+from conftest import RESULTS_DIR
+
+
+def run_listing3_stack() -> str:
+    with tempfile.TemporaryDirectory(prefix="listing3-") as data_dir:
+        store = LSMKVStore(data_dir)
+        with KVStoreHTTPServer(store) as server:
+            host, port = server.address
+            properties = Properties(
+                {
+                    "recordcount": "100",
+                    "operationcount": "1000",
+                    "totalcash": "10000",
+                    "readproportion": "0.9",
+                    "readmodifywriteproportion": "0.1",
+                    "requestdistribution": "zipfian",
+                    "fieldcount": "1",
+                    "fieldlength": "100",
+                    "writeallfields": "true",
+                    "readallfields": "true",
+                    "histogram.buckets": "0",
+                    "threadcount": "16",
+                    "http.host": host,
+                    "http.port": str(port),
+                    "seed": "13",
+                }
+            )
+            measurements = Measurements()
+            workload = ClosedEconomyWorkload()
+            workload.init(properties, measurements)
+            client = Client(workload, lambda: RawHttpDB(properties), properties, measurements)
+            client.load()
+            result = client.run()
+        store.close()
+    return TextExporter().export(result.report())
+
+
+def test_listing3_report(benchmark):
+    output = benchmark.pedantic(run_listing3_stack, rounds=1, iterations=1)
+    print("\n" + output)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "listing3.txt").write_text(output)
+
+    # Validation block (Tier 6).
+    assert re.search(r"\[TOTAL CASH\], 10000", output)
+    assert re.search(r"\[COUNTED CASH\], \d+", output)
+    assert re.search(r"\[ACTUAL OPERATIONS\], 1000", output)
+    assert re.search(r"\[ANOMALY SCORE\], ", output)
+
+    # Overall block.
+    assert re.search(r"\[OVERALL\], RunTime\(ms\), ", output)
+    assert re.search(r"\[OVERALL\], Throughput\(ops/sec\), ", output)
+
+    # Operation blocks, including the transactional series pairs and the
+    # per-operation metrics of Listing 3.
+    for section in ("READ", "TX-READ", "START", "COMMIT", "READ-MODIFY-WRITE",
+                    "TX-READMODIFYWRITE"):
+        assert f"[{section}], Operations," in output, f"missing [{section}]"
+        assert f"[{section}], AverageLatency(us)," in output
+        assert f"[{section}], MinLatency(us)," in output
+        assert f"[{section}], MaxLatency(us)," in output
+
+    # Return-code lines.
+    assert re.search(r"\[READ\], Return=OK, \d+", output)
+
+    # START/COMMIT on a non-transactional binding are near no-ops —
+    # Listing 3 measures them at ~0.08 us; allow generous slack.
+    match = re.search(r"\[START\], AverageLatency\(us\), ([0-9.]+)", output)
+    assert match and float(match.group(1)) < 100.0

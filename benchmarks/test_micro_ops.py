@@ -1,0 +1,109 @@
+"""Microbenchmarks of the hot-path building blocks.
+
+Unlike the figure regenerations, these use pytest-benchmark's normal
+multi-round statistics: raw store operations, transactional commit,
+key-choice generators, and the measurement pipeline — the per-operation
+costs that determine the framework's own overhead (YCSB's "tier 0"
+concern: the client must not be the bottleneck).
+"""
+
+import random
+
+from repro.core import ClosedEconomyWorkload, Properties
+from repro.bindings import MemoryDB
+from repro.generators import ScrambledZipfianGenerator, ZipfianGenerator
+from repro.kvstore import InMemoryKVStore
+from repro.measurements import Measurements
+from repro.txn import ClientTransactionManager
+
+
+def test_memory_store_put(benchmark):
+    store = InMemoryKVStore()
+    counter = iter(range(10_000_000))
+
+    benchmark(lambda: store.put(f"key{next(counter) % 1000}", {"field0": "x" * 100}))
+
+
+def test_memory_store_get(benchmark):
+    store = InMemoryKVStore()
+    for i in range(1000):
+        store.put(f"key{i:04d}", {"field0": "x" * 100})
+    rng = random.Random(7)
+
+    benchmark(lambda: store.get(f"key{rng.randrange(1000):04d}"))
+
+
+def test_memory_store_scan100(benchmark):
+    store = InMemoryKVStore()
+    for i in range(2000):
+        store.put(f"key{i:05d}", {"field0": "x"})
+
+    benchmark(lambda: store.scan("key01000", 100))
+
+
+def test_txn_commit_two_writes(benchmark):
+    manager = ClientTransactionManager(InMemoryKVStore())
+    manager.run(lambda tx: tx.write("a", {"n": "0"}))
+    manager.run(lambda tx: tx.write("b", {"n": "0"}))
+
+    def transfer():
+        with manager.transaction() as tx:
+            a = int(tx.read("a")["n"])
+            b = int(tx.read("b")["n"])
+            tx.write("a", {"n": str(a - 1)})
+            tx.write("b", {"n": str(b + 1)})
+
+    benchmark(transfer)
+
+
+def test_txn_snapshot_read(benchmark):
+    manager = ClientTransactionManager(InMemoryKVStore())
+    manager.run(lambda tx: tx.write("k", {"field0": "x" * 100}))
+
+    def read():
+        with manager.transaction() as tx:
+            tx.read("k")
+
+    benchmark(read)
+
+
+def test_zipfian_generator(benchmark):
+    generator = ZipfianGenerator(0, 9999, rng=random.Random(1))
+    benchmark(generator.next_value)
+
+
+def test_scrambled_zipfian_generator(benchmark):
+    generator = ScrambledZipfianGenerator(0, 9999, rng=random.Random(1))
+    benchmark(generator.next_value)
+
+
+def test_measurement_record(benchmark):
+    measurements = Measurements()
+
+    def record():
+        measurements.measure("READ", 1234)
+        measurements.report_status("READ", "OK")
+
+    benchmark(record)
+
+
+def test_cew_transaction_on_memory(benchmark):
+    properties = Properties(
+        {
+            "recordcount": "1000",
+            "operationcount": "1000000",
+            "totalcash": "1000000",
+            "readproportion": "0.9",
+            "readmodifywriteproportion": "0.1",
+            "fieldcount": "1",
+            "seed": "21",
+        }
+    )
+    workload = ClosedEconomyWorkload()
+    workload.init(properties, Measurements())
+    db = MemoryDB(properties)
+    state = workload.init_thread(0, 1)
+    for _ in range(workload.record_count):
+        workload.do_insert(db, state)
+
+    benchmark(lambda: workload.do_transaction(db, state))

@@ -1,0 +1,73 @@
+"""Staleness curve — Wada et al.'s measurement, from the paper's §VI.
+
+"For clouds, Wada et al measured the probability of returning stale
+values, as a function of how much time had elapsed between the latest
+write and the read."  This benchmark reproduces that curve against the
+asynchronously replicated store: stale probability 1.0 inside the
+replication lag, 0.0 beyond it, with primary reads always fresh.
+"""
+
+import random
+
+from repro.kvstore import ReadPreference, ReplicatedKVStore
+from repro.validation import StalenessProbe
+
+from conftest import RESULTS_DIR
+
+
+def build_curve() -> list[tuple[float, float]]:
+    clock = [0.0]
+    store = ReplicatedKVStore(
+        replica_count=2,
+        lag_seconds=0.050,
+        read_preference=ReadPreference.REPLICA,
+        rng=random.Random(3),
+        clock=lambda: clock[0],
+    )
+
+    def advance(seconds: float) -> None:
+        clock[0] += seconds
+
+    probe = StalenessProbe(store, sleep=advance)
+    delays = [0.0, 0.010, 0.025, 0.040, 0.049, 0.051, 0.075, 0.100]
+    return probe.curve(delays, samples=40)
+
+
+def test_staleness_curve(benchmark):
+    curve = benchmark.pedantic(build_curve, rounds=1, iterations=1)
+
+    lines = ["== staleness: stale-read probability vs time since write =="]
+    lines.append("(replication lag 50 ms, replica reads)")
+    for delay, probability in curve:
+        lines.append(f"  {delay * 1000:6.1f} ms   {probability:.2f}")
+    report = "\n".join(lines) + "\n"
+    print("\n" + report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "staleness.txt").write_text(report)
+
+    by_delay = dict(curve)
+    # Inside the lag: always stale.  Beyond it: always fresh.
+    assert by_delay[0.0] == 1.0
+    assert by_delay[0.049] == 1.0
+    assert by_delay[0.051] == 0.0
+    assert by_delay[0.100] == 0.0
+    # Monotone non-increasing overall.
+    probabilities = [probability for _, probability in curve]
+    assert all(b <= a for a, b in zip(probabilities, probabilities[1:]))
+
+
+def test_primary_reads_never_stale(benchmark):
+    def probe_primary() -> float:
+        clock = [0.0]
+        store = ReplicatedKVStore(
+            replica_count=2,
+            lag_seconds=0.050,
+            read_preference=ReadPreference.PRIMARY,
+            rng=random.Random(3),
+            clock=lambda: clock[0],
+        )
+        probe = StalenessProbe(store, sleep=lambda s: clock.__setitem__(0, clock[0] + s))
+        return probe.stale_probability(0.0, samples=40)
+
+    probability = benchmark.pedantic(probe_primary, rounds=1, iterations=1)
+    assert probability == 0.0

@@ -1,0 +1,31 @@
+"""Tier 6 — the consistency validation stage (§III-B, §IV-B).
+
+The headline table: the same contended CEW run yields a non-zero anomaly
+score through the raw binding and exactly zero through the
+client-coordinated transaction manager, which converts would-be anomalies
+into aborts.
+"""
+
+from repro.harness import tier6_consistency
+
+from conftest import archive
+
+
+def test_tier6_consistency(benchmark):
+    result = benchmark.pedantic(
+        lambda: tier6_consistency(quick=True), rounds=1, iterations=1
+    )
+    archive(result)
+
+    rows = {row["mode"]: row for row in result.tables["consistency"]}
+
+    transactional = rows["transactional"]
+    assert transactional["anomaly_score"] == 0.0
+    assert transactional["validation_passed"] is True
+    # Conflicting transactions aborted instead of corrupting state.
+    assert transactional["aborted"] >= 0
+
+    raw = rows["raw"]
+    assert raw["anomaly_score"] is not None and raw["anomaly_score"] >= 0.0
+    # Raw wins on throughput — the price of consistency is Fig. 3's story.
+    assert raw["throughput"] > transactional["throughput"]

@@ -1,0 +1,35 @@
+"""Isolation anomalies, live — the paper's §VII future work.
+
+Runs the three anomaly-targeting workloads under three regimes and prints
+the isolation matrix:
+
+* **lost update** — two clients read the same counter and both write back
+  a +1: raw access silently drops increments; snapshot isolation's
+  first-committer-wins rule aborts one instead.
+* **write skew** — two on-call doctors, constraint x+y >= 1: snapshot
+  isolation *permits* this anomaly (disjoint writes based on overlapping
+  reads); the serializable mode's read-set validation catches it.
+* **read skew** — mirrored pairs written together: raw two-get readers
+  observe fractured (torn) states; any snapshot read never does.
+
+Run:  python examples/isolation_anomalies.py
+"""
+
+from repro.harness import isolation_matrix
+from repro.harness.report import render_experiment
+
+
+def main() -> None:
+    result = isolation_matrix(quick=True)
+    print(render_experiment(result))
+    print(
+        "Reading the matrix: raw access exhibits every anomaly; snapshot\n"
+        "isolation stops lost updates and fractured reads but lets write\n"
+        "skew through; the serializable mode stops all three — paying with\n"
+        "aborts and throughput, which is the whole trade-off the YCSB+T\n"
+        "tiers exist to measure."
+    )
+
+
+if __name__ == "__main__":
+    main()

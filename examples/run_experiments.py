@@ -1,0 +1,56 @@
+"""Regenerate every figure and table of the paper's evaluation section.
+
+Runs the experiment harness for Figs. 2-5, the Tier-5 overhead table,
+the Tier-6 consistency table and the coordinator ablation, printing each
+as the rows/series the paper plots.  ``--full`` runs longer, lower-noise
+versions (minutes instead of seconds).
+
+Run:  python examples/run_experiments.py [fig2|fig3|fig4|fig5|tier5|tier6|ablation|all] [--full]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    ablation_coordinators,
+    isolation_matrix,
+    fig2_cloud_scaling,
+    fig3_transaction_overhead,
+    fig4_anomaly_score,
+    fig5_raw_scaling,
+    render_experiment,
+    tier5_operation_overhead,
+    tier6_consistency,
+)
+
+RUNNERS = {
+    "fig2": (fig2_cloud_scaling, "threads"),
+    "fig3": (fig3_transaction_overhead, "threads"),
+    "fig4": (fig4_anomaly_score, "threads"),
+    "fig5": (fig5_raw_scaling, "threads"),
+    "tier5": (tier5_operation_overhead, "threads"),
+    "tier6": (tier6_consistency, "threads"),
+    "ablation": (ablation_coordinators, "oracle RPC delay (ms)"),
+    "isolation": (isolation_matrix, "threads"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("name", nargs="?", default="all", choices=[*RUNNERS, "all"])
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args(argv)
+
+    names = list(RUNNERS) if args.name == "all" else [args.name]
+    for name in names:
+        runner, x_label = RUNNERS[name]
+        started = time.time()
+        result = runner(quick=not args.full)
+        sys.stdout.write(render_experiment(result, x_label=x_label))
+        print(f"   ({time.time() - started:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""YCSB+T: benchmarking web-scale transactional databases.
+
+A from-scratch Python reproduction of *YCSB+T: Benchmarking Web-scale
+Transactional Databases* (Dey, Fekete, Nambiar, Röhm — ICDE 2014
+workshops): the YCSB benchmark framework, the transactional tiers YCSB+T
+adds (Tier 5 *transactional overhead*, Tier 6 *consistency*), the Closed
+Economy Workload, and every substrate the evaluation needs — key-value
+stores, client-coordinated multi-item transactions, an HTTP front end,
+and simulated cloud stores.
+
+Quickstart::
+
+    from repro import Client, ClosedEconomyWorkload, Properties
+    from repro.bindings import TxnDB
+
+    props = Properties({"recordcount": "1000", "operationcount": "10000",
+                        "threadcount": "8", "seed": "7"})
+    workload = ClosedEconomyWorkload()
+    workload.init(props)
+    client = Client(workload, lambda: TxnDB(props), props)
+    client.load()
+    result = client.run()
+    assert result.validation.passed  # gamma == 0 under transactions
+"""
+
+from .core import (
+    DB,
+    BenchmarkResult,
+    Client,
+    ClosedEconomyWorkload,
+    CoreWorkload,
+    MeasuredDB,
+    Properties,
+    Status,
+    ValidationResult,
+    Workload,
+    create_db,
+    load_properties,
+)
+from .measurements import Measurements, RunReport, TextExporter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkResult",
+    "Client",
+    "ClosedEconomyWorkload",
+    "CoreWorkload",
+    "DB",
+    "MeasuredDB",
+    "Properties",
+    "Status",
+    "ValidationResult",
+    "Workload",
+    "create_db",
+    "load_properties",
+    "Measurements",
+    "RunReport",
+    "TextExporter",
+    "__version__",
+]

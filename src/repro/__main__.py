@@ -1,0 +1,7 @@
+"""``python -m repro`` — the YCSB+T command line."""
+
+import sys
+
+from .core.cli import main
+
+sys.exit(main())

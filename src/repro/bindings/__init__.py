@@ -1,0 +1,30 @@
+"""DB bindings: each maps the YCSB+T DB interface onto a substrate."""
+
+from .basic import BasicDB
+from .delayed import DelayedDB
+from .kv import KVStoreDB
+from .stores import CloudDB, LsmDB, MemoryDB, RawHttpDB
+from .txn import TxnDB
+
+#: Short names accepted by ``create_db`` and the command line.
+ALIASES = {
+    "basic": BasicDB,
+    "memory": MemoryDB,
+    "lsm": LsmDB,
+    "cloud": CloudDB,
+    "raw_http": RawHttpDB,
+    "rawhttp": RawHttpDB,
+    "txn": TxnDB,
+}
+
+__all__ = [
+    "BasicDB",
+    "DelayedDB",
+    "KVStoreDB",
+    "CloudDB",
+    "LsmDB",
+    "MemoryDB",
+    "RawHttpDB",
+    "TxnDB",
+    "ALIASES",
+]

@@ -1,0 +1,65 @@
+"""BasicDB: a do-nothing binding for framework debugging.
+
+Mirrors YCSB's ``BasicDB``: every operation succeeds without touching any
+data, optionally echoing the call.  Useful for verifying workload logic
+and measuring pure framework overhead.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Mapping
+
+from ..core import status as st
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.status import Status
+
+__all__ = ["BasicDB"]
+
+
+class BasicDB(DB):
+    """Accepts every operation; data is neither stored nor returned.
+
+    Properties: ``basicdb.verbose`` [false] — echo calls to stderr.
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        super().__init__(properties or Properties())
+        self._verbose = self.properties.get_bool("basicdb.verbose", False)
+
+    def _echo(self, message: str) -> None:
+        if self._verbose:
+            print(message, file=sys.stderr)
+
+    def read(self, table, key, fields=None) -> tuple[Status, dict[str, str] | None]:
+        self._echo(f"READ {table} {key} {sorted(fields) if fields else '<all>'}")
+        return st.OK, {}
+
+    def scan(self, table, start_key, record_count, fields=None):
+        self._echo(f"SCAN {table} {start_key} {record_count}")
+        return st.OK, []
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        self._echo(f"UPDATE {table} {key} {len(values)} fields")
+        return st.OK
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        self._echo(f"INSERT {table} {key} {len(values)} fields")
+        return st.OK
+
+    def delete(self, table: str, key: str) -> Status:
+        self._echo(f"DELETE {table} {key}")
+        return st.OK
+
+    def start(self) -> Status:
+        self._echo("START")
+        return st.OK
+
+    def commit(self) -> Status:
+        self._echo("COMMIT")
+        return st.OK
+
+    def abort(self) -> Status:
+        self._echo("ABORT")
+        return st.OK

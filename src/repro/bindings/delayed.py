@@ -1,0 +1,94 @@
+"""Latency-injecting DB wrapper.
+
+Wraps any DB binding and sleeps a sampled service time around every data
+operation, turning an in-memory binding into a network-shaped one.  This
+is what makes thread-scaling and contention experiments realistic on one
+machine: threads genuinely block, the GIL is released, and interleavings
+resembling the paper's client/server setup occur.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.status import Status
+from ..kvstore.latency import ConstantLatency, LatencyModel
+
+__all__ = ["DelayedDB"]
+
+
+class DelayedDB(DB):
+    """Adds read/write latency around an inner DB's operations.
+
+    ``start``/``commit``/``abort`` are forwarded *without* added latency:
+    the wrapper models the data path, and for a transactional inner DB
+    the commit's own store traffic already pays the store's latency.
+    """
+
+    def __init__(
+        self,
+        inner: DB,
+        read_latency: LatencyModel | float = 0.0,
+        write_latency: LatencyModel | float | None = None,
+        sleep=time.sleep,
+        properties: Properties | None = None,
+    ):
+        super().__init__(properties or inner.properties)
+        self._inner = inner
+        self._read_latency = (
+            ConstantLatency(read_latency) if isinstance(read_latency, (int, float)) else read_latency
+        )
+        if write_latency is None:
+            self._write_latency = self._read_latency
+        elif isinstance(write_latency, (int, float)):
+            self._write_latency = ConstantLatency(write_latency)
+        else:
+            self._write_latency = write_latency
+        self._sleep = sleep
+
+    @property
+    def inner(self) -> DB:
+        return self._inner
+
+    def _pay(self, model: LatencyModel) -> None:
+        delay = model.sample()
+        if delay > 0:
+            self._sleep(delay)
+
+    def init(self) -> None:
+        self._inner.init()
+
+    def cleanup(self) -> None:
+        self._inner.cleanup()
+
+    def read(self, table: str, key: str, fields: set[str] | None = None):
+        self._pay(self._read_latency)
+        return self._inner.read(table, key, fields)
+
+    def scan(self, table: str, start_key: str, record_count: int, fields: set[str] | None = None):
+        self._pay(self._read_latency)
+        return self._inner.scan(table, start_key, record_count, fields)
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        self._pay(self._write_latency)
+        return self._inner.update(table, key, values)
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        self._pay(self._write_latency)
+        return self._inner.insert(table, key, values)
+
+    def delete(self, table: str, key: str) -> Status:
+        self._pay(self._write_latency)
+        return self._inner.delete(table, key)
+
+    def start(self) -> Status:
+        return self._inner.start()
+
+    def commit(self) -> Status:
+        return self._inner.commit()
+
+    def abort(self) -> Status:
+        return self._inner.abort()

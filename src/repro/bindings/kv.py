@@ -1,0 +1,148 @@
+"""Generic DB binding over any :class:`~repro.kvstore.base.KeyValueStore`.
+
+This is the **non-transactional** path: each DB operation is one (or two)
+individually atomic store calls with *nothing* protecting sequences of
+calls — precisely the regime of the paper's §V-C experiments, where the
+CEW read-modify-write races between threads produce the measurable
+anomalies of Figure 4.  ``start``/``commit``/``abort`` inherit the DB
+base class no-ops.
+
+Table handling: YCSB tables are mapped into the key space with a
+``<table>:`` prefix; scans translate and strip the prefix so workloads see
+their own keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core import status as st
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.status import Status
+from ..kvstore.base import KeyValueStore, RateLimitExceeded, StoreError
+
+__all__ = ["KVStoreDB"]
+
+
+class KVStoreDB(DB):
+    """DB facade over a shared key-value store instance."""
+
+    def __init__(self, store: KeyValueStore, properties: Properties | None = None):
+        super().__init__(properties)
+        self._store = store
+        # Merge semantics for update: read the record and merge the given
+        # fields (YCSB updates may carry a subset of fields).  Disable for
+        # whole-record workloads to save the extra read.
+        self._merge_updates = (
+            self.properties.get_bool("kv.mergedupdates", True)
+            if properties is not None
+            else True
+        )
+
+    @property
+    def store(self) -> KeyValueStore:
+        return self._store
+
+    @staticmethod
+    def _internal_key(table: str, key: str) -> str:
+        return f"{table}:{key}" if table else key
+
+    @staticmethod
+    def _table_prefix(table: str) -> str:
+        return f"{table}:" if table else ""
+
+    @staticmethod
+    def _select_fields(
+        record: dict[str, str], fields: set[str] | None
+    ) -> dict[str, str]:
+        if fields is None:
+            return record
+        return {name: value for name, value in record.items() if name in fields}
+
+    # -- operations --------------------------------------------------------------------
+
+    def read(
+        self, table: str, key: str, fields: set[str] | None = None
+    ) -> tuple[Status, dict[str, str] | None]:
+        try:
+            record = self._store.get(self._internal_key(table, key))
+        except RateLimitExceeded as exc:
+            return st.RATE_LIMITED.with_message(str(exc)), None
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc)), None
+        if record is None:
+            return st.NOT_FOUND, None
+        return st.OK, self._select_fields(record, fields)
+
+    def scan(
+        self,
+        table: str,
+        start_key: str,
+        record_count: int,
+        fields: set[str] | None = None,
+    ) -> tuple[Status, list[tuple[str, dict[str, str]]]]:
+        prefix = self._table_prefix(table)
+        try:
+            raw = self._store.scan(prefix + start_key, record_count)
+        except RateLimitExceeded as exc:
+            return st.RATE_LIMITED.with_message(str(exc)), []
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc)), []
+        results: list[tuple[str, dict[str, str]]] = []
+        for internal_key, record in raw:
+            if prefix and not internal_key.startswith(prefix):
+                break  # left the table's key range
+            results.append((internal_key[len(prefix) :], self._select_fields(record, fields)))
+        return st.OK, results
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        internal = self._internal_key(table, key)
+        try:
+            if self._merge_updates:
+                current = self._store.get(internal)
+                if current is None:
+                    return st.NOT_FOUND
+                merged = dict(current)
+                merged.update(values)
+                self._store.put(internal, merged)
+            else:
+                self._store.put(internal, values)
+        except RateLimitExceeded as exc:
+            return st.RATE_LIMITED.with_message(str(exc))
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc))
+        return st.OK
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        try:
+            created = self._store.put_if_version(self._internal_key(table, key), values, None)
+        except RateLimitExceeded as exc:
+            return st.RATE_LIMITED.with_message(str(exc))
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc))
+        if created is None:
+            return st.PRECONDITION_FAILED.with_message(f"key {key!r} already exists")
+        return st.OK
+
+    def batch_insert(self, table: str, records) -> Status:
+        internal = [(self._internal_key(table, key), values) for key, values in records]
+        put_batch = getattr(self._store, "put_batch", None)
+        if put_batch is None:
+            return super().batch_insert(table, records)
+        try:
+            put_batch(internal)
+        except RateLimitExceeded as exc:
+            return st.RATE_LIMITED.with_message(str(exc))
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc))
+        return st.OK
+
+    def delete(self, table: str, key: str) -> Status:
+        try:
+            existed = self._store.delete(self._internal_key(table, key))
+        except RateLimitExceeded as exc:
+            return st.RATE_LIMITED.with_message(str(exc))
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc))
+        return st.OK if existed else st.NOT_FOUND

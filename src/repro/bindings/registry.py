@@ -1,0 +1,51 @@
+"""Shared backing-state registry for in-process DB bindings.
+
+Real YCSB clients all connect to one external database server, so each
+per-thread DB instance naturally sees the same data.  In-process bindings
+get the same effect here: instances constructed with the same namespace
+share one backing object (store, transaction manager, ...), looked up in
+this registry.  Tests call :func:`reset` for isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["get_or_create", "reset", "registered_keys"]
+
+# Reentrant: a factory may itself resolve another registered object
+# (e.g. the default TxnDB manager building its backing MemoryDB store).
+_lock = threading.RLock()
+_objects: dict[tuple[str, str], Any] = {}
+
+
+def get_or_create(kind: str, namespace: str, factory: Callable[[], T]) -> T:
+    """The shared object for ``(kind, namespace)``, created on first use."""
+    key = (kind, namespace)
+    with _lock:
+        found = _objects.get(key)
+        if found is None:
+            found = factory()
+            _objects[key] = found
+        return found
+
+
+def reset() -> None:
+    """Drop every registered object (test isolation)."""
+    with _lock:
+        for obj in _objects.values():
+            close = getattr(obj, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
+        _objects.clear()
+
+
+def registered_keys() -> list[tuple[str, str]]:
+    with _lock:
+        return list(_objects)

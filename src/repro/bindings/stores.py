@@ -1,0 +1,108 @@
+"""Concrete store-backed bindings: memory, LSM, simulated cloud, HTTP.
+
+Each binding resolves its backing store through the shared registry so
+that every per-thread DB instance constructed with the same namespace
+talks to the same data — the in-process equivalent of YCSB clients all
+pointing at one server.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.properties import Properties
+from ..http.client import HttpKVStore
+from ..kvstore.cloud import GCS_PROFILE, WAS_PROFILE, SimulatedCloudStore
+from ..kvstore.lsm import LSMKVStore
+from ..kvstore.memory import InMemoryKVStore
+from . import registry
+from .kv import KVStoreDB
+
+__all__ = ["MemoryDB", "LsmDB", "CloudDB", "RawHttpDB"]
+
+
+class MemoryDB(KVStoreDB):
+    """Non-transactional in-memory store (the Figure 4/5 "raw" path).
+
+    Properties: ``memory.namespace`` [default] — instances with the same
+    namespace share one store.
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        properties = properties or Properties()
+        namespace = properties.get_str("memory.namespace", "default")
+        store = registry.get_or_create("memory", namespace, InMemoryKVStore)
+        super().__init__(store, properties)
+
+
+class LsmDB(KVStoreDB):
+    """Durable log-structured store binding (the WiredTiger stand-in).
+
+    Properties: ``lsm.dir`` (required), ``lsm.memtable_bytes`` [1 MiB],
+    ``lsm.sync_writes`` [false].
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        properties = properties or Properties()
+        directory = properties.require("lsm.dir")
+        memtable_bytes = properties.get_int("lsm.memtable_bytes", 1 << 20)
+        sync_writes = properties.get_bool("lsm.sync_writes", False)
+        store = registry.get_or_create(
+            "lsm",
+            directory,
+            lambda: LSMKVStore(directory, memtable_bytes=memtable_bytes, sync_writes=sync_writes),
+        )
+        super().__init__(store, properties)
+
+
+class CloudDB(KVStoreDB):
+    """Simulated WAS/GCS container binding (the Figure 2 substrate).
+
+    Properties: ``cloud.profile`` [was|gcs], ``cloud.scale`` [10 — i.e.
+    10x faster than the real service so benchmarks finish quickly],
+    ``cloud.namespace`` [default], ``cloud.seed`` [none].
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        properties = properties or Properties()
+        profile_name = properties.get_str("cloud.profile", "was").lower()
+        if profile_name == "was":
+            profile = WAS_PROFILE
+        elif profile_name == "gcs":
+            profile = GCS_PROFILE
+        else:
+            raise ValueError(f"unknown cloud profile {profile_name!r} (use was|gcs)")
+        scale = properties.get_float("cloud.scale", 10.0)
+        seed = properties.get("cloud.seed")
+        namespace = f"{properties.get_str('cloud.namespace', 'default')}:{profile_name}"
+        store = registry.get_or_create(
+            "cloud",
+            namespace,
+            lambda: SimulatedCloudStore(
+                profile,
+                scale=scale,
+                rng=random.Random(int(seed)) if seed is not None else None,
+            ),
+        )
+        super().__init__(store, properties)
+
+
+class RawHttpDB(KVStoreDB):
+    """HTTP key-value store binding (the paper's ``RawHttpDB``).
+
+    Properties: ``http.host`` [127.0.0.1], ``http.port`` (required),
+    ``http.timeout`` [10 s].  Each instance holds per-thread keep-alive
+    connections to the server.
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        properties = properties or Properties()
+        host = properties.get_str("http.host", "127.0.0.1")
+        port = properties.get_int("http.port", 0)
+        if port == 0:
+            raise ValueError("http.port is required for RawHttpDB")
+        timeout_s = properties.get_float("http.timeout", 10.0)
+        super().__init__(HttpKVStore((host, port), timeout_s=timeout_s), properties)
+
+    def cleanup(self) -> None:
+        self.store.close()

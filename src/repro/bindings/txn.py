@@ -1,0 +1,205 @@
+"""Transactional DB binding: the YCSB+T operations over a transaction manager.
+
+:class:`TxnDB` is the binding the paper's Tier-5 experiments compare
+against the raw path.  ``start()`` begins a transaction on the calling
+thread; subsequent CRUD/scan calls route through that transaction
+(snapshot reads, buffered writes); ``commit()``/``abort()`` finish it.
+A conflict at commit returns :data:`~repro.core.status.CONFLICT` rather
+than raising, matching the DB interface's status-code contract.
+
+Outside a transaction, each operation runs as its own single-op
+transaction (auto-commit) — so a workload that never calls ``start()``
+still gets transactional semantics, just per-operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+from ..core import status as st
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.status import Status
+from ..kvstore.base import StoreError
+from ..txn.base import Transaction, TransactionManager, TxState
+from ..txn.errors import TransactionError
+from . import registry
+from .stores import MemoryDB
+
+__all__ = ["TxnDB"]
+
+
+def _default_manager(properties: Properties) -> TransactionManager:
+    """Build a client-coordinated manager over a shared memory store."""
+    from ..txn.manager import ClientTransactionManager
+
+    namespace = properties.get_str("txn.namespace", "default")
+    store_db = MemoryDB(properties.merged({"memory.namespace": f"txn-{namespace}"}))
+    return ClientTransactionManager(store_db.store)
+
+
+class TxnDB(DB):
+    """YCSB+T transactional binding over any :class:`TransactionManager`."""
+
+    def __init__(
+        self,
+        properties: Properties | None = None,
+        manager: TransactionManager | None = None,
+    ):
+        super().__init__(properties or Properties())
+        if manager is None:
+            namespace = self.properties.get_str("txn.namespace", "default")
+            manager = registry.get_or_create(
+                "txn-manager", namespace, lambda: _default_manager(self.properties)
+            )
+        self._manager = manager
+        self._local = threading.local()
+
+    @property
+    def manager(self) -> TransactionManager:
+        return self._manager
+
+    # -- transaction plumbing -----------------------------------------------------------
+
+    def _current(self) -> Transaction | None:
+        return getattr(self._local, "txn", None)
+
+    def start(self) -> Status:
+        if self._current() is not None:
+            return st.ERROR.with_message("transaction already open on this thread")
+        try:
+            self._local.txn = self._manager.begin()
+        except TransactionError as exc:
+            return st.ERROR.with_message(str(exc))
+        return st.OK
+
+    def commit(self) -> Status:
+        txn = self._current()
+        if txn is None:
+            return st.OK  # nothing open: no-op, backward compatible
+        self._local.txn = None
+        try:
+            txn.commit()
+        except TransactionError as exc:
+            return st.CONFLICT.with_message(str(exc))
+        except StoreError as exc:
+            return st.ERROR.with_message(str(exc))
+        return st.OK
+
+    def abort(self) -> Status:
+        txn = self._current()
+        if txn is None:
+            return st.OK
+        self._local.txn = None
+        try:
+            txn.abort()
+        except (TransactionError, StoreError) as exc:
+            return st.ERROR.with_message(str(exc))
+        return st.OK
+
+    def _run_op(self, body) -> Status:
+        """Run ``body(txn)`` in the open transaction or as auto-commit."""
+        txn = self._current()
+        if txn is not None:
+            try:
+                body(txn)
+            except TransactionError as exc:
+                return st.CONFLICT.with_message(str(exc))
+            except StoreError as exc:
+                return st.ERROR.with_message(str(exc))
+            return st.OK
+        one_shot = self._manager.begin()
+        try:
+            body(one_shot)
+            one_shot.commit()
+        except TransactionError as exc:
+            if one_shot.state is TxState.ACTIVE:
+                one_shot.abort()
+            return st.CONFLICT.with_message(str(exc))
+        except StoreError as exc:
+            if one_shot.state is TxState.ACTIVE:
+                one_shot.abort()
+            return st.ERROR.with_message(str(exc))
+        return st.OK
+
+    # -- operations ------------------------------------------------------------------------
+
+    @staticmethod
+    def _internal_key(table: str, key: str) -> str:
+        return f"{table}:{key}" if table else key
+
+    @staticmethod
+    def _select_fields(record: dict[str, str], fields: set[str] | None) -> dict[str, str]:
+        if fields is None:
+            return record
+        return {name: value for name, value in record.items() if name in fields}
+
+    def read(
+        self, table: str, key: str, fields: set[str] | None = None
+    ) -> tuple[Status, dict[str, str] | None]:
+        record: dict[str, str] | None = None
+
+        def body(txn: Transaction) -> None:
+            nonlocal record
+            record = txn.read(self._internal_key(table, key))
+
+        result = self._run_op(body)
+        if not result.ok:
+            return result, None
+        if record is None:
+            return st.NOT_FOUND, None
+        return st.OK, self._select_fields(record, fields)
+
+    def scan(
+        self,
+        table: str,
+        start_key: str,
+        record_count: int,
+        fields: set[str] | None = None,
+    ) -> tuple[Status, list[tuple[str, dict[str, str]]]]:
+        prefix = f"{table}:" if table else ""
+        rows: list[tuple[str, dict[str, str]]] = []
+
+        def body(txn: Transaction) -> None:
+            for internal_key, record in txn.scan(prefix + start_key, record_count):
+                if prefix and not internal_key.startswith(prefix):
+                    break
+                rows.append((internal_key[len(prefix) :], self._select_fields(record, fields)))
+
+        result = self._run_op(body)
+        return (result, rows) if result.ok else (result, [])
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        internal = self._internal_key(table, key)
+
+        def body(txn: Transaction) -> None:
+            current = txn.read(internal)
+            merged = dict(current) if current is not None else {}
+            merged.update(values)
+            txn.write(internal, merged)
+
+        return self._run_op(body)
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        internal = self._internal_key(table, key)
+
+        def body(txn: Transaction) -> None:
+            txn.write(internal, dict(values))
+
+        return self._run_op(body)
+
+    def batch_insert(self, table: str, records) -> Status:
+        def body(txn: Transaction) -> None:
+            for key, values in records:
+                txn.write(self._internal_key(table, key), dict(values))
+
+        return self._run_op(body)
+
+    def delete(self, table: str, key: str) -> Status:
+        internal = self._internal_key(table, key)
+
+        def body(txn: Transaction) -> None:
+            txn.delete(internal)
+
+        return self._run_op(body)

@@ -1,0 +1,17 @@
+"""Distributed-client coordination (the YCSB++ integration of §VII).
+
+A coordination server plus client protocol that lets several independent
+benchmark processes execute one logical benchmark: registration hands
+each client its slice of the key space, named barriers align phase
+starts, and reports aggregate into one combined summary.
+"""
+
+from .client import CoordinationError, CoordinatorClient
+from .server import CoordinationServer, CoordinationState
+
+__all__ = [
+    "CoordinationError",
+    "CoordinatorClient",
+    "CoordinationServer",
+    "CoordinationState",
+]

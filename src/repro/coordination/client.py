@@ -1,0 +1,132 @@
+"""Client side of the benchmark coordination protocol."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import uuid
+
+from ..core.client import BenchmarkResult
+
+__all__ = ["CoordinatorClient", "CoordinationError"]
+
+
+class CoordinationError(Exception):
+    """The coordinator rejected a request or is unreachable."""
+
+
+class CoordinatorClient:
+    """Talks to a :class:`~repro.coordination.server.CoordinationServer`.
+
+    Typical flow inside a benchmark client process::
+
+        coordinator = CoordinatorClient(("host", 9999))
+        index, expected = coordinator.register()
+        # derive this client's keyspace slice from (index, expected)
+        coordinator.wait_barrier("load-start")
+        ... load ...
+        coordinator.wait_barrier("run-start")
+        result = client.run()
+        coordinator.submit_result("run", result)
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        client_id: str | None = None,
+        timeout_s: float = 10.0,
+        poll_interval_s: float = 0.05,
+        sleep=time.sleep,
+    ):
+        self._host, self._port = address
+        self.client_id = client_id or f"client-{uuid.uuid4().hex[:8]}"
+        self._timeout_s = timeout_s
+        self._poll_interval_s = poll_interval_s
+        self._sleep = sleep
+
+    # -- transport ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout_s
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            document = json.loads(response.read() or b"{}")
+            if response.status != 200:
+                raise CoordinationError(
+                    f"{method} {path} -> HTTP {response.status}: "
+                    f"{document.get('error', 'unknown error')}"
+                )
+            return document
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            raise CoordinationError(
+                f"coordinator {self._host}:{self._port} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    # -- protocol --------------------------------------------------------------------
+
+    def register(self) -> tuple[int, int]:
+        """Announce this client; returns (client index, expected clients)."""
+        document = self._request("POST", "/register", {"client": self.client_id})
+        return int(document["index"]), int(document["expected"])
+
+    def wait_barrier(self, name: str, timeout_s: float = 120.0) -> None:
+        """Arrive at ``name`` and block (polling) until everyone has."""
+        document = self._request(
+            "POST", "/barrier", {"name": name, "client": self.client_id}
+        )
+        if document.get("released"):
+            return
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            status = self._request("GET", f"/barrier?name={name}")
+            if status.get("released"):
+                return
+            self._sleep(self._poll_interval_s)
+        raise CoordinationError(
+            f"barrier {name!r} did not release within {timeout_s:.0f}s"
+        )
+
+    def submit_result(self, phase: str, result: BenchmarkResult) -> int:
+        """Report a finished phase; returns how many reports the
+        coordinator now holds."""
+        report = {
+            "client": self.client_id,
+            "phase": phase,
+            "operations": result.operations,
+            "failed_operations": result.failed_operations,
+            "run_time_ms": result.run_time_ms,
+            "throughput": result.throughput,
+            "anomaly_score": result.anomaly_score,
+            "validation_passed": (
+                result.validation.passed if result.validation else None
+            ),
+        }
+        document = self._request("POST", "/report", report)
+        return int(document["received"])
+
+    def summary(self) -> dict:
+        """The aggregate of all reports submitted so far."""
+        return self._request("GET", "/summary")
+
+    @staticmethod
+    def keyspace_slice(index: int, expected: int, record_count: int) -> tuple[int, int]:
+        """(insertstart, insertcount) for client ``index`` of ``expected``.
+
+        Contiguous, exhaustive, near-even partition of ``record_count``
+        keys — the same scheme YCSB uses across distributed loaders.
+        """
+        if not 0 <= index < expected:
+            raise ValueError(f"index {index} out of range for {expected} clients")
+        base = record_count // expected
+        remainder = record_count % expected
+        start = index * base + min(index, remainder)
+        count = base + (1 if index < remainder else 0)
+        return start, count

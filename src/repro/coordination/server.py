@@ -1,0 +1,226 @@
+"""Multi-client benchmark coordination service.
+
+The paper's §VII plans to adopt YCSB++'s "distributed client execution,
+coordination and monitoring capabilities that are useful for running
+web-scale simulations".  This module provides that capability for this
+framework: a small HTTP coordination service that lets N independent
+benchmark client *processes* (possibly on different hosts) run one
+logical benchmark:
+
+* **registration** — each client announces itself and receives a client
+  index, from which it derives its slice of the insert key space
+  (``insertstart``/``insertcount``);
+* **barriers** — named rendezvous points so all clients start the load
+  and the transaction phase together (skew between clients would distort
+  aggregate throughput);
+* **report aggregation** — clients post their run metrics; anyone can
+  fetch the combined summary (total throughput, per-client rows).
+
+Protocol (JSON bodies)::
+
+    POST /register   {"client": "host-1"}       -> {"index": 0, "expected": 3}
+    POST /barrier    {"name": "load-start", "client": "host-1"}
+                                                -> {"released": false}
+    GET  /barrier?name=load-start               -> {"released": true, "waiting": 2}
+    POST /report     {"client": ..., "phase": ..., "operations": n,
+                      "run_time_ms": t, "throughput": x, ...}
+                                                -> {"received": 3}
+    GET  /summary                               -> {"clients": [...],
+                                                    "total_throughput": x,
+                                                    "total_operations": n}
+
+Barriers release once ``expected`` distinct clients have arrived; clients
+poll until released, which keeps the server stateless-simple (no hanging
+connections).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from collections import defaultdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["CoordinationState", "CoordinationServer"]
+
+
+class CoordinationState:
+    """Thread-safe coordination bookkeeping (separable from HTTP)."""
+
+    def __init__(self, expected_clients: int):
+        if expected_clients < 1:
+            raise ValueError("expected_clients must be >= 1")
+        self.expected_clients = expected_clients
+        self._lock = threading.Lock()
+        self._clients: dict[str, int] = {}
+        self._barriers: dict[str, set[str]] = defaultdict(set)
+        self._reports: list[dict] = []
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, client: str) -> int:
+        """Idempotently register ``client``; returns its stable index."""
+        with self._lock:
+            if client not in self._clients:
+                if len(self._clients) >= self.expected_clients:
+                    raise ValueError(
+                        f"already have {self.expected_clients} clients; "
+                        f"{client!r} is one too many"
+                    )
+                self._clients[client] = len(self._clients)
+            return self._clients[client]
+
+    def registered_clients(self) -> list[str]:
+        with self._lock:
+            return sorted(self._clients, key=self._clients.__getitem__)
+
+    # -- barriers ------------------------------------------------------------------
+
+    def arrive(self, barrier: str, client: str) -> bool:
+        """Mark ``client`` as arrived; True when the barrier is released."""
+        with self._lock:
+            if client not in self._clients:
+                raise KeyError(f"client {client!r} is not registered")
+            self._barriers[barrier].add(client)
+            return len(self._barriers[barrier]) >= self.expected_clients
+
+    def barrier_status(self, barrier: str) -> tuple[bool, int]:
+        """(released, clients waiting) for ``barrier``."""
+        with self._lock:
+            arrived = len(self._barriers.get(barrier, ()))
+            return arrived >= self.expected_clients, arrived
+
+    # -- reports --------------------------------------------------------------------
+
+    def submit_report(self, report: dict) -> int:
+        """Store one client's phase report; returns reports received."""
+        with self._lock:
+            self._reports.append(dict(report))
+            return len(self._reports)
+
+    def summary(self) -> dict:
+        """Aggregate of everything reported so far."""
+        with self._lock:
+            reports = [dict(report) for report in self._reports]
+        total_operations = sum(int(r.get("operations", 0)) for r in reports)
+        total_throughput = sum(float(r.get("throughput", 0.0)) for r in reports)
+        failed = sum(int(r.get("failed_operations", 0)) for r in reports)
+        anomaly_scores = [
+            float(r["anomaly_score"])
+            for r in reports
+            if r.get("anomaly_score") is not None
+        ]
+        return {
+            "clients": reports,
+            "reports": len(reports),
+            "total_operations": total_operations,
+            "total_throughput": total_throughput,
+            "total_failed_operations": failed,
+            "max_anomaly_score": max(anomaly_scores) if anomaly_scores else None,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "ReproCoordinator/1.0"
+
+    @property
+    def _state(self) -> CoordinationState:
+        return self.server.coordination_state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length == 0:
+            return None
+        try:
+            document = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError:
+            return None
+        return document if isinstance(document, dict) else None
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        body = self._body()
+        if body is None:
+            self._send(400, {"error": "JSON object body required"})
+            return
+        try:
+            if parsed.path == "/register":
+                index = self._state.register(str(body["client"]))
+                self._send(
+                    200, {"index": index, "expected": self._state.expected_clients}
+                )
+            elif parsed.path == "/barrier":
+                released = self._state.arrive(str(body["name"]), str(body["client"]))
+                self._send(200, {"released": released})
+            elif parsed.path == "/report":
+                received = self._state.submit_report(body)
+                self._send(200, {"received": received})
+            else:
+                self._send(404, {"error": "unknown path"})
+        except (KeyError, ValueError) as exc:
+            self._send(400, {"error": str(exc)})
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path == "/barrier":
+            query = urllib.parse.parse_qs(parsed.query)
+            name = query.get("name", [""])[0]
+            released, waiting = self._state.barrier_status(name)
+            self._send(200, {"released": released, "waiting": waiting})
+        elif parsed.path == "/summary":
+            self._send(200, self._state.summary())
+        elif parsed.path == "/clients":
+            self._send(200, {"clients": self._state.registered_clients()})
+        else:
+            self._send(404, {"error": "unknown path"})
+
+
+class CoordinationServer:
+    """Serves a :class:`CoordinationState` over HTTP on a background thread."""
+
+    def __init__(self, expected_clients: int, host: str = "127.0.0.1", port: int = 0):
+        self.state = CoordinationState(expected_clients)
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.coordination_state = self.state  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[0], self._server.server_address[1]
+
+    def start(self) -> "CoordinationServer":
+        if self._thread is not None:
+            raise RuntimeError("coordinator already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="coordinator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "CoordinationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

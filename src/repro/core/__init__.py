@@ -1,0 +1,30 @@
+"""The YCSB+T benchmark framework core."""
+
+from .client import BenchmarkResult, Client
+from .closed_economy import BALANCE_FIELD, ClosedEconomyWorkload
+from .core_workload import OPERATION_NAMES, CoreWorkload
+from .db import DB, MeasuredDB, create_db
+from .properties import Properties, load_properties, parse_properties
+from .status import Status
+from .throttle import Throttle
+from .workload import ValidationResult, Workload, WorkloadError
+
+__all__ = [
+    "BenchmarkResult",
+    "Client",
+    "BALANCE_FIELD",
+    "ClosedEconomyWorkload",
+    "OPERATION_NAMES",
+    "CoreWorkload",
+    "DB",
+    "MeasuredDB",
+    "create_db",
+    "Properties",
+    "load_properties",
+    "parse_properties",
+    "Status",
+    "Throttle",
+    "ValidationResult",
+    "Workload",
+    "WorkloadError",
+]

@@ -1,0 +1,357 @@
+"""Command-line interface.
+
+Mirrors the YCSB client invocation from the paper's Listing 1::
+
+    ycsbt run -db raw_http -P workloads/closed_economy_workload \\
+        -p http.port=8001 -threads 16
+
+Sub-commands:
+
+* ``load`` / ``run`` — execute the load phase or the transaction phase of
+  a workload against a DB binding, then the validation stage, and print
+  the measurement report (Listing 3 format by default).
+* ``serve`` — start the HTTP key-value server (the store side of the
+  paper's §V-C setup) and block until interrupted.
+* ``experiment`` — regenerate a paper figure/table and print its series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from collections.abc import Sequence
+
+from ..measurements.exporters import CsvExporter, JsonExporter, TextExporter
+from ..measurements.registry import Measurements
+from .client import Client
+from .closed_economy import ClosedEconomyWorkload
+from .core_workload import CoreWorkload
+from .db import create_db
+from .properties import Properties, load_properties
+from .workload import Workload
+
+__all__ = ["main", "build_parser"]
+
+def _anomaly_workload(name: str):
+    from .. import workloads
+
+    return getattr(workloads, name)
+
+
+_WORKLOAD_ALIASES = {
+    "core": CoreWorkload,
+    "closed_economy": ClosedEconomyWorkload,
+    "cew": ClosedEconomyWorkload,
+    # Anomaly-targeting workloads (§VII future work).
+    "lost_update": lambda: _anomaly_workload("LostUpdateWorkload")(),
+    "write_skew": lambda: _anomaly_workload("WriteSkewWorkload")(),
+    "read_skew": lambda: _anomaly_workload("ReadSkewWorkload")(),
+    # Java-style names from YCSB property files, for drop-in compatibility.
+    "com.yahoo.ycsb.workloads.coreworkload": CoreWorkload,
+    "com.yahoo.ycsb.workloads.closedeconomyworkload": ClosedEconomyWorkload,
+}
+
+_EXPORTERS = {
+    "text": TextExporter,
+    "json": JsonExporter,
+    "csv": CsvExporter,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ycsbt",
+        description="YCSB+T: benchmark framework for transactional key-value stores",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    phase_help = {
+        "load": "execute the load phase",
+        "run": "execute the transaction phase",
+        "bench": "load then run in one process (required for in-process "
+        "bindings like 'memory', whose data dies with the process)",
+    }
+    for phase in ("load", "run", "bench"):
+        sub = commands.add_parser(phase, help=phase_help[phase])
+        sub.add_argument(
+            "-db",
+            "--db",
+            default="basic",
+            help="DB binding: alias (memory, lsm, cloud, raw_http, txn, basic) "
+            "or dotted class path",
+        )
+        sub.add_argument(
+            "-P",
+            "--property-file",
+            action="append",
+            default=[],
+            help="workload property file (repeatable; later files override)",
+        )
+        sub.add_argument(
+            "-p",
+            "--property",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="property override (repeatable)",
+        )
+        sub.add_argument("-threads", "--threads", type=int, default=None)
+        sub.add_argument(
+            "-target", "--target", type=float, default=None, help="target ops/sec"
+        )
+        sub.add_argument(
+            "--export", choices=sorted(_EXPORTERS), default="text", help="report format"
+        )
+        sub.add_argument(
+            "-s",
+            "--status",
+            action="store_true",
+            help="print a status line to stderr while running",
+        )
+        sub.add_argument(
+            "--coordinator",
+            default=None,
+            metavar="HOST:PORT",
+            help="multi-client coordination service: register, take a "
+            "keyspace slice, rendezvous at phase barriers, report results",
+        )
+
+    coordinate = commands.add_parser(
+        "coordinate", help="run the multi-client coordination service"
+    )
+    coordinate.add_argument("--clients", type=int, required=True,
+                            help="number of benchmark clients to expect")
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument("--port", type=int, default=9462)
+
+    serve = commands.add_parser("serve", help="run the HTTP key-value server")
+    serve.add_argument("--store", choices=("memory", "lsm"), default="memory")
+    serve.add_argument("--dir", default=None, help="data directory (lsm store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8001)
+
+    experiment = commands.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument(
+        "name",
+        choices=("fig2", "fig3", "fig4", "fig5", "tier5", "tier6", "ablation", "isolation", "all"),
+    )
+    experiment.add_argument(
+        "--full", action="store_true", help="longer, lower-noise runs"
+    )
+    return parser
+
+
+def _gather_properties(args: argparse.Namespace) -> Properties:
+    properties = Properties()
+    for path in args.property_file:
+        properties.update(load_properties(path))
+    for pair in args.property:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"bad -p argument {pair!r}: expected KEY=VALUE")
+        properties.set(key.strip(), value.strip())
+    if args.threads is not None:
+        properties.set("threadcount", args.threads)
+    if args.target is not None:
+        properties.set("target", args.target)
+    return properties
+
+
+def _build_workload(properties: Properties) -> Workload:
+    name = properties.get_str("workload", "core")
+    workload_class = _WORKLOAD_ALIASES.get(name.lower())
+    if workload_class is None:
+        # Dotted python path fallback.
+        import importlib
+
+        module_name, _, class_name = name.rpartition(".")
+        if not module_name:
+            raise SystemExit(f"unknown workload {name!r}")
+        workload_class = getattr(importlib.import_module(module_name), class_name)
+    return workload_class()
+
+
+def _parse_host_port(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad address {value!r}: expected HOST:PORT")
+    return host, int(port)
+
+
+def _run_phase(args: argparse.Namespace, phase: str) -> int:
+    properties = _gather_properties(args)
+
+    coordinator = None
+    if getattr(args, "coordinator", None):
+        from ..coordination import CoordinatorClient
+
+        coordinator = CoordinatorClient(_parse_host_port(args.coordinator))
+        index, expected = coordinator.register()
+        start, count = CoordinatorClient.keyspace_slice(
+            index, expected, properties.get_int("recordcount", 1000)
+        )
+        # Each client loads its own contiguous slice; the transaction
+        # phase runs over the whole key space (insertcount stays sliced
+        # only during the load).
+        if phase in ("load", "bench"):
+            properties.set("insertstart", start)
+            properties.set("insertcount", count)
+        print(
+            f"coordinated as client {index + 1}/{expected}: "
+            f"keys [{start}, {start + count})",
+            file=sys.stderr,
+        )
+
+    measurements = Measurements(
+        measurement_type=properties.get_str("measurementtype", "histogram"),
+        histogram_buckets=properties.get_int("histogram.buckets", 1000),
+    )
+    workload = _build_workload(properties)
+    workload.init(properties, measurements)
+
+    def db_factory():
+        return create_db(args.db, properties)
+
+    client = Client(workload, db_factory, properties, measurements)
+
+    stop_status = threading.Event()
+    if args.status:
+
+        def status_loop() -> None:
+            import time
+
+            started = time.monotonic()
+            while not stop_status.wait(2.0):
+                elapsed = time.monotonic() - started
+                print(f"[status] {elapsed:.0f}s elapsed...", file=sys.stderr)
+
+        threading.Thread(target=status_loop, daemon=True).start()
+
+    try:
+        if phase == "bench":
+            if coordinator is not None:
+                coordinator.wait_barrier("load-start")
+            load_result = client.load()
+            if coordinator is not None:
+                coordinator.submit_result("load", load_result)
+                coordinator.wait_barrier("run-start")
+            result = client.run()
+        elif phase == "load":
+            if coordinator is not None:
+                coordinator.wait_barrier("load-start")
+            result = client.load()
+        else:
+            if coordinator is not None:
+                coordinator.wait_barrier("run-start")
+            result = client.run()
+    finally:
+        stop_status.set()
+        workload.cleanup()
+
+    if coordinator is not None:
+        coordinator.submit_result(phase if phase != "bench" else "run", result)
+
+    exporter = _EXPORTERS[args.export]()
+    sys.stdout.write(exporter.export(result.report()))
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if result.validation is not None and not result.validation.passed:
+        return 1
+    return 0
+
+
+def _coordinate(args: argparse.Namespace) -> int:
+    from ..coordination import CoordinationServer
+
+    server = CoordinationServer(args.clients, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(
+        f"coordinating {args.clients} clients on http://{host}:{port} "
+        f"(Ctrl-C to stop; pass --coordinator {host}:{port} to each client)"
+    )
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        while not stop.wait(2.0):
+            summary = server.state.summary()
+            if summary["reports"]:
+                print(
+                    f"[coordinator] reports={summary['reports']} "
+                    f"total throughput={summary['total_throughput']:,.0f} ops/s",
+                    file=sys.stderr,
+                )
+    finally:
+        summary = server.state.summary()
+        if summary["reports"]:
+            print(json.dumps(summary, indent=2))
+        server.stop()
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from ..http.server import KVStoreHTTPServer
+    from ..kvstore.lsm import LSMKVStore
+    from ..kvstore.memory import InMemoryKVStore
+
+    if args.store == "lsm":
+        if not args.dir:
+            raise SystemExit("--dir is required for the lsm store")
+        store = LSMKVStore(args.dir)
+    else:
+        store = InMemoryKVStore()
+    server = KVStoreHTTPServer(store, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"serving {args.store} store on http://{host}:{port} (Ctrl-C to stop)")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    server.stop()
+    store.close()
+    return 0
+
+
+def _experiment(args: argparse.Namespace) -> int:
+    from .. import harness
+    from ..harness.report import render_experiment
+
+    runners = {
+        "fig2": (harness.fig2_cloud_scaling, "threads"),
+        "fig3": (harness.fig3_transaction_overhead, "threads"),
+        "fig4": (harness.fig4_anomaly_score, "threads"),
+        "fig5": (harness.fig5_raw_scaling, "threads"),
+        "tier5": (harness.tier5_operation_overhead, "threads"),
+        "tier6": (harness.tier6_consistency, "threads"),
+        "isolation": (harness.isolation_matrix, "threads"),
+        "ablation": (harness.ablation_coordinators, "oracle RPC delay (ms)"),
+    }
+    names = list(runners) if args.name == "all" else [args.name]
+    for name in names:
+        runner, x_label = runners[name]
+        result = runner(quick=not args.full)
+        sys.stdout.write(render_experiment(result, x_label=x_label))
+        sys.stdout.write("\n")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("load", "run", "bench"):
+        return _run_phase(args, args.command)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "coordinate":
+        return _coordinate(args)
+    if args.command == "experiment":
+        return _experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

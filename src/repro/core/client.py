@@ -1,0 +1,298 @@
+"""The YCSB+T client: workload executor, thread pool, validation stage.
+
+Mirrors the architecture of Fig. 1 in the paper: the client starts N
+threads, each with its own DB instance (wrapped in
+:class:`~repro.core.db.MeasuredDB`); threads execute the load phase
+(``do_insert``) or the transaction phase (``do_transaction``).  YCSB+T's
+additions, implemented here:
+
+* every workload call is **wrapped in a transaction** — ``DB.start()``
+  before, ``DB.commit()`` on success, ``DB.abort()`` on failure (§IV-A);
+  the whole wrapped unit is measured as ``TX-<OPERATION>``;
+* after the phase completes, the **validation stage** runs
+  ``Workload.validate(db)`` and folds the result into the report (§IV-B).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..measurements.exporters import RunReport
+from ..measurements.registry import Measurements, StopWatch
+from ..measurements.timeseries import ThroughputTimeSeries
+from .db import DB, MeasuredDB
+from .properties import Properties
+from .throttle import Throttle
+from .workload import ValidationResult, Workload
+
+__all__ = ["BenchmarkResult", "Client"]
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything a finished phase produced."""
+
+    phase: str  # "load" | "run"
+    operations: int
+    failed_operations: int
+    run_time_ms: float
+    measurements: Measurements
+    validation: ValidationResult | None = None
+    thread_count: int = 1
+    errors: list[str] = field(default_factory=list)
+    #: interval throughput, populated when the ``status.interval``
+    #: property is set (seconds per window).
+    throughput_series: ThroughputTimeSeries | None = None
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second over the phase."""
+        seconds = self.run_time_ms / 1000.0
+        return self.operations / seconds if seconds > 0 else 0.0
+
+    @property
+    def anomaly_score(self) -> float | None:
+        return self.validation.anomaly_score if self.validation else None
+
+    def report(self) -> RunReport:
+        """Export-ready view of this result."""
+        validation_fields = list(self.validation.fields) if self.validation else []
+        validation_passed = self.validation.passed if self.validation else None
+        return RunReport.from_measurements(
+            self.measurements,
+            run_time_ms=self.run_time_ms,
+            operations=self.operations,
+            validation=validation_fields,
+            validation_passed=validation_passed,
+        )
+
+
+class _SharedWork:
+    """Atomic claim of operation slots across client threads.
+
+    Dynamic partitioning: each thread claims the next slot until the
+    budget is exhausted, so slow threads do not strand work.
+    """
+
+    def __init__(self, total: int):
+        self._lock = threading.Lock()
+        self._remaining = total
+
+    def claim(self) -> bool:
+        with self._lock:
+            if self._remaining <= 0:
+                return False
+            self._remaining -= 1
+            return True
+
+    def claim_up_to(self, count: int) -> int:
+        """Claim as many as ``count`` slots; returns how many were granted."""
+        with self._lock:
+            granted = min(count, self._remaining)
+            self._remaining -= granted
+            return granted
+
+
+class Client:
+    """Runs one workload phase against one DB binding.
+
+    Args:
+        workload: an initialised workload (``workload.init`` already
+            called with the same properties).
+        db_factory: builds one DB instance per thread.  Instances must
+            share backing state (a store object, a server address, a
+            transaction manager) — exactly like YCSB clients all talking
+            to one external database.
+        properties: benchmark properties (``threadcount``,
+            ``operationcount``, ``recordcount``, ``target``, ...).
+        measurements: shared measurement registry (created when omitted).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        db_factory: Callable[[], DB],
+        properties: Properties | None = None,
+        measurements: Measurements | None = None,
+    ):
+        self.workload = workload
+        self.db_factory = db_factory
+        self.properties = properties or Properties()
+        self.measurements = measurements or Measurements(
+            measurement_type=self.properties.get_str("measurementtype", "histogram"),
+            histogram_buckets=self.properties.get_int("histogram.buckets", 1000),
+        )
+
+    # -- phases -----------------------------------------------------------------------
+
+    def load(self, record_count: int | None = None) -> BenchmarkResult:
+        """Load phase: insert ``recordcount`` records, then validate."""
+        total = (
+            record_count
+            if record_count is not None
+            else self.properties.get_int("insertcount", self.properties.get_int("recordcount", 1000))
+        )
+        return self._execute_phase("load", total)
+
+    def run(self, operation_count: int | None = None) -> BenchmarkResult:
+        """Transaction phase: execute ``operationcount`` operations, then
+        validate."""
+        total = (
+            operation_count
+            if operation_count is not None
+            else self.properties.get_int("operationcount", 1000)
+        )
+        return self._execute_phase("run", total)
+
+    # -- machinery ---------------------------------------------------------------------
+
+    def _thread_throttle(self, thread_count: int) -> Callable[[], Throttle | None]:
+        target = self.properties.get_float("target", 0.0)
+        if target <= 0:
+            return lambda: None
+        per_thread = target / thread_count
+        return lambda: Throttle(per_thread)
+
+    def _execute_phase(self, phase: str, total_operations: int) -> BenchmarkResult:
+        thread_count = max(1, self.properties.get_int("threadcount", 1))
+        work = _SharedWork(total_operations)
+        make_throttle = self._thread_throttle(thread_count)
+        batch_size = max(1, self.properties.get_int("batchsize", 1))
+        status_interval = self.properties.get_float("status.interval", 0.0)
+        series = ThroughputTimeSeries(status_interval) if status_interval > 0 else None
+        counters_lock = threading.Lock()
+        completed = 0
+        failed = 0
+        errors: list[str] = []
+        barrier = threading.Barrier(thread_count + 1)
+
+        def worker(thread_id: int) -> None:
+            nonlocal completed, failed
+            db = MeasuredDB(self.db_factory(), self.measurements)
+            db.init()
+            thread_state = self.workload.init_thread(thread_id, thread_count)
+            throttle = make_throttle()
+            local_done = 0
+            local_failed = 0
+            try:
+                barrier.wait()
+                while True:
+                    if self.workload.stop_requested:
+                        break
+                    if phase == "load" and batch_size > 1:
+                        claimed = work.claim_up_to(batch_size)
+                        if claimed == 0:
+                            break
+                        inserted = self._one_batch_insert(db, thread_state, claimed)
+                        local_done += claimed
+                        local_failed += claimed - inserted
+                        if series is not None:
+                            series.record(claimed)
+                        continue
+                    if not work.claim():
+                        break
+                    if throttle is not None:
+                        throttle.wait_for_turn()
+                    if phase == "load":
+                        ok = self._one_insert(db, thread_state)
+                    else:
+                        ok = self._one_transaction(db, thread_state)
+                    local_done += 1
+                    if not ok:
+                        local_failed += 1
+                    if series is not None:
+                        series.record()
+            except Exception as exc:  # noqa: BLE001 - surfaced in the result
+                with counters_lock:
+                    errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
+            finally:
+                db.cleanup()
+                with counters_lock:
+                    completed += local_done
+                    failed += local_failed
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"ycsbt-{phase}-{i}")
+            for i in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()  # all threads initialised: start the clock together
+        started_at = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        run_time_ms = (time.perf_counter() - started_at) * 1000.0
+
+        validation = self._validation_stage()
+        return BenchmarkResult(
+            phase=phase,
+            operations=completed,
+            failed_operations=failed,
+            run_time_ms=run_time_ms,
+            measurements=self.measurements,
+            validation=validation,
+            thread_count=thread_count,
+            errors=errors,
+            throughput_series=series,
+        )
+
+    def _one_batch_insert(self, db: MeasuredDB, thread_state: object, count: int) -> int:
+        """One bulk-load batch wrapped in a transaction; returns successes."""
+        if not db.start().ok:
+            return 0
+        inserted = 0
+        try:
+            inserted = self.workload.do_batch_insert(db, thread_state, count)
+        finally:
+            if inserted > 0:
+                if not db.commit().ok:
+                    inserted = 0
+            else:
+                db.abort()
+        return inserted
+
+    def _one_insert(self, db: MeasuredDB, thread_state: object) -> bool:
+        """One load-phase insert wrapped in a transaction (§IV-A)."""
+        if not db.start().ok:
+            return False
+        ok = False
+        try:
+            ok = self.workload.do_insert(db, thread_state)
+        finally:
+            if ok:
+                ok = db.commit().ok
+            else:
+                db.abort()
+        return ok
+
+    def _one_transaction(self, db: MeasuredDB, thread_state: object) -> bool:
+        """One transaction-phase operation, wrapped and measured as TX-<OP>."""
+        watch = StopWatch()
+        if not db.start().ok:
+            return False
+        operation: str | None = None
+        committed = False
+        try:
+            operation = self.workload.do_transaction(db, thread_state)
+        finally:
+            if operation is not None:
+                committed = db.commit().ok
+            else:
+                db.abort()
+            self.workload.finish_transaction(db, thread_state, operation, committed)
+        label = f"TX-{operation}" if operation is not None else "TX-ABORTED"
+        self.measurements.measure(label, watch.elapsed_us())
+        self.measurements.report_status(label, "OK" if committed else "ERROR")
+        return committed
+
+    def _validation_stage(self) -> ValidationResult | None:
+        """Run the workload's validation method on a fresh DB instance."""
+        db = MeasuredDB(self.db_factory(), Measurements())
+        db.init()
+        try:
+            return self.workload.validate(db)
+        finally:
+            db.cleanup()

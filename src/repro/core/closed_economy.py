@@ -1,0 +1,337 @@
+"""The Closed Economy Workload (CEW) — §IV-C of the paper.
+
+A simplified simulation of a closed economy: a fixed number of bank
+accounts and a fixed amount of total cash, "one in which money does not
+enter or exit the system during the evaluation period".  Every operation
+preserves the invariant
+
+    sum(account balances) + escrow == total_cash
+
+under *serialisable* execution, so after the run the validation stage can
+detect lost-update (and other) anomalies simply by re-summing the money
+and reporting the **simple anomaly score**
+
+    gamma = |S_initial - S_final| / n
+
+(the drift in total balance per executed operation).  A score of zero
+means the data is consistent with some serial execution of the workload.
+
+The six operations (names match the paper):
+
+* ``READ`` — read an account's balance.
+* ``SCAN`` — read a range of accounts.
+* ``UPDATE`` — read an account, add $1 *captured from delete operations*
+  (the escrow), write it back.
+* ``INSERT`` — create a new account funded from the escrow.
+* ``DELETE`` — read an account, move its balance into the escrow, delete
+  the record.
+* ``READMODIFYWRITE`` — read two accounts, move $1 from one to the other,
+  write both back (the contended transfer that exposes lost updates).
+
+Properties: those of :class:`~repro.core.core_workload.CoreWorkload`
+plus ``totalcash`` [recordcount * 1000 — "everyone has a bank account
+which has an initial balance of $1000"].
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..measurements.registry import StopWatch
+from .core_workload import CoreWorkload
+from .db import DB
+from .properties import Properties
+from .workload import ValidationResult, WorkloadError
+
+__all__ = ["ClosedEconomyWorkload", "BALANCE_FIELD"]
+
+#: The single record field holding an account balance (fieldcount=1 in
+#: the paper's property file).
+BALANCE_FIELD = "field0"
+
+
+class _Escrow:
+    """Cash captured by deletes, awaiting re-injection by inserts/updates.
+
+    The escrow is what keeps the economy closed when records come and go:
+    money never vanishes, it just parks here.  All methods are atomic.
+    """
+
+    def __init__(self, initial: int = 0):
+        self._lock = threading.Lock()
+        self._amount = initial
+
+    @property
+    def amount(self) -> int:
+        with self._lock:
+            return self._amount
+
+    def deposit(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"cannot deposit a negative amount ({amount})")
+        with self._lock:
+            self._amount += amount
+
+    def withdraw_up_to(self, amount: int) -> int:
+        """Take at most ``amount``; returns what was actually taken."""
+        if amount < 0:
+            raise ValueError(f"cannot withdraw a negative amount ({amount})")
+        with self._lock:
+            taken = min(self._amount, amount)
+            self._amount -= taken
+            return taken
+
+
+@dataclass
+class CewThreadState:
+    """Per-thread CEW state.
+
+    Escrow movements must follow the *transaction outcome*, not the
+    operation call: money withdrawn for a write that later aborts must
+    return to the escrow, and money captured by a delete may only enter
+    the escrow once the delete has durably committed.  Each operation
+    records its pending movement here; the client reports the outcome via
+    :meth:`ClosedEconomyWorkload.finish_transaction`, which settles it.
+    """
+
+    rng: random.Random
+    #: paid into the escrow only if the surrounding transaction commits.
+    pending_deposit: int = 0
+    #: returned to the escrow if the surrounding transaction aborts.
+    pending_refund: int = 0
+
+
+class ClosedEconomyWorkload(CoreWorkload):
+    """CEW: CoreWorkload's machinery with money semantics and validation."""
+
+    def init(self, properties: Properties, measurements=None) -> None:
+        super().init(properties, measurements)
+        self.total_cash = properties.get_int("totalcash", self.record_count * 1000)
+        if self.total_cash < self.record_count:
+            raise WorkloadError(
+                "totalcash must give every account at least $1 "
+                f"({self.total_cash} < {self.record_count})"
+            )
+        self.escrow = _Escrow()
+        self._initial_balance = self.total_cash // self.record_count
+        self._remainder = self.total_cash % self.record_count
+        self._operations_executed = 0
+        self._operations_lock = threading.Lock()
+        # CEW accounts are a single balance field.
+        self.field_names = [BALANCE_FIELD]
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def initial_balance_for(self, key_number: int) -> int:
+        """Load-phase balance of account ``key_number``.
+
+        The first ``totalcash % recordcount`` accounts receive one extra
+        dollar so the loaded sum is exactly ``totalcash``.
+        """
+        offset = key_number - self.insert_start
+        return self._initial_balance + (1 if offset < self._remainder else 0)
+
+    @staticmethod
+    def parse_balance(fields: dict[str, str] | None) -> int | None:
+        if fields is None:
+            return None
+        raw = fields.get(BALANCE_FIELD)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def encode_balance(balance: int) -> dict[str, str]:
+        return {BALANCE_FIELD: str(balance)}
+
+    def _count_operation(self) -> None:
+        with self._operations_lock:
+            self._operations_executed += 1
+
+    @property
+    def operations_executed(self) -> int:
+        with self._operations_lock:
+            return self._operations_executed
+
+    # -- load phase -------------------------------------------------------------------
+
+    def do_insert(self, db: DB, thread_state: Any) -> bool:
+        key_number = self.key_sequence.next_value()
+        key = self.build_key_name(key_number)
+        values = self.encode_balance(self.initial_balance_for(key_number))
+        return db.insert(self.table, key, values).ok
+
+    def do_batch_insert(self, db: DB, thread_state: Any, count: int) -> int:
+        records = []
+        for _ in range(count):
+            key_number = self.key_sequence.next_value()
+            records.append(
+                (
+                    self.build_key_name(key_number),
+                    self.encode_balance(self.initial_balance_for(key_number)),
+                )
+            )
+        return len(records) if db.batch_insert(self.table, records).ok else 0
+
+    # -- transaction phase ------------------------------------------------------------
+
+    def init_thread(self, thread_id: int, thread_count: int) -> CewThreadState:
+        return CewThreadState(rng=super().init_thread(thread_id, thread_count))
+
+    def do_transaction(self, db: DB, thread_state: Any) -> str | None:
+        operation = super().do_transaction(db, thread_state)
+        self._count_operation()
+        return operation
+
+    def finish_transaction(
+        self, db: DB, thread_state: Any, operation: str | None, committed: bool
+    ) -> None:
+        """Settle the operation's escrow movement against the outcome."""
+        state: CewThreadState = thread_state
+        if committed:
+            if state.pending_deposit:
+                self.escrow.deposit(state.pending_deposit)
+        else:
+            if state.pending_refund:
+                self.escrow.deposit(state.pending_refund)
+        state.pending_deposit = 0
+        state.pending_refund = 0
+
+    def _txn_read(self, db: DB, state: CewThreadState) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        result, fields = db.read(self.table, key, None)
+        return result.ok and self.parse_balance(fields) is not None
+
+    def _txn_scan(self, db: DB, state: CewThreadState) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        length = self.scan_length_generator.next_value()
+        result, _ = db.scan(self.table, key, length, None)
+        return result.ok
+
+    def _txn_update(self, db: DB, state: CewThreadState) -> bool:
+        """Read an account, add $1 captured from deletes, write it back."""
+        key = self.build_key_name(self.next_key_number())
+        result, fields = db.read(self.table, key, None)
+        balance = self.parse_balance(fields)
+        if not result.ok or balance is None:
+            return False
+        grant = self.escrow.withdraw_up_to(1)
+        if not db.update(self.table, key, self.encode_balance(balance + grant)).ok:
+            self.escrow.deposit(grant)  # immediate rollback: op failed
+            return False
+        state.pending_refund += grant  # refund if the commit later aborts
+        return True
+
+    def _txn_insert(self, db: DB, state: CewThreadState) -> bool:
+        """Open a new account funded by money captured from deletes."""
+        key_number = self.transaction_insert_sequence.next_value()
+        key = self.build_key_name(key_number)
+        funding = self.escrow.withdraw_up_to(self._initial_balance)
+        ok = db.insert(self.table, key, self.encode_balance(funding)).ok
+        if not ok:
+            self.escrow.deposit(funding)  # immediate rollback: op failed
+        else:
+            state.pending_refund += funding
+        self.transaction_insert_sequence.acknowledge(key_number)
+        return ok
+
+    def _txn_delete(self, db: DB, state: CewThreadState) -> bool:
+        """Close an account; its balance is captured into the escrow.
+
+        The capture is *pending*: it enters the escrow only once the
+        surrounding transaction commits (otherwise the delete never
+        happened and the money is still in the account).
+        """
+        key = self.build_key_name(self.next_key_number())
+        result, fields = db.read(self.table, key, None)
+        balance = self.parse_balance(fields)
+        if not result.ok or balance is None:
+            return False
+        if not db.delete(self.table, key).ok:
+            return False
+        state.pending_deposit += balance
+        return True
+
+    def _txn_readmodifywrite(self, db: DB, state: CewThreadState) -> bool:
+        """Move $1 between two accounts — the paper's contended transfer."""
+        first = self.next_key_number()
+        second = self.next_key_number()
+        attempts = 0
+        while second == first and attempts < 8:
+            second = self.next_key_number()
+            attempts += 1
+        if second == first:
+            # Degenerate key space (one record): a self-transfer is a no-op
+            # but still a valid, invariant-preserving operation.
+            key = self.build_key_name(first)
+            result, fields = db.read(self.table, key, None)
+            return result.ok and self.parse_balance(fields) is not None
+
+        key_from = self.build_key_name(first)
+        key_to = self.build_key_name(second)
+        watch = StopWatch()
+        result_from, fields_from = db.read(self.table, key_from, None)
+        result_to, fields_to = db.read(self.table, key_to, None)
+        balance_from = self.parse_balance(fields_from)
+        balance_to = self.parse_balance(fields_to)
+        if not result_from.ok or not result_to.ok or balance_from is None or balance_to is None:
+            return False
+        transfer = 1 if balance_from >= 1 else 0
+        ok = (
+            db.update(self.table, key_from, self.encode_balance(balance_from - transfer)).ok
+            and db.update(self.table, key_to, self.encode_balance(balance_to + transfer)).ok
+        )
+        if self.measurements is not None:
+            self.measurements.measure("READ-MODIFY-WRITE", watch.elapsed_us())
+            self.measurements.report_status("READ-MODIFY-WRITE", "OK" if ok else "ERROR")
+        return ok
+
+    # -- validation stage (§IV-B, §IV-C.3) ------------------------------------------------
+
+    def validate(self, db: DB) -> ValidationResult:
+        """Sum every account and compare against ``totalcash``.
+
+        Walks the whole table through the DB abstraction in scan pages,
+        adds the escrow (cash captured by deletes but not yet granted),
+        and computes the simple anomaly score.
+        """
+        counted = self.escrow.amount
+        records = 0
+        cursor = ""
+        page_size = 1000
+        while True:
+            result, page = db.scan(self.table, cursor, page_size, None)
+            if not result.ok:
+                raise WorkloadError(f"validation scan failed: {result}")
+            if not page:
+                break
+            for key, fields in page:
+                if cursor and key <= cursor.rstrip("\x00"):
+                    continue
+                balance = self.parse_balance(fields)
+                if balance is not None:
+                    counted += balance
+                    records += 1
+            if len(page) < page_size:
+                break
+            cursor = page[-1][0] + "\x00"
+
+        operations = max(1, self.operations_executed)
+        anomaly_score = abs(self.total_cash - counted) / operations
+        passed = counted == self.total_cash
+        return ValidationResult(
+            passed=passed,
+            fields=[
+                ("TOTAL CASH", self.total_cash),
+                ("COUNTED CASH", counted),
+                ("ACTUAL OPERATIONS", self.operations_executed),
+                ("ANOMALY SCORE", anomaly_score),
+            ],
+            anomaly_score=anomaly_score,
+        )

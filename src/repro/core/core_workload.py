@@ -1,0 +1,273 @@
+"""YCSB's ``CoreWorkload``, re-implemented.
+
+The standard workload behind YCSB's published workloads A–F: a mix of
+read / update / insert / scan / read-modify-write operations (plus an
+optional delete proportion, which the Closed Economy Workload builds on)
+over a synthetic table of records with generated string fields.
+
+Recognised properties (defaults in brackets, names match YCSB):
+
+``table`` [usertable], ``recordcount`` [1000], ``operationcount`` [1000],
+``fieldcount`` [10], ``fieldnameprefix`` [field], ``fieldlength`` [100],
+``fieldlengthdistribution`` [constant|uniform|zipfian],
+``readproportion`` [0.95], ``updateproportion`` [0.05],
+``insertproportion`` [0], ``scanproportion`` [0],
+``readmodifywriteproportion`` [0], ``deleteproportion`` [0],
+``requestdistribution`` [uniform|zipfian|latest|hotspot|sequential|
+exponential], ``maxscanlength`` [1000], ``scanlengthdistribution``
+[uniform|zipfian], ``insertorder`` [hashed|ordered], ``insertstart`` [0],
+``zeropadding`` [1], ``readallfields`` [true], ``writeallfields``
+[false], ``hotspotdatafraction`` [0.2], ``hotspotopnfraction`` [0.8],
+``seed`` [none — nondeterministic].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..generators import (
+    AcknowledgedCounterGenerator,
+    ConstantGenerator,
+    CounterGenerator,
+    DiscreteGenerator,
+    ExponentialGenerator,
+    HotspotIntegerGenerator,
+    KeyNameGenerator,
+    NumberGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    SkewedLatestGenerator,
+    UniformLongGenerator,
+    ZipfianGenerator,
+    locked_random,
+)
+from ..measurements.registry import Measurements, StopWatch
+from .db import DB
+from .properties import Properties
+from .workload import Workload, WorkloadError
+
+__all__ = ["CoreWorkload", "OPERATION_NAMES"]
+
+#: Canonical operation labels, as they appear in measurement output.
+OPERATION_NAMES = ("READ", "UPDATE", "INSERT", "SCAN", "READMODIFYWRITE", "DELETE")
+
+_FIELD_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+class CoreWorkload(Workload):
+    """The standard YCSB workload, transactional-ready."""
+
+    def init(self, properties: Properties, measurements: Measurements | None = None) -> None:
+        super().init(properties, measurements)
+        p = properties
+        self.table = p.get_str("table", "usertable")
+        self.record_count = p.get_int("recordcount", 1000)
+        if self.record_count < 1:
+            raise WorkloadError("recordcount must be >= 1")
+        self.field_count = p.get_int("fieldcount", 10)
+        self.field_prefix = p.get_str("fieldnameprefix", "field")
+        self.field_names = [f"{self.field_prefix}{i}" for i in range(self.field_count)]
+        self.read_all_fields = p.get_bool("readallfields", True)
+        self.write_all_fields = p.get_bool("writeallfields", False)
+        self.zero_padding = p.get_int("zeropadding", 1)
+        self.insert_start = p.get_int("insertstart", 0)
+        self.insert_count = p.get_int("insertcount", self.record_count)
+
+        seed = p.get("seed")
+        self._seed = int(seed) if seed is not None else None
+        self._shared_rng = locked_random(self._seed)
+
+        ordered = p.get_str("insertorder", "hashed").lower() == "ordered"
+        self.key_names = KeyNameGenerator(
+            prefix=p.get_str("keyprefix", "user"),
+            hashed=not ordered,
+            zero_padding=self.zero_padding,
+        )
+
+        self.field_length_generator = self._build_field_length_generator()
+        self.key_sequence = CounterGenerator(self.insert_start)
+        self.transaction_insert_sequence = AcknowledgedCounterGenerator(
+            self.insert_start + self.insert_count
+        )
+        self.key_chooser = self._build_key_chooser()
+        self.scan_length_generator = self._build_scan_length_generator()
+        self.operation_chooser = self._build_operation_chooser()
+
+    # -- generator construction ------------------------------------------------------
+
+    def _build_field_length_generator(self) -> NumberGenerator:
+        p = self.properties
+        distribution = p.get_str("fieldlengthdistribution", "constant").lower()
+        length = p.get_int("fieldlength", 100)
+        if distribution == "constant":
+            return ConstantGenerator(length)
+        if distribution == "uniform":
+            return UniformLongGenerator(1, length, rng=self._shared_rng)
+        if distribution == "zipfian":
+            return ZipfianGenerator(1, length, rng=self._shared_rng)
+        raise WorkloadError(f"unknown fieldlengthdistribution {distribution!r}")
+
+    def _build_key_chooser(self) -> NumberGenerator:
+        p = self.properties
+        distribution = p.get_str("requestdistribution", "uniform").lower()
+        lower = self.insert_start
+        upper = self.insert_start + self.insert_count - 1
+        if distribution == "uniform":
+            return UniformLongGenerator(lower, upper, rng=self._shared_rng)
+        if distribution == "zipfian":
+            # Operating space is over-provisioned by the expected number of
+            # new inserts (YCSB does the same) so hot ranks stay stable as
+            # the table grows.
+            operation_count = p.get_int("operationcount", 1000)
+            insert_proportion = p.get_float("insertproportion", 0.0)
+            expected_new = int(operation_count * insert_proportion * 2) + 1
+            return ScrambledZipfianGenerator(
+                lower, upper + expected_new, rng=self._shared_rng
+            )
+        if distribution == "latest":
+            return SkewedLatestGenerator(self.transaction_insert_sequence, rng=self._shared_rng)
+        if distribution == "hotspot":
+            return HotspotIntegerGenerator(
+                lower,
+                upper,
+                hot_set_fraction=p.get_float("hotspotdatafraction", 0.2),
+                hot_opn_fraction=p.get_float("hotspotopnfraction", 0.8),
+                rng=self._shared_rng,
+            )
+        if distribution == "sequential":
+            return SequentialGenerator(lower, upper)
+        if distribution == "exponential":
+            percentile = p.get_float("exponential.percentile", 95.0)
+            frac = p.get_float("exponential.frac", 0.8571428571)
+            return ExponentialGenerator.from_percentile(
+                percentile, self.insert_count * frac, rng=self._shared_rng
+            )
+        raise WorkloadError(f"unknown requestdistribution {distribution!r}")
+
+    def _build_scan_length_generator(self) -> NumberGenerator:
+        p = self.properties
+        distribution = p.get_str("scanlengthdistribution", "uniform").lower()
+        max_length = p.get_int("maxscanlength", 1000)
+        if distribution == "uniform":
+            return UniformLongGenerator(1, max_length, rng=self._shared_rng)
+        if distribution == "zipfian":
+            return ZipfianGenerator(1, max_length, rng=self._shared_rng)
+        raise WorkloadError(f"unknown scanlengthdistribution {distribution!r}")
+
+    def _build_operation_chooser(self) -> DiscreteGenerator:
+        p = self.properties
+        chooser: DiscreteGenerator = DiscreteGenerator(rng=self._shared_rng)
+        proportions = {
+            "READ": p.get_float("readproportion", 0.95),
+            "UPDATE": p.get_float("updateproportion", 0.05),
+            "INSERT": p.get_float("insertproportion", 0.0),
+            "SCAN": p.get_float("scanproportion", 0.0),
+            "READMODIFYWRITE": p.get_float("readmodifywriteproportion", 0.0),
+            "DELETE": p.get_float("deleteproportion", 0.0),
+        }
+        total = sum(proportions.values())
+        if total <= 0:
+            raise WorkloadError("operation proportions sum to zero")
+        for name, weight in proportions.items():
+            if weight > 0:
+                chooser.add_value(weight, name)
+        return chooser
+
+    # -- key/value helpers ------------------------------------------------------------------
+
+    def build_key_name(self, key_number: int) -> str:
+        return self.key_names.build_key(key_number)
+
+    def _build_value(self, rng: random.Random, field_name: str) -> str:
+        length = max(1, self.field_length_generator.next_value())
+        return "".join(rng.choice(_FIELD_CHARS) for _ in range(length))
+
+    def build_values(self, rng: random.Random) -> dict[str, str]:
+        """A full record's worth of generated field values."""
+        return {name: self._build_value(rng, name) for name in self.field_names}
+
+    def build_update(self, rng: random.Random) -> dict[str, str]:
+        """Field values for an update (one field unless writeallfields)."""
+        if self.write_all_fields:
+            return self.build_values(rng)
+        name = rng.choice(self.field_names)
+        return {name: self._build_value(rng, name)}
+
+    def _read_fields(self, rng: random.Random) -> set[str] | None:
+        if self.read_all_fields:
+            return None
+        return {rng.choice(self.field_names)}
+
+    def next_key_number(self) -> int:
+        """A key number guaranteed to reference an existing record."""
+        limit = self.transaction_insert_sequence.last_value()
+        while True:
+            key_number = self.key_chooser.next_value()
+            if key_number <= limit:
+                return key_number
+
+    # -- load phase -------------------------------------------------------------------------
+
+    def do_insert(self, db: DB, thread_state: Any) -> bool:
+        rng: random.Random = thread_state
+        key_number = self.key_sequence.next_value()
+        key = self.build_key_name(key_number)
+        values = self.build_values(rng)
+        return db.insert(self.table, key, values).ok
+
+    def do_batch_insert(self, db: DB, thread_state: Any, count: int) -> int:
+        rng: random.Random = thread_state
+        records = []
+        for _ in range(count):
+            key_number = self.key_sequence.next_value()
+            records.append((self.build_key_name(key_number), self.build_values(rng)))
+        return len(records) if db.batch_insert(self.table, records).ok else 0
+
+    # -- transaction phase ---------------------------------------------------------------------
+
+    def do_transaction(self, db: DB, thread_state: Any) -> str | None:
+        operation = self.operation_chooser.next_value()
+        handler = getattr(self, f"_txn_{operation.lower()}")
+        ok = handler(db, thread_state)
+        return operation if ok else None
+
+    def _txn_read(self, db: DB, rng: random.Random) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        result, _ = db.read(self.table, key, self._read_fields(rng))
+        return result.ok
+
+    def _txn_update(self, db: DB, rng: random.Random) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        return db.update(self.table, key, self.build_update(rng)).ok
+
+    def _txn_insert(self, db: DB, rng: random.Random) -> bool:
+        key_number = self.transaction_insert_sequence.next_value()
+        key = self.build_key_name(key_number)
+        ok = db.insert(self.table, key, self.build_values(rng)).ok
+        # Acknowledge even on failure so the contiguous frontier advances
+        # and readers do not stall behind a permanently missing insert.
+        self.transaction_insert_sequence.acknowledge(key_number)
+        return ok
+
+    def _txn_scan(self, db: DB, rng: random.Random) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        length = self.scan_length_generator.next_value()
+        result, _ = db.scan(self.table, key, length, self._read_fields(rng))
+        return result.ok
+
+    def _txn_readmodifywrite(self, db: DB, rng: random.Random) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        watch = StopWatch()
+        result, _ = db.read(self.table, key, self._read_fields(rng))
+        if not result.ok:
+            return False
+        ok = db.update(self.table, key, self.build_update(rng)).ok
+        if self.measurements is not None:
+            self.measurements.measure("READ-MODIFY-WRITE", watch.elapsed_us())
+            self.measurements.report_status("READ-MODIFY-WRITE", "OK" if ok else "ERROR")
+        return ok
+
+    def _txn_delete(self, db: DB, rng: random.Random) -> bool:
+        key = self.build_key_name(self.next_key_number())
+        return db.delete(self.table, key).ok

@@ -1,0 +1,251 @@
+"""The YCSB+T ``DB`` client abstraction.
+
+:class:`DB` is the interface every data-store binding implements — the
+five CRUD/scan operations of YCSB plus the three transactional methods
+YCSB+T adds (§IV-A):
+
+* :meth:`DB.start`, :meth:`DB.commit`, :meth:`DB.abort` are **no-ops by
+  default**, which is what makes YCSB+T backward compatible: a workload
+  written for plain YCSB runs unmodified, and a non-transactional binding
+  measured under YCSB+T simply records near-zero latencies for them
+  (Listing 3 shows ~0.08 µs for START/COMMIT on the raw store).
+
+:class:`MeasuredDB` is the wrapper the client threads actually talk to:
+it times every call and records it twice — once under the raw operation
+name (``READ``), and once under ``TX-`` prefixed name when the call
+happens inside a transaction (``TX-READ``) — which is precisely the data
+Tier 5 (*transactional overhead*) needs.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Mapping
+
+from ..measurements.registry import Measurements, StopWatch
+from . import status as st
+from .properties import Properties
+from .status import Status
+
+__all__ = ["DB", "MeasuredDB", "create_db"]
+
+
+class DB:
+    """Base class for database bindings.
+
+    Lifecycle: ``init()`` once per client thread, then operations, then
+    ``cleanup()``.  All operations return a :class:`Status`; reads also
+    return their data.  ``table`` is carried through for YCSB
+    compatibility — most key-value bindings fold it into the key space.
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        self.properties = properties or Properties()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def init(self) -> None:
+        """Per-thread initialisation (connections, caches)."""
+
+    def cleanup(self) -> None:
+        """Per-thread teardown."""
+
+    # -- CRUD + scan -------------------------------------------------------------
+
+    def read(
+        self, table: str, key: str, fields: set[str] | None = None
+    ) -> tuple[Status, dict[str, str] | None]:
+        """Read one record; ``fields=None`` means all fields."""
+        return st.NOT_IMPLEMENTED, None
+
+    def scan(
+        self,
+        table: str,
+        start_key: str,
+        record_count: int,
+        fields: set[str] | None = None,
+    ) -> tuple[Status, list[tuple[str, dict[str, str]]]]:
+        """Read ``record_count`` records from ``start_key`` onward."""
+        return st.NOT_IMPLEMENTED, []
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        """Update (merge) fields of an existing record."""
+        return st.NOT_IMPLEMENTED
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        """Insert a new record."""
+        return st.NOT_IMPLEMENTED
+
+    def delete(self, table: str, key: str) -> Status:
+        """Delete a record."""
+        return st.NOT_IMPLEMENTED
+
+    def batch_insert(
+        self, table: str, records: list[tuple[str, Mapping[str, str]]]
+    ) -> Status:
+        """Insert several records in one call (YCSB++-style bulk loading).
+
+        Default: loop over :meth:`insert`, returning the first failure.
+        Bindings with a cheaper bulk path (one WAL flush, one transaction,
+        one HTTP request) override this.
+        """
+        for key, values in records:
+            result = self.insert(table, key, values)
+            if not result.ok:
+                return result
+        return st.OK
+
+    # -- YCSB+T transactional extension (no-op defaults) ---------------------------
+
+    def start(self) -> Status:
+        """Begin a transaction.  Default: no-op (backward compatible)."""
+        return st.OK
+
+    def commit(self) -> Status:
+        """Commit the current transaction.  Default: no-op."""
+        return st.OK
+
+    def abort(self) -> Status:
+        """Abort the current transaction.  Default: no-op."""
+        return st.OK
+
+
+class MeasuredDB(DB):
+    """Times every operation of an inner DB (YCSB's ``DBWrapper`` role).
+
+    Each call is recorded under its operation name; while a transaction is
+    open (between ``start`` and ``commit``/``abort``) the sample is also
+    recorded under ``TX-<NAME>``, giving Tier 5 its inside/outside pairs.
+    """
+
+    def __init__(self, inner: DB, measurements: Measurements):
+        super().__init__(inner.properties)
+        self._inner = inner
+        self._measurements = measurements
+        self._in_transaction = False
+
+    @property
+    def inner(self) -> DB:
+        return self._inner
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def init(self) -> None:
+        self._inner.init()
+
+    def cleanup(self) -> None:
+        self._inner.cleanup()
+
+    def _record(self, operation: str, latency_us: int, result: Status) -> None:
+        measurements = self._measurements
+        measurements.measure(operation, latency_us)
+        measurements.report_status(operation, result.name)
+        if self._in_transaction:
+            measurements.measure(f"TX-{operation}", latency_us)
+            measurements.report_status(f"TX-{operation}", result.name)
+
+    # -- measured operations ---------------------------------------------------------
+
+    def read(
+        self, table: str, key: str, fields: set[str] | None = None
+    ) -> tuple[Status, dict[str, str] | None]:
+        watch = StopWatch()
+        result, data = self._inner.read(table, key, fields)
+        self._record("READ", watch.elapsed_us(), result)
+        return result, data
+
+    def scan(
+        self,
+        table: str,
+        start_key: str,
+        record_count: int,
+        fields: set[str] | None = None,
+    ) -> tuple[Status, list[tuple[str, dict[str, str]]]]:
+        watch = StopWatch()
+        result, data = self._inner.scan(table, start_key, record_count, fields)
+        self._record("SCAN", watch.elapsed_us(), result)
+        return result, data
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        watch = StopWatch()
+        result = self._inner.update(table, key, values)
+        self._record("UPDATE", watch.elapsed_us(), result)
+        return result
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        watch = StopWatch()
+        result = self._inner.insert(table, key, values)
+        self._record("INSERT", watch.elapsed_us(), result)
+        return result
+
+    def delete(self, table: str, key: str) -> Status:
+        watch = StopWatch()
+        result = self._inner.delete(table, key)
+        self._record("DELETE", watch.elapsed_us(), result)
+        return result
+
+    def batch_insert(
+        self, table: str, records: list[tuple[str, Mapping[str, str]]]
+    ) -> Status:
+        watch = StopWatch()
+        result = self._inner.batch_insert(table, records)
+        self._record("BATCH-INSERT", watch.elapsed_us(), result)
+        return result
+
+    # -- measured transaction boundaries -------------------------------------------------
+
+    def start(self) -> Status:
+        watch = StopWatch()
+        result = self._inner.start()
+        self._measurements.measure("START", watch.elapsed_us())
+        self._measurements.report_status("START", result.name)
+        if result.ok:
+            self._in_transaction = True
+        return result
+
+    def commit(self) -> Status:
+        watch = StopWatch()
+        result = self._inner.commit()
+        self._measurements.measure("COMMIT", watch.elapsed_us())
+        self._measurements.report_status("COMMIT", result.name)
+        self._in_transaction = False
+        return result
+
+    def abort(self) -> Status:
+        watch = StopWatch()
+        result = self._inner.abort()
+        self._measurements.measure("ABORT", watch.elapsed_us())
+        self._measurements.report_status("ABORT", result.name)
+        self._in_transaction = False
+        return result
+
+
+def create_db(class_path: str, properties: Properties | None = None) -> DB:
+    """Instantiate a DB binding from a dotted class path or short alias.
+
+    ``create_db("repro.bindings.MemoryDB")`` imports and constructs the
+    class; short aliases (``memory``, ``basic``, ``lsm``, ``cloud``,
+    ``raw_http``, ``txn``) resolve through :mod:`repro.bindings`.
+    """
+    from .. import bindings
+
+    alias = bindings.ALIASES.get(class_path.lower())
+    if alias is not None:
+        return alias(properties or Properties())
+    module_name, _, class_name = class_path.rpartition(".")
+    if not module_name:
+        raise ValueError(
+            f"unknown DB binding {class_path!r}; use a dotted class path or one of "
+            f"{sorted(bindings.ALIASES)}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        db_class = getattr(module, class_name)
+    except AttributeError:
+        raise ValueError(f"module {module_name!r} has no class {class_name!r}") from None
+    instance = db_class(properties or Properties())
+    if not isinstance(instance, DB):
+        raise TypeError(f"{class_path} is not a DB binding")
+    return instance

@@ -1,0 +1,181 @@
+"""Workload property files.
+
+YCSB configures workloads through Java-style ``key=value`` property files
+(Listing 2 of the paper shows the Closed Economy Workload file).  This module
+implements a compatible reader plus a typed accessor object used throughout
+the framework.
+
+The grammar intentionally mirrors ``java.util.Properties`` for the subset
+YCSB uses:
+
+* one ``key=value`` or ``key: value`` pair per line,
+* ``#`` and ``!`` start comment lines,
+* surrounding whitespace around key and value is stripped,
+* a trailing backslash continues the logical line,
+* later assignments override earlier ones.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator, Mapping
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Properties", "parse_properties", "load_properties"]
+
+_COMMENT_PREFIXES = ("#", "!")
+_TRUE_WORDS = frozenset({"true", "yes", "on", "1"})
+_FALSE_WORDS = frozenset({"false", "no", "off", "0"})
+
+
+def _logical_lines(raw_lines: Iterable[str]) -> Iterator[str]:
+    """Join physical lines that end with a continuation backslash."""
+    pending = ""
+    for raw in raw_lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if pending:
+            line = pending + line.lstrip()
+            pending = ""
+        stripped = line.strip()
+        if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+            continue
+        if line.endswith("\\") and not line.endswith("\\\\"):
+            pending = line[:-1]
+            continue
+        yield line
+    if pending:
+        yield pending
+
+
+def _split_pair(line: str) -> tuple[str, str]:
+    """Split a logical line into key and value.
+
+    The first unescaped ``=`` or ``:`` terminates the key; if neither is
+    present the whole line is a key with an empty value (matching
+    ``java.util.Properties``).
+    """
+    for index, char in enumerate(line):
+        if char in "=:":
+            return line[:index].strip(), line[index + 1 :].strip()
+    return line.strip(), ""
+
+
+def parse_properties(text: str) -> dict[str, str]:
+    """Parse property-file ``text`` into an ordered ``dict``."""
+    pairs: dict[str, str] = {}
+    for line in _logical_lines(io.StringIO(text)):
+        key, value = _split_pair(line)
+        if key:
+            pairs[key] = value
+    return pairs
+
+
+def load_properties(path: str | Path) -> "Properties":
+    """Read a property file from ``path``."""
+    text = Path(path).read_text(encoding="utf-8")
+    return Properties(parse_properties(text))
+
+
+class Properties:
+    """Typed access to a flat string-to-string configuration map.
+
+    All getters take a default; a property that is present but cannot be
+    converted raises ``ValueError`` naming the key, so misconfigured
+    workload files fail loudly rather than silently falling back.
+    """
+
+    def __init__(self, values: Mapping[str, str] | None = None):
+        self._values: dict[str, str] = dict(values or {})
+
+    # -- mapping-ish surface -------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Properties):
+            return self._values == other._values
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Properties({self._values!r})"
+
+    def as_dict(self) -> dict[str, str]:
+        """A copy of the underlying string map."""
+        return dict(self._values)
+
+    def set(self, key: str, value: Any) -> None:
+        """Set ``key`` to ``str(value)``."""
+        self._values[key] = str(value)
+
+    def update(self, other: Mapping[str, str] | "Properties") -> None:
+        """Merge ``other`` into this object, overriding existing keys."""
+        if isinstance(other, Properties):
+            self._values.update(other._values)
+        else:
+            self._values.update(other)
+
+    def merged(self, other: Mapping[str, str] | "Properties") -> "Properties":
+        """A new ``Properties`` equal to self overridden by ``other``."""
+        result = Properties(self._values)
+        result.update(other)
+        return result
+
+    # -- typed getters -------------------------------------------------------
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        """Raw string value of ``key``, or ``default``."""
+        return self._values.get(key, default)
+
+    def get_str(self, key: str, default: str = "") -> str:
+        return self._values.get(key, default)
+
+    def get_int(self, key: str, default: int = 0) -> int:
+        raw = self._values.get(key)
+        if raw is None or raw == "":
+            return default
+        try:
+            return int(raw, 10)
+        except ValueError as exc:
+            raise ValueError(f"property {key!r}={raw!r} is not an integer") from exc
+
+    def get_float(self, key: str, default: float = 0.0) -> float:
+        raw = self._values.get(key)
+        if raw is None or raw == "":
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ValueError(f"property {key!r}={raw!r} is not a number") from exc
+
+    def get_bool(self, key: str, default: bool = False) -> bool:
+        raw = self._values.get(key)
+        if raw is None or raw == "":
+            return default
+        lowered = raw.strip().lower()
+        if lowered in _TRUE_WORDS:
+            return True
+        if lowered in _FALSE_WORDS:
+            return False
+        raise ValueError(f"property {key!r}={raw!r} is not a boolean")
+
+    def get_list(self, key: str, default: list[str] | None = None, sep: str = ",") -> list[str]:
+        """Value of ``key`` split on ``sep`` with items stripped."""
+        raw = self._values.get(key)
+        if raw is None or raw == "":
+            return list(default or [])
+        return [item.strip() for item in raw.split(sep) if item.strip()]
+
+    def require(self, key: str) -> str:
+        """Value of ``key``; raises ``KeyError`` with guidance if missing."""
+        try:
+            return self._values[key]
+        except KeyError:
+            raise KeyError(f"required workload property {key!r} is not set") from None

@@ -1,0 +1,104 @@
+"""Operation status codes for the YCSB+T ``DB`` interface.
+
+YCSB reports per-operation return codes in its measurement output (the
+``Return=0`` lines of Listing 3 in the paper).  This module defines a small
+value type, :class:`Status`, plus the canonical set of codes used by the
+framework.  A status carries an integer ``code`` (0 means success, mirroring
+YCSB's convention) and a short human-readable ``name``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """Outcome of a single database operation.
+
+    Attributes:
+        code: Integer return code.  ``0`` is success; anything else is a
+            failure whose meaning is given by ``name``.
+        name: Short identifier such as ``"OK"`` or ``"NOT_FOUND"``.
+        message: Optional detail for error diagnosis; never used for
+            control flow.
+    """
+
+    code: int
+    name: str
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the operation succeeded."""
+        return self.code == 0
+
+    def is_retryable(self) -> bool:
+        """True for transient failures the client may retry.
+
+        Conflicts, timeouts and rate limiting are retryable; logical errors
+        such as ``NOT_FOUND`` or ``BAD_REQUEST`` are not.
+        """
+        return self.name in _RETRYABLE
+
+    def with_message(self, message: str) -> "Status":
+        """Return a copy of this status carrying ``message``."""
+        return Status(self.code, self.name, message)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.message:
+            return f"{self.name}({self.code}): {self.message}"
+        return f"{self.name}({self.code})"
+
+
+#: Operation completed successfully.
+OK = Status(0, "OK")
+#: Generic failure.
+ERROR = Status(1, "ERROR")
+#: The requested key does not exist.
+NOT_FOUND = Status(2, "NOT_FOUND")
+#: A write-write or read-write conflict was detected (transactional mode).
+CONFLICT = Status(3, "CONFLICT")
+#: The operation exceeded its deadline.
+TIMEOUT = Status(4, "TIMEOUT")
+#: The store rejected the request because of throttling / rate limits.
+RATE_LIMITED = Status(5, "RATE_LIMITED")
+#: A conditional operation failed its precondition (e.g. ETag mismatch).
+PRECONDITION_FAILED = Status(6, "PRECONDITION_FAILED")
+#: The request was malformed.
+BAD_REQUEST = Status(7, "BAD_REQUEST")
+#: The operation is not implemented by this DB binding.
+NOT_IMPLEMENTED = Status(8, "NOT_IMPLEMENTED")
+#: The enclosing transaction was aborted.
+ABORTED = Status(9, "ABORTED")
+#: The service is temporarily unavailable (simulated outage, replica lag).
+UNAVAILABLE = Status(10, "UNAVAILABLE")
+
+_RETRYABLE = frozenset({"CONFLICT", "TIMEOUT", "RATE_LIMITED", "UNAVAILABLE", "ABORTED"})
+
+#: All canonical statuses, keyed by name.  Used by exporters and tests.
+ALL_STATUSES = {
+    status.name: status
+    for status in (
+        OK,
+        ERROR,
+        NOT_FOUND,
+        CONFLICT,
+        TIMEOUT,
+        RATE_LIMITED,
+        PRECONDITION_FAILED,
+        BAD_REQUEST,
+        NOT_IMPLEMENTED,
+        ABORTED,
+        UNAVAILABLE,
+    )
+}
+
+
+def from_name(name: str) -> Status:
+    """Look up a canonical status by ``name``.
+
+    Raises:
+        KeyError: if ``name`` is not a canonical status name.
+    """
+    return ALL_STATUSES[name]

@@ -1,0 +1,39 @@
+"""Client-side target-throughput throttling.
+
+YCSB's ``-target`` flag caps the aggregate request rate; each client
+thread paces itself to ``target / threads`` operations per second.  The
+pacer sleeps off any accumulated time credit after each operation, which
+(unlike fixed inter-arrival sleeping) lets a thread catch up after a slow
+operation rather than drifting permanently below target.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Throttle"]
+
+
+class Throttle:
+    """Paces one thread at ``ops_per_second`` operations per second."""
+
+    def __init__(self, ops_per_second: float, clock=time.monotonic, sleep=time.sleep):
+        if ops_per_second <= 0:
+            raise ValueError(f"ops_per_second must be positive, got {ops_per_second}")
+        self._interval = 1.0 / ops_per_second
+        self._clock = clock
+        self._sleep = sleep
+        self._started_at: float | None = None
+        self._operations = 0
+
+    def wait_for_turn(self) -> None:
+        """Block until the next operation is due, then account for it."""
+        now = self._clock()
+        if self._started_at is None:
+            self._started_at = now
+            self._operations += 1
+            return
+        due_at = self._started_at + self._operations * self._interval
+        if due_at > now:
+            self._sleep(due_at - now)
+        self._operations += 1

@@ -1,0 +1,143 @@
+"""The ``Workload`` abstraction and the YCSB+T validation stage.
+
+A workload owns every decision about *what* the benchmark does — which
+keys, which operations, which values — while the client (executor) owns
+threading, transaction wrapping and measurement.  YCSB+T adds one method
+to YCSB's Workload: :meth:`Workload.validate`, a no-op by default, which
+runs after the load or transaction phase and may inspect the whole
+database to detect and quantify consistency anomalies (Tier 6).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..measurements.registry import Measurements
+from .db import DB
+from .properties import Properties
+
+__all__ = ["ValidationResult", "Workload", "WorkloadError"]
+
+
+class WorkloadError(Exception):
+    """A workload could not be configured or executed."""
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of the validation stage (§IV-B).
+
+    Attributes:
+        passed: True when the database satisfied the workload's invariant.
+        fields: ordered report sections, rendered as ``[SECTION], value``
+            lines before the overall block (as in Listing 3).
+        anomaly_score: the workload-defined inconsistency metric; for CEW
+            this is the simple anomaly score gamma of §IV-C.
+    """
+
+    passed: bool
+    fields: list[tuple[str, Any]] = field(default_factory=list)
+    anomaly_score: float | None = None
+
+
+class Workload:
+    """Base workload: defines the load phase, transaction phase, and
+    validation stage.
+
+    Subclasses override :meth:`do_insert` and :meth:`do_transaction`
+    (whose return value is the executed operation's name, used by the
+    client to record the transactional ``TX-<OP>`` series), and may
+    override :meth:`validate`.
+    """
+
+    def __init__(self) -> None:
+        self.properties = Properties()
+        self.measurements: Measurements | None = None
+        self._stop_requested = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def init(self, properties: Properties, measurements: Measurements | None = None) -> None:
+        """One-time setup before any thread starts.
+
+        Subclasses must call ``super().init(...)`` first.
+        """
+        self.properties = properties
+        self.measurements = measurements
+
+    def init_thread(self, thread_id: int, thread_count: int) -> Any:
+        """Build per-thread state (e.g. a seeded RNG).
+
+        The returned object is passed back to every ``do_*`` call made by
+        that thread.  Default: an independently seeded ``random.Random``.
+        """
+        seed = self.properties.get("seed")
+        if seed is None:
+            return random.Random()
+        return random.Random(int(seed) * 1_000_003 + thread_id)
+
+    def cleanup(self) -> None:
+        """One-time teardown after all threads finished."""
+
+    def request_stop(self) -> None:
+        """Ask long-running loops to wind down (cooperative)."""
+        self._stop_requested.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested.is_set()
+
+    # -- phases -------------------------------------------------------------------------
+
+    def do_insert(self, db: DB, thread_state: Any) -> bool:
+        """Insert one record (load phase).  True on success."""
+        raise NotImplementedError
+
+    def do_batch_insert(self, db: DB, thread_state: Any, count: int) -> int:
+        """Insert up to ``count`` records in one call (bulk loading).
+
+        Returns the number of records successfully inserted.  Default:
+        loop over :meth:`do_insert`; workloads that can pre-build their
+        records override this to use :meth:`DB.batch_insert`.
+        """
+        inserted = 0
+        for _ in range(count):
+            if self.do_insert(db, thread_state):
+                inserted += 1
+        return inserted
+
+    def do_transaction(self, db: DB, thread_state: Any) -> str | None:
+        """Execute one operation of the transaction phase.
+
+        Returns the operation's name (``"READ"``, ``"READMODIFYWRITE"``,
+        ...) on success, or None on failure — the client aborts the
+        surrounding transaction when it sees None.
+        """
+        raise NotImplementedError
+
+    def finish_transaction(
+        self, db: DB, thread_state: Any, operation: str | None, committed: bool
+    ) -> None:
+        """Called by the client after the wrapping transaction finishes.
+
+        ``committed`` reports the final outcome (False covers both an
+        operation failure and a commit-time conflict).  Workloads that
+        keep side state correlated with database effects — CEW's escrow —
+        reconcile it here, because only now is the outcome known.
+        Default: no-op.
+        """
+
+    # -- YCSB+T validation stage -----------------------------------------------------------
+
+    def validate(self, db: DB) -> ValidationResult | None:
+        """Check database consistency after a phase completes.
+
+        Default is a no-op returning None (backward compatible with
+        workloads written for plain YCSB).  Implementations should read
+        through ``db`` so validation exercises the same client path the
+        benchmark used.
+        """
+        return None

@@ -1,0 +1,48 @@
+"""Request, key and value distributions used by YCSB+T workloads.
+
+Everything a workload randomises flows through one of these generator
+classes, so a seeded ``random.Random`` threaded through them makes an
+entire benchmark run reproducible.
+"""
+
+from .base import ConstantGenerator, Generator, NumberGenerator, default_rng, locked_random
+from .counter import AcknowledgedCounterGenerator, CounterGenerator
+from .discrete import DiscreteGenerator
+from .exponential import ExponentialGenerator
+from .hashing import fnv1_64, fnv1a_64
+from .histogram import HistogramGenerator
+from .hotspot import HotspotIntegerGenerator
+from .sequential import SequentialGenerator
+from .strings import KeyNameGenerator, RandomStringGenerator
+from .uniform import UniformChoiceGenerator, UniformLongGenerator
+from .zipfian import (
+    ZIPFIAN_CONSTANT,
+    ScrambledZipfianGenerator,
+    SkewedLatestGenerator,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "ConstantGenerator",
+    "Generator",
+    "NumberGenerator",
+    "default_rng",
+    "locked_random",
+    "AcknowledgedCounterGenerator",
+    "CounterGenerator",
+    "DiscreteGenerator",
+    "ExponentialGenerator",
+    "fnv1_64",
+    "fnv1a_64",
+    "HistogramGenerator",
+    "HotspotIntegerGenerator",
+    "SequentialGenerator",
+    "KeyNameGenerator",
+    "RandomStringGenerator",
+    "UniformChoiceGenerator",
+    "UniformLongGenerator",
+    "ZIPFIAN_CONSTANT",
+    "ScrambledZipfianGenerator",
+    "SkewedLatestGenerator",
+    "ZipfianGenerator",
+]

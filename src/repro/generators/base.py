@@ -1,0 +1,135 @@
+"""Generator base classes.
+
+YCSB drives every random choice — which key to touch, which operation to
+perform, how long a scan should be — through small *generator* objects.
+Re-implementing that design keeps workloads declarative: a workload is a
+bundle of generators plus a little glue.
+
+Two abstract flavours exist, mirroring YCSB:
+
+* :class:`Generator` produces arbitrary values (e.g. operation names).
+* :class:`NumberGenerator` produces numbers and can report an expected
+  ``mean()`` where that is well defined, which workloads use for sizing.
+
+All concrete generators accept an optional ``rng`` (a ``random.Random``)
+so experiments are reproducible; when omitted a private module-level
+instance seeded from the OS is used.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from abc import ABC, abstractmethod
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "Generator",
+    "NumberGenerator",
+    "ConstantGenerator",
+    "default_rng",
+    "locked_random",
+]
+
+_shared_rng = random.Random()
+_shared_rng_lock = threading.Lock()
+
+
+class _LockedRandom(random.Random):
+    """A ``random.Random`` whose core sampler is guarded by a lock.
+
+    The default shared generator may be pulled from several client threads;
+    CPython's ``random`` is not documented as thread-safe, so the fallback
+    wraps ``random()`` and ``getrandbits`` in a mutex.  Workloads that care
+    about throughput pass per-thread instances instead.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def random(self) -> float:  # noqa: A003 - mirrors stdlib name
+        with self._lock:
+            return super().random()
+
+    def getrandbits(self, k: int) -> int:
+        with self._lock:
+            return super().getrandbits(k)
+
+
+_default = _LockedRandom()
+
+
+def default_rng() -> random.Random:
+    """The process-wide fallback RNG used when none is supplied."""
+    return _default
+
+
+def locked_random(seed: int | None = None) -> random.Random:
+    """A new thread-safe ``random.Random``, optionally seeded.
+
+    Workloads share generators across client threads; giving those
+    generators a locked RNG keeps a seeded benchmark run reproducible in
+    aggregate (the multiset of drawn values) without per-thread plumbing.
+    """
+    rng = _LockedRandom()
+    if seed is not None:
+        rng.seed(seed)
+    return rng
+
+
+class Generator(ABC, Generic[T]):
+    """Produces a sequence of values of type ``T``.
+
+    Subclasses implement :meth:`next_value`; :meth:`last_value` returns the
+    most recently generated value without advancing, which YCSB workloads
+    use to correlate choices (e.g. insert a key, then immediately read it).
+    """
+
+    def __init__(self) -> None:
+        self._last: T | None = None
+
+    @abstractmethod
+    def next_value(self) -> T:
+        """Generate and return the next value."""
+
+    def last_value(self) -> T:
+        """The most recent value from :meth:`next_value`.
+
+        Generates one first if the sequence has not started yet.
+        """
+        if self._last is None:
+            self._last = self.next_value()
+        return self._last
+
+    def _remember(self, value: T) -> T:
+        self._last = value
+        return value
+
+
+class NumberGenerator(Generator[int], ABC):
+    """A generator of integers with an (optional) analytic mean."""
+
+    def mean(self) -> float:
+        """Expected value of the distribution.
+
+        Raises:
+            NotImplementedError: for distributions without a useful
+                closed-form mean (e.g. Zipfian over a mutating key space).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a mean()"
+        )
+
+
+class ConstantGenerator(Generator[T]):
+    """Always returns the same value. Useful as a degenerate parameter."""
+
+    def __init__(self, value: T):
+        super().__init__()
+        self._value = value
+
+    def next_value(self) -> T:
+        return self._remember(self._value)

@@ -1,0 +1,74 @@
+"""Counter generators.
+
+The load phase of YCSB inserts keys ``insertstart .. insertstart+insertcount``
+using a shared, thread-safe counter.  The transaction phase additionally
+needs to know which inserted keys are *safe to read* when inserts run
+concurrently with reads; YCSB solves that with an *acknowledged* counter
+that tracks the highest contiguous acknowledged insert.  Both are
+implemented here.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from .base import NumberGenerator
+
+__all__ = ["CounterGenerator", "AcknowledgedCounterGenerator"]
+
+
+class CounterGenerator(NumberGenerator):
+    """Generates ``start, start+1, start+2, ...`` atomically across threads."""
+
+    def __init__(self, start: int = 0):
+        super().__init__()
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+        self._start = start
+        self._last_issued = start - 1
+
+    def next_value(self) -> int:
+        with self._lock:
+            value = next(self._counter)
+            self._last_issued = value
+        return self._remember(value)
+
+    def last_value(self) -> int:
+        """Most recently issued value (``start - 1`` before any call)."""
+        with self._lock:
+            return self._last_issued
+
+    def mean(self) -> float:
+        raise NotImplementedError("CounterGenerator has no stationary mean")
+
+
+class AcknowledgedCounterGenerator(CounterGenerator):
+    """A counter whose consumers acknowledge completed values.
+
+    ``last_value()`` returns the *limit* of the contiguous acknowledged
+    prefix rather than the last issued value, so concurrent readers never
+    pick a key whose insert has not finished.  This mirrors YCSB's
+    ``AcknowledgedCounterGenerator`` (there implemented with a sliding
+    bitmap window; a sorted pending-set is simpler and equivalent here).
+    """
+
+    def __init__(self, start: int = 0):
+        super().__init__(start)
+        self._ack_lock = threading.Lock()
+        self._limit = start - 1
+        self._pending: set[int] = set()
+
+    def acknowledge(self, value: int) -> None:
+        """Mark ``value`` as durably inserted."""
+        with self._ack_lock:
+            self._pending.add(value)
+            # Advance the contiguous frontier as far as possible.
+            while self._limit + 1 in self._pending:
+                self._pending.remove(self._limit + 1)
+                self._limit += 1
+
+    def last_value(self) -> int:
+        """Highest value such that it and everything below is acknowledged."""
+        with self._ack_lock:
+            return self._limit

@@ -1,0 +1,49 @@
+"""Weighted discrete choice — used to pick the next operation type.
+
+The operation mix of a workload (``readproportion=0.9`` etc. in Listing 2)
+is realised as a :class:`DiscreteGenerator` over operation names.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TypeVar
+
+from .base import Generator, default_rng
+
+T = TypeVar("T")
+
+__all__ = ["DiscreteGenerator"]
+
+
+class DiscreteGenerator(Generator[T]):
+    """Returns values with probability proportional to their weight."""
+
+    def __init__(self, rng: random.Random | None = None):
+        super().__init__()
+        self._values: list[tuple[float, T]] = []
+        self._total = 0.0
+        self._rng = rng or default_rng()
+
+    def add_value(self, weight: float, value: T) -> None:
+        """Register ``value`` with relative ``weight`` (must be positive)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight} for {value!r}")
+        self._values.append((weight, value))
+        self._total += weight
+
+    def weights(self) -> dict[T, float]:
+        """Normalised probability of each registered value."""
+        return {value: weight / self._total for weight, value in self._values}
+
+    def next_value(self) -> T:
+        if not self._values:
+            raise RuntimeError("DiscreteGenerator has no values registered")
+        threshold = self._rng.random() * self._total
+        cumulative = 0.0
+        for weight, value in self._values:
+            cumulative += weight
+            if threshold < cumulative:
+                return self._remember(value)
+        # Floating-point slack: fall back to the final value.
+        return self._remember(self._values[-1][1])

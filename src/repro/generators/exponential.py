@@ -1,0 +1,59 @@
+"""Exponential distribution generator (YCSB's ``exponential`` request mix)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .base import NumberGenerator, default_rng
+
+__all__ = ["ExponentialGenerator"]
+
+
+class ExponentialGenerator(NumberGenerator):
+    """Exponentially distributed non-negative integers.
+
+    YCSB parameterises this either by ``mean`` (gamma = 1/mean) or by the
+    pair (*percentile*, *range*): e.g. "95 % of requests fall in the first
+    10 % of the key space".  Both constructors are supported.
+    """
+
+    def __init__(self, gamma: float, rng: random.Random | None = None):
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        super().__init__()
+        self._gamma = gamma
+        self._rng = rng or default_rng()
+
+    @classmethod
+    def from_mean(cls, mean: float, rng: random.Random | None = None) -> "ExponentialGenerator":
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(1.0 / mean, rng=rng)
+
+    @classmethod
+    def from_percentile(
+        cls, percentile: float, coverage: float, rng: random.Random | None = None
+    ) -> "ExponentialGenerator":
+        """``percentile`` per cent of samples fall below ``coverage``.
+
+        Matches YCSB's ``exponential.percentile`` / ``exponential.frac``
+        configuration (percentile given in percent, e.g. 95).
+        """
+        if not 0.0 < percentile < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        if coverage <= 0:
+            raise ValueError("coverage must be positive")
+        gamma = -math.log(1.0 - percentile / 100.0) / coverage
+        return cls(gamma, rng=rng)
+
+    @property
+    def gamma(self) -> float:
+        return self._gamma
+
+    def next_value(self) -> int:
+        u = self._rng.random()
+        return self._remember(int(-math.log(1.0 - u) / self._gamma))
+
+    def mean(self) -> float:
+        return 1.0 / self._gamma

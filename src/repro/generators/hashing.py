@@ -1,0 +1,39 @@
+"""Hash helpers used to decorrelate generated key sequences.
+
+YCSB scrambles Zipfian-popular item indices across the key space with a
+64-bit FNV-1 hash so that the hottest keys are not physically adjacent.
+The same function is reused to turn integer key numbers into stable,
+uniformly spread record keys.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fnv1_64", "fnv1a_64"]
+
+_FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
+_FNV_PRIME_64 = 0x100000001B3
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1_64(value: int) -> int:
+    """64-bit FNV-1 hash of an integer, matching YCSB's ``Utils.FNVhash64``.
+
+    The integer is consumed one byte at a time (little-endian order, eight
+    bytes) and the result is folded to a non-negative value.
+    """
+    hashval = _FNV_OFFSET_BASIS_64
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        hashval = hashval ^ octet
+        hashval = (hashval * _FNV_PRIME_64) & _MASK_64
+    return hashval & 0x7FFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of a byte string (used for shard placement)."""
+    hashval = _FNV_OFFSET_BASIS_64
+    for octet in data:
+        hashval = hashval ^ octet
+        hashval = (hashval * _FNV_PRIME_64) & _MASK_64
+    return hashval

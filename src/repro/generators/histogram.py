@@ -1,0 +1,83 @@
+"""Histogram-shaped generator.
+
+YCSB sizes scans and field lengths either with an analytic distribution or
+with an empirical histogram (``fieldlengthhistogram`` files: one bucket per
+line, ``value, weight``).  This generator reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from pathlib import Path
+
+from .base import NumberGenerator, default_rng
+
+__all__ = ["HistogramGenerator"]
+
+
+class HistogramGenerator(NumberGenerator):
+    """Draws bucket indices with probability proportional to bucket weight.
+
+    ``buckets[i]`` is the weight of value ``i * block_size``.
+    """
+
+    def __init__(
+        self,
+        buckets: Sequence[float],
+        block_size: int = 1,
+        rng: random.Random | None = None,
+    ):
+        if not buckets:
+            raise ValueError("buckets must be non-empty")
+        if any(weight < 0 for weight in buckets):
+            raise ValueError("bucket weights must be non-negative")
+        total = float(sum(buckets))
+        if total <= 0:
+            raise ValueError("bucket weights must sum to a positive value")
+        super().__init__()
+        self._buckets = [float(weight) for weight in buckets]
+        self._block_size = block_size
+        self._total = total
+        self._rng = rng or default_rng()
+
+    @classmethod
+    def from_file(cls, path: str | Path, rng: random.Random | None = None) -> "HistogramGenerator":
+        """Load a YCSB histogram file.
+
+        Format: an optional ``BlockSize, n`` header then ``bucket, weight``
+        lines.  Unknown lines raise ``ValueError``.
+        """
+        block_size = 1
+        weights: dict[int, float] = {}
+        for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [part.strip() for part in line.split(",")]
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'key, weight', got {raw!r}")
+            if parts[0].lower() == "blocksize":
+                block_size = int(parts[1])
+                continue
+            weights[int(parts[0])] = float(parts[1])
+        if not weights:
+            raise ValueError(f"{path}: histogram file has no buckets")
+        size = max(weights) + 1
+        buckets = [weights.get(i, 0.0) for i in range(size)]
+        return cls(buckets, block_size=block_size, rng=rng)
+
+    def next_value(self) -> int:
+        threshold = self._rng.random() * self._total
+        cumulative = 0.0
+        for index, weight in enumerate(self._buckets):
+            cumulative += weight
+            if threshold < cumulative:
+                return self._remember(index * self._block_size)
+        return self._remember((len(self._buckets) - 1) * self._block_size)
+
+    def mean(self) -> float:
+        weighted = sum(
+            index * self._block_size * weight for index, weight in enumerate(self._buckets)
+        )
+        return weighted / self._total

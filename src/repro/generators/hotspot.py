@@ -1,0 +1,61 @@
+"""Hotspot distribution: a small hot set receives most of the traffic."""
+
+from __future__ import annotations
+
+import random
+
+from .base import NumberGenerator, default_rng
+
+__all__ = ["HotspotIntegerGenerator"]
+
+
+class HotspotIntegerGenerator(NumberGenerator):
+    """Integers in ``[lower, upper]`` where a fraction of the keys is hot.
+
+    With probability ``hot_opn_fraction`` a value is drawn uniformly from
+    the first ``hot_set_fraction`` of the range; otherwise uniformly from
+    the remaining cold keys.  This matches YCSB's ``hotspot`` request
+    distribution.
+    """
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        hot_set_fraction: float = 0.2,
+        hot_opn_fraction: float = 0.8,
+        rng: random.Random | None = None,
+    ):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        if not 0.0 <= hot_set_fraction <= 1.0:
+            raise ValueError("hot_set_fraction must be within [0, 1]")
+        if not 0.0 <= hot_opn_fraction <= 1.0:
+            raise ValueError("hot_opn_fraction must be within [0, 1]")
+        super().__init__()
+        self._lower = lower
+        self._upper = upper
+        self._hot_set_fraction = hot_set_fraction
+        self._hot_opn_fraction = hot_opn_fraction
+        total = upper - lower + 1
+        self._hot_interval = int(total * hot_set_fraction)
+        self._cold_interval = total - self._hot_interval
+        self._rng = rng or default_rng()
+
+    def next_value(self) -> int:
+        rng = self._rng
+        if rng.random() < self._hot_opn_fraction and self._hot_interval > 0:
+            value = self._lower + rng.randrange(self._hot_interval)
+        elif self._cold_interval > 0:
+            value = self._lower + self._hot_interval + rng.randrange(self._cold_interval)
+        else:
+            value = self._lower + rng.randrange(self._hot_interval)
+        return self._remember(value)
+
+    def mean(self) -> float:
+        hot_mean = self._lower + self._hot_interval / 2.0
+        cold_mean = self._lower + self._hot_interval + self._cold_interval / 2.0
+        p_hot = self._hot_opn_fraction if self._hot_interval > 0 else 0.0
+        if self._cold_interval == 0:
+            p_hot = 1.0
+        return p_hot * hot_mean + (1.0 - p_hot) * cold_mean

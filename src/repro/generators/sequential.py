@@ -1,0 +1,36 @@
+"""Sequential key selection (YCSB's ``sequential`` request distribution)."""
+
+from __future__ import annotations
+
+import threading
+
+from .base import NumberGenerator
+
+__all__ = ["SequentialGenerator"]
+
+
+class SequentialGenerator(NumberGenerator):
+    """Cycles deterministically through ``[lower, upper]``.
+
+    Useful for full-coverage passes such as the CEW validation stage and
+    for cache-behaviour experiments.  Thread-safe: concurrent callers each
+    receive a distinct value until the range wraps.
+    """
+
+    def __init__(self, lower: int, upper: int):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        super().__init__()
+        self._lower = lower
+        self._span = upper - lower + 1
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def next_value(self) -> int:
+        with self._lock:
+            value = self._lower + self._cursor % self._span
+            self._cursor += 1
+        return self._remember(value)
+
+    def mean(self) -> float:
+        return self._lower + (self._span - 1) / 2.0

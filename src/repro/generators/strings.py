@@ -1,0 +1,67 @@
+"""Field-value generators.
+
+YCSB fills record fields with random printable strings whose length comes
+from a pluggable length distribution (``fieldlength``/``fieldlengthdistribution``
+properties).  Keys are built from integer key numbers, optionally hashed
+(``insertorder=hashed``) and zero-padded (``zeropadding``).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from .base import Generator, NumberGenerator, default_rng
+from .hashing import fnv1_64
+
+__all__ = ["RandomStringGenerator", "KeyNameGenerator"]
+
+_ALPHABET = string.ascii_letters + string.digits
+
+
+class RandomStringGenerator(Generator[str]):
+    """Random alphanumeric strings with generator-driven lengths."""
+
+    def __init__(self, length_generator: NumberGenerator, rng: random.Random | None = None):
+        super().__init__()
+        self._length_generator = length_generator
+        self._rng = rng or default_rng()
+
+    def next_value(self) -> str:
+        length = max(0, self._length_generator.next_value())
+        rng = self._rng
+        value = "".join(rng.choice(_ALPHABET) for _ in range(length))
+        return self._remember(value)
+
+
+class KeyNameGenerator:
+    """Maps integer key numbers to record keys (``user12345`` style).
+
+    Args:
+        prefix: string prepended to every key (YCSB uses ``user``).
+        hashed: when True the key number is FNV-hashed first, spreading
+            sequentially inserted keys across the key space
+            (``insertorder=hashed``); when False insertion order is
+            preserved (``insertorder=ordered``), which scan-heavy
+            workloads require.
+        zero_padding: minimum digit count, left-padded with zeros so that
+            lexicographic and numeric orderings agree.
+    """
+
+    def __init__(self, prefix: str = "user", hashed: bool = True, zero_padding: int = 1):
+        if zero_padding < 1:
+            raise ValueError("zero_padding must be >= 1")
+        self._prefix = prefix
+        self._hashed = hashed
+        self._zero_padding = zero_padding
+
+    @property
+    def hashed(self) -> bool:
+        return self._hashed
+
+    def build_key(self, key_number: int) -> str:
+        """Record key for ``key_number``."""
+        if key_number < 0:
+            raise ValueError(f"key numbers are non-negative, got {key_number}")
+        value = fnv1_64(key_number) if self._hashed else key_number
+        return f"{self._prefix}{value:0{self._zero_padding}d}"

@@ -1,0 +1,53 @@
+"""Uniform distributions over integer ranges and item sequences."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+from .base import Generator, NumberGenerator, default_rng
+
+T = TypeVar("T")
+
+__all__ = ["UniformLongGenerator", "UniformChoiceGenerator"]
+
+
+class UniformLongGenerator(NumberGenerator):
+    """Uniformly random integers in the inclusive range ``[lower, upper]``."""
+
+    def __init__(self, lower: int, upper: int, rng: random.Random | None = None):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        super().__init__()
+        self._lower = lower
+        self._upper = upper
+        self._rng = rng or default_rng()
+
+    @property
+    def lower(self) -> int:
+        return self._lower
+
+    @property
+    def upper(self) -> int:
+        return self._upper
+
+    def next_value(self) -> int:
+        return self._remember(self._rng.randint(self._lower, self._upper))
+
+    def mean(self) -> float:
+        return (self._lower + self._upper) / 2.0
+
+
+class UniformChoiceGenerator(Generator[T]):
+    """Uniformly random element of a fixed sequence."""
+
+    def __init__(self, items: Sequence[T], rng: random.Random | None = None):
+        if not items:
+            raise ValueError("items must be non-empty")
+        super().__init__()
+        self._items = list(items)
+        self._rng = rng or default_rng()
+
+    def next_value(self) -> T:
+        return self._remember(self._rng.choice(self._items))

@@ -1,0 +1,214 @@
+"""Zipfian request distributions.
+
+The paper's experiments access "10000 records ... in a Zipfian distribution
+pattern"; contention on the popular keys is what produces the anomalies of
+Figure 4.  The implementation follows the rejection-free method of Gray et
+al., *Quickly Generating Billion-Record Synthetic Databases* (SIGMOD '94),
+exactly as YCSB does, including support for an item count that grows while
+the benchmark runs (needed by the ``latest`` distribution).
+
+Three generators are provided:
+
+* :class:`ZipfianGenerator` — popular items are the low indices.
+* :class:`ScrambledZipfianGenerator` — same popularity profile, but
+  popular items are FNV-scattered across the key space.
+* :class:`SkewedLatestGenerator` — popularity follows recency: the most
+  recently inserted key is the most popular.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from .base import NumberGenerator, default_rng
+from .counter import CounterGenerator
+from .hashing import fnv1_64
+
+__all__ = [
+    "ZIPFIAN_CONSTANT",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "SkewedLatestGenerator",
+]
+
+#: YCSB's default skew parameter (theta).
+ZIPFIAN_CONSTANT = 0.99
+
+# Constants YCSB precomputes for the scrambled generator's fixed item space.
+_SCRAMBLED_ITEM_COUNT = 10_000_000_000
+_SCRAMBLED_ZETAN = 26.46902820178302
+
+
+def zeta_static(start: int, count: int, theta: float, initial: float = 0.0) -> float:
+    """Incremental generalized harmonic number.
+
+    Returns ``initial + sum_{i=start+1}^{count} 1/i**theta``.  ``start`` is
+    the item count the ``initial`` sum was computed for, allowing the
+    running benchmark to extend zeta cheaply when new items are inserted.
+    """
+    total = initial
+    for i in range(start, count):
+        total += 1.0 / ((i + 1) ** theta)
+    return total
+
+
+class ZipfianGenerator(NumberGenerator):
+    """Zipfian-distributed integers in ``[lower, upper]``.
+
+    Item ``lower`` is the most popular, ``lower + 1`` the second most, and
+    so on.  ``theta`` (the *zipfian constant*) controls the skew; YCSB's
+    default of 0.99 makes the hottest item receive roughly 9–10 % of all
+    requests with 10 000 items.
+
+    Args:
+        lower: smallest generated value (inclusive).
+        upper: largest generated value (inclusive).
+        theta: skew parameter in (0, 1).
+        zetan: precomputed ``zeta(n, theta)`` for ``n = upper - lower + 1``;
+            pass it for very large item counts where computing zeta on the
+            fly would be slow.
+        rng: source of randomness.
+    """
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        zetan: float | None = None,
+        rng: random.Random | None = None,
+    ):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        super().__init__()
+        self._lock = threading.Lock()
+        self._rng = rng or default_rng()
+        self._base = lower
+        self._items = upper - lower + 1
+        self._theta = theta
+
+        self._zeta2theta = zeta_static(0, 2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        # _count_for_zeta tracks the item count _zetan corresponds to.
+        self._count_for_zeta = self._items
+        self._zetan = zetan if zetan is not None else zeta_static(0, self._items, theta)
+        self._eta = self._compute_eta()
+        self._allow_item_count_decrease = False
+
+    @property
+    def theta(self) -> float:
+        return self._theta
+
+    @property
+    def item_count(self) -> int:
+        return self._items
+
+    def _compute_eta(self) -> float:
+        # For n <= 2 the two early-return branches of next_for_items cover
+        # the whole probability mass (zeta(n) <= zeta(2)), so eta is never
+        # used — and its denominator would be zero at n == 2.
+        if self._items <= 2:
+            return 0.0
+        return (1.0 - (2.0 / self._items) ** (1.0 - self._theta)) / (
+            1.0 - self._zeta2theta / self._zetan
+        )
+
+    def next_for_items(self, item_count: int) -> int:
+        """Draw from a Zipfian over ``item_count`` items.
+
+        Used by :class:`SkewedLatestGenerator`, whose item space grows with
+        every insert.  Recomputes zeta incrementally when the space grows.
+        """
+        with self._lock:
+            if item_count != self._count_for_zeta:
+                if item_count > self._count_for_zeta:
+                    self._zetan = zeta_static(
+                        self._count_for_zeta, item_count, self._theta, self._zetan
+                    )
+                elif self._allow_item_count_decrease:
+                    self._zetan = zeta_static(0, item_count, self._theta)
+                self._count_for_zeta = item_count
+                self._items = item_count
+                self._eta = self._compute_eta()
+
+            u = self._rng.random()
+            uz = u * self._zetan
+            if uz < 1.0:
+                return self._remember(self._base)
+            if uz < 1.0 + 0.5**self._theta:
+                return self._remember(self._base + 1)
+            rank = int(self._items * ((self._eta * u - self._eta + 1.0) ** self._alpha))
+            return self._remember(self._base + rank)
+
+    def next_value(self) -> int:
+        return self.next_for_items(self._items)
+
+    def mean(self) -> float:
+        raise NotImplementedError("Zipfian mean is not used by any workload")
+
+
+class ScrambledZipfianGenerator(NumberGenerator):
+    """Zipfian popularity scattered uniformly over ``[lower, upper]``.
+
+    Draws a rank from a Zipfian over a large fixed item space (so the skew
+    profile does not depend on the benchmark's record count, matching
+    YCSB), then hashes the rank into the requested range.  Popular keys are
+    therefore spread across the whole key space instead of clustered at the
+    low end.
+    """
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        rng: random.Random | None = None,
+    ):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        super().__init__()
+        self._base = lower
+        self._span = upper - lower + 1
+        if theta == ZIPFIAN_CONSTANT:
+            self._zipfian = ZipfianGenerator(
+                0, _SCRAMBLED_ITEM_COUNT - 1, theta, zetan=_SCRAMBLED_ZETAN, rng=rng
+            )
+        else:
+            # Non-default skew: fall back to a zipfian over the actual span,
+            # where zeta is cheap to compute.
+            self._zipfian = ZipfianGenerator(0, self._span - 1, theta, rng=rng)
+
+    def next_value(self) -> int:
+        rank = self._zipfian.next_value()
+        return self._remember(self._base + fnv1_64(rank) % self._span)
+
+    def mean(self) -> float:
+        return (self._base + self._base + self._span - 1) / 2.0
+
+
+class SkewedLatestGenerator(NumberGenerator):
+    """Zipfian over recency: the newest key is the most popular.
+
+    Wraps an insert-order counter; a draw of rank ``r`` maps to the key
+    inserted ``r`` positions before the latest one.
+    """
+
+    def __init__(self, basis: CounterGenerator, rng: random.Random | None = None):
+        super().__init__()
+        self._basis = basis
+        upper = max(basis.last_value(), 1)
+        self._zipfian = ZipfianGenerator(0, upper - 1, rng=rng)
+        self.next_value()
+
+    def next_value(self) -> int:
+        maximum = self._basis.last_value()
+        if maximum < 1:
+            return self._remember(0)
+        rank = self._zipfian.next_for_items(maximum)
+        return self._remember(maximum - rank)
+
+    def mean(self) -> float:
+        raise NotImplementedError("SkewedLatest mean is not defined")

@@ -1,0 +1,42 @@
+"""Experiment harness: one entry point per paper figure/table."""
+
+from .contention import ContendedDB, ContentionModel
+from .experiments import (
+    THREADS_FIG2,
+    THREADS_LOCAL,
+    ablation_coordinators,
+    fig2_cloud_scaling,
+    fig3_transaction_overhead,
+    fig4_anomaly_score,
+    fig5_raw_scaling,
+    isolation_matrix,
+    tier5_operation_overhead,
+    tier6_consistency,
+)
+from .report import render_experiment, render_experiment_csv, render_series_table
+from .results import ExperimentResult, Point, Series
+from .runner import cew_properties, run_cew, run_phase_pair
+
+__all__ = [
+    "ContendedDB",
+    "ContentionModel",
+    "THREADS_FIG2",
+    "THREADS_LOCAL",
+    "ablation_coordinators",
+    "fig2_cloud_scaling",
+    "fig3_transaction_overhead",
+    "fig4_anomaly_score",
+    "fig5_raw_scaling",
+    "isolation_matrix",
+    "tier5_operation_overhead",
+    "tier6_consistency",
+    "render_experiment",
+    "render_experiment_csv",
+    "render_series_table",
+    "ExperimentResult",
+    "Point",
+    "Series",
+    "cew_properties",
+    "run_cew",
+    "run_phase_pair",
+]

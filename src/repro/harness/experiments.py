@@ -1,0 +1,622 @@
+"""Per-figure experiment definitions.
+
+Each public function reproduces one figure or table of the paper and
+returns an :class:`~repro.harness.results.ExperimentResult` whose series
+carry the same rows/lines the paper reports.  All experiments run
+entirely in-process against the simulated substrates (see DESIGN.md for
+the substitutions) with seeded randomness.
+
+Every function takes a ``quick`` flag: ``True`` (default) uses scaled-down
+operation counts suitable for the test suite and the benchmark harness;
+``False`` runs a longer, lower-noise version.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from ..bindings.kv import KVStoreDB
+from ..bindings.txn import TxnDB
+from ..core.client import BenchmarkResult, Client
+from ..core.closed_economy import ClosedEconomyWorkload
+from ..core.db import DB
+from ..kvstore.cloud import WAS_PROFILE, SimulatedCloudStore
+from ..kvstore.latency import ConstantLatency, LatencyInjectingStore
+from ..kvstore.memory import InMemoryKVStore
+from ..measurements.registry import Measurements
+from ..txn.clock import TimestampOracle
+from ..txn.manager import ClientTransactionManager
+from ..txn.retso import RetsoLikeManager, TransactionStatusOracle
+from ..txn.percolator import PercolatorLikeManager
+from .contention import ContendedDB, ContentionModel
+from .results import ExperimentResult, Point, Series
+from .runner import cew_properties
+
+__all__ = [
+    "fig2_cloud_scaling",
+    "fig3_transaction_overhead",
+    "fig4_anomaly_score",
+    "fig5_raw_scaling",
+    "tier5_operation_overhead",
+    "tier6_consistency",
+    "ablation_coordinators",
+    "THREADS_FIG2",
+    "THREADS_LOCAL",
+]
+
+#: Thread counts of Fig. 2 (EC2 -> WAS) and Figs. 3-5 (local store).
+THREADS_FIG2 = (1, 2, 4, 8, 16, 32, 64, 128)
+THREADS_LOCAL = (1, 2, 4, 8, 16)
+
+#: Latency scale relative to the paper's testbed (10 = ten times faster).
+DEFAULT_SCALE = 10.0
+
+
+def _run_cew_phases(
+    properties,
+    load_factory: Callable[[], DB],
+    run_factory: Callable[[], DB],
+) -> BenchmarkResult:
+    """Load with one binding, run with another, shared workload state."""
+    measurements = Measurements()
+    workload = ClosedEconomyWorkload()
+    workload.init(properties, measurements)
+    load_props = properties.merged({"threadcount": properties.get_str("loadthreads", "8")})
+    Client(workload, load_factory, load_props, Measurements()).load()
+    return Client(workload, run_factory, properties, measurements).run()
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — YCSB+T throughput on EC2 with WAS
+# ---------------------------------------------------------------------------
+
+def fig2_cloud_scaling(
+    quick: bool = True,
+    thread_counts: Sequence[int] = THREADS_FIG2,
+    mixes: Sequence[float] = (0.9, 0.8, 0.7),
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Transactions/s vs client threads against a simulated WAS container.
+
+    Reproduces the three curves of Fig. 2 (read proportions 0.9/0.8/0.7):
+    linear scaling while threads are latency-bound, a plateau once the
+    container's request-rate ceiling is reached, and a decline at high
+    thread counts once the client's serialised per-operation cost exceeds
+    the ceiling (the "thread contention" the paper describes).
+    """
+    result = ExperimentResult(
+        experiment="fig2",
+        description="YCSB+T throughput on EC2 with WAS (simulated container)",
+        notes=[
+            f"latency scale 1/{scale:g} of the real service",
+            "client contention model: 20us + 3us/thread serialised per request",
+        ],
+    )
+    ops_per_thread = 50 if quick else 400
+    for read_proportion in mixes:
+        label = f"{int(read_proportion * 100)}:{int(round((1 - read_proportion) * 100))}"
+        series = Series(label=label)
+        for threads in thread_counts:
+            store = SimulatedCloudStore(WAS_PROFILE, scale=scale, rng=random.Random(seed))
+            fast_manager = ClientTransactionManager(store.backing_store)
+            slow_manager = ClientTransactionManager(store)
+            contention = ContentionModel(base_cost_s=20e-6, per_thread_cost_s=3e-6)
+            properties = cew_properties(
+                recordcount=1000 if quick else 10000,
+                operationcount=max(300, ops_per_thread * threads),
+                readproportion=read_proportion,
+                readmodifywriteproportion=0.0,
+                updateproportion=round(1.0 - read_proportion, 6),
+                threadcount=threads,
+                seed=seed,
+            )
+            run = _run_cew_phases(
+                properties,
+                load_factory=lambda: TxnDB(properties, manager=fast_manager),
+                run_factory=lambda: ContendedDB(
+                    TxnDB(properties, manager=slow_manager), contention
+                ),
+            )
+            series.points.append(
+                Point(
+                    x=threads,
+                    throughput=run.throughput,
+                    anomaly_score=run.anomaly_score,
+                    operations=run.operations,
+                    failed_operations=run.failed_operations,
+                    extra={"throttled_requests": store.throttled_requests},
+                )
+            )
+        result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — impact of transactions on throughput
+# ---------------------------------------------------------------------------
+
+def fig3_transaction_overhead(
+    quick: bool = True,
+    thread_counts: Sequence[int] = THREADS_LOCAL,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Non-transactional vs transactional throughput, threads 1..16.
+
+    Both paths run the same CEW 90:10 read/read-modify-write mix against
+    the same store with the same per-request latency; the transactional
+    path pays the commit protocol's extra store requests.  The paper
+    reports a 30-40 % throughput reduction.
+    """
+    result = ExperimentResult(
+        experiment="fig3",
+        description="Impact of transactions on throughput",
+        notes=[f"store request latency {12 / scale:.2f} ms (paper-equivalent 12 ms)"],
+    )
+    latency_s = 0.012 / scale
+    ops_per_thread = 120 if quick else 1000
+    raw_series = Series(label="non-transactional")
+    txn_series = Series(label="transactional")
+    for threads in thread_counts:
+        properties = cew_properties(
+            recordcount=500 if quick else 10000,
+            operationcount=max(300, ops_per_thread * threads),
+            threadcount=threads,
+            seed=seed,
+        )
+        # Raw path: plain store operations, start/commit are no-ops.
+        raw_backing = InMemoryKVStore()
+        raw_store = LatencyInjectingStore(raw_backing, ConstantLatency(latency_s))
+        raw_run = _run_cew_phases(
+            properties,
+            load_factory=lambda: KVStoreDB(raw_backing, properties),
+            run_factory=lambda: KVStoreDB(raw_store, properties),
+        )
+        raw_series.points.append(
+            Point(
+                x=threads,
+                throughput=raw_run.throughput,
+                anomaly_score=raw_run.anomaly_score,
+                operations=raw_run.operations,
+                failed_operations=raw_run.failed_operations,
+            )
+        )
+        # Transactional path: same store shape behind the txn manager.
+        txn_backing = InMemoryKVStore()
+        txn_store = LatencyInjectingStore(txn_backing, ConstantLatency(latency_s))
+        fast_manager = ClientTransactionManager(txn_backing)
+        slow_manager = ClientTransactionManager(txn_store)
+        txn_run = _run_cew_phases(
+            properties,
+            load_factory=lambda: TxnDB(properties, manager=fast_manager),
+            run_factory=lambda: TxnDB(properties, manager=slow_manager),
+        )
+        txn_series.points.append(
+            Point(
+                x=threads,
+                throughput=txn_run.throughput,
+                anomaly_score=txn_run.anomaly_score,
+                operations=txn_run.operations,
+                failed_operations=txn_run.failed_operations,
+            )
+        )
+    result.series.extend([raw_series, txn_series])
+    overhead_rows = []
+    for raw_point, txn_point in zip(raw_series.points, txn_series.points):
+        reduction = 1.0 - (txn_point.throughput / raw_point.throughput) if raw_point.throughput else 0.0
+        overhead_rows.append(
+            {
+                "threads": int(raw_point.x),
+                "raw_ops_sec": raw_point.throughput,
+                "txn_ops_sec": txn_point.throughput,
+                "reduction": reduction,
+            }
+        )
+    result.tables["overhead"] = overhead_rows
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 4 & 5 — anomaly score and throughput on the raw local store
+# ---------------------------------------------------------------------------
+
+def _fig45_run(
+    quick: bool, thread_counts: Sequence[int], scale: float, seed: int
+) -> list[tuple[int, BenchmarkResult]]:
+    """Shared runs behind Figs. 4 and 5 (same experiment, two plots).
+
+    The store pays a fixed per-request latency modelling the paper's local
+    HTTP hop (~1.5 ms there, scaled here).  Keeping the per-thread rate
+    latency-bound is what preserves Fig. 5's linear scaling to 16 threads:
+    client threads spend their time blocked in (simulated) I/O, exactly as
+    the paper's did, rather than contending for the interpreter.
+    """
+    latency_s = max(0.0005, 0.0015 / scale)
+    # Fixed operation count across thread counts, exactly like the paper's
+    # 1 000 000: the anomaly score normalises drift by operations, so the
+    # denominator must not change along the x axis.
+    operation_count = 6000 if quick else 100_000
+    runs: list[tuple[int, BenchmarkResult]] = []
+    for threads in thread_counts:
+        backing = InMemoryKVStore()
+        store = LatencyInjectingStore(backing, ConstantLatency(latency_s))
+        properties = cew_properties(
+            recordcount=300 if quick else 10000,
+            operationcount=operation_count,
+            threadcount=threads,
+            seed=seed + threads,
+        )
+        run = _run_cew_phases(
+            properties,
+            load_factory=lambda: KVStoreDB(backing, properties),
+            run_factory=lambda: KVStoreDB(store, properties),
+        )
+        runs.append((threads, run))
+    return runs
+
+
+def fig4_anomaly_score(
+    quick: bool = True,
+    thread_counts: Sequence[int] = THREADS_LOCAL,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Threads vs anomaly score, non-transactional store (Fig. 4).
+
+    One thread produces no anomalies (no concurrency); more threads and
+    the Zipfian hot set produce racing read-modify-writes whose lost
+    updates the CEW validation stage quantifies.
+    """
+    result = ExperimentResult(
+        experiment="fig4",
+        description="Number of threads vs anomaly score (CEW, non-transactional)",
+    )
+    series = Series(label="anomaly score")
+    for threads, run in _fig45_run(quick, thread_counts, scale, seed):
+        series.points.append(
+            Point(
+                x=threads,
+                throughput=run.throughput,
+                anomaly_score=run.anomaly_score,
+                operations=run.operations,
+                failed_operations=run.failed_operations,
+            )
+        )
+    result.series.append(series)
+    return result
+
+
+def fig5_raw_scaling(
+    quick: bool = True,
+    thread_counts: Sequence[int] = THREADS_LOCAL,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Threads vs throughput for the same runs (Fig. 5): near-linear."""
+    result = ExperimentResult(
+        experiment="fig5",
+        description="Number of threads vs throughput (CEW, non-transactional)",
+    )
+    series = Series(label="throughput")
+    for threads, run in _fig45_run(quick, thread_counts, scale, seed):
+        series.points.append(
+            Point(
+                x=threads,
+                throughput=run.throughput,
+                anomaly_score=run.anomaly_score,
+                operations=run.operations,
+                failed_operations=run.failed_operations,
+            )
+        )
+    result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tier 5 — per-operation transactional overhead
+# ---------------------------------------------------------------------------
+
+def tier5_operation_overhead(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+    threads: int = 4,
+) -> ExperimentResult:
+    """Latency of each DB operation inside vs outside transactions.
+
+    The Tier-5 table: for every raw operation (READ, UPDATE, ...) the
+    latency measured on the raw path and on the transactional path, plus
+    the transactional-bookkeeping operations START/COMMIT/ABORT in both
+    modes (no-ops on the raw path, real work on the transactional path).
+    """
+    latency_s = 0.0015 / scale
+    operation_count = 2000 if quick else 20000
+    mix = {
+        "readproportion": 0.5,
+        "updateproportion": 0.2,
+        "readmodifywriteproportion": 0.2,
+        "insertproportion": 0.05,
+        "deleteproportion": 0.05,
+    }
+
+    def run_mode(transactional: bool) -> dict[str, object]:
+        backing = InMemoryKVStore()
+        store = LatencyInjectingStore(backing, ConstantLatency(latency_s))
+        properties = cew_properties(
+            recordcount=500 if quick else 5000,
+            operationcount=operation_count,
+            threadcount=threads,
+            seed=seed,
+            **mix,
+        )
+        if transactional:
+            fast_manager = ClientTransactionManager(backing)
+            slow_manager = ClientTransactionManager(store)
+            run = _run_cew_phases(
+                properties,
+                load_factory=lambda: TxnDB(properties, manager=fast_manager),
+                run_factory=lambda: TxnDB(properties, manager=slow_manager),
+            )
+        else:
+            run = _run_cew_phases(
+                properties,
+                load_factory=lambda: KVStoreDB(backing, properties),
+                run_factory=lambda: KVStoreDB(store, properties),
+            )
+        return {"run": run, "summaries": run.measurements.summaries()}
+
+    raw = run_mode(transactional=False)
+    txn = run_mode(transactional=True)
+    result = ExperimentResult(
+        experiment="tier5",
+        description="Tier 5: transactional overhead per operation",
+        notes=[f"store request latency {latency_s * 1000:.2f} ms, {threads} threads"],
+    )
+    rows = []
+    operations = sorted(
+        set(raw["summaries"]) | set(txn["summaries"]),  # type: ignore[arg-type]
+    )
+    for operation in operations:
+        raw_summary = raw["summaries"].get(operation)  # type: ignore[union-attr]
+        txn_summary = txn["summaries"].get(operation)  # type: ignore[union-attr]
+        rows.append(
+            {
+                "operation": operation,
+                "raw_count": raw_summary.count if raw_summary else 0,
+                "raw_avg_us": raw_summary.average_us if raw_summary else None,
+                "txn_count": txn_summary.count if txn_summary else 0,
+                "txn_avg_us": txn_summary.average_us if txn_summary else None,
+            }
+        )
+    result.tables["operations"] = rows
+    raw_run: BenchmarkResult = raw["run"]  # type: ignore[assignment]
+    txn_run: BenchmarkResult = txn["run"]  # type: ignore[assignment]
+    result.tables["throughput"] = [
+        {
+            "mode": "raw",
+            "ops_sec": raw_run.throughput,
+            "anomaly_score": raw_run.anomaly_score,
+        },
+        {
+            "mode": "transactional",
+            "ops_sec": txn_run.throughput,
+            "anomaly_score": txn_run.anomaly_score,
+        },
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tier 6 — consistency validation
+# ---------------------------------------------------------------------------
+
+def tier6_consistency(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+    threads: int = 8,
+) -> ExperimentResult:
+    """Anomaly score with and without transactions at fixed concurrency.
+
+    The Tier-6 claim in one table: the same contended workload yields a
+    non-zero anomaly score on the raw store and exactly zero under the
+    client-coordinated transaction manager (aborts instead of anomalies).
+    """
+    latency_s = 0.0015 / scale
+    operation_count = 4000 if quick else 40000
+    rows = []
+    for mode in ("raw", "transactional"):
+        backing = InMemoryKVStore()
+        store = LatencyInjectingStore(backing, ConstantLatency(latency_s))
+        properties = cew_properties(
+            recordcount=500 if quick else 10000,
+            operationcount=operation_count,
+            threadcount=threads,
+            seed=seed,
+        )
+        if mode == "transactional":
+            run = _run_cew_phases(
+                properties,
+                load_factory=lambda: TxnDB(
+                    properties, manager=ClientTransactionManager(backing)
+                ),
+                run_factory=lambda: TxnDB(
+                    properties, manager=ClientTransactionManager(store)
+                ),
+            )
+        else:
+            run = _run_cew_phases(
+                properties,
+                load_factory=lambda: KVStoreDB(backing, properties),
+                run_factory=lambda: KVStoreDB(store, properties),
+            )
+        validation = run.validation
+        rows.append(
+            {
+                "mode": mode,
+                "anomaly_score": run.anomaly_score,
+                "validation_passed": validation.passed if validation else None,
+                "operations": run.operations,
+                "aborted": run.failed_operations,
+                "throughput": run.throughput,
+            }
+        )
+    result = ExperimentResult(
+        experiment="tier6",
+        description="Tier 6: consistency validation, raw vs transactional",
+        notes=[f"{threads} threads, zipfian contention"],
+    )
+    result.tables["consistency"] = rows
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablation — coordinator designs under WAN-like oracle latency
+# ---------------------------------------------------------------------------
+
+def ablation_coordinators(
+    quick: bool = True,
+    oracle_delays_ms: Sequence[float] = (0.0, 1.0, 4.0),
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+    threads: int = 8,
+) -> ExperimentResult:
+    """Client-coordinated vs Percolator-style vs ReTSO-style commit.
+
+    §II-B argues central timestamp/status oracles become the bottleneck
+    over long-haul networks while the client-coordinated design does not
+    depend on any central service.  The sweep raises the oracle's RPC
+    delay and measures throughput for each coordinator; the
+    client-coordinated line stays flat (it has no oracle to slow down).
+    """
+    latency_s = 0.0015 / scale
+    operation_count = 1500 if quick else 15000
+    result = ExperimentResult(
+        experiment="ablation",
+        description="Coordinator designs vs central-oracle RPC delay",
+        notes=[f"store request latency {latency_s * 1000:.2f} ms, {threads} threads"],
+    )
+
+    def build_manager(kind: str, store, delay_s: float):
+        if kind == "client-coordinated":
+            return ClientTransactionManager(store)
+        if kind == "percolator-style":
+            return PercolatorLikeManager(store, oracle=TimestampOracle(rpc_delay_s=delay_s))
+        return RetsoLikeManager(
+            store, oracle=TransactionStatusOracle(rpc_delay_s=delay_s)
+        )
+
+    for kind in ("client-coordinated", "percolator-style", "retso-style"):
+        series = Series(label=kind)
+        for delay_ms in oracle_delays_ms:
+            backing = InMemoryKVStore()
+            store = LatencyInjectingStore(backing, ConstantLatency(latency_s))
+            properties = cew_properties(
+                recordcount=500 if quick else 5000,
+                operationcount=operation_count,
+                threadcount=threads,
+                seed=seed,
+            )
+            fast_manager = build_manager(kind, backing, 0.0)
+            slow_manager = build_manager(kind, store, delay_ms / 1000.0)
+            run = _run_cew_phases(
+                properties,
+                load_factory=lambda: TxnDB(properties, manager=fast_manager),
+                run_factory=lambda: TxnDB(properties, manager=slow_manager),
+            )
+            series.points.append(
+                Point(
+                    x=delay_ms,
+                    throughput=run.throughput,
+                    anomaly_score=run.anomaly_score,
+                    operations=run.operations,
+                    failed_operations=run.failed_operations,
+                )
+            )
+        result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Isolation matrix — anomaly-targeting workloads (§VII future work)
+# ---------------------------------------------------------------------------
+
+def isolation_matrix(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 42,
+    threads: int = 8,
+) -> ExperimentResult:
+    """Which anomaly survives which isolation level.
+
+    Runs the three anomaly-targeting workloads (lost update, write skew,
+    read skew / fractured reads) under raw access, snapshot isolation and
+    the serializable mode, reporting each combination's anomaly score,
+    abort count and throughput.  The expected matrix:
+
+    ============  ====  ========  ============
+    anomaly       raw   snapshot  serializable
+    ============  ====  ========  ============
+    lost update   yes   no        no
+    write skew    yes   yes       no
+    read skew     yes   no        no
+    ============  ====  ========  ============
+    """
+    from ..workloads import LostUpdateWorkload, ReadSkewWorkload, WriteSkewWorkload
+
+    latency_s = 0.0015 / scale
+    operation_count = 2500 if quick else 20000
+    result = ExperimentResult(
+        experiment="isolation",
+        description="Anomaly-targeting workloads vs isolation level",
+        notes=[f"{threads} threads, store latency {latency_s * 1000:.2f} ms"],
+    )
+    rows = []
+    workload_classes = (
+        ("lost-update", LostUpdateWorkload),
+        ("write-skew", WriteSkewWorkload),
+        ("read-skew", ReadSkewWorkload),
+    )
+    for workload_name, workload_class in workload_classes:
+        for mode in ("raw", "snapshot", "serializable"):
+            from ..core.properties import Properties
+
+            properties = Properties(
+                {
+                    "recordcount": "8",
+                    "paircount": "8",
+                    "operationcount": str(operation_count),
+                    "threadcount": str(threads),
+                    "seed": str(seed),
+                }
+            )
+            backing = InMemoryKVStore()
+            store = LatencyInjectingStore(backing, ConstantLatency(latency_s))
+            workload = workload_class()
+            measurements = Measurements()
+            workload.init(properties, measurements)
+            if mode == "raw":
+                load_factory = lambda: KVStoreDB(backing, properties)  # noqa: E731
+                run_factory = lambda: KVStoreDB(store, properties)  # noqa: E731
+            else:
+                fast = ClientTransactionManager(backing)
+                slow = ClientTransactionManager(store, isolation=mode)
+                load_factory = lambda: TxnDB(properties, manager=fast)  # noqa: E731
+                run_factory = lambda: TxnDB(properties, manager=slow)  # noqa: E731
+            Client(workload, load_factory, properties, Measurements()).load()
+            run = Client(workload, run_factory, properties, measurements).run()
+            validation = run.validation
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "isolation": mode,
+                    "anomaly_score": validation.anomaly_score if validation else None,
+                    "anomalous": not validation.passed if validation else None,
+                    "aborted": run.failed_operations,
+                    "throughput": run.throughput,
+                }
+            )
+    result.tables["matrix"] = rows
+    return result

@@ -1,0 +1,125 @@
+"""Plain-text rendering of experiment results.
+
+Prints each reproduced figure as the series of rows the paper plots, in a
+fixed-width table a reader can compare against the original figure.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .results import ExperimentResult, Series
+
+__all__ = ["render_experiment", "render_series_table"]
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _render_table(headers: list[str], rows: list[list[object]], out: io.StringIO) -> None:
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    out.write(line + "\n")
+    out.write("  ".join("-" * width for width in widths) + "\n")
+    for row in rendered:
+        out.write("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)) + "\n")
+
+
+def render_series_table(series_list: list[Series], x_label: str = "x") -> str:
+    """All series side by side: one row per x, one column pair per series."""
+    out = io.StringIO()
+    xs: list[float] = []
+    for series in series_list:
+        for point in series.points:
+            if point.x not in xs:
+                xs.append(point.x)
+    xs.sort()
+    headers = [x_label]
+    for series in series_list:
+        headers.append(f"{series.label} ops/s")
+        if any(point.anomaly_score is not None for point in series.points):
+            headers.append(f"{series.label} anomaly")
+    rows: list[list[object]] = []
+    for x in xs:
+        row: list[object] = [int(x) if float(x).is_integer() else x]
+        for series in series_list:
+            point = next((p for p in series.points if p.x == x), None)
+            row.append(point.throughput if point else None)
+            if any(p.anomaly_score is not None for p in series.points):
+                row.append(point.anomaly_score if point else None)
+        rows.append(row)
+    _render_table(headers, rows, out)
+    return out.getvalue()
+
+
+def render_experiment(result: ExperimentResult, x_label: str = "threads") -> str:
+    """A complete text report for one experiment."""
+    out = io.StringIO()
+    out.write(f"== {result.experiment}: {result.description} ==\n")
+    for note in result.notes:
+        out.write(f"   note: {note}\n")
+    if result.series:
+        out.write("\n")
+        out.write(render_series_table(result.series, x_label=x_label))
+    for table_name, table_rows in result.tables.items():
+        out.write(f"\n-- {table_name} --\n")
+        if not table_rows:
+            continue
+        headers = list(table_rows[0].keys())
+        rows = [[row.get(header) for header in headers] for row in table_rows]
+        _render_table(headers, rows, out)
+    return out.getvalue()
+
+
+def render_experiment_csv(result: ExperimentResult) -> str:
+    """Machine-readable CSV of an experiment's series and tables.
+
+    Series rows: ``series,label,x,throughput,anomaly_score,operations,
+    failed_operations``.  Table rows follow, one header per table.
+    """
+    import csv as _csv
+    import io as _io
+
+    buffer = _io.StringIO()
+    writer = _csv.writer(buffer)
+    if result.series:
+        writer.writerow(
+            ["series", "label", "x", "throughput", "anomaly_score",
+             "operations", "failed_operations"]
+        )
+        for series in result.series:
+            for point in series.points:
+                writer.writerow(
+                    [
+                        "series",
+                        series.label,
+                        point.x,
+                        f"{point.throughput:.3f}",
+                        "" if point.anomaly_score is None else f"{point.anomaly_score:.6g}",
+                        point.operations,
+                        point.failed_operations,
+                    ]
+                )
+    for table_name, rows in result.tables.items():
+        if not rows:
+            continue
+        headers = list(rows[0].keys())
+        writer.writerow([f"table:{table_name}", *headers])
+        for row in rows:
+            writer.writerow(["", *[row.get(h, "") for h in headers]])
+    return buffer.getvalue()

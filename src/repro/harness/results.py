@@ -1,0 +1,54 @@
+"""Result containers shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Point", "Series", "ExperimentResult"]
+
+
+@dataclass
+class Point:
+    """One measured configuration (one x position on a paper figure)."""
+
+    x: float
+    throughput: float
+    anomaly_score: float | None = None
+    operations: int = 0
+    failed_operations: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One line of a figure (e.g. the 90:10 mix)."""
+
+    label: str
+    points: list[Point] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        return [point.x for point in self.points]
+
+    def throughputs(self) -> list[float]:
+        return [point.throughput for point in self.points]
+
+    def anomaly_scores(self) -> list[float | None]:
+        return [point.anomaly_score for point in self.points]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure or table."""
+
+    experiment: str
+    description: str
+    series: list[Series] = field(default_factory=list)
+    tables: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no series labelled {label!r} in {self.experiment}")

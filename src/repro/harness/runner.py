@@ -1,0 +1,79 @@
+"""Shared machinery for running paper experiments in-process."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..core.client import BenchmarkResult, Client
+from ..core.closed_economy import ClosedEconomyWorkload
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.workload import Workload
+from ..measurements.registry import Measurements
+
+__all__ = ["cew_properties", "run_phase_pair", "run_cew"]
+
+
+def cew_properties(**overrides: object) -> Properties:
+    """Baseline Closed Economy Workload configuration (Listing 2 shape).
+
+    Defaults are scaled down from the paper's 10 000 records / 1 000 000
+    operations so experiments finish in seconds; every experiment passes
+    explicit overrides for the knobs it sweeps.
+    """
+    base: dict[str, str] = {
+        "table": "usertable",
+        "recordcount": "1000",
+        "operationcount": "10000",
+        "totalcash": "1000000",
+        "readproportion": "0.9",
+        "readmodifywriteproportion": "0.1",
+        "requestdistribution": "zipfian",
+        "fieldcount": "1",
+        "fieldlength": "100",
+        "writeallfields": "true",
+        "readallfields": "true",
+        "threadcount": "1",
+        "seed": "42",
+    }
+    for key, value in overrides.items():
+        base[key] = str(value)
+    return Properties(base)
+
+
+def run_phase_pair(
+    workload: Workload,
+    db_factory: Callable[[], DB],
+    properties: Properties,
+) -> tuple[BenchmarkResult, BenchmarkResult]:
+    """Load then run one workload; returns (load result, run result)."""
+    measurements = Measurements(
+        measurement_type=properties.get_str("measurementtype", "histogram"),
+        histogram_buckets=properties.get_int("histogram.buckets", 1000),
+    )
+    workload.init(properties, measurements)
+    client = Client(workload, db_factory, properties, measurements)
+    load_result = client.load()
+    run_result = client.run()
+    workload.cleanup()
+    return load_result, run_result
+
+
+def run_cew(
+    db_factory: Callable[[], DB],
+    properties: Properties | Mapping[str, str] | None = None,
+    **overrides: object,
+) -> BenchmarkResult:
+    """Load + run the Closed Economy Workload; returns the run result."""
+    if properties is None:
+        props = cew_properties(**overrides)
+    elif isinstance(properties, Properties):
+        props = properties
+        for key, value in overrides.items():
+            props.set(key, value)
+    else:
+        merged = dict(properties)
+        merged.update({key: str(value) for key, value in overrides.items()})
+        props = Properties(merged)
+    _, run_result = run_phase_pair(ClosedEconomyWorkload(), db_factory, props)
+    return run_result

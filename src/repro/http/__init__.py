@@ -1,0 +1,6 @@
+"""HTTP transport: a REST front end and client for any key-value store."""
+
+from .client import HttpKVStore
+from .server import KVStoreHTTPServer
+
+__all__ = ["HttpKVStore", "KVStoreHTTPServer"]

@@ -1,0 +1,168 @@
+"""HTTP client for :class:`~repro.http.server.KVStoreHTTPServer`.
+
+:class:`HttpKVStore` implements the full :class:`~repro.kvstore.base.
+KeyValueStore` interface over the REST protocol, so anything that runs on
+a local store — the raw bindings, the transaction managers — runs
+unchanged across a real network hop.  Connections are per-thread and
+reused (HTTP/1.1 keep-alive), matching how the paper's client threads
+each held a connection to the store.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+from collections.abc import Iterator, Mapping
+
+from ..kvstore.base import Fields, KeyValueStore, StoreError, StoreUnavailable, VersionedValue
+
+__all__ = ["HttpKVStore"]
+
+
+class HttpKVStore(KeyValueStore):
+    """A remote key-value store reached over HTTP."""
+
+    def __init__(self, address: tuple[str, int], timeout_s: float = 10.0):
+        self._host, self._port = address
+        self._timeout_s = timeout_s
+        self._local = threading.local()
+        self._closed = False
+
+    # -- connection handling ------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout_s
+            )
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict | None, dict[str, str]]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        send_headers = dict(headers or {})
+        if payload is not None:
+            send_headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):  # one transparent retry on a stale keep-alive
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=payload, headers=send_headers)
+                response = connection.getresponse()
+                raw = response.read()
+                document = json.loads(raw) if raw else None
+                return response.status, document, dict(response.getheaders())
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._drop_connection()
+                if attempt == 2:
+                    raise StoreUnavailable(
+                        f"HTTP store {self._host}:{self._port} unreachable: {exc}"
+                    ) from exc
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def _key_path(key: str) -> str:
+        return "/kv/" + urllib.parse.quote(key, safe="")
+
+    # -- reads -----------------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        status, document, headers = self._request("GET", self._key_path(key))
+        if status == 404:
+            return None
+        if status != 200 or document is None:
+            raise StoreError(f"GET {key!r} failed with HTTP {status}")
+        version = int(headers.get("ETag", "0"))
+        return VersionedValue(dict(document), version)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        if record_count <= 0:
+            return []
+        query = urllib.parse.urlencode({"start": start_key, "count": record_count})
+        status, document, _ = self._request("GET", f"/scan?{query}")
+        if status != 200 or document is None:
+            raise StoreError(f"scan from {start_key!r} failed with HTTP {status}")
+        return [(key, dict(fields)) for key, fields in document.get("records", [])]
+
+    def keys(self) -> Iterator[str]:
+        # Page through the key space via ranged scans.
+        cursor = ""
+        page_size = 1000
+        while True:
+            page = self.scan(cursor, page_size)
+            for key, _ in page:
+                yield key
+            if len(page) < page_size:
+                return
+            cursor = page[-1][0] + "\x00"
+
+    def size(self) -> int:
+        status, document, _ = self._request("GET", "/stats")
+        if status != 200 or document is None:
+            raise StoreError(f"stats failed with HTTP {status}")
+        return int(document["size"])
+
+    # -- writes -----------------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        status, document, _ = self._request("PUT", self._key_path(key), body=dict(value))
+        if status != 200 or document is None:
+            raise StoreError(f"PUT {key!r} failed with HTTP {status}")
+        return int(document["version"])
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        headers = (
+            {"If-None-Match": "*"}
+            if expected_version is None
+            else {"If-Match": str(expected_version)}
+        )
+        status, document, _ = self._request(
+            "PUT", self._key_path(key), body=dict(value), headers=headers
+        )
+        if status == 412:
+            return None
+        if status != 200 or document is None:
+            raise StoreError(f"conditional PUT {key!r} failed with HTTP {status}")
+        return int(document["version"])
+
+    def delete(self, key: str) -> bool:
+        status, _, _ = self._request("DELETE", self._key_path(key))
+        if status == 204:
+            return True
+        if status == 404:
+            return False
+        raise StoreError(f"DELETE {key!r} failed with HTTP {status}")
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        status, _, _ = self._request(
+            "DELETE", self._key_path(key), headers={"If-Match": str(expected_version)}
+        )
+        if status == 204:
+            return True
+        if status == 404:
+            return False
+        if status == 412:
+            return None
+        raise StoreError(f"conditional DELETE {key!r} failed with HTTP {status}")
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._drop_connection()
+        self._closed = True

@@ -1,0 +1,207 @@
+"""Threaded HTTP front end for any key-value store.
+
+The paper's §V-C experiments ran "a WiredTiger key-value store augmented
+with an HTTP interface that we implemented using the Boost ASIO library",
+with server and client on the same machine.  This module is that front
+end: a real TCP/HTTP server (``ThreadingHTTPServer``) exposing any
+:class:`~repro.kvstore.base.KeyValueStore` over a small REST protocol, so
+benchmark operations pay genuine network round trips and serialisation.
+
+Protocol::
+
+    GET    /kv/<key>                    -> 200 {fields}, ETag: <version> | 404
+    PUT    /kv/<key>   {fields}         -> 200 {"version": v}
+           If-Match: <version>          conditional update; 412 on mismatch
+           If-None-Match: *             insert-if-absent;   412 if present
+    DELETE /kv/<key>                    -> 204 | 404
+           If-Match: <version>          conditional delete; 412 on mismatch
+    GET    /scan?start=<key>&count=<n>  -> 200 {"records": [[key, fields], ...]}
+    GET    /stats                       -> 200 {"size": n}
+
+Keys are URL-path-encoded by the client; bodies are JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..kvstore.base import KeyValueStore
+
+__all__ = ["KVStoreHTTPServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's store."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "ReproKV/1.0"
+
+    # The store is attached to the server object by KVStoreHTTPServer.
+    @property
+    def _store(self) -> KeyValueStore:
+        return self.server.kv_store  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Benchmarks hammer the server; default stderr logging would drown it."""
+
+    # -- helpers -------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: object, etag: int | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", str(etag))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_empty(self, status: int) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _key_from_path(self, parsed: urllib.parse.ParseResult) -> str | None:
+        if not parsed.path.startswith("/kv/"):
+            return None
+        return urllib.parse.unquote(parsed.path[len("/kv/") :])
+
+    def _read_body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length == 0:
+            return None
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError:
+            return None
+
+    # -- verbs ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path == "/stats":
+            self._send_json(200, {"size": self._store.size()})
+            return
+        if parsed.path == "/scan":
+            query = urllib.parse.parse_qs(parsed.query)
+            start = query.get("start", [""])[0]
+            try:
+                count = int(query.get("count", ["10"])[0])
+            except ValueError:
+                self._send_json(400, {"error": "count must be an integer"})
+                return
+            records = self._store.scan(start, count)
+            self._send_json(200, {"records": records})
+            return
+        key = self._key_from_path(parsed)
+        if key is None:
+            self._send_json(404, {"error": "unknown path"})
+            return
+        versioned = self._store.get_with_meta(key)
+        if versioned is None:
+            self._send_json(404, {"error": "not found"})
+            return
+        self._send_json(200, versioned.value, etag=versioned.version)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        key = self._key_from_path(parsed)
+        if key is None:
+            self._send_json(404, {"error": "unknown path"})
+            return
+        fields = self._read_body()
+        if fields is None or not isinstance(fields, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return
+        if_match = self.headers.get("If-Match")
+        if_none_match = self.headers.get("If-None-Match")
+        if if_none_match == "*":
+            version = self._store.put_if_version(key, fields, None)
+        elif if_match is not None:
+            try:
+                expected = int(if_match)
+            except ValueError:
+                self._send_json(400, {"error": "If-Match must be an integer version"})
+                return
+            version = self._store.put_if_version(key, fields, expected)
+        else:
+            version = self._store.put(key, fields)
+        if version is None:
+            self._send_json(412, {"error": "precondition failed"})
+            return
+        self._send_json(200, {"version": version}, etag=version)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        key = self._key_from_path(parsed)
+        if key is None:
+            self._send_json(404, {"error": "unknown path"})
+            return
+        if_match = self.headers.get("If-Match")
+        if if_match is not None:
+            try:
+                expected = int(if_match)
+            except ValueError:
+                self._send_json(400, {"error": "If-Match must be an integer version"})
+                return
+            result = self._store.delete_if_version(key, expected)
+            if result is None:
+                self._send_json(412, {"error": "precondition failed"})
+                return
+            if result is False:
+                self._send_json(404, {"error": "not found"})
+                return
+            self._send_empty(204)
+            return
+        if self._store.delete(key):
+            self._send_empty(204)
+        else:
+            self._send_json(404, {"error": "not found"})
+
+
+class KVStoreHTTPServer:
+    """Serves a :class:`KeyValueStore` over HTTP on a background thread.
+
+    Usage::
+
+        with KVStoreHTTPServer(store) as server:
+            client = HttpKVStore(server.address)
+            ...
+    """
+
+    def __init__(self, store: KeyValueStore, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.kv_store = store  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound — port 0 picks a free one."""
+        return self._server.server_address[0], self._server.server_address[1]
+
+    def start(self) -> "KVStoreHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="kv-http-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "KVStoreHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,58 @@
+"""Key-value store substrates.
+
+Every store implements :class:`~repro.kvstore.base.KeyValueStore`:
+single-item atomic operations, ordered scans, and conditional writes —
+the contract the paper assumes of NoSQL data stores and that the
+transaction layer (:mod:`repro.txn`) builds upon.
+"""
+
+from .base import (
+    Fields,
+    KeyValueStore,
+    RateLimitExceeded,
+    StoreClosed,
+    StoreError,
+    StoreUnavailable,
+    VersionedValue,
+)
+from .cloud import GCS_PROFILE, WAS_PROFILE, CloudStoreProfile, SimulatedCloudStore
+from .latency import (
+    ConstantLatency,
+    LatencyInjectingStore,
+    LatencyModel,
+    LognormalLatency,
+    NoLatency,
+    UniformLatency,
+)
+from .lsm import LSMKVStore
+from .memory import InMemoryKVStore
+from .ratelimit import TokenBucket
+from .replicated import ReadPreference, ReplicatedKVStore
+from .sharded import ConsistentHashRing, ShardedKVStore
+
+__all__ = [
+    "Fields",
+    "KeyValueStore",
+    "RateLimitExceeded",
+    "StoreClosed",
+    "StoreError",
+    "StoreUnavailable",
+    "VersionedValue",
+    "GCS_PROFILE",
+    "WAS_PROFILE",
+    "CloudStoreProfile",
+    "SimulatedCloudStore",
+    "ConstantLatency",
+    "LatencyInjectingStore",
+    "LatencyModel",
+    "LognormalLatency",
+    "NoLatency",
+    "UniformLatency",
+    "LSMKVStore",
+    "InMemoryKVStore",
+    "TokenBucket",
+    "ReadPreference",
+    "ReplicatedKVStore",
+    "ConsistentHashRing",
+    "ShardedKVStore",
+]

@@ -1,0 +1,151 @@
+"""Key-value store interface.
+
+Every storage substrate in this repository — the in-memory hash store, the
+log-structured engine, the simulated cloud stores, shards and replicas —
+implements :class:`KeyValueStore`.  The interface deliberately mirrors what
+the paper assumes of a NoSQL store (§II-A):
+
+* single-item ``get``/``put``/``delete`` that are individually atomic,
+* ``scan`` over a key range,
+* *test-and-set* style conditional writes (``put_if_version``), the
+  "richer operations such as test-and-set or conditional put" the paper
+  mentions — the client-coordinated transaction layer is built on them.
+
+Values are flat string-to-string field maps, matching YCSB records.  Each
+key carries a monotonically increasing integer ``version`` that doubles as
+an ETag for conditional operations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+__all__ = [
+    "Fields",
+    "VersionedValue",
+    "KeyValueStore",
+    "StoreError",
+    "RateLimitExceeded",
+    "StoreUnavailable",
+    "StoreClosed",
+]
+
+#: A record: field name -> field value.
+Fields = dict[str, str]
+
+
+class StoreError(Exception):
+    """Base class for storage failures."""
+
+
+class RateLimitExceeded(StoreError):
+    """The store's request-rate ceiling rejected this request (HTTP 503)."""
+
+
+class StoreUnavailable(StoreError):
+    """The store (or the contacted replica) is temporarily unreachable."""
+
+
+class StoreClosed(StoreError):
+    """The store has been closed and can no longer serve requests."""
+
+
+@dataclass(frozen=True, slots=True)
+class VersionedValue:
+    """A record value together with its version (ETag).
+
+    ``version`` starts at 1 for a fresh key and increases with every
+    successful write to that key.
+    """
+
+    value: Fields
+    version: int
+
+
+class KeyValueStore(ABC):
+    """Abstract single-item-atomic key-value store.
+
+    Implementations must make each individual method call atomic and
+    thread-safe, but — exactly like the systems the paper studies — they
+    promise nothing across calls: an unprotected read-modify-write is a
+    race, and demonstrating the resulting anomalies is the point of the
+    Closed Economy Workload.
+    """
+
+    # -- reads ---------------------------------------------------------------
+
+    @abstractmethod
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        """The value and version of ``key``, or None if absent."""
+
+    def get(self, key: str) -> Fields | None:
+        """The value of ``key``, or None if absent."""
+        found = self.get_with_meta(key)
+        return None if found is None else found.value
+
+    @abstractmethod
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        """Up to ``record_count`` records with key >= ``start_key``.
+
+        Results are ordered by key.  ``record_count <= 0`` returns an
+        empty list.
+        """
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` currently exists."""
+        return self.get_with_meta(key) is not None
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """All live keys, in sorted order (snapshot semantics not required)."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Number of live keys."""
+
+    # -- writes --------------------------------------------------------------
+
+    @abstractmethod
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        """Unconditionally write ``key``; returns the new version."""
+
+    @abstractmethod
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        """Conditional write (test-and-set).
+
+        ``expected_version=None`` means *insert-if-absent*.  Returns the
+        new version on success, or None when the precondition failed (the
+        key's current version differs, or the key exists for an insert).
+        """
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True when it existed."""
+
+    @abstractmethod
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        """Conditional delete.
+
+        Returns True on success, None when the precondition failed, and
+        False when the key did not exist at all.
+        """
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every key.  Default: delete one by one."""
+        for key in list(self.keys()):
+            self.delete(key)
+
+    def close(self) -> None:
+        """Release resources.  Default: no-op."""
+
+    def __enter__(self) -> "KeyValueStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

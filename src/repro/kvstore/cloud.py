@@ -1,0 +1,212 @@
+"""Simulated cloud object stores (Windows Azure Storage / Google Cloud Storage).
+
+The paper's Fig. 2 experiments ran YCSB+T on EC2 against a single WAS
+container.  Three properties of that setup shape the curve and are modelled
+here explicitly:
+
+* **per-request latency** — WAN round trip plus service time; drawn from a
+  lognormal model (long right tail),
+* **a per-container request-rate ceiling** — both WAS and GCS throttle a
+  container; once client threads collectively exceed it, extra threads add
+  queueing delay, not throughput (the plateau between 16 and 32 threads),
+* **single-item atomicity with conditional operations** — ETags / ``If-Match``
+  map onto the :meth:`~repro.kvstore.base.KeyValueStore.put_if_version`
+  interface, which the client-coordinated transaction layer builds on.
+
+Latency values default to roughly one tenth of the real services' so that
+experiments complete in seconds; the scale factor is configurable and the
+shape of the results does not depend on it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from .base import Fields, KeyValueStore, RateLimitExceeded, VersionedValue
+from .latency import LatencyModel, LognormalLatency, NoLatency
+from .memory import InMemoryKVStore
+from .ratelimit import TokenBucket
+
+__all__ = ["CloudStoreProfile", "SimulatedCloudStore", "WAS_PROFILE", "GCS_PROFILE"]
+
+
+@dataclass(frozen=True)
+class CloudStoreProfile:
+    """Shape parameters of a simulated cloud store.
+
+    Attributes:
+        name: profile label used in reports.
+        read_median_s / write_median_s: median service times.
+        sigma: lognormal spread of the latency distributions.
+        requests_per_second: container-wide request-rate ceiling.
+        burst: token-bucket burst capacity (requests).
+        reject_on_throttle: True → throttled requests fail with
+            :class:`RateLimitExceeded` (HTTP 503); False → they queue,
+            which is how a client library with built-in retry behaves and
+            is what produces the paper's plateau rather than errors.
+    """
+
+    name: str
+    read_median_s: float
+    write_median_s: float
+    sigma: float
+    requests_per_second: float
+    burst: float
+    reject_on_throttle: bool = False
+
+    def scaled(self, factor: float) -> "CloudStoreProfile":
+        """Speed the profile up by ``factor`` (latency / f, rate * f)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return CloudStoreProfile(
+            name=self.name,
+            read_median_s=self.read_median_s / factor,
+            write_median_s=self.write_median_s / factor,
+            sigma=self.sigma,
+            requests_per_second=self.requests_per_second * factor,
+            burst=self.burst * factor,
+            reject_on_throttle=self.reject_on_throttle,
+        )
+
+
+#: Windows Azure Storage, as observed from an EC2 client (same-coast WAN).
+#: Real-world medians are ~15 ms reads / ~25 ms writes with a container
+#: ceiling of ~500 requests/s — the numbers behind Fig. 2's 491 tps plateau.
+WAS_PROFILE = CloudStoreProfile(
+    name="was",
+    read_median_s=0.015,
+    write_median_s=0.025,
+    sigma=0.35,
+    requests_per_second=1000.0,
+    burst=64.0,
+)
+
+#: Google Cloud Storage: slightly higher latency, similar ceiling.
+GCS_PROFILE = CloudStoreProfile(
+    name="gcs",
+    read_median_s=0.020,
+    write_median_s=0.030,
+    sigma=0.40,
+    requests_per_second=900.0,
+    burst=64.0,
+)
+
+
+class SimulatedCloudStore(KeyValueStore):
+    """An in-memory store behind a simulated cloud request path.
+
+    Every data-path request pays: token-bucket admission (queueing or 503),
+    then a sampled service time.  ``keys()``/``size()`` bypass the request
+    path — they exist for validation stages and tests, not for the
+    benchmark data path.
+    """
+
+    def __init__(
+        self,
+        profile: CloudStoreProfile = WAS_PROFILE,
+        scale: float = 1.0,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ):
+        profile = profile.scaled(scale) if scale != 1.0 else profile
+        self._profile = profile
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._inner = InMemoryKVStore()
+        self._read_latency: LatencyModel = (
+            LognormalLatency(profile.read_median_s, profile.sigma, self._rng)
+            if profile.read_median_s > 0
+            else NoLatency()
+        )
+        self._write_latency: LatencyModel = (
+            LognormalLatency(profile.write_median_s, profile.sigma, self._rng)
+            if profile.write_median_s > 0
+            else NoLatency()
+        )
+        self._bucket = TokenBucket(profile.requests_per_second, profile.burst)
+        self._throttle_lock = threading.Lock()
+        self._throttled_requests = 0
+
+    @property
+    def profile(self) -> CloudStoreProfile:
+        return self._profile
+
+    @property
+    def backing_store(self) -> InMemoryKVStore:
+        """Direct, latency-free access to the stored data.
+
+        For experiment *setup* (bulk pre-population) and verification —
+        never for the measured data path, which must go through the
+        request machinery.
+        """
+        return self._inner
+
+    @property
+    def throttled_requests(self) -> int:
+        """Requests that hit the rate ceiling (queued or rejected)."""
+        return self._throttled_requests
+
+    def _admit(self) -> None:
+        if self._bucket.try_acquire():
+            return
+        with self._throttle_lock:
+            self._throttled_requests += 1
+        if self._profile.reject_on_throttle:
+            raise RateLimitExceeded(
+                f"{self._profile.name}: container request rate exceeded"
+            )
+        self._bucket.acquire(sleep=self._sleep)
+
+    def _request(self, latency: LatencyModel) -> None:
+        self._admit()
+        delay = latency.sample()
+        if delay > 0:
+            self._sleep(delay)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        self._request(self._read_latency)
+        return self._inner.get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        self._request(self._read_latency)
+        return self._inner.scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        return self._inner.keys()
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        self._request(self._write_latency)
+        return self._inner.put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        self._request(self._write_latency)
+        return self._inner.put_if_version(key, value, expected_version)
+
+    def delete(self, key: str) -> bool:
+        self._request(self._write_latency)
+        return self._inner.delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        self._request(self._write_latency)
+        return self._inner.delete_if_version(key, expected_version)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,189 @@
+"""Latency models and the latency-injecting store wrapper.
+
+The paper's measurements are dominated by where the store lives: WAS/GCS
+behind a WAN (tens of milliseconds per request, Fig. 2), or a local HTTP
+server (~1.5 ms, Listing 3).  A :class:`LatencyModel` turns either setting
+into a per-request service time; :class:`LatencyInjectingStore` applies it
+to any inner store.  Time is spent with ``time.sleep``, so client threads
+block exactly the way they would on real network I/O — which is what makes
+thread-scaling experiments meaningful under the GIL.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Mapping
+
+from .base import Fields, KeyValueStore, VersionedValue
+
+__all__ = [
+    "LatencyModel",
+    "NoLatency",
+    "ConstantLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "LatencyInjectingStore",
+]
+
+
+class LatencyModel(ABC):
+    """Produces one service time (in seconds) per request."""
+
+    @abstractmethod
+    def sample(self) -> float:
+        """Service time for the next request, in seconds (>= 0)."""
+
+    def mean(self) -> float:
+        """Expected service time in seconds."""
+        raise NotImplementedError
+
+
+class NoLatency(LatencyModel):
+    """Zero added latency (pass-through)."""
+
+    def sample(self) -> float:
+        return 0.0
+
+    def mean(self) -> float:
+        return 0.0
+
+
+class ConstantLatency(LatencyModel):
+    """Every request takes exactly ``seconds``."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self._seconds = seconds
+
+    def sample(self) -> float:
+        return self._seconds
+
+    def mean(self) -> float:
+        return self._seconds
+
+
+class UniformLatency(LatencyModel):
+    """Uniform service time in ``[low, high]`` seconds."""
+
+    def __init__(self, low: float, high: float, rng: random.Random | None = None):
+        if low < 0 or high < low:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._rng = rng or random.Random()
+
+    def sample(self) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+
+class LognormalLatency(LatencyModel):
+    """Lognormal service time — the classic fit for cloud request latency.
+
+    Parameterised by its median and the sigma of the underlying normal;
+    a long right tail appears for sigma around 0.3–0.7, matching the
+    max-latency outliers in Listing 3.
+    """
+
+    def __init__(self, median_seconds: float, sigma: float = 0.4, rng: random.Random | None = None):
+        if median_seconds <= 0:
+            raise ValueError(f"median must be positive, got {median_seconds}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        import math
+
+        self._mu = math.log(median_seconds)
+        self._sigma = sigma
+        self._rng = rng or random.Random()
+
+    def sample(self) -> float:
+        return self._rng.lognormvariate(self._mu, self._sigma)
+
+    def mean(self) -> float:
+        import math
+
+        return math.exp(self._mu + self._sigma**2 / 2.0)
+
+
+class LatencyInjectingStore(KeyValueStore):
+    """Wraps a store, sleeping a sampled service time around every call.
+
+    Reads and writes may use different models (cloud stores commonly have
+    cheaper reads than writes).  Scans pay the read latency once per
+    request, not per record, mirroring a single ranged HTTP request.
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueStore,
+        read_latency: LatencyModel,
+        write_latency: LatencyModel | None = None,
+        sleep=time.sleep,
+    ):
+        self._inner = inner
+        self._read_latency = read_latency
+        self._write_latency = write_latency or read_latency
+        self._sleep = sleep
+
+    @property
+    def inner(self) -> KeyValueStore:
+        return self._inner
+
+    def _pay_read(self) -> None:
+        delay = self._read_latency.sample()
+        if delay > 0:
+            self._sleep(delay)
+
+    def _pay_write(self) -> None:
+        delay = self._write_latency.sample()
+        if delay > 0:
+            self._sleep(delay)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        self._pay_read()
+        return self._inner.get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        self._pay_read()
+        return self._inner.scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        return self._inner.keys()
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        self._pay_write()
+        return self._inner.put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        self._pay_write()
+        return self._inner.put_if_version(key, value, expected_version)
+
+    def delete(self, key: str) -> bool:
+        self._pay_write()
+        return self._inner.delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        self._pay_write()
+        return self._inner.delete_if_version(key, expected_version)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+    def close(self) -> None:
+        self._inner.close()

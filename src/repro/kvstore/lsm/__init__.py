@@ -1,0 +1,18 @@
+"""Log-structured storage engine (WAL + memtable + SSTables)."""
+
+from .memtable import Memtable, MemtableEntry
+from .sstable import BloomFilter, SSTable, SSTableCorruptionError
+from .store import LSMKVStore
+from .wal import WalCorruptionError, WalRecord, WriteAheadLog
+
+__all__ = [
+    "Memtable",
+    "MemtableEntry",
+    "BloomFilter",
+    "SSTable",
+    "SSTableCorruptionError",
+    "LSMKVStore",
+    "WalCorruptionError",
+    "WalRecord",
+    "WriteAheadLog",
+]

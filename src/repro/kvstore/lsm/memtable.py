@@ -1,0 +1,93 @@
+"""In-memory write buffer (memtable) for the log-structured store.
+
+Holds the most recent version of every key written since the last flush,
+including tombstones for deletes.  Keys are kept in a sorted index so the
+memtable can serve ordered scans and be flushed to a sorted segment file
+without a final sort.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..base import Fields
+
+__all__ = ["MemtableEntry", "Memtable"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemtableEntry:
+    """Latest buffered state of one key.
+
+    ``value is None`` marks a tombstone (the key was deleted).
+    """
+
+    key: str
+    sequence: int
+    value: Fields | None
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is None
+
+
+class Memtable:
+    """Sorted write buffer.  Not thread-safe: the store serialises access."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, MemtableEntry] = {}
+        self._sorted_keys: list[str] = []
+        self._approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint, used for the flush threshold."""
+        return self._approximate_bytes
+
+    def _index_add(self, key: str) -> None:
+        index = bisect.bisect_left(self._sorted_keys, key)
+        if index == len(self._sorted_keys) or self._sorted_keys[index] != key:
+            self._sorted_keys.insert(index, key)
+
+    def upsert(self, key: str, sequence: int, value: Fields | None) -> None:
+        """Buffer a put (``value``) or delete (``None``) of ``key``."""
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._approximate_bytes -= self._entry_size(previous)
+        entry = MemtableEntry(key, sequence, None if value is None else dict(value))
+        self._entries[key] = entry
+        self._approximate_bytes += self._entry_size(entry)
+        if previous is None:
+            self._index_add(key)
+
+    @staticmethod
+    def _entry_size(entry: MemtableEntry) -> int:
+        size = len(entry.key) + 16
+        if entry.value is not None:
+            size += sum(len(field) + len(value) for field, value in entry.value.items())
+        return size
+
+    def lookup(self, key: str) -> MemtableEntry | None:
+        """Buffered entry for ``key`` (may be a tombstone), or None."""
+        return self._entries.get(key)
+
+    def range_from(self, start_key: str) -> Iterator[MemtableEntry]:
+        """Entries with key >= ``start_key`` in key order (incl. tombstones)."""
+        index = bisect.bisect_left(self._sorted_keys, start_key)
+        for key in self._sorted_keys[index:]:
+            yield self._entries[key]
+
+    def entries(self) -> Iterator[MemtableEntry]:
+        """All entries in key order (including tombstones)."""
+        for key in self._sorted_keys:
+            yield self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._sorted_keys.clear()
+        self._approximate_bytes = 0

@@ -1,0 +1,192 @@
+"""Immutable sorted segment files (SSTables) with bloom filters.
+
+A segment holds key-ordered JSON records, each carrying a sequence number
+and either a value or a tombstone marker.  Readers keep a full in-memory
+key index (segments here are small; a sparse index would be the next step
+at scale) plus a bloom filter so that point lookups for absent keys skip
+the file entirely — the read-amplification countermeasure every
+log-structured engine uses.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from ..base import StoreError
+from ...generators.hashing import fnv1a_64
+from .memtable import MemtableEntry
+
+__all__ = ["BloomFilter", "SSTable", "SSTableCorruptionError"]
+
+
+class SSTableCorruptionError(StoreError):
+    """An SSTable file failed to parse."""
+
+
+class BloomFilter:
+    """Plain k-hash bloom filter over a bit array.
+
+    Double hashing (Kirsch–Mitzenmacher) derives the k probe positions
+    from two FNV hashes, which is standard practice and avoids k full
+    hash computations.
+    """
+
+    def __init__(self, expected_items: int, bits_per_item: int = 10):
+        if expected_items < 0:
+            raise ValueError("expected_items must be >= 0")
+        self._size = max(8, expected_items * bits_per_item)
+        self._hash_count = max(1, int(round(bits_per_item * 0.693)))  # k = m/n * ln2
+        self._bits = bytearray((self._size + 7) // 8)
+
+    @property
+    def size_bits(self) -> int:
+        return self._size
+
+    @property
+    def hash_count(self) -> int:
+        return self._hash_count
+
+    def _positions(self, key: str) -> Iterator[int]:
+        data = key.encode("utf-8")
+        h1 = fnv1a_64(data)
+        h2 = fnv1a_64(data + b"\x00salt") | 1  # odd => full-period stride
+        for i in range(self._hash_count):
+            yield (h1 + i * h2) % self._size
+
+    def add(self, key: str) -> None:
+        for position in self._positions(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+
+    def may_contain(self, key: str) -> bool:
+        """False means definitely absent; True means probably present."""
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(key)
+        )
+
+
+class SSTable:
+    """A read-only sorted segment on disk.
+
+    File format — line 1 is a JSON header ``{"format": 1, "count": n,
+    "min_seq": a, "max_seq": b}``; each following line is one record
+    ``{"key": k, "seq": s, "value": {...}}`` (``"value": null`` is a
+    tombstone), in strictly ascending key order.
+    """
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._index: dict[str, int] = {}  # key -> byte offset of its line
+        self._ordered_keys: list[str] = []
+        self._bloom: BloomFilter | None = None
+        self.min_sequence = 0
+        self.max_sequence = 0
+        self._load_index()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._ordered_keys)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def write(cls, path: str | Path, entries: Iterable[MemtableEntry]) -> "SSTable":
+        """Persist ``entries`` (already key-ordered) as a new segment."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        materialised = list(entries)
+        for earlier, later in zip(materialised, materialised[1:]):
+            if earlier.key >= later.key:
+                raise ValueError(
+                    f"entries not in strictly ascending key order: "
+                    f"{earlier.key!r} before {later.key!r}"
+                )
+        sequences = [entry.sequence for entry in materialised]
+        header = {
+            "format": cls.FORMAT_VERSION,
+            "count": len(materialised),
+            "min_seq": min(sequences) if sequences else 0,
+            "max_seq": max(sequences) if sequences else 0,
+        }
+        tmp_path = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+            for entry in materialised:
+                record = {"key": entry.key, "seq": entry.sequence, "value": entry.value}
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        tmp_path.replace(path)  # atomic publish
+        return cls(path)
+
+    def _load_index(self) -> None:
+        try:
+            with open(self._path, "rb") as handle:
+                header_line = handle.readline()
+                header = json.loads(header_line)
+                if header.get("format") != self.FORMAT_VERSION:
+                    raise SSTableCorruptionError(
+                        f"{self._path}: unsupported format {header.get('format')!r}"
+                    )
+                self.min_sequence = int(header.get("min_seq", 0))
+                self.max_sequence = int(header.get("max_seq", 0))
+                expected = int(header.get("count", 0))
+                bloom = BloomFilter(expected)
+                offset = handle.tell()
+                for raw in handle:
+                    record = json.loads(raw)
+                    key = str(record["key"])
+                    self._index[key] = offset
+                    self._ordered_keys.append(key)
+                    bloom.add(key)
+                    offset += len(raw)
+                if len(self._ordered_keys) != expected:
+                    raise SSTableCorruptionError(
+                        f"{self._path}: header promises {expected} records, "
+                        f"found {len(self._ordered_keys)}"
+                    )
+                self._bloom = bloom
+        except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise SSTableCorruptionError(f"{self._path}: unreadable segment") from exc
+
+    # -- reads -----------------------------------------------------------------
+
+    def _read_at(self, offset: int) -> MemtableEntry:
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline())
+        return MemtableEntry(
+            key=str(record["key"]), sequence=int(record["seq"]), value=record["value"]
+        )
+
+    def lookup(self, key: str) -> MemtableEntry | None:
+        """The segment's entry for ``key`` (may be a tombstone), or None."""
+        if self._bloom is not None and not self._bloom.may_contain(key):
+            return None
+        offset = self._index.get(key)
+        if offset is None:
+            return None
+        return self._read_at(offset)
+
+    def range_from(self, start_key: str) -> Iterator[MemtableEntry]:
+        """Entries with key >= ``start_key`` in key order (incl. tombstones)."""
+        index = bisect.bisect_left(self._ordered_keys, start_key)
+        for key in self._ordered_keys[index:]:
+            yield self._read_at(self._index[key])
+
+    def entries(self) -> Iterator[MemtableEntry]:
+        """All entries in key order."""
+        return self.range_from("")
+
+    def keys(self) -> list[str]:
+        return list(self._ordered_keys)
+
+    def delete_file(self) -> None:
+        """Remove the backing file (after compaction superseded it)."""
+        self._path.unlink(missing_ok=True)

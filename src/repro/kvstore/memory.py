@@ -1,0 +1,142 @@
+"""Thread-safe in-memory hash store.
+
+This is the "raw" store of the evaluation: each individual call is atomic
+(guarded by one mutex), nothing is atomic across calls.  It stands in for
+the WiredTiger instance of §V-C when no durability is needed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections.abc import Iterator, Mapping
+
+from .base import Fields, KeyValueStore, StoreClosed, VersionedValue
+
+__all__ = ["InMemoryKVStore"]
+
+
+class InMemoryKVStore(KeyValueStore):
+    """Mutex-protected dict store with per-key versions and ordered scans.
+
+    A sorted key index is maintained incrementally so that ``scan`` is
+    O(log n + k) instead of sorting the whole key set per call — scans are
+    on CEW's critical path (the validation stage reads every record).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._data: dict[str, VersionedValue] = {}
+        self._sorted_keys: list[str] = []
+        self._closed = False
+
+    # -- internal helpers ----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosed("store is closed")
+
+    def _index_add(self, key: str) -> None:
+        index = bisect.bisect_left(self._sorted_keys, key)
+        if index == len(self._sorted_keys) or self._sorted_keys[index] != key:
+            self._sorted_keys.insert(index, key)
+
+    def _index_remove(self, key: str) -> None:
+        index = bisect.bisect_left(self._sorted_keys, key)
+        if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
+            del self._sorted_keys[index]
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        with self._lock:
+            self._check_open()
+            found = self._data.get(key)
+            if found is None:
+                return None
+            # Copy the field map so callers can mutate their view safely.
+            return VersionedValue(dict(found.value), found.version)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        if record_count <= 0:
+            return []
+        with self._lock:
+            self._check_open()
+            start = bisect.bisect_left(self._sorted_keys, start_key)
+            selected = self._sorted_keys[start : start + record_count]
+            return [(key, dict(self._data[key].value)) for key in selected]
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            self._check_open()
+            snapshot = list(self._sorted_keys)
+        return iter(snapshot)
+
+    def size(self) -> int:
+        with self._lock:
+            self._check_open()
+            return len(self._data)
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        with self._lock:
+            self._check_open()
+            current = self._data.get(key)
+            version = 1 if current is None else current.version + 1
+            self._data[key] = VersionedValue(dict(value), version)
+            if current is None:
+                self._index_add(key)
+            return version
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        with self._lock:
+            self._check_open()
+            current = self._data.get(key)
+            if expected_version is None:
+                if current is not None:
+                    return None
+                version = 1
+            else:
+                if current is None or current.version != expected_version:
+                    return None
+                version = current.version + 1
+            self._data[key] = VersionedValue(dict(value), version)
+            if current is None:
+                self._index_add(key)
+            return version
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            self._check_open()
+            if key not in self._data:
+                return False
+            del self._data[key]
+            self._index_remove(key)
+            return True
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        with self._lock:
+            self._check_open()
+            current = self._data.get(key)
+            if current is None:
+                return False
+            if current.version != expected_version:
+                return None
+            del self._data[key]
+            self._index_remove(key)
+            return True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._check_open()
+            self._data.clear()
+            self._sorted_keys.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True

@@ -1,0 +1,195 @@
+"""Primary/replica store with asynchronous replication.
+
+Models the *synchronous versus asynchronous replication* trade-off of
+§II-A and the weak-consistency reads of early NoSQL systems: writes go to
+the primary and are applied to replicas after a replication delay, so a
+read served by a replica can return **stale** data (the paper's
+"time-line" / eventual-consistency regimes).
+
+Replication here is logical, not threaded: each write enqueues a
+replication event stamped with ``apply_at = now + lag``; replica reads
+first apply every event that has come due.  That keeps behaviour fully
+deterministic under an injected clock, which the consistency-tier tests
+rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from enum import Enum
+
+from .base import Fields, KeyValueStore, VersionedValue
+from .memory import InMemoryKVStore
+
+__all__ = ["ReadPreference", "ReplicatedKVStore"]
+
+
+class ReadPreference(Enum):
+    """Where reads are served from."""
+
+    PRIMARY = "primary"
+    REPLICA = "replica"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True, slots=True)
+class _ReplicationEvent:
+    apply_at: float
+    key: str
+    value: Fields | None  # None is a delete
+    version: int
+
+
+class ReplicatedKVStore(KeyValueStore):
+    """One primary, N asynchronous replicas, bounded replication lag.
+
+    Args:
+        replica_count: number of read replicas.
+        lag_seconds: replication delay applied to every write.
+        read_preference: which node serves ``get``/``scan``.
+        clock: injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        replica_count: int = 1,
+        lag_seconds: float = 0.05,
+        read_preference: ReadPreference = ReadPreference.REPLICA,
+        rng: random.Random | None = None,
+        clock=time.monotonic,
+    ):
+        if replica_count < 1:
+            raise ValueError(f"replica_count must be >= 1, got {replica_count}")
+        if lag_seconds < 0:
+            raise ValueError(f"lag_seconds must be >= 0, got {lag_seconds}")
+        self._primary = InMemoryKVStore()
+        self._replicas = [InMemoryKVStore() for _ in range(replica_count)]
+        self._queues: list[deque[_ReplicationEvent]] = [deque() for _ in range(replica_count)]
+        self._lag = lag_seconds
+        self._read_preference = read_preference
+        self._rng = rng or random.Random()
+        self._clock = clock
+        self._lock = threading.RLock()
+
+    @property
+    def lag_seconds(self) -> float:
+        return self._lag
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    # -- replication machinery -----------------------------------------------
+
+    def _enqueue(self, key: str, value: Fields | None, version: int) -> None:
+        event = _ReplicationEvent(self._clock() + self._lag, key, value, version)
+        for queue in self._queues:
+            queue.append(event)
+
+    def _apply_due(self, replica_index: int) -> None:
+        now = self._clock()
+        queue = self._queues[replica_index]
+        replica = self._replicas[replica_index]
+        while queue and queue[0].apply_at <= now:
+            event = queue.popleft()
+            if event.value is None:
+                replica.delete(event.key)
+            else:
+                replica.put(event.key, event.value)
+
+    def flush_replication(self) -> None:
+        """Apply every pending event regardless of its due time."""
+        with self._lock:
+            for index, queue in enumerate(self._queues):
+                replica = self._replicas[index]
+                while queue:
+                    event = queue.popleft()
+                    if event.value is None:
+                        replica.delete(event.key)
+                    else:
+                        replica.put(event.key, event.value)
+
+    def replication_backlog(self) -> int:
+        """Total number of pending replication events."""
+        with self._lock:
+            return sum(len(queue) for queue in self._queues)
+
+    def _read_node(self) -> KeyValueStore:
+        preference = self._read_preference
+        if preference is ReadPreference.PRIMARY:
+            return self._primary
+        if preference is ReadPreference.RANDOM and self._rng.random() < 0.5:
+            return self._primary
+        index = self._rng.randrange(len(self._replicas))
+        self._apply_due(index)
+        return self._replicas[index]
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        with self._lock:
+            return self._read_node().get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        with self._lock:
+            return self._read_node().scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return self._primary.keys()
+
+    def size(self) -> int:
+        with self._lock:
+            return self._primary.size()
+
+    # -- writes (always through the primary) ----------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        with self._lock:
+            version = self._primary.put(key, value)
+            self._enqueue(key, dict(value), version)
+            return version
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        with self._lock:
+            version = self._primary.put_if_version(key, value, expected_version)
+            if version is not None:
+                self._enqueue(key, dict(value), version)
+            return version
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            existed = self._primary.delete(key)
+            if existed:
+                self._enqueue(key, None, 0)
+            return existed
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        with self._lock:
+            result = self._primary.delete_if_version(key, expected_version)
+            if result is True:
+                self._enqueue(key, None, 0)
+            return result
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._primary.clear()
+            for replica in self._replicas:
+                replica.clear()
+            for queue in self._queues:
+                queue.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            self._primary.close()
+            for replica in self._replicas:
+                replica.close()

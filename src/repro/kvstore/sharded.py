@@ -1,0 +1,171 @@
+"""Hash-partitioned store over multiple child stores.
+
+Models the *scale-out* property of §II-A: data and request load spread
+across many nodes.  Also the substrate for the heterogeneous-transaction
+example — the client-coordinated transaction manager can run transactions
+whose keys land on different child stores (even stores of different types,
+the "hybrid data stores" of §II-B).
+
+Placement uses a consistent-hash ring with virtual nodes so that adding a
+shard moves only ~1/n of the keys (the *elasticity* property).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import threading
+from collections.abc import Iterator, Mapping, Sequence
+
+from ..generators.hashing import fnv1a_64
+from .base import Fields, KeyValueStore, VersionedValue
+
+__all__ = ["ConsistentHashRing", "ShardedKVStore"]
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard name is hashed ``replicas`` times onto a 64-bit ring; a key
+    is owned by the first virtual node clockwise from its hash.
+    """
+
+    def __init__(self, shard_names: Sequence[str], replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._ring: list[tuple[int, str]] = []
+        self._points: list[int] = []
+        self._names: list[str] = []
+        for name in shard_names:
+            self.add_shard(name)
+
+    @staticmethod
+    def _hash(token: str) -> int:
+        return fnv1a_64(token.encode("utf-8"))
+
+    def add_shard(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"shard {name!r} already on the ring")
+        self._names.append(name)
+        for replica in range(self._replicas):
+            point = self._hash(f"{name}#{replica}")
+            index = bisect.bisect_left(self._ring, (point, name))
+            self._ring.insert(index, (point, name))
+        self._points = [point for point, _ in self._ring]
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._names:
+            raise ValueError(f"shard {name!r} not on the ring")
+        self._names.remove(name)
+        self._ring = [(point, owner) for point, owner in self._ring if owner != name]
+        self._points = [point for point, _ in self._ring]
+
+    def shard_names(self) -> list[str]:
+        return list(self._names)
+
+    def owner(self, key: str) -> str:
+        """Name of the shard owning ``key``."""
+        if not self._ring:
+            raise RuntimeError("hash ring is empty")
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+
+class ShardedKVStore(KeyValueStore):
+    """Routes each key to one of several child stores by consistent hash.
+
+    Scans merge the per-shard ordered streams with a heap, so a ranged
+    ``scan`` behaves exactly like it would on a single ordered store.
+    """
+
+    def __init__(self, shards: Mapping[str, KeyValueStore], replicas: int = 64):
+        if not shards:
+            raise ValueError("at least one shard is required")
+        self._shards = dict(shards)
+        self._ring = ConsistentHashRing(list(self._shards), replicas=replicas)
+        self._lock = threading.Lock()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, key: str) -> KeyValueStore:
+        """The child store that owns ``key``."""
+        return self._shards[self._ring.owner(key)]
+
+    def shard_names(self) -> list[str]:
+        return self._ring.shard_names()
+
+    def add_shard(self, name: str, store: KeyValueStore) -> int:
+        """Attach a new shard and migrate the keys it now owns.
+
+        Returns the number of keys moved — the elasticity metric: with a
+        balanced ring this is about ``size / (n + 1)``.
+        """
+        with self._lock:
+            if name in self._shards:
+                raise ValueError(f"shard {name!r} already exists")
+            moved = 0
+            self._ring.add_shard(name)
+            self._shards[name] = store
+            for shard_name, shard in list(self._shards.items()):
+                if shard_name == name:
+                    continue
+                for key in list(shard.keys()):
+                    if self._ring.owner(key) == name:
+                        versioned = shard.get_with_meta(key)
+                        if versioned is None:
+                            continue
+                        store.put(key, versioned.value)
+                        shard.delete(key)
+                        moved += 1
+            return moved
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self.shard_for(key).get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        if record_count <= 0:
+            return []
+        per_shard = (shard.scan(start_key, record_count) for shard in self._shards.values())
+        merged = heapq.merge(*per_shard, key=lambda pair: pair[0])
+        return [pair for _, pair in zip(range(record_count), merged)]
+
+    def keys(self) -> Iterator[str]:
+        streams = [shard.keys() for shard in self._shards.values()]
+        return iter(heapq.merge(*streams))
+
+    def size(self) -> int:
+        return sum(shard.size() for shard in self._shards.values())
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        return self.shard_for(key).put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        return self.shard_for(key).put_if_version(key, value, expected_version)
+
+    def delete(self, key: str) -> bool:
+        return self.shard_for(key).delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        return self.shard_for(key).delete_if_version(key, expected_version)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        for shard in self._shards.values():
+            shard.clear()
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.close()

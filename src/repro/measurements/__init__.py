@@ -1,0 +1,26 @@
+"""Latency measurement, aggregation, and report export (Tiers 1 & 5)."""
+
+from .exporters import CsvExporter, JsonExporter, RunReport, TextExporter
+from .histogram import (
+    HistogramMeasurement,
+    MeasurementSummary,
+    OneMeasurement,
+    RawMeasurement,
+)
+from .registry import Measurements, StopWatch
+from .timeseries import ThroughputTimeSeries, ThroughputWindow
+
+__all__ = [
+    "CsvExporter",
+    "JsonExporter",
+    "RunReport",
+    "TextExporter",
+    "HistogramMeasurement",
+    "MeasurementSummary",
+    "OneMeasurement",
+    "RawMeasurement",
+    "Measurements",
+    "StopWatch",
+    "ThroughputTimeSeries",
+    "ThroughputWindow",
+]

@@ -1,0 +1,193 @@
+"""Measurement exporters.
+
+The text exporter reproduces the YCSB report format shown in Listing 3 of
+the paper: ``[SECTION], Metric, value`` lines, one block per operation type,
+preceded by the ``[OVERALL]`` block and — for validating workloads — the
+validation block (``[TOTAL CASH]``, ``[COUNTED CASH]``, ``[ACTUAL
+OPERATIONS]``, ``[ANOMALY SCORE]``).  JSON and CSV exporters carry the same
+data for programmatic consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from .histogram import MeasurementSummary
+from .registry import Measurements
+
+__all__ = ["RunReport", "TextExporter", "JsonExporter", "CsvExporter"]
+
+
+@dataclass
+class RunReport:
+    """Everything an exporter needs about a finished benchmark run.
+
+    Attributes:
+        run_time_ms: wall-clock duration of the measured phase.
+        operations: number of operations (or transactions) completed.
+        throughput: operations per second over the measured phase.
+        summaries: per-operation latency summaries keyed by name.
+        validation: ordered extra sections emitted *before* the overall
+            block, e.g. the CEW validation result.  Each entry is a
+            ``(section, value)`` pair rendered as ``[SECTION], value``.
+        validation_passed: None when the workload has no validation stage.
+    """
+
+    run_time_ms: float
+    operations: int
+    throughput: float
+    summaries: dict[str, MeasurementSummary] = field(default_factory=dict)
+    validation: list[tuple[str, Any]] = field(default_factory=list)
+    validation_passed: bool | None = None
+
+    @classmethod
+    def from_measurements(
+        cls,
+        measurements: Measurements,
+        run_time_ms: float,
+        operations: int,
+        validation: Iterable[tuple[str, Any]] = (),
+        validation_passed: bool | None = None,
+    ) -> "RunReport":
+        seconds = run_time_ms / 1000.0
+        throughput = operations / seconds if seconds > 0 else 0.0
+        return cls(
+            run_time_ms=run_time_ms,
+            operations=operations,
+            throughput=throughput,
+            summaries=measurements.summaries(),
+            validation=list(validation),
+            validation_passed=validation_passed,
+        )
+
+
+def _format_number(value: Any) -> str:
+    """Numbers print like Java's ``String.valueOf`` (Listing 3 style)."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return repr(value)
+    return str(value)
+
+
+class TextExporter:
+    """Renders a :class:`RunReport` in the YCSB ``[OP], metric, value`` form."""
+
+    def __init__(self, include_percentiles: bool = True):
+        self._include_percentiles = include_percentiles
+
+    def export(self, report: RunReport) -> str:
+        lines: list[str] = []
+        if report.validation_passed is False:
+            lines.append("Validation failed")
+        for section, value in report.validation:
+            lines.append(f"[{section}], {_format_number(value)}")
+        if report.validation_passed is False:
+            lines.append("Database validation failed")
+        elif report.validation_passed is True:
+            lines.append("Database validation passed")
+        lines.append(f"[OVERALL], RunTime(ms), {_format_number(report.run_time_ms)}")
+        lines.append(f"[OVERALL], Throughput(ops/sec), {_format_number(report.throughput)}")
+        for name, summary in report.summaries.items():
+            lines.extend(self._operation_block(name, summary))
+        return "\n".join(lines) + "\n"
+
+    def _operation_block(self, name: str, summary: MeasurementSummary) -> list[str]:
+        block = [
+            f"[{name}], Operations, {summary.count}",
+            f"[{name}], AverageLatency(us), {_format_number(summary.average_us)}",
+            f"[{name}], MinLatency(us), {summary.min_us}",
+            f"[{name}], MaxLatency(us), {summary.max_us}",
+        ]
+        if self._include_percentiles:
+            block.append(
+                f"[{name}], 95thPercentileLatency(us), "
+                f"{_format_number(summary.percentile_95_us)}"
+            )
+            block.append(
+                f"[{name}], 99thPercentileLatency(us), "
+                f"{_format_number(summary.percentile_99_us)}"
+            )
+        for code_name, count in sorted(summary.return_codes.items()):
+            block.append(f"[{name}], Return={code_name}, {count}")
+        return block
+
+
+class JsonExporter:
+    """Renders a :class:`RunReport` as a JSON document."""
+
+    def export(self, report: RunReport) -> str:
+        def summary_dict(summary: MeasurementSummary) -> Mapping[str, Any]:
+            return {
+                "operations": summary.count,
+                "average_latency_us": summary.average_us,
+                "min_latency_us": summary.min_us,
+                "max_latency_us": summary.max_us,
+                "p95_latency_us": summary.percentile_95_us,
+                "p99_latency_us": summary.percentile_99_us,
+                "return_codes": summary.return_codes,
+            }
+
+        document = {
+            "overall": {
+                "run_time_ms": report.run_time_ms,
+                "operations": report.operations,
+                "throughput_ops_sec": report.throughput,
+            },
+            "validation": {
+                "passed": report.validation_passed,
+                "fields": {section: value for section, value in report.validation},
+            },
+            "operations": {
+                name: summary_dict(summary) for name, summary in report.summaries.items()
+            },
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+
+class CsvExporter:
+    """Renders per-operation summaries as CSV rows.
+
+    Columns: operation, count, avg/min/max/p95/p99 latency (us), ok, failed.
+    """
+
+    HEADER = (
+        "operation",
+        "operations",
+        "avg_latency_us",
+        "min_latency_us",
+        "max_latency_us",
+        "p95_latency_us",
+        "p99_latency_us",
+        "ok",
+        "failed",
+    )
+
+    def export(self, report: RunReport) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.HEADER)
+        for name, summary in report.summaries.items():
+            ok = summary.return_codes.get("OK", 0)
+            failed = sum(count for code, count in summary.return_codes.items() if code != "OK")
+            writer.writerow(
+                (
+                    name,
+                    summary.count,
+                    f"{summary.average_us:.3f}",
+                    summary.min_us,
+                    summary.max_us,
+                    f"{summary.percentile_95_us:.1f}",
+                    f"{summary.percentile_99_us:.1f}",
+                    ok,
+                    failed,
+                )
+            )
+        return buffer.getvalue()

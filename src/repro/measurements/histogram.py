@@ -1,0 +1,173 @@
+"""Latency measurement containers.
+
+YCSB's default measurement type is a fixed-bucket histogram with one bucket
+per millisecond up to ``histogram.buckets`` (default 1000), plus an overflow
+bucket; latencies are recorded in microseconds.  ``measurementtype=raw``
+keeps every sample instead, which is exact but unbounded.  Both are
+implemented here behind a single :class:`OneMeasurement` interface.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MeasurementSummary",
+    "OneMeasurement",
+    "HistogramMeasurement",
+    "RawMeasurement",
+]
+
+
+@dataclass
+class MeasurementSummary:
+    """Aggregated view of one operation's latency series.
+
+    Latencies are microseconds throughout, matching the paper's output
+    (Listing 3 prints ``AverageLatency(us)`` etc.).
+    """
+
+    operation: str
+    count: int = 0
+    average_us: float = 0.0
+    min_us: int = 0
+    max_us: int = 0
+    percentile_95_us: float = 0.0
+    percentile_99_us: float = 0.0
+    return_codes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_us(self) -> float:
+        return self.average_us * self.count
+
+
+class OneMeasurement(ABC):
+    """Collects the latency series and return codes for one operation."""
+
+    def __init__(self, operation: str):
+        self.operation = operation
+        self._lock = threading.Lock()
+        self._return_codes: dict[str, int] = {}
+
+    def report_status(self, code_name: str) -> None:
+        """Count one occurrence of return code ``code_name``."""
+        with self._lock:
+            self._return_codes[code_name] = self._return_codes.get(code_name, 0) + 1
+
+    def return_codes(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._return_codes)
+
+    @abstractmethod
+    def measure(self, latency_us: int) -> None:
+        """Record one latency sample, in microseconds."""
+
+    @abstractmethod
+    def summary(self) -> MeasurementSummary:
+        """Aggregate everything recorded so far."""
+
+
+class HistogramMeasurement(OneMeasurement):
+    """Fixed-bucket histogram: one bucket per millisecond.
+
+    Percentiles are therefore accurate to 1 ms; min/max/average are exact.
+    Memory is O(buckets) regardless of sample count, which is what lets
+    YCSB run million-operation benchmarks cheaply.
+    """
+
+    def __init__(self, operation: str, buckets: int = 1000):
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        super().__init__(operation)
+        self._buckets = [0] * buckets
+        self._overflow = 0
+        self._count = 0
+        self._total_us = 0
+        self._min_us: int | None = None
+        self._max_us: int | None = None
+
+    def measure(self, latency_us: int) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency {latency_us}")
+        bucket = latency_us // 1000
+        with self._lock:
+            if bucket < len(self._buckets):
+                self._buckets[bucket] += 1
+            else:
+                self._overflow += 1
+            self._count += 1
+            self._total_us += latency_us
+            if self._min_us is None or latency_us < self._min_us:
+                self._min_us = latency_us
+            if self._max_us is None or latency_us > self._max_us:
+                self._max_us = latency_us
+
+    def _percentile_ms(self, fraction: float) -> float:
+        """Smallest bucket (in ms) covering ``fraction`` of the samples."""
+        target = fraction * self._count
+        seen = 0
+        for bucket_ms, count in enumerate(self._buckets):
+            seen += count
+            if seen >= target:
+                return float(bucket_ms)
+        return float(len(self._buckets))
+
+    def summary(self) -> MeasurementSummary:
+        with self._lock:
+            if self._count == 0:
+                return MeasurementSummary(self.operation, return_codes=dict(self._return_codes))
+            return MeasurementSummary(
+                operation=self.operation,
+                count=self._count,
+                average_us=self._total_us / self._count,
+                min_us=self._min_us or 0,
+                max_us=self._max_us or 0,
+                percentile_95_us=self._percentile_ms(0.95) * 1000.0,
+                percentile_99_us=self._percentile_ms(0.99) * 1000.0,
+                return_codes=dict(self._return_codes),
+            )
+
+
+class RawMeasurement(OneMeasurement):
+    """Stores every sample; exact percentiles at O(n) memory."""
+
+    def __init__(self, operation: str):
+        super().__init__(operation)
+        self._samples: list[int] = []
+
+    def measure(self, latency_us: int) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency {latency_us}")
+        with self._lock:
+            self._samples.append(latency_us)
+
+    def samples(self) -> list[int]:
+        with self._lock:
+            return list(self._samples)
+
+    @staticmethod
+    def _percentile(ordered: list[int], fraction: float) -> float:
+        if not ordered:
+            return 0.0
+        # Nearest-rank percentile on the sorted series.
+        rank = max(1, int(round(fraction * len(ordered))))
+        return float(ordered[min(rank, len(ordered)) - 1])
+
+    def summary(self) -> MeasurementSummary:
+        with self._lock:
+            samples = sorted(self._samples)
+            codes = dict(self._return_codes)
+        if not samples:
+            return MeasurementSummary(self.operation, return_codes=codes)
+        return MeasurementSummary(
+            operation=self.operation,
+            count=len(samples),
+            average_us=sum(samples) / len(samples),
+            min_us=samples[0],
+            max_us=samples[-1],
+            percentile_95_us=self._percentile(samples, 0.95),
+            percentile_99_us=self._percentile(samples, 0.99),
+            return_codes=codes,
+        )

@@ -1,0 +1,97 @@
+"""Thread-safe registry of per-operation measurements.
+
+One :class:`Measurements` object exists per benchmark run.  Client threads
+call :meth:`Measurements.measure` / :meth:`Measurements.report_status` from
+the hot path; the registry lazily creates one measurement container per
+operation name ("READ", "TX-READ", "COMMIT", ...).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .histogram import HistogramMeasurement, MeasurementSummary, OneMeasurement, RawMeasurement
+
+__all__ = ["Measurements", "StopWatch"]
+
+
+class Measurements:
+    """Collects latencies and return codes for every operation type.
+
+    Args:
+        measurement_type: ``"histogram"`` (bounded memory, ms-resolution
+            percentiles — YCSB's default) or ``"raw"`` (every sample kept).
+        histogram_buckets: bucket count for histogram mode; the paper's
+            Listing 2 sets ``histogram.buckets=0`` which YCSB treats as
+            "use the default", reproduced here.
+    """
+
+    def __init__(self, measurement_type: str = "histogram", histogram_buckets: int = 1000):
+        if measurement_type not in ("histogram", "raw"):
+            raise ValueError(f"unknown measurement type {measurement_type!r}")
+        self._type = measurement_type
+        self._buckets = histogram_buckets if histogram_buckets > 0 else 1000
+        self._lock = threading.Lock()
+        self._measurements: dict[str, OneMeasurement] = {}
+
+    def _get(self, operation: str) -> OneMeasurement:
+        # Double-checked creation: the common case is a hit without the lock.
+        found = self._measurements.get(operation)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._measurements.get(operation)
+            if found is None:
+                if self._type == "raw":
+                    found = RawMeasurement(operation)
+                else:
+                    found = HistogramMeasurement(operation, self._buckets)
+                self._measurements[operation] = found
+            return found
+
+    def measure(self, operation: str, latency_us: int) -> None:
+        """Record one latency sample for ``operation``."""
+        self._get(operation).measure(latency_us)
+
+    def report_status(self, operation: str, code_name: str) -> None:
+        """Record one return code for ``operation``."""
+        self._get(operation).report_status(code_name)
+
+    def operations(self) -> list[str]:
+        """Operation names observed so far, in first-seen order."""
+        with self._lock:
+            return list(self._measurements)
+
+    def summaries(self) -> dict[str, MeasurementSummary]:
+        """Summaries of every operation, keyed by name."""
+        with self._lock:
+            containers = dict(self._measurements)
+        return {name: container.summary() for name, container in containers.items()}
+
+    def summary_for(self, operation: str) -> MeasurementSummary:
+        """Summary of one operation (empty summary if never observed)."""
+        with self._lock:
+            container = self._measurements.get(operation)
+        if container is None:
+            return MeasurementSummary(operation)
+        return container.summary()
+
+
+class StopWatch:
+    """Microsecond stopwatch for the measurement hot path.
+
+    ``perf_counter_ns`` is monotonic and the cheapest high-resolution clock
+    CPython exposes.
+    """
+
+    __slots__ = ("_start_ns",)
+
+    def __init__(self) -> None:
+        self._start_ns = time.perf_counter_ns()
+
+    def restart(self) -> None:
+        self._start_ns = time.perf_counter_ns()
+
+    def elapsed_us(self) -> int:
+        return (time.perf_counter_ns() - self._start_ns) // 1000

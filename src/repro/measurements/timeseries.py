@@ -1,0 +1,76 @@
+"""Windowed throughput time series.
+
+YCSB's ``-s`` flag prints interval throughput while the benchmark runs;
+the same data reveals warm-up effects, throttling plateaus and GC-like
+stalls.  :class:`ThroughputTimeSeries` aggregates completed operations
+into fixed wall-clock windows with O(windows) memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ThroughputWindow", "ThroughputTimeSeries"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputWindow:
+    """One completed measurement window."""
+
+    start_offset_s: float
+    operations: int
+    ops_per_second: float
+
+
+class ThroughputTimeSeries:
+    """Counts operations into consecutive windows of ``window_s`` seconds."""
+
+    def __init__(self, window_s: float = 1.0, clock=time.monotonic):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self._window_s = window_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at: float | None = None
+        self._counts: list[int] = []
+
+    @property
+    def window_s(self) -> float:
+        return self._window_s
+
+    def record(self, operations: int = 1) -> None:
+        """Count ``operations`` completions at the current time."""
+        now = self._clock()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+            index = int((now - self._started_at) / self._window_s)
+            while len(self._counts) <= index:
+                self._counts.append(0)
+            self._counts[index] += operations
+
+    def windows(self) -> list[ThroughputWindow]:
+        """All windows so far (the last one may still be filling)."""
+        with self._lock:
+            counts = list(self._counts)
+        return [
+            ThroughputWindow(
+                start_offset_s=index * self._window_s,
+                operations=count,
+                ops_per_second=count / self._window_s,
+            )
+            for index, count in enumerate(counts)
+        ]
+
+    def total_operations(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    def peak_ops_per_second(self) -> float:
+        """Highest single-window throughput (0.0 before any data)."""
+        windows = self.windows()
+        if not windows:
+            return 0.0
+        return max(window.ops_per_second for window in windows)

@@ -1,0 +1,54 @@
+"""Multi-item transactions over plain key-value stores.
+
+Three coordination designs behind one API (:class:`TransactionManager` /
+:class:`Transaction`):
+
+* :class:`ClientTransactionManager` — the paper authors' client-coordinated
+  library: no central services, ordered locking, lease-based recovery.
+* :class:`PercolatorLikeManager` — central timestamp oracle, primary-lock
+  two-phase commit (Peng & Dabek).
+* :class:`RetsoLikeManager` — central transaction status oracle, lock-free
+  optimistic commit (Junqueira et al.).
+"""
+
+from .base import Transaction, TransactionManager, TxState
+from .clock import HybridClock, LocalClock, TimestampOracle, TimestampSource
+from .errors import (
+    TransactionAborted,
+    TransactionConflict,
+    TransactionError,
+    TransactionStateError,
+    TransactionTimeout,
+)
+from .manager import TSR_PREFIX, ClientTransaction, ClientTransactionManager, TxnStats
+from .percolator import PercolatorLikeManager, PercolatorTransaction
+from .record import TX_FIELD, LockInfo, TxRecord, Version
+from .retso import RetsoLikeManager, RetsoTransaction, TransactionStatusOracle
+
+__all__ = [
+    "Transaction",
+    "TransactionManager",
+    "TxState",
+    "HybridClock",
+    "LocalClock",
+    "TimestampOracle",
+    "TimestampSource",
+    "TransactionAborted",
+    "TransactionConflict",
+    "TransactionError",
+    "TransactionStateError",
+    "TransactionTimeout",
+    "TSR_PREFIX",
+    "ClientTransaction",
+    "ClientTransactionManager",
+    "TxnStats",
+    "PercolatorLikeManager",
+    "PercolatorTransaction",
+    "TX_FIELD",
+    "LockInfo",
+    "TxRecord",
+    "Version",
+    "RetsoLikeManager",
+    "RetsoTransaction",
+    "TransactionStatusOracle",
+]

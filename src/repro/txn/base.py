@@ -1,0 +1,177 @@
+"""Abstract transaction API.
+
+All three coordination designs in this package — the client-coordinated
+library, the Percolator-style baseline and the ReTSO-style baseline —
+expose the same two classes, so benchmarks and DB bindings can swap the
+coordinator without touching workload code:
+
+* :class:`TransactionManager` — long-lived, owns the stores and the
+  timestamp source, hands out transactions.
+* :class:`Transaction` — one atomic unit of work: snapshot reads, buffered
+  writes, then :meth:`~Transaction.commit` or :meth:`~Transaction.abort`.
+
+Transactions may span several named stores (the "heterogeneous data
+stores" of §II-B): every data method takes an optional ``store`` name and
+defaults to the manager's default store.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping
+from contextlib import contextmanager
+from enum import Enum
+from typing import Any, Iterator, TypeVar
+
+from ..kvstore.base import Fields, KeyValueStore
+from .errors import TransactionConflict, TransactionError, TransactionStateError
+
+__all__ = ["TxState", "Transaction", "TransactionManager"]
+
+T = TypeVar("T")
+
+
+class TxState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction(ABC):
+    """One transaction: a snapshot read view plus a buffered write set."""
+
+    def __init__(self, txid: str, start_timestamp: int):
+        self.txid = txid
+        self.start_timestamp = start_timestamp
+        self.state = TxState.ACTIVE
+
+    def _require_active(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txid} is {self.state.value}; no further operations allowed"
+            )
+
+    # -- data operations ---------------------------------------------------------
+
+    @abstractmethod
+    def read(self, key: str, store: str | None = None) -> Fields | None:
+        """Snapshot read of ``key``; sees this transaction's own writes."""
+
+    @abstractmethod
+    def scan(
+        self, start_key: str, record_count: int, store: str | None = None
+    ) -> list[tuple[str, Fields]]:
+        """Ordered range read of committed data (see class docs for caveats)."""
+
+    @abstractmethod
+    def write(self, key: str, fields: Mapping[str, str], store: str | None = None) -> None:
+        """Buffer a full-record write of ``key``."""
+
+    @abstractmethod
+    def delete(self, key: str, store: str | None = None) -> None:
+        """Buffer a delete of ``key``."""
+
+    # -- outcome -------------------------------------------------------------------
+
+    @abstractmethod
+    def commit(self) -> None:
+        """Atomically publish the write set.
+
+        Raises:
+            TransactionConflict: a concurrent transaction won; state is
+                rolled back and the caller may retry from ``begin()``.
+        """
+
+    @abstractmethod
+    def abort(self) -> None:
+        """Roll back; safe to call more than once."""
+
+
+class TransactionManager(ABC):
+    """Creates transactions over one or more named key-value stores."""
+
+    def __init__(self, stores: Mapping[str, KeyValueStore], default_store: str | None = None):
+        if not stores:
+            raise ValueError("at least one store is required")
+        self._stores = dict(stores)
+        self._default_store = default_store or next(iter(self._stores))
+        if self._default_store not in self._stores:
+            raise ValueError(f"default store {self._default_store!r} not in stores")
+
+    @property
+    def default_store_name(self) -> str:
+        return self._default_store
+
+    def store(self, name: str | None = None) -> KeyValueStore:
+        """The store registered under ``name`` (default store if None)."""
+        resolved = name or self._default_store
+        try:
+            return self._stores[resolved]
+        except KeyError:
+            raise KeyError(f"unknown store {resolved!r}") from None
+
+    def store_names(self) -> list[str]:
+        return list(self._stores)
+
+    @abstractmethod
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+
+    # -- conveniences ---------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with manager.transaction() as tx:`` — commit on success,
+        abort on any exception (which is re-raised)."""
+        tx = self.begin()
+        try:
+            yield tx
+        except BaseException:
+            if tx.state is TxState.ACTIVE:
+                tx.abort()
+            raise
+        else:
+            if tx.state is TxState.ACTIVE:
+                tx.commit()
+
+    def run(
+        self,
+        body: Callable[[Transaction], T],
+        retries: int = 10,
+        backoff_s: float = 0.001,
+        sleep: Callable[[float], Any] = time.sleep,
+    ) -> T:
+        """Run ``body`` in a transaction, retrying on conflicts.
+
+        Retries cover both :class:`TransactionConflict` and
+        :class:`TransactionAborted` — a transaction aborted by a peer's
+        lease-expiry recovery never committed, so re-running it is safe.
+        Exponential backoff between attempts; after ``retries`` failed
+        attempts the final exception propagates.
+        """
+        from .errors import TransactionAborted
+
+        attempt = 0
+        while True:
+            tx = self.begin()
+            try:
+                result = body(tx)
+                if tx.state is TxState.ACTIVE:
+                    tx.commit()
+                return result
+            except (TransactionConflict, TransactionAborted):
+                if tx.state is TxState.ACTIVE:
+                    tx.abort()
+                attempt += 1
+                if attempt > retries:
+                    raise
+                sleep(backoff_s * (2 ** min(attempt, 8)))
+            except TransactionError:
+                if tx.state is TxState.ACTIVE:
+                    tx.abort()
+                raise
+            except BaseException:
+                if tx.state is TxState.ACTIVE:
+                    tx.abort()
+                raise

@@ -1,0 +1,111 @@
+"""Timestamp sources.
+
+The design space the paper discusses in §II-B:
+
+* Percolator and ReTSO depend on a **central timestamp oracle** — simple,
+  strictly ordered, but a round trip per timestamp and a bottleneck over
+  WAN links (:class:`TimestampOracle`, with optional simulated RPC delay).
+* The authors' client-coordinated library uses the **local clock** of each
+  client, made strictly monotonic per process (:class:`LocalClock`), and
+  is "compatible with approaches like TrueTime".
+* :class:`HybridClock` is a hybrid logical clock: physical time that never
+  runs behind timestamps observed from other participants — the standard
+  fix for modest clock skew between cooperating clients.
+
+Timestamps are integers in microseconds; uniqueness within one source is
+guaranteed by bumping at least 1 per call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+__all__ = ["TimestampSource", "LocalClock", "HybridClock", "TimestampOracle"]
+
+
+class TimestampSource(ABC):
+    """Produces strictly increasing integer timestamps (microseconds)."""
+
+    @abstractmethod
+    def next_timestamp(self) -> int:
+        """A timestamp strictly greater than any previously returned."""
+
+
+class LocalClock(TimestampSource):
+    """Monotonic local clock: ``max(wall_us, last + 1)``.
+
+    No coordination, no round trips — the property the paper's library is
+    built around ("does not depend on any centralized timestamp oracle").
+    """
+
+    def __init__(self, now_us=None):
+        self._lock = threading.Lock()
+        self._last = 0
+        self._now_us = now_us or (lambda: time.time_ns() // 1000)
+
+    def next_timestamp(self) -> int:
+        with self._lock:
+            candidate = self._now_us()
+            self._last = candidate if candidate > self._last else self._last + 1
+            return self._last
+
+
+class HybridClock(TimestampSource):
+    """Hybrid logical clock: local time merged with observed remote time.
+
+    :meth:`observe` folds in a timestamp seen in data read from the store,
+    keeping causally related transactions ordered even when the local
+    wall clock lags another client's.
+    """
+
+    def __init__(self, now_us=None):
+        self._lock = threading.Lock()
+        self._last = 0
+        self._now_us = now_us or (lambda: time.time_ns() // 1000)
+
+    def observe(self, remote_timestamp: int) -> None:
+        """Ratchet the clock past a timestamp another client produced."""
+        with self._lock:
+            if remote_timestamp > self._last:
+                self._last = remote_timestamp
+
+    def next_timestamp(self) -> int:
+        with self._lock:
+            candidate = self._now_us()
+            self._last = candidate if candidate > self._last else self._last + 1
+            return self._last
+
+
+class TimestampOracle(TimestampSource):
+    """Central timestamp service (Percolator's "TO").
+
+    Strictly ordered across *all* clients, at the price of one simulated
+    RPC per timestamp (``rpc_delay_s``) — which is exactly the WAN
+    bottleneck the paper criticises, and what the coordinator-ablation
+    benchmark measures.
+    """
+
+    def __init__(self, rpc_delay_s: float = 0.0, sleep=time.sleep):
+        if rpc_delay_s < 0:
+            raise ValueError(f"rpc_delay_s must be >= 0, got {rpc_delay_s}")
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._rpc_delay_s = rpc_delay_s
+        self._sleep = sleep
+        self._requests = 0
+
+    @property
+    def requests(self) -> int:
+        """Number of timestamps served (oracle load metric)."""
+        with self._lock:
+            return self._requests
+
+    def next_timestamp(self) -> int:
+        if self._rpc_delay_s > 0:
+            self._sleep(self._rpc_delay_s)
+        with self._lock:
+            self._counter += 1
+            self._requests += 1
+            return self._counter

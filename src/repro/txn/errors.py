@@ -1,0 +1,35 @@
+"""Transaction-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = [
+    "TransactionError",
+    "TransactionConflict",
+    "TransactionAborted",
+    "TransactionTimeout",
+    "TransactionStateError",
+]
+
+
+class TransactionError(Exception):
+    """Base class for transaction failures."""
+
+
+class TransactionConflict(TransactionError):
+    """Another transaction holds a lock or committed a newer version.
+
+    The caller may retry the whole transaction; retrying the individual
+    operation is not safe.
+    """
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (explicitly or by recovery)."""
+
+
+class TransactionTimeout(TransactionError):
+    """A lock wait exceeded its deadline."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was issued on a finished (committed/aborted) transaction."""

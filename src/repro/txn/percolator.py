@@ -1,0 +1,333 @@
+"""Percolator-style transaction coordinator (baseline).
+
+Implements the design of Peng & Dabek (OSDI '10) as the paper summarises
+it in §II-B: snapshot isolation with **both** the start and the commit
+timestamp fetched from a central :class:`~repro.txn.clock.TimestampOracle`
+(one RPC each), a two-phase *prewrite/commit* locking protocol with a
+designated **primary** lock as the commit point, and **no deadlock
+avoidance** — locks are taken in write-order, conflicts are handled by
+bounded waiting and lease-expiry cleanup, exactly the behaviour the paper
+criticises for WAN deployments.
+
+Differences from Percolator proper, and why they don't matter here:
+
+* BigTable single-row transactions are modelled by the store's
+  conditional writes (``put_if_version``); each record keeps its versions
+  and lock in one KV value rather than in separate columns.
+* The "write" column — Percolator's start→commit timestamp mapping used
+  for roll-forward — is carried as the ``txid`` attribution on committed
+  versions of the primary record.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+
+from ..kvstore.base import Fields, KeyValueStore
+from .base import Transaction, TransactionManager, TxState
+from .clock import TimestampOracle
+from .errors import TransactionConflict
+from .manager import TSR_PREFIX, TxnStats
+from .record import LockInfo, TxRecord
+
+__all__ = ["PercolatorLikeManager", "PercolatorTransaction"]
+
+_Address = tuple[str, str]
+
+
+class PercolatorLikeManager(TransactionManager):
+    """Central-oracle snapshot-isolation coordinator.
+
+    Args:
+        stores: named stores (Percolator assumed one homogeneous store;
+            multiple are allowed here for benchmark symmetry).
+        oracle: the central timestamp oracle; its ``rpc_delay_s`` models
+            the WAN round trip the paper identifies as the bottleneck.
+        lock_lease_ms: lease after which a lock's owner is presumed dead.
+    """
+
+    def __init__(
+        self,
+        stores: Mapping[str, KeyValueStore] | KeyValueStore,
+        default_store: str | None = None,
+        oracle: TimestampOracle | None = None,
+        lock_lease_ms: float = 1000.0,
+        lock_wait_retries: int = 50,
+        lock_wait_s: float = 0.0005,
+        sleep=time.sleep,
+    ):
+        if isinstance(stores, KeyValueStore):
+            stores = {"default": stores}
+        super().__init__(stores, default_store)
+        self.oracle = oracle or TimestampOracle()
+        self.lock_lease_ms = lock_lease_ms
+        self.lock_wait_retries = lock_wait_retries
+        self.lock_wait_s = lock_wait_s
+        self.stats = TxnStats()
+        self._sleep = sleep
+
+    def begin(self) -> "PercolatorTransaction":
+        start_ts = self.oracle.next_timestamp()
+        self.stats.bump("begun")
+        return PercolatorTransaction(self, f"pc-{start_ts}", start_ts)
+
+    def _now_us(self) -> int:
+        return time.time_ns() // 1000
+
+    def _lease_expiry(self) -> int:
+        return self._now_us() + int(self.lock_lease_ms * 1000)
+
+    # -- lock resolution --------------------------------------------------------
+
+    def _primary_state(self, lock: LockInfo) -> tuple[str, int]:
+        """What happened to the transaction owning ``lock``.
+
+        Returns ``("committed", commit_ts)``, ``("aborted", 0)`` or
+        ``("pending", 0)``, by inspecting the primary record:
+        a committed version attributed to the txid means committed; a
+        missing lock with no such version means rolled back; an expired
+        primary lock is rolled back here (CAS) before reporting aborted.
+        """
+        store_name, _, primary_key = lock.primary.partition(":")
+        store = self.store(store_name)
+        versioned = store.get_with_meta(primary_key)
+        if versioned is None:
+            return ("aborted", 0)
+        record = TxRecord.decode(versioned.value)
+        for version in record.versions:
+            if version.txid == lock.txid:
+                return ("committed", version.timestamp)
+        primary_lock = record.lock
+        if primary_lock is None or primary_lock.txid != lock.txid:
+            return ("aborted", 0)
+        if primary_lock.lease_expiry_us < self._now_us():
+            record.lock = None
+            if store.put_if_version(primary_key, record.encode(), versioned.version) is not None:
+                self.stats.bump("rollbacks_of_peers")
+                return ("aborted", 0)
+            return ("pending", 0)  # racing resolver; re-examine next round
+        return ("pending", 0)
+
+    def resolve_lock(self, store: KeyValueStore, key: str) -> bool:
+        """Clear the lock on ``key`` if its owner has been decided.
+
+        True → caller should re-read; False → owner pending, caller waits.
+        """
+        versioned = store.get_with_meta(key)
+        if versioned is None:
+            return True
+        record = TxRecord.decode(versioned.value)
+        lock = record.lock
+        if lock is None:
+            return True
+        state, commit_ts = self._primary_state(lock)
+        if state == "pending":
+            return False
+        if state == "committed":
+            record.apply_commit(
+                commit_ts, None if lock.is_delete else lock.staged, txid=lock.txid
+            )
+            self.stats.bump("rollforwards")
+        else:
+            record.lock = None
+        store.put_if_version(key, record.encode(), versioned.version)
+        return True
+
+
+class PercolatorTransaction(Transaction):
+    """Snapshot-isolated transaction using the prewrite/commit protocol."""
+
+    def __init__(self, manager: PercolatorLikeManager, txid: str, start_timestamp: int):
+        super().__init__(txid, start_timestamp)
+        self._manager = manager
+        self._writes: dict[_Address, Fields | None] = {}
+        self._prewritten: list[_Address] = []
+
+    def _address(self, key: str, store: str | None) -> _Address:
+        name = store or self._manager.default_store_name
+        if key.startswith(TSR_PREFIX):
+            raise ValueError(f"keys may not start with the reserved prefix {TSR_PREFIX!r}")
+        self._manager.store(name)
+        return (name, key)
+
+    def _load_resolved(self, address: _Address) -> TxRecord:
+        manager = self._manager
+        store = manager.store(address[0])
+        for _ in range(manager.lock_wait_retries):
+            versioned = store.get_with_meta(address[1])
+            if versioned is None:
+                return TxRecord()
+            record = TxRecord.decode(versioned.value)
+            lock = record.lock
+            # Percolator readers only block on locks at or below their
+            # snapshot; a lock from a later transaction cannot produce a
+            # version visible to us.
+            if lock is None or lock.txid == self.txid:
+                return record
+            if manager.resolve_lock(store, address[1]):
+                continue
+            manager.stats.bump("read_waits")
+            manager._sleep(manager.lock_wait_s)
+        raise TransactionConflict(
+            f"{self.txid}: key {address[1]!r} stayed locked beyond the wait budget"
+        )
+
+    # -- data operations --------------------------------------------------------------
+
+    def read(self, key: str, store: str | None = None) -> Fields | None:
+        self._require_active()
+        address = self._address(key, store)
+        if address in self._writes:
+            staged = self._writes[address]
+            return dict(staged) if staged is not None else None
+        record = self._load_resolved(address)
+        if record.snapshot_too_old(self.start_timestamp):
+            self._manager.stats.bump("conflicts")
+            raise TransactionConflict(
+                f"{self.txid}: snapshot too old for {key!r} (versions trimmed)"
+            )
+        version = record.visible_at(self.start_timestamp)
+        if version is None or version.deleted:
+            return None
+        return dict(version.fields)
+
+    def scan(
+        self, start_key: str, record_count: int, store: str | None = None
+    ) -> list[tuple[str, Fields]]:
+        self._require_active()
+        backing = self._manager.store(store or self._manager.default_store_name)
+        results: list[tuple[str, Fields]] = []
+        for key, value in backing.scan(start_key, record_count * 2 + 16):
+            if key.startswith(TSR_PREFIX):
+                continue
+            record = TxRecord.decode(value)
+            version = record.visible_at(self.start_timestamp)
+            if version is None or version.deleted:
+                continue
+            results.append((key, dict(version.fields)))
+            if len(results) >= record_count:
+                break
+        return results
+
+    def write(self, key: str, fields: Mapping[str, str], store: str | None = None) -> None:
+        self._require_active()
+        self._writes[self._address(key, store)] = dict(fields)
+
+    def delete(self, key: str, store: str | None = None) -> None:
+        self._require_active()
+        self._writes[self._address(key, store)] = None
+
+    # -- prewrite / commit ---------------------------------------------------------------
+
+    def _prewrite(self, address: _Address, primary: str) -> None:
+        manager = self._manager
+        store = manager.store(address[0])
+        staged = self._writes[address]
+        for _ in range(manager.lock_wait_retries):
+            versioned = store.get_with_meta(address[1])
+            record = TxRecord() if versioned is None else TxRecord.decode(versioned.value)
+            if record.lock is not None and record.lock.txid != self.txid:
+                if manager.resolve_lock(store, address[1]):
+                    continue
+                manager.stats.bump("read_waits")
+                manager._sleep(manager.lock_wait_s)
+                continue
+            if record.newest_commit_timestamp() > self.start_timestamp:
+                manager.stats.bump("conflicts")
+                raise TransactionConflict(
+                    f"{self.txid}: write-write conflict on {address[1]!r}"
+                )
+            record.lock = LockInfo(
+                txid=self.txid,
+                primary=primary,
+                lease_expiry_us=manager._lease_expiry(),
+                staged=staged,
+                is_delete=staged is None,
+            )
+            expected = versioned.version if versioned is not None else None
+            if store.put_if_version(address[1], record.encode(), expected) is not None:
+                self._prewritten.append(address)
+                manager.stats.bump("locks_acquired")
+                return
+        manager.stats.bump("conflicts")
+        raise TransactionConflict(f"{self.txid}: could not prewrite {address[1]!r}")
+
+    def _commit_record(self, address: _Address, commit_ts: int) -> bool:
+        """Replace our lock on ``address`` with a committed version.
+
+        Returns False when our lock is gone (a peer rolled us back) —
+        only meaningful for the primary, where it is the commit verdict.
+        """
+        store = self._manager.store(address[0])
+        while True:
+            versioned = store.get_with_meta(address[1])
+            if versioned is None:
+                return False
+            record = TxRecord.decode(versioned.value)
+            if record.lock is None or record.lock.txid != self.txid:
+                # Either rolled back (no version of ours) or already
+                # rolled forward by a reader (version present).
+                return any(version.txid == self.txid for version in record.versions)
+            record.apply_commit(commit_ts, self._writes[address], txid=self.txid)
+            if store.put_if_version(address[1], record.encode(), versioned.version) is not None:
+                return True
+
+    def commit(self) -> None:
+        self._require_active()
+        manager = self._manager
+        if not self._writes:
+            self.state = TxState.COMMITTED
+            manager.stats.bump("committed")
+            return
+        # Percolator prewrites the primary first, then the rest in
+        # write-order — there is no global lock ordering.
+        ordered = list(self._writes)
+        primary_address = ordered[0]
+        primary = f"{primary_address[0]}:{primary_address[1]}"
+        try:
+            for address in ordered:
+                self._prewrite(address, primary)
+        except TransactionConflict:
+            self._rollback()
+            self.state = TxState.ABORTED
+            manager.stats.bump("aborted")
+            raise
+
+        commit_ts = manager.oracle.next_timestamp()
+        if not self._commit_record(primary_address, commit_ts):
+            self._rollback()
+            self.state = TxState.ABORTED
+            manager.stats.bump("aborted")
+            raise TransactionConflict(f"{self.txid}: rolled back before primary commit")
+        for address in ordered[1:]:
+            self._commit_record(address, commit_ts)
+        self.state = TxState.COMMITTED
+        manager.stats.bump("committed")
+
+    def _rollback(self) -> None:
+        for address in self._prewritten:
+            store = self._manager.store(address[0])
+            while True:
+                versioned = store.get_with_meta(address[1])
+                if versioned is None:
+                    break
+                record = TxRecord.decode(versioned.value)
+                if record.lock is None or record.lock.txid != self.txid:
+                    break
+                record.lock = None
+                if not record.versions:
+                    if store.delete_if_version(address[1], versioned.version) is not None:
+                        break
+                    continue
+                if store.put_if_version(address[1], record.encode(), versioned.version) is not None:
+                    break
+        self._prewritten.clear()
+
+    def abort(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            return
+        self._rollback()
+        self._writes.clear()
+        self.state = TxState.ABORTED
+        self._manager.stats.bump("aborted")

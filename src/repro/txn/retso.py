@@ -1,0 +1,256 @@
+"""ReTSO-style transaction coordinator (baseline).
+
+Implements the lock-free commit design of Junqueira et al. (DSN-W '11) as
+the paper summarises it: a central **transaction status oracle (TSO)**
+observes every commit, detects write-write conflicts against recently
+committed transactions, and assigns commit timestamps; clients never take
+locks on data records.  Reads are snapshot reads; writes are buffered and
+applied only after the TSO has ruled the transaction committed.
+
+The TSO keeps the last commit timestamp of each recently written key in a
+bounded table.  When the table must evict, it tracks a *low-water mark*;
+any transaction older than the mark is aborted conservatively — the same
+safety valve the real system derives from its BookKeeper-backed state.
+
+Both the timestamp service and the commit ruling live in the same central
+object, so every ``begin`` and every ``commit`` costs one simulated RPC —
+"the need to have a TSO and a TO for transaction commitment is a
+bottleneck over a long-haul network" is directly measurable by raising
+``rpc_delay_s`` (the coordinator-ablation benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Mapping
+
+from ..kvstore.base import Fields, KeyValueStore
+from .base import Transaction, TransactionManager, TxState
+from .errors import TransactionConflict
+from .manager import TSR_PREFIX, TxnStats
+from .record import TxRecord
+
+__all__ = ["TransactionStatusOracle", "RetsoLikeManager", "RetsoTransaction"]
+
+_Address = tuple[str, str]
+
+
+class TransactionStatusOracle:
+    """Central conflict detector and timestamp authority.
+
+    Args:
+        max_tracked_keys: size of the recent-writes table; evictions move
+            the low-water mark forward.
+        rpc_delay_s: simulated network round trip per request.
+    """
+
+    def __init__(self, max_tracked_keys: int = 100_000, rpc_delay_s: float = 0.0, sleep=time.sleep):
+        if max_tracked_keys < 1:
+            raise ValueError("max_tracked_keys must be >= 1")
+        self._lock = threading.Lock()
+        self._timestamp = 0
+        self._last_commit: OrderedDict[_Address, int] = OrderedDict()
+        self._max_tracked = max_tracked_keys
+        self._low_water_mark = 0
+        self._rpc_delay_s = rpc_delay_s
+        self._sleep = sleep
+        self.requests = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def _pay_rpc(self) -> None:
+        if self._rpc_delay_s > 0:
+            self._sleep(self._rpc_delay_s)
+
+    def begin(self) -> int:
+        """Issue a start timestamp (one RPC)."""
+        self._pay_rpc()
+        with self._lock:
+            self.requests += 1
+            self._timestamp += 1
+            return self._timestamp
+
+    def last_commit_for(self, address: _Address) -> int:
+        """Commit timestamp of the newest committed write to ``address``.
+
+        Readers use this to detect the committed-but-not-yet-applied
+        window: if the TSO says a commit <= their snapshot exists but the
+        store does not show it yet, they must wait for the writer's apply
+        phase.  Modelled as a local lookup (no RPC): ReTSO streams commit
+        metadata to clients asynchronously, so the hot path is cached
+        client-side.  Returns 0 for unknown (possibly evicted) keys.
+        """
+        with self._lock:
+            return self._last_commit.get(address, 0)
+
+    def try_commit(self, start_timestamp: int, write_set: list[_Address]) -> int | None:
+        """Rule on a commit request (one RPC).
+
+        Returns the commit timestamp, or None when a conflicting commit
+        happened after ``start_timestamp`` (or the transaction predates
+        the low-water mark and cannot be safely validated).
+        """
+        self._pay_rpc()
+        with self._lock:
+            self.requests += 1
+            if start_timestamp < self._low_water_mark:
+                self.aborts += 1
+                return None
+            for address in write_set:
+                last = self._last_commit.get(address)
+                if last is not None and last > start_timestamp:
+                    self.aborts += 1
+                    return None
+            self._timestamp += 1
+            commit_ts = self._timestamp
+            for address in write_set:
+                self._last_commit[address] = commit_ts
+                self._last_commit.move_to_end(address)
+            while len(self._last_commit) > self._max_tracked:
+                _, evicted_ts = self._last_commit.popitem(last=False)
+                if evicted_ts > self._low_water_mark:
+                    self._low_water_mark = evicted_ts
+            self.commits += 1
+            return commit_ts
+
+
+class RetsoLikeManager(TransactionManager):
+    """Lock-free optimistic coordinator backed by a central TSO."""
+
+    def __init__(
+        self,
+        stores: Mapping[str, KeyValueStore] | KeyValueStore,
+        default_store: str | None = None,
+        oracle: TransactionStatusOracle | None = None,
+        apply_wait_retries: int = 200,
+        apply_wait_s: float = 0.0005,
+        sleep=time.sleep,
+    ):
+        if isinstance(stores, KeyValueStore):
+            stores = {"default": stores}
+        super().__init__(stores, default_store)
+        self.oracle = oracle or TransactionStatusOracle()
+        self.stats = TxnStats()
+        self.apply_wait_retries = apply_wait_retries
+        self.apply_wait_s = apply_wait_s
+        self._sleep = sleep
+
+    def begin(self) -> "RetsoTransaction":
+        start_ts = self.oracle.begin()
+        self.stats.bump("begun")
+        return RetsoTransaction(self, f"rt-{start_ts}", start_ts)
+
+
+class RetsoTransaction(Transaction):
+    """Optimistic snapshot transaction; validation happens at the TSO."""
+
+    def __init__(self, manager: RetsoLikeManager, txid: str, start_timestamp: int):
+        super().__init__(txid, start_timestamp)
+        self._manager = manager
+        self._writes: dict[_Address, Fields | None] = {}
+
+    def _address(self, key: str, store: str | None) -> _Address:
+        name = store or self._manager.default_store_name
+        if key.startswith(TSR_PREFIX):
+            raise ValueError(f"keys may not start with the reserved prefix {TSR_PREFIX!r}")
+        self._manager.store(name)
+        return (name, key)
+
+    # -- data operations --------------------------------------------------------------
+
+    def read(self, key: str, store: str | None = None) -> Fields | None:
+        self._require_active()
+        address = self._address(key, store)
+        if address in self._writes:
+            staged = self._writes[address]
+            return dict(staged) if staged is not None else None
+        manager = self._manager
+        backing = manager.store(address[0])
+        # A commit the TSO approved at ts <= our snapshot may not have been
+        # applied to the store yet; wait for the writer's apply phase so
+        # snapshot reads never miss committed data (lock-free reads still —
+        # the wait is against commit *metadata*, not a data lock).
+        for _ in range(manager.apply_wait_retries):
+            value = backing.get(address[1])
+            record = TxRecord.decode(value) if value is not None else TxRecord()
+            if record.snapshot_too_old(self.start_timestamp):
+                manager.stats.bump("conflicts")
+                raise TransactionConflict(
+                    f"{self.txid}: snapshot too old for {key!r} (versions trimmed)"
+                )
+            version = record.visible_at(self.start_timestamp)
+            visible_ts = version.timestamp if version is not None else 0
+            expected_ts = manager.oracle.last_commit_for(address)
+            if expected_ts <= self.start_timestamp and expected_ts > visible_ts:
+                manager.stats.bump("read_waits")
+                manager._sleep(manager.apply_wait_s)
+                continue
+            if version is None or version.deleted:
+                return None
+            return dict(version.fields)
+        manager.stats.bump("conflicts")
+        raise TransactionConflict(
+            f"{self.txid}: committed write to {key!r} not applied within the wait budget"
+        )
+
+    def scan(
+        self, start_key: str, record_count: int, store: str | None = None
+    ) -> list[tuple[str, Fields]]:
+        self._require_active()
+        backing = self._manager.store(store or self._manager.default_store_name)
+        results: list[tuple[str, Fields]] = []
+        for key, value in backing.scan(start_key, record_count * 2 + 16):
+            if key.startswith(TSR_PREFIX):
+                continue
+            record = TxRecord.decode(value)
+            version = record.visible_at(self.start_timestamp)
+            if version is None or version.deleted:
+                continue
+            results.append((key, dict(version.fields)))
+            if len(results) >= record_count:
+                break
+        return results
+
+    def write(self, key: str, fields: Mapping[str, str], store: str | None = None) -> None:
+        self._require_active()
+        self._writes[self._address(key, store)] = dict(fields)
+
+    def delete(self, key: str, store: str | None = None) -> None:
+        self._require_active()
+        self._writes[self._address(key, store)] = None
+
+    # -- outcome ------------------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        manager = self._manager
+        if not self._writes:
+            self.state = TxState.COMMITTED
+            manager.stats.bump("committed")
+            return
+        commit_ts = manager.oracle.try_commit(self.start_timestamp, sorted(self._writes))
+        if commit_ts is None:
+            self.state = TxState.ABORTED
+            manager.stats.bump("aborted")
+            manager.stats.bump("conflicts")
+            raise TransactionConflict(f"{self.txid}: TSO detected a conflicting commit")
+        for address, staged in sorted(self._writes.items()):
+            store = manager.store(address[0])
+            while True:
+                versioned = store.get_with_meta(address[1])
+                record = TxRecord() if versioned is None else TxRecord.decode(versioned.value)
+                record.apply_commit(commit_ts, staged, txid=self.txid)
+                expected = versioned.version if versioned is not None else None
+                if store.put_if_version(address[1], record.encode(), expected) is not None:
+                    break
+        self.state = TxState.COMMITTED
+        manager.stats.bump("committed")
+
+    def abort(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            return
+        self._writes.clear()
+        self.state = TxState.ABORTED
+        self._manager.stats.bump("aborted")

@@ -1,0 +1,19 @@
+"""Tier 6 consistency machinery: anomaly scores, dependency graphs,
+staleness probes."""
+
+from .anomaly import AnomalyReport, InvariantCheck, simple_anomaly_score
+from .depgraph import Dependency, ExecutionRecorder, SerializationGraph
+from .recording import RecordingDB
+from .staleness import StalenessProbe, StalenessSample
+
+__all__ = [
+    "AnomalyReport",
+    "InvariantCheck",
+    "simple_anomaly_score",
+    "Dependency",
+    "ExecutionRecorder",
+    "SerializationGraph",
+    "RecordingDB",
+    "StalenessProbe",
+    "StalenessSample",
+]

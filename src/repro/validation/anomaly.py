@@ -1,0 +1,68 @@
+"""Anomaly quantification (Tier 6 metrics).
+
+The paper's §IV-C.3 defines the *simple anomaly score*
+
+    gamma = |S_initial - S_final| / n
+
+— drift in an application invariant per executed operation.  This module
+provides that computation as a reusable function plus a small accumulator
+for workloads that track several invariants at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["simple_anomaly_score", "InvariantCheck", "AnomalyReport"]
+
+
+def simple_anomaly_score(initial_sum: float, final_sum: float, operations: int) -> float:
+    """The paper's gamma: ``|S_initial - S_final| / n``.
+
+    ``operations`` below 1 is clamped to 1 so an empty run scores the raw
+    drift rather than dividing by zero.
+    """
+    return abs(initial_sum - final_sum) / max(1, operations)
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantCheck:
+    """One named invariant comparison."""
+
+    name: str
+    expected: float
+    observed: float
+    operations: int
+
+    @property
+    def drift(self) -> float:
+        return abs(self.expected - self.observed)
+
+    @property
+    def score(self) -> float:
+        return simple_anomaly_score(self.expected, self.observed, self.operations)
+
+    @property
+    def consistent(self) -> bool:
+        return self.expected == self.observed
+
+
+@dataclass
+class AnomalyReport:
+    """A collection of invariant checks with an aggregate verdict."""
+
+    checks: list[InvariantCheck]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.consistent for check in self.checks)
+
+    @property
+    def total_score(self) -> float:
+        return sum(check.score for check in self.checks)
+
+    def worst(self) -> InvariantCheck | None:
+        """The check with the highest anomaly score, if any."""
+        if not self.checks:
+            return None
+        return max(self.checks, key=lambda check: check.score)

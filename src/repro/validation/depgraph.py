@@ -1,0 +1,212 @@
+"""Serialization-graph consistency checking (Tier 6 extension).
+
+The paper (§VI) contrasts its invariant-drift metric with the approach of
+Zellag & Kemme: capture the execution trace and detect non-serializable
+executions as **cycles in the transaction dependency graph**.  This module
+implements that second approach so the two can corroborate each other in
+tests: a CEW run whose anomaly score is zero under the transactional
+binding also produces an acyclic graph, while a hand-crafted lost update
+produces the classic WW/RW cycle.
+
+Dependency edges between committed transactions, per item version order:
+
+* **WR** (read dependency): T1 installed the version T2 read -> T1 -> T2
+* **WW** (write dependency): T2 installed the version directly following
+  T1's -> T1 -> T2
+* **RW** (anti-dependency): T1 read a version and T2 installed the next
+  one -> T1 -> T2
+
+An execution is conflict-serializable iff the graph is acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Dependency", "SerializationGraph", "ExecutionRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class Dependency:
+    """One edge of the serialization graph."""
+
+    source: str
+    target: str
+    kind: str  # "WR" | "WW" | "RW"
+    item: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source} -{self.kind}[{self.item}]-> {self.target}"
+
+
+@dataclass
+class _ItemHistory:
+    """Version history of one item: who wrote each version, who read it."""
+
+    # writers[i] is the transaction that installed version i (version 0 is
+    # the initial load, attributed to the pseudo-transaction "<initial>").
+    writers: list[str] = field(default_factory=lambda: ["<initial>"])
+    readers: dict[int, set[str]] = field(default_factory=lambda: defaultdict(set))
+
+
+class SerializationGraph:
+    """Builds the dependency graph from recorded reads and writes."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, _ItemHistory] = defaultdict(_ItemHistory)
+        self._transactions: set[str] = set()
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_read(self, txid: str, item: str, version: int) -> None:
+        """``txid`` read version ``version`` of ``item`` (0 = initial)."""
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
+        self._transactions.add(txid)
+        self._items[item].readers[version].add(txid)
+
+    def record_write(self, txid: str, item: str) -> int:
+        """``txid`` installed the next version of ``item``; returns its index."""
+        self._transactions.add(txid)
+        history = self._items[item]
+        history.writers.append(txid)
+        return len(history.writers) - 1
+
+    @property
+    def transactions(self) -> set[str]:
+        return set(self._transactions)
+
+    # -- analysis -------------------------------------------------------------------
+
+    def dependencies(self) -> list[Dependency]:
+        """All WR, WW and RW edges (self-edges are skipped)."""
+        edges: list[Dependency] = []
+
+        def add(source: str, target: str, kind: str, item: str) -> None:
+            if source != target and source != "<initial>":
+                edges.append(Dependency(source, target, kind, item))
+
+        for item, history in self._items.items():
+            for version, writer in enumerate(history.writers):
+                for reader in history.readers.get(version, ()):
+                    add(writer, reader, "WR", item)
+                if version + 1 < len(history.writers):
+                    next_writer = history.writers[version + 1]
+                    add(writer, next_writer, "WW", item)
+                    for reader in history.readers.get(version, ()):
+                        add(reader, next_writer, "RW", item)
+        return edges
+
+    def find_cycles(self) -> list[list[str]]:
+        """Strongly connected components with more than one transaction.
+
+        Tarjan's algorithm, iterative to stay clear of recursion limits on
+        long histories.  Each returned component is a set of transactions
+        that participate in at least one dependency cycle.
+        """
+        adjacency: dict[str, set[str]] = defaultdict(set)
+        for edge in self.dependencies():
+            adjacency[edge.source].add(edge.target)
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        components: list[list[str]] = []
+
+        for root in list(adjacency):
+            if root in index_of:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index_of:
+                        index_of[child] = lowlink[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(adjacency[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        components.append(sorted(component))
+        return components
+
+    @property
+    def is_serializable(self) -> bool:
+        """True when the dependency graph is acyclic."""
+        return not self.find_cycles()
+
+
+class ExecutionRecorder:
+    """Thread-safe convenience front end for live recording.
+
+    Client code brackets work with :meth:`begin`/:meth:`commit` and calls
+    :meth:`on_read`/:meth:`on_write` in between; aborted transactions are
+    discarded wholesale (they cannot create dependencies).
+    """
+
+    def __init__(self) -> None:
+        self._graph = SerializationGraph()
+        self._lock = threading.Lock()
+        self._pending: dict[str, list[tuple[str, str, int]]] = {}
+        self._current_version: dict[str, int] = defaultdict(int)
+
+    def begin(self, txid: str) -> None:
+        with self._lock:
+            if txid in self._pending:
+                raise ValueError(f"transaction {txid!r} already recording")
+            self._pending[txid] = []
+
+    def on_read(self, txid: str, item: str) -> None:
+        """Record that ``txid`` read the currently committed version."""
+        with self._lock:
+            self._pending[txid].append(("read", item, self._current_version[item]))
+
+    def on_write(self, txid: str, item: str) -> None:
+        """Record a write intent; the version is assigned at commit."""
+        with self._lock:
+            self._pending[txid].append(("write", item, -1))
+
+    def abort(self, txid: str) -> None:
+        with self._lock:
+            self._pending.pop(txid, None)
+
+    def commit(self, txid: str) -> None:
+        """Publish ``txid``'s reads/writes into the graph, in commit order."""
+        with self._lock:
+            operations = self._pending.pop(txid, [])
+            for kind, item, version in operations:
+                if kind == "read":
+                    self._graph.record_read(txid, item, version)
+                else:
+                    new_version = self._graph.record_write(txid, item)
+                    self._current_version[item] = new_version
+
+    @property
+    def graph(self) -> SerializationGraph:
+        return self._graph

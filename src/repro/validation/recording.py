@@ -1,0 +1,143 @@
+"""Recording DB wrapper: feeds the serialization graph from live runs.
+
+Wraps any DB binding and reports every read/write to an
+:class:`~repro.validation.depgraph.ExecutionRecorder`, bracketing them
+with the YCSB+T transaction boundaries the client already issues.  After
+a run, ``recorder.graph.find_cycles()`` detects non-serializable
+executions — the Zellag & Kemme approach the paper contrasts with its
+anomaly score (§VI), usable here to corroborate it: a CEW run that loses
+money also shows dependency cycles.
+
+Caveat: for *non-transactional* bindings the recorder serialises its own
+bookkeeping, but the underlying operations still race — version
+attribution is therefore best-effort exactly when anomalies occur, which
+is fine: cycles only ever get *under*-reported, never invented, because
+each recorded read observes the recorder's last committed version.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections.abc import Mapping
+
+from ..core.db import DB
+from ..core.status import Status
+from .depgraph import ExecutionRecorder
+
+__all__ = ["RecordingDB"]
+
+
+class RecordingDB(DB):
+    """Wraps ``inner`` and logs data accesses into ``recorder``.
+
+    Each wrapper instance is used by one client thread (matching how the
+    client builds one DB per thread); a shared ``recorder`` merges all
+    threads into one graph.  Operations outside start/commit are recorded
+    as single-operation transactions, mirroring auto-commit.
+    """
+
+    _ids = itertools.count(1)
+    _ids_lock = threading.Lock()
+
+    def __init__(self, inner: DB, recorder: ExecutionRecorder):
+        super().__init__(inner.properties)
+        self._inner = inner
+        self._recorder = recorder
+        self._txid: str | None = None
+
+    def _next_txid(self) -> str:
+        with self._ids_lock:
+            return f"rec-{next(self._ids)}"
+
+    def _item(self, table: str, key: str) -> str:
+        return f"{table}:{key}" if table else key
+
+    # -- transaction bracketing ---------------------------------------------------
+
+    def start(self) -> Status:
+        result = self._inner.start()
+        if result.ok and self._txid is None:
+            self._txid = self._next_txid()
+            self._recorder.begin(self._txid)
+        return result
+
+    def commit(self) -> Status:
+        result = self._inner.commit()
+        if self._txid is not None:
+            if result.ok:
+                self._recorder.commit(self._txid)
+            else:
+                self._recorder.abort(self._txid)
+            self._txid = None
+        return result
+
+    def abort(self) -> Status:
+        result = self._inner.abort()
+        if self._txid is not None:
+            self._recorder.abort(self._txid)
+            self._txid = None
+        return result
+
+    def _with_auto_txn(self, record_ops, call):
+        """Run ``call``; record ``record_ops`` under the open or an
+        auto-commit transaction depending on the outcome."""
+        auto = self._txid is None
+        txid = self._txid or self._next_txid()
+        if auto:
+            self._recorder.begin(txid)
+        result = call()
+        ok = result[0].ok if isinstance(result, tuple) else result.ok
+        if ok:
+            for kind, item in record_ops:
+                if kind == "read":
+                    self._recorder.on_read(txid, item)
+                else:
+                    self._recorder.on_write(txid, item)
+        if auto:
+            if ok:
+                self._recorder.commit(txid)
+            else:
+                self._recorder.abort(txid)
+        return result
+
+    # -- data operations --------------------------------------------------------------
+
+    def read(self, table: str, key: str, fields: set[str] | None = None):
+        item = self._item(table, key)
+        return self._with_auto_txn(
+            [("read", item)], lambda: self._inner.read(table, key, fields)
+        )
+
+    def scan(self, table: str, start_key: str, record_count: int, fields=None):
+        # Range reads are not attributed item-by-item (predicate reads are
+        # out of scope for the conflict graph); pass through unrecorded.
+        return self._inner.scan(table, start_key, record_count, fields)
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        item = self._item(table, key)
+        return self._with_auto_txn(
+            [("read", item), ("write", item)],
+            lambda: self._inner.update(table, key, values),
+        )
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        item = self._item(table, key)
+        return self._with_auto_txn(
+            [("write", item)], lambda: self._inner.insert(table, key, values)
+        )
+
+    def delete(self, table: str, key: str) -> Status:
+        item = self._item(table, key)
+        return self._with_auto_txn(
+            [("write", item)], lambda: self._inner.delete(table, key)
+        )
+
+    def init(self) -> None:
+        self._inner.init()
+
+    def cleanup(self) -> None:
+        if self._txid is not None:
+            self._recorder.abort(self._txid)
+            self._txid = None
+        self._inner.cleanup()

@@ -1,0 +1,64 @@
+"""Staleness probing for weakly consistent stores.
+
+The paper's related work (§VI) cites Wada et al.: measure the probability
+that a read returns a stale value as a function of the time elapsed since
+the latest write.  This prober implements that measurement against any
+:class:`~repro.kvstore.base.KeyValueStore` — in this repository it is
+exercised against :class:`~repro.kvstore.replicated.ReplicatedKVStore`,
+whose replica reads lag the primary by a configured delay.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..kvstore.base import KeyValueStore
+
+__all__ = ["StalenessSample", "StalenessProbe"]
+
+_PROBE_FIELD = "probe_value"
+
+
+@dataclass(frozen=True, slots=True)
+class StalenessSample:
+    """One write-wait-read observation."""
+
+    elapsed_s: float
+    stale: bool
+
+
+class StalenessProbe:
+    """Measures stale-read probability vs time-since-write.
+
+    For each sample: write a fresh marker value, wait ``delay_s``, read it
+    back, and record whether the read returned the just-written value.
+    """
+
+    def __init__(self, store: KeyValueStore, key: str = "~staleness-probe", sleep=time.sleep):
+        self._store = store
+        self._key = key
+        self._sleep = sleep
+        self._sequence = 0
+
+    def sample(self, delay_s: float) -> StalenessSample:
+        """One observation at the given write-to-read delay."""
+        self._sequence += 1
+        marker = str(self._sequence)
+        self._store.put(self._key, {_PROBE_FIELD: marker})
+        if delay_s > 0:
+            self._sleep(delay_s)
+        observed = self._store.get(self._key)
+        stale = observed is None or observed.get(_PROBE_FIELD) != marker
+        return StalenessSample(elapsed_s=delay_s, stale=stale)
+
+    def stale_probability(self, delay_s: float, samples: int = 50) -> float:
+        """Fraction of ``samples`` reads that were stale at ``delay_s``."""
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        stale_count = sum(1 for _ in range(samples) if self.sample(delay_s).stale)
+        return stale_count / samples
+
+    def curve(self, delays_s: list[float], samples: int = 50) -> list[tuple[float, float]]:
+        """(delay, stale probability) for each requested delay."""
+        return [(delay, self.stale_probability(delay, samples)) for delay in delays_s]

@@ -1,0 +1,29 @@
+"""Anomaly-targeting workloads — the paper's future work (§VII).
+
+"We are working on additional workloads that will target specific
+anomalies that are observed at various transaction isolation levels [26]
+and develop measures to quantify these."  This package implements that
+programme: one workload per classic anomaly from Berenson et al.'s
+critique of the ANSI isolation levels, each with a validation stage that
+quantifies exactly its anomaly:
+
+* :class:`LostUpdateWorkload` — concurrent increments; lost updates show
+  as a deficit between committed increments and the stored counters.
+  Prevented by snapshot isolation's first-committer-wins rule.
+* :class:`WriteSkewWorkload` — the two-doctors-on-call constraint;
+  violations show as pairs whose sum drops below the floor.  *Permitted*
+  by snapshot isolation, prevented by the serializable mode of
+  :class:`~repro.txn.manager.ClientTransactionManager`.
+* :class:`ReadSkewWorkload` — mirrored pairs written together; fractured
+  (torn) reads are counted live by the readers.  Prevented by any
+  snapshot read, present under raw access.
+
+Together with the CEW they give the isolation-level matrix the
+``isolation`` benchmark regenerates: which anomaly survives which level.
+"""
+
+from .lost_update import LostUpdateWorkload
+from .read_skew import ReadSkewWorkload
+from .write_skew import WriteSkewWorkload
+
+__all__ = ["LostUpdateWorkload", "ReadSkewWorkload", "WriteSkewWorkload"]

@@ -1,0 +1,131 @@
+"""Lost-update targeting workload.
+
+Every transaction increments one counter record by one.  The workload
+counts, atomically and client-side, how many increments *committed*; the
+validation stage sums the stored counters.  Any deficit is a lost update:
+
+    anomaly score = (committed increments - stored sum) / operations
+
+Raw (non-transactional) access loses updates under concurrency; any of
+the transaction managers prevents them (first-committer-wins on the
+write-write conflict), so their score is provably zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.workload import ValidationResult, Workload, WorkloadError
+from ..generators import CounterGenerator, ZipfianGenerator, locked_random
+from ..measurements.registry import Measurements
+
+__all__ = ["LostUpdateWorkload", "COUNTER_FIELD"]
+
+COUNTER_FIELD = "count"
+
+
+class _PendingIncrement:
+    """Per-thread bookkeeping: the key whose increment awaits settlement."""
+
+    __slots__ = ("rng", "pending_key")
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.pending_key = None
+
+
+class LostUpdateWorkload(Workload):
+    """Concurrent counter increments with exact loss accounting.
+
+    Properties: ``recordcount`` [16] (contention is the point, so few
+    records), ``requestdistribution`` [zipfian|uniform], ``seed``.
+    """
+
+    def init(self, properties: Properties, measurements: Measurements | None = None) -> None:
+        super().init(properties, measurements)
+        self.table = properties.get_str("table", "usertable")
+        self.record_count = properties.get_int("recordcount", 16)
+        if self.record_count < 1:
+            raise WorkloadError("recordcount must be >= 1")
+        seed = properties.get("seed")
+        rng = locked_random(int(seed) if seed is not None else None)
+        distribution = properties.get_str("requestdistribution", "zipfian").lower()
+        if distribution == "zipfian":
+            self.key_chooser = ZipfianGenerator(0, self.record_count - 1, rng=rng)
+        elif distribution == "uniform":
+            from ..generators import UniformLongGenerator
+
+            self.key_chooser = UniformLongGenerator(0, self.record_count - 1, rng=rng)
+        else:
+            raise WorkloadError(f"unknown requestdistribution {distribution!r}")
+        self.key_sequence = CounterGenerator(0)
+        self._lock = threading.Lock()
+        self._committed_increments = 0
+        self._operations = 0
+
+    @property
+    def committed_increments(self) -> int:
+        with self._lock:
+            return self._committed_increments
+
+    def _key(self, number: int) -> str:
+        return f"counter{number:06d}"
+
+    # -- phases ---------------------------------------------------------------
+
+    def init_thread(self, thread_id: int, thread_count: int) -> _PendingIncrement:
+        return _PendingIncrement(super().init_thread(thread_id, thread_count))
+
+    def do_insert(self, db: DB, thread_state: Any) -> bool:
+        number = self.key_sequence.next_value()
+        return db.insert(self.table, self._key(number), {COUNTER_FIELD: "0"}).ok
+
+    def do_transaction(self, db: DB, thread_state: Any) -> str | None:
+        with self._lock:
+            self._operations += 1
+        key = self._key(self.key_chooser.next_value())
+        result, fields = db.read(self.table, key, None)
+        if not result.ok or fields is None:
+            return None
+        try:
+            current = int(fields[COUNTER_FIELD])
+        except (KeyError, ValueError):
+            return None
+        if not db.update(self.table, key, {COUNTER_FIELD: str(current + 1)}).ok:
+            return None
+        thread_state.pending_key = key
+        return "INCREMENT"
+
+    def finish_transaction(
+        self, db: DB, thread_state: Any, operation: str | None, committed: bool
+    ) -> None:
+        if thread_state.pending_key is not None and committed:
+            with self._lock:
+                self._committed_increments += 1
+        thread_state.pending_key = None
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, db: DB) -> ValidationResult:
+        stored = 0
+        for number in range(self.record_count):
+            result, fields = db.read(self.table, self._key(number), None)
+            if result.ok and fields is not None:
+                stored += int(fields.get(COUNTER_FIELD, "0"))
+        committed = self.committed_increments
+        lost = committed - stored
+        operations = max(1, self._operations)
+        score = abs(lost) / operations
+        return ValidationResult(
+            passed=lost == 0,
+            fields=[
+                ("COMMITTED INCREMENTS", committed),
+                ("STORED SUM", stored),
+                ("LOST UPDATES", lost),
+                ("ANOMALY SCORE", score),
+            ],
+            anomaly_score=score,
+        )

@@ -1,0 +1,139 @@
+"""Read-skew (fractured read) targeting workload.
+
+Records come in mirrored pairs ``(a_i, b_i)`` that are always written
+*together* to the same value.  Writers bump a pair to its next value;
+readers read both sides and report a **fractured read** whenever the two
+sides disagree — a state no serial (or snapshot-isolated) execution can
+expose, but one that raw two-get access sees routinely while a writer is
+mid-flight.
+
+The live fracture count is the anomaly measure:
+
+    anomaly score = fractured reads / read operations
+
+Any snapshot read (all three transaction managers) yields exactly zero;
+the raw binding yields a rate that grows with write concurrency.  The
+final validation also re-checks every pair for durable mismatches (which
+raw *interleaved writers* can also produce: two writers can leave a pair
+half-and-half).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.workload import ValidationResult, Workload, WorkloadError
+from ..generators import CounterGenerator, DiscreteGenerator, UniformLongGenerator, locked_random
+from ..measurements.registry import Measurements
+
+__all__ = ["ReadSkewWorkload", "MIRROR_FIELD"]
+
+MIRROR_FIELD = "v"
+
+
+class ReadSkewWorkload(Workload):
+    """Mirrored-pair writers and fracture-detecting readers.
+
+    Properties: ``paircount`` [16], ``readproportion`` [0.8], ``seed``.
+    """
+
+    def init(self, properties: Properties, measurements: Measurements | None = None) -> None:
+        super().init(properties, measurements)
+        self.table = properties.get_str("table", "usertable")
+        self.pair_count = properties.get_int(
+            "paircount", properties.get_int("recordcount", 16)
+        )
+        if self.pair_count < 1:
+            raise WorkloadError("paircount must be >= 1")
+        read_proportion = properties.get_float("readproportion", 0.8)
+        if not 0.0 <= read_proportion <= 1.0:
+            raise WorkloadError("readproportion must be in [0, 1]")
+        seed = properties.get("seed")
+        rng = locked_random(int(seed) if seed is not None else None)
+        self.pair_chooser = UniformLongGenerator(0, self.pair_count - 1, rng=rng)
+        self.operation_chooser = DiscreteGenerator(rng=rng)
+        if read_proportion > 0:
+            self.operation_chooser.add_value(read_proportion, "READPAIR")
+        if read_proportion < 1:
+            self.operation_chooser.add_value(1.0 - read_proportion, "WRITEPAIR")
+        self.key_sequence = CounterGenerator(0)
+        self._lock = threading.Lock()
+        self._reads = 0
+        self._fractured_reads = 0
+        self._operations = 0
+
+    def keys_for(self, pair: int) -> tuple[str, str]:
+        return (f"mirror{pair:05d}:a", f"mirror{pair:05d}:b")
+
+    @property
+    def fractured_reads(self) -> int:
+        with self._lock:
+            return self._fractured_reads
+
+    # -- phases -------------------------------------------------------------------
+
+    def do_insert(self, db: DB, thread_state: Any) -> bool:
+        pair = self.key_sequence.next_value()
+        if pair >= self.pair_count:
+            return True
+        key_a, key_b = self.keys_for(pair)
+        return (
+            db.insert(self.table, key_a, {MIRROR_FIELD: "0"}).ok
+            and db.insert(self.table, key_b, {MIRROR_FIELD: "0"}).ok
+        )
+
+    def do_transaction(self, db: DB, thread_state: Any) -> str | None:
+        with self._lock:
+            self._operations += 1
+        operation = self.operation_chooser.next_value()
+        pair = self.pair_chooser.next_value()
+        key_a, key_b = self.keys_for(pair)
+        if operation == "READPAIR":
+            result_a, fields_a = db.read(self.table, key_a, None)
+            result_b, fields_b = db.read(self.table, key_b, None)
+            if not result_a.ok or not result_b.ok or fields_a is None or fields_b is None:
+                return None
+            with self._lock:
+                self._reads += 1
+                if fields_a.get(MIRROR_FIELD) != fields_b.get(MIRROR_FIELD):
+                    self._fractured_reads += 1
+            return operation
+        # WRITEPAIR: read one side, bump both to the next value together.
+        result_a, fields_a = db.read(self.table, key_a, None)
+        if not result_a.ok or fields_a is None:
+            return None
+        next_value = str(int(fields_a.get(MIRROR_FIELD, "0")) + 1)
+        if not db.update(self.table, key_a, {MIRROR_FIELD: next_value}).ok:
+            return None
+        if not db.update(self.table, key_b, {MIRROR_FIELD: next_value}).ok:
+            return None
+        return operation
+
+    # -- validation --------------------------------------------------------------------
+
+    def validate(self, db: DB) -> ValidationResult:
+        durable_mismatches = 0
+        for pair in range(self.pair_count):
+            key_a, key_b = self.keys_for(pair)
+            ra, fa = db.read(self.table, key_a, None)
+            rb, fb = db.read(self.table, key_b, None)
+            if not ra.ok or not rb.ok or fa is None or fb is None:
+                continue
+            if fa.get(MIRROR_FIELD) != fb.get(MIRROR_FIELD):
+                durable_mismatches += 1
+        with self._lock:
+            reads, fractured = self._reads, self._fractured_reads
+        score = (fractured + durable_mismatches) / max(1, reads + self.pair_count)
+        return ValidationResult(
+            passed=fractured == 0 and durable_mismatches == 0,
+            fields=[
+                ("PAIR READS", reads),
+                ("FRACTURED READS", fractured),
+                ("DURABLE MISMATCHES", durable_mismatches),
+                ("ANOMALY SCORE", score),
+            ],
+            anomaly_score=score,
+        )

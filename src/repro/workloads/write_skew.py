@@ -1,0 +1,143 @@
+"""Write-skew targeting workload (the on-call doctors constraint).
+
+Records come in pairs ``(x_i, y_i)``, each starting at 1, with the
+application constraint ``x_i + y_i >= 1`` ("at least one doctor on
+call").  A transaction picks a pair, reads both sides, and — only if the
+sum is at least 2 — zeroes one randomly chosen side.  Executed serially
+this can never break the constraint.
+
+Under **snapshot isolation** two transactions can concurrently read
+``(1, 1)`` and zero *different* sides: their write sets are disjoint, so
+first-committer-wins does not fire, both commit, and the pair ends at
+``(0, 0)`` — the classic write-skew anomaly of Berenson et al. that the
+paper's future work targets.  The serializable mode of
+:class:`~repro.txn.manager.ClientTransactionManager` validates read sets
+at commit and aborts one of the two.
+
+Validation counts violated pairs:
+
+    anomaly score = violated pairs / operations
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..core.db import DB
+from ..core.properties import Properties
+from ..core.workload import ValidationResult, Workload, WorkloadError
+from ..generators import CounterGenerator, UniformLongGenerator, locked_random
+from ..measurements.registry import Measurements
+
+__all__ = ["WriteSkewWorkload", "VALUE_FIELD"]
+
+VALUE_FIELD = "oncall"
+
+
+class WriteSkewWorkload(Workload):
+    """Disjoint-write, overlapping-read transactions over constrained pairs.
+
+    Properties: ``paircount`` [8], ``seed``.  ``recordcount`` is accepted
+    as an alias for ``paircount`` for CLI symmetry.
+    """
+
+    def init(self, properties: Properties, measurements: Measurements | None = None) -> None:
+        super().init(properties, measurements)
+        self.table = properties.get_str("table", "usertable")
+        self.pair_count = properties.get_int(
+            "paircount", properties.get_int("recordcount", 8)
+        )
+        if self.pair_count < 1:
+            raise WorkloadError("paircount must be >= 1")
+        seed = properties.get("seed")
+        rng = locked_random(int(seed) if seed is not None else None)
+        self.pair_chooser = UniformLongGenerator(0, self.pair_count - 1, rng=rng)
+        self.side_chooser = UniformLongGenerator(0, 1, rng=rng)
+        self.key_sequence = CounterGenerator(0)
+        self._lock = threading.Lock()
+        self._operations = 0
+        self._zeroing_commits = 0
+        self._observed_violations = 0
+
+    def keys_for(self, pair: int) -> tuple[str, str]:
+        return (f"pair{pair:05d}:x", f"pair{pair:05d}:y")
+
+    # -- phases -----------------------------------------------------------------
+
+    def do_insert(self, db: DB, thread_state: Any) -> bool:
+        pair = self.key_sequence.next_value()
+        if pair >= self.pair_count:
+            return True  # the load loop over-claims when threads > pairs
+        key_x, key_y = self.keys_for(pair)
+        return (
+            db.insert(self.table, key_x, {VALUE_FIELD: "1"}).ok
+            and db.insert(self.table, key_y, {VALUE_FIELD: "1"}).ok
+        )
+
+    def do_transaction(self, db: DB, thread_state: Any) -> str | None:
+        with self._lock:
+            self._operations += 1
+        pair = self.pair_chooser.next_value()
+        key_x, key_y = self.keys_for(pair)
+        result_x, fields_x = db.read(self.table, key_x, None)
+        result_y, fields_y = db.read(self.table, key_y, None)
+        if not result_x.ok or not result_y.ok or fields_x is None or fields_y is None:
+            return None
+        x = int(fields_x.get(VALUE_FIELD, "0"))
+        y = int(fields_y.get(VALUE_FIELD, "0"))
+        if x + y < 1:
+            # No serial execution can reach a sum below the floor: a
+            # transaction observed the write-skew (or, on the raw path, a
+            # torn) state live.  Count it before the RESET branch repairs
+            # the pair, so self-healing cannot mask the anomaly.
+            with self._lock:
+                self._observed_violations += 1
+        if x + y < 2:
+            # Not enough slack to go off call: put the pair back on call
+            # instead, keeping the workload live (and the constraint safe:
+            # raising values can never violate a floor).
+            target = key_x if x <= y else key_y
+            return "RESET" if db.update(self.table, target, {VALUE_FIELD: "1"}).ok else None
+        # Slack available: zero one side (disjoint-write decision made on
+        # the *read* state of both sides — the write-skew shape).
+        target = key_x if self.side_chooser.next_value() == 0 else key_y
+        if not db.update(self.table, target, {VALUE_FIELD: "0"}).ok:
+            return None
+        return "GOOFFCALL"
+
+    def finish_transaction(
+        self, db: DB, thread_state: Any, operation: str | None, committed: bool
+    ) -> None:
+        if operation == "GOOFFCALL" and committed:
+            with self._lock:
+                self._zeroing_commits += 1
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self, db: DB) -> ValidationResult:
+        violations = 0
+        checked = 0
+        for pair in range(self.pair_count):
+            key_x, key_y = self.keys_for(pair)
+            rx, fx = db.read(self.table, key_x, None)
+            ry, fy = db.read(self.table, key_y, None)
+            if not rx.ok or not ry.ok or fx is None or fy is None:
+                continue
+            checked += 1
+            if int(fx.get(VALUE_FIELD, "0")) + int(fy.get(VALUE_FIELD, "0")) < 1:
+                violations += 1
+        operations = max(1, self._operations)
+        total_violations = violations + self._observed_violations
+        score = total_violations / operations
+        return ValidationResult(
+            passed=total_violations == 0,
+            fields=[
+                ("PAIRS CHECKED", checked),
+                ("FINAL CONSTRAINT VIOLATIONS", violations),
+                ("OBSERVED CONSTRAINT VIOLATIONS", self._observed_violations),
+                ("OFF-CALL COMMITS", self._zeroing_commits),
+                ("ANOMALY SCORE", score),
+            ],
+            anomaly_score=score,
+        )

@@ -1,0 +1,196 @@
+"""DB bindings: KVStoreDB semantics, store-backed bindings, registry."""
+
+import pytest
+
+from repro.bindings import (
+    BasicDB,
+    CloudDB,
+    DelayedDB,
+    KVStoreDB,
+    LsmDB,
+    MemoryDB,
+    registry,
+)
+from repro.core import Properties
+from repro.core import status as st
+from repro.kvstore import InMemoryKVStore
+
+
+class TestKVStoreDB:
+    @pytest.fixture
+    def db(self):
+        return KVStoreDB(InMemoryKVStore(), Properties())
+
+    def test_insert_read(self, db):
+        assert db.insert("t", "k", {"f": "v"}).ok
+        result, fields = db.read("t", "k")
+        assert result.ok and fields == {"f": "v"}
+
+    def test_insert_duplicate_fails(self, db):
+        db.insert("t", "k", {})
+        assert db.insert("t", "k", {}) is not st.OK
+        assert db.insert("t", "k", {}).name == "PRECONDITION_FAILED"
+
+    def test_read_missing(self, db):
+        result, fields = db.read("t", "missing")
+        assert result is st.NOT_FOUND and fields is None
+
+    def test_field_selection(self, db):
+        db.insert("t", "k", {"a": "1", "b": "2", "c": "3"})
+        _, fields = db.read("t", "k", {"a", "c"})
+        assert fields == {"a": "1", "c": "3"}
+
+    def test_update_merges_fields(self, db):
+        db.insert("t", "k", {"a": "1", "b": "2"})
+        assert db.update("t", "k", {"b": "9"}).ok
+        _, fields = db.read("t", "k")
+        assert fields == {"a": "1", "b": "9"}
+
+    def test_update_missing_record(self, db):
+        assert db.update("t", "k", {"f": "v"}) is st.NOT_FOUND
+
+    def test_update_replace_mode(self):
+        db = KVStoreDB(InMemoryKVStore(), Properties({"kv.mergedupdates": "false"}))
+        db.insert("t", "k", {"a": "1", "b": "2"})
+        db.update("t", "k", {"a": "9"})
+        _, fields = db.read("t", "k")
+        assert fields == {"a": "9"}
+
+    def test_delete(self, db):
+        db.insert("t", "k", {})
+        assert db.delete("t", "k").ok
+        assert db.delete("t", "k") is st.NOT_FOUND
+
+    def test_scan_within_table(self, db):
+        for i in range(5):
+            db.insert("t", f"key{i}", {"n": str(i)})
+        result, rows = db.scan("t", "key1", 3)
+        assert result.ok
+        assert [key for key, _ in rows] == ["key1", "key2", "key3"]
+
+    def test_tables_isolated(self, db):
+        db.insert("t1", "k", {"v": "1"})
+        db.insert("t2", "k", {"v": "2"})
+        _, fields = db.read("t1", "k")
+        assert fields == {"v": "1"}
+        _, rows = db.scan("t1", "", 10)
+        assert len(rows) == 1
+
+    def test_scan_does_not_leak_other_tables(self, db):
+        db.insert("aaa", "k1", {})
+        db.insert("zzz", "k1", {})
+        _, rows = db.scan("aaa", "", 10)
+        assert [key for key, _ in rows] == ["k1"]
+
+    def test_transaction_methods_default_noop(self, db):
+        assert db.start().ok and db.commit().ok and db.abort().ok
+
+
+class TestMemoryDB:
+    def test_same_namespace_shares_data(self):
+        properties = Properties({"memory.namespace": "shared"})
+        first = MemoryDB(properties)
+        second = MemoryDB(properties)
+        first.insert("t", "k", {"f": "v"})
+        assert second.read("t", "k")[1] == {"f": "v"}
+
+    def test_different_namespaces_isolated(self):
+        first = MemoryDB(Properties({"memory.namespace": "a"}))
+        second = MemoryDB(Properties({"memory.namespace": "b"}))
+        first.insert("t", "k", {})
+        assert second.read("t", "k")[0] is st.NOT_FOUND
+
+
+class TestLsmDB:
+    def test_requires_directory(self):
+        with pytest.raises(KeyError):
+            LsmDB(Properties())
+
+    def test_round_trip_and_sharing(self, tmp_path):
+        properties = Properties({"lsm.dir": str(tmp_path)})
+        first = LsmDB(properties)
+        second = LsmDB(properties)
+        first.insert("t", "k", {"f": "v"})
+        assert second.read("t", "k")[1] == {"f": "v"}
+
+
+class TestCloudDB:
+    def test_profiles(self):
+        was = CloudDB(Properties({"cloud.scale": "1000", "cloud.profile": "was"}))
+        gcs = CloudDB(Properties({"cloud.scale": "1000", "cloud.profile": "gcs"}))
+        assert was.insert("t", "k", {}).ok
+        assert gcs.insert("t", "k", {}).ok  # separate namespaces per profile
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            CloudDB(Properties({"cloud.profile": "aws"}))
+
+
+class TestBasicDB:
+    def test_everything_succeeds(self):
+        db = BasicDB()
+        assert db.read("t", "k")[0].ok
+        assert db.scan("t", "k", 5)[0].ok
+        assert db.update("t", "k", {}).ok
+        assert db.insert("t", "k", {}).ok
+        assert db.delete("t", "k").ok
+        assert db.start().ok and db.commit().ok and db.abort().ok
+
+    def test_verbose_echo(self, capsys):
+        db = BasicDB(Properties({"basicdb.verbose": "true"}))
+        db.read("t", "k")
+        assert "READ t k" in capsys.readouterr().err
+
+
+class TestDelayedDB:
+    def test_pays_latency_on_data_ops_only(self):
+        slept = []
+        inner = BasicDB()
+        db = DelayedDB(inner, read_latency=0.1, write_latency=0.2, sleep=slept.append)
+        db.read("t", "k")
+        db.update("t", "k", {})
+        db.start()
+        db.commit()
+        assert slept == [0.1, 0.2]
+
+    def test_defaults_write_to_read_latency(self):
+        slept = []
+        db = DelayedDB(BasicDB(), read_latency=0.3, sleep=slept.append)
+        db.insert("t", "k", {})
+        assert slept == [0.3]
+
+    def test_passthrough_results(self):
+        memory = MemoryDB(Properties({"memory.namespace": "delayed"}))
+        db = DelayedDB(memory, read_latency=0.0)
+        db.insert("t", "k", {"f": "v"})
+        assert db.read("t", "k")[1] == {"f": "v"}
+
+
+class TestRegistry:
+    def test_get_or_create_caches(self):
+        first = registry.get_or_create("kind", "ns", list)
+        second = registry.get_or_create("kind", "ns", list)
+        assert first is second
+
+    def test_reset_clears(self):
+        registry.get_or_create("kind", "ns", list)
+        registry.reset()
+        assert registry.registered_keys() == []
+
+    def test_reset_closes_closeable(self):
+        closed = []
+
+        class Closeable:
+            def close(self):
+                closed.append(True)
+
+        registry.get_or_create("kind", "ns", Closeable)
+        registry.reset()
+        assert closed == [True]
+
+    def test_nested_factory_allowed(self):
+        def outer_factory():
+            registry.get_or_create("inner", "ns", list)
+            return "outer"
+
+        assert registry.get_or_create("outer", "ns", outer_factory) == "outer"

@@ -1,0 +1,126 @@
+"""TxnDB: the YCSB+T transactional binding."""
+
+import pytest
+
+from repro.bindings import TxnDB
+from repro.core import Properties
+from repro.core import status as st
+from repro.kvstore import InMemoryKVStore
+from repro.txn import ClientTransactionManager, PercolatorLikeManager, RetsoLikeManager
+
+
+@pytest.fixture
+def db():
+    return TxnDB(Properties(), manager=ClientTransactionManager(InMemoryKVStore()))
+
+
+class TestTransactionBoundaries:
+    def test_start_commit_cycle(self, db):
+        assert db.start().ok
+        assert db.insert("t", "k", {"f": "v"}).ok
+        assert db.commit().ok
+        assert db.read("t", "k")[1] == {"f": "v"}
+
+    def test_abort_discards(self, db):
+        db.start()
+        db.insert("t", "k", {"f": "v"})
+        assert db.abort().ok
+        assert db.read("t", "k")[0] is st.NOT_FOUND
+
+    def test_double_start_rejected(self, db):
+        db.start()
+        assert not db.start().ok
+        db.abort()
+
+    def test_commit_without_start_is_noop(self, db):
+        assert db.commit().ok
+        assert db.abort().ok
+
+    def test_writes_invisible_until_commit(self, db):
+        other = TxnDB(Properties(), manager=db.manager)
+        db.start()
+        db.insert("t", "k", {"f": "v"})
+        assert other.read("t", "k")[0] is st.NOT_FOUND
+        db.commit()
+        assert other.read("t", "k")[1] == {"f": "v"}
+
+
+class TestAutoCommit:
+    def test_each_op_without_start_is_transactional(self, db):
+        assert db.insert("t", "k", {"f": "1"}).ok
+        assert db.update("t", "k", {"f": "2"}).ok
+        assert db.read("t", "k")[1] == {"f": "2"}
+        assert db.delete("t", "k").ok
+        assert db.read("t", "k")[0] is st.NOT_FOUND
+
+    def test_update_merges(self, db):
+        db.insert("t", "k", {"a": "1", "b": "2"})
+        db.update("t", "k", {"b": "9"})
+        assert db.read("t", "k")[1] == {"a": "1", "b": "9"}
+
+    def test_scan_filters_tables_and_internal_keys(self, db):
+        db.insert("t", "a", {"n": "1"})
+        db.insert("t", "b", {"n": "2"})
+        db.insert("other", "c", {"n": "3"})
+        result, rows = db.scan("t", "", 10)
+        assert result.ok
+        assert [key for key, _ in rows] == ["a", "b"]
+
+    def test_field_selection(self, db):
+        db.insert("t", "k", {"a": "1", "b": "2"})
+        _, fields = db.read("t", "k", {"a"})
+        assert fields == {"a": "1"}
+
+
+class TestConflictMapping:
+    def test_commit_conflict_returns_conflict_status(self, db):
+        db.insert("t", "k", {"n": "0"})
+        other = TxnDB(Properties(), manager=db.manager)
+        db.start()
+        assert db.read("t", "k")[0].ok
+        # Interleaved committed write invalidates db's snapshot write.
+        other.update("t", "k", {"n": "interloper"})
+        assert db.update("t", "k", {"n": "mine"}).ok  # buffered
+        result = db.commit()
+        assert result.name == "CONFLICT"
+        assert db.read("t", "k")[1] == {"n": "interloper"}
+
+    def test_threads_have_independent_transactions(self, db):
+        import threading
+
+        db.insert("t", "counter", {"n": "0"})
+        results = []
+
+        def worker():
+            # Each thread gets its own implicit transaction context.
+            ok = db.start().ok
+            _, fields = db.read("t", "counter")
+            db.commit()
+            results.append(ok and fields is not None)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [True] * 4
+
+
+class TestManagerVariants:
+    @pytest.mark.parametrize(
+        "manager_class", [ClientTransactionManager, PercolatorLikeManager, RetsoLikeManager]
+    )
+    def test_binding_works_over_any_coordinator(self, manager_class):
+        db = TxnDB(Properties(), manager=manager_class(InMemoryKVStore()))
+        db.start()
+        db.insert("t", "k", {"f": "v"})
+        assert db.commit().ok
+        assert db.read("t", "k")[1] == {"f": "v"}
+
+    def test_default_manager_from_registry(self):
+        properties = Properties({"txn.namespace": "shared-test"})
+        first = TxnDB(properties)
+        second = TxnDB(properties)
+        assert first.manager is second.manager
+        first.insert("t", "k", {"f": "v"})
+        assert second.read("t", "k")[1] == {"f": "v"}

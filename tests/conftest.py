@@ -1,0 +1,21 @@
+"""Shared fixtures."""
+
+import random
+
+import pytest
+
+from repro.bindings import registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_binding_registry():
+    """Isolate the shared-store registry between tests."""
+    registry.reset()
+    yield
+    registry.reset()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for generator tests."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,207 @@
+"""Multi-client coordination: state machine, HTTP protocol, full flow."""
+
+import threading
+
+import pytest
+
+from repro.coordination import (
+    CoordinationError,
+    CoordinationServer,
+    CoordinationState,
+    CoordinatorClient,
+)
+
+
+class TestCoordinationState:
+    def test_registration_assigns_stable_indices(self):
+        state = CoordinationState(2)
+        assert state.register("a") == 0
+        assert state.register("b") == 1
+        assert state.register("a") == 0  # idempotent
+        assert state.registered_clients() == ["a", "b"]
+
+    def test_over_registration_rejected(self):
+        state = CoordinationState(1)
+        state.register("a")
+        with pytest.raises(ValueError):
+            state.register("b")
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            CoordinationState(0)
+
+    def test_barrier_releases_at_quorum(self):
+        state = CoordinationState(2)
+        state.register("a")
+        state.register("b")
+        assert state.arrive("go", "a") is False
+        assert state.barrier_status("go") == (False, 1)
+        assert state.arrive("go", "b") is True
+        assert state.barrier_status("go") == (True, 2)
+
+    def test_barrier_requires_registration(self):
+        state = CoordinationState(1)
+        with pytest.raises(KeyError):
+            state.arrive("go", "stranger")
+
+    def test_barriers_independent(self):
+        state = CoordinationState(1)
+        state.register("a")
+        state.arrive("one", "a")
+        assert state.barrier_status("two") == (False, 0)
+
+    def test_summary_aggregates(self):
+        state = CoordinationState(2)
+        state.submit_report({"client": "a", "operations": 100, "throughput": 50.0,
+                             "failed_operations": 1, "anomaly_score": 0.0})
+        state.submit_report({"client": "b", "operations": 200, "throughput": 70.0,
+                             "failed_operations": 0, "anomaly_score": 0.5})
+        summary = state.summary()
+        assert summary["reports"] == 2
+        assert summary["total_operations"] == 300
+        assert summary["total_throughput"] == pytest.approx(120.0)
+        assert summary["total_failed_operations"] == 1
+        assert summary["max_anomaly_score"] == 0.5
+
+    def test_summary_without_scores(self):
+        state = CoordinationState(1)
+        state.submit_report({"client": "a", "operations": 1, "throughput": 1.0})
+        assert state.summary()["max_anomaly_score"] is None
+
+
+class TestHttpProtocol:
+    @pytest.fixture
+    def server(self):
+        with CoordinationServer(expected_clients=2) as running:
+            yield running
+
+    def test_register_and_barrier_roundtrip(self, server):
+        first = CoordinatorClient(server.address, client_id="c1", sleep=lambda _s: None)
+        second = CoordinatorClient(server.address, client_id="c2", sleep=lambda _s: None)
+        assert first.register() == (0, 2)
+        assert second.register() == (1, 2)
+
+        released = []
+
+        def arrive(client):
+            client.wait_barrier("start", timeout_s=10)
+            released.append(client.client_id)
+
+        threads = [
+            threading.Thread(target=arrive, args=(client,))
+            for client in (first, second)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        assert sorted(released) == ["c1", "c2"]
+
+    def test_unregistered_barrier_is_an_error(self, server):
+        stranger = CoordinatorClient(server.address, client_id="ghost")
+        with pytest.raises(CoordinationError):
+            stranger.wait_barrier("start")
+
+    def test_unreachable_coordinator(self):
+        client = CoordinatorClient(("127.0.0.1", 1), timeout_s=0.2)
+        with pytest.raises(CoordinationError):
+            client.register()
+
+    def test_summary_over_http(self, server):
+        client = CoordinatorClient(server.address, client_id="c1")
+        client.register()
+        server.state.submit_report({"client": "c1", "operations": 7, "throughput": 3.0})
+        summary = client.summary()
+        assert summary["total_operations"] == 7
+
+
+class TestKeyspaceSlicing:
+    def test_even_partition(self):
+        slices = [CoordinatorClient.keyspace_slice(i, 4, 100) for i in range(4)]
+        assert slices == [(0, 25), (25, 25), (50, 25), (75, 25)]
+
+    def test_remainder_spread(self):
+        slices = [CoordinatorClient.keyspace_slice(i, 3, 100) for i in range(3)]
+        assert slices == [(0, 34), (34, 33), (67, 33)]
+        assert sum(count for _, count in slices) == 100
+        # Contiguous and exhaustive.
+        cursor = 0
+        for start, count in slices:
+            assert start == cursor
+            cursor += count
+        assert cursor == 100
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinatorClient.keyspace_slice(3, 3, 100)
+
+
+class TestCoordinatedBenchmark:
+    def test_two_in_process_clients_share_one_benchmark(self):
+        """Two 'client processes' (threads here) load disjoint slices of
+        one store and run concurrently, coordinated by barriers."""
+        from repro.bindings import MemoryDB
+        from repro.core import Client, ClosedEconomyWorkload, Properties
+        from repro.measurements import Measurements
+
+        record_count = 100
+        with CoordinationServer(expected_clients=2) as server:
+            results = {}
+            errors = []
+
+            def one_client(name):
+                try:
+                    coordinator = CoordinatorClient(server.address, client_id=name)
+                    index, expected = coordinator.register()
+                    start, count = CoordinatorClient.keyspace_slice(
+                        index, expected, record_count
+                    )
+                    properties = Properties(
+                        {
+                            "recordcount": str(record_count),
+                            "insertstart": str(start),
+                            "insertcount": str(count),
+                            "operationcount": "300",
+                            "totalcash": str(record_count * 1000),
+                            "fieldcount": "1",
+                            "threadcount": "2",
+                            "memory.namespace": "coordinated",
+                            "insertorder": "ordered",
+                            "seed": "6",
+                        }
+                    )
+                    workload = ClosedEconomyWorkload()
+                    measurements = Measurements()
+                    workload.init(properties, measurements)
+                    client = Client(
+                        workload, lambda: MemoryDB(properties), properties, measurements
+                    )
+                    coordinator.wait_barrier("load-start", timeout_s=30)
+                    client.load(count)
+                    coordinator.wait_barrier("run-start", timeout_s=30)
+                    result = client.run()
+                    coordinator.submit_result("run", result)
+                    results[name] = result
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(f"{name}: {exc!r}")
+
+            threads = [
+                threading.Thread(target=one_client, args=(f"proc-{i}",))
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors, errors
+
+            summary = server.state.summary()
+            assert summary["reports"] == 2
+            assert summary["total_operations"] == 600
+            # The two loaders produced the complete, disjoint key space.
+            from repro.bindings import registry  # noqa: PLC0415
+
+            store = MemoryDB(
+                Properties({"memory.namespace": "coordinated"})
+            ).store
+            assert store.size() == record_count

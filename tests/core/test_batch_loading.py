@@ -1,0 +1,136 @@
+"""Bulk loading (YCSB++-style batch inserts)."""
+
+import pytest
+
+from repro.bindings import MemoryDB, TxnDB
+from repro.bindings.kv import KVStoreDB
+from repro.core import Client, ClosedEconomyWorkload, CoreWorkload, Properties
+from repro.core import status as st
+from repro.core.db import DB
+from repro.kvstore import InMemoryKVStore
+from repro.kvstore.lsm import LSMKVStore
+from repro.measurements import Measurements
+
+
+class TestDbBatchInsert:
+    def test_default_loops_insert(self):
+        db = MemoryDB(Properties())
+        result = db.batch_insert("t", [("a", {"v": "1"}), ("b", {"v": "2"})])
+        assert result.ok
+        assert db.read("t", "a")[1] == {"v": "1"}
+        assert db.read("t", "b")[1] == {"v": "2"}
+
+    def test_default_reports_first_failure(self):
+        db = MemoryDB(Properties())
+        db.insert("t", "dup", {})
+        result = db.batch_insert("t", [("x", {}), ("dup", {}), ("y", {})])
+        assert not result.ok
+        # Failure semantics of the loop fallback: earlier records land.
+        assert db.read("t", "x")[0].ok
+
+    def test_lsm_bulk_path(self, tmp_path):
+        store = LSMKVStore(tmp_path)
+        db = KVStoreDB(store, Properties())
+        records = [(f"k{i:03d}", {"v": str(i)}) for i in range(200)]
+        assert db.batch_insert("t", records).ok
+        assert store.size() == 200
+        assert db.read("t", "k007")[1] == {"v": "7"}
+        store.close()
+
+    def test_lsm_put_batch_is_atomic_under_lock(self, tmp_path):
+        store = LSMKVStore(tmp_path)
+        versions = store.put_batch([("a", {"v": "1"}), ("b", {"v": "2"})])
+        assert versions == sorted(versions)
+        assert store.get("a") == {"v": "1"}
+        store.close()
+
+    def test_txn_batch_is_one_transaction(self):
+        from repro.txn import ClientTransactionManager
+
+        manager = ClientTransactionManager(InMemoryKVStore())
+        db = TxnDB(Properties(), manager=manager)
+        before = manager.stats.begun
+        assert db.batch_insert("t", [(f"k{i}", {"v": "x"}) for i in range(50)]).ok
+        assert manager.stats.begun == before + 1  # one txn for all fifty
+
+    def test_measured_db_records_batch_series(self):
+        from repro.core import MeasuredDB
+
+        measurements = Measurements()
+        db = MeasuredDB(MemoryDB(Properties()), measurements)
+        db.batch_insert("t", [("a", {}), ("b", {})])
+        assert measurements.summary_for("BATCH-INSERT").count == 1
+
+
+class TestClientBatchLoading:
+    def _run_load(self, batchsize, recordcount=500):
+        properties = Properties(
+            {
+                "recordcount": str(recordcount),
+                "totalcash": str(recordcount * 1000),
+                "fieldcount": "1",
+                "threadcount": "4",
+                "batchsize": str(batchsize),
+                "seed": "3",
+            }
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: MemoryDB(properties), properties, measurements)
+        return client.load(), measurements
+
+    def test_batched_load_inserts_everything(self):
+        result, measurements = self._run_load(batchsize=64)
+        assert result.operations == 500
+        assert result.failed_operations == 0
+        assert result.validation.passed  # exact totalcash despite batching
+        assert measurements.summary_for("BATCH-INSERT").count >= 500 // 64
+
+    def test_batchsize_one_uses_single_inserts(self):
+        result, measurements = self._run_load(batchsize=1)
+        assert result.operations == 500
+        assert measurements.summary_for("BATCH-INSERT").count == 0
+        assert measurements.summary_for("INSERT").count == 500
+
+    def test_core_workload_batches(self):
+        properties = Properties(
+            {"recordcount": "300", "fieldcount": "2", "threadcount": "2",
+             "batchsize": "50", "seed": "4"}
+        )
+        workload = CoreWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: MemoryDB(properties), properties, measurements)
+        result = client.load()
+        assert result.operations == 300
+        assert result.failed_operations == 0
+
+
+class TestThroughputSeriesWiring:
+    def test_series_absent_by_default(self):
+        properties = Properties(
+            {"recordcount": "20", "operationcount": "30", "totalcash": "20000",
+             "fieldcount": "1", "seed": "2"}
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: MemoryDB(properties), properties, measurements)
+        client.load()
+        assert client.run().throughput_series is None
+
+    def test_series_present_when_requested(self):
+        properties = Properties(
+            {"recordcount": "20", "operationcount": "200", "totalcash": "20000",
+             "fieldcount": "1", "status.interval": "0.01", "seed": "2"}
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: MemoryDB(properties), properties, measurements)
+        client.load()
+        result = client.run()
+        series = result.throughput_series
+        assert series is not None
+        assert series.total_operations() == 200

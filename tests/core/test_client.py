@@ -1,0 +1,132 @@
+"""Client (workload executor) tests: phases, wrapping, validation stage."""
+
+import pytest
+
+from repro.bindings import MemoryDB, TxnDB
+from repro.core import Client, ClosedEconomyWorkload, CoreWorkload, Properties
+from repro.measurements import Measurements
+
+
+def make_setup(workload_class=ClosedEconomyWorkload, db="memory", **overrides):
+    base = {
+        "recordcount": "40",
+        "operationcount": "200",
+        "totalcash": "40000",
+        "readproportion": "0.8",
+        "readmodifywriteproportion": "0.2",
+        "fieldcount": "1",
+        "threadcount": "2",
+        "seed": "9",
+    }
+    base.update({key: str(value) for key, value in overrides.items()})
+    properties = Properties(base)
+    measurements = Measurements()
+    workload = workload_class()
+    workload.init(properties, measurements)
+    factory = (lambda: TxnDB(properties)) if db == "txn" else (lambda: MemoryDB(properties))
+    return Client(workload, factory, properties, measurements), workload
+
+
+class TestLoadPhase:
+    def test_inserts_recordcount_records(self):
+        client, workload = make_setup()
+        result = client.load()
+        assert result.phase == "load"
+        assert result.operations == 40
+        assert result.failed_operations == 0
+        assert result.measurements.summary_for("INSERT").count == 40
+
+    def test_load_wrapped_in_transactions(self):
+        client, _ = make_setup()
+        result = client.load()
+        assert result.measurements.summary_for("START").count == 40
+        assert result.measurements.summary_for("COMMIT").count == 40
+
+    def test_load_validates(self):
+        client, _ = make_setup()
+        result = client.load()
+        assert result.validation is not None
+        assert result.validation.passed
+
+    def test_explicit_count_overrides_properties(self):
+        client, _ = make_setup()
+        assert client.load(10).operations == 10
+
+
+class TestRunPhase:
+    def test_executes_operationcount(self):
+        client, _ = make_setup()
+        client.load()
+        result = client.run()
+        assert result.operations == 200
+        assert result.thread_count == 2
+        assert result.run_time_ms > 0
+        assert result.throughput > 0
+
+    def test_tx_series_recorded(self):
+        client, _ = make_setup()
+        client.load()
+        result = client.run()
+        summaries = result.measurements.summaries()
+        assert summaries["START"].count == 240  # 40 loads + 200 ops
+        tx_read = summaries.get("TX-READ")
+        assert tx_read is not None and tx_read.count > 0
+        # The client-level wrapper series exists for each executed op type.
+        assert "TX-READMODIFYWRITE" in summaries
+
+    def test_validation_stage_runs_after_phase(self):
+        client, _ = make_setup(threadcount=1)
+        client.load()
+        result = client.run()
+        assert result.validation is not None
+        assert result.validation.passed  # single thread: no anomalies
+        assert result.anomaly_score == 0.0
+
+    def test_transactional_run_aborts_show_as_failures(self):
+        client, _ = make_setup(db="txn", threadcount=4)
+        client.load()
+        result = client.run()
+        assert result.operations == 200
+        assert result.validation.passed  # conflicts abort; money safe
+
+    def test_errors_surface_in_result(self):
+        class ExplodingWorkload(CoreWorkload):
+            def do_transaction(self, db, thread_state):
+                raise RuntimeError("workload bug")
+
+        client, _ = make_setup(workload_class=ExplodingWorkload)
+        client.load()
+        result = client.run()
+        assert result.errors
+        assert "workload bug" in result.errors[0]
+
+    def test_target_throttling_slows_run(self):
+        client, _ = make_setup(target="100", operationcount="50", threadcount=1)
+        client.load()
+        result = client.run()
+        # 50 ops at 100 ops/s should take roughly half a second.
+        assert result.run_time_ms > 300
+
+    def test_stop_request_halts_early(self):
+        class StoppingWorkload(ClosedEconomyWorkload):
+            def do_transaction(self, db, thread_state):
+                result = super().do_transaction(db, thread_state)
+                if self.operations_executed >= 20:
+                    self.request_stop()
+                return result
+
+        client, workload = make_setup(workload_class=StoppingWorkload, operationcount=10_000)
+        client.load()
+        result = client.run()
+        assert result.operations < 10_000
+
+
+class TestReport:
+    def test_report_carries_validation_and_throughput(self):
+        client, _ = make_setup()
+        client.load()
+        result = client.run()
+        report = result.report()
+        assert report.operations == 200
+        assert dict(report.validation)["TOTAL CASH"] == 40000
+        assert report.throughput == pytest.approx(result.throughput)

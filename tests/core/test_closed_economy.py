@@ -1,0 +1,224 @@
+"""Closed Economy Workload: money conservation and the anomaly score."""
+
+import pytest
+
+from repro.bindings import MemoryDB
+from repro.core import BALANCE_FIELD, ClosedEconomyWorkload, Properties
+from repro.core.workload import WorkloadError
+from repro.measurements import Measurements
+
+
+def make_cew(**overrides):
+    base = {
+        "recordcount": "50",
+        "operationcount": "100",
+        "totalcash": "50000",
+        "readproportion": "0.9",
+        "readmodifywriteproportion": "0.1",
+        "requestdistribution": "zipfian",
+        "fieldcount": "1",
+        "seed": "5",
+    }
+    base.update({key: str(value) for key, value in overrides.items()})
+    workload = ClosedEconomyWorkload()
+    workload.init(Properties(base), Measurements())
+    return workload
+
+
+
+def do_op(workload, db, state):
+    """Execute one CEW operation and settle it, as the client would."""
+    operation = workload.do_transaction(db, state)
+    workload.finish_transaction(db, state, operation, committed=operation is not None)
+    return operation
+
+def load(workload):
+    db = MemoryDB(workload.properties)
+    state = workload.init_thread(0, 1)
+    for _ in range(workload.record_count):
+        assert workload.do_insert(db, state)
+    return db, state
+
+
+class TestConfiguration:
+    def test_default_total_cash_thousand_per_account(self):
+        workload = make_cew(totalcash="")
+        assert workload.total_cash == 50 * 1000
+
+    def test_rejects_insufficient_cash(self):
+        with pytest.raises(WorkloadError):
+            make_cew(totalcash=10)
+
+    def test_single_balance_field(self):
+        workload = make_cew()
+        assert workload.field_names == [BALANCE_FIELD]
+
+
+class TestLoadPhase:
+    def test_loaded_sum_is_exactly_total_cash(self):
+        workload = make_cew(totalcash=50007)  # does not divide evenly
+        db, _ = load(workload)
+        _, rows = db.scan("usertable", "", 1000)
+        total = sum(int(fields[BALANCE_FIELD]) for _, fields in rows)
+        assert total == 50007
+        assert len(rows) == 50
+
+    def test_remainder_spread_over_first_accounts(self):
+        workload = make_cew(totalcash=50003)
+        assert workload.initial_balance_for(0) == 1001
+        assert workload.initial_balance_for(2) == 1001
+        assert workload.initial_balance_for(3) == 1000
+
+    def test_insert_start_offset(self):
+        workload = make_cew(insertstart=100, totalcash=50003)
+        assert workload.initial_balance_for(100) == 1001
+        assert workload.initial_balance_for(103) == 1000
+
+
+class TestOperationsPreserveInvariant:
+    """Serially, every operation keeps accounts + escrow == totalcash."""
+
+    def check_invariant(self, workload, db):
+        _, rows = db.scan("usertable", "", 10_000)
+        total = sum(int(fields[BALANCE_FIELD]) for _, fields in rows)
+        assert total + workload.escrow.amount == workload.total_cash
+
+    @pytest.mark.parametrize(
+        "mix",
+        [
+            {"readproportion": 1.0, "readmodifywriteproportion": 0.0},
+            {"readproportion": 0.0, "readmodifywriteproportion": 1.0},
+            {
+                "readproportion": 0.0,
+                "readmodifywriteproportion": 0.0,
+                "updateproportion": 1.0,
+            },
+            {
+                "readproportion": 0.0,
+                "readmodifywriteproportion": 0.0,
+                "scanproportion": 1.0,
+                "maxscanlength": 10,
+            },
+            {
+                "readproportion": 0.25,
+                "readmodifywriteproportion": 0.25,
+                "updateproportion": 0.2,
+                "insertproportion": 0.15,
+                "deleteproportion": 0.15,
+            },
+        ],
+    )
+    def test_serial_mix_preserves_money(self, mix):
+        workload = make_cew(**mix)
+        db, state = load(workload)
+        for _ in range(300):
+            do_op(workload, db, state)
+        self.check_invariant(workload, db)
+
+    def test_delete_banks_balance_into_escrow(self):
+        workload = make_cew(
+            readproportion=0.0, readmodifywriteproportion=0.0, deleteproportion=1.0
+        )
+        db, state = load(workload)
+        before = workload.escrow.amount
+        assert do_op(workload, db, state) == "DELETE"
+        assert workload.escrow.amount > before
+        self.check_invariant(workload, db)
+
+    def test_update_grants_at_most_one_dollar_from_escrow(self):
+        workload = make_cew(
+            readproportion=0.0, readmodifywriteproportion=0.0, updateproportion=1.0
+        )
+        db, state = load(workload)
+        workload.escrow.deposit(5)  # out-of-band seed money for the test
+        assert do_op(workload, db, state) == "UPDATE"
+        assert workload.escrow.amount == 4
+        # The granted dollar moved from escrow into an account.
+        _, rows = db.scan("usertable", "", 1000)
+        total = sum(int(fields[BALANCE_FIELD]) for _, fields in rows)
+        assert total == workload.total_cash + 1
+
+    def test_rmw_never_makes_balance_negative(self):
+        workload = make_cew(
+            recordcount=2,
+            totalcash=2,  # every account has $1
+            readproportion=0.0,
+            readmodifywriteproportion=1.0,
+            requestdistribution="uniform",
+        )
+        db, state = load(workload)
+        for _ in range(100):
+            do_op(workload, db, state)
+        _, rows = db.scan("usertable", "", 10)
+        assert all(int(fields[BALANCE_FIELD]) >= 0 for _, fields in rows)
+        self.check_invariant(workload, db)
+
+
+class TestValidation:
+    def test_consistent_database_passes(self):
+        workload = make_cew()
+        db, state = load(workload)
+        for _ in range(100):
+            do_op(workload, db, state)
+        result = workload.validate(db)
+        assert result.passed
+        assert result.anomaly_score == 0.0
+        fields = dict(result.fields)
+        assert fields["TOTAL CASH"] == workload.total_cash
+        assert fields["COUNTED CASH"] == workload.total_cash
+        assert fields["ACTUAL OPERATIONS"] == 100
+
+    def test_corruption_detected_and_scored(self):
+        workload = make_cew()
+        db, state = load(workload)
+        for _ in range(100):
+            do_op(workload, db, state)
+        # Corrupt one account by $7 behind the workload's back.
+        key, fields = db.scan("usertable", "", 1)[1][0]
+        db.update("usertable", key, {BALANCE_FIELD: str(int(fields[BALANCE_FIELD]) - 7)})
+        result = workload.validate(db)
+        assert not result.passed
+        assert result.anomaly_score == pytest.approx(7 / 100)
+
+    def test_anomaly_score_formula(self):
+        """gamma = |S_initial - S_final| / n, the paper's definition."""
+        workload = make_cew()
+        db, state = load(workload)
+        for _ in range(40):
+            do_op(workload, db, state)
+        key = db.scan("usertable", "", 1)[1][0][0]
+        db.update("usertable", key, {BALANCE_FIELD: "0"})
+        result = workload.validate(db)
+        _, rows = db.scan("usertable", "", 1000)
+        counted = sum(int(f[BALANCE_FIELD]) for _, f in rows) + workload.escrow.amount
+        assert result.anomaly_score == pytest.approx(
+            abs(workload.total_cash - counted) / 40
+        )
+
+    def test_escrow_counted_as_cash(self):
+        workload = make_cew(
+            readproportion=0.0, readmodifywriteproportion=0.0, deleteproportion=1.0
+        )
+        db, state = load(workload)
+        for _ in range(10):
+            do_op(workload, db, state)
+        assert workload.escrow.amount > 0
+        assert workload.validate(db).passed
+
+    def test_validation_pages_through_large_tables(self):
+        workload = make_cew(recordcount=2500, totalcash=2500000)
+        db, _ = load(workload)
+        result = workload.validate(db)
+        assert result.passed
+
+
+class TestBalanceCodec:
+    def test_round_trip(self):
+        workload = make_cew()
+        assert workload.parse_balance(workload.encode_balance(123)) == 123
+
+    def test_parse_garbage(self):
+        workload = make_cew()
+        assert workload.parse_balance(None) is None
+        assert workload.parse_balance({}) is None
+        assert workload.parse_balance({BALANCE_FIELD: "x"}) is None

@@ -1,0 +1,167 @@
+"""CoreWorkload configuration and operation behaviour."""
+
+import pytest
+
+from repro.bindings import MemoryDB
+from repro.core import CoreWorkload, Properties
+from repro.core.workload import WorkloadError
+from repro.measurements import Measurements
+
+
+def make_workload(**overrides):
+    base = {"recordcount": "100", "operationcount": "100", "seed": "3"}
+    base.update({key: str(value) for key, value in overrides.items()})
+    workload = CoreWorkload()
+    workload.init(Properties(base), Measurements())
+    return workload
+
+
+def load_and_run(workload, operations=200):
+    db = MemoryDB(workload.properties)
+    state = workload.init_thread(0, 1)
+    for _ in range(workload.record_count):
+        assert workload.do_insert(db, state)
+    executed = []
+    for _ in range(operations):
+        name = workload.do_transaction(db, state)
+        executed.append(name)
+    return db, executed
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        workload = make_workload()
+        assert workload.table == "usertable"
+        assert workload.field_count == 10
+        assert workload.read_all_fields is True
+
+    def test_rejects_zero_records(self):
+        with pytest.raises(WorkloadError):
+            make_workload(recordcount=0)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(WorkloadError):
+            make_workload(requestdistribution="gaussian")
+
+    def test_rejects_unknown_field_length_distribution(self):
+        with pytest.raises(WorkloadError):
+            make_workload(fieldlengthdistribution="cauchy")
+
+    def test_rejects_all_zero_proportions(self):
+        with pytest.raises(WorkloadError):
+            make_workload(readproportion=0, updateproportion=0)
+
+    @pytest.mark.parametrize(
+        "distribution",
+        ["uniform", "zipfian", "latest", "hotspot", "sequential", "exponential"],
+    )
+    def test_all_request_distributions_construct_and_run(self, distribution):
+        workload = make_workload(requestdistribution=distribution)
+        _, executed = load_and_run(workload, operations=50)
+        assert all(name is not None for name in executed)
+
+    def test_operation_mix_respected(self):
+        workload = make_workload(
+            readproportion=0.5, updateproportion=0.5, operationcount=1000
+        )
+        _, executed = load_and_run(workload, operations=1000)
+        reads = executed.count("READ")
+        assert 350 < reads < 650
+
+    def test_ordered_insert_keys(self):
+        workload = make_workload(insertorder="ordered", zeropadding=8)
+        assert workload.build_key_name(5) == "user00000005"
+
+    def test_hashed_insert_keys_spread(self):
+        workload = make_workload()  # hashed is the default
+        assert workload.build_key_name(0) != "user0"
+
+
+class TestValueGeneration:
+    def test_build_values_covers_all_fields(self, rng):
+        workload = make_workload(fieldcount=4, fieldlength=8)
+        values = workload.build_values(rng)
+        assert sorted(values) == ["field0", "field1", "field2", "field3"]
+        assert all(len(value) == 8 for value in values.values())
+
+    def test_build_update_single_field_by_default(self, rng):
+        workload = make_workload(fieldcount=4)
+        assert len(workload.build_update(rng)) == 1
+
+    def test_build_update_all_fields_when_requested(self, rng):
+        workload = make_workload(fieldcount=4, writeallfields="true")
+        assert len(workload.build_update(rng)) == 4
+
+    def test_uniform_field_lengths(self, rng):
+        workload = make_workload(fieldlengthdistribution="uniform", fieldlength=10)
+        lengths = {len(workload.build_values(rng)["field0"]) for _ in range(100)}
+        assert lengths <= set(range(1, 11))
+        assert len(lengths) > 2
+
+
+class TestOperationsAgainstStore:
+    def test_load_phase_inserts_exactly_recordcount(self):
+        workload = make_workload(recordcount=50)
+        db, _ = load_and_run(workload, operations=0)
+        assert db.store.size() == 50
+
+    def test_reads_hit_existing_records(self):
+        workload = make_workload(readproportion=1.0, updateproportion=0.0)
+        _, executed = load_and_run(workload)
+        assert set(executed) == {"READ"}
+
+    def test_scan_operations(self):
+        workload = make_workload(
+            readproportion=0.0,
+            updateproportion=0.0,
+            scanproportion=1.0,
+            maxscanlength=10,
+        )
+        _, executed = load_and_run(workload, operations=30)
+        assert set(executed) == {"SCAN"}
+
+    def test_rmw_records_separate_measurement(self):
+        workload = make_workload(
+            readproportion=0.0, updateproportion=0.0, readmodifywriteproportion=1.0
+        )
+        load_and_run(workload, operations=20)
+        assert workload.measurements.summary_for("READ-MODIFY-WRITE").count == 20
+
+    def test_inserts_extend_keyspace_and_are_readable(self):
+        workload = make_workload(
+            readproportion=0.5, updateproportion=0.0, insertproportion=0.5
+        )
+        _, executed = load_and_run(workload, operations=200)
+        failed = [name for name in executed if name is None]
+        assert not failed
+
+    def test_delete_proportion(self):
+        workload = make_workload(
+            readproportion=0.5, updateproportion=0.0, deleteproportion=0.5
+        )
+        db, executed = load_and_run(workload, operations=100)
+        deletes = executed.count("DELETE")
+        assert deletes > 10
+        assert db.store.size() < 100
+
+    def test_failed_operation_returns_none(self):
+        workload = make_workload(readproportion=1.0, updateproportion=0.0)
+        db = MemoryDB(workload.properties)  # empty store: reads miss
+        state = workload.init_thread(0, 1)
+        assert workload.do_transaction(db, state) is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_keys(self):
+        first = make_workload(seed=99)
+        second = make_workload(seed=99)
+        keys_a = [first.next_key_number() for _ in range(50)]
+        keys_b = [second.next_key_number() for _ in range(50)]
+        assert keys_a == keys_b
+
+    def test_different_seed_differs(self):
+        first = make_workload(seed=1)
+        second = make_workload(seed=2)
+        keys_a = [first.next_key_number() for _ in range(50)]
+        keys_b = [second.next_key_number() for _ in range(50)]
+        assert keys_a != keys_b

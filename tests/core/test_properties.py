@@ -1,0 +1,130 @@
+"""Property-file parsing and typed access."""
+
+import pytest
+
+from repro.core import Properties, load_properties, parse_properties
+
+
+class TestParsing:
+    def test_basic_pairs(self):
+        assert parse_properties("a=1\nb=2\n") == {"a": "1", "b": "2"}
+
+    def test_colon_separator(self):
+        assert parse_properties("key: value\n") == {"key": "value"}
+
+    def test_comments_and_blanks(self):
+        text = "# comment\n! also comment\n\nkey=value\n"
+        assert parse_properties(text) == {"key": "value"}
+
+    def test_whitespace_stripped(self):
+        assert parse_properties("  key  =  value  \n") == {"key": "value"}
+
+    def test_later_wins(self):
+        assert parse_properties("k=1\nk=2\n") == {"k": "2"}
+
+    def test_line_continuation(self):
+        text = "key=first \\\n    second\n"
+        assert parse_properties(text) == {"key": "first second"}
+
+    def test_value_with_equals(self):
+        assert parse_properties("url=http://host?a=b\n") == {"url": "http://host?a=b"}
+
+    def test_key_only_line(self):
+        assert parse_properties("flag\n") == {"flag": ""}
+
+    def test_listing2_file(self):
+        """The paper's Listing 2 parses into the expected configuration."""
+        text = """\
+recordcount=10000
+operationcount=1000000
+workload=com.yahoo.ycsb.workloads.ClosedEconomyWorkload
+totalcash=100000000
+readproportion=0.9
+readmodifywriteproportion=0.1
+requestdistribution=zipfian
+fieldcount=1
+fieldlength=100
+writeallfields=true
+readallfields=true
+histogram.buckets=0
+"""
+        pairs = parse_properties(text)
+        assert pairs["recordcount"] == "10000"
+        assert pairs["requestdistribution"] == "zipfian"
+        assert pairs["histogram.buckets"] == "0"
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "workload.properties"
+        path.write_text("recordcount=42\n")
+        properties = load_properties(path)
+        assert properties.get_int("recordcount") == 42
+
+
+class TestTypedAccess:
+    def test_get_str(self):
+        properties = Properties({"k": "v"})
+        assert properties.get_str("k") == "v"
+        assert properties.get_str("missing", "default") == "default"
+
+    def test_get_int(self):
+        properties = Properties({"n": "17"})
+        assert properties.get_int("n") == 17
+        assert properties.get_int("missing", 5) == 5
+
+    def test_get_int_rejects_garbage(self):
+        with pytest.raises(ValueError, match="n"):
+            Properties({"n": "seventeen"}).get_int("n")
+
+    def test_get_float(self):
+        properties = Properties({"x": "0.9"})
+        assert properties.get_float("x") == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            Properties({"x": "nope"}).get_float("x")
+
+    def test_get_bool_variants(self):
+        for word in ("true", "Yes", "ON", "1"):
+            assert Properties({"b": word}).get_bool("b") is True
+        for word in ("false", "No", "off", "0"):
+            assert Properties({"b": word}).get_bool("b") is False
+
+    def test_get_bool_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Properties({"b": "maybe"}).get_bool("b")
+
+    def test_empty_value_falls_to_default(self):
+        properties = Properties({"n": ""})
+        assert properties.get_int("n", 7) == 7
+        assert properties.get_bool("n", True) is True
+
+    def test_get_list(self):
+        properties = Properties({"hosts": "a, b , c"})
+        assert properties.get_list("hosts") == ["a", "b", "c"]
+        assert properties.get_list("missing", ["x"]) == ["x"]
+
+    def test_require(self):
+        assert Properties({"k": "v"}).require("k") == "v"
+        with pytest.raises(KeyError, match="required"):
+            Properties().require("missing")
+
+    def test_set_stringifies(self):
+        properties = Properties()
+        properties.set("threads", 16)
+        assert properties.get("threads") == "16"
+
+    def test_merged_does_not_mutate(self):
+        base = Properties({"a": "1"})
+        merged = base.merged({"a": "2", "b": "3"})
+        assert base.get("a") == "1"
+        assert merged.get("a") == "2"
+        assert merged.get("b") == "3"
+
+    def test_mapping_surface(self):
+        properties = Properties({"a": "1", "b": "2"})
+        assert "a" in properties
+        assert len(properties) == 2
+        assert sorted(properties) == ["a", "b"]
+        assert properties.as_dict() == {"a": "1", "b": "2"}
+
+    def test_equality(self):
+        assert Properties({"a": "1"}) == Properties({"a": "1"})
+        assert Properties({"a": "1"}) != Properties({"a": "2"})

@@ -1,0 +1,134 @@
+"""Status codes, the DB base class, MeasuredDB, and create_db."""
+
+import pytest
+
+from repro.core import DB, MeasuredDB, Properties, create_db
+from repro.core import status as st
+from repro.core.status import ALL_STATUSES, from_name
+from repro.measurements import Measurements
+
+
+class TestStatus:
+    def test_ok(self):
+        assert st.OK.ok
+        assert st.OK.code == 0
+
+    def test_failures_not_ok(self):
+        for status in (st.ERROR, st.NOT_FOUND, st.CONFLICT, st.TIMEOUT):
+            assert not status.ok
+
+    def test_retryable_classification(self):
+        assert st.CONFLICT.is_retryable()
+        assert st.RATE_LIMITED.is_retryable()
+        assert not st.NOT_FOUND.is_retryable()
+        assert not st.BAD_REQUEST.is_retryable()
+
+    def test_with_message(self):
+        detailed = st.ERROR.with_message("disk on fire")
+        assert detailed.code == st.ERROR.code
+        assert "disk on fire" in str(detailed)
+
+    def test_lookup_by_name(self):
+        assert from_name("CONFLICT") is st.CONFLICT
+        with pytest.raises(KeyError):
+            from_name("NOPE")
+
+    def test_all_statuses_unique_codes(self):
+        codes = [status.code for status in ALL_STATUSES.values()]
+        assert len(codes) == len(set(codes))
+
+
+class TestDBDefaults:
+    def test_crud_not_implemented(self):
+        db = DB()
+        assert db.read("t", "k")[0] is st.NOT_IMPLEMENTED
+        assert db.scan("t", "k", 1)[0] is st.NOT_IMPLEMENTED
+        assert db.update("t", "k", {}) is st.NOT_IMPLEMENTED
+        assert db.insert("t", "k", {}) is st.NOT_IMPLEMENTED
+        assert db.delete("t", "k") is st.NOT_IMPLEMENTED
+
+    def test_transaction_methods_are_noops(self):
+        """The YCSB+T backward-compatibility contract (§IV-A)."""
+        db = DB()
+        assert db.start().ok
+        assert db.commit().ok
+        assert db.abort().ok
+
+
+class _RecordingDB(DB):
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def read(self, table, key, fields=None):
+        self.calls.append(("read", key))
+        return st.OK, {"f": "v"}
+
+    def update(self, table, key, values):
+        self.calls.append(("update", key))
+        return st.OK
+
+
+class TestMeasuredDB:
+    def test_records_operation_latency_and_status(self):
+        measurements = Measurements()
+        db = MeasuredDB(_RecordingDB(), measurements)
+        db.read("t", "k")
+        summary = measurements.summary_for("READ")
+        assert summary.count == 1
+        assert summary.return_codes == {"OK": 1}
+
+    def test_tx_series_only_inside_transaction(self):
+        measurements = Measurements()
+        db = MeasuredDB(_RecordingDB(), measurements)
+        db.read("t", "outside")
+        db.start()
+        db.read("t", "inside")
+        db.commit()
+        db.read("t", "outside-again")
+        assert measurements.summary_for("READ").count == 3
+        assert measurements.summary_for("TX-READ").count == 1
+        assert measurements.summary_for("START").count == 1
+        assert measurements.summary_for("COMMIT").count == 1
+
+    def test_abort_closes_transaction_window(self):
+        measurements = Measurements()
+        db = MeasuredDB(_RecordingDB(), measurements)
+        db.start()
+        db.abort()
+        db.update("t", "k", {})
+        assert measurements.summary_for("TX-UPDATE").count == 0
+        assert measurements.summary_for("ABORT").count == 1
+
+    def test_inner_called(self):
+        inner = _RecordingDB()
+        db = MeasuredDB(inner, Measurements())
+        db.read("t", "k")
+        db.update("t", "k", {"f": "v"})
+        assert inner.calls == [("read", "k"), ("update", "k")]
+
+
+class TestCreateDb:
+    def test_alias(self):
+        db = create_db("memory", Properties())
+        from repro.bindings import MemoryDB
+
+        assert isinstance(db, MemoryDB)
+
+    def test_dotted_path(self):
+        db = create_db("repro.bindings.basic.BasicDB", Properties())
+        from repro.bindings import BasicDB
+
+        assert isinstance(db, BasicDB)
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(ValueError, match="unknown DB binding"):
+            create_db("nonsense")
+
+    def test_missing_class_raises(self):
+        with pytest.raises(ValueError, match="has no class"):
+            create_db("repro.bindings.basic.Missing")
+
+    def test_non_db_class_rejected(self):
+        with pytest.raises(TypeError):
+            create_db("repro.core.properties.Properties")

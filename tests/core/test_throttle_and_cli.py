@@ -1,0 +1,145 @@
+"""Throttle pacing and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, main
+from repro.core.throttle import Throttle
+
+
+class TestThrottle:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Throttle(0)
+
+    def test_paces_to_target(self):
+        clock = [0.0]
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock[0] += seconds
+
+        throttle = Throttle(10, clock=lambda: clock[0], sleep=fake_sleep)
+        for _ in range(5):
+            throttle.wait_for_turn()
+        # 5 ops at 10/s: ~0.4s of sleeping after the free first op.
+        assert sum(sleeps) == pytest.approx(0.4, abs=0.01)
+
+    def test_catches_up_after_slow_operation(self):
+        clock = [0.0]
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock[0] += seconds
+
+        throttle = Throttle(10, clock=lambda: clock[0], sleep=fake_sleep)
+        throttle.wait_for_turn()
+        clock[0] += 1.0  # one op took a full second (10 ops worth)
+        for _ in range(5):
+            throttle.wait_for_turn()
+        # The thread is behind schedule; no sleeping until it catches up.
+        assert sum(sleeps) == 0
+
+
+class TestCliParser:
+    def test_phase_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "-db", "memory", "-P", "file.properties", "-threads", "8",
+             "-p", "a=1", "-p", "b=2"]
+        )
+        assert args.command == "run"
+        assert args.db == "memory"
+        assert args.threads == 8
+        assert args.property == ["a=1", "b=2"]
+
+    def test_experiment_arguments(self):
+        args = build_parser().parse_args(["experiment", "fig4", "--full"])
+        assert args.name == "fig4"
+        assert args.full
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["destroy"])
+
+    def test_bad_property_override_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "-db", "basic", "-p", "not-a-pair"])
+
+
+class TestCliExecution:
+    def _cew_args(self, phase, extra=()):
+        return [
+            phase,
+            "-db", "memory",
+            "-p", "workload=closed_economy",
+            "-p", "recordcount=30",
+            "-p", "operationcount=100",
+            "-p", "totalcash=30000",
+            "-p", "fieldcount=1",
+            "-p", "seed=4",
+            "-threads", "1",
+            *extra,
+        ]
+
+    def test_bench_round_trip_text(self, capsys):
+        code = main(self._cew_args("bench"))
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[TOTAL CASH], 30000" in output
+        assert "[OVERALL], Throughput(ops/sec)," in output
+        assert "Database validation passed" in output
+
+    def test_bench_json_export(self, capsys):
+        code = main(self._cew_args("bench", ["--export", "json"]))
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["overall"]["operations"] == 100
+        assert document["validation"]["passed"] is True
+
+    def test_property_file_loading(self, tmp_path, capsys):
+        workload_file = tmp_path / "cew.properties"
+        workload_file.write_text(
+            "workload=closed_economy\nrecordcount=10\noperationcount=20\n"
+            "totalcash=10000\nfieldcount=1\nseed=1\n"
+        )
+        code = main(["bench", "-db", "memory", "-P", str(workload_file)])
+        assert code == 0
+        assert "[TOTAL CASH], 10000" in capsys.readouterr().out
+
+    def test_core_workload_runs(self, capsys):
+        code = main(
+            ["bench", "-db", "memory", "-p", "workload=core",
+             "-p", "recordcount=20", "-p", "operationcount=50", "-p", "seed=2"]
+        )
+        assert code == 0
+        assert "[READ]" in capsys.readouterr().out
+
+    def test_java_workload_name_alias(self, capsys):
+        code = main(
+            ["bench", "-db", "memory",
+             "-p", "workload=com.yahoo.ycsb.workloads.ClosedEconomyWorkload",
+             "-p", "recordcount=10", "-p", "operationcount=20",
+             "-p", "totalcash=10000", "-p", "fieldcount=1", "-p", "seed=1"]
+        )
+        assert code == 0
+        assert "[ANOMALY SCORE]" in capsys.readouterr().out
+
+    def test_unknown_workload_fails(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "-db", "memory", "-p", "workload=telepathy"])
+
+    def test_validation_failure_sets_exit_code(self, capsys):
+        # Load, then corrupt by running 'run' against a *different*
+        # (empty) namespace so validation cannot find the money.
+        code = main(
+            ["run", "-db", "memory",
+             "-p", "workload=closed_economy",
+             "-p", "recordcount=10", "-p", "operationcount=10",
+             "-p", "totalcash=10000", "-p", "fieldcount=1",
+             "-p", "memory.namespace=empty-ns", "-p", "seed=1"]
+        )
+        assert code == 1
+        assert "Validation failed" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Workload base class defaults and the validation-result contract."""
+
+import pytest
+
+from repro.core import DB, Properties, ValidationResult, Workload
+from repro.measurements import Measurements
+
+
+class TestWorkloadDefaults:
+    def test_validate_is_noop_by_default(self):
+        """The YCSB backward-compatibility contract: workloads without a
+        validation stage behave exactly as under plain YCSB."""
+        workload = Workload()
+        workload.init(Properties())
+        assert workload.validate(DB()) is None
+
+    def test_finish_transaction_is_noop_by_default(self):
+        workload = Workload()
+        workload.init(Properties())
+        workload.finish_transaction(DB(), object(), "READ", True)  # no raise
+
+    def test_do_methods_abstract(self):
+        workload = Workload()
+        with pytest.raises(NotImplementedError):
+            workload.do_insert(DB(), None)
+        with pytest.raises(NotImplementedError):
+            workload.do_transaction(DB(), None)
+
+    def test_init_stores_properties_and_measurements(self):
+        workload = Workload()
+        properties = Properties({"a": "1"})
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        assert workload.properties is properties
+        assert workload.measurements is measurements
+
+    def test_stop_request(self):
+        workload = Workload()
+        assert not workload.stop_requested
+        workload.request_stop()
+        assert workload.stop_requested
+
+    def test_thread_rngs_seeded_distinctly(self):
+        workload = Workload()
+        workload.init(Properties({"seed": "5"}))
+        rng_a = workload.init_thread(0, 2)
+        rng_b = workload.init_thread(1, 2)
+        assert [rng_a.random() for _ in range(5)] != [rng_b.random() for _ in range(5)]
+
+    def test_thread_rngs_reproducible(self):
+        first = Workload()
+        first.init(Properties({"seed": "5"}))
+        second = Workload()
+        second.init(Properties({"seed": "5"}))
+        assert (
+            first.init_thread(3, 8).random() == second.init_thread(3, 8).random()
+        )
+
+    def test_unseeded_rngs_differ_across_runs(self):
+        workload = Workload()
+        workload.init(Properties())
+        assert (
+            workload.init_thread(0, 1).random()
+            != workload.init_thread(0, 1).random()
+        )
+
+    def test_default_batch_insert_loops(self):
+        calls = []
+
+        class CountingWorkload(Workload):
+            def do_insert(self, db, state):
+                calls.append(1)
+                return len(calls) != 2  # second insert fails
+
+        workload = CountingWorkload()
+        workload.init(Properties())
+        inserted = workload.do_batch_insert(DB(), None, 3)
+        assert len(calls) == 3
+        assert inserted == 2
+
+
+class TestValidationResult:
+    def test_defaults(self):
+        result = ValidationResult(passed=True)
+        assert result.fields == []
+        assert result.anomaly_score is None
+
+    def test_fields_ordered(self):
+        result = ValidationResult(
+            passed=False, fields=[("B", 1), ("A", 2)], anomaly_score=0.5
+        )
+        assert [name for name, _ in result.fields] == ["B", "A"]

@@ -1,0 +1,80 @@
+"""Generator base classes and the locked RNG helpers."""
+
+import random
+import threading
+
+from repro.generators import ConstantGenerator, default_rng, locked_random
+from repro.generators.base import Generator
+
+
+class _CountingGenerator(Generator[int]):
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def next_value(self) -> int:
+        self.calls += 1
+        return self._remember(self.calls)
+
+
+class TestGeneratorBase:
+    def test_last_value_generates_lazily(self):
+        generator = _CountingGenerator()
+        assert generator.last_value() == 1
+        assert generator.calls == 1
+        assert generator.last_value() == 1  # no extra generation
+
+    def test_last_value_tracks_next(self):
+        generator = _CountingGenerator()
+        generator.next_value()
+        generator.next_value()
+        assert generator.last_value() == 2
+
+    def test_constant_generator(self):
+        generator = ConstantGenerator("x")
+        assert generator.next_value() == "x"
+        assert generator.last_value() == "x"
+
+
+class TestLockedRandom:
+    def test_seeded_reproducibility(self):
+        a = locked_random(42)
+        b = locked_random(42)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_unseeded_instances_differ(self):
+        a = locked_random()
+        b = locked_random()
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_derived_methods_work(self):
+        rng = locked_random(7)
+        assert 0 <= rng.randint(0, 10) <= 10
+        assert rng.choice(["a", "b"]) in ("a", "b")
+        assert 0.0 <= rng.uniform(0, 1) <= 1.0
+
+    def test_default_rng_is_shared(self):
+        assert default_rng() is default_rng()
+
+    def test_concurrent_use_does_not_crash_or_stick(self):
+        rng = locked_random(1)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [rng.random() for _ in range(2000)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8000
+        assert all(0.0 <= value < 1.0 for value in results)
+        # The stream must not degenerate (e.g. repeated identical values).
+        assert len(set(results)) > 7900
+
+    def test_is_a_random_instance(self):
+        assert isinstance(locked_random(), random.Random)

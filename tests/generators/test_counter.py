@@ -1,0 +1,91 @@
+"""Counter generator tests."""
+
+import threading
+
+from repro.generators import AcknowledgedCounterGenerator, CounterGenerator
+
+
+class TestCounterGenerator:
+    def test_starts_at_start(self):
+        counter = CounterGenerator(5)
+        assert counter.next_value() == 5
+
+    def test_sequential(self):
+        counter = CounterGenerator(0)
+        assert [counter.next_value() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_last_value_before_any_next(self):
+        counter = CounterGenerator(10)
+        assert counter.last_value() == 9
+
+    def test_last_value_tracks_issued(self):
+        counter = CounterGenerator(0)
+        counter.next_value()
+        counter.next_value()
+        assert counter.last_value() == 1
+
+    def test_thread_safety_no_duplicates(self):
+        counter = CounterGenerator(0)
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [counter.next_value() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 4000
+        assert len(set(seen)) == 4000
+        assert sorted(seen) == list(range(4000))
+
+    def test_mean_not_defined(self):
+        import pytest
+
+        with pytest.raises(NotImplementedError):
+            CounterGenerator(0).mean()
+
+
+class TestAcknowledgedCounterGenerator:
+    def test_limit_starts_below_start(self):
+        counter = AcknowledgedCounterGenerator(100)
+        assert counter.last_value() == 99
+
+    def test_limit_advances_only_contiguously(self):
+        counter = AcknowledgedCounterGenerator(0)
+        first = counter.next_value()
+        second = counter.next_value()
+        third = counter.next_value()
+        counter.acknowledge(third)
+        assert counter.last_value() == -1  # 0 and 1 still pending
+        counter.acknowledge(first)
+        assert counter.last_value() == 0
+        counter.acknowledge(second)
+        assert counter.last_value() == 2  # 2 was pending, frontier jumps
+
+    def test_out_of_order_acknowledgement(self):
+        counter = AcknowledgedCounterGenerator(0)
+        values = [counter.next_value() for _ in range(10)]
+        for value in reversed(values):
+            counter.acknowledge(value)
+        assert counter.last_value() == 9
+
+    def test_concurrent_acknowledge(self):
+        counter = AcknowledgedCounterGenerator(0)
+        values = [counter.next_value() for _ in range(2000)]
+
+        def worker(chunk):
+            for value in chunk:
+                counter.acknowledge(value)
+
+        chunks = [values[i::4] for i in range(4)]
+        threads = [threading.Thread(target=worker, args=(chunk,)) for chunk in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.last_value() == 1999

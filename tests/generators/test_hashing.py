@@ -1,0 +1,46 @@
+"""FNV hash tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import fnv1_64, fnv1a_64
+
+
+class TestFnv1_64:
+    def test_deterministic(self):
+        assert fnv1_64(12345) == fnv1_64(12345)
+
+    def test_non_negative(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert fnv1_64(value) >= 0
+
+    def test_distinct_inputs_differ(self):
+        outputs = {fnv1_64(i) for i in range(10000)}
+        assert len(outputs) == 10000  # no collisions in a small dense range
+
+    def test_matches_known_ycsb_value(self):
+        # FNV-1 64 of integer 0 consumes eight zero bytes.
+        expected = 0xCBF29CE484222325
+        for _ in range(8):
+            expected = (expected * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        assert fnv1_64(0) == expected & 0x7FFFFFFFFFFFFFFF
+
+    @given(value=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_property_range(self, value):
+        hashed = fnv1_64(value)
+        assert 0 <= hashed < 2**63
+
+
+class TestFnv1a_64:
+    def test_empty(self):
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_known_vector(self):
+        # Standard FNV-1a test vector: "a" -> 0xaf63dc4c8601ec8c
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_spread(self):
+        outputs = {fnv1a_64(f"key{i}".encode()) for i in range(10000)}
+        assert len(outputs) == 10000

@@ -1,0 +1,253 @@
+"""Tests for the uniform, hotspot, exponential, discrete, histogram,
+sequential, constant and string generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    ConstantGenerator,
+    DiscreteGenerator,
+    ExponentialGenerator,
+    HistogramGenerator,
+    HotspotIntegerGenerator,
+    KeyNameGenerator,
+    RandomStringGenerator,
+    SequentialGenerator,
+    UniformChoiceGenerator,
+    UniformLongGenerator,
+)
+
+
+class TestUniformLongGenerator:
+    def test_bounds_inclusive(self, rng):
+        generator = UniformLongGenerator(3, 5, rng=rng)
+        seen = {generator.next_value() for _ in range(500)}
+        assert seen == {3, 4, 5}
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            UniformLongGenerator(2, 1)
+
+    def test_mean(self):
+        assert UniformLongGenerator(0, 10).mean() == 5.0
+
+    def test_single_value_range(self, rng):
+        generator = UniformLongGenerator(7, 7, rng=rng)
+        assert generator.next_value() == 7
+
+    @given(
+        lower=st.integers(-1000, 1000),
+        span=st.integers(0, 1000),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounds(self, lower, span, seed):
+        generator = UniformLongGenerator(lower, lower + span, rng=random.Random(seed))
+        assert lower <= generator.next_value() <= lower + span
+
+
+class TestUniformChoiceGenerator:
+    def test_chooses_from_items(self, rng):
+        generator = UniformChoiceGenerator(["a", "b"], rng=rng)
+        assert {generator.next_value() for _ in range(100)} == {"a", "b"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UniformChoiceGenerator([])
+
+
+class TestConstantGenerator:
+    def test_always_same(self):
+        generator = ConstantGenerator(42)
+        assert [generator.next_value() for _ in range(3)] == [42, 42, 42]
+        assert generator.last_value() == 42
+
+
+class TestHotspotIntegerGenerator:
+    def test_bounds(self, rng):
+        generator = HotspotIntegerGenerator(0, 99, 0.2, 0.8, rng=rng)
+        assert all(0 <= generator.next_value() <= 99 for _ in range(1000))
+
+    def test_hot_set_receives_hot_fraction(self, rng):
+        generator = HotspotIntegerGenerator(0, 99, 0.2, 0.8, rng=rng)
+        samples = [generator.next_value() for _ in range(20000)]
+        hot = sum(1 for value in samples if value < 20)
+        assert hot / len(samples) == pytest.approx(0.8, abs=0.03)
+
+    def test_all_hot(self, rng):
+        generator = HotspotIntegerGenerator(0, 9, 1.0, 0.5, rng=rng)
+        assert all(0 <= generator.next_value() <= 9 for _ in range(100))
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            HotspotIntegerGenerator(0, 9, 1.5, 0.5)
+        with pytest.raises(ValueError):
+            HotspotIntegerGenerator(0, 9, 0.5, -0.1)
+
+    def test_mean_weights_hot_and_cold(self):
+        generator = HotspotIntegerGenerator(0, 99, 0.2, 0.8)
+        # hot mean 10, cold mean 60 -> 0.8*10 + 0.2*60 = 20
+        assert generator.mean() == pytest.approx(20.0)
+
+
+class TestExponentialGenerator:
+    def test_non_negative(self, rng):
+        generator = ExponentialGenerator.from_mean(10, rng=rng)
+        assert all(generator.next_value() >= 0 for _ in range(1000))
+
+    def test_mean_close(self, rng):
+        generator = ExponentialGenerator.from_mean(50, rng=rng)
+        samples = [generator.next_value() for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(50, rel=0.1)
+
+    def test_from_percentile(self, rng):
+        generator = ExponentialGenerator.from_percentile(95, 100, rng=rng)
+        samples = [generator.next_value() for _ in range(20000)]
+        below = sum(1 for value in samples if value < 100)
+        assert below / len(samples) == pytest.approx(0.95, abs=0.01)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ExponentialGenerator(0)
+        with pytest.raises(ValueError):
+            ExponentialGenerator.from_mean(-1)
+        with pytest.raises(ValueError):
+            ExponentialGenerator.from_percentile(100, 10)
+
+
+class TestDiscreteGenerator:
+    def test_respects_weights(self, rng):
+        generator = DiscreteGenerator(rng=rng)
+        generator.add_value(0.9, "READ")
+        generator.add_value(0.1, "UPDATE")
+        counts = Counter(generator.next_value() for _ in range(20000))
+        assert counts["READ"] / 20000 == pytest.approx(0.9, abs=0.02)
+
+    def test_weights_normalised(self):
+        generator = DiscreteGenerator()
+        generator.add_value(3, "a")
+        generator.add_value(1, "b")
+        assert generator.weights() == {"a": 0.75, "b": 0.25}
+
+    def test_rejects_zero_weight(self):
+        generator = DiscreteGenerator()
+        with pytest.raises(ValueError):
+            generator.add_value(0, "x")
+
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            DiscreteGenerator().next_value()
+
+    def test_single_value(self, rng):
+        generator = DiscreteGenerator(rng=rng)
+        generator.add_value(1.0, "only")
+        assert all(generator.next_value() == "only" for _ in range(20))
+
+
+class TestHistogramGenerator:
+    def test_respects_bucket_weights(self, rng):
+        generator = HistogramGenerator([0, 1, 3], rng=rng)
+        counts = Counter(generator.next_value() for _ in range(20000))
+        assert counts[0] == 0
+        assert counts[2] / counts[1] == pytest.approx(3.0, rel=0.15)
+
+    def test_block_size(self, rng):
+        generator = HistogramGenerator([1, 1], block_size=10, rng=rng)
+        assert set(generator.next_value() for _ in range(200)) == {0, 10}
+
+    def test_mean(self):
+        generator = HistogramGenerator([1, 1], block_size=10)
+        assert generator.mean() == 5.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            HistogramGenerator([])
+        with pytest.raises(ValueError):
+            HistogramGenerator([-1, 2])
+        with pytest.raises(ValueError):
+            HistogramGenerator([0, 0])
+
+    def test_from_file(self, tmp_path, rng):
+        path = tmp_path / "hist.txt"
+        path.write_text("BlockSize, 5\n0, 2\n2, 1\n")
+        generator = HistogramGenerator.from_file(path, rng=rng)
+        values = {generator.next_value() for _ in range(500)}
+        assert values == {0, 10}
+
+    def test_from_file_rejects_garbage(self, tmp_path):
+        path = tmp_path / "hist.txt"
+        path.write_text("not a histogram\n")
+        with pytest.raises(ValueError):
+            HistogramGenerator.from_file(path)
+
+
+class TestSequentialGenerator:
+    def test_cycles(self):
+        generator = SequentialGenerator(0, 2)
+        assert [generator.next_value() for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_offset_range(self):
+        generator = SequentialGenerator(10, 12)
+        assert generator.next_value() == 10
+
+    def test_mean(self):
+        assert SequentialGenerator(0, 10).mean() == 5.0
+
+    def test_thread_unique_within_cycle(self):
+        import threading
+
+        generator = SequentialGenerator(0, 9999)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [generator.next_value() for _ in range(1000)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(results) == list(range(4000))
+
+
+class TestStringGenerators:
+    def test_random_string_length(self, rng):
+        generator = RandomStringGenerator(ConstantGenerator(12), rng=rng)
+        value = generator.next_value()
+        assert len(value) == 12
+        assert value.isalnum()
+
+    def test_random_string_varying_length(self, rng):
+        generator = RandomStringGenerator(UniformLongGenerator(1, 5, rng=rng), rng=rng)
+        lengths = {len(generator.next_value()) for _ in range(200)}
+        assert lengths <= {1, 2, 3, 4, 5}
+        assert len(lengths) > 1
+
+    def test_key_name_ordered(self):
+        names = KeyNameGenerator(hashed=False, zero_padding=6)
+        assert names.build_key(42) == "user000042"
+
+    def test_key_name_hashed_is_stable(self):
+        names = KeyNameGenerator(hashed=True)
+        assert names.build_key(42) == names.build_key(42)
+        assert names.build_key(42) != names.build_key(43)
+
+    def test_key_name_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KeyNameGenerator().build_key(-1)
+
+    def test_key_name_custom_prefix(self):
+        names = KeyNameGenerator(prefix="acct", hashed=False)
+        assert names.build_key(7) == "acct7"
+
+    def test_ordered_keys_sort_numerically_with_padding(self):
+        names = KeyNameGenerator(hashed=False, zero_padding=8)
+        keys = [names.build_key(i) for i in (1, 10, 2, 100)]
+        assert sorted(keys) == [names.build_key(i) for i in (1, 2, 10, 100)]

@@ -1,0 +1,140 @@
+"""Zipfian-family generator tests, including distribution-shape properties."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    CounterGenerator,
+    ScrambledZipfianGenerator,
+    SkewedLatestGenerator,
+    ZipfianGenerator,
+)
+from repro.generators.zipfian import zeta_static
+
+
+class TestZetaStatic:
+    def test_matches_direct_sum(self):
+        direct = sum(1.0 / (i**0.99) for i in range(1, 101))
+        assert zeta_static(0, 100, 0.99) == pytest.approx(direct)
+
+    def test_incremental_extension(self):
+        base = zeta_static(0, 50, 0.99)
+        extended = zeta_static(50, 100, 0.99, initial=base)
+        assert extended == pytest.approx(zeta_static(0, 100, 0.99))
+
+
+class TestZipfianGenerator:
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(5, 4)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, 10, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, 10, theta=0.0)
+
+    def test_values_within_bounds(self, rng):
+        generator = ZipfianGenerator(10, 29, rng=rng)
+        for _ in range(2000):
+            assert 10 <= generator.next_value() <= 29
+
+    def test_skew_first_item_most_popular(self, rng):
+        generator = ZipfianGenerator(0, 99, rng=rng)
+        counts = Counter(generator.next_value() for _ in range(20000))
+        # Item 0 should be clearly the most popular and receive roughly
+        # 1/zeta(100, .99) ~ 19% of requests.
+        assert counts.most_common(1)[0][0] == 0
+        assert counts[0] > counts[10] > counts[70]
+
+    def test_hot_item_frequency_close_to_theory(self, rng):
+        n = 100
+        generator = ZipfianGenerator(0, n - 1, rng=rng)
+        samples = 30000
+        counts = Counter(generator.next_value() for _ in range(samples))
+        expected = 1.0 / zeta_static(0, n, 0.99)
+        assert counts[0] / samples == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic_with_seed(self):
+        a = ZipfianGenerator(0, 999, rng=random.Random(7))
+        b = ZipfianGenerator(0, 999, rng=random.Random(7))
+        assert [a.next_value() for _ in range(50)] == [b.next_value() for _ in range(50)]
+
+    def test_growing_item_count(self, rng):
+        generator = ZipfianGenerator(0, 9, rng=rng)
+        for _ in range(100):
+            assert 0 <= generator.next_for_items(20) <= 19
+
+    def test_last_value(self, rng):
+        generator = ZipfianGenerator(0, 9, rng=rng)
+        value = generator.next_value()
+        assert generator.last_value() == value
+
+    @given(
+        lower=st.integers(min_value=0, max_value=1000),
+        span=st.integers(min_value=1, max_value=1000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounds(self, lower, span, seed):
+        generator = ZipfianGenerator(lower, lower + span - 1, rng=random.Random(seed))
+        for _ in range(20):
+            assert lower <= generator.next_value() <= lower + span - 1
+
+
+class TestScrambledZipfianGenerator:
+    def test_values_within_bounds(self, rng):
+        generator = ScrambledZipfianGenerator(100, 199, rng=rng)
+        for _ in range(2000):
+            assert 100 <= generator.next_value() <= 199
+
+    def test_popularity_not_clustered_at_low_keys(self, rng):
+        generator = ScrambledZipfianGenerator(0, 999, rng=rng)
+        counts = Counter(generator.next_value() for _ in range(20000))
+        hottest = counts.most_common(1)[0][0]
+        # FNV scattering makes the hottest key essentially arbitrary; the
+        # plain zipfian would put it at 0.
+        assert hottest != 0 or counts[0] < 0.5 * sum(counts.values())
+
+    def test_still_skewed(self, rng):
+        generator = ScrambledZipfianGenerator(0, 999, rng=rng)
+        counts = Counter(generator.next_value() for _ in range(20000))
+        frequencies = sorted(counts.values(), reverse=True)
+        # Top-10 keys should hold far more than their 1% uniform share.
+        # (Over the huge scrambled item space the hot ranks carry ~12%.)
+        assert sum(frequencies[:10]) > 0.08 * 20000
+
+    def test_mean(self):
+        generator = ScrambledZipfianGenerator(0, 99)
+        assert generator.mean() == pytest.approx(49.5)
+
+    def test_custom_theta_supported(self, rng):
+        generator = ScrambledZipfianGenerator(0, 99, theta=0.5, rng=rng)
+        for _ in range(200):
+            assert 0 <= generator.next_value() <= 99
+
+
+class TestSkewedLatestGenerator:
+    def test_tracks_basis(self, rng):
+        basis = CounterGenerator(0)
+        for _ in range(100):
+            basis.next_value()
+        generator = SkewedLatestGenerator(basis, rng=rng)
+        values = [generator.next_value() for _ in range(2000)]
+        assert all(0 <= value <= 99 for value in values)
+        counts = Counter(values)
+        # Recency skew: the newest item (99) is the most popular.
+        assert counts.most_common(1)[0][0] == 99
+
+    def test_follows_inserts(self, rng):
+        basis = CounterGenerator(0)
+        basis.next_value()
+        generator = SkewedLatestGenerator(basis, rng=rng)
+        for _ in range(500):
+            basis.next_value()
+        values = [generator.next_value() for _ in range(500)]
+        assert max(values) > 400  # new keys become reachable

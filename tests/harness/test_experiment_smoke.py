@@ -1,0 +1,96 @@
+"""Micro-scale smoke runs of every harness experiment.
+
+The benchmarks run each experiment at its quick scale and assert the
+paper's shapes; these tests run *tiny* configurations and assert only
+structure and invariants, so the full test suite stays fast while still
+executing every experiment code path.
+"""
+
+import pytest
+
+from repro.harness import (
+    ablation_coordinators,
+    fig2_cloud_scaling,
+    fig3_transaction_overhead,
+    fig4_anomaly_score,
+    fig5_raw_scaling,
+    isolation_matrix,
+    tier5_operation_overhead,
+    tier6_consistency,
+)
+
+
+class TestFig2Smoke:
+    def test_structure(self):
+        result = fig2_cloud_scaling(
+            quick=True, thread_counts=(1, 2), mixes=(0.9,), scale=100.0
+        )
+        assert result.experiment == "fig2"
+        series = result.series_by_label("90:10")
+        assert series.xs() == [1, 2]
+        for point in series.points:
+            assert point.throughput > 0
+            assert point.anomaly_score == 0.0  # transactional
+
+
+class TestFig3Smoke:
+    def test_structure(self):
+        result = fig3_transaction_overhead(quick=True, thread_counts=(1, 2), scale=100.0)
+        raw = result.series_by_label("non-transactional")
+        txn = result.series_by_label("transactional")
+        assert len(raw.points) == len(txn.points) == 2
+        assert result.tables["overhead"][0]["threads"] == 1
+        for raw_point, txn_point in zip(raw.points, txn.points):
+            assert txn_point.throughput < raw_point.throughput
+
+
+class TestFig45Smoke:
+    def test_fig4_structure(self):
+        result = fig4_anomaly_score(quick=True, thread_counts=(1, 2), scale=100.0)
+        scores = {p.x: p.anomaly_score for p in result.series[0].points}
+        assert scores[1] == 0.0  # single thread is always clean
+
+    def test_fig5_structure(self):
+        result = fig5_raw_scaling(quick=True, thread_counts=(1, 2), scale=100.0)
+        points = result.series[0].points
+        assert all(point.operations > 0 for point in points)
+        assert points[1].throughput > points[0].throughput
+
+
+class TestTier5Smoke:
+    def test_structure(self):
+        result = tier5_operation_overhead(quick=True, scale=100.0, threads=2)
+        operations = {row["operation"] for row in result.tables["operations"]}
+        assert {"READ", "UPDATE", "START", "COMMIT"} <= operations
+        modes = {row["mode"] for row in result.tables["throughput"]}
+        assert modes == {"raw", "transactional"}
+
+
+class TestTier6Smoke:
+    def test_structure(self):
+        result = tier6_consistency(quick=True, scale=100.0, threads=2)
+        rows = {row["mode"]: row for row in result.tables["consistency"]}
+        assert rows["transactional"]["anomaly_score"] == 0.0
+        assert rows["transactional"]["validation_passed"] is True
+        assert rows["raw"]["anomaly_score"] >= 0.0
+
+
+class TestAblationSmoke:
+    def test_structure(self):
+        result = ablation_coordinators(
+            quick=True, oracle_delays_ms=(0.0,), scale=100.0, threads=2
+        )
+        labels = {series.label for series in result.series}
+        assert labels == {"client-coordinated", "percolator-style", "retso-style"}
+        for series in result.series:
+            assert series.points[0].anomaly_score == 0.0
+
+
+class TestIsolationSmoke:
+    def test_structure(self):
+        result = isolation_matrix(quick=True, scale=100.0, threads=2)
+        rows = result.tables["matrix"]
+        assert len(rows) == 9  # 3 workloads x 3 modes
+        for row in rows:
+            if row["isolation"] == "serializable":
+                assert row["anomaly_score"] == 0.0, row

@@ -1,0 +1,135 @@
+"""Harness machinery: contention model, runner helpers, report rendering."""
+
+import pytest
+
+from repro.bindings import BasicDB, MemoryDB
+from repro.harness import (
+    ContendedDB,
+    ContentionModel,
+    ExperimentResult,
+    Point,
+    Series,
+    cew_properties,
+    render_experiment,
+    render_series_table,
+    run_cew,
+)
+
+
+class TestContentionModel:
+    def test_cost_grows_with_threads(self):
+        model = ContentionModel(base_cost_s=10e-6, per_thread_cost_s=2e-6)
+        assert model.cost_s() == pytest.approx(10e-6)
+        model.register_thread()
+        model.register_thread()
+        assert model.cost_s() == pytest.approx(14e-6)
+        model.unregister_thread()
+        assert model.cost_s() == pytest.approx(12e-6)
+
+    def test_unregister_never_negative(self):
+        model = ContentionModel()
+        model.unregister_thread()
+        assert model.thread_count == 0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            ContentionModel(base_cost_s=-1)
+
+    def test_zero_cost_is_free(self):
+        model = ContentionModel(base_cost_s=0, per_thread_cost_s=0)
+        model.pay()  # must not block or raise
+
+    def test_contended_db_registers_on_init(self):
+        model = ContentionModel()
+        db = ContendedDB(BasicDB(), model)
+        db.init()
+        assert model.thread_count == 1
+        db.cleanup()
+        assert model.thread_count == 0
+
+    def test_contended_db_passthrough(self):
+        model = ContentionModel(base_cost_s=0, per_thread_cost_s=0)
+        db = ContendedDB(BasicDB(), model)
+        assert db.read("t", "k")[0].ok
+        assert db.update("t", "k", {}).ok
+        assert db.start().ok and db.commit().ok
+
+
+class TestRunner:
+    def test_cew_properties_defaults_and_overrides(self):
+        properties = cew_properties(threadcount=4, recordcount=77)
+        assert properties.get_int("threadcount") == 4
+        assert properties.get_int("recordcount") == 77
+        assert properties.get_float("readproportion") == pytest.approx(0.9)
+
+    def test_run_cew_returns_run_result(self):
+        result = run_cew(
+            lambda: MemoryDB(cew_properties()),
+            recordcount=30,
+            operationcount=60,
+            totalcash=30000,
+            threadcount=1,
+        )
+        assert result.phase == "run"
+        assert result.operations == 60
+        assert result.validation is not None
+        assert result.validation.passed  # single-threaded: consistent
+
+
+class TestReportRendering:
+    def _result(self):
+        result = ExperimentResult("figX", "demo experiment", notes=["a note"])
+        series = Series("alpha")
+        series.points.append(Point(x=1, throughput=100.0, anomaly_score=0.0))
+        series.points.append(Point(x=2, throughput=190.0, anomaly_score=1.5e-4))
+        result.series.append(series)
+        result.tables["extras"] = [{"mode": "raw", "ops_sec": 123.4}]
+        return result
+
+    def test_render_contains_series_rows(self):
+        text = render_experiment(self._result())
+        assert "figX" in text
+        assert "a note" in text
+        assert "alpha ops/s" in text
+        assert "100.00" in text
+        assert "1.50e-04" in text
+        assert "extras" in text
+
+    def test_series_accessors(self):
+        result = self._result()
+        series = result.series_by_label("alpha")
+        assert series.xs() == [1, 2]
+        assert series.throughputs() == [100.0, 190.0]
+        with pytest.raises(KeyError):
+            result.series_by_label("missing")
+
+    def test_render_series_table_aligns_multiple_series(self):
+        a = Series("a", [Point(x=1, throughput=10.0), Point(x=2, throughput=20.0)])
+        b = Series("b", [Point(x=1, throughput=5.0)])
+        text = render_series_table([a, b], x_label="threads")
+        lines = text.splitlines()
+        assert lines[0].startswith("threads")
+        assert len(lines) == 4  # header + rule + two x rows
+        assert "-" in text  # missing point rendered as dash
+
+
+class TestCsvRendering:
+    def test_series_and_tables_render(self):
+        from repro.harness import render_experiment_csv
+
+        result = ExperimentResult("figX", "demo")
+        result.series.append(
+            Series("alpha", [Point(x=1, throughput=10.5, anomaly_score=2.5e-4,
+                                   operations=100, failed_operations=3)])
+        )
+        result.tables["summary"] = [{"mode": "raw", "ops": 7}]
+        text = render_experiment_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("series,label,x,")
+        assert "series,alpha,1,10.500,0.00025,100,3" in lines[1]
+        assert any(line.startswith("table:summary,mode,ops") for line in lines)
+
+    def test_empty_result(self):
+        from repro.harness import render_experiment_csv
+
+        assert render_experiment_csv(ExperimentResult("e", "d")) == ""

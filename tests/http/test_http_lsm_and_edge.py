@@ -1,0 +1,89 @@
+"""HTTP stack over the durable store, plus transport edge cases."""
+
+import threading
+
+import pytest
+
+from repro.http import HttpKVStore, KVStoreHTTPServer
+from repro.kvstore.lsm import LSMKVStore
+
+
+class TestHttpOverLsm:
+    @pytest.fixture
+    def stack(self, tmp_path):
+        store = LSMKVStore(tmp_path)
+        with KVStoreHTTPServer(store) as server:
+            client = HttpKVStore(server.address)
+            yield store, client, tmp_path
+            client.close()
+        store.close()
+
+    def test_roundtrip_through_both_layers(self, stack):
+        store, client, _ = stack
+        client.put("k", {"f": "v"})
+        store.flush()
+        assert client.get("k") == {"f": "v"}
+
+    def test_data_survives_server_restart(self, stack):
+        store, client, tmp_path = stack
+        client.put("durable", {"f": "v"})
+        # The fixture closes server and store; reopen the directory.
+        store.flush()
+        reopened = LSMKVStore(tmp_path)
+        assert reopened.get("durable") == {"f": "v"}
+        reopened.close()
+
+    def test_conditional_ops_through_http(self, stack):
+        _, client, _ = stack
+        assert client.put_if_version("k", {"f": "a"}, None) is not None
+        version = client.get_with_meta("k").version
+        assert client.put_if_version("k", {"f": "b"}, version) is not None
+        assert client.put_if_version("k", {"f": "c"}, version) is None
+
+
+class TestConnectionBehaviour:
+    @pytest.fixture
+    def stack(self):
+        from repro.kvstore import InMemoryKVStore
+
+        store = InMemoryKVStore()
+        with KVStoreHTTPServer(store) as server:
+            client = HttpKVStore(server.address)
+            yield server, client
+            client.close()
+
+    def test_connection_reused_within_thread(self, stack):
+        _, client = stack
+        client.put("k", {"f": "v"})
+        first = client._connection()
+        client.get("k")
+        assert client._connection() is first
+
+    def test_threads_get_separate_connections(self, stack):
+        _, client = stack
+        client.put("k", {})
+        connections = {}
+
+        def worker(name):
+            client.get("k")
+            connections[name] = client._connection()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(conn) for conn in connections.values()}) == 3
+
+    def test_stale_connection_transparently_retried(self, stack):
+        _, client = stack
+        client.put("k", {"f": "v"})
+        # Kill the cached connection behind the client's back; the next
+        # request must re-establish and succeed.
+        client._connection().close()
+        assert client.get("k") == {"f": "v"}
+
+    def test_empty_key_round_trip(self, stack):
+        _, client = stack
+        client.put("", {"f": "root"})
+        assert client.get("") == {"f": "root"}

@@ -1,0 +1,154 @@
+"""HTTP server + client tests (real sockets on loopback)."""
+
+import threading
+
+import pytest
+
+from repro.http import HttpKVStore, KVStoreHTTPServer
+from repro.kvstore import InMemoryKVStore, StoreUnavailable
+
+
+@pytest.fixture
+def stack():
+    store = InMemoryKVStore()
+    with KVStoreHTTPServer(store) as server:
+        client = HttpKVStore(server.address)
+        yield store, client
+        client.close()
+
+
+class TestRoundTrip:
+    def test_put_get(self, stack):
+        _, client = stack
+        assert client.put("k", {"f": "v"}) == 1
+        versioned = client.get_with_meta("k")
+        assert versioned.value == {"f": "v"}
+        assert versioned.version == 1
+
+    def test_get_missing(self, stack):
+        _, client = stack
+        assert client.get("missing") is None
+
+    def test_unicode_and_special_keys(self, stack):
+        _, client = stack
+        for key in ("user/with/slashes", "key with spaces", "clé-unicode-日本"):
+            client.put(key, {"f": key})
+            assert client.get(key) == {"f": key}
+
+    def test_delete(self, stack):
+        _, client = stack
+        client.put("k", {})
+        assert client.delete("k") is True
+        assert client.delete("k") is False
+
+    def test_server_sees_client_writes(self, stack):
+        store, client = stack
+        client.put("k", {"f": "v"})
+        assert store.get("k") == {"f": "v"}
+
+
+class TestConditionalOperations:
+    def test_insert_if_absent(self, stack):
+        _, client = stack
+        assert client.put_if_version("k", {"f": "1"}, None) == 1
+        assert client.put_if_version("k", {"f": "2"}, None) is None
+
+    def test_etag_update(self, stack):
+        _, client = stack
+        client.put("k", {"f": "1"})
+        assert client.put_if_version("k", {"f": "2"}, 1) == 2
+        assert client.put_if_version("k", {"f": "3"}, 1) is None
+
+    def test_conditional_delete(self, stack):
+        _, client = stack
+        client.put("k", {})
+        assert client.delete_if_version("k", 9) is None
+        assert client.delete_if_version("k", 1) is True
+        assert client.delete_if_version("k", 1) is False
+
+
+class TestScanAndStats:
+    def test_scan(self, stack):
+        _, client = stack
+        for key in ("b", "a", "c"):
+            client.put(key, {"k": key})
+        assert [key for key, _ in client.scan("a", 2)] == ["a", "b"]
+
+    def test_scan_empty(self, stack):
+        _, client = stack
+        assert client.scan("x", 10) == []
+        assert client.scan("x", 0) == []
+
+    def test_size(self, stack):
+        _, client = stack
+        client.put("a", {})
+        client.put("b", {})
+        assert client.size() == 2
+
+    def test_keys_pages_through(self, stack):
+        _, client = stack
+        expected = sorted(f"key{i:04d}" for i in range(50))
+        for key in expected:
+            client.put(key, {})
+        assert list(client.keys()) == expected
+
+
+class TestRobustness:
+    def test_unknown_path_404(self, stack):
+        _, client = stack
+        status, _, _ = client._request("GET", "/bogus")
+        assert status == 404
+
+    def test_bad_scan_count_400(self, stack):
+        _, client = stack
+        status, _, _ = client._request("GET", "/scan?start=a&count=banana")
+        assert status == 400
+
+    def test_bad_body_400(self, stack):
+        _, client = stack
+        status, _, _ = client._request("PUT", "/kv/k", body=None)
+        assert status == 400
+
+    def test_bad_if_match_400(self, stack):
+        _, client = stack
+        status, _, _ = client._request(
+            "PUT", "/kv/k", body={"f": "v"}, headers={"If-Match": "banana"}
+        )
+        assert status == 400
+
+    def test_unreachable_server_raises(self):
+        client = HttpKVStore(("127.0.0.1", 1), timeout_s=0.2)
+        with pytest.raises(StoreUnavailable):
+            client.get("k")
+
+    def test_concurrent_clients(self, stack):
+        _, client = stack
+
+        def worker(prefix):
+            for i in range(30):
+                client.put(f"{prefix}-{i}", {"v": str(i)})
+                assert client.get(f"{prefix}-{i}") == {"v": str(i)}
+
+        threads = [threading.Thread(target=worker, args=(p,)) for p in "abcd"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert client.size() == 120
+
+    def test_transactions_over_http(self, stack):
+        from repro.txn import ClientTransactionManager
+
+        _, client = stack
+        manager = ClientTransactionManager(client)
+        with manager.transaction() as tx:
+            tx.write("alice", {"balance": "100"})
+            tx.write("bob", {"balance": "50"})
+        with manager.transaction() as tx:
+            alice = int(tx.read("alice")["balance"])
+            bob = int(tx.read("bob")["balance"])
+            tx.write("alice", {"balance": str(alice - 10)})
+            tx.write("bob", {"balance": str(bob + 10)})
+        with manager.transaction() as tx:
+            assert tx.read("alice") == {"balance": "90"}
+            assert tx.read("bob") == {"balance": "60"}

@@ -1,0 +1,82 @@
+"""The ``ycsbt serve`` + ``ycsbt bench -db raw_http`` flow, end to end,
+in separate processes — exactly how a user runs the paper's §V-C setup."""
+
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.http import HttpKVStore
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture
+def server_process(tmp_path):
+    port = _free_port()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", "lsm",
+         "--dir", str(tmp_path / "data"), "--port", str(port)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    # Wait for the listener.
+    deadline = time.monotonic() + 15
+    client = HttpKVStore(("127.0.0.1", port), timeout_s=2)
+    while time.monotonic() < deadline:
+        try:
+            client.size()
+            break
+        except Exception:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"server died: {process.stderr.read() if process.stderr else ''}"
+                )
+            time.sleep(0.1)
+    else:
+        process.terminate()
+        raise RuntimeError("server never became ready")
+    yield port
+    client.close()
+    process.terminate()
+    process.wait(timeout=10)
+
+
+class TestServeFlow:
+    def test_cross_process_load_then_run(self, server_process):
+        port = server_process
+        base = [
+            sys.executable, "-m", "repro",
+        ]
+        common = [
+            "-db", "raw_http",
+            "-p", "workload=closed_economy",
+            "-p", "recordcount=50",
+            "-p", "operationcount=200",
+            "-p", "totalcash=50000",
+            "-p", "fieldcount=1",
+            "-p", f"http.port={port}",
+            "-p", "seed=3",
+            "-threads", "4",
+        ]
+        load = subprocess.run(
+            base + ["load", *common], capture_output=True, text=True, timeout=120
+        )
+        assert load.returncode == 0, load.stderr
+        assert "[TOTAL CASH], 50000" in load.stdout
+
+        # The data survives into a *separate* client process — that is the
+        # point of the external server (and of the LSM store behind it).
+        run = subprocess.run(
+            base + ["run", *common], capture_output=True, text=True, timeout=120
+        )
+        assert "[ACTUAL OPERATIONS], 200" in run.stdout
+        assert "[OVERALL], Throughput(ops/sec)," in run.stdout
+        assert "[TX-READ], Operations," in run.stdout

@@ -1,0 +1,105 @@
+"""Coordinated multi-process benchmark through the real CLI.
+
+Three processes: one `ycsbt serve` (the store), one coordination server
+(in-process), and two `ycsbt bench --coordinator ...` clients that split
+the load phase and run together — the distributed-client execution the
+paper's §VII wants from YCSB++.
+"""
+
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.coordination import CoordinationServer
+from repro.http import HttpKVStore
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture
+def kv_server():
+    port = _free_port()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    client = HttpKVStore(("127.0.0.1", port), timeout_s=2)
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline:
+        try:
+            client.size()
+            break
+        except Exception:
+            if process.poll() is not None:
+                raise RuntimeError("kv server died")
+            time.sleep(0.1)
+    else:
+        process.terminate()
+        raise RuntimeError("kv server never became ready")
+    yield port
+    client.close()
+    process.terminate()
+    process.wait(timeout=10)
+
+
+class TestCoordinatedCli:
+    def test_two_clients_split_load_and_run(self, kv_server):
+        with CoordinationServer(expected_clients=2) as coordinator:
+            host, port = coordinator.address
+            commands = []
+            for name in ("alpha", "beta"):
+                commands.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable, "-m", "repro", "bench",
+                            "-db", "raw_http",
+                            "-p", "workload=closed_economy",
+                            "-p", "recordcount=60",
+                            "-p", "operationcount=120",
+                            "-p", "totalcash=60000",
+                            "-p", "fieldcount=1",
+                            "-p", f"http.port={kv_server}",
+                            "-p", "insertorder=ordered",
+                            "-p", "seed=8",
+                            "-threads", "2",
+                            "--coordinator", f"{host}:{port}",
+                        ],
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    )
+                )
+            outputs = [process.communicate(timeout=180) for process in commands]
+            for process, (stdout, stderr) in zip(commands, outputs):
+                assert "[OVERALL], Throughput(ops/sec)," in stdout, stderr
+
+            # The coordinator aggregated two load and two run reports.
+            summary = coordinator.state.summary()
+            phases = sorted(report["phase"] for report in summary["clients"])
+            assert phases == ["load", "load", "run", "run"]
+            run_operations = sum(
+                report["operations"]
+                for report in summary["clients"]
+                if report["phase"] == "run"
+            )
+            assert run_operations == 240
+            load_operations = sum(
+                report["operations"]
+                for report in summary["clients"]
+                if report["phase"] == "load"
+            )
+            assert load_operations == 60  # the slices cover the table once
+
+        # Both clients saw the keyspace-slice banner.
+        banners = [stderr for _, stderr in outputs]
+        assert any("client 1/2" in text for text in banners)
+        assert any("client 2/2" in text for text in banners)

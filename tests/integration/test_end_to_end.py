@@ -1,0 +1,144 @@
+"""End-to-end stacks: full benchmark runs over every substrate."""
+
+import pytest
+
+from repro.bindings import LsmDB, MemoryDB, TxnDB, registry
+from repro.bindings.stores import RawHttpDB
+from repro.core import Client, ClosedEconomyWorkload, CoreWorkload, Properties
+from repro.core.cli import main
+from repro.http import KVStoreHTTPServer
+from repro.kvstore import InMemoryKVStore
+from repro.kvstore.lsm import LSMKVStore
+from repro.kvstore.sharded import ShardedKVStore
+from repro.measurements import Measurements
+from repro.txn import ClientTransactionManager
+
+
+def run_benchmark(workload, properties, db_factory):
+    measurements = Measurements()
+    workload.init(properties, measurements)
+    client = Client(workload, db_factory, properties, measurements)
+    load = client.load()
+    run = client.run()
+    return load, run
+
+
+class TestCoreWorkloadsAtoF:
+    """The shipped YCSB workload files run green over the bindings."""
+
+    @pytest.mark.parametrize("name", ["workloada", "workloadb", "workloadc",
+                                      "workloadd", "workloade", "workloadf"])
+    def test_workload_file_runs_on_memory(self, name, capsys):
+        code = main(
+            ["bench", "-db", "memory", "-P", f"workloads/{name}",
+             "-p", "recordcount=50", "-p", "operationcount=100",
+             "-p", "maxscanlength=10", "-p", "seed=6",
+             "-p", f"memory.namespace={name}"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[OVERALL], Throughput(ops/sec)," in output
+
+    def test_workloada_runs_on_lsm(self, tmp_path, capsys):
+        code = main(
+            ["bench", "-db", "lsm", "-P", "workloads/workloada",
+             "-p", "recordcount=40", "-p", "operationcount=80",
+             "-p", f"lsm.dir={tmp_path}", "-p", "seed=6"]
+        )
+        assert code == 0
+
+    def test_workloada_runs_transactionally(self, capsys):
+        code = main(
+            ["bench", "-db", "txn", "-P", "workloads/workloada",
+             "-p", "recordcount=40", "-p", "operationcount=80", "-p", "seed=6"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[TX-READ]" in output or "[TX-UPDATE]" in output
+
+
+class TestFullHttpStack:
+    def test_cew_over_http_and_lsm(self, tmp_path):
+        """The paper's §V-C stack: LSM store, HTTP server, RawHttpDB."""
+        store = LSMKVStore(tmp_path)
+        with KVStoreHTTPServer(store) as server:
+            host, port = server.address
+            properties = Properties(
+                {
+                    "recordcount": "30",
+                    "operationcount": "150",
+                    "totalcash": "30000",
+                    "readproportion": "0.9",
+                    "readmodifywriteproportion": "0.1",
+                    "fieldcount": "1",
+                    "threadcount": "4",
+                    "http.host": host,
+                    "http.port": str(port),
+                    "seed": "8",
+                }
+            )
+            workload = ClosedEconomyWorkload()
+            load, run = run_benchmark(
+                workload, properties, lambda: RawHttpDB(properties)
+            )
+            assert load.operations == 30
+            assert run.operations == 150
+            assert run.validation is not None
+            # Raw access: the validation stage ran and produced a score
+            # (zero or not depending on the actual interleavings).
+            assert run.anomaly_score is not None
+        store.close()
+
+
+class TestTransactionsOverShardedStore:
+    def test_cew_transactional_on_shards(self):
+        shards = {f"s{i}": InMemoryKVStore() for i in range(3)}
+        manager = ClientTransactionManager(ShardedKVStore(shards))
+        properties = Properties(
+            {
+                "recordcount": "40",
+                "operationcount": "200",
+                "totalcash": "40000",
+                "readproportion": "0.7",
+                "readmodifywriteproportion": "0.3",
+                "fieldcount": "1",
+                "threadcount": "4",
+                "seed": "10",
+            }
+        )
+        workload = ClosedEconomyWorkload()
+        _, run = run_benchmark(
+            workload, properties, lambda: TxnDB(properties, manager=manager)
+        )
+        assert run.validation.passed
+        assert run.anomaly_score == 0.0
+        # Data really is spread across the shards.
+        assert all(shard.size() > 0 for shard in shards.values())
+
+
+class TestMixedBindingsShareData:
+    def test_load_with_memory_run_with_delayed_wrapper(self):
+        from repro.bindings import DelayedDB
+
+        properties = Properties(
+            {
+                "recordcount": "20",
+                "operationcount": "50",
+                "totalcash": "20000",
+                "fieldcount": "1",
+                "memory.namespace": "mixed",
+                "seed": "3",
+            }
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        Client(workload, lambda: MemoryDB(properties), properties, measurements).load()
+        run = Client(
+            workload,
+            lambda: DelayedDB(MemoryDB(properties), read_latency=0.0),
+            properties,
+            measurements,
+        ).run()
+        assert run.operations == 50
+        assert run.validation.passed

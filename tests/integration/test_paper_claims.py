@@ -1,0 +1,175 @@
+"""The paper's headline claims, asserted as robust shape invariants.
+
+These do not compare against the paper's absolute EC2/MacBook numbers;
+they assert the *relationships* the paper reports:
+
+* Tier 6 / Fig. 4: one thread -> zero anomalies; heavy concurrency on a
+  raw store -> anomalies appear; the transactional binding -> never.
+* Fig. 3 / Tier 5: transactions cost throughput (a meaningful reduction,
+  not a collapse) and the per-operation TX series exists.
+* Fig. 2 mechanisms: the rate ceiling caps cloud throughput; the
+  contention model makes oversubscribed clients slower.
+"""
+
+import pytest
+
+from repro.bindings.kv import KVStoreDB
+from repro.bindings.txn import TxnDB
+from repro.core import Client, ClosedEconomyWorkload, Properties
+from repro.harness import cew_properties
+from repro.harness.runner import run_phase_pair
+from repro.kvstore import ConstantLatency, InMemoryKVStore, LatencyInjectingStore
+from repro.measurements import Measurements
+from repro.txn import ClientTransactionManager
+
+
+def run_cew_on(db_factory, load_factory=None, **overrides):
+    properties = cew_properties(**overrides)
+    workload = ClosedEconomyWorkload()
+    measurements = Measurements()
+    workload.init(properties, measurements)
+    load_client = Client(workload, load_factory or db_factory, properties, Measurements())
+    load_client.load()
+    run_client = Client(workload, db_factory, properties, measurements)
+    return run_client.run()
+
+
+class TestTier6Consistency:
+    def test_single_thread_never_anomalous(self):
+        backing = InMemoryKVStore()
+        result = run_cew_on(
+            lambda: KVStoreDB(backing),
+            recordcount=100,
+            operationcount=1500,
+            threadcount=1,
+        )
+        assert result.anomaly_score == 0.0
+        assert result.validation.passed
+
+    def test_concurrent_raw_store_produces_anomalies(self):
+        """With enough contended read-modify-writes, lost updates appear.
+
+        Retried across seeds because drift is a random walk that can
+        cancel to zero on a lucky run.
+        """
+        observed = []
+        for seed in (11, 22, 33):
+            backing = InMemoryKVStore()
+            store = LatencyInjectingStore(backing, ConstantLatency(0.0005))
+            result = run_cew_on(
+                lambda: KVStoreDB(store),
+                load_factory=lambda: KVStoreDB(backing),
+                recordcount=50,
+                operationcount=3000,
+                readproportion=0.2,
+                readmodifywriteproportion=0.8,
+                threadcount=8,
+                seed=seed,
+            )
+            observed.append(result.anomaly_score)
+            if result.anomaly_score > 0:
+                break
+        assert max(observed) > 0, f"no anomalies in any run: {observed}"
+
+    def test_transactional_store_never_anomalous(self):
+        backing = InMemoryKVStore()
+        manager = ClientTransactionManager(backing)
+        result = run_cew_on(
+            lambda: TxnDB(cew_properties(), manager=manager),
+            recordcount=50,
+            operationcount=2000,
+            readproportion=0.2,
+            readmodifywriteproportion=0.8,
+            threadcount=8,
+        )
+        assert result.anomaly_score == 0.0
+        assert result.validation.passed
+        # Under this contention some transactions must have aborted —
+        # that is *how* the anomalies were avoided.
+        assert result.failed_operations > 0
+
+
+class TestFig3TransactionOverhead:
+    def test_transactions_reduce_throughput_meaningfully(self):
+        latency = ConstantLatency(0.001)
+        properties = cew_properties(
+            recordcount=100, operationcount=600, threadcount=4
+        )
+
+        raw_backing = InMemoryKVStore()
+        raw_store = LatencyInjectingStore(raw_backing, latency)
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        Client(workload, lambda: KVStoreDB(raw_backing), properties, Measurements()).load()
+        raw = Client(workload, lambda: KVStoreDB(raw_store), properties, measurements).run()
+
+        txn_backing = InMemoryKVStore()
+        txn_store = LatencyInjectingStore(txn_backing, latency)
+        fast = ClientTransactionManager(txn_backing)
+        slow = ClientTransactionManager(txn_store)
+        workload2 = ClosedEconomyWorkload()
+        measurements2 = Measurements()
+        workload2.init(properties, measurements2)
+        Client(
+            workload2, lambda: TxnDB(properties, manager=fast), properties, Measurements()
+        ).load()
+        txn = Client(
+            workload2, lambda: TxnDB(properties, manager=slow), properties, measurements2
+        ).run()
+
+        ratio = txn.throughput / raw.throughput
+        # Paper: 30-40% reduction.  Generous band for timer noise.
+        assert 0.30 < ratio < 0.95, f"txn/raw ratio {ratio:.2f} out of range"
+
+    def test_tier5_series_present_in_transactional_run(self):
+        backing = InMemoryKVStore()
+        manager = ClientTransactionManager(backing)
+        result = run_cew_on(
+            lambda: TxnDB(cew_properties(), manager=manager),
+            recordcount=50,
+            operationcount=500,
+            threadcount=2,
+        )
+        summaries = result.measurements.summaries()
+        for series in ("READ", "TX-READ", "START", "COMMIT"):
+            assert summaries.get(series) is not None, f"missing {series}"
+            assert summaries[series].count > 0
+
+
+class TestFig2Mechanisms:
+    def test_rate_ceiling_caps_throughput(self):
+        import time
+
+        from repro.kvstore import CloudStoreProfile, SimulatedCloudStore
+
+        profile = CloudStoreProfile(
+            name="capped",
+            read_median_s=0.0,
+            write_median_s=0.0,
+            sigma=0.0,
+            requests_per_second=500.0,
+            burst=10.0,
+        )
+        store = SimulatedCloudStore(profile)
+        started = time.perf_counter()
+        for i in range(400):
+            store.put(f"k{i}", {})
+        elapsed = time.perf_counter() - started
+        achieved = 400 / elapsed
+        assert achieved < 650  # ~the ceiling, not thousands
+
+    def test_contention_model_slows_oversubscribed_clients(self):
+        import time
+
+        from repro.harness import ContentionModel
+
+        model = ContentionModel(base_cost_s=50e-6, per_thread_cost_s=50e-6)
+        for _ in range(20):
+            model.register_thread()
+        started = time.perf_counter()
+        for _ in range(100):
+            model.pay()
+        elapsed = time.perf_counter() - started
+        # 100 ops * (50us + 20*50us) > 100ms of serialised cost.
+        assert elapsed > 0.08

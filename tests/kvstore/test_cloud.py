@@ -1,0 +1,112 @@
+"""Simulated cloud store tests."""
+
+import random
+
+import pytest
+
+from repro.kvstore import (
+    GCS_PROFILE,
+    WAS_PROFILE,
+    CloudStoreProfile,
+    RateLimitExceeded,
+    SimulatedCloudStore,
+)
+
+
+def fast_profile(**overrides):
+    """A profile with no latency so tests run instantly."""
+    base = dict(
+        name="test",
+        read_median_s=0.0,
+        write_median_s=0.0,
+        sigma=0.0,
+        requests_per_second=1e9,
+        burst=1e9,
+    )
+    base.update(overrides)
+    return CloudStoreProfile(**base)
+
+
+class TestProfiles:
+    def test_builtin_profiles_sane(self):
+        for profile in (WAS_PROFILE, GCS_PROFILE):
+            assert profile.read_median_s > 0
+            assert profile.write_median_s >= profile.read_median_s
+            assert profile.requests_per_second > 0
+
+    def test_scaled(self):
+        scaled = WAS_PROFILE.scaled(10)
+        assert scaled.read_median_s == pytest.approx(WAS_PROFILE.read_median_s / 10)
+        assert scaled.requests_per_second == pytest.approx(
+            WAS_PROFILE.requests_per_second * 10
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WAS_PROFILE.scaled(0)
+
+
+class TestDataPath:
+    def test_crud_roundtrip(self):
+        store = SimulatedCloudStore(fast_profile())
+        assert store.put("k", {"f": "v"}) == 1
+        assert store.get("k") == {"f": "v"}
+        assert store.put_if_version("k", {"f": "2"}, 1) == 2
+        assert store.put_if_version("k", {"f": "3"}, 1) is None
+        assert store.delete_if_version("k", 2) is True
+
+    def test_conditional_insert_is_etag_style(self):
+        store = SimulatedCloudStore(fast_profile())
+        assert store.put_if_version("k", {"f": "a"}, None) == 1
+        assert store.put_if_version("k", {"f": "b"}, None) is None
+
+    def test_scan(self):
+        store = SimulatedCloudStore(fast_profile())
+        for key in ("b", "a", "c"):
+            store.put(key, {})
+        assert [key for key, _ in store.scan("a", 2)] == ["a", "b"]
+
+    def test_latency_paid_per_request(self):
+        slept = []
+        store = SimulatedCloudStore(
+            fast_profile(read_median_s=0.010, write_median_s=0.020, sigma=0.0),
+            rng=random.Random(1),
+            sleep=slept.append,
+        )
+        store.put("k", {})
+        store.get("k")
+        assert len(slept) == 2
+        assert slept[0] == pytest.approx(0.020, rel=0.01)
+        assert slept[1] == pytest.approx(0.010, rel=0.01)
+
+    def test_backing_store_bypasses_request_path(self):
+        slept = []
+        store = SimulatedCloudStore(
+            fast_profile(read_median_s=0.010), sleep=slept.append
+        )
+        store.backing_store.put("k", {"f": "v"})
+        assert store.backing_store.get("k") == {"f": "v"}
+        assert slept == []
+
+
+class TestThrottling:
+    def test_reject_mode_raises(self):
+        store = SimulatedCloudStore(
+            fast_profile(requests_per_second=10, burst=2, reject_on_throttle=True)
+        )
+        store.put("a", {})
+        store.put("b", {})
+        with pytest.raises(RateLimitExceeded):
+            store.put("c", {})
+        assert store.throttled_requests == 1
+
+    def test_blocking_mode_queues(self):
+        waits = []
+        store = SimulatedCloudStore(
+            fast_profile(requests_per_second=1000, burst=1),
+            sleep=waits.append,
+        )
+        store.put("a", {})
+        store.put("b", {})  # must wait for a token
+        assert store.throttled_requests == 1
+        assert any(wait > 0 for wait in waits)

@@ -1,0 +1,152 @@
+"""Latency models, the latency-injecting wrapper, and the token bucket."""
+
+import random
+
+import pytest
+
+from repro.kvstore import (
+    ConstantLatency,
+    InMemoryKVStore,
+    LatencyInjectingStore,
+    LognormalLatency,
+    NoLatency,
+    TokenBucket,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_no_latency(self):
+        model = NoLatency()
+        assert model.sample() == 0.0
+        assert model.mean() == 0.0
+
+    def test_constant(self):
+        model = ConstantLatency(0.25)
+        assert model.sample() == 0.25
+        assert model.mean() == 0.25
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(0.1, 0.2, rng=random.Random(1))
+        for _ in range(100):
+            assert 0.1 <= model.sample() <= 0.2
+        assert model.mean() == pytest.approx(0.15)
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.2, 0.1)
+
+    def test_lognormal_positive_and_tailed(self):
+        model = LognormalLatency(0.010, sigma=0.5, rng=random.Random(1))
+        samples = [model.sample() for _ in range(5000)]
+        assert all(sample > 0 for sample in samples)
+        samples.sort()
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(0.010, rel=0.1)
+        assert samples[-1] > 2 * median  # long right tail
+
+    def test_lognormal_mean_formula(self):
+        model = LognormalLatency(0.010, sigma=0.4, rng=random.Random(2))
+        samples = [model.sample() for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(model.mean(), rel=0.1)
+
+    def test_lognormal_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(0)
+        with pytest.raises(ValueError):
+            LognormalLatency(0.01, sigma=-1)
+
+
+class TestLatencyInjectingStore:
+    def test_pays_latency_per_call(self):
+        slept = []
+        store = LatencyInjectingStore(
+            InMemoryKVStore(),
+            read_latency=ConstantLatency(0.111),
+            write_latency=ConstantLatency(0.222),
+            sleep=slept.append,
+        )
+        store.put("k", {"f": "v"})
+        store.get("k")
+        store.scan("", 10)
+        store.delete("k")
+        assert slept == [0.222, 0.111, 0.111, 0.222]
+
+    def test_results_pass_through(self):
+        slept = []
+        store = LatencyInjectingStore(
+            InMemoryKVStore(), ConstantLatency(0.01), sleep=slept.append
+        )
+        assert store.put("k", {"f": "v"}) == 1
+        assert store.get_with_meta("k").version == 1
+        assert store.put_if_version("k", {"f": "2"}, 1) == 2
+        assert store.delete_if_version("k", 2) is True
+
+    def test_keys_and_size_bypass_latency(self):
+        slept = []
+        store = LatencyInjectingStore(
+            InMemoryKVStore(), ConstantLatency(0.5), sleep=slept.append
+        )
+        store.put("k", {})
+        slept.clear()
+        assert store.size() == 1
+        assert list(store.keys()) == ["k"]
+        assert slept == []
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10, burst=3, clock=lambda: clock[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10, burst=1, clock=lambda: clock[0])
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock[0] += 0.1  # one token refilled
+        assert bucket.try_acquire()
+
+    def test_capacity_capped(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10, burst=2, clock=lambda: clock[0])
+        clock[0] += 100.0
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_acquire_blocks_until_available(self):
+        clock = [0.0]
+        waits = []
+
+        def fake_sleep(seconds):
+            waits.append(seconds)
+            clock[0] += seconds
+
+        bucket = TokenBucket(rate=10, burst=1, clock=lambda: clock[0])
+        assert bucket.acquire(sleep=fake_sleep) == 0.0
+        waited = bucket.acquire(sleep=fake_sleep)
+        assert waited == pytest.approx(0.1, rel=0.01)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+    def test_rate_enforced_over_window(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=100, burst=10, clock=lambda: clock[0])
+        admitted = 0
+        for _ in range(1000):
+            if bucket.try_acquire():
+                admitted += 1
+            clock[0] += 0.001
+        # 1 second elapsed at 100/s plus the initial burst of 10.
+        assert 100 <= admitted <= 111

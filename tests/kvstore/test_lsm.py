@@ -1,0 +1,331 @@
+"""Log-structured store tests: WAL, memtable, SSTables, the engine."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.lsm import (
+    BloomFilter,
+    LSMKVStore,
+    Memtable,
+    MemtableEntry,
+    SSTable,
+    SSTableCorruptionError,
+    WalCorruptionError,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+class TestWal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(WalRecord(1, "put", "a", {"f": "1"}))
+        wal.append(WalRecord(2, "delete", "a"))
+        wal.close()
+        records = list(WriteAheadLog(tmp_path / "wal.log").replay())
+        assert records == [
+            WalRecord(1, "put", "a", {"f": "1"}),
+            WalRecord(2, "delete", "a", None),
+        ]
+
+    def test_truncate(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(WalRecord(1, "put", "a", {}))
+        wal.truncate()
+        wal.append(WalRecord(2, "put", "b", {}))
+        assert [record.key for record in wal.replay()] == ["b"]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WalRecord(1, "put", "a", {"f": "1"}))
+        wal.close()
+        with open(path, "a") as handle:
+            handle.write('{"seq": 2, "op": "put", "key"')  # crash mid-write
+        records = list(WriteAheadLog(path).replay())
+        assert [record.sequence for record in records] == [1]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text('garbage\n{"seq": 1, "op": "put", "key": "a", "value": {}}\n')
+        with pytest.raises(WalCorruptionError):
+            list(WriteAheadLog(path).replay())
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        (tmp_path / "wal.log").unlink()
+        assert list(wal.replay()) == []
+
+
+class TestMemtable:
+    def test_upsert_lookup(self):
+        table = Memtable()
+        table.upsert("k", 1, {"f": "v"})
+        entry = table.lookup("k")
+        assert entry.value == {"f": "v"}
+        assert not entry.is_tombstone
+
+    def test_tombstone(self):
+        table = Memtable()
+        table.upsert("k", 1, {"f": "v"})
+        table.upsert("k", 2, None)
+        assert table.lookup("k").is_tombstone
+        assert len(table) == 1
+
+    def test_entries_ordered(self):
+        table = Memtable()
+        for key in ("c", "a", "b"):
+            table.upsert(key, 1, {})
+        assert [entry.key for entry in table.entries()] == ["a", "b", "c"]
+
+    def test_range_from(self):
+        table = Memtable()
+        for key in ("a", "b", "c"):
+            table.upsert(key, 1, {})
+        assert [entry.key for entry in table.range_from("b")] == ["b", "c"]
+
+    def test_size_accounting(self):
+        table = Memtable()
+        assert table.approximate_bytes == 0
+        table.upsert("key", 1, {"field": "value"})
+        first = table.approximate_bytes
+        assert first > 0
+        table.upsert("key", 2, {"field": "longer-value-here"})
+        assert table.approximate_bytes > first
+        table.clear()
+        assert table.approximate_bytes == 0
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(1000)
+        keys = [f"key{i}" for i in range(1000)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(1000, bits_per_item=10)
+        for i in range(1000):
+            bloom.add(f"key{i}")
+        false_positives = sum(
+            1 for i in range(10000) if bloom.may_contain(f"other{i}")
+        )
+        assert false_positives / 10000 < 0.05  # theory: ~1%
+
+    def test_empty_filter_rejects(self):
+        bloom = BloomFilter(10)
+        assert not bloom.may_contain("anything")
+
+
+class TestSSTable:
+    def _entries(self):
+        return [
+            MemtableEntry("a", 1, {"f": "1"}),
+            MemtableEntry("b", 2, None),
+            MemtableEntry("c", 3, {"f": "3"}),
+        ]
+
+    def test_write_and_lookup(self, tmp_path):
+        table = SSTable.write(tmp_path / "s.sst", self._entries())
+        assert len(table) == 3
+        assert table.lookup("a").value == {"f": "1"}
+        assert table.lookup("b").is_tombstone
+        assert table.lookup("zz") is None
+
+    def test_reopen(self, tmp_path):
+        SSTable.write(tmp_path / "s.sst", self._entries())
+        table = SSTable(tmp_path / "s.sst")
+        assert table.lookup("c").value == {"f": "3"}
+        assert table.min_sequence == 1
+        assert table.max_sequence == 3
+
+    def test_range_from(self, tmp_path):
+        table = SSTable.write(tmp_path / "s.sst", self._entries())
+        assert [entry.key for entry in table.range_from("b")] == ["b", "c"]
+
+    def test_rejects_unsorted_entries(self, tmp_path):
+        entries = [MemtableEntry("b", 1, {}), MemtableEntry("a", 2, {})]
+        with pytest.raises(ValueError):
+            SSTable.write(tmp_path / "s.sst", entries)
+
+    def test_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.sst"
+        path.write_text("not json\n")
+        with pytest.raises(SSTableCorruptionError):
+            SSTable(path)
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.sst"
+        header = json.dumps({"format": 1, "count": 5, "min_seq": 1, "max_seq": 1})
+        record = json.dumps({"key": "a", "seq": 1, "value": {}})
+        path.write_text(header + "\n" + record + "\n")
+        with pytest.raises(SSTableCorruptionError):
+            SSTable(path)
+
+    def test_delete_file(self, tmp_path):
+        table = SSTable.write(tmp_path / "s.sst", self._entries())
+        table.delete_file()
+        assert not (tmp_path / "s.sst").exists()
+
+
+class TestLSMStore:
+    def test_basic_roundtrip(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            store.put("k", {"f": "v"})
+            assert store.get("k") == {"f": "v"}
+            store.delete("k")
+            assert store.get("k") is None
+
+    def test_versions_monotonic_per_key(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            v1 = store.put("k", {"f": "1"})
+            v2 = store.put("k", {"f": "2"})
+            assert v2 > v1
+            assert store.get_with_meta("k").version == v2
+
+    def test_flush_and_read_from_segment(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            store.put("k", {"f": "v"})
+            store.flush()
+            assert store.segment_count == 1
+            assert store.get("k") == {"f": "v"}
+
+    def test_automatic_flush_on_threshold(self, tmp_path):
+        with LSMKVStore(tmp_path, memtable_bytes=256) as store:
+            for i in range(50):
+                store.put(f"key{i:03d}", {"f": "x" * 20})
+            assert store.segment_count >= 1
+            assert store.size() == 50
+
+    def test_newest_version_wins_across_segments(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            store.put("k", {"f": "old"})
+            store.flush()
+            store.put("k", {"f": "new"})
+            store.flush()
+            assert store.get("k") == {"f": "new"}
+
+    def test_tombstone_shadows_older_segments(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            store.put("k", {"f": "v"})
+            store.flush()
+            store.delete("k")
+            store.flush()
+            assert store.get("k") is None
+            assert store.size() == 0
+
+    def test_scan_merges_memtable_and_segments(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            store.put("a", {"v": "seg"})
+            store.put("c", {"v": "seg"})
+            store.flush()
+            store.put("b", {"v": "mem"})
+            store.put("c", {"v": "mem"})  # newer version in memtable
+            result = store.scan("a", 10)
+            assert result == [
+                ("a", {"v": "seg"}),
+                ("b", {"v": "mem"}),
+                ("c", {"v": "mem"}),
+            ]
+
+    def test_recovery_from_wal(self, tmp_path):
+        store = LSMKVStore(tmp_path)
+        store.put("k", {"f": "v"})
+        store.put("gone", {"f": "x"})
+        store.delete("gone")
+        # Simulate crash: abandon without close()/flush().
+        store._wal.close()
+        recovered = LSMKVStore(tmp_path)
+        assert recovered.get("k") == {"f": "v"}
+        assert recovered.get("gone") is None
+        recovered.close()
+
+    def test_recovery_from_segments_and_wal(self, tmp_path):
+        store = LSMKVStore(tmp_path)
+        store.put("a", {"f": "1"})
+        store.flush()
+        store.put("b", {"f": "2"})  # only in WAL
+        store._wal.close()
+        recovered = LSMKVStore(tmp_path)
+        assert recovered.get("a") == {"f": "1"}
+        assert recovered.get("b") == {"f": "2"}
+        # Sequence numbers continue past recovered history.
+        v = recovered.put("c", {"f": "3"})
+        assert v > recovered.get_with_meta("a").version
+        recovered.close()
+
+    def test_compaction_drops_garbage(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            for i in range(20):
+                store.put("hot", {"n": str(i)})
+                store.flush()
+            store.put("dead", {})
+            store.flush()
+            store.delete("dead")
+            store.flush()
+            discarded = store.compact()
+            assert discarded > 0
+            assert store.segment_count == 1
+            assert store.get("hot") == {"n": "19"}
+            assert store.get("dead") is None
+
+    def test_conditional_operations(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            assert store.put_if_version("k", {"f": "a"}, None) is not None
+            assert store.put_if_version("k", {"f": "b"}, None) is None
+            version = store.get_with_meta("k").version
+            assert store.put_if_version("k", {"f": "c"}, version) is not None
+            assert store.delete_if_version("k", version) is None  # stale
+            fresh = store.get_with_meta("k").version
+            assert store.delete_if_version("k", fresh) is True
+
+    def test_keys_and_size(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            for key in ("b", "a", "c"):
+                store.put(key, {})
+            store.delete("b")
+            assert list(store.keys()) == ["a", "c"]
+            assert store.size() == 2
+
+    def test_reopen_after_close_round_trips(self, tmp_path):
+        with LSMKVStore(tmp_path) as store:
+            store.put("k", {"f": "v"})
+        with LSMKVStore(tmp_path) as store:
+            assert store.get("k") == {"f": "v"}
+
+    @given(
+        operations=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("put"),
+                    st.sampled_from("abcdef"),
+                    st.text(min_size=1, max_size=4),
+                ),
+                st.tuples(st.just("delete"), st.sampled_from("abcdef"), st.just("")),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_model_based_with_flushes(self, tmp_path_factory, operations):
+        """With a tiny memtable (frequent flushes) the store still matches
+        a plain dict."""
+        directory = tmp_path_factory.mktemp("lsm")
+        model: dict[str, dict[str, str]] = {}
+        with LSMKVStore(directory, memtable_bytes=64) as store:
+            for op, key, value in operations:
+                if op == "put":
+                    store.put(key, {"v": value})
+                    model[key] = {"v": value}
+                else:
+                    assert store.delete(key) == (key in model)
+                    model.pop(key, None)
+            assert store.size() == len(model)
+            for key, expected in model.items():
+                assert store.get(key) == expected
+            assert [k for k, _ in store.scan("", 10)] == sorted(model)

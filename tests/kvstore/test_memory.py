@@ -1,0 +1,210 @@
+"""In-memory store tests, including a model-based hypothesis test."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import InMemoryKVStore, StoreClosed
+
+
+class TestBasicOperations:
+    def test_get_missing(self):
+        assert InMemoryKVStore().get("nope") is None
+        assert InMemoryKVStore().get_with_meta("nope") is None
+
+    def test_put_get(self):
+        store = InMemoryKVStore()
+        version = store.put("k", {"f": "v"})
+        assert version == 1
+        assert store.get("k") == {"f": "v"}
+
+    def test_version_increments(self):
+        store = InMemoryKVStore()
+        assert store.put("k", {"f": "1"}) == 1
+        assert store.put("k", {"f": "2"}) == 2
+        assert store.get_with_meta("k").version == 2
+
+    def test_returned_value_is_a_copy(self):
+        store = InMemoryKVStore()
+        store.put("k", {"f": "v"})
+        value = store.get("k")
+        value["f"] = "mutated"
+        assert store.get("k") == {"f": "v"}
+
+    def test_stored_value_is_a_copy(self):
+        store = InMemoryKVStore()
+        original = {"f": "v"}
+        store.put("k", original)
+        original["f"] = "mutated"
+        assert store.get("k") == {"f": "v"}
+
+    def test_delete(self):
+        store = InMemoryKVStore()
+        store.put("k", {"f": "v"})
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert store.get("k") is None
+
+    def test_contains_and_size(self):
+        store = InMemoryKVStore()
+        assert not store.contains("a")
+        store.put("a", {})
+        store.put("b", {})
+        assert store.contains("a")
+        assert store.size() == 2
+
+    def test_clear(self):
+        store = InMemoryKVStore()
+        store.put("a", {})
+        store.clear()
+        assert store.size() == 0
+        assert list(store.keys()) == []
+
+
+class TestConditionalOperations:
+    def test_insert_if_absent(self):
+        store = InMemoryKVStore()
+        assert store.put_if_version("k", {"f": "1"}, None) == 1
+        assert store.put_if_version("k", {"f": "2"}, None) is None
+        assert store.get("k") == {"f": "1"}
+
+    def test_update_if_version(self):
+        store = InMemoryKVStore()
+        store.put("k", {"f": "1"})
+        assert store.put_if_version("k", {"f": "2"}, 1) == 2
+        assert store.put_if_version("k", {"f": "3"}, 1) is None
+        assert store.get("k") == {"f": "2"}
+
+    def test_update_if_version_missing_key(self):
+        store = InMemoryKVStore()
+        assert store.put_if_version("k", {"f": "1"}, 3) is None
+
+    def test_delete_if_version(self):
+        store = InMemoryKVStore()
+        store.put("k", {"f": "1"})
+        assert store.delete_if_version("k", 99) is None
+        assert store.delete_if_version("k", 1) is True
+        assert store.delete_if_version("k", 1) is False
+
+    def test_cas_loop_semantics(self):
+        """A CAS loop always makes progress: re-read then retry succeeds."""
+        store = InMemoryKVStore()
+        store.put("k", {"n": "0"})
+        for _ in range(10):
+            versioned = store.get_with_meta("k")
+            value = {"n": str(int(versioned.value["n"]) + 1)}
+            assert store.put_if_version("k", value, versioned.version) is not None
+        assert store.get("k") == {"n": "10"}
+
+
+class TestScanAndKeys:
+    def test_scan_ordered(self):
+        store = InMemoryKVStore()
+        for key in ("c", "a", "b"):
+            store.put(key, {"k": key})
+        assert [key for key, _ in store.scan("a", 10)] == ["a", "b", "c"]
+
+    def test_scan_from_middle(self):
+        store = InMemoryKVStore()
+        for key in ("a", "b", "c", "d"):
+            store.put(key, {})
+        assert [key for key, _ in store.scan("b", 2)] == ["b", "c"]
+
+    def test_scan_start_key_absent(self):
+        store = InMemoryKVStore()
+        store.put("a", {})
+        store.put("c", {})
+        assert [key for key, _ in store.scan("b", 5)] == ["c"]
+
+    def test_scan_zero_or_negative_count(self):
+        store = InMemoryKVStore()
+        store.put("a", {})
+        assert store.scan("a", 0) == []
+        assert store.scan("a", -3) == []
+
+    def test_keys_sorted_after_deletes(self):
+        store = InMemoryKVStore()
+        for key in ("d", "b", "a", "c"):
+            store.put(key, {})
+        store.delete("b")
+        assert list(store.keys()) == ["a", "c", "d"]
+
+
+class TestLifecycle:
+    def test_closed_store_rejects_operations(self):
+        store = InMemoryKVStore()
+        store.close()
+        with pytest.raises(StoreClosed):
+            store.get("k")
+        with pytest.raises(StoreClosed):
+            store.put("k", {})
+
+    def test_context_manager(self):
+        with InMemoryKVStore() as store:
+            store.put("k", {})
+        with pytest.raises(StoreClosed):
+            store.size()
+
+
+class TestConcurrency:
+    def test_concurrent_disjoint_writers(self):
+        store = InMemoryKVStore()
+
+        def worker(prefix):
+            for i in range(500):
+                store.put(f"{prefix}-{i}", {"v": str(i)})
+
+        threads = [threading.Thread(target=worker, args=(p,)) for p in "abcd"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.size() == 2000
+
+    def test_conditional_put_is_atomic_under_contention(self):
+        store = InMemoryKVStore()
+        store.put("counter", {"n": "0"})
+
+        def worker():
+            for _ in range(200):
+                while True:
+                    versioned = store.get_with_meta("counter")
+                    new = {"n": str(int(versioned.value["n"]) + 1)}
+                    if store.put_if_version("counter", new, versioned.version) is not None:
+                        break
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get("counter") == {"n": "800"}
+
+
+@given(
+    operations=st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), st.text(max_size=3), st.text(max_size=3)),
+            st.tuples(st.just("delete"), st.text(max_size=3), st.just("")),
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_model_based_against_dict(operations):
+    """The store behaves exactly like a dict for put/delete/get/scan."""
+    store = InMemoryKVStore()
+    model: dict[str, dict[str, str]] = {}
+    for op, key, value in operations:
+        if op == "put":
+            store.put(key, {"v": value})
+            model[key] = {"v": value}
+        else:
+            assert store.delete(key) == (key in model)
+            model.pop(key, None)
+    assert store.size() == len(model)
+    for key, expected in model.items():
+        assert store.get(key) == expected
+    assert [key for key, _ in store.scan("", len(model) + 1)] == sorted(model)

@@ -1,0 +1,92 @@
+"""Replicated store tests (async replication, bounded staleness)."""
+
+import random
+
+import pytest
+
+from repro.kvstore import ReadPreference, ReplicatedKVStore
+
+
+def make_store(lag=1.0, preference=ReadPreference.REPLICA):
+    clock = [0.0]
+    store = ReplicatedKVStore(
+        replica_count=2,
+        lag_seconds=lag,
+        read_preference=preference,
+        rng=random.Random(7),
+        clock=lambda: clock[0],
+    )
+    return store, clock
+
+
+class TestReplication:
+    def test_replica_read_stale_before_lag(self):
+        store, _ = make_store(lag=1.0)
+        store.put("k", {"v": "new"})
+        assert store.get("k") is None  # replicas have not applied yet
+
+    def test_replica_read_fresh_after_lag(self):
+        store, clock = make_store(lag=1.0)
+        store.put("k", {"v": "new"})
+        clock[0] += 1.5
+        assert store.get("k") == {"v": "new"}
+
+    def test_primary_reads_always_fresh(self):
+        store, _ = make_store(lag=100.0, preference=ReadPreference.PRIMARY)
+        store.put("k", {"v": "new"})
+        assert store.get("k") == {"v": "new"}
+
+    def test_monotonic_apply_order(self):
+        store, clock = make_store(lag=1.0)
+        store.put("k", {"v": "1"})
+        clock[0] += 0.5
+        store.put("k", {"v": "2"})
+        clock[0] += 0.6  # only the first write is due
+        assert store.get("k") == {"v": "1"}
+        clock[0] += 0.5  # both due
+        assert store.get("k") == {"v": "2"}
+
+    def test_delete_replicates(self):
+        store, clock = make_store(lag=1.0)
+        store.put("k", {"v": "x"})
+        clock[0] += 2
+        assert store.get("k") == {"v": "x"}
+        store.delete("k")
+        assert store.get("k") == {"v": "x"}  # stale: delete not yet applied
+        clock[0] += 2
+        assert store.get("k") is None
+
+    def test_flush_replication(self):
+        store, _ = make_store(lag=100.0)
+        store.put("k", {"v": "x"})
+        assert store.replication_backlog() == 2  # one event per replica
+        store.flush_replication()
+        assert store.replication_backlog() == 0
+        assert store.get("k") == {"v": "x"}
+
+    def test_conditional_put_checked_on_primary(self):
+        store, _ = make_store(lag=100.0)
+        assert store.put_if_version("k", {"v": "a"}, None) == 1
+        # Replicas are stale, but the condition is evaluated at the primary.
+        assert store.put_if_version("k", {"v": "b"}, 1) == 2
+        assert store.put_if_version("k", {"v": "c"}, 1) is None
+
+    def test_size_and_keys_use_primary(self):
+        store, _ = make_store(lag=100.0)
+        store.put("a", {})
+        store.put("b", {})
+        assert store.size() == 2
+        assert list(store.keys()) == ["a", "b"]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ReplicatedKVStore(replica_count=0)
+        with pytest.raises(ValueError):
+            ReplicatedKVStore(lag_seconds=-1)
+
+    def test_clear_resets_everything(self):
+        store, _ = make_store()
+        store.put("k", {})
+        store.clear()
+        assert store.size() == 0
+        assert store.replication_backlog() == 0

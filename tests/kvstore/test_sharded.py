@@ -1,0 +1,130 @@
+"""Consistent-hash ring and sharded store tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import ConsistentHashRing, InMemoryKVStore, ShardedKVStore
+
+
+def make_store(shard_count=3):
+    shards = {f"shard{i}": InMemoryKVStore() for i in range(shard_count)}
+    return ShardedKVStore(shards), shards
+
+
+class TestConsistentHashRing:
+    def test_owner_is_stable(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.owner("key1") == ring.owner("key1")
+
+    def test_all_shards_receive_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        owners = {ring.owner(f"key{i}") for i in range(1000)}
+        assert owners == {"a", "b", "c"}
+
+    def test_balance_reasonable(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], replicas=128)
+        counts = {"a": 0, "b": 0, "c": 0, "d": 0}
+        for i in range(8000):
+            counts[ring.owner(f"key{i}")] += 1
+        for count in counts.values():
+            assert 0.5 * 2000 < count < 1.8 * 2000
+
+    def test_add_shard_moves_minority(self):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=128)
+        before = {f"key{i}": ring.owner(f"key{i}") for i in range(3000)}
+        ring.add_shard("d")
+        moved = sum(1 for key, owner in before.items() if ring.owner(key) != owner)
+        # Consistent hashing: ~1/4 of keys move, never the majority.
+        assert moved < 1500
+        # And every key that moved went to the new shard.
+        for key, owner in before.items():
+            new_owner = ring.owner(key)
+            if new_owner != owner:
+                assert new_owner == "d"
+
+    def test_remove_shard(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.remove_shard("b")
+        assert {ring.owner(f"k{i}") for i in range(100)} == {"a"}
+
+    def test_duplicate_shard_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_shard("a")
+
+    def test_unknown_shard_removal_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"]).remove_shard("zz")
+
+    def test_empty_ring_raises(self):
+        ring = ConsistentHashRing([])
+        with pytest.raises(RuntimeError):
+            ring.owner("k")
+
+
+class TestShardedKVStore:
+    def test_requires_shards(self):
+        with pytest.raises(ValueError):
+            ShardedKVStore({})
+
+    def test_put_get_roundtrip(self):
+        store, _ = make_store()
+        for i in range(200):
+            store.put(f"key{i}", {"v": str(i)})
+        for i in range(200):
+            assert store.get(f"key{i}") == {"v": str(i)}
+
+    def test_data_actually_distributed(self):
+        store, shards = make_store()
+        for i in range(500):
+            store.put(f"key{i}", {})
+        sizes = [shard.size() for shard in shards.values()]
+        assert sum(sizes) == 500
+        assert all(size > 0 for size in sizes)
+
+    def test_scan_merges_in_order(self):
+        store, _ = make_store()
+        keys = [f"key{i:04d}" for i in range(100)]
+        for key in keys:
+            store.put(key, {})
+        result = [key for key, _ in store.scan("key0010", 20)]
+        assert result == keys[10:30]
+
+    def test_keys_sorted_across_shards(self):
+        store, _ = make_store()
+        for i in range(50):
+            store.put(f"k{i:03d}", {})
+        assert list(store.keys()) == [f"k{i:03d}" for i in range(50)]
+
+    def test_conditional_ops_route_to_owner(self):
+        store, _ = make_store()
+        assert store.put_if_version("k", {"v": "1"}, None) == 1
+        assert store.put_if_version("k", {"v": "2"}, 1) == 2
+        assert store.delete_if_version("k", 2) is True
+
+    def test_delete(self):
+        store, _ = make_store()
+        store.put("k", {})
+        assert store.delete("k") is True
+        assert store.size() == 0
+
+    def test_add_shard_migrates_and_preserves_data(self):
+        store, _ = make_store(2)
+        for i in range(400):
+            store.put(f"key{i}", {"v": str(i)})
+        moved = store.add_shard("shard2", InMemoryKVStore())
+        assert moved > 0
+        assert store.shard_count == 3
+        assert store.size() == 400
+        for i in range(400):
+            assert store.get(f"key{i}") == {"v": str(i)}
+
+    @given(keys=st.sets(st.text(min_size=1, max_size=8), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_scan_equals_sorted_keys(self, keys):
+        store, _ = make_store()
+        for key in keys:
+            store.put(key, {"v": "x"})
+        scanned = [key for key, _ in store.scan("", len(keys) + 1)]
+        assert scanned == sorted(keys)

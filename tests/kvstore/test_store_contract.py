@@ -1,0 +1,153 @@
+"""One contract, every store.
+
+Runs the same :class:`~repro.kvstore.base.KeyValueStore` behavioural
+contract against every store implementation in the repository (plus the
+HTTP client), so a new backend cannot silently diverge on the semantics
+the transaction layer depends on — especially the conditional writes.
+"""
+
+import random
+
+import pytest
+
+from repro.http import HttpKVStore, KVStoreHTTPServer
+from repro.kvstore import (
+    InMemoryKVStore,
+    ReadPreference,
+    ReplicatedKVStore,
+    ShardedKVStore,
+    SimulatedCloudStore,
+)
+from repro.kvstore.cloud import CloudStoreProfile
+from repro.kvstore.lsm import LSMKVStore
+
+_FAST_CLOUD = CloudStoreProfile(
+    name="fast",
+    read_median_s=0.0,
+    write_median_s=0.0,
+    sigma=0.0,
+    requests_per_second=1e9,
+    burst=1e9,
+)
+
+
+@pytest.fixture(
+    params=["memory", "lsm", "cloud", "sharded", "replicated-primary", "http"]
+)
+def store(request, tmp_path):
+    """A fresh store of each kind, torn down afterwards."""
+    kind = request.param
+    if kind == "memory":
+        yield InMemoryKVStore()
+    elif kind == "lsm":
+        engine = LSMKVStore(tmp_path)
+        yield engine
+        engine.close()
+    elif kind == "cloud":
+        yield SimulatedCloudStore(_FAST_CLOUD)
+    elif kind == "sharded":
+        yield ShardedKVStore({f"s{i}": InMemoryKVStore() for i in range(3)})
+    elif kind == "replicated-primary":
+        yield ReplicatedKVStore(
+            replica_count=1,
+            lag_seconds=0.0,
+            read_preference=ReadPreference.PRIMARY,
+            rng=random.Random(1),
+        )
+    elif kind == "http":
+        backing = InMemoryKVStore()
+        server = KVStoreHTTPServer(backing).start()
+        client = HttpKVStore(server.address)
+        yield client
+        client.close()
+        server.stop()
+
+
+class TestStoreContract:
+    def test_get_missing_is_none(self, store):
+        assert store.get("missing") is None
+        assert store.get_with_meta("missing") is None
+
+    def test_put_get_roundtrip(self, store):
+        store.put("k", {"f": "v", "g": "w"})
+        assert store.get("k") == {"f": "v", "g": "w"}
+
+    def test_versions_increase_per_key(self, store):
+        v1 = store.put("k", {"f": "1"})
+        v2 = store.put("k", {"f": "2"})
+        assert v2 > v1
+        assert store.get_with_meta("k").version == v2
+
+    def test_insert_if_absent(self, store):
+        assert store.put_if_version("k", {"f": "a"}, None) is not None
+        assert store.put_if_version("k", {"f": "b"}, None) is None
+        assert store.get("k") == {"f": "a"}
+
+    def test_conditional_update_exactly_once(self, store):
+        store.put("k", {"n": "0"})
+        version = store.get_with_meta("k").version
+        assert store.put_if_version("k", {"n": "1"}, version) is not None
+        assert store.put_if_version("k", {"n": "2"}, version) is None
+        assert store.get("k") == {"n": "1"}
+
+    def test_conditional_update_missing_key_fails(self, store):
+        assert store.put_if_version("missing", {"f": "v"}, 1) is None
+
+    def test_delete_semantics(self, store):
+        store.put("k", {})
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert store.get("k") is None
+
+    def test_conditional_delete(self, store):
+        store.put("k", {})
+        version = store.get_with_meta("k").version
+        assert store.delete_if_version("k", version + 7) is None
+        assert store.delete_if_version("k", version) is True
+        assert store.delete_if_version("k", version) is False
+
+    def test_scan_is_ordered_and_bounded(self, store):
+        for key in ("d", "b", "a", "c"):
+            store.put(key, {"k": key})
+        result = store.scan("b", 2)
+        assert [key for key, _ in result] == ["b", "c"]
+        assert result[0][1] == {"k": "b"}
+
+    def test_scan_empty_and_nonpositive(self, store):
+        assert store.scan("zzz", 5) == []
+        store.put("a", {})
+        assert store.scan("", 0) == []
+
+    def test_size_and_keys(self, store):
+        for key in ("b", "a"):
+            store.put(key, {})
+        store.delete("a")
+        assert store.size() == 1
+        assert list(store.keys()) == ["b"]
+
+    def test_cas_loop_always_progresses(self, store):
+        store.put("counter", {"n": "0"})
+        for _ in range(5):
+            while True:
+                current = store.get_with_meta("counter")
+                next_value = {"n": str(int(current.value["n"]) + 1)}
+                if store.put_if_version("counter", next_value, current.version):
+                    break
+        assert store.get("counter") == {"n": "5"}
+
+    def test_transactions_run_on_top(self, store):
+        """The contract is sufficient for the transaction layer."""
+        from repro.txn import ClientTransactionManager
+
+        manager = ClientTransactionManager(store)
+        with manager.transaction() as tx:
+            tx.write("acct:a", {"bal": "10"})
+            tx.write("acct:b", {"bal": "20"})
+        with manager.transaction() as tx:
+            a = int(tx.read("acct:a")["bal"])
+            b = int(tx.read("acct:b")["bal"])
+            tx.write("acct:a", {"bal": str(a - 5)})
+            tx.write("acct:b", {"bal": str(b + 5)})
+        with manager.transaction() as tx:
+            assert tx.read("acct:a") == {"bal": "5"}
+            assert tx.read("acct:b") == {"bal": "25"}

@@ -1,0 +1,48 @@
+"""Exporter number formatting and report edge cases."""
+
+from repro.measurements import Measurements, RunReport, TextExporter
+from repro.measurements.exporters import _format_number
+
+
+class TestFormatNumber:
+    def test_integers(self):
+        assert _format_number(42) == "42"
+        assert _format_number(0) == "0"
+        assert _format_number(-7) == "-7"
+
+    def test_whole_floats_keep_one_decimal(self):
+        # Java's String.valueOf(124619.0) -> "124619.0" (Listing 3 shape).
+        assert _format_number(124619.0) == "124619.0"
+
+    def test_fractional_floats_full_precision(self):
+        assert _format_number(8024.458549659362) == "8024.458549659362"
+
+    def test_tiny_scores_scientific(self):
+        # repr of 2.9e-05 keeps scientific notation, as in Listing 3.
+        assert "e-05" in _format_number(2.9e-05)
+
+    def test_strings_pass_through(self):
+        assert _format_number("already text") == "already text"
+
+    def test_bools_lowercase(self):
+        assert _format_number(True) == "true"
+
+
+class TestRunReportEdges:
+    def test_zero_runtime_throughput(self):
+        report = RunReport.from_measurements(Measurements(), 0.0, 100)
+        assert report.throughput == 0.0
+
+    def test_empty_report_renders(self):
+        text = TextExporter().export(RunReport.from_measurements(Measurements(), 10.0, 0))
+        assert "[OVERALL], RunTime(ms), 10.0" in text
+        assert text.endswith("\n")
+
+    def test_validation_order_preserved(self):
+        report = RunReport.from_measurements(
+            Measurements(), 10.0, 1,
+            validation=[("B FIRST", 1), ("A SECOND", 2)],
+            validation_passed=True,
+        )
+        text = TextExporter().export(report)
+        assert text.index("[B FIRST]") < text.index("[A SECOND]")

@@ -1,0 +1,127 @@
+"""Measurement container tests."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurements import HistogramMeasurement, RawMeasurement
+
+
+class TestHistogramMeasurement:
+    def test_empty_summary(self):
+        summary = HistogramMeasurement("READ").summary()
+        assert summary.count == 0
+        assert summary.average_us == 0.0
+
+    def test_basic_stats(self):
+        measurement = HistogramMeasurement("READ")
+        for latency in (1000, 2000, 3000):
+            measurement.measure(latency)
+        summary = measurement.summary()
+        assert summary.count == 3
+        assert summary.average_us == pytest.approx(2000)
+        assert summary.min_us == 1000
+        assert summary.max_us == 3000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HistogramMeasurement("READ").measure(-1)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            HistogramMeasurement("READ", buckets=0)
+
+    def test_overflow_bucket(self):
+        measurement = HistogramMeasurement("READ", buckets=2)
+        measurement.measure(10_000_000)  # way past the last bucket
+        summary = measurement.summary()
+        assert summary.count == 1
+        assert summary.max_us == 10_000_000
+        # Percentile saturates at the bucket limit (in ms -> us).
+        assert summary.percentile_95_us == 2000.0
+
+    def test_percentiles_ms_resolution(self):
+        measurement = HistogramMeasurement("READ")
+        for _ in range(95):
+            measurement.measure(1_500)  # bucket 1
+        for _ in range(5):
+            measurement.measure(9_500)  # bucket 9
+        summary = measurement.summary()
+        assert summary.percentile_95_us == 1000.0
+        assert summary.percentile_99_us == 9000.0
+
+    def test_return_codes(self):
+        measurement = HistogramMeasurement("READ")
+        measurement.report_status("OK")
+        measurement.report_status("OK")
+        measurement.report_status("NOT_FOUND")
+        assert measurement.summary().return_codes == {"OK": 2, "NOT_FOUND": 1}
+
+    def test_thread_safety_counts(self):
+        measurement = HistogramMeasurement("READ")
+
+        def worker():
+            for _ in range(5000):
+                measurement.measure(1234)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert measurement.summary().count == 20000
+
+    @given(latencies=st.lists(st.integers(0, 10_000_000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_exact_aggregates(self, latencies):
+        measurement = HistogramMeasurement("X")
+        for latency in latencies:
+            measurement.measure(latency)
+        summary = measurement.summary()
+        assert summary.count == len(latencies)
+        assert summary.min_us == min(latencies)
+        assert summary.max_us == max(latencies)
+        assert summary.average_us == pytest.approx(sum(latencies) / len(latencies))
+
+
+class TestRawMeasurement:
+    def test_exact_percentiles(self):
+        measurement = RawMeasurement("READ")
+        for latency in range(1, 101):
+            measurement.measure(latency)
+        summary = measurement.summary()
+        assert summary.percentile_95_us == 95.0
+        assert summary.percentile_99_us == 99.0
+
+    def test_samples_returned(self):
+        measurement = RawMeasurement("READ")
+        measurement.measure(5)
+        measurement.measure(7)
+        assert measurement.samples() == [5, 7]
+
+    def test_empty(self):
+        assert RawMeasurement("X").summary().count == 0
+
+    @given(latencies=st.lists(st.integers(0, 1_000_000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_summary_matches_samples(self, latencies):
+        measurement = RawMeasurement("X")
+        for latency in latencies:
+            measurement.measure(latency)
+        summary = measurement.summary()
+        assert summary.min_us == min(latencies)
+        assert summary.max_us == max(latencies)
+        assert summary.count == len(latencies)
+
+    def test_histogram_and_raw_agree_on_aggregates(self):
+        histogram = HistogramMeasurement("X")
+        raw = RawMeasurement("X")
+        data = [17, 170, 1700, 17000, 170000]
+        for latency in data:
+            histogram.measure(latency)
+            raw.measure(latency)
+        h, r = histogram.summary(), raw.summary()
+        assert (h.count, h.min_us, h.max_us) == (r.count, r.min_us, r.max_us)
+        assert h.average_us == pytest.approx(r.average_us)

@@ -1,0 +1,158 @@
+"""Measurements registry and exporter tests."""
+
+import csv
+import io
+import json
+import threading
+
+import pytest
+
+from repro.measurements import (
+    CsvExporter,
+    JsonExporter,
+    Measurements,
+    RunReport,
+    StopWatch,
+    TextExporter,
+)
+
+
+class TestMeasurements:
+    def test_lazy_creation(self):
+        measurements = Measurements()
+        assert measurements.operations() == []
+        measurements.measure("READ", 100)
+        assert measurements.operations() == ["READ"]
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            Measurements(measurement_type="hdr")
+
+    def test_zero_buckets_means_default(self):
+        # Listing 2 sets histogram.buckets=0; treated as "use default".
+        measurements = Measurements(histogram_buckets=0)
+        measurements.measure("READ", 500_000)
+        assert measurements.summary_for("READ").count == 1
+
+    def test_raw_mode(self):
+        measurements = Measurements(measurement_type="raw")
+        for latency in range(1, 101):
+            measurements.measure("OP", latency)
+        assert measurements.summary_for("OP").percentile_95_us == 95.0
+
+    def test_summary_for_missing_operation(self):
+        summary = Measurements().summary_for("NOPE")
+        assert summary.count == 0
+        assert summary.operation == "NOPE"
+
+    def test_status_reporting(self):
+        measurements = Measurements()
+        measurements.report_status("READ", "OK")
+        measurements.report_status("READ", "NOT_FOUND")
+        assert measurements.summary_for("READ").return_codes == {"OK": 1, "NOT_FOUND": 1}
+
+    def test_concurrent_distinct_operations(self):
+        measurements = Measurements()
+
+        def worker(name):
+            for _ in range(2000):
+                measurements.measure(name, 10)
+
+        threads = [threading.Thread(target=worker, args=(f"OP{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(measurements.operations()) == ["OP0", "OP1", "OP2", "OP3"]
+        for i in range(4):
+            assert measurements.summary_for(f"OP{i}").count == 2000
+
+
+class TestStopWatch:
+    def test_elapsed_non_negative_and_monotonic(self):
+        watch = StopWatch()
+        first = watch.elapsed_us()
+        second = watch.elapsed_us()
+        assert 0 <= first <= second
+
+    def test_restart(self):
+        watch = StopWatch()
+        import time
+
+        time.sleep(0.002)
+        watch.restart()
+        # After restart the 2 ms sleep must not be counted; allow slack
+        # for preemption between restart() and elapsed_us().
+        assert watch.elapsed_us() < 100_000
+
+
+def _sample_report() -> RunReport:
+    measurements = Measurements()
+    measurements.measure("READ", 1500)
+    measurements.measure("READ", 2500)
+    measurements.report_status("READ", "OK")
+    measurements.report_status("READ", "OK")
+    return RunReport.from_measurements(
+        measurements,
+        run_time_ms=1000.0,
+        operations=2,
+        validation=[("TOTAL CASH", 1000), ("COUNTED CASH", 998), ("ANOMALY SCORE", 2e-3)],
+        validation_passed=False,
+    )
+
+
+class TestTextExporter:
+    def test_listing3_shape(self):
+        output = TextExporter().export(_sample_report())
+        lines = output.splitlines()
+        assert lines[0] == "Validation failed"
+        assert "[TOTAL CASH], 1000" in lines
+        assert "[COUNTED CASH], 998" in lines
+        assert "Database validation failed" in lines
+        assert "[OVERALL], RunTime(ms), 1000.0" in lines
+        assert "[OVERALL], Throughput(ops/sec), 2.0" in lines
+        assert "[READ], Operations, 2" in lines
+        assert "[READ], AverageLatency(us), 2000.0" in lines
+        assert "[READ], MinLatency(us), 1500" in lines
+        assert "[READ], MaxLatency(us), 2500" in lines
+        assert "[READ], Return=OK, 2" in lines
+
+    def test_validation_passed_line(self):
+        report = _sample_report()
+        report.validation_passed = True
+        output = TextExporter().export(report)
+        assert "Database validation passed" in output
+        assert "Validation failed" not in output
+
+    def test_no_validation_section(self):
+        measurements = Measurements()
+        report = RunReport.from_measurements(measurements, 100.0, 0)
+        output = TextExporter().export(report)
+        assert "validation" not in output.lower()
+        assert output.startswith("[OVERALL], RunTime(ms)")
+
+    def test_percentiles_toggle(self):
+        output = TextExporter(include_percentiles=False).export(_sample_report())
+        assert "95thPercentile" not in output
+
+
+class TestJsonExporter:
+    def test_round_trip(self):
+        document = json.loads(JsonExporter().export(_sample_report()))
+        assert document["overall"]["operations"] == 2
+        assert document["overall"]["throughput_ops_sec"] == pytest.approx(2.0)
+        assert document["validation"]["passed"] is False
+        assert document["validation"]["fields"]["TOTAL CASH"] == 1000
+        assert document["operations"]["READ"]["operations"] == 2
+        assert document["operations"]["READ"]["return_codes"] == {"OK": 2}
+
+
+class TestCsvExporter:
+    def test_rows(self):
+        output = CsvExporter().export(_sample_report())
+        rows = list(csv.reader(io.StringIO(output)))
+        assert rows[0][0] == "operation"
+        assert rows[1][0] == "READ"
+        assert rows[1][1] == "2"
+        assert rows[1][7] == "2"  # ok count
+        assert rows[1][8] == "0"  # failures

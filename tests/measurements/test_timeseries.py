@@ -1,0 +1,70 @@
+"""Windowed throughput time series."""
+
+import pytest
+
+from repro.measurements import ThroughputTimeSeries
+
+
+def make_series(window_s=1.0):
+    clock = [100.0]
+    series = ThroughputTimeSeries(window_s, clock=lambda: clock[0])
+    return series, clock
+
+
+class TestThroughputTimeSeries:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeSeries(0)
+
+    def test_empty(self):
+        series, _ = make_series()
+        assert series.windows() == []
+        assert series.total_operations() == 0
+        assert series.peak_ops_per_second() == 0.0
+
+    def test_single_window(self):
+        series, _ = make_series()
+        for _ in range(5):
+            series.record()
+        windows = series.windows()
+        assert len(windows) == 1
+        assert windows[0].operations == 5
+        assert windows[0].ops_per_second == 5.0
+
+    def test_multiple_windows(self):
+        series, clock = make_series(window_s=1.0)
+        series.record(3)
+        clock[0] += 1.0
+        series.record(7)
+        clock[0] += 2.5  # skips a window
+        series.record(1)
+        windows = series.windows()
+        assert [w.operations for w in windows] == [3, 7, 0, 1]
+        assert [w.start_offset_s for w in windows] == [0.0, 1.0, 2.0, 3.0]
+        assert series.total_operations() == 11
+        assert series.peak_ops_per_second() == 7.0
+
+    def test_fractional_window(self):
+        series, clock = make_series(window_s=0.5)
+        series.record(2)
+        clock[0] += 0.6
+        series.record(2)
+        windows = series.windows()
+        assert len(windows) == 2
+        assert windows[0].ops_per_second == 4.0
+
+    def test_thread_safety(self):
+        import threading
+
+        series, _ = make_series()
+
+        def worker():
+            for _ in range(5000):
+                series.record()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert series.total_operations() == 20000

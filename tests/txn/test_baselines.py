@@ -1,0 +1,193 @@
+"""Percolator-style and ReTSO-style baseline coordinators."""
+
+import threading
+
+import pytest
+
+from repro.kvstore import InMemoryKVStore
+from repro.txn import (
+    PercolatorLikeManager,
+    RetsoLikeManager,
+    TimestampOracle,
+    TransactionConflict,
+    TransactionStatusOracle,
+)
+
+
+@pytest.fixture(params=["percolator", "retso"])
+def any_manager(request):
+    store = InMemoryKVStore()
+    if request.param == "percolator":
+        return PercolatorLikeManager(store)
+    return RetsoLikeManager(store)
+
+
+class TestCommonBehaviour:
+    """Both baselines satisfy the same black-box transaction contract."""
+
+    def test_commit_visible(self, any_manager):
+        any_manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        with any_manager.transaction() as tx:
+            assert tx.read("k") == {"v": "1"}
+
+    def test_abort_invisible(self, any_manager):
+        tx = any_manager.begin()
+        tx.write("k", {"v": "1"})
+        tx.abort()
+        with any_manager.transaction() as tx:
+            assert tx.read("k") is None
+
+    def test_read_your_writes(self, any_manager):
+        with any_manager.transaction() as tx:
+            tx.write("k", {"v": "1"})
+            assert tx.read("k") == {"v": "1"}
+
+    def test_snapshot_isolation_blocks_lost_update(self, any_manager):
+        any_manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        t1 = any_manager.begin()
+        t2 = any_manager.begin()
+        t1.read("k")
+        t2.read("k")
+        t1.write("k", {"n": "t1"})
+        t2.write("k", {"n": "t2"})
+        t1.commit()
+        with pytest.raises(TransactionConflict):
+            t2.commit()
+        with any_manager.transaction() as tx:
+            assert tx.read("k") == {"n": "t1"}
+
+    def test_delete(self, any_manager):
+        any_manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        any_manager.run(lambda tx: tx.delete("k"))
+        with any_manager.transaction() as tx:
+            assert tx.read("k") is None
+
+    def test_scan(self, any_manager):
+        for i in range(5):
+            any_manager.run(lambda tx, i=i: tx.write(f"key{i}", {"n": str(i)}))
+        with any_manager.transaction() as tx:
+            assert [key for key, _ in tx.scan("key", 3)] == ["key0", "key1", "key2"]
+
+    def test_concurrent_counter_no_lost_updates(self, any_manager):
+        any_manager.run(lambda tx: tx.write("counter", {"n": "0"}))
+
+        def worker():
+            for _ in range(50):
+
+                def body(tx):
+                    value = int(tx.read("counter")["n"])
+                    tx.write("counter", {"n": str(value + 1)})
+
+                any_manager.run(body, retries=10_000)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with any_manager.transaction() as tx:
+            assert tx.read("counter") == {"n": "200"}
+
+
+class TestPercolatorSpecifics:
+    def test_central_oracle_serves_both_timestamps(self):
+        oracle = TimestampOracle()
+        manager = PercolatorLikeManager(InMemoryKVStore(), oracle=oracle)
+        manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        # begin + commit each fetched a timestamp.
+        assert oracle.requests >= 2
+
+    def test_oracle_delay_is_per_transaction_cost(self):
+        waits = []
+        oracle = TimestampOracle(rpc_delay_s=0.01, sleep=waits.append)
+        manager = PercolatorLikeManager(InMemoryKVStore(), oracle=oracle)
+        manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        assert len(waits) == 2  # start ts + commit ts
+
+    def test_expired_primary_lock_recovered(self):
+        manager = PercolatorLikeManager(InMemoryKVStore(), lock_lease_ms=0.0)
+        manager.run(lambda tx: tx.write("k", {"v": "old"}))
+        # Crash a transaction after prewrite.
+        tx = manager.begin()
+        tx.write("k", {"v": "stuck"})
+        ordered = list(tx._writes)
+        primary = f"{ordered[0][0]}:{ordered[0][1]}"
+        for address in ordered:
+            tx._prewrite(address, primary)
+        # A later reader cleans up the expired lock and sees the old value.
+        with manager.transaction() as reader:
+            assert reader.read("k") == {"v": "old"}
+        assert manager.stats.rollbacks_of_peers >= 1
+
+    def test_committed_secondary_rolled_forward(self):
+        manager = PercolatorLikeManager(InMemoryKVStore(), lock_lease_ms=0.0)
+        tx = manager.begin()
+        tx.write("a", {"v": "A"})
+        tx.write("b", {"v": "B"})
+        ordered = list(tx._writes)
+        primary_addr = ordered[0]
+        primary = f"{primary_addr[0]}:{primary_addr[1]}"
+        for address in ordered:
+            tx._prewrite(address, primary)
+        commit_ts = manager.oracle.next_timestamp()
+        # Crash after committing the primary only.
+        assert tx._commit_record(primary_addr, commit_ts)
+        # A reader of the secondary discovers the committed primary and
+        # rolls the secondary forward.
+        secondary_key = ordered[1][1]
+        with manager.transaction() as reader:
+            assert reader.read(secondary_key) is not None
+        assert manager.stats.rollforwards >= 1
+
+
+class TestRetsoSpecifics:
+    def test_tso_counts_commits_and_aborts(self):
+        oracle = TransactionStatusOracle()
+        manager = RetsoLikeManager(InMemoryKVStore(), oracle=oracle)
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.read("k"), t2.read("k")
+        t1.write("k", {"n": "1"})
+        t2.write("k", {"n": "2"})
+        t1.commit()
+        with pytest.raises(TransactionConflict):
+            t2.commit()
+        assert oracle.commits == 2  # initial write + t1
+        assert oracle.aborts == 1
+
+    def test_read_only_transaction_skips_tso_commit(self):
+        oracle = TransactionStatusOracle()
+        manager = RetsoLikeManager(InMemoryKVStore(), oracle=oracle)
+        with manager.transaction() as tx:
+            tx.read("missing")
+        assert oracle.commits == 0
+
+    def test_low_water_mark_aborts_ancient_transactions(self):
+        oracle = TransactionStatusOracle(max_tracked_keys=2)
+        ancient = oracle.begin()
+        # Enough commits to evict and advance the low-water mark.
+        for i in range(10):
+            assert oracle.try_commit(oracle.begin(), [("s", f"key{i}")]) is not None
+        assert oracle.try_commit(ancient, [("s", "fresh-key")]) is None
+
+    def test_rpc_delay_paid_on_begin_and_commit(self):
+        waits = []
+        oracle = TransactionStatusOracle(rpc_delay_s=0.02, sleep=waits.append)
+        manager = RetsoLikeManager(InMemoryKVStore(), oracle=oracle)
+        manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        assert waits == [0.02, 0.02]
+
+    def test_conflict_detection_uses_commit_order_not_writes(self):
+        oracle = TransactionStatusOracle()
+        manager = RetsoLikeManager(InMemoryKVStore(), oracle=oracle)
+        # Two transactions writing disjoint keys both commit.
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.write("a", {"v": "1"})
+        t2.write("b", {"v": "2"})
+        t1.commit()
+        t2.commit()
+        with manager.transaction() as tx:
+            assert tx.read("a") == {"v": "1"}
+            assert tx.read("b") == {"v": "2"}

@@ -1,0 +1,383 @@
+"""Client-coordinated transaction manager: ACID behaviour and recovery."""
+
+import threading
+
+import pytest
+
+from repro.kvstore import InMemoryKVStore
+from repro.kvstore.lsm import LSMKVStore
+from repro.txn import (
+    ClientTransactionManager,
+    TransactionConflict,
+    TransactionStateError,
+    TxState,
+)
+from repro.txn.manager import TSR_PREFIX
+
+
+@pytest.fixture
+def manager():
+    return ClientTransactionManager(InMemoryKVStore())
+
+
+class TestBasics:
+    def test_read_your_own_writes(self, manager):
+        with manager.transaction() as tx:
+            tx.write("k", {"v": "1"})
+            assert tx.read("k") == {"v": "1"}
+
+    def test_write_visible_after_commit(self, manager):
+        with manager.transaction() as tx:
+            tx.write("k", {"v": "1"})
+        with manager.transaction() as tx:
+            assert tx.read("k") == {"v": "1"}
+
+    def test_read_missing_key(self, manager):
+        with manager.transaction() as tx:
+            assert tx.read("missing") is None
+
+    def test_delete(self, manager):
+        manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        manager.run(lambda tx: tx.delete("k"))
+        with manager.transaction() as tx:
+            assert tx.read("k") is None
+
+    def test_buffered_delete_read_back(self, manager):
+        manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        with manager.transaction() as tx:
+            tx.delete("k")
+            assert tx.read("k") is None
+
+    def test_abort_discards_writes(self, manager):
+        tx = manager.begin()
+        tx.write("k", {"v": "1"})
+        tx.abort()
+        with manager.transaction() as tx:
+            assert tx.read("k") is None
+
+    def test_operations_after_commit_rejected(self, manager):
+        tx = manager.begin()
+        tx.commit()
+        with pytest.raises(TransactionStateError):
+            tx.read("k")
+        with pytest.raises(TransactionStateError):
+            tx.commit()
+
+    def test_abort_idempotent(self, manager):
+        tx = manager.begin()
+        tx.abort()
+        tx.abort()
+        assert tx.state is TxState.ABORTED
+
+    def test_empty_commit(self, manager):
+        tx = manager.begin()
+        tx.commit()
+        assert tx.state is TxState.COMMITTED
+
+    def test_reserved_prefix_rejected(self, manager):
+        tx = manager.begin()
+        with pytest.raises(ValueError):
+            tx.write(f"{TSR_PREFIX}evil", {})
+
+    def test_tsr_cleaned_after_commit(self, manager):
+        manager.run(lambda tx: tx.write("k", {"v": "1"}))
+        store = manager.store()
+        assert not any(key.startswith(TSR_PREFIX) for key in store.keys())
+
+    def test_context_manager_aborts_on_exception(self, manager):
+        with pytest.raises(RuntimeError):
+            with manager.transaction() as tx:
+                tx.write("k", {"v": "1"})
+                raise RuntimeError("boom")
+        with manager.transaction() as tx:
+            assert tx.read("k") is None
+
+
+class TestAtomicity:
+    def test_multi_key_commit_is_all_or_nothing(self, manager):
+        with manager.transaction() as tx:
+            tx.write("a", {"v": "1"})
+            tx.write("b", {"v": "2"})
+        with manager.transaction() as tx:
+            assert tx.read("a") == {"v": "1"}
+            assert tx.read("b") == {"v": "2"}
+
+    def test_conflict_leaves_no_partial_state(self, manager):
+        manager.run(lambda tx: tx.write("x", {"n": "0"}))
+        manager.run(lambda tx: tx.write("y", {"n": "0"}))
+
+        t1 = manager.begin()
+        v1 = t1.read("x")
+        t2 = manager.begin()
+        t2.write("x", {"n": "t2"})
+        t2.write("y", {"n": "t2"})
+        t2.commit()
+        # t1 read x before t2 committed; its write set overlaps -> conflict.
+        t1.write("x", {"n": "t1"})
+        t1.write("y", {"n": "t1"})
+        with pytest.raises(TransactionConflict):
+            t1.commit()
+        with manager.transaction() as tx:
+            assert tx.read("x") == {"n": "t2"}
+            assert tx.read("y") == {"n": "t2"}
+        assert v1 == {"n": "0"}
+
+
+class TestIsolation:
+    def test_snapshot_read_ignores_later_commit(self, manager):
+        manager.run(lambda tx: tx.write("k", {"v": "old"}))
+        reader = manager.begin()
+        assert reader.read("k") == {"v": "old"}
+        manager.run(lambda tx: tx.write("k", {"v": "new"}))
+        # Same snapshot: still the old value.
+        assert reader.read("k") == {"v": "old"}
+        reader.abort()
+
+    def test_first_committer_wins(self, manager):
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.read("k")
+        t2.read("k")
+        t1.write("k", {"n": "t1"})
+        t2.write("k", {"n": "t2"})
+        t1.commit()
+        with pytest.raises(TransactionConflict):
+            t2.commit()
+        assert manager.stats.conflicts >= 1
+
+    def test_no_lost_updates_under_concurrency(self):
+        store = InMemoryKVStore()
+        manager = ClientTransactionManager(store)
+        manager.run(lambda tx: tx.write("counter", {"n": "0"}))
+
+        def worker():
+            for _ in range(100):
+
+                def body(tx):
+                    current = int(tx.read("counter")["n"])
+                    tx.write("counter", {"n": str(current + 1)})
+
+                manager.run(body, retries=10_000)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with manager.transaction() as tx:
+            assert tx.read("counter") == {"n": "400"}
+
+    def test_write_write_conflict_on_unread_key(self, manager):
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        t1 = manager.begin()  # snapshot taken now
+        manager.run(lambda tx: tx.write("k", {"n": "1"}))  # commits after t1 began
+        t1.write("k", {"n": "blind"})
+        with pytest.raises(TransactionConflict):
+            t1.commit()
+
+
+class TestOrderedLockingNoDeadlock:
+    def test_opposite_order_writes_never_deadlock(self, manager):
+        manager.run(lambda tx: tx.write("a", {"n": "0"}))
+        manager.run(lambda tx: tx.write("b", {"n": "0"}))
+        errors = []
+
+        def worker(first, second, label):
+            for _ in range(50):
+
+                def body(tx):
+                    tx.write(first, {"n": label})
+                    tx.write(second, {"n": label})
+
+                try:
+                    manager.run(body, retries=10_000)
+                except TransactionConflict as exc:
+                    errors.append(exc)
+
+        t1 = threading.Thread(target=worker, args=("a", "b", "t1"))
+        t2 = threading.Thread(target=worker, args=("b", "a", "t2"))
+        t1.start(), t2.start()
+        t1.join(timeout=30), t2.join(timeout=30)
+        assert not t1.is_alive() and not t2.is_alive(), "deadlock: workers stuck"
+        assert not errors
+
+
+class TestRecovery:
+    def _stuck_transaction(self, manager, key="k", value=None):
+        """Drive a transaction to hold a lock, then 'crash' the client."""
+        tx = manager.begin()
+        tx.write(key, value or {"v": "staged"})
+        ordered = sorted(tx._writes)
+        for address in ordered:
+            tx._acquire_lock(address, f"{ordered[0][0]}:{ordered[0][1]}")
+        return tx
+
+    def test_expired_lock_rolled_back_by_reader(self):
+        manager = ClientTransactionManager(InMemoryKVStore(), lock_lease_ms=0.0)
+        manager.run(lambda tx: tx.write("k", {"v": "committed"}))
+        self._stuck_transaction(manager)  # crashes holding the lock
+        with manager.transaction() as tx:
+            assert tx.read("k") == {"v": "committed"}
+        assert manager.stats.rollbacks_of_peers >= 1
+
+    def test_decided_transaction_rolled_forward_by_reader(self):
+        manager = ClientTransactionManager(InMemoryKVStore(), lock_lease_ms=0.0)
+        tx = self._stuck_transaction(manager, value={"v": "decided"})
+        # The crashed client had reached its commit point (TSR exists).
+        commit_ts = manager.clock.next_timestamp()
+        manager.store().put_if_version(
+            manager._tsr_key(tx.txid),
+            {"state": "committed", "commit_ts": str(commit_ts)},
+            None,
+        )
+        with manager.transaction() as reader:
+            assert reader.read("k") == {"v": "decided"}
+        assert manager.stats.rollforwards >= 1
+
+    def test_live_lock_blocks_then_conflicts(self):
+        manager = ClientTransactionManager(
+            InMemoryKVStore(),
+            lock_lease_ms=60_000.0,
+            lock_wait_retries=3,
+            lock_wait_s=0.0001,
+        )
+        manager.run(lambda tx: tx.write("k", {"v": "old"}))
+        stuck = self._stuck_transaction(manager)
+        with pytest.raises(TransactionConflict):
+            with manager.transaction() as reader:
+                reader.read("k")
+        stuck.abort()
+        with manager.transaction() as reader:
+            assert reader.read("k") == {"v": "old"}
+
+    def test_peer_abort_beats_committer(self):
+        manager = ClientTransactionManager(InMemoryKVStore(), lock_lease_ms=0.0)
+        stuck = self._stuck_transaction(manager)
+        # A peer presumes the transaction dead and aborts it.
+        with manager.transaction() as reader:
+            assert reader.read("k") is None
+        # The original client wakes up and tries to finish: it must lose.
+        from repro.txn import TransactionAborted
+
+        with pytest.raises(TransactionAborted):
+            stuck.commit()
+        with manager.transaction() as reader:
+            assert reader.read("k") is None
+
+
+class TestHeterogeneousStores:
+    def test_transaction_spans_memory_and_lsm(self, tmp_path):
+        lsm = LSMKVStore(tmp_path)
+        manager = ClientTransactionManager(
+            {"mem": InMemoryKVStore(), "disk": lsm}, default_store="mem"
+        )
+        with manager.transaction() as tx:
+            tx.write("a", {"v": "mem-data"}, store="mem")
+            tx.write("b", {"v": "lsm-data"}, store="disk")
+        with manager.transaction() as tx:
+            assert tx.read("a", store="mem") == {"v": "mem-data"}
+            assert tx.read("b", store="disk") == {"v": "lsm-data"}
+        lsm.close()
+
+    def test_unknown_store_rejected(self, manager):
+        tx = manager.begin()
+        with pytest.raises(KeyError):
+            tx.read("k", store="nope")
+
+    def test_cross_store_conflict_detected(self, tmp_path):
+        manager = ClientTransactionManager(
+            {"a": InMemoryKVStore(), "b": InMemoryKVStore()}, default_store="a"
+        )
+        manager.run(lambda tx: tx.write("k", {"n": "0"}, store="b"))
+        t1 = manager.begin()
+        t1.read("k", store="b")
+        manager.run(lambda tx: tx.write("k", {"n": "1"}, store="b"))
+        t1.write("k", {"n": "t1"}, store="b")
+        with pytest.raises(TransactionConflict):
+            t1.commit()
+
+
+class TestScan:
+    def test_scan_sees_committed_only(self, manager):
+        for i in range(5):
+            manager.run(lambda tx, i=i: tx.write(f"key{i}", {"n": str(i)}))
+        pending = manager.begin()
+        pending.write("key9", {"n": "uncommitted"})
+        with manager.transaction() as tx:
+            keys = [key for key, _ in tx.scan("key", 10)]
+        assert keys == [f"key{i}" for i in range(5)]
+        pending.abort()
+
+    def test_scan_skips_deleted(self, manager):
+        manager.run(lambda tx: tx.write("a", {}))
+        manager.run(lambda tx: tx.write("b", {}))
+        manager.run(lambda tx: tx.delete("a"))
+        with manager.transaction() as tx:
+            assert [key for key, _ in tx.scan("", 10)] == ["b"]
+
+    def test_scan_respects_limit(self, manager):
+        for i in range(20):
+            manager.run(lambda tx, i=i: tx.write(f"key{i:02d}", {}))
+        with manager.transaction() as tx:
+            assert len(tx.scan("key", 7)) == 7
+
+
+class TestRunHelper:
+    def test_run_retries_conflicts(self, manager):
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        attempts = []
+
+        def body(tx):
+            attempts.append(1)
+            value = int(tx.read("k")["n"])
+            if len(attempts) == 1:
+                # Sabotage the first attempt with an interleaved commit.
+                manager.run(lambda other: other.write("k", {"n": str(value + 10)}))
+            tx.write("k", {"n": str(value + 1)})
+
+        manager.run(body, retries=5, sleep=lambda _t: None)
+        assert len(attempts) == 2
+        with manager.transaction() as tx:
+            assert tx.read("k") == {"n": "11"}
+
+    def test_run_raises_after_retry_budget(self, manager):
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+
+        def always_conflicts(tx):
+            tx.read("k")
+            manager.run(lambda other: other.write("k", {"n": "interference"}))
+            tx.write("k", {"n": "mine"})
+
+        with pytest.raises(TransactionConflict):
+            manager.run(always_conflicts, retries=2, sleep=lambda _t: None)
+
+
+class TestSnapshotTooOld:
+    def test_old_snapshot_conflicts_instead_of_vanishing(self, manager):
+        """After version GC trims the version an old snapshot would read,
+        the read fails with a conflict rather than returning None."""
+        from repro.txn.record import TxRecord
+
+        manager.run(lambda tx: tx.write("hot", {"n": "0"}))
+        old_reader = manager.begin()
+        for i in range(TxRecord.MAX_VERSIONS + 2):
+            manager.run(lambda tx, i=i: tx.write("hot", {"n": str(i + 1)}))
+        with pytest.raises(TransactionConflict):
+            old_reader.read("hot")
+        old_reader.abort()
+
+    def test_fresh_snapshot_unaffected_by_trimming(self, manager):
+        from repro.txn.record import TxRecord
+
+        for i in range(TxRecord.MAX_VERSIONS + 5):
+            manager.run(lambda tx, i=i: tx.write("hot", {"n": str(i)}))
+        with manager.transaction() as tx:
+            assert tx.read("hot") == {"n": str(TxRecord.MAX_VERSIONS + 4)}
+
+    def test_key_created_after_snapshot_reads_none(self, manager):
+        reader = manager.begin()
+        manager.run(lambda tx: tx.write("new-key", {"v": "x"}))
+        # Not trimmed, just newer than the snapshot: legitimately absent.
+        assert reader.read("new-key") is None
+        reader.abort()

@@ -1,0 +1,164 @@
+"""Timestamp sources and the multi-version record codec."""
+
+import threading
+
+import pytest
+
+from repro.txn import (
+    HybridClock,
+    LocalClock,
+    LockInfo,
+    TimestampOracle,
+    TX_FIELD,
+    TxRecord,
+    Version,
+)
+
+
+class TestLocalClock:
+    def test_strictly_increasing(self):
+        clock = LocalClock()
+        timestamps = [clock.next_timestamp() for _ in range(1000)]
+        assert all(b > a for a, b in zip(timestamps, timestamps[1:]))
+
+    def test_strictly_increasing_across_threads(self):
+        clock = LocalClock()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [clock.next_timestamp() for _ in range(2000)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == len(seen)
+
+    def test_frozen_wall_clock_still_advances(self):
+        clock = LocalClock(now_us=lambda: 1000)
+        assert clock.next_timestamp() == 1000
+        assert clock.next_timestamp() == 1001
+
+
+class TestHybridClock:
+    def test_observe_ratchets_forward(self):
+        clock = HybridClock(now_us=lambda: 100)
+        assert clock.next_timestamp() == 100
+        clock.observe(5000)  # a remote client is far ahead
+        assert clock.next_timestamp() == 5001
+
+    def test_observe_never_goes_backward(self):
+        clock = HybridClock(now_us=lambda: 100)
+        clock.next_timestamp()
+        clock.observe(50)
+        assert clock.next_timestamp() == 101
+
+
+class TestTimestampOracle:
+    def test_strictly_increasing(self):
+        oracle = TimestampOracle()
+        assert oracle.next_timestamp() < oracle.next_timestamp()
+
+    def test_counts_requests(self):
+        oracle = TimestampOracle()
+        for _ in range(5):
+            oracle.next_timestamp()
+        assert oracle.requests == 5
+
+    def test_rpc_delay_paid(self):
+        waits = []
+        oracle = TimestampOracle(rpc_delay_s=0.05, sleep=waits.append)
+        oracle.next_timestamp()
+        assert waits == [0.05]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            TimestampOracle(rpc_delay_s=-1)
+
+
+class TestVersion:
+    def test_round_trip(self):
+        version = Version(17, {"f": "v"}, deleted=False, txid="t1")
+        assert Version.from_dict(version.to_dict()) == version
+
+    def test_delete_marker(self):
+        version = Version(17, {}, deleted=True)
+        assert Version.from_dict(version.to_dict()).deleted
+
+
+class TestLockInfo:
+    def test_round_trip_with_staged_data(self):
+        lock = LockInfo("t1", "store:key", 123456, staged={"f": "v"}, is_delete=False)
+        assert LockInfo.from_dict(lock.to_dict()) == lock
+
+    def test_round_trip_delete_intent(self):
+        lock = LockInfo("t1", "store:key", 123456, staged=None, is_delete=True)
+        decoded = LockInfo.from_dict(lock.to_dict())
+        assert decoded.is_delete
+        assert decoded.staged is None
+
+
+class TestTxRecord:
+    def test_empty_record(self):
+        record = TxRecord()
+        assert record.latest() is None
+        assert record.visible_at(100) is None
+        assert record.newest_commit_timestamp() == 0
+
+    def test_encode_decode_round_trip(self):
+        record = TxRecord()
+        record.apply_commit(10, {"f": "1"}, txid="a")
+        record.apply_commit(20, {"f": "2"}, txid="b")
+        record.lock = LockInfo("c", "s:k", 999, staged={"f": "3"})
+        decoded = TxRecord.decode(record.encode())
+        assert decoded.versions == record.versions
+        assert decoded.lock == record.lock
+
+    def test_decode_none_is_empty(self):
+        record = TxRecord.decode(None)
+        assert record.versions == [] and record.lock is None
+
+    def test_decode_raw_value_raises(self):
+        with pytest.raises(ValueError):
+            TxRecord.decode({"field0": "not transactional"})
+
+    def test_snapshot_visibility(self):
+        record = TxRecord()
+        record.apply_commit(10, {"f": "old"})
+        record.apply_commit(20, {"f": "new"})
+        assert record.visible_at(5) is None
+        assert record.visible_at(10).fields == {"f": "old"}
+        assert record.visible_at(15).fields == {"f": "old"}
+        assert record.visible_at(20).fields == {"f": "new"}
+        assert record.visible_at(10**9).fields == {"f": "new"}
+
+    def test_apply_commit_clears_lock(self):
+        record = TxRecord()
+        record.lock = LockInfo("t", "s:k", 1, staged={"f": "v"})
+        record.apply_commit(10, {"f": "v"})
+        assert record.lock is None
+
+    def test_version_trimming(self):
+        record = TxRecord()
+        for ts in range(1, 20):
+            record.apply_commit(ts, {"n": str(ts)})
+        assert len(record.versions) == TxRecord.MAX_VERSIONS
+        assert record.latest().timestamp == 19
+        # Oldest retained version is the cutoff for very old snapshots.
+        assert record.visible_at(5) is None
+
+    def test_versions_stay_sorted_on_out_of_order_commit(self):
+        record = TxRecord()
+        record.apply_commit(20, {"n": "20"})
+        record.apply_commit(10, {"n": "10"})
+        assert [version.timestamp for version in record.versions] == [20, 10]
+        assert record.visible_at(15).fields == {"n": "10"}
+
+    def test_encoded_field_name(self):
+        record = TxRecord()
+        record.apply_commit(1, {"f": "v"})
+        assert set(record.encode()) == {TX_FIELD}

@@ -1,0 +1,109 @@
+"""Property-based tests for the transaction record codec and WAL records."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.lsm.wal import WalRecord
+from repro.txn import LockInfo, TxRecord, Version
+
+_fields = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.text(max_size=16),
+    max_size=4,
+)
+
+_versions = st.lists(
+    st.builds(
+        Version,
+        timestamp=st.integers(min_value=1, max_value=10**12),
+        fields=_fields,
+        deleted=st.booleans(),
+        txid=st.one_of(st.none(), st.text(min_size=1, max_size=12)),
+    ),
+    max_size=6,
+    unique_by=lambda version: version.timestamp,
+)
+
+_locks = st.one_of(
+    st.none(),
+    st.builds(
+        LockInfo,
+        txid=st.text(min_size=1, max_size=12),
+        primary=st.text(min_size=1, max_size=20),
+        lease_expiry_us=st.integers(min_value=0, max_value=10**15),
+        staged=st.one_of(st.none(), _fields),
+        is_delete=st.booleans(),
+    ),
+)
+
+
+class TestTxRecordProperties:
+    @given(versions=_versions, lock=_locks, trunc=st.integers(0, 10**12))
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_round_trip(self, versions, lock, trunc):
+        record = TxRecord(
+            versions=sorted(versions, key=lambda v: -v.timestamp),
+            lock=lock,
+            truncated_before=trunc,
+        )
+        decoded = TxRecord.decode(record.encode())
+        assert decoded.versions == record.versions
+        assert decoded.lock == record.lock
+        assert decoded.truncated_before == record.truncated_before
+
+    @given(versions=_versions)
+    @settings(max_examples=100, deadline=None)
+    def test_decode_normalises_version_order(self, versions):
+        record = TxRecord(versions=list(versions))
+        decoded = TxRecord.decode(record.encode())
+        timestamps = [version.timestamp for version in decoded.versions]
+        assert timestamps == sorted(timestamps, reverse=True)
+
+    @given(
+        commits=st.lists(
+            st.integers(min_value=1, max_value=10**9), min_size=1, max_size=30, unique=True
+        ),
+        probe=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_visibility_matches_naive_model(self, commits, probe):
+        """visible_at == the newest commit <= probe among *retained*
+        versions, and snapshot_too_old flags exactly the GC'd region."""
+        record = TxRecord()
+        for timestamp in commits:
+            record.apply_commit(timestamp, {"n": str(timestamp)})
+        retained = sorted(commits, reverse=True)[: TxRecord.MAX_VERSIONS]
+        visible = record.visible_at(probe)
+        expected = max((t for t in retained if t <= probe), default=None)
+        assert (visible.timestamp if visible else None) == expected
+        if expected is None and len(commits) > TxRecord.MAX_VERSIONS:
+            assert record.snapshot_too_old(probe)
+        if expected is not None:
+            assert not record.snapshot_too_old(probe)
+
+    @given(commits=st.lists(st.integers(1, 10**9), min_size=1, max_size=40, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_trim_invariants(self, commits):
+        record = TxRecord()
+        for timestamp in commits:
+            record.apply_commit(timestamp, {})
+        assert len(record.versions) <= TxRecord.MAX_VERSIONS
+        if len(commits) > TxRecord.MAX_VERSIONS:
+            oldest_retained = record.versions[-1].timestamp
+            assert record.truncated_before < oldest_retained
+            assert record.truncated_before in commits
+        else:
+            assert record.truncated_before == 0
+
+
+class TestWalRecordProperties:
+    @given(
+        sequence=st.integers(min_value=0, max_value=10**15),
+        op=st.sampled_from(["put", "delete"]),
+        key=st.text(max_size=32),
+        value=st.one_of(st.none(), _fields),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, sequence, op, key, value):
+        record = WalRecord(sequence, op, key, value)
+        assert WalRecord.from_json(record.to_json()) == record

@@ -1,0 +1,264 @@
+"""Anomaly scoring, serialization graphs, staleness probing."""
+
+import pytest
+
+from repro.validation import (
+    AnomalyReport,
+    ExecutionRecorder,
+    InvariantCheck,
+    SerializationGraph,
+    StalenessProbe,
+    simple_anomaly_score,
+)
+
+
+class TestAnomalyScore:
+    def test_paper_formula(self):
+        # Listing 3: |1000000 - 999971| / 1000000 = 2.9e-5
+        assert simple_anomaly_score(1_000_000, 999_971, 1_000_000) == pytest.approx(2.9e-5)
+
+    def test_zero_for_consistent(self):
+        assert simple_anomaly_score(100, 100, 50) == 0.0
+
+    def test_sign_irrelevant(self):
+        assert simple_anomaly_score(100, 110, 10) == simple_anomaly_score(100, 90, 10)
+
+    def test_zero_operations_clamped(self):
+        assert simple_anomaly_score(100, 90, 0) == 10.0
+
+    def test_invariant_check(self):
+        check = InvariantCheck("cash", expected=100, observed=93, operations=7)
+        assert check.drift == 7
+        assert check.score == 1.0
+        assert not check.consistent
+
+    def test_anomaly_report(self):
+        report = AnomalyReport(
+            [
+                InvariantCheck("a", 10, 10, 5),
+                InvariantCheck("b", 10, 8, 5),
+            ]
+        )
+        assert not report.passed
+        assert report.worst().name == "b"
+        assert report.total_score == pytest.approx(0.4)
+
+    def test_empty_report_passes(self):
+        report = AnomalyReport([])
+        assert report.passed
+        assert report.worst() is None
+
+
+class TestSerializationGraph:
+    def test_serial_history_is_serializable(self):
+        graph = SerializationGraph()
+        graph.record_read("t1", "x", 0)
+        v1 = graph.record_write("t1", "x")
+        graph.record_read("t2", "x", v1)
+        graph.record_write("t2", "x")
+        assert graph.is_serializable
+        kinds = {(d.source, d.target, d.kind) for d in graph.dependencies()}
+        assert ("t1", "t2", "WR") in kinds
+        assert ("t1", "t2", "WW") in kinds
+
+    def test_lost_update_creates_cycle(self):
+        """Two transactions both read version 0 then both write: the
+        classic lost-update interleaving yields RW edges both ways."""
+        graph = SerializationGraph()
+        graph.record_read("t1", "x", 0)
+        graph.record_read("t2", "x", 0)
+        graph.record_write("t1", "x")
+        graph.record_write("t2", "x")
+        assert not graph.is_serializable
+        assert graph.find_cycles() == [["t1", "t2"]]
+
+    def test_write_skew_cycle(self):
+        """SI write skew: t1 reads x writes y, t2 reads y writes x."""
+        graph = SerializationGraph()
+        graph.record_read("t1", "x", 0)
+        graph.record_read("t2", "y", 0)
+        graph.record_write("t1", "y")
+        graph.record_write("t2", "x")
+        assert not graph.is_serializable
+
+    def test_read_only_transactions_never_cycle(self):
+        graph = SerializationGraph()
+        writer_version = graph.record_write("w", "x")
+        for reader in ("r1", "r2", "r3"):
+            graph.record_read(reader, "x", writer_version)
+        assert graph.is_serializable
+
+    def test_rw_edge_direction(self):
+        graph = SerializationGraph()
+        graph.record_read("reader", "x", 0)
+        graph.record_write("writer", "x")
+        edges = graph.dependencies()
+        assert any(
+            e.source == "reader" and e.target == "writer" and e.kind == "RW"
+            for e in edges
+        )
+
+    def test_initial_version_attribution_excluded(self):
+        graph = SerializationGraph()
+        graph.record_read("t1", "x", 0)
+        assert graph.dependencies() == []
+
+    def test_rejects_negative_version(self):
+        with pytest.raises(ValueError):
+            SerializationGraph().record_read("t", "x", -1)
+
+
+class TestExecutionRecorder:
+    def test_commit_publishes(self):
+        recorder = ExecutionRecorder()
+        recorder.begin("t1")
+        recorder.on_read("t1", "x")
+        recorder.on_write("t1", "x")
+        recorder.commit("t1")
+        assert "t1" in recorder.graph.transactions
+
+    def test_abort_discards(self):
+        recorder = ExecutionRecorder()
+        recorder.begin("t1")
+        recorder.on_write("t1", "x")
+        recorder.abort("t1")
+        assert recorder.graph.transactions == set()
+
+    def test_double_begin_rejected(self):
+        recorder = ExecutionRecorder()
+        recorder.begin("t1")
+        with pytest.raises(ValueError):
+            recorder.begin("t1")
+
+    def test_lost_update_detected_live(self):
+        recorder = ExecutionRecorder()
+        recorder.begin("t1")
+        recorder.begin("t2")
+        recorder.on_read("t1", "x")
+        recorder.on_read("t2", "x")
+        recorder.on_write("t1", "x")
+        recorder.on_write("t2", "x")
+        recorder.commit("t1")
+        recorder.commit("t2")
+        assert not recorder.graph.is_serializable
+
+    def test_serialized_interleaving_clean(self):
+        recorder = ExecutionRecorder()
+        for txid in ("t1", "t2", "t3"):
+            recorder.begin(txid)
+            recorder.on_read(txid, "x")
+            recorder.on_write(txid, "x")
+            recorder.commit(txid)
+        assert recorder.graph.is_serializable
+
+
+class TestStalenessProbe:
+    def test_fresh_store_never_stale(self):
+        from repro.kvstore import InMemoryKVStore
+
+        probe = StalenessProbe(InMemoryKVStore(), sleep=lambda _s: None)
+        assert probe.stale_probability(0.0, samples=20) == 0.0
+
+    def test_lagging_replica_is_stale_then_fresh(self):
+        import random
+
+        from repro.kvstore import ReadPreference, ReplicatedKVStore
+
+        clock = [0.0]
+        store = ReplicatedKVStore(
+            replica_count=1,
+            lag_seconds=1.0,
+            read_preference=ReadPreference.REPLICA,
+            rng=random.Random(1),
+            clock=lambda: clock[0],
+        )
+
+        def advance(seconds):
+            clock[0] += seconds
+
+        probe = StalenessProbe(store, sleep=advance)
+        curve = probe.curve([0.0, 0.5, 1.5], samples=10)
+        assert curve[0][1] == 1.0  # read immediately: always stale
+        assert curve[1][1] == 1.0  # before the lag: still stale
+        assert curve[2][1] == 0.0  # past the lag: always fresh
+
+    def test_rejects_bad_sample_count(self):
+        from repro.kvstore import InMemoryKVStore
+
+        with pytest.raises(ValueError):
+            StalenessProbe(InMemoryKVStore()).stale_probability(0.0, samples=0)
+
+
+class TestRecordingDB:
+    def _setup(self, transactional: bool):
+        from repro.bindings.kv import KVStoreDB
+        from repro.bindings.txn import TxnDB
+        from repro.core import Properties
+        from repro.kvstore import InMemoryKVStore
+        from repro.txn import ClientTransactionManager
+        from repro.validation import ExecutionRecorder, RecordingDB
+
+        recorder = ExecutionRecorder()
+        if transactional:
+            manager = ClientTransactionManager(InMemoryKVStore())
+            inner = TxnDB(Properties(), manager=manager)
+        else:
+            inner = KVStoreDB(InMemoryKVStore(), Properties())
+        return recorder, RecordingDB(inner, recorder)
+
+    def test_wrapped_transaction_recorded_as_unit(self):
+        recorder, db = self._setup(transactional=True)
+        db.insert("t", "a", {"v": "1"})
+        db.start()
+        db.read("t", "a")
+        db.update("t", "a", {"v": "2"})
+        db.commit()
+        assert len(recorder.graph.transactions) == 2  # insert + the txn
+        assert recorder.graph.is_serializable
+
+    def test_aborted_transaction_leaves_no_trace(self):
+        recorder, db = self._setup(transactional=True)
+        db.insert("t", "a", {"v": "1"})
+        before = recorder.graph.transactions
+        db.start()
+        db.read("t", "a")
+        db.update("t", "a", {"v": "2"})
+        db.abort()
+        assert recorder.graph.transactions == before
+
+    def test_serial_cew_run_is_serializable(self):
+        from repro.core import Client, ClosedEconomyWorkload, Properties
+        from repro.measurements import Measurements
+
+        recorder, db = self._setup(transactional=False)
+        props = Properties(
+            {"recordcount": "20", "operationcount": "100", "totalcash": "20000",
+             "fieldcount": "1", "threadcount": "1", "seed": "4"}
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(props, measurements)
+        client = Client(workload, lambda: db, props, measurements)
+        client.load()
+        result = client.run()
+        assert result.validation.passed
+        assert recorder.graph.is_serializable
+
+    def test_hand_interleaved_lost_update_shows_cycle(self):
+        """Drive the lost-update interleaving through two wrapped DBs."""
+        from repro.bindings.kv import KVStoreDB
+        from repro.core import Properties
+        from repro.kvstore import InMemoryKVStore
+        from repro.validation import ExecutionRecorder, RecordingDB
+
+        store = InMemoryKVStore()
+        store.put("t:x", {"n": "0"})
+        recorder = ExecutionRecorder()
+        db1 = RecordingDB(KVStoreDB(store, Properties()), recorder)
+        db2 = RecordingDB(KVStoreDB(store, Properties()), recorder)
+        db1.start(); db2.start()
+        db1.read("t", "x"); db2.read("t", "x")
+        db1.update("t", "x", {"n": "1"})
+        db2.update("t", "x", {"n": "1"})
+        db1.commit(); db2.commit()
+        assert not recorder.graph.is_serializable

@@ -1,0 +1,215 @@
+"""Anomaly-targeting workloads (§VII future work) and isolation levels."""
+
+import pytest
+
+from repro.bindings.kv import KVStoreDB
+from repro.bindings.txn import TxnDB
+from repro.core import Client, Properties
+from repro.core.workload import WorkloadError
+from repro.kvstore import ConstantLatency, InMemoryKVStore, LatencyInjectingStore
+from repro.measurements import Measurements
+from repro.txn import ClientTransactionManager
+from repro.workloads import LostUpdateWorkload, ReadSkewWorkload, WriteSkewWorkload
+
+
+def run_workload(workload_class, mode, operations=2500, threads=8, latency_s=0.0003, seed=5):
+    properties = Properties(
+        {
+            "recordcount": "8",
+            "paircount": "8",
+            "operationcount": str(operations),
+            "threadcount": str(threads),
+            "seed": str(seed),
+        }
+    )
+    backing = InMemoryKVStore()
+    store = LatencyInjectingStore(backing, ConstantLatency(latency_s))
+    workload = workload_class()
+    measurements = Measurements()
+    workload.init(properties, measurements)
+    if mode == "raw":
+        load_factory = lambda: KVStoreDB(backing)  # noqa: E731
+        run_factory = lambda: KVStoreDB(store)  # noqa: E731
+    else:
+        fast = ClientTransactionManager(backing)
+        slow = ClientTransactionManager(store, isolation=mode)
+        load_factory = lambda: TxnDB(properties, manager=fast)  # noqa: E731
+        run_factory = lambda: TxnDB(properties, manager=slow)  # noqa: E731
+    Client(workload, load_factory, properties, Measurements()).load()
+    return Client(workload, run_factory, properties, measurements).run()
+
+
+class TestLostUpdateWorkload:
+    def test_serial_execution_is_exact(self):
+        result = run_workload(LostUpdateWorkload, "raw", operations=500, threads=1)
+        assert result.validation.passed
+        assert result.validation.anomaly_score == 0.0
+
+    def test_raw_concurrency_loses_updates(self):
+        result = run_workload(LostUpdateWorkload, "raw")
+        assert result.validation.anomaly_score > 0
+        fields = dict(result.validation.fields)
+        assert fields["LOST UPDATES"] > 0
+        assert fields["STORED SUM"] < fields["COMMITTED INCREMENTS"]
+
+    def test_snapshot_isolation_prevents_lost_updates(self):
+        result = run_workload(LostUpdateWorkload, "snapshot")
+        assert result.validation.passed
+        assert result.validation.anomaly_score == 0.0
+        assert result.failed_operations > 0  # conflicts aborted instead
+
+    def test_accounting_matches_commits_not_attempts(self):
+        result = run_workload(LostUpdateWorkload, "snapshot", operations=800)
+        fields = dict(result.validation.fields)
+        assert fields["COMMITTED INCREMENTS"] == 800 - result.failed_operations
+
+    def test_rejects_bad_configuration(self):
+        workload = LostUpdateWorkload()
+        with pytest.raises(WorkloadError):
+            workload.init(Properties({"recordcount": "0"}))
+        with pytest.raises(WorkloadError):
+            workload.init(Properties({"requestdistribution": "pareto"}))
+
+
+class TestWriteSkewWorkload:
+    def test_serial_execution_never_violates(self):
+        result = run_workload(WriteSkewWorkload, "raw", operations=500, threads=1)
+        assert result.validation.passed
+
+    def test_snapshot_isolation_permits_write_skew(self):
+        """SI's defining anomaly: disjoint writes based on overlapping reads."""
+        result = run_workload(WriteSkewWorkload, "snapshot")
+        assert result.validation.anomaly_score > 0
+        fields = dict(result.validation.fields)
+        assert fields["OBSERVED CONSTRAINT VIOLATIONS"] > 0
+
+    def test_serializable_prevents_write_skew(self):
+        result = run_workload(WriteSkewWorkload, "serializable")
+        assert result.validation.passed
+        assert result.validation.anomaly_score == 0.0
+        assert result.failed_operations > 0  # validation aborts did the work
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(WorkloadError):
+            WriteSkewWorkload().init(Properties({"paircount": "0"}))
+
+
+class TestReadSkewWorkload:
+    def test_serial_execution_reads_clean(self):
+        result = run_workload(ReadSkewWorkload, "raw", operations=500, threads=1)
+        assert result.validation.passed
+        assert dict(result.validation.fields)["FRACTURED READS"] == 0
+
+    def test_raw_concurrency_fractures_reads(self):
+        result = run_workload(ReadSkewWorkload, "raw")
+        fields = dict(result.validation.fields)
+        assert fields["FRACTURED READS"] > 0
+        assert result.validation.anomaly_score > 0
+
+    def test_snapshot_reads_never_fracture(self):
+        result = run_workload(ReadSkewWorkload, "snapshot")
+        fields = dict(result.validation.fields)
+        assert fields["FRACTURED READS"] == 0
+        assert fields["DURABLE MISMATCHES"] == 0
+        assert result.validation.passed
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(WorkloadError):
+            ReadSkewWorkload().init(Properties({"paircount": "0"}))
+        with pytest.raises(WorkloadError):
+            ReadSkewWorkload().init(Properties({"readproportion": "1.5"}))
+
+
+class TestSerializableIsolationMode:
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(ValueError):
+            ClientTransactionManager(InMemoryKVStore(), isolation="chaos")
+
+    def test_write_skew_pair_scenario_deterministic(self):
+        """The two-doctors schedule, hand-interleaved."""
+        from repro.txn import TransactionConflict
+
+        for isolation, expect_skew in (("snapshot", True), ("serializable", False)):
+            manager = ClientTransactionManager(InMemoryKVStore(), isolation=isolation)
+            manager.run(lambda tx: tx.write("x", {"v": "1"}))
+            manager.run(lambda tx: tx.write("y", {"v": "1"}))
+            t1 = manager.begin()
+            t2 = manager.begin()
+            # Both read both records, then write disjoint records.
+            assert t1.read("x")["v"] == "1" and t1.read("y")["v"] == "1"
+            assert t2.read("x")["v"] == "1" and t2.read("y")["v"] == "1"
+            t1.write("x", {"v": "0"})
+            t2.write("y", {"v": "0"})
+            t1.commit()
+            if expect_skew:
+                t2.commit()  # SI lets this through: write skew
+                with manager.transaction() as tx:
+                    assert tx.read("x")["v"] == "0" and tx.read("y")["v"] == "0"
+            else:
+                with pytest.raises(TransactionConflict):
+                    t2.commit()
+                with manager.transaction() as tx:
+                    assert int(tx.read("x")["v"]) + int(tx.read("y")["v"]) >= 1
+
+    def test_serializable_read_of_changed_key_aborts(self):
+        from repro.txn import TransactionConflict
+
+        manager = ClientTransactionManager(InMemoryKVStore(), isolation="serializable")
+        manager.run(lambda tx: tx.write("a", {"v": "1"}))
+        manager.run(lambda tx: tx.write("b", {"v": "1"}))
+        t1 = manager.begin()
+        t1.read("a")
+        manager.run(lambda tx: tx.write("a", {"v": "2"}))  # invalidates t1's read
+        t1.write("b", {"v": "9"})
+        with pytest.raises(TransactionConflict):
+            t1.commit()
+
+    def test_serializable_read_of_absent_key_validated(self):
+        from repro.txn import TransactionConflict
+
+        manager = ClientTransactionManager(InMemoryKVStore(), isolation="serializable")
+        manager.run(lambda tx: tx.write("b", {"v": "1"}))
+        t1 = manager.begin()
+        assert t1.read("ghost") is None
+        manager.run(lambda tx: tx.write("ghost", {"v": "born"}))
+        t1.write("b", {"v": "2"})
+        with pytest.raises(TransactionConflict):
+            t1.commit()
+
+    def test_rewritten_reads_not_double_validated(self):
+        manager = ClientTransactionManager(InMemoryKVStore(), isolation="serializable")
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        # Plain read-modify-write of the same key must still commit.
+        def body(tx):
+            value = int(tx.read("k")["n"])
+            tx.write("k", {"n": str(value + 1)})
+
+        manager.run(body)
+        with manager.transaction() as tx:
+            assert tx.read("k") == {"n": "1"}
+
+    def test_read_only_transactions_never_validated_away(self):
+        manager = ClientTransactionManager(InMemoryKVStore(), isolation="serializable")
+        manager.run(lambda tx: tx.write("k", {"n": "0"}))
+        t1 = manager.begin()
+        t1.read("k")
+        manager.run(lambda tx: tx.write("k", {"n": "1"}))
+        t1.commit()  # read-only: one consistent snapshot is serializable
+
+
+class TestCliIntegration:
+    @pytest.mark.parametrize("alias", ["lost_update", "write_skew", "read_skew"])
+    def test_workloads_run_from_cli(self, alias, capsys):
+        from repro.core.cli import main
+
+        code = main(
+            ["bench", "-db", "txn",
+             "-p", f"workload={alias}",
+             "-p", "recordcount=4", "-p", "paircount=4",
+             "-p", "operationcount=100", "-p", "seed=2",
+             "-p", f"txn.namespace=cli-{alias}",
+             "-threads", "2"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[ANOMALY SCORE]," in output
