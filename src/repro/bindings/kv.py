@@ -20,7 +20,13 @@ from ..core import status as st
 from ..core.db import DB
 from ..core.properties import Properties
 from ..core.status import Status
-from ..kvstore.base import KeyValueStore, RateLimitExceeded, StoreError
+from ..core.retry import collect_counters
+from ..kvstore.base import (
+    KeyValueStore,
+    RateLimitExceeded,
+    StoreError,
+    TransientStoreError,
+)
 
 __all__ = ["KVStoreDB"]
 
@@ -43,6 +49,10 @@ class KVStoreDB(DB):
     @property
     def store(self) -> KeyValueStore:
         return self._store
+
+    def counters(self) -> dict[str, int]:
+        """Retry/fault counters accumulated by the shared store wrappers."""
+        return collect_counters(self._store)
 
     @staticmethod
     def _internal_key(table: str, key: str) -> str:
@@ -69,6 +79,8 @@ class KVStoreDB(DB):
             record = self._store.get(self._internal_key(table, key))
         except RateLimitExceeded as exc:
             return st.RATE_LIMITED.with_message(str(exc)), None
+        except TransientStoreError as exc:
+            return st.UNAVAILABLE.with_message(str(exc)), None
         except StoreError as exc:
             return st.ERROR.with_message(str(exc)), None
         if record is None:
@@ -87,6 +99,8 @@ class KVStoreDB(DB):
             raw = self._store.scan(prefix + start_key, record_count)
         except RateLimitExceeded as exc:
             return st.RATE_LIMITED.with_message(str(exc)), []
+        except TransientStoreError as exc:
+            return st.UNAVAILABLE.with_message(str(exc)), []
         except StoreError as exc:
             return st.ERROR.with_message(str(exc)), []
         results: list[tuple[str, dict[str, str]]] = []
@@ -110,6 +124,8 @@ class KVStoreDB(DB):
                 self._store.put(internal, values)
         except RateLimitExceeded as exc:
             return st.RATE_LIMITED.with_message(str(exc))
+        except TransientStoreError as exc:
+            return st.UNAVAILABLE.with_message(str(exc))
         except StoreError as exc:
             return st.ERROR.with_message(str(exc))
         return st.OK
@@ -119,6 +135,8 @@ class KVStoreDB(DB):
             created = self._store.put_if_version(self._internal_key(table, key), values, None)
         except RateLimitExceeded as exc:
             return st.RATE_LIMITED.with_message(str(exc))
+        except TransientStoreError as exc:
+            return st.UNAVAILABLE.with_message(str(exc))
         except StoreError as exc:
             return st.ERROR.with_message(str(exc))
         if created is None:
@@ -134,6 +152,8 @@ class KVStoreDB(DB):
             put_batch(internal)
         except RateLimitExceeded as exc:
             return st.RATE_LIMITED.with_message(str(exc))
+        except TransientStoreError as exc:
+            return st.UNAVAILABLE.with_message(str(exc))
         except StoreError as exc:
             return st.ERROR.with_message(str(exc))
         return st.OK
@@ -143,6 +163,8 @@ class KVStoreDB(DB):
             existed = self._store.delete(self._internal_key(table, key))
         except RateLimitExceeded as exc:
             return st.RATE_LIMITED.with_message(str(exc))
+        except TransientStoreError as exc:
+            return st.UNAVAILABLE.with_message(str(exc))
         except StoreError as exc:
             return st.ERROR.with_message(str(exc))
         return st.OK if existed else st.NOT_FOUND

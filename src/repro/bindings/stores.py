@@ -11,14 +11,44 @@ from __future__ import annotations
 import random
 
 from ..core.properties import Properties
+from ..core.retry import RetryPolicy, RetryingStore
 from ..http.client import HttpKVStore
+from ..kvstore.base import KeyValueStore
 from ..kvstore.cloud import GCS_PROFILE, WAS_PROFILE, SimulatedCloudStore
+from ..kvstore.faults import FaultInjectingStore, FaultProfile
 from ..kvstore.lsm import LSMKVStore
 from ..kvstore.memory import InMemoryKVStore
 from . import registry
 from .kv import KVStoreDB
 
-__all__ = ["MemoryDB", "LsmDB", "CloudDB", "RawHttpDB"]
+__all__ = ["MemoryDB", "LsmDB", "CloudDB", "RawHttpDB", "wrap_store"]
+
+
+def wrap_store(store: KeyValueStore, properties: Properties) -> KeyValueStore:
+    """Apply property-configured fault injection and retry wrappers.
+
+    Runs inside the registry factory, so every per-thread DB instance of
+    a namespace shares one wrapper chain (and its counters).  Order
+    matters: faults sit *below* retries, so the retry layer is what the
+    injected failures exercise.
+
+    Properties: the ``fault.*`` family (see
+    :meth:`~repro.kvstore.faults.FaultProfile.from_properties`) plus
+    ``fault.seed`` [0], and the ``retry.*`` family (see
+    :meth:`~repro.core.retry.RetryPolicy.from_properties`).
+    """
+    fault_profile = FaultProfile.from_properties(properties)
+    if fault_profile is not None:
+        store = FaultInjectingStore(
+            store,
+            profile=fault_profile,
+            seed=properties.get_int("fault.seed", 0),
+            token_bucket=getattr(store, "bucket", None),
+        )
+    retry_policy = RetryPolicy.from_properties(properties)
+    if retry_policy is not None:
+        store = RetryingStore(store, retry_policy)
+    return store
 
 
 class MemoryDB(KVStoreDB):
@@ -31,7 +61,9 @@ class MemoryDB(KVStoreDB):
     def __init__(self, properties: Properties | None = None):
         properties = properties or Properties()
         namespace = properties.get_str("memory.namespace", "default")
-        store = registry.get_or_create("memory", namespace, InMemoryKVStore)
+        store = registry.get_or_create(
+            "memory", namespace, lambda: wrap_store(InMemoryKVStore(), properties)
+        )
         super().__init__(store, properties)
 
 
@@ -50,7 +82,10 @@ class LsmDB(KVStoreDB):
         store = registry.get_or_create(
             "lsm",
             directory,
-            lambda: LSMKVStore(directory, memtable_bytes=memtable_bytes, sync_writes=sync_writes),
+            lambda: wrap_store(
+                LSMKVStore(directory, memtable_bytes=memtable_bytes, sync_writes=sync_writes),
+                properties,
+            ),
         )
         super().__init__(store, properties)
 
@@ -78,10 +113,13 @@ class CloudDB(KVStoreDB):
         store = registry.get_or_create(
             "cloud",
             namespace,
-            lambda: SimulatedCloudStore(
-                profile,
-                scale=scale,
-                rng=random.Random(int(seed)) if seed is not None else None,
+            lambda: wrap_store(
+                SimulatedCloudStore(
+                    profile,
+                    scale=scale,
+                    rng=random.Random(int(seed)) if seed is not None else None,
+                ),
+                properties,
             ),
         )
         super().__init__(store, properties)
@@ -102,7 +140,14 @@ class RawHttpDB(KVStoreDB):
         if port == 0:
             raise ValueError("http.port is required for RawHttpDB")
         timeout_s = properties.get_float("http.timeout", 10.0)
-        super().__init__(HttpKVStore((host, port), timeout_s=timeout_s), properties)
+        super().__init__(
+            HttpKVStore(
+                (host, port),
+                timeout_s=timeout_s,
+                retry_policy=RetryPolicy.from_properties(properties),
+            ),
+            properties,
+        )
 
     def cleanup(self) -> None:
         self.store.close()

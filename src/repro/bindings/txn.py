@@ -31,12 +31,32 @@ __all__ = ["TxnDB"]
 
 
 def _default_manager(properties: Properties) -> TransactionManager:
-    """Build a client-coordinated manager over a shared memory store."""
+    """Build a client-coordinated manager over a shared memory store.
+
+    Properties: ``txn.isolation`` [snapshot|serializable],
+    ``txn.lock_lease_ms`` [1000], plus the ``fault.*``/``retry.*``
+    families the backing store's :func:`~repro.bindings.stores.wrap_store`
+    reads.  The same retry policy settings also govern the manager's own
+    commit-path retries.
+    """
+    from ..core.retry import RetryPolicy
     from ..txn.manager import ClientTransactionManager
 
     namespace = properties.get_str("txn.namespace", "default")
-    store_db = MemoryDB(properties.merged({"memory.namespace": f"txn-{namespace}"}))
-    return ClientTransactionManager(store_db.store)
+    # The store keeps its fault layer but NOT a retry layer: the manager
+    # does its own retries, and the commit-point insert must see the raw
+    # torn-write error to apply the verify-then-decide rule.
+    store_db = MemoryDB(
+        properties.merged(
+            {"memory.namespace": f"txn-{namespace}", "retry.max_attempts": "1"}
+        )
+    )
+    return ClientTransactionManager(
+        store_db.store,
+        isolation=properties.get_str("txn.isolation", "snapshot"),
+        lock_lease_ms=properties.get_float("txn.lock_lease_ms", 1000.0),
+        retry_policy=RetryPolicy.from_properties(properties),
+    )
 
 
 class TxnDB(DB):
@@ -59,6 +79,20 @@ class TxnDB(DB):
     @property
     def manager(self) -> TransactionManager:
         return self._manager
+
+    def counters(self) -> dict[str, int]:
+        """Manager commit-path counters plus the store chains' fault/retry
+        counters (all shared across threads of a namespace)."""
+        from ..core.retry import collect_counters
+
+        counters: dict[str, int] = {}
+        manager_counters = getattr(self._manager, "counters", None)
+        if callable(manager_counters):
+            counters.update(manager_counters())
+        for name in self._manager.store_names():
+            for counter, value in collect_counters(self._manager.store(name)).items():
+                counters[counter] = counters.get(counter, 0) + value
+        return counters
 
     # -- transaction plumbing -----------------------------------------------------------
 

@@ -5,6 +5,7 @@ from .closed_economy import BALANCE_FIELD, ClosedEconomyWorkload
 from .core_workload import OPERATION_NAMES, CoreWorkload
 from .db import DB, MeasuredDB, create_db
 from .properties import Properties, load_properties, parse_properties
+from .retry import RetryPolicy, RetryStats, RetryingStore
 from .status import Status
 from .throttle import Throttle
 from .workload import ValidationResult, Workload, WorkloadError
@@ -22,6 +23,9 @@ __all__ = [
     "Properties",
     "load_properties",
     "parse_properties",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingStore",
     "Status",
     "Throttle",
     "ValidationResult",

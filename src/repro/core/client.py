@@ -171,13 +171,14 @@ class Client:
 
         def worker(thread_id: int) -> None:
             nonlocal completed, failed
-            db = MeasuredDB(self.db_factory(), self.measurements)
-            db.init()
-            thread_state = self.workload.init_thread(thread_id, thread_count)
-            throttle = make_throttle()
+            db = None
             local_done = 0
             local_failed = 0
             try:
+                db = MeasuredDB(self.db_factory(), self.measurements)
+                db.init()
+                thread_state = self.workload.init_thread(thread_id, thread_count)
+                throttle = make_throttle()
                 barrier.wait()
                 while True:
                     if self.workload.stop_requested:
@@ -205,11 +206,17 @@ class Client:
                         local_failed += 1
                     if series is not None:
                         series.record()
+            except threading.BrokenBarrierError:
+                pass  # a peer failed to initialise; its error is already recorded
             except Exception as exc:  # noqa: BLE001 - surfaced in the result
                 with counters_lock:
                     errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
+                # If we died before the start rendezvous, release everyone
+                # still parked at the barrier (including the main thread).
+                barrier.abort()
             finally:
-                db.cleanup()
+                if db is not None:
+                    db.cleanup()
                 with counters_lock:
                     completed += local_done
                     failed += local_failed
@@ -220,7 +227,10 @@ class Client:
         ]
         for thread in threads:
             thread.start()
-        barrier.wait()  # all threads initialised: start the clock together
+        try:
+            barrier.wait()  # all threads initialised: start the clock together
+        except threading.BrokenBarrierError:
+            pass  # a worker failed during init; run ends immediately with errors
         started_at = time.perf_counter()
         for thread in threads:
             thread.join()
@@ -289,10 +299,19 @@ class Client:
         return committed
 
     def _validation_stage(self) -> ValidationResult | None:
-        """Run the workload's validation method on a fresh DB instance."""
+        """Run the workload's validation method on a fresh DB instance.
+
+        Also snapshots the binding's shared run counters (retries,
+        injected faults) into the measurement registry so reports show
+        them; zero counters stay out to keep fault-free reports byte-
+        identical to before.
+        """
         db = MeasuredDB(self.db_factory(), Measurements())
         db.init()
         try:
             return self.workload.validate(db)
         finally:
+            for name, value in db.counters().items():
+                if value:
+                    self.measurements.set_counter(name, value)
             db.cleanup()

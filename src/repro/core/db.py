@@ -109,6 +109,19 @@ class DB:
         """Abort the current transaction.  Default: no-op."""
         return st.OK
 
+    # -- observability ----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative run counters from the binding's *shared* substrate.
+
+        Retry and fault-injection layers count events into objects shared
+        by every per-thread DB instance (the store wrapper, the
+        transaction manager), so any one instance can report the totals.
+        The client snapshots them once per phase into the measurement
+        registry.  Default: no counters.
+        """
+        return {}
+
 
 class MeasuredDB(DB):
     """Times every operation of an inner DB (YCSB's ``DBWrapper`` role).
@@ -137,6 +150,9 @@ class MeasuredDB(DB):
 
     def cleanup(self) -> None:
         self._inner.cleanup()
+
+    def counters(self) -> dict[str, int]:
+        return self._inner.counters()
 
     def _record(self, operation: str, latency_us: int, result: Status) -> None:
         measurements = self._measurements

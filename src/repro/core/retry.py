@@ -1,0 +1,309 @@
+"""Retry with exponential backoff and full jitter.
+
+Real cloud store clients never surface a single 503 or dropped connection
+to the application: they retry with capped exponential backoff and random
+jitter (the "full jitter" strategy), within a bounded attempt/time budget.
+This module provides that policy for every layer of the stack:
+
+* :class:`RetryPolicy` — the pure policy: attempt limit, backoff curve,
+  retryable-exception classification, optional wall-clock deadline;
+* :class:`RetryStats` — thread-safe counters shared by everything a
+  policy instance protects, surfaced in reports as ``[RETRIES]`` lines;
+* :class:`RetryingStore` — a :class:`~repro.kvstore.base.KeyValueStore`
+  wrapper applying the policy to every data-path call.
+
+**The ambiguous-commit rule.**  A blind retry is only sound for requests
+that were *not applied* (transient errors raised before the store acted)
+or whose repetition is harmless (idempotent reads, CAS loops that re-read
+on failure).  A torn conditional write — applied but reported failed — is
+*not* blindly retryable at decision points: retrying an insert-if-absent
+that actually landed reads back "already exists" and flips the decision.
+The transaction manager therefore verifies its transaction-status record
+before deciding (see ``ClientTransactionManager``); the store-level
+wrapper here is safe because every conditional-write caller in this
+codebase re-reads on a failed CAS rather than trusting it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+from ..kvstore.base import (
+    Fields,
+    KeyValueStore,
+    RateLimitExceeded,
+    StoreUnavailable,
+    TransientStoreError,
+    VersionedValue,
+)
+
+__all__ = [
+    "DEFAULT_RETRYABLE",
+    "RetryStats",
+    "RetryPolicy",
+    "RetryBudgetExceeded",
+    "RetryingStore",
+    "collect_counters",
+]
+
+T = TypeVar("T")
+
+#: Exception types a client may retry: the request either did not reach
+#: the store (connection refused, throttled at admission) or failed in a
+#: way the service documents as transient (5xx).
+DEFAULT_RETRYABLE: tuple[type[Exception], ...] = (
+    TransientStoreError,
+    RateLimitExceeded,
+    StoreUnavailable,
+)
+
+
+class RetryBudgetExceeded(Exception):
+    """Internal marker: the policy's deadline budget ran out.
+
+    Never raised to callers — the *last underlying error* is re-raised so
+    the failure keeps its meaning; this class only exists for tests to
+    distinguish budget exhaustion in stats.
+    """
+
+
+class RetryStats:
+    """Thread-safe retry counters, shared across threads using one policy."""
+
+    _FIELDS = ("calls", "retries", "exhausted", "deadline_exceeded")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.deadline_exceeded = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def counters(self) -> dict[str, int]:
+        """Report-facing counter names (``[RETRIES], Count`` lines)."""
+        with self._lock:
+            return {
+                "RETRIES": self.retries,
+                "RETRY-EXHAUSTED": self.exhausted + self.deadline_exceeded,
+            }
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter, bounded by attempts and time.
+
+    Args:
+        max_attempts: total tries including the first (1 = no retry).
+        base_delay_s: backoff cap for the first retry; the cap doubles
+            (``multiplier``) per further retry up to ``max_delay_s``.
+        max_delay_s: ceiling of the backoff cap.
+        multiplier: backoff growth factor.
+        deadline_s: optional wall-clock budget for one logical call,
+            including backoff sleeps; when the next sleep would cross it,
+            the last error is re-raised instead.
+        retryable: exception types worth retrying.
+        rng: jitter source (seed it for deterministic schedules).
+        sleep / clock: injectable for tests — no real sleeping needed.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.005,
+        max_delay_s: float = 0.5,
+        multiplier: float = 2.0,
+        deadline_s: float | None = None,
+        retryable: tuple[type[Exception], ...] = DEFAULT_RETRYABLE,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.multiplier = multiplier
+        self.deadline_s = deadline_s
+        self.retryable = tuple(retryable)
+        self._rng = rng or random.Random()
+        self._rng_lock = threading.Lock()
+        self._sleep = sleep
+        self._clock = clock
+        self.stats = RetryStats()
+
+    @classmethod
+    def from_properties(cls, properties, stats: RetryStats | None = None) -> "RetryPolicy | None":
+        """Build a policy from workload properties; None when disabled.
+
+        Properties: ``retry.max_attempts`` [1 = disabled],
+        ``retry.base_delay_ms`` [5], ``retry.max_delay_ms`` [500],
+        ``retry.deadline_ms`` [none], ``retry.seed`` [none].
+        """
+        max_attempts = properties.get_int("retry.max_attempts", 1)
+        if max_attempts <= 1:
+            return None
+        deadline_ms = properties.get_float("retry.deadline_ms", 0.0)
+        seed = properties.get("retry.seed")
+        policy = cls(
+            max_attempts=max_attempts,
+            base_delay_s=properties.get_float("retry.base_delay_ms", 5.0) / 1000.0,
+            max_delay_s=properties.get_float("retry.max_delay_ms", 500.0) / 1000.0,
+            deadline_s=deadline_ms / 1000.0 if deadline_ms > 0 else None,
+            rng=random.Random(int(seed)) if seed is not None else None,
+        )
+        if stats is not None:
+            policy.stats = stats
+        return policy
+
+    # -- policy --------------------------------------------------------------
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable)
+
+    def backoff_s(self, retry_number: int) -> float:
+        """Sleep before retry ``retry_number`` (0-based): full jitter.
+
+        Uniform in ``[0, cap]`` with ``cap = min(max_delay, base *
+        multiplier ** retry_number)`` — the AWS "full jitter" strategy,
+        which decorrelates competing clients better than equal jitter.
+        """
+        cap = min(self.max_delay_s, self.base_delay_s * (self.multiplier**retry_number))
+        if cap <= 0:
+            return 0.0
+        with self._rng_lock:
+            return self._rng.uniform(0.0, cap)
+
+    def call(self, fn: Callable[[], T], stats: RetryStats | None = None) -> T:
+        """Run ``fn`` under the policy; returns its result.
+
+        Retryable exceptions are swallowed and retried until the attempt
+        or deadline budget runs out, then the last one is re-raised.
+        """
+        stats = stats or self.stats
+        stats.bump("calls")
+        deadline = self._clock() + self.deadline_s if self.deadline_s is not None else None
+        retry_number = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not self.is_retryable(exc):
+                    raise
+                if retry_number + 1 >= self.max_attempts:
+                    stats.bump("exhausted")
+                    raise
+                delay = self.backoff_s(retry_number)
+                if deadline is not None and self._clock() + delay > deadline:
+                    stats.bump("deadline_exceeded")
+                    raise
+                retry_number += 1
+                stats.bump("retries")
+                if delay > 0:
+                    self._sleep(delay)
+
+
+class RetryingStore(KeyValueStore):
+    """Applies a :class:`RetryPolicy` to every data-path call of a store.
+
+    Blind per-operation retry is sound here because conditional-write
+    callers in this codebase treat a failed CAS as "re-read and decide",
+    so a torn write that a retry turns into a CAS failure is re-examined,
+    never trusted.  In particular the transaction manager reads its
+    transaction-status record back on *any* non-success of the commit
+    insert, so a torn TSR write absorbed by this wrapper still resolves
+    to the correct commit decision.
+    """
+
+    def __init__(self, inner: KeyValueStore, policy: RetryPolicy):
+        self._inner = inner
+        self._policy = policy
+
+    @property
+    def inner(self) -> KeyValueStore:
+        return self._inner
+
+    @property
+    def policy(self) -> RetryPolicy:
+        return self._policy
+
+    @property
+    def retry_stats(self) -> RetryStats:
+        return self._policy.stats
+
+    def counters(self) -> dict[str, int]:
+        return self._policy.stats.counters()
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self._policy.call(lambda: self._inner.get_with_meta(key))
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        return self._policy.call(lambda: self._inner.scan(start_key, record_count))
+
+    def keys(self):
+        return self._inner.keys()
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value) -> int:
+        return self._policy.call(lambda: self._inner.put(key, value))
+
+    def put_if_version(self, key: str, value, expected_version: int | None) -> int | None:
+        return self._policy.call(
+            lambda: self._inner.put_if_version(key, value, expected_version)
+        )
+
+    def delete(self, key: str) -> bool:
+        return self._policy.call(lambda: self._inner.delete(key))
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        return self._policy.call(
+            lambda: self._inner.delete_if_version(key, expected_version)
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def collect_counters(store: Any) -> dict[str, int]:
+    """Sum report counters from a store wrapper chain.
+
+    Walks ``store`` and its ``.inner`` chain, merging every
+    ``counters()`` dict found (retry wrappers, fault injectors, the HTTP
+    client).  Duplicate names across layers are summed.
+    """
+    totals: dict[str, int] = {}
+    seen: set[int] = set()
+    while store is not None and id(store) not in seen:
+        seen.add(id(store))
+        counters_fn = getattr(store, "counters", None)
+        if callable(counters_fn):
+            for name, value in counters_fn().items():
+                totals[name] = totals.get(name, 0) + int(value)
+        store = getattr(store, "inner", None)
+    return totals

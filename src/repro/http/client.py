@@ -15,20 +15,56 @@ import json
 import threading
 import urllib.parse
 from collections.abc import Iterator, Mapping
+from typing import TYPE_CHECKING
 
-from ..kvstore.base import Fields, KeyValueStore, StoreError, StoreUnavailable, VersionedValue
+from ..kvstore.base import (
+    Fields,
+    KeyValueStore,
+    RateLimitExceeded,
+    StoreError,
+    StoreUnavailable,
+    VersionedValue,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports kvstore)
+    from ..core.retry import RetryPolicy
 
 __all__ = ["HttpKVStore"]
 
+#: Response codes a well-behaved client treats as transient and retries:
+#: 429 Too Many Requests and 503 Service Unavailable (what WAS/GCS send
+#: when a container is throttled).
+_RETRYABLE_HTTP = frozenset({429, 503})
+
 
 class HttpKVStore(KeyValueStore):
-    """A remote key-value store reached over HTTP."""
+    """A remote key-value store reached over HTTP.
 
-    def __init__(self, address: tuple[str, int], timeout_s: float = 10.0):
+    ``retry_policy`` (a :class:`~repro.core.retry.RetryPolicy`) governs
+    transport-level retries: connection failures and throttle responses
+    (429/503) are retried with backoff.  Without a policy the legacy
+    behaviour applies — one transparent retry on a stale keep-alive
+    connection, throttle responses surfaced as
+    :class:`~repro.kvstore.base.RateLimitExceeded` immediately.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout_s: float = 10.0,
+        retry_policy: "RetryPolicy | None" = None,
+    ):
         self._host, self._port = address
         self._timeout_s = timeout_s
+        self._retry_policy = retry_policy
         self._local = threading.local()
         self._closed = False
+
+    def counters(self) -> dict[str, int]:
+        """Transport retry counters (empty without a policy)."""
+        if self._retry_policy is None:
+            return {}
+        return self._retry_policy.stats.counters()
 
     # -- connection handling ------------------------------------------------------
 
@@ -58,20 +94,33 @@ class HttpKVStore(KeyValueStore):
         send_headers = dict(headers or {})
         if payload is not None:
             send_headers["Content-Type"] = "application/json"
-        for attempt in (1, 2):  # one transparent retry on a stale keep-alive
+
+        def attempt_once() -> tuple[int, dict | None, dict[str, str]]:
             connection = self._connection()
             try:
                 connection.request(method, path, body=payload, headers=send_headers)
                 response = connection.getresponse()
                 raw = response.read()
                 document = json.loads(raw) if raw else None
-                return response.status, document, dict(response.getheaders())
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 self._drop_connection()
+                raise StoreUnavailable(
+                    f"HTTP store {self._host}:{self._port} unreachable: {exc}"
+                ) from exc
+            if response.status in _RETRYABLE_HTTP:
+                raise RateLimitExceeded(
+                    f"{method} {path} throttled with HTTP {response.status}"
+                )
+            return response.status, document, dict(response.getheaders())
+
+        if self._retry_policy is not None:
+            return self._retry_policy.call(attempt_once)
+        for attempt in (1, 2):  # one transparent retry on a stale keep-alive
+            try:
+                return attempt_once()
+            except StoreUnavailable:
                 if attempt == 2:
-                    raise StoreUnavailable(
-                        f"HTTP store {self._host}:{self._port} unreachable: {exc}"
-                    ) from exc
+                    raise
         raise AssertionError("unreachable")
 
     @staticmethod

@@ -13,9 +13,11 @@ from .base import (
     StoreClosed,
     StoreError,
     StoreUnavailable,
+    TransientStoreError,
     VersionedValue,
 )
 from .cloud import GCS_PROFILE, WAS_PROFILE, CloudStoreProfile, SimulatedCloudStore
+from .faults import FaultInjectingStore, FaultProfile, FaultStats
 from .latency import (
     ConstantLatency,
     LatencyInjectingStore,
@@ -37,11 +39,15 @@ __all__ = [
     "StoreClosed",
     "StoreError",
     "StoreUnavailable",
+    "TransientStoreError",
     "VersionedValue",
     "GCS_PROFILE",
     "WAS_PROFILE",
     "CloudStoreProfile",
     "SimulatedCloudStore",
+    "FaultInjectingStore",
+    "FaultProfile",
+    "FaultStats",
     "ConstantLatency",
     "LatencyInjectingStore",
     "LatencyModel",

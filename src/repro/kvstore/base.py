@@ -30,6 +30,7 @@ __all__ = [
     "RateLimitExceeded",
     "StoreUnavailable",
     "StoreClosed",
+    "TransientStoreError",
 ]
 
 #: A record: field name -> field value.
@@ -50,6 +51,16 @@ class StoreUnavailable(StoreError):
 
 class StoreClosed(StoreError):
     """The store has been closed and can no longer serve requests."""
+
+
+class TransientStoreError(StoreError):
+    """A transient request failure (5xx, dropped connection, timeout).
+
+    The request *may or may not* have been applied by the store — exactly
+    the ambiguity a real cloud client faces when a write times out.  Safe
+    to retry for idempotent operations; conditional writes must verify
+    before deciding (see :mod:`repro.core.retry`).
+    """
 
 
 @dataclass(frozen=True, slots=True)

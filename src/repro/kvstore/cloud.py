@@ -150,6 +150,11 @@ class SimulatedCloudStore(KeyValueStore):
         """Requests that hit the rate ceiling (queued or rejected)."""
         return self._throttled_requests
 
+    @property
+    def bucket(self) -> TokenBucket:
+        """The container's admission token bucket (fault injection drains it)."""
+        return self._bucket
+
     def _admit(self) -> None:
         if self._bucket.try_acquire():
             return

@@ -1,0 +1,275 @@
+"""Seedable fault injection for any :class:`~repro.kvstore.base.KeyValueStore`.
+
+The simulated stores fail in exactly one benign way (a clean
+``RateLimitExceeded``), which makes the Tier 5/6 metrics trivially easy:
+nothing ever misbehaves.  Real WAS/GCS clients face transient 5xx errors,
+latency spikes, throttle bursts, and — worst of all — *torn* conditional
+writes where the operation applied but the response was lost.
+:class:`FaultInjectingStore` composes those failure modes over any store,
+drawing every fault decision from one seeded :class:`random.Random` so a
+test run is exactly reproducible.
+
+Fault types (all rates are independent per-request probabilities):
+
+* **transient errors** — the request fails with
+  :class:`~repro.kvstore.base.TransientStoreError` *before* reaching the
+  store (nothing was applied; blind retry is safe);
+* **latency spikes** — the request pays an extra service time drawn from a
+  :class:`~repro.kvstore.latency.LatencyModel` (a stall, not an error);
+* **throttle bursts** — a :class:`~repro.kvstore.ratelimit.TokenBucket`
+  (typically the simulated cloud container's admission bucket) is drained,
+  so the *following* requests queue or see 503s until it refills;
+* **torn conditional writes** — the write **is applied** and then a
+  :class:`TransientStoreError` is raised anyway: the classic
+  ambiguous-commit case that a retry layer must verify, not blindly retry.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from .base import Fields, KeyValueStore, TransientStoreError, VersionedValue
+from .latency import ConstantLatency, LatencyModel
+from .ratelimit import TokenBucket
+
+__all__ = ["FaultProfile", "FaultStats", "FaultInjectingStore"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-request fault probabilities.
+
+    Attributes:
+        error_rate: probability of a transient error (nothing applied).
+        latency_spike_rate: probability of an injected latency spike.
+        latency_spike_s: spike duration when a plain number is wanted;
+            ignored when ``latency_spike_model`` is set.
+        latency_spike_model: optional latency model for spike durations.
+        throttle_burst_rate: probability of draining the token bucket.
+        torn_write_rate: probability that a *successful* write raises a
+            transient error after applying (reads are never torn).
+    """
+
+    error_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_s: float = 0.05
+    latency_spike_model: LatencyModel | None = None
+    throttle_burst_rate: float = 0.0
+    torn_write_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "latency_spike_rate", "throttle_burst_rate", "torn_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+        if self.latency_spike_s < 0:
+            raise ValueError(f"latency_spike_s must be >= 0, got {self.latency_spike_s}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can ever fire."""
+        return (
+            self.error_rate > 0
+            or self.latency_spike_rate > 0
+            or self.throttle_burst_rate > 0
+            or self.torn_write_rate > 0
+        )
+
+    def spike_model(self) -> LatencyModel:
+        return self.latency_spike_model or ConstantLatency(self.latency_spike_s)
+
+    @classmethod
+    def from_properties(cls, properties) -> "FaultProfile | None":
+        """Build a profile from workload properties; None when disabled.
+
+        Properties (all optional):
+        ``fault.error_rate``, ``fault.latency_spike_rate``,
+        ``fault.latency_spike_ms`` [50], ``fault.throttle_burst_rate``,
+        ``fault.torn_write_rate``.  ``fault.rate`` is a shorthand that sets
+        the transient-error rate.
+        """
+        error_rate = properties.get_float(
+            "fault.error_rate", properties.get_float("fault.rate", 0.0)
+        )
+        profile = cls(
+            error_rate=error_rate,
+            latency_spike_rate=properties.get_float("fault.latency_spike_rate", 0.0),
+            latency_spike_s=properties.get_float("fault.latency_spike_ms", 50.0) / 1000.0,
+            throttle_burst_rate=properties.get_float("fault.throttle_burst_rate", 0.0),
+            torn_write_rate=properties.get_float("fault.torn_write_rate", 0.0),
+        )
+        return profile if profile.enabled else None
+
+
+class FaultStats:
+    """Thread-safe counts of injected faults (shared across client threads)."""
+
+    _FIELDS = ("operations", "transient_errors", "latency_spikes", "throttle_bursts", "torn_writes")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.operations = 0
+        self.transient_errors = 0
+        self.latency_spikes = 0
+        self.throttle_bursts = 0
+        self.torn_writes = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def counters(self) -> dict[str, int]:
+        """Report-facing counter names (``[FAULTS-*], Count`` lines)."""
+        with self._lock:
+            return {
+                "FAULTS-TRANSIENT": self.transient_errors,
+                "FAULTS-LATENCY-SPIKE": self.latency_spikes,
+                "FAULTS-THROTTLE-BURST": self.throttle_bursts,
+                "FAULTS-TORN-WRITE": self.torn_writes,
+            }
+
+
+class FaultInjectingStore(KeyValueStore):
+    """Wraps a store, injecting seeded faults around every data-path call.
+
+    ``keys()``/``size()`` bypass injection — like the simulated cloud
+    store, they exist for validation stages and tests, not the measured
+    data path.  The profile is a settable property so a harness can load
+    cleanly and then turn faults on for the measured phase.
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueStore,
+        profile: FaultProfile | None = None,
+        seed: int | None = 0,
+        rng: random.Random | None = None,
+        token_bucket: TokenBucket | None = None,
+        sleep=time.sleep,
+    ):
+        self._inner = inner
+        self._profile = profile or FaultProfile()
+        self._spike_model = self._profile.spike_model()
+        self._rng = rng or random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._bucket = token_bucket if token_bucket is not None else getattr(inner, "bucket", None)
+        self._sleep = sleep
+        self.stats = FaultStats()
+
+    @property
+    def inner(self) -> KeyValueStore:
+        return self._inner
+
+    @property
+    def profile(self) -> FaultProfile:
+        return self._profile
+
+    @profile.setter
+    def profile(self, profile: FaultProfile) -> None:
+        self._profile = profile
+        self._spike_model = profile.spike_model()
+
+    def counters(self) -> dict[str, int]:
+        return self.stats.counters()
+
+    # -- fault machinery -----------------------------------------------------
+
+    def _inject(self, write: bool) -> None:
+        """Pre-operation faults.  Raises when the request fails outright."""
+        profile = self._profile
+        self.stats.bump("operations")
+        if not profile.enabled:
+            return
+        # One draw per fault category, in a fixed order, under a lock:
+        # the fault sequence is a pure function of the seed and the
+        # number of preceding operations.
+        with self._rng_lock:
+            error = self._rng.random() < profile.error_rate
+            burst = self._rng.random() < profile.throttle_burst_rate
+            spike = self._rng.random() < profile.latency_spike_rate
+            spike_s = self._spike_model.sample() if spike else 0.0
+        if burst and self._bucket is not None:
+            self.stats.bump("throttle_bursts")
+            self._bucket.drain()
+        if error:
+            self.stats.bump("transient_errors")
+            kind = "write" if write else "read"
+            raise TransientStoreError(f"injected transient {kind} failure")
+        if spike:
+            self.stats.bump("latency_spikes")
+            if spike_s > 0:
+                self._sleep(spike_s)
+
+    def _maybe_tear(self) -> None:
+        """Post-apply fault: the write landed but the response is 'lost'."""
+        profile = self._profile
+        if profile.torn_write_rate <= 0:
+            return
+        with self._rng_lock:
+            torn = self._rng.random() < profile.torn_write_rate
+        if torn:
+            self.stats.bump("torn_writes")
+            raise TransientStoreError("injected torn write: applied but reported failed")
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        self._inject(write=False)
+        return self._inner.get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        self._inject(write=False)
+        return self._inner.scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        return self._inner.keys()
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        self._inject(write=True)
+        version = self._inner.put(key, value)
+        self._maybe_tear()
+        return version
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        self._inject(write=True)
+        result = self._inner.put_if_version(key, value, expected_version)
+        if result is not None:  # only an *applied* write can tear
+            self._maybe_tear()
+        return result
+
+    def delete(self, key: str) -> bool:
+        self._inject(write=True)
+        existed = self._inner.delete(key)
+        if existed:
+            self._maybe_tear()
+        return existed
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        self._inject(write=True)
+        result = self._inner.delete_if_version(key, expected_version)
+        if result is True:
+            self._maybe_tear()
+        return result
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+    def close(self) -> None:
+        self._inner.close()

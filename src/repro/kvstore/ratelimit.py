@@ -74,3 +74,17 @@ class TokenBucket:
         with self._lock:
             self._refill_locked()
             return self._tokens
+
+    def drain(self) -> float:
+        """Take every available token; returns how many were taken.
+
+        Models a throttle burst: an external event (a noisy neighbour, a
+        background compaction) momentarily consumes the container's whole
+        request budget, so subsequent requests queue or get 503s until the
+        bucket refills.
+        """
+        with self._lock:
+            self._refill_locked()
+            taken = self._tokens
+            self._tokens = 0.0
+            return taken

@@ -36,6 +36,8 @@ class RunReport:
             block, e.g. the CEW validation result.  Each entry is a
             ``(section, value)`` pair rendered as ``[SECTION], value``.
         validation_passed: None when the workload has no validation stage.
+        counters: run counters (retries, injected faults), rendered as
+            ``[NAME], Count, value`` lines after the overall block.
     """
 
     run_time_ms: float
@@ -44,6 +46,7 @@ class RunReport:
     summaries: dict[str, MeasurementSummary] = field(default_factory=dict)
     validation: list[tuple[str, Any]] = field(default_factory=list)
     validation_passed: bool | None = None
+    counters: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_measurements(
@@ -63,6 +66,7 @@ class RunReport:
             summaries=measurements.summaries(),
             validation=list(validation),
             validation_passed=validation_passed,
+            counters=measurements.counters(),
         )
 
 
@@ -95,6 +99,8 @@ class TextExporter:
             lines.append("Database validation passed")
         lines.append(f"[OVERALL], RunTime(ms), {_format_number(report.run_time_ms)}")
         lines.append(f"[OVERALL], Throughput(ops/sec), {_format_number(report.throughput)}")
+        for name in sorted(report.counters):
+            lines.append(f"[{name}], Count, {report.counters[name]}")
         for name, summary in report.summaries.items():
             lines.extend(self._operation_block(name, summary))
         return "\n".join(lines) + "\n"
@@ -145,6 +151,7 @@ class JsonExporter:
                 "passed": report.validation_passed,
                 "fields": {section: value for section, value in report.validation},
             },
+            "counters": dict(report.counters),
             "operations": {
                 name: summary_dict(summary) for name, summary in report.summaries.items()
             },

@@ -34,6 +34,7 @@ class Measurements:
         self._buckets = histogram_buckets if histogram_buckets > 0 else 1000
         self._lock = threading.Lock()
         self._measurements: dict[str, OneMeasurement] = {}
+        self._counters: dict[str, int] = {}
 
     def _get(self, operation: str) -> OneMeasurement:
         # Double-checked creation: the common case is a hit without the lock.
@@ -57,6 +58,33 @@ class Measurements:
     def report_status(self, operation: str, code_name: str) -> None:
         """Record one return code for ``operation``."""
         self._get(operation).report_status(code_name)
+
+    # -- run counters (retries, injected faults, ...) ------------------------
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named run counter."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def set_counter(self, counter: str, value: int) -> None:
+        """Overwrite a run counter with a cumulative snapshot value.
+
+        Retry/fault sources keep their own cumulative totals; phases that
+        share one registry (load then run) re-snapshot rather than sum,
+        so the reported number is the process-lifetime total, not double
+        counted.
+        """
+        with self._lock:
+            self._counters[counter] = int(value)
+
+    def counter(self, counter: str) -> int:
+        with self._lock:
+            return self._counters.get(counter, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of every run counter, keyed by name."""
+        with self._lock:
+            return dict(self._counters)
 
     def operations(self) -> list[str]:
         """Operation names observed so far, in first-seen order."""

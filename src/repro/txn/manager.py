@@ -42,7 +42,8 @@ import uuid
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from ..kvstore.base import Fields, KeyValueStore
+from ..core.retry import RetryPolicy, RetryStats
+from ..kvstore.base import Fields, KeyValueStore, StoreError
 from .base import Transaction, TransactionManager, TxState
 from .clock import LocalClock, TimestampSource
 from .errors import TransactionAborted, TransactionConflict
@@ -66,6 +67,11 @@ class TxnStats:
     rollforwards: int = 0
     rollbacks_of_peers: int = 0
     read_waits: int = 0
+    #: commit-point writes whose outcome was unknown (torn/transient) and
+    #: had to be decided by reading the TSR back.
+    ambiguous_commits: int = 0
+    #: store failures after the commit point (roll-forward left to peers).
+    post_commit_failures: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -109,6 +115,7 @@ class ClientTransactionManager(TransactionManager):
         lock_wait_s: float = 0.0005,
         isolation: str = "snapshot",
         sleep=time.sleep,
+        retry_policy: RetryPolicy | None = None,
     ):
         if isinstance(stores, KeyValueStore):
             stores = {"default": stores}
@@ -123,9 +130,35 @@ class ClientTransactionManager(TransactionManager):
         self.lock_wait_s = lock_wait_s
         self.isolation = isolation
         self.stats = TxnStats()
+        self.retry_policy = retry_policy
+        self.retry_stats = retry_policy.stats if retry_policy is not None else RetryStats()
         self._sleep = sleep
         self._client_id = uuid.uuid4().hex[:8]
         self._tx_counter = itertools.count(1)
+
+    def _call(self, fn):
+        """One store call, retried per the manager's policy when set.
+
+        Every call routed through here is either a pure read or a CAS
+        whose failure makes the caller re-read — safe to retry blindly.
+        The one write that is *not* safe to retry blindly, the committed-
+        TSR insert, goes through ``ClientTransaction._decide_commit``
+        instead.
+        """
+        if self.retry_policy is None:
+            return fn()
+        return self.retry_policy.call(fn)
+
+    def counters(self) -> dict[str, int]:
+        """Shared-run counters surfaced into benchmark reports."""
+        counters = {
+            "TXN-CONFLICTS": self.stats.conflicts,
+            "TXN-AMBIGUOUS-COMMITS": self.stats.ambiguous_commits,
+            "TXN-POST-COMMIT-FAILURES": self.stats.post_commit_failures,
+        }
+        for name, value in self.retry_stats.counters().items():
+            counters[f"TXN-{name}"] = value
+        return counters
 
     # -- transaction factory -------------------------------------------------------
 
@@ -151,7 +184,8 @@ class ClientTransactionManager(TransactionManager):
 
     def read_tsr(self, lock: LockInfo) -> tuple[str, int] | None:
         """The decided (state, commit_ts) of the lock's owner, or None."""
-        tsr = self._tsr_store_of(lock).get(self._tsr_key(lock.txid))
+        store = self._tsr_store_of(lock)
+        tsr = self._call(lambda: store.get(self._tsr_key(lock.txid)))
         if tsr is None:
             return None
         return tsr.get("state", "aborted"), int(tsr.get("commit_ts", "0"))
@@ -160,11 +194,15 @@ class ClientTransactionManager(TransactionManager):
         """Decide ``aborted`` for a lock owner whose lease has expired.
 
         Insert-if-absent on the TSR is the atomic arbiter: if the owner
-        already created a committed TSR we lose and return False.
+        already created a committed TSR we lose and return False.  (Blind
+        retry is sound here: a torn abort insert re-read simply finds the
+        ``aborted`` record and returns True through the fallback below.)
         """
         store = self._tsr_store_of(lock)
-        created = store.put_if_version(
-            self._tsr_key(lock.txid), {"state": "aborted", "commit_ts": "0"}, None
+        created = self._call(
+            lambda: store.put_if_version(
+                self._tsr_key(lock.txid), {"state": "aborted", "commit_ts": "0"}, None
+            )
         )
         if created is not None:
             self.stats.bump("rollbacks_of_peers")
@@ -179,7 +217,7 @@ class ClientTransactionManager(TransactionManager):
         forward or back), False when the owner is alive and undecided —
         the caller must wait.
         """
-        versioned = store.get_with_meta(key)
+        versioned = self._call(lambda: store.get_with_meta(key))
         if versioned is None:
             return True
         record = TxRecord.decode(versioned.value)
@@ -204,7 +242,7 @@ class ClientTransactionManager(TransactionManager):
             record.lock = None
         # CAS the cleaned record back; a failed CAS means someone else
         # resolved it first, which is just as good.
-        store.put_if_version(key, record.encode(), versioned.version)
+        self._call(lambda: store.put_if_version(key, record.encode(), versioned.version))
         return True
 
 
@@ -237,7 +275,7 @@ class ClientTransaction(Transaction):
         manager = self._manager
         store = manager.store(address[0])
         for _ in range(manager.lock_wait_retries):
-            versioned = store.get_with_meta(address[1])
+            versioned = manager._call(lambda: store.get_with_meta(address[1]))
             if versioned is None:
                 return TxRecord()
             record = TxRecord.decode(versioned.value)
@@ -282,7 +320,10 @@ class ClientTransaction(Transaction):
         cursor = start_key
         # Over-fetch to compensate for skipped tombstones/TSRs/locks.
         while len(results) < record_count:
-            batch = backing.scan(cursor, max(record_count * 2, 16))
+            fetch_from = cursor
+            batch = self._manager._call(
+                lambda: backing.scan(fetch_from, max(record_count * 2, 16))
+            )
             if not batch:
                 break
             for key, value in batch:
@@ -321,11 +362,17 @@ class ClientTransaction(Transaction):
         store = manager.store(address[0])
         staged = self._writes[address]
         for _ in range(manager.lock_wait_retries):
-            versioned = store.get_with_meta(address[1])
+            versioned = manager._call(lambda: store.get_with_meta(address[1]))
             record = TxRecord() if versioned is None else TxRecord.decode(versioned.value)
             if record.lock is not None:
                 if record.lock.txid == self.txid:
-                    return  # already ours (retried commit)
+                    # Already ours — a torn install (applied, error
+                    # returned) can land here via the CAS-retry path.
+                    # Record it so rollback releases this lock too.
+                    if address not in self._held_locks:
+                        self._held_locks.append(address)
+                        manager.stats.bump("locks_acquired")
+                    return
                 if manager.resolve_lock(store, address[1]):
                     continue
                 manager.stats.bump("read_waits")
@@ -346,19 +393,24 @@ class ClientTransaction(Transaction):
                 is_delete=staged is None,
             )
             expected = versioned.version if versioned is not None else None
-            if store.put_if_version(address[1], record.encode(), expected) is not None:
+            installed = manager._call(
+                lambda: store.put_if_version(address[1], record.encode(), expected)
+            )
+            if installed is not None:
                 self._held_locks.append(address)
                 manager.stats.bump("locks_acquired")
                 return
-            # CAS raced with another writer; re-read and retry.
+            # CAS raced with another writer (or our own torn install,
+            # which the re-read will recognise); re-read and retry.
         manager.stats.bump("conflicts")
         raise TransactionConflict(f"{self.txid}: could not lock {address[1]!r}")
 
     def _release_lock(self, address: _Address) -> None:
         """Remove our (undecided) lock from ``address`` if still present."""
-        store = self._manager.store(address[0])
+        manager = self._manager
+        store = manager.store(address[0])
         while True:
-            versioned = store.get_with_meta(address[1])
+            versioned = manager._call(lambda: store.get_with_meta(address[1]))
             if versioned is None:
                 return
             record = TxRecord.decode(versioned.value)
@@ -367,24 +419,34 @@ class ClientTransaction(Transaction):
             record.lock = None
             if not record.versions:
                 # We created this record purely to hold the lock.
-                if store.delete_if_version(address[1], versioned.version) is not None:
+                removed = manager._call(
+                    lambda: store.delete_if_version(address[1], versioned.version)
+                )
+                if removed is not None:
                     return
                 continue
-            if store.put_if_version(address[1], record.encode(), versioned.version) is not None:
+            replaced = manager._call(
+                lambda: store.put_if_version(address[1], record.encode(), versioned.version)
+            )
+            if replaced is not None:
                 return
 
     def _apply_commit(self, address: _Address, commit_ts: int) -> None:
         """Turn our staged intent on ``address`` into a committed version."""
-        store = self._manager.store(address[0])
+        manager = self._manager
+        store = manager.store(address[0])
         while True:
-            versioned = store.get_with_meta(address[1])
+            versioned = manager._call(lambda: store.get_with_meta(address[1]))
             if versioned is None:
                 return  # a peer rolled us forward and compacted; nothing to do
             record = TxRecord.decode(versioned.value)
             if record.lock is None or record.lock.txid != self.txid:
                 return  # already rolled forward by a reader
             record.apply_commit(commit_ts, self._writes[address], txid=self.txid)
-            if store.put_if_version(address[1], record.encode(), versioned.version) is not None:
+            applied = manager._call(
+                lambda: store.put_if_version(address[1], record.encode(), versioned.version)
+            )
+            if applied is not None:
                 return
 
     def commit(self) -> None:
@@ -401,7 +463,11 @@ class ClientTransaction(Transaction):
                 self._acquire_lock(address, primary)
             if manager.isolation == "serializable":
                 self._validate_read_set()
-        except TransactionConflict:
+        except (TransactionConflict, StoreError):
+            # Before the commit point any failure — conflict or a store
+            # error that outlived the retry budget — aborts cleanly:
+            # release what we hold (best effort; leaked locks are
+            # recovered by peers via the lease) and report ABORTED.
             self._rollback_locks()
             self.state = TxState.ABORTED
             manager.stats.bump("aborted")
@@ -410,22 +476,81 @@ class ClientTransaction(Transaction):
         commit_ts = manager.clock.next_timestamp()
         tsr_store = manager.store(ordered[0][0])
         tsr_key = manager._tsr_key(self.txid)
-        created = tsr_store.put_if_version(
-            tsr_key, {"state": "committed", "commit_ts": str(commit_ts)}, None
-        )
-        if created is None:
+        if not self._decide_commit(tsr_store, tsr_key, commit_ts):
             # A peer presumed us dead and aborted us first.
             self._rollback_locks()
-            tsr_store.delete(tsr_key)
+            try:
+                manager._call(lambda: tsr_store.delete(tsr_key))
+            except StoreError:
+                pass  # the abort TSR is garbage once our locks are gone
             self.state = TxState.ABORTED
             manager.stats.bump("aborted")
             raise TransactionAborted(f"{self.txid}: aborted by peer recovery before commit")
 
+        # Past the commit point the transaction IS committed, whatever the
+        # store does next: every staged intent is roll-forward-able by any
+        # reader that finds our committed TSR.  Apply what we can, count
+        # what we could not, and only drop the TSR once nothing depends on
+        # it — deleting it with an intent still staged would let a peer
+        # presume us aborted and roll the committed write *back*.
+        apply_failures = 0
         for address in ordered:
-            self._apply_commit(address, commit_ts)
-        tsr_store.delete(tsr_key)
+            try:
+                self._apply_commit(address, commit_ts)
+            except StoreError:
+                apply_failures += 1
+        if apply_failures:
+            manager.stats.bump("post_commit_failures", apply_failures)
+        else:
+            try:
+                manager._call(lambda: tsr_store.delete(tsr_key))
+            except StoreError:
+                manager.stats.bump("post_commit_failures")
         self.state = TxState.COMMITTED
         manager.stats.bump("committed")
+
+    def _decide_commit(self, tsr_store: KeyValueStore, tsr_key: str, commit_ts: int) -> bool:
+        """Create the committed TSR — the commit point — and report the fate.
+
+        The insert-if-absent can fail *ambiguously*: a torn write raises
+        after applying, and a retry layer below us turns that same tear
+        into a plain ``None`` (the retried insert finds the key taken).
+        Blind retry is therefore unsound — it would read our own torn
+        insert as "a peer aborted us" and flip a committed transaction
+        into an abort.  Instead, on any non-success we read the TSR back
+        and match it: our committed record → committed; a peer's abort
+        record → aborted; truly absent → the insert never landed and may
+        safely be tried again.
+        """
+        manager = self._manager
+        document = {"state": "committed", "commit_ts": str(commit_ts)}
+        last_error: StoreError | None = None
+        for _ in range(max(1, manager.lock_wait_retries)):
+            ambiguous = False
+            try:
+                created = tsr_store.put_if_version(tsr_key, document, None)
+            except StoreError as exc:
+                ambiguous = True
+                last_error = exc
+                created = None
+            if created is not None:
+                return True
+            if ambiguous:
+                manager.stats.bump("ambiguous_commits")
+            tsr = manager._call(lambda: tsr_store.get(tsr_key))
+            if tsr is None:
+                continue  # the insert never landed; safe to try again
+            ours = (
+                tsr.get("state") == "committed"
+                and tsr.get("commit_ts") == document["commit_ts"]
+            )
+            if ours and not ambiguous:
+                # A lower retry layer absorbed the tear into a CAS miss.
+                manager.stats.bump("ambiguous_commits")
+            return ours
+        raise last_error or StoreError(
+            f"{self.txid}: could not decide commit outcome for {tsr_key!r}"
+        )
 
     def _validate_read_set(self) -> None:
         """Serializable commit validation (runs with write locks held).
@@ -459,7 +584,11 @@ class ClientTransaction(Transaction):
 
     def _rollback_locks(self) -> None:
         for address in self._held_locks:
-            self._release_lock(address)
+            try:
+                self._release_lock(address)
+            except StoreError:
+                # Leave it: the lease expires and a peer rolls it back.
+                pass
         self._held_locks.clear()
 
     def abort(self) -> None:

@@ -1,0 +1,216 @@
+"""Retry policy: backoff math, classification, budgets, the store wrapper."""
+
+import random
+
+import pytest
+
+from repro.core import Properties
+from repro.core.retry import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    RetryingStore,
+    collect_counters,
+)
+from repro.kvstore import (
+    FaultInjectingStore,
+    FaultProfile,
+    InMemoryKVStore,
+    RateLimitExceeded,
+    StoreUnavailable,
+    TransientStoreError,
+)
+
+
+def noop_sleep(seconds):
+    pass
+
+
+def make_policy(**kwargs):
+    kwargs.setdefault("rng", random.Random(7))
+    kwargs.setdefault("sleep", noop_sleep)
+    return RetryPolicy(**kwargs)
+
+
+class Flaky:
+    """Callable that fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, exc=TransientStoreError("boom"), value="ok"):
+        self.remaining = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc
+        return self.value
+
+
+class TestPolicyBasics:
+    def test_success_after_transient_failures(self):
+        policy = make_policy(max_attempts=4)
+        flaky = Flaky(failures=2)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert policy.stats.retries == 2
+        assert policy.stats.exhausted == 0
+
+    def test_non_retryable_raises_immediately(self):
+        policy = make_policy(max_attempts=4)
+        flaky = Flaky(failures=5, exc=ValueError("not transient"))
+        with pytest.raises(ValueError):
+            policy.call(flaky)
+        assert flaky.calls == 1
+        assert policy.stats.retries == 0
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = make_policy(max_attempts=3)
+        flaky = Flaky(failures=10)
+        with pytest.raises(TransientStoreError):
+            policy.call(flaky)
+        assert flaky.calls == 3
+        assert policy.stats.retries == 2
+        assert policy.stats.exhausted == 1
+
+    def test_max_attempts_one_never_retries(self):
+        policy = make_policy(max_attempts=1)
+        with pytest.raises(TransientStoreError):
+            policy.call(Flaky(failures=1))
+        assert policy.stats.retries == 0
+        assert policy.stats.exhausted == 1
+
+    @pytest.mark.parametrize("exc_type", DEFAULT_RETRYABLE)
+    def test_default_classification(self, exc_type):
+        policy = make_policy(max_attempts=2)
+        assert policy.call(Flaky(failures=1, exc=exc_type("x"))) == "ok"
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestBackoff:
+    def test_full_jitter_within_cap(self):
+        policy = make_policy(base_delay_s=0.010, max_delay_s=0.100, multiplier=2.0)
+        for retry_number in range(10):
+            cap = min(0.100, 0.010 * 2**retry_number)
+            for _ in range(50):
+                assert 0.0 <= policy.backoff_s(retry_number) <= cap
+
+    def test_cap_doubles_then_saturates(self):
+        # With a huge sample max, the observed max tracks the cap curve.
+        policy = make_policy(base_delay_s=0.010, max_delay_s=0.040)
+        samples = [max(policy.backoff_s(5) for _ in range(200)) for _ in range(3)]
+        assert all(0.035 < sample <= 0.040 for sample in samples)
+
+    def test_zero_base_means_no_sleeping(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.0, max_delay_s=0.0, sleep=slept.append
+        )
+        assert policy.call(Flaky(failures=3)) == "ok"
+        assert slept == []
+
+    def test_seeded_schedule_is_deterministic(self):
+        first = RetryPolicy(rng=random.Random(11))
+        second = RetryPolicy(rng=random.Random(11))
+        assert [first.backoff_s(i) for i in range(8)] == [
+            second.backoff_s(i) for i in range(8)
+        ]
+
+
+class TestDeadline:
+    def test_deadline_stops_retrying(self):
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=100,
+            base_delay_s=0.050,
+            max_delay_s=0.050,
+            deadline_s=0.120,
+            rng=random.Random(5),
+            sleep=fake_sleep,
+            clock=fake_clock,
+        )
+        flaky = Flaky(failures=1000)
+        with pytest.raises(TransientStoreError):
+            policy.call(flaky)
+        # Never slept past the deadline, and gave up long before the
+        # attempt budget.
+        assert clock["now"] <= 0.120
+        assert flaky.calls < 100
+        assert policy.stats.deadline_exceeded == 1
+
+
+class TestFromProperties:
+    def test_disabled_by_default(self):
+        assert RetryPolicy.from_properties(Properties()) is None
+
+    def test_disabled_when_single_attempt(self):
+        assert (
+            RetryPolicy.from_properties(Properties({"retry.max_attempts": "1"})) is None
+        )
+
+    def test_configured(self):
+        policy = RetryPolicy.from_properties(
+            Properties(
+                {
+                    "retry.max_attempts": "6",
+                    "retry.base_delay_ms": "2",
+                    "retry.max_delay_ms": "80",
+                    "retry.deadline_ms": "500",
+                    "retry.seed": "9",
+                }
+            )
+        )
+        assert policy.max_attempts == 6
+        assert policy.base_delay_s == pytest.approx(0.002)
+        assert policy.max_delay_s == pytest.approx(0.080)
+        assert policy.deadline_s == pytest.approx(0.500)
+
+
+class TestRetryingStore:
+    def make_stack(self, profile, seed=0, **policy_kwargs):
+        inner = InMemoryKVStore()
+        faulty = FaultInjectingStore(inner, profile=profile, seed=seed, sleep=noop_sleep)
+        policy_kwargs.setdefault("max_attempts", 8)
+        store = RetryingStore(faulty, make_policy(**policy_kwargs))
+        return inner, faulty, store
+
+    def test_absorbs_transient_errors(self):
+        inner, faulty, store = self.make_stack(FaultProfile(error_rate=0.4))
+        for i in range(100):
+            store.put(f"k{i}", {"f": str(i)})
+        assert inner.size() == 100
+        assert store.retry_stats.retries > 0
+        assert store.retry_stats.exhausted == 0
+
+    def test_reads_retried_too(self):
+        inner, faulty, store = self.make_stack(FaultProfile(error_rate=0.4))
+        inner.put("k", {"f": "1"})
+        for _ in range(50):
+            assert store.get("k") == {"f": "1"}
+
+    def test_collect_counters_walks_the_chain(self):
+        inner, faulty, store = self.make_stack(FaultProfile(error_rate=0.4))
+        for i in range(50):
+            store.put(f"k{i}", {"f": "1"})
+        totals = collect_counters(store)
+        assert totals["RETRIES"] == store.retry_stats.retries > 0
+        assert totals["FAULTS-TRANSIENT"] == faulty.stats.transient_errors > 0
+        assert totals["RETRY-EXHAUSTED"] == 0
+
+    def test_collect_counters_on_plain_store(self):
+        assert collect_counters(InMemoryKVStore()) == {}

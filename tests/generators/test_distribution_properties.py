@@ -1,0 +1,125 @@
+"""Property sweeps over the request distributions.
+
+Complements the targeted generator tests with broad seeded sweeps: every
+configuration in the grid must stay in range, reproduce exactly from its
+seed, and (for the Zipfian) stay in range while the item space grows.
+"""
+
+import random
+
+import pytest
+
+from repro.generators.histogram import HistogramGenerator
+from repro.generators.hotspot import HotspotIntegerGenerator
+from repro.generators.zipfian import (
+    ScrambledZipfianGenerator,
+    ZipfianGenerator,
+    zeta_static,
+)
+
+RANGES = [(0, 0), (0, 1), (0, 99), (5, 104), (1000, 1009)]
+SEEDS = [0, 7, 12345]
+DRAWS = 300
+
+
+def sequence(factory, seed, draws=DRAWS):
+    generator = factory(random.Random(seed))
+    return [generator.next_value() for _ in range(draws)]
+
+
+class TestZipfianProperties:
+    @pytest.mark.parametrize("lower,upper", RANGES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_in_range(self, lower, upper, seed):
+        for value in sequence(lambda r: ZipfianGenerator(lower, upper, rng=r), seed):
+            assert lower <= value <= upper
+
+    @pytest.mark.parametrize("theta", [0.2, 0.5, 0.99])
+    def test_in_range_across_thetas(self, theta):
+        for value in sequence(lambda r: ZipfianGenerator(0, 49, theta=theta, rng=r), 3):
+            assert 0 <= value <= 49
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seed_reproducible(self, seed):
+        factory = lambda r: ZipfianGenerator(0, 999, rng=r)  # noqa: E731
+        assert sequence(factory, seed) == sequence(factory, seed)
+
+    def test_distinct_seeds_distinct_sequences(self):
+        factory = lambda r: ZipfianGenerator(0, 999, rng=r)  # noqa: E731
+        assert sequence(factory, 1) != sequence(factory, 2)
+
+    def test_item_count_growth_stays_in_range(self):
+        """The ``latest`` distribution grows the item space mid-run; every
+        draw must stay inside the space it was asked about."""
+        generator = ZipfianGenerator(0, 9, rng=random.Random(5))
+        items = 10
+        for step in range(400):
+            if step % 3 == 2:
+                items += 1  # an insert happened
+            value = generator.next_for_items(items)
+            assert 0 <= value < items, f"step {step}: {value} out of [0, {items})"
+        assert generator.item_count == items
+
+    def test_growth_matches_fresh_generator_zeta(self):
+        """Incremental zeta extension equals computing zeta from scratch."""
+        generator = ZipfianGenerator(0, 9, rng=random.Random(5))
+        for items in (11, 40, 41, 100):
+            generator.next_for_items(items)
+        assert generator._zetan == pytest.approx(zeta_static(0, 100, generator.theta))
+
+
+class TestScrambledZipfianProperties:
+    @pytest.mark.parametrize("lower,upper", RANGES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_in_range(self, lower, upper, seed):
+        factory = lambda r: ScrambledZipfianGenerator(lower, upper, rng=r)  # noqa: E731
+        for value in sequence(factory, seed):
+            assert lower <= value <= upper
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seed_reproducible(self, seed):
+        factory = lambda r: ScrambledZipfianGenerator(0, 999, rng=r)  # noqa: E731
+        assert sequence(factory, seed) == sequence(factory, seed)
+
+
+class TestHotspotProperties:
+    @pytest.mark.parametrize("lower,upper", RANGES)
+    @pytest.mark.parametrize("hot_set", [0.0, 0.2, 1.0])
+    @pytest.mark.parametrize("hot_opn", [0.0, 0.8, 1.0])
+    def test_in_range(self, lower, upper, hot_set, hot_opn):
+        factory = lambda r: HotspotIntegerGenerator(  # noqa: E731
+            lower, upper, hot_set_fraction=hot_set, hot_opn_fraction=hot_opn, rng=r
+        )
+        for value in sequence(factory, 9):
+            assert lower <= value <= upper
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seed_reproducible(self, seed):
+        factory = lambda r: HotspotIntegerGenerator(0, 999, rng=r)  # noqa: E731
+        assert sequence(factory, seed) == sequence(factory, seed)
+
+
+class TestHistogramProperties:
+    BUCKETS = [
+        [1.0],
+        [0.0, 1.0],
+        [1.0, 2.0, 3.0, 4.0],
+        [5.0, 0.0, 0.0, 5.0],
+    ]
+
+    @pytest.mark.parametrize("buckets", BUCKETS)
+    @pytest.mark.parametrize("block_size", [1, 10])
+    def test_in_range_and_only_weighted_buckets(self, buckets, block_size):
+        factory = lambda r: HistogramGenerator(  # noqa: E731
+            buckets, block_size=block_size, rng=r
+        )
+        allowed = {
+            i * block_size for i, weight in enumerate(buckets) if weight > 0
+        }
+        for value in sequence(factory, 2):
+            assert value in allowed
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seed_reproducible(self, seed):
+        factory = lambda r: HistogramGenerator([1, 2, 3, 4, 5], rng=r)  # noqa: E731
+        assert sequence(factory, seed) == sequence(factory, seed)

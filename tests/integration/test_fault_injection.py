@@ -1,0 +1,180 @@
+"""The Closed Economy Workload under injected faults.
+
+The whole point of the fault/retry stack: a CEW run over a store that
+throws transient errors and tears conditional writes must still end with
+``sum(balances) + escrow == totalcash`` and an anomaly score of zero when
+the transactional binding runs serializable — the retries absorb the
+noise, the verify-then-decide commit keeps the reported outcomes honest,
+and the report says how hard the machinery had to work.
+"""
+
+import random
+
+import pytest
+
+from repro.bindings import TxnDB
+from repro.core import Client, ClosedEconomyWorkload, Properties
+from repro.core.retry import RetryPolicy
+from repro.kvstore import FaultInjectingStore, FaultProfile, InMemoryKVStore
+from repro.measurements import Measurements, TextExporter
+from repro.txn import ClientTransactionManager
+
+
+def noop_sleep(seconds):
+    pass
+
+
+def build_stack(seed, isolation="serializable"):
+    """A CEW-ready transactional stack with a toggleable fault layer."""
+    faulty = FaultInjectingStore(InMemoryKVStore(), seed=seed, sleep=noop_sleep)
+    policy = RetryPolicy(
+        max_attempts=10,
+        base_delay_s=0.0,
+        max_delay_s=0.0,
+        rng=random.Random(seed + 1),
+        sleep=noop_sleep,
+    )
+    manager = ClientTransactionManager(
+        faulty, isolation=isolation, retry_policy=policy, sleep=noop_sleep,
+        lock_wait_retries=500,
+    )
+    return faulty, policy, manager
+
+
+def run_cew(manager, properties):
+    workload = ClosedEconomyWorkload()
+    measurements = Measurements()
+    workload.init(properties, measurements)
+    client = Client(
+        workload, lambda: TxnDB(properties, manager=manager), properties, measurements
+    )
+    return client, client.load()
+
+
+def cew_properties(**overrides):
+    values = {
+        "recordcount": "30",
+        "operationcount": "250",
+        "totalcash": "30000",
+        "readproportion": "0.35",
+        "updateproportion": "0.2",
+        "insertproportion": "0.05",
+        "deleteproportion": "0.05",
+        "readmodifywriteproportion": "0.35",
+        "fieldcount": "1",
+        "threadcount": "4",
+        "seed": "13",
+    }
+    values.update({key: str(value) for key, value in overrides.items()})
+    return Properties(values)
+
+
+class TestCewInvariantUnderFaults:
+    @pytest.mark.parametrize("rate", [0.01, 0.05])
+    def test_invariant_holds_and_retries_fire(self, rate):
+        faulty, policy, manager = build_stack(seed=int(rate * 1000))
+        client, load = run_cew(manager, cew_properties())
+        assert load.operations == 30
+        assert load.validation.passed  # clean load: faults still off
+        faulty.profile = FaultProfile(
+            error_rate=rate, torn_write_rate=rate / 2, latency_spike_rate=rate
+        )
+        run = client.run()
+        assert run.operations == 250
+        assert run.validation is not None
+        assert run.validation.passed, run.validation.fields
+        assert run.anomaly_score == 0.0
+        # The faults really fired and the retry layer really worked.
+        assert faulty.stats.transient_errors > 0
+        assert policy.stats.retries > 0
+
+    @pytest.mark.slow
+    def test_heavier_faults_more_threads(self):
+        faulty, policy, manager = build_stack(seed=99)
+        client, _ = run_cew(
+            manager, cew_properties(threadcount=8, operationcount=600)
+        )
+        faulty.profile = FaultProfile(error_rate=0.15, torn_write_rate=0.05)
+        run = client.run()
+        assert run.validation.passed, run.validation.fields
+        assert run.anomaly_score == 0.0
+        assert faulty.stats.torn_writes > 0
+        assert manager.stats.ambiguous_commits >= 0  # decided, never guessed
+
+
+class TestDeterminism:
+    @staticmethod
+    def one_run(seed):
+        faulty, policy, manager = build_stack(seed=seed)
+        client, _ = run_cew(manager, cew_properties(threadcount=1))
+        faulty.profile = FaultProfile(error_rate=0.05, torn_write_rate=0.02)
+        run = client.run()
+        return (
+            run.validation.passed,
+            [field for field in run.validation.fields],
+            faulty.stats.snapshot(),
+            policy.stats.snapshot(),
+            manager.stats.committed,
+            manager.stats.aborted,
+        )
+
+    def test_single_threaded_runs_repeat_exactly(self):
+        assert self.one_run(7) == self.one_run(7)
+
+    def test_different_seed_different_fault_history(self):
+        assert self.one_run(7)[2] != self.one_run(8)[2]
+
+
+class TestReportSurfacesCounters:
+    def test_property_driven_stack_reports_retry_and_fault_lines(self):
+        """The registry-built TxnDB (all wiring via properties) surfaces
+        nonzero fault and retry counters as Listing-3-style report lines."""
+        properties = cew_properties(
+            threadcount=2,
+            operationcount=200,
+            **{
+                "txn.isolation": "serializable",
+                "txn.namespace": "faulty-report",
+                "fault.rate": "0.05",
+                "fault.torn_write_rate": "0.02",
+                "fault.seed": "4",
+                "retry.max_attempts": "10",
+                "retry.base_delay_ms": "0",
+                "retry.max_delay_ms": "0",
+            },
+        )
+        # Grab the shared manager so the load phase can run fault-free.
+        db = TxnDB(properties)
+        faulty = db.manager.store()
+        assert isinstance(faulty, FaultInjectingStore)
+        profile = faulty.profile
+        faulty.profile = FaultProfile()
+
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: TxnDB(properties), properties, measurements)
+        load = client.load()
+        assert load.validation.passed
+        faulty.profile = profile
+        run = client.run()
+        assert run.validation.passed, run.validation.fields
+
+        report = TextExporter().export(run.report())
+        assert "[FAULTS-TRANSIENT], Count," in report
+        assert "[TXN-RETRIES], Count," in report
+        counters = run.report().counters
+        assert counters["FAULTS-TRANSIENT"] > 0
+        assert counters["TXN-RETRIES"] > 0
+        # Zero-valued counters stay out of the report entirely.
+        assert "[RETRY-EXHAUSTED]" not in report or counters.get("TXN-RETRY-EXHAUSTED", 0) > 0
+
+    def test_fault_free_run_report_has_no_counter_lines(self):
+        properties = cew_properties(threadcount=1, operationcount=100)
+        faulty, policy, manager = build_stack(seed=3)
+        client, _ = run_cew(manager, properties)
+        run = client.run()
+        assert run.validation.passed
+        report = TextExporter().export(run.report())
+        assert "FAULTS-" not in report
+        assert "RETRIES" not in report

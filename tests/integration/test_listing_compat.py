@@ -1,5 +1,15 @@
-"""Fidelity to the paper's listings: the exact property file of Listing 2
-drives a run whose report carries the exact section names of Listing 3."""
+"""Fidelity to the paper's listings, pinned by checked-in fixtures.
+
+``fixtures/listing2.properties`` is the exact property file of Listing 2;
+``fixtures/listing3_sections.txt`` is the section list a Listing-3-style
+report must carry.  Keeping both on disk (rather than inline) makes the
+compatibility surface reviewable and reusable: change a fixture and every
+consumer sees the diff.  ``fixtures/listing3_fault_sections.txt`` pins the
+report lines added by the fault/retry stack — present only when faults
+actually fired, so the default report format is unchanged.
+"""
+
+from pathlib import Path
 
 import pytest
 
@@ -10,27 +20,19 @@ from repro.core.cli import _build_workload
 from repro.core.properties import parse_properties
 from repro.measurements import Measurements
 
-LISTING_2 = """\
-recordcount=400
-operationcount=2000
-workload=com.yahoo.ycsb.workloads.ClosedEconomyWorkload
-totalcash=400000
-readproportion=0.9
-readmodifywriteproportion=0.1
-requestdistribution=zipfian
-fieldcount=1
-fieldlength=100
-writeallfields=true
-readallfields=true
-histogram.buckets=0
-"""
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
-@pytest.fixture
-def listing2_run():
-    properties = Properties(parse_properties(LISTING_2))
-    properties.set("threadcount", 2)
-    properties.set("seed", 17)
+def load_fixture_properties(name):
+    return Properties(parse_properties((FIXTURES / name).read_text()))
+
+
+def load_fixture_sections(name):
+    lines = (FIXTURES / name).read_text().splitlines()
+    return [line for line in lines if line and not line.startswith("#")]
+
+
+def execute(properties):
     workload = _build_workload(properties)
     measurements = Measurements()
     workload.init(properties, measurements)
@@ -40,12 +42,30 @@ def listing2_run():
     return result, TextExporter().export(result.report())
 
 
+@pytest.fixture
+def listing2_run():
+    properties = load_fixture_properties("listing2.properties")
+    properties.set("threadcount", 2)
+    properties.set("seed", 17)
+    return execute(properties)
+
+
 class TestListing2Compatibility:
     def test_java_workload_name_resolves(self):
-        properties = Properties(parse_properties(LISTING_2))
+        properties = load_fixture_properties("listing2.properties")
         from repro.core import ClosedEconomyWorkload
 
         assert isinstance(_build_workload(properties), ClosedEconomyWorkload)
+
+    def test_fixture_file_matches_listing_2(self):
+        """The checked-in fixture still carries Listing 2's exact knobs."""
+        properties = load_fixture_properties("listing2.properties")
+        assert properties.get_int("recordcount", 0) == 400
+        assert properties.get_int("operationcount", 0) == 2000
+        assert properties.get_int("totalcash", 0) == 400000
+        assert properties.get_float("readproportion", 0) == 0.9
+        assert properties.get_float("readmodifywriteproportion", 0) == 0.1
+        assert properties.get_str("requestdistribution", "") == "zipfian"
 
     def test_mix_matches_proportions(self, listing2_run):
         result, _ = listing2_run
@@ -53,44 +73,25 @@ class TestListing2Compatibility:
         rmw = summaries["TX-READMODIFYWRITE"].count
         reads = summaries["TX-READ"].count
         # 90:10 read / read-modify-write over 2000 operations.
-        assert rmw + (reads - summaries["READ-MODIFY-WRITE"].count * 0) >= 0
         assert 100 <= rmw <= 320
         assert reads >= 1500
 
     def test_operation_total_conserved(self, listing2_run):
         result, _ = listing2_run
-        summaries = result.measurements.summaries()
-        tx_ops = sum(
-            summary.count
-            for name, summary in summaries.items()
-            if name in ("TX-READ", "TX-READMODIFYWRITE", "TX-ABORTED")
-        )
-        # Workload-level TX units: one READ per read op, one RMW per rmw op.
-        rmw = summaries["TX-READMODIFYWRITE"].count
-        tx_read_units = summaries["TX-READ"].count - 2 * rmw  # RMW reads 2 records
-        assert tx_read_units + rmw + summaries.get("TX-ABORTED",
-                                                   summaries["TX-READ"]).count >= 0
         assert result.operations == 2000
 
 
 class TestListing3Sections:
     def test_all_sections_present(self, listing2_run):
         _, report = listing2_run
-        for section in (
-            "[TOTAL CASH]",
-            "[COUNTED CASH]",
-            "[ACTUAL OPERATIONS]",
-            "[ANOMALY SCORE]",
-            "[OVERALL], RunTime(ms)",
-            "[OVERALL], Throughput(ops/sec)",
-            "[START], Operations",
-            "[COMMIT], Operations",
-            "[READ], Operations",
-            "[TX-READ], Operations",
-            "[READ-MODIFY-WRITE], Operations",
-            "[TX-READMODIFYWRITE], Operations",
-        ):
+        for section in load_fixture_sections("listing3_sections.txt"):
             assert section in report, f"missing {section}"
+
+    def test_no_fault_sections_without_faults(self, listing2_run):
+        """The new counter lines must NOT leak into a clean run's report."""
+        _, report = listing2_run
+        for section in load_fixture_sections("listing3_fault_sections.txt"):
+            assert section not in report, f"unexpected {section}"
 
     def test_metric_lines_per_section(self, listing2_run):
         _, report = listing2_run
@@ -119,3 +120,25 @@ class TestListing3Sections:
             summaries["READ-MODIFY-WRITE"].average_us
             <= summaries["TX-READMODIFYWRITE"].average_us
         )
+
+
+class TestFaultReportSections:
+    def test_faulted_run_adds_the_pinned_counter_lines(self):
+        """Listing 2 over a faulty store: the report gains exactly the
+        fixture-pinned retry/fault lines."""
+        properties = load_fixture_properties("listing2.properties")
+        properties.set("threadcount", 2)
+        properties.set("seed", 17)
+        properties.set("operationcount", 400)
+        properties.set("memory.namespace", "listing-faults")
+        properties.set("fault.rate", "0.05")
+        properties.set("fault.seed", "11")
+        properties.set("retry.max_attempts", "10")
+        properties.set("retry.base_delay_ms", "0")
+        properties.set("retry.max_delay_ms", "0")
+        result, report = execute(properties)
+        for section in load_fixture_sections("listing3_fault_sections.txt"):
+            assert section in report, f"missing {section}"
+        counters = result.report().counters
+        assert counters["RETRIES"] > 0
+        assert counters["FAULTS-TRANSIENT"] > 0

@@ -1,0 +1,111 @@
+"""Token-bucket and latency-model behaviour under a fake clock.
+
+Everything here runs with injected clocks and sleeps — no wall-clock
+dependence, no ``time.sleep`` — so the timing math is tested exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.kvstore import LognormalLatency, TokenBucket, UniformLatency
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def sleep(self, seconds):
+        """A sleep that just advances the clock (for acquire loops)."""
+        self.advance(seconds)
+
+
+class TestTokenBucketRefillMath:
+    def test_starts_full_at_burst_capacity(self):
+        bucket = TokenBucket(rate=100.0, burst=25.0, clock=FakeClock())
+        assert bucket.available() == pytest.approx(25.0)
+
+    def test_refills_exactly_rate_times_elapsed(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=100.0, clock=clock)
+        assert bucket.drain() == pytest.approx(100.0)
+        clock.advance(2.5)
+        assert bucket.available() == pytest.approx(25.0)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1000.0, burst=10.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available() == pytest.approx(10.0)
+
+    def test_try_acquire_depletes_then_rejects(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        clock.advance(1.0)
+        assert bucket.try_acquire() is True
+
+    def test_drain_empties_and_reports_taken(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=40.0, clock=clock)
+        bucket.try_acquire(15.0)
+        assert bucket.drain() == pytest.approx(25.0)
+        assert bucket.available() == pytest.approx(0.0)
+        assert bucket.drain() == pytest.approx(0.0)  # idempotent when empty
+
+    def test_drain_then_refill_recovers(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=50.0, burst=100.0, clock=clock)
+        bucket.drain()
+        assert bucket.try_acquire() is False
+        clock.advance(0.1)  # 5 tokens refill
+        assert bucket.available() == pytest.approx(5.0)
+
+
+class TestTokenBucketAcquireWithFakeSleep:
+    def test_acquire_waits_exactly_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.drain()
+        waited = bucket.acquire(2.0, sleep=clock.sleep)
+        # 2 tokens at 10/s: exactly 0.2 s of (fake) waiting.
+        assert waited == pytest.approx(0.2)
+        assert clock.now == pytest.approx(0.2)
+
+    def test_acquire_immediate_when_tokens_available(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        assert bucket.acquire(3.0, sleep=clock.sleep) == 0.0
+        assert clock.now == 0.0  # never slept
+
+
+class TestSeededLatencyModels:
+    def test_lognormal_sequence_reproducible(self):
+        first = LognormalLatency(0.010, sigma=0.5, rng=random.Random(3))
+        second = LognormalLatency(0.010, sigma=0.5, rng=random.Random(3))
+        assert [first.sample() for _ in range(100)] == [
+            second.sample() for _ in range(100)
+        ]
+
+    def test_lognormal_seeded_percentiles(self):
+        model = LognormalLatency(0.010, sigma=0.5, rng=random.Random(3))
+        samples = sorted(model.sample() for _ in range(4000))
+        median = samples[len(samples) // 2]
+        p99 = samples[int(len(samples) * 0.99)]
+        assert median == pytest.approx(0.010, rel=0.1)
+        assert p99 > median  # a real tail, deterministically present
+
+    def test_uniform_sequence_reproducible(self):
+        first = UniformLatency(0.001, 0.002, rng=random.Random(4))
+        second = UniformLatency(0.001, 0.002, rng=random.Random(4))
+        assert [first.sample() for _ in range(100)] == [
+            second.sample() for _ in range(100)
+        ]

@@ -1,0 +1,211 @@
+"""The fault-injecting store wrapper: seeded, deterministic, composable."""
+
+import random
+
+import pytest
+
+from repro.core import Properties
+from repro.kvstore import (
+    FaultInjectingStore,
+    FaultProfile,
+    InMemoryKVStore,
+    TokenBucket,
+    TransientStoreError,
+)
+
+
+def noop_sleep(seconds):
+    pass
+
+
+def make_store(profile, seed=0, **kwargs):
+    inner = InMemoryKVStore()
+    return inner, FaultInjectingStore(
+        inner, profile=profile, seed=seed, sleep=noop_sleep, **kwargs
+    )
+
+
+class TestFaultProfile:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError):
+            FaultProfile(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(torn_write_rate=-0.1)
+
+    def test_disabled_by_default(self):
+        assert not FaultProfile().enabled
+
+    def test_from_properties_none_when_disabled(self):
+        assert FaultProfile.from_properties(Properties()) is None
+
+    def test_from_properties_rate_alias(self):
+        profile = FaultProfile.from_properties(Properties({"fault.rate": "0.25"}))
+        assert profile is not None
+        assert profile.error_rate == 0.25
+
+    def test_from_properties_full(self):
+        profile = FaultProfile.from_properties(
+            Properties(
+                {
+                    "fault.error_rate": "0.1",
+                    "fault.latency_spike_rate": "0.2",
+                    "fault.latency_spike_ms": "10",
+                    "fault.throttle_burst_rate": "0.3",
+                    "fault.torn_write_rate": "0.4",
+                }
+            )
+        )
+        assert profile.error_rate == 0.1
+        assert profile.latency_spike_rate == 0.2
+        assert profile.latency_spike_s == pytest.approx(0.010)
+        assert profile.throttle_burst_rate == 0.3
+        assert profile.torn_write_rate == 0.4
+
+
+class TestTransientErrors:
+    def test_rate_one_fails_every_operation_before_the_store(self):
+        inner, store = make_store(FaultProfile(error_rate=1.0))
+        with pytest.raises(TransientStoreError):
+            store.put("k", {"f": "1"})
+        with pytest.raises(TransientStoreError):
+            store.get("k")
+        assert inner.size() == 0  # nothing ever reached the store
+        assert store.stats.transient_errors == 2
+
+    def test_rate_zero_is_transparent(self):
+        inner, store = make_store(FaultProfile())
+        store.put("k", {"f": "1"})
+        assert store.get("k") == {"f": "1"}
+        assert store.stats.transient_errors == 0
+
+
+class TestTornWrites:
+    def test_put_applies_then_raises(self):
+        inner, store = make_store(FaultProfile(torn_write_rate=1.0))
+        with pytest.raises(TransientStoreError):
+            store.put("k", {"f": "1"})
+        assert inner.get("k") == {"f": "1"}  # the write landed anyway
+        assert store.stats.torn_writes == 1
+
+    def test_failed_cas_never_tears(self):
+        inner, store = make_store(FaultProfile(torn_write_rate=1.0))
+        inner.put("k", {"f": "0"})
+        # Wrong expected version: the CAS does not apply, so no tear.
+        assert store.put_if_version("k", {"f": "1"}, expected_version=999) is None
+        assert inner.get("k") == {"f": "0"}
+        assert store.stats.torn_writes == 0
+
+    def test_successful_cas_tears(self):
+        inner, store = make_store(FaultProfile(torn_write_rate=1.0))
+        with pytest.raises(TransientStoreError):
+            store.put_if_version("k", {"f": "1"}, None)
+        assert inner.get("k") == {"f": "1"}
+
+    def test_delete_of_missing_key_never_tears(self):
+        inner, store = make_store(FaultProfile(torn_write_rate=1.0))
+        assert store.delete("absent") is False
+        assert store.stats.torn_writes == 0
+
+    def test_reads_never_tear(self):
+        inner, store = make_store(FaultProfile(torn_write_rate=1.0))
+        inner.put("k", {"f": "1"})
+        assert store.get("k") == {"f": "1"}
+        assert store.stats.torn_writes == 0
+
+
+class TestThrottleBursts:
+    def test_burst_drains_the_bucket(self):
+        bucket = TokenBucket(rate=100.0, burst=50.0, clock=lambda: 0.0)
+        inner, store = make_store(
+            FaultProfile(throttle_burst_rate=1.0), token_bucket=bucket
+        )
+        assert bucket.available() == pytest.approx(50.0)
+        store.put("k", {"f": "1"})
+        assert bucket.available() == pytest.approx(0.0)
+        assert store.stats.throttle_bursts == 1
+
+    def test_bucket_discovered_from_inner_store(self):
+        class BucketStore(InMemoryKVStore):
+            def __init__(self):
+                super().__init__()
+                self.bucket = TokenBucket(rate=10.0, burst=5.0, clock=lambda: 0.0)
+
+        inner = BucketStore()
+        store = FaultInjectingStore(
+            inner, profile=FaultProfile(throttle_burst_rate=1.0), sleep=noop_sleep
+        )
+        store.put("k", {"f": "1"})
+        assert inner.bucket.available() == pytest.approx(0.0)
+
+
+class TestLatencySpikes:
+    def test_spike_sleeps_for_the_profile_duration(self):
+        slept = []
+        inner = InMemoryKVStore()
+        store = FaultInjectingStore(
+            inner,
+            profile=FaultProfile(latency_spike_rate=1.0, latency_spike_s=0.033),
+            sleep=slept.append,
+        )
+        store.put("k", {"f": "1"})
+        assert slept == [pytest.approx(0.033)]
+        assert store.stats.latency_spikes == 1
+        assert inner.get("k") == {"f": "1"}  # a stall, not an error
+
+
+class TestDeterminism:
+    @staticmethod
+    def run_sequence(seed):
+        inner, store = make_store(
+            FaultProfile(error_rate=0.3, torn_write_rate=0.2, latency_spike_rate=0.1),
+            seed=seed,
+        )
+        outcomes = []
+        for i in range(200):
+            try:
+                store.put(f"k{i % 10}", {"f": str(i)})
+                outcomes.append("ok")
+            except TransientStoreError:
+                outcomes.append("fail")
+        return outcomes, store.stats.snapshot()
+
+    def test_same_seed_same_fault_sequence(self):
+        assert self.run_sequence(42) == self.run_sequence(42)
+
+    def test_different_seed_differs(self):
+        assert self.run_sequence(42)[0] != self.run_sequence(43)[0]
+
+
+class TestProfileSwap:
+    def test_harness_can_load_cleanly_then_enable_faults(self):
+        inner, store = make_store(FaultProfile())
+        for i in range(50):
+            store.put(f"k{i}", {"f": "1"})  # clean load, never raises
+        assert store.stats.transient_errors == 0
+        store.profile = FaultProfile(error_rate=1.0)
+        with pytest.raises(TransientStoreError):
+            store.put("k0", {"f": "2"})
+
+
+class TestValidationBypass:
+    def test_keys_and_size_never_inject(self):
+        inner, store = make_store(FaultProfile(error_rate=1.0))
+        inner.put("k", {"f": "1"})
+        assert list(store.keys()) == ["k"]
+        assert store.size() == 1
+        assert store.stats.transient_errors == 0
+
+
+class TestCounters:
+    def test_counter_names_for_reports(self):
+        inner, store = make_store(FaultProfile(error_rate=1.0))
+        with pytest.raises(TransientStoreError):
+            store.get("k")
+        counters = store.counters()
+        assert counters["FAULTS-TRANSIENT"] == 1
+        assert set(counters) == {
+            "FAULTS-TRANSIENT",
+            "FAULTS-LATENCY-SPIKE",
+            "FAULTS-THROTTLE-BURST",
+            "FAULTS-TORN-WRITE",
+        }
