@@ -11,7 +11,7 @@ import pathlib
 import pytest
 
 from repro.bindings import registry
-from repro.harness.report import render_experiment
+from repro.harness.report import render_experiment, render_experiment_json
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -24,9 +24,17 @@ def _fresh_registry():
 
 
 def archive(result, x_label="threads"):
-    """Render, print, and save an experiment report; returns the text."""
+    """Render, print, and save an experiment report; returns the text.
+
+    Each experiment is archived twice: the human-readable table
+    (``results/<name>.txt``) and the machine-readable trajectory
+    (``results/BENCH_<name>.json``, uploaded as a CI artifact).
+    """
     text = render_experiment(result, x_label=x_label)
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{result.experiment}.txt").write_text(text)
+    (RESULTS_DIR / f"BENCH_{result.experiment}.json").write_text(
+        render_experiment_json(result)
+    )
     return text

@@ -37,7 +37,14 @@ from .core import (
     create_db,
     load_properties,
 )
-from .measurements import Measurements, RunReport, TextExporter
+from .measurements import (
+    HdrHistogramMeasurement,
+    JsonLinesExporter,
+    Measurements,
+    RunReport,
+    StatusReporter,
+    TextExporter,
+)
 
 __version__ = "1.0.0"
 
@@ -54,8 +61,11 @@ __all__ = [
     "Workload",
     "create_db",
     "load_properties",
+    "HdrHistogramMeasurement",
+    "JsonLinesExporter",
     "Measurements",
     "RunReport",
+    "StatusReporter",
     "TextExporter",
     "__version__",
 ]

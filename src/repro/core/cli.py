@@ -24,7 +24,12 @@ import sys
 import threading
 from collections.abc import Sequence
 
-from ..measurements.exporters import CsvExporter, JsonExporter, TextExporter
+from ..measurements.exporters import (
+    CsvExporter,
+    JsonExporter,
+    JsonLinesExporter,
+    TextExporter,
+)
 from ..measurements.registry import Measurements
 from .client import Client
 from .closed_economy import ClosedEconomyWorkload
@@ -57,6 +62,7 @@ _WORKLOAD_ALIASES = {
 _EXPORTERS = {
     "text": TextExporter,
     "json": JsonExporter,
+    "jsonl": JsonLinesExporter,
     "csv": CsvExporter,
 }
 
@@ -109,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
             "-s",
             "--status",
             action="store_true",
-            help="print a status line to stderr while running",
+            help="print interval status lines (ops done, current ops/sec, "
+            "interval p95/p99 per operation) to stderr while running; "
+            "window size via -p status.interval=SECONDS",
         )
         sub.add_argument(
             "--coordinator",
@@ -205,10 +213,12 @@ def _run_phase(args: argparse.Namespace, phase: str) -> int:
             file=sys.stderr,
         )
 
-    measurements = Measurements(
-        measurement_type=properties.get_str("measurementtype", "histogram"),
-        histogram_buckets=properties.get_int("histogram.buckets", 1000),
-    )
+    if args.status:
+        # The client owns the live status thread (interval ops/sec and
+        # per-operation p95/p99 to stderr); the flag is just a property.
+        properties.set("status", "true")
+
+    measurements = Measurements.from_properties(properties)
     workload = _build_workload(properties)
     workload.init(properties, measurements)
 
@@ -216,19 +226,6 @@ def _run_phase(args: argparse.Namespace, phase: str) -> int:
         return create_db(args.db, properties)
 
     client = Client(workload, db_factory, properties, measurements)
-
-    stop_status = threading.Event()
-    if args.status:
-
-        def status_loop() -> None:
-            import time
-
-            started = time.monotonic()
-            while not stop_status.wait(2.0):
-                elapsed = time.monotonic() - started
-                print(f"[status] {elapsed:.0f}s elapsed...", file=sys.stderr)
-
-        threading.Thread(target=status_loop, daemon=True).start()
 
     try:
         if phase == "bench":
@@ -248,7 +245,6 @@ def _run_phase(args: argparse.Namespace, phase: str) -> int:
                 coordinator.wait_barrier("run-start")
             result = client.run()
     finally:
-        stop_status.set()
         workload.cleanup()
 
     if coordinator is not None:

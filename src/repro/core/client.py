@@ -15,12 +15,14 @@ additions, implemented here:
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..measurements.exporters import RunReport
+from ..measurements.live import StatusReporter, StatusSnapshot
 from ..measurements.registry import Measurements, StopWatch
 from ..measurements.timeseries import ThroughputTimeSeries
 from .db import DB, MeasuredDB
@@ -44,8 +46,10 @@ class BenchmarkResult:
     thread_count: int = 1
     errors: list[str] = field(default_factory=list)
     #: interval throughput, populated when the ``status.interval``
-    #: property is set (seconds per window).
+    #: property is set (seconds per window) or the status thread ran.
     throughput_series: ThroughputTimeSeries | None = None
+    #: live-status interval snapshots (``status=true`` runs).
+    status_snapshots: list[StatusSnapshot] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -67,6 +71,8 @@ class BenchmarkResult:
             operations=self.operations,
             validation=validation_fields,
             validation_passed=validation_passed,
+            windows=self.throughput_series.windows() if self.throughput_series else (),
+            intervals=self.status_snapshots,
         )
 
 
@@ -109,6 +115,8 @@ class Client:
         properties: benchmark properties (``threadcount``,
             ``operationcount``, ``recordcount``, ``target``, ...).
         measurements: shared measurement registry (created when omitted).
+        status_sink: stream the live status thread writes to when the
+            ``status`` property is true (default stderr).
     """
 
     def __init__(
@@ -117,14 +125,13 @@ class Client:
         db_factory: Callable[[], DB],
         properties: Properties | None = None,
         measurements: Measurements | None = None,
+        status_sink=None,
     ):
         self.workload = workload
         self.db_factory = db_factory
         self.properties = properties or Properties()
-        self.measurements = measurements or Measurements(
-            measurement_type=self.properties.get_str("measurementtype", "histogram"),
-            histogram_buckets=self.properties.get_int("histogram.buckets", 1000),
-        )
+        self.measurements = measurements or Measurements.from_properties(self.properties)
+        self.status_sink = status_sink if status_sink is not None else sys.stderr
 
     # -- phases -----------------------------------------------------------------------
 
@@ -161,13 +168,23 @@ class Client:
         work = _SharedWork(total_operations)
         make_throttle = self._thread_throttle(thread_count)
         batch_size = max(1, self.properties.get_int("batchsize", 1))
+        status_enabled = self.properties.get_bool("status", False)
         status_interval = self.properties.get_float("status.interval", 0.0)
+        if status_enabled and status_interval <= 0:
+            status_interval = 1.0
         series = ThroughputTimeSeries(status_interval) if status_interval > 0 else None
         counters_lock = threading.Lock()
         completed = 0
         failed = 0
         errors: list[str] = []
-        barrier = threading.Barrier(thread_count + 1)
+        # The phase clock is stamped *inside* the barrier action — it runs
+        # in the last-arriving thread at the moment everyone is released —
+        # so worker progress before the main thread gets rescheduled can
+        # never be excluded from the measured run time.
+        start_stamp: list[float] = []
+        barrier = threading.Barrier(
+            thread_count + 1, action=lambda: start_stamp.append(time.perf_counter())
+        )
 
         def worker(thread_id: int) -> None:
             nonlocal completed, failed
@@ -187,11 +204,15 @@ class Client:
                         claimed = work.claim_up_to(batch_size)
                         if claimed == 0:
                             break
+                        if throttle is not None:
+                            throttle.wait_for_turns(claimed)
                         inserted = self._one_batch_insert(db, thread_state, claimed)
                         local_done += claimed
                         local_failed += claimed - inserted
-                        if series is not None:
-                            series.record(claimed)
+                        # Only committed inserts enter the throughput
+                        # series, and only after the batch's fate is known.
+                        if series is not None and inserted:
+                            series.record(inserted)
                         continue
                     if not work.claim():
                         break
@@ -231,10 +252,23 @@ class Client:
             barrier.wait()  # all threads initialised: start the clock together
         except threading.BrokenBarrierError:
             pass  # a worker failed during init; run ends immediately with errors
-        started_at = time.perf_counter()
+        if not start_stamp:
+            start_stamp.append(time.perf_counter())  # broken barrier: action never ran
+        reporter: StatusReporter | None = None
+        if status_enabled and series is not None:
+            reporter = StatusReporter(
+                self.measurements,
+                operation_counter=series.total_operations,
+                interval_s=status_interval,
+                phase=phase,
+                sink=self.status_sink,
+            )
+            reporter.start()
         for thread in threads:
             thread.join()
-        run_time_ms = (time.perf_counter() - started_at) * 1000.0
+        run_time_ms = (time.perf_counter() - start_stamp[0]) * 1000.0
+        if reporter is not None:
+            reporter.stop()
 
         validation = self._validation_stage()
         return BenchmarkResult(
@@ -247,6 +281,7 @@ class Client:
             thread_count=thread_count,
             errors=errors,
             throughput_series=series,
+            status_snapshots=list(reporter.snapshots) if reporter is not None else [],
         )
 
     def _one_batch_insert(self, db: MeasuredDB, thread_state: object, count: int) -> int:

@@ -28,12 +28,24 @@ class Throttle:
 
     def wait_for_turn(self) -> None:
         """Block until the next operation is due, then account for it."""
+        self.wait_for_turns(1)
+
+    def wait_for_turns(self, count: int) -> None:
+        """Block until the next operation is due, then account ``count`` ops.
+
+        Batched loads consume ``batchsize`` slots per call: the batch
+        starts when its first operation is due, and the *next* batch is
+        pushed out by the whole batch's worth of pacing credit, so the
+        aggregate rate still converges on the target.
+        """
+        if count <= 0:
+            return
         now = self._clock()
         if self._started_at is None:
             self._started_at = now
-            self._operations += 1
+            self._operations += count
             return
         due_at = self._started_at + self._operations * self._interval
         if due_at > now:
             self._sleep(due_at - now)
-        self._operations += 1
+        self._operations += count

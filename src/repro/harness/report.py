@@ -10,7 +10,7 @@ import io
 
 from .results import ExperimentResult, Series
 
-__all__ = ["render_experiment", "render_series_table"]
+__all__ = ["render_experiment", "render_experiment_json", "render_series_table"]
 
 
 def _format_cell(value: object) -> str:
@@ -84,6 +84,40 @@ def render_experiment(result: ExperimentResult, x_label: str = "threads") -> str
         rows = [[row.get(header) for header in headers] for row in table_rows]
         _render_table(headers, rows, out)
     return out.getvalue()
+
+
+def render_experiment_json(result: ExperimentResult) -> str:
+    """Machine-readable JSON of one experiment (the ``BENCH_*.json`` shape).
+
+    Carries every series point and table row, so figure trajectories can
+    be regenerated or diffed mechanically without re-running the harness.
+    """
+    import json as _json
+
+    document = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "notes": list(result.notes),
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {
+                        "x": point.x,
+                        "throughput": point.throughput,
+                        "anomaly_score": point.anomaly_score,
+                        "operations": point.operations,
+                        "failed_operations": point.failed_operations,
+                        **({"extra": point.extra} if point.extra else {}),
+                    }
+                    for point in series.points
+                ],
+            }
+            for series in result.series
+        ],
+        "tables": result.tables,
+    }
+    return _json.dumps(document, indent=2, sort_keys=True)
 
 
 def render_experiment_csv(result: ExperimentResult) -> str:

@@ -47,10 +47,7 @@ def run_phase_pair(
     properties: Properties,
 ) -> tuple[BenchmarkResult, BenchmarkResult]:
     """Load then run one workload; returns (load result, run result)."""
-    measurements = Measurements(
-        measurement_type=properties.get_str("measurementtype", "histogram"),
-        histogram_buckets=properties.get_int("histogram.buckets", 1000),
-    )
+    measurements = Measurements.from_properties(properties)
     workload.init(properties, measurements)
     client = Client(workload, db_factory, properties, measurements)
     load_result = client.load()

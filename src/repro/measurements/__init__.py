@@ -1,24 +1,46 @@
-"""Latency measurement, aggregation, and report export (Tiers 1 & 5)."""
+"""Latency measurement, aggregation, live status, and report export (Tiers 1 & 5)."""
 
-from .exporters import CsvExporter, JsonExporter, RunReport, TextExporter
+from .exporters import (
+    CsvExporter,
+    JsonExporter,
+    JsonLinesExporter,
+    RunReport,
+    TextExporter,
+)
+from .hdr import HdrHistogramMeasurement
 from .histogram import (
     HistogramMeasurement,
     MeasurementSummary,
     OneMeasurement,
     RawMeasurement,
+    nearest_rank,
 )
-from .registry import Measurements, StopWatch
+from .live import IntervalLatency, StatusReporter, StatusSnapshot
+from .registry import (
+    DEFAULT_MEASUREMENT_TYPE,
+    MEASUREMENT_TYPES,
+    Measurements,
+    StopWatch,
+)
 from .timeseries import ThroughputTimeSeries, ThroughputWindow
 
 __all__ = [
     "CsvExporter",
     "JsonExporter",
+    "JsonLinesExporter",
     "RunReport",
     "TextExporter",
+    "HdrHistogramMeasurement",
     "HistogramMeasurement",
     "MeasurementSummary",
     "OneMeasurement",
     "RawMeasurement",
+    "nearest_rank",
+    "IntervalLatency",
+    "StatusReporter",
+    "StatusSnapshot",
+    "DEFAULT_MEASUREMENT_TYPE",
+    "MEASUREMENT_TYPES",
     "Measurements",
     "StopWatch",
     "ThroughputTimeSeries",

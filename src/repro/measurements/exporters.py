@@ -18,9 +18,17 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .histogram import MeasurementSummary
+from .live import StatusSnapshot
 from .registry import Measurements
+from .timeseries import ThroughputWindow
 
-__all__ = ["RunReport", "TextExporter", "JsonExporter", "CsvExporter"]
+__all__ = [
+    "RunReport",
+    "TextExporter",
+    "JsonExporter",
+    "CsvExporter",
+    "JsonLinesExporter",
+]
 
 
 @dataclass
@@ -38,6 +46,9 @@ class RunReport:
         validation_passed: None when the workload has no validation stage.
         counters: run counters (retries, injected faults), rendered as
             ``[NAME], Count, value`` lines after the overall block.
+        windows: interval throughput windows (``status.interval`` runs).
+        intervals: live-status interval snapshots (latency trajectories);
+            empty unless the run had the status thread enabled.
     """
 
     run_time_ms: float
@@ -47,6 +58,8 @@ class RunReport:
     validation: list[tuple[str, Any]] = field(default_factory=list)
     validation_passed: bool | None = None
     counters: dict[str, int] = field(default_factory=dict)
+    windows: list[ThroughputWindow] = field(default_factory=list)
+    intervals: list[StatusSnapshot] = field(default_factory=list)
 
     @classmethod
     def from_measurements(
@@ -56,6 +69,8 @@ class RunReport:
         operations: int,
         validation: Iterable[tuple[str, Any]] = (),
         validation_passed: bool | None = None,
+        windows: Iterable[ThroughputWindow] = (),
+        intervals: Iterable[StatusSnapshot] = (),
     ) -> "RunReport":
         seconds = run_time_ms / 1000.0
         throughput = operations / seconds if seconds > 0 else 0.0
@@ -67,6 +82,8 @@ class RunReport:
             validation=list(validation),
             validation_passed=validation_passed,
             counters=measurements.counters(),
+            windows=list(windows),
+            intervals=list(intervals),
         )
 
 
@@ -126,21 +143,53 @@ class TextExporter:
         return block
 
 
+def _summary_dict(summary: MeasurementSummary) -> Mapping[str, Any]:
+    return {
+        "operations": summary.count,
+        "average_latency_us": summary.average_us,
+        "min_latency_us": summary.min_us,
+        "max_latency_us": summary.max_us,
+        "p95_latency_us": summary.percentile_95_us,
+        "p99_latency_us": summary.percentile_99_us,
+        "return_codes": summary.return_codes,
+    }
+
+
+def _window_dict(window: ThroughputWindow) -> Mapping[str, Any]:
+    return {
+        "start_offset_s": window.start_offset_s,
+        "operations": window.operations,
+        "ops_per_second": window.ops_per_second,
+    }
+
+
+def _interval_dict(snapshot: StatusSnapshot) -> Mapping[str, Any]:
+    return {
+        "elapsed_s": snapshot.elapsed_s,
+        "operations": snapshot.operations,
+        "interval_operations": snapshot.interval_operations,
+        "ops_per_second": snapshot.ops_per_second,
+        "latencies": {
+            latency.operation: {
+                "count": latency.count,
+                "average_us": latency.average_us,
+                "p95_us": latency.p95_us,
+                "p99_us": latency.p99_us,
+            }
+            for latency in snapshot.latencies
+        },
+    }
+
+
 class JsonExporter:
-    """Renders a :class:`RunReport` as a JSON document."""
+    """Renders a :class:`RunReport` as a JSON document.
+
+    Interval data (``windows``, ``intervals``) appears only when the run
+    collected it, so reports from runs without the status thread are
+    unchanged.
+    """
 
     def export(self, report: RunReport) -> str:
-        def summary_dict(summary: MeasurementSummary) -> Mapping[str, Any]:
-            return {
-                "operations": summary.count,
-                "average_latency_us": summary.average_us,
-                "min_latency_us": summary.min_us,
-                "max_latency_us": summary.max_us,
-                "p95_latency_us": summary.percentile_95_us,
-                "p99_latency_us": summary.percentile_99_us,
-                "return_codes": summary.return_codes,
-            }
-
         document = {
             "overall": {
                 "run_time_ms": report.run_time_ms,
@@ -153,10 +202,71 @@ class JsonExporter:
             },
             "counters": dict(report.counters),
             "operations": {
-                name: summary_dict(summary) for name, summary in report.summaries.items()
+                name: _summary_dict(summary) for name, summary in report.summaries.items()
             },
         }
+        if report.windows:
+            document["windows"] = [_window_dict(window) for window in report.windows]
+        if report.intervals:
+            document["intervals"] = [_interval_dict(snap) for snap in report.intervals]
         return json.dumps(document, indent=2, sort_keys=True)
+
+
+class JsonLinesExporter:
+    """Renders a :class:`RunReport` as a JSON-lines time series.
+
+    One self-describing object per line (``record`` discriminates), so
+    ``BENCH_*.json``-style trajectories can be produced by appending the
+    per-phase output — no parsing state needed:
+
+    * ``overall`` — phase totals (always first),
+    * ``validation`` — when the workload has a validation stage,
+    * ``counter`` — one per run counter, name-sorted,
+    * ``operation`` — one per operation summary, insertion order,
+    * ``window`` — one per throughput window (``status.interval`` runs),
+    * ``interval`` — one per live-status latency snapshot.
+    """
+
+    def __init__(self, phase: str | None = None):
+        self._phase = phase
+
+    def _line(self, record: str, payload: Mapping[str, Any]) -> str:
+        document: dict[str, Any] = {"record": record}
+        if self._phase is not None:
+            document["phase"] = self._phase
+        document.update(payload)
+        return json.dumps(document, sort_keys=True)
+
+    def export(self, report: RunReport) -> str:
+        lines = [
+            self._line(
+                "overall",
+                {
+                    "run_time_ms": report.run_time_ms,
+                    "operations": report.operations,
+                    "throughput_ops_sec": report.throughput,
+                },
+            )
+        ]
+        if report.validation_passed is not None or report.validation:
+            lines.append(
+                self._line(
+                    "validation",
+                    {
+                        "passed": report.validation_passed,
+                        "fields": {section: value for section, value in report.validation},
+                    },
+                )
+            )
+        for name in sorted(report.counters):
+            lines.append(self._line("counter", {"name": name, "value": report.counters[name]}))
+        for name, summary in report.summaries.items():
+            lines.append(self._line("operation", {"operation": name, **_summary_dict(summary)}))
+        for window in report.windows:
+            lines.append(self._line("window", _window_dict(window)))
+        for snapshot in report.intervals:
+            lines.append(self._line("interval", _interval_dict(snapshot)))
+        return "\n".join(lines) + "\n"
 
 
 class CsvExporter:

@@ -1,0 +1,179 @@
+"""Streaming log-bucketed latency histogram (HdrHistogram-style).
+
+The fixed 1 ms-bucket histogram quantises every percentile to a
+millisecond, which makes sub-millisecond runs report p95 = 0 µs.  This
+module replaces it with the log-linear bucketing scheme of Gil Tene's
+HdrHistogram: values are split into power-of-two *buckets*, each divided
+into ``sub_bucket_count`` linear *sub-buckets*, so every recorded value
+lands in a slot whose width is at most ``2 / sub_bucket_count`` of its
+magnitude.  With the default two significant decimal digits
+(``sub_bucket_count = 256``) the worst-case relative error of any
+reported percentile is under 0.8 %, values below 256 µs are recorded
+exactly, and memory stays O(log(max) · sub_bucket_count) — a few
+kilobytes — regardless of sample count.
+
+The container also keeps an *interval* view (used by the live status
+thread): :meth:`HdrHistogramMeasurement.interval_summary` returns the
+distribution of samples recorded since the previous call, computed from
+a counts-array diff, without disturbing the cumulative summary.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .histogram import MeasurementSummary, OneMeasurement, nearest_rank
+
+__all__ = ["HdrHistogramMeasurement"]
+
+
+class HdrHistogramMeasurement(OneMeasurement):
+    """Log-bucketed histogram with bounded relative error.
+
+    Args:
+        operation: operation name the series belongs to.
+        significant_digits: decimal digits of value precision (1-5).
+            Percentile relative error is bounded by
+            ``1 / 10^significant_digits`` (the sub-bucket count is the
+            next power of two above ``2 · 10^digits``).
+    """
+
+    def __init__(self, operation: str, significant_digits: int = 2):
+        if not 1 <= significant_digits <= 5:
+            raise ValueError(
+                f"significant_digits must be in 1..5, got {significant_digits}"
+            )
+        super().__init__(operation)
+        self.significant_digits = significant_digits
+        sub_bucket_count = 1 << math.ceil(math.log2(2 * 10**significant_digits))
+        self._sub_bucket_bits = sub_bucket_count.bit_length() - 1
+        self._sub_bucket_half = sub_bucket_count // 2
+        self._counts: list[int] = []
+        self._count = 0
+        self._total_us = 0
+        self._min_us: int | None = None
+        self._max_us: int | None = None
+        # Interval (since-last-snapshot) state for the status thread.
+        self._iv_counts: list[int] = []
+        self._iv_base_count = 0
+        self._iv_total_us = 0
+        self._iv_min_us: int | None = None
+        self._iv_max_us: int | None = None
+
+    # -- indexing -------------------------------------------------------------
+
+    def _index_for(self, value_us: int) -> int:
+        bucket = max(0, value_us.bit_length() - self._sub_bucket_bits)
+        sub = value_us >> bucket
+        if bucket == 0:
+            return sub
+        return (bucket + 1) * self._sub_bucket_half + (sub - self._sub_bucket_half)
+
+    def _highest_equivalent(self, index: int) -> int:
+        """Largest value that maps to slot ``index``."""
+        if index < 2 * self._sub_bucket_half:
+            return index
+        bucket = index // self._sub_bucket_half - 1
+        sub = index - (bucket + 1) * self._sub_bucket_half + self._sub_bucket_half
+        return ((sub + 1) << bucket) - 1
+
+    @property
+    def slot_count(self) -> int:
+        """Allocated counts-array length (the O(buckets) memory bound)."""
+        with self._lock:
+            return len(self._counts)
+
+    # -- recording ------------------------------------------------------------
+
+    def measure(self, latency_us: int) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency {latency_us}")
+        index = self._index_for(latency_us)
+        with self._lock:
+            if index >= len(self._counts):
+                self._counts.extend([0] * (index + 1 - len(self._counts)))
+            self._counts[index] += 1
+            self._count += 1
+            self._total_us += latency_us
+            if self._min_us is None or latency_us < self._min_us:
+                self._min_us = latency_us
+            if self._max_us is None or latency_us > self._max_us:
+                self._max_us = latency_us
+            self._iv_total_us += latency_us
+            if self._iv_min_us is None or latency_us < self._iv_min_us:
+                self._iv_min_us = latency_us
+            if self._iv_max_us is None or latency_us > self._iv_max_us:
+                self._iv_max_us = latency_us
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _percentile_us(
+        self, counts: list[int], count: int, max_us: int, fraction: float
+    ) -> float:
+        """Value at the nearest-rank percentile, clamped to the observed max."""
+        target = nearest_rank(fraction, count)
+        seen = 0
+        for index, slot in enumerate(counts):
+            if not slot:
+                continue
+            seen += slot
+            if seen >= target:
+                return float(min(self._highest_equivalent(index), max_us))
+        return float(max_us)
+
+    def summary(self) -> MeasurementSummary:
+        with self._lock:
+            if self._count == 0:
+                return MeasurementSummary(self.operation, return_codes=dict(self._return_codes))
+            counts = list(self._counts)
+            count, total = self._count, self._total_us
+            min_us, max_us = self._min_us or 0, self._max_us or 0
+            codes = dict(self._return_codes)
+        return MeasurementSummary(
+            operation=self.operation,
+            count=count,
+            average_us=total / count,
+            min_us=min_us,
+            max_us=max_us,
+            percentile_95_us=self._percentile_us(counts, count, max_us, 0.95),
+            percentile_99_us=self._percentile_us(counts, count, max_us, 0.99),
+            return_codes=codes,
+        )
+
+    def percentile_us(self, fraction: float) -> float:
+        """Value at an arbitrary percentile of the cumulative distribution."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        with self._lock:
+            counts = list(self._counts)
+            count, max_us = self._count, self._max_us or 0
+        if count == 0:
+            return 0.0
+        return self._percentile_us(counts, count, max_us, fraction)
+
+    def interval_summary(self) -> MeasurementSummary:
+        with self._lock:
+            delta = [
+                current - (self._iv_counts[i] if i < len(self._iv_counts) else 0)
+                for i, current in enumerate(self._counts)
+            ]
+            count = self._count - self._iv_base_count
+            total = self._iv_total_us
+            min_us = self._iv_min_us or 0
+            max_us = self._iv_max_us or 0
+            self._iv_counts = list(self._counts)
+            self._iv_base_count = self._count
+            self._iv_total_us = 0
+            self._iv_min_us = None
+            self._iv_max_us = None
+        if count == 0:
+            return MeasurementSummary(self.operation)
+        return MeasurementSummary(
+            operation=self.operation,
+            count=count,
+            average_us=total / count,
+            min_us=min_us,
+            max_us=max_us,
+            percentile_95_us=self._percentile_us(delta, count, max_us, 0.95),
+            percentile_99_us=self._percentile_us(delta, count, max_us, 0.99),
+        )

@@ -1,14 +1,21 @@
 """Latency measurement containers.
 
-YCSB's default measurement type is a fixed-bucket histogram with one bucket
+YCSB's classic measurement type is a fixed-bucket histogram with one bucket
 per millisecond up to ``histogram.buckets`` (default 1000), plus an overflow
 bucket; latencies are recorded in microseconds.  ``measurementtype=raw``
 keeps every sample instead, which is exact but unbounded.  Both are
-implemented here behind a single :class:`OneMeasurement` interface.
+implemented here behind a single :class:`OneMeasurement` interface; the
+microsecond-resolution streaming default lives in :mod:`repro.measurements.hdr`.
+
+Every container also supports *interval* snapshots
+(:meth:`OneMeasurement.interval_summary`): the distribution of samples
+recorded since the previous snapshot, consumed by the live status thread
+without disturbing the cumulative summary.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -18,7 +25,18 @@ __all__ = [
     "OneMeasurement",
     "HistogramMeasurement",
     "RawMeasurement",
+    "nearest_rank",
 ]
+
+
+def nearest_rank(fraction: float, count: int) -> int:
+    """1-based nearest-rank of the ``fraction`` percentile over ``count`` samples.
+
+    The nearest-rank definition is ``ceil(fraction * count)``; ``round()``
+    is wrong here both for rounding down (p95 of 10 samples must be the
+    10th, not the 9th) and for banker's rounding on exact halves.
+    """
+    return max(1, math.ceil(fraction * count))
 
 
 @dataclass
@@ -68,6 +86,15 @@ class OneMeasurement(ABC):
     def summary(self) -> MeasurementSummary:
         """Aggregate everything recorded so far."""
 
+    @abstractmethod
+    def interval_summary(self) -> MeasurementSummary:
+        """Aggregate of the samples recorded since the previous call.
+
+        Consumes the interval: each sample appears in exactly one interval
+        summary.  Return codes are cumulative-only and stay out of the
+        interval view.
+        """
+
 
 class HistogramMeasurement(OneMeasurement):
     """Fixed-bucket histogram: one bucket per millisecond.
@@ -87,6 +114,12 @@ class HistogramMeasurement(OneMeasurement):
         self._total_us = 0
         self._min_us: int | None = None
         self._max_us: int | None = None
+        # Interval (since-last-snapshot) state for the status thread.
+        self._iv_buckets = [0] * buckets
+        self._iv_base_count = 0
+        self._iv_total_us = 0
+        self._iv_min_us: int | None = None
+        self._iv_max_us: int | None = None
 
     def measure(self, latency_us: int) -> None:
         if latency_us < 0:
@@ -103,31 +136,75 @@ class HistogramMeasurement(OneMeasurement):
                 self._min_us = latency_us
             if self._max_us is None or latency_us > self._max_us:
                 self._max_us = latency_us
+            self._iv_total_us += latency_us
+            if self._iv_min_us is None or latency_us < self._iv_min_us:
+                self._iv_min_us = latency_us
+            if self._iv_max_us is None or latency_us > self._iv_max_us:
+                self._iv_max_us = latency_us
 
-    def _percentile_ms(self, fraction: float) -> float:
-        """Smallest bucket (in ms) covering ``fraction`` of the samples."""
-        target = fraction * self._count
+    @staticmethod
+    def _percentile_us(
+        buckets: list[int], count: int, max_us: int, fraction: float
+    ) -> float:
+        """Smallest bucket (in µs) covering the nearest-rank percentile.
+
+        A percentile that falls into the overflow bucket reports the
+        observed maximum rather than pretending the distribution ends at
+        the last regular bucket.
+        """
+        target = nearest_rank(fraction, count)
         seen = 0
-        for bucket_ms, count in enumerate(self._buckets):
-            seen += count
+        for bucket_ms, bucket_count in enumerate(buckets):
+            seen += bucket_count
             if seen >= target:
-                return float(bucket_ms)
-        return float(len(self._buckets))
+                return float(bucket_ms) * 1000.0
+        return float(max_us)
 
     def summary(self) -> MeasurementSummary:
         with self._lock:
             if self._count == 0:
                 return MeasurementSummary(self.operation, return_codes=dict(self._return_codes))
-            return MeasurementSummary(
-                operation=self.operation,
-                count=self._count,
-                average_us=self._total_us / self._count,
-                min_us=self._min_us or 0,
-                max_us=self._max_us or 0,
-                percentile_95_us=self._percentile_ms(0.95) * 1000.0,
-                percentile_99_us=self._percentile_ms(0.99) * 1000.0,
-                return_codes=dict(self._return_codes),
-            )
+            buckets = list(self._buckets)
+            count, total = self._count, self._total_us
+            min_us, max_us = self._min_us or 0, self._max_us or 0
+            codes = dict(self._return_codes)
+        return MeasurementSummary(
+            operation=self.operation,
+            count=count,
+            average_us=total / count,
+            min_us=min_us,
+            max_us=max_us,
+            percentile_95_us=self._percentile_us(buckets, count, max_us, 0.95),
+            percentile_99_us=self._percentile_us(buckets, count, max_us, 0.99),
+            return_codes=codes,
+        )
+
+    def interval_summary(self) -> MeasurementSummary:
+        with self._lock:
+            delta = [
+                current - previous
+                for current, previous in zip(self._buckets, self._iv_buckets)
+            ]
+            count = self._count - self._iv_base_count
+            total = self._iv_total_us
+            min_us = self._iv_min_us or 0
+            max_us = self._iv_max_us or 0
+            self._iv_buckets = list(self._buckets)
+            self._iv_base_count = self._count
+            self._iv_total_us = 0
+            self._iv_min_us = None
+            self._iv_max_us = None
+        if count == 0:
+            return MeasurementSummary(self.operation)
+        return MeasurementSummary(
+            operation=self.operation,
+            count=count,
+            average_us=total / count,
+            min_us=min_us,
+            max_us=max_us,
+            percentile_95_us=self._percentile_us(delta, count, max_us, 0.95),
+            percentile_99_us=self._percentile_us(delta, count, max_us, 0.99),
+        )
 
 
 class RawMeasurement(OneMeasurement):
@@ -136,6 +213,7 @@ class RawMeasurement(OneMeasurement):
     def __init__(self, operation: str):
         super().__init__(operation)
         self._samples: list[int] = []
+        self._iv_start = 0
 
     def measure(self, latency_us: int) -> None:
         if latency_us < 0:
@@ -151,23 +229,33 @@ class RawMeasurement(OneMeasurement):
     def _percentile(ordered: list[int], fraction: float) -> float:
         if not ordered:
             return 0.0
-        # Nearest-rank percentile on the sorted series.
-        rank = max(1, int(round(fraction * len(ordered))))
+        rank = nearest_rank(fraction, len(ordered))
         return float(ordered[min(rank, len(ordered)) - 1])
+
+    @classmethod
+    def _summarize(cls, operation: str, samples: list[int], codes: dict[str, int]):
+        if not samples:
+            return MeasurementSummary(operation, return_codes=codes)
+        ordered = sorted(samples)
+        return MeasurementSummary(
+            operation=operation,
+            count=len(ordered),
+            average_us=sum(ordered) / len(ordered),
+            min_us=ordered[0],
+            max_us=ordered[-1],
+            percentile_95_us=cls._percentile(ordered, 0.95),
+            percentile_99_us=cls._percentile(ordered, 0.99),
+            return_codes=codes,
+        )
 
     def summary(self) -> MeasurementSummary:
         with self._lock:
-            samples = sorted(self._samples)
+            samples = list(self._samples)
             codes = dict(self._return_codes)
-        if not samples:
-            return MeasurementSummary(self.operation, return_codes=codes)
-        return MeasurementSummary(
-            operation=self.operation,
-            count=len(samples),
-            average_us=sum(samples) / len(samples),
-            min_us=samples[0],
-            max_us=samples[-1],
-            percentile_95_us=self._percentile(samples, 0.95),
-            percentile_99_us=self._percentile(samples, 0.99),
-            return_codes=codes,
-        )
+        return self._summarize(self.operation, samples, codes)
+
+    def interval_summary(self) -> MeasurementSummary:
+        with self._lock:
+            window = self._samples[self._iv_start :]
+            self._iv_start = len(self._samples)
+        return self._summarize(self.operation, window, {})

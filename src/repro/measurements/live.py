@@ -1,0 +1,161 @@
+"""Live benchmark status: YCSB ``-s``-style interval reporting.
+
+While a phase runs, a daemon thread wakes every ``status.interval``
+seconds, drains the per-operation *interval* latency windows from the
+measurement registry (:meth:`Measurements.interval_summaries`), and
+
+* prints one human-readable line per interval (operations done, current
+  ops/sec, interval p95/p99 per operation) to the configured sink, and
+* appends a structured :class:`StatusSnapshot` so the same data can be
+  exported mechanically (JSON-lines time series) after the run.
+
+The reporter never touches the cumulative summaries, so a run with the
+status thread enabled produces byte-identical report blocks to one
+without it — only the interval side-channel is added.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+from .registry import Measurements
+
+__all__ = ["IntervalLatency", "StatusSnapshot", "StatusReporter"]
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalLatency:
+    """One operation's latency digest over a single status interval."""
+
+    operation: str
+    count: int
+    average_us: float
+    p95_us: float
+    p99_us: float
+
+
+@dataclass(frozen=True, slots=True)
+class StatusSnapshot:
+    """Everything one status interval observed."""
+
+    elapsed_s: float
+    operations: int  #: cumulative completed client operations
+    interval_operations: int
+    ops_per_second: float  #: over this interval
+    latencies: tuple[IntervalLatency, ...]
+
+
+class StatusReporter:
+    """Periodic status thread over a shared measurement registry.
+
+    Args:
+        measurements: registry the client threads record into.
+        operation_counter: returns the cumulative completed-operation
+            count (typically ``ThroughputTimeSeries.total_operations``).
+        interval_s: seconds between status lines.
+        phase: label printed at the start of every line.
+        sink: where lines go (``None`` silences printing but still
+            collects snapshots).
+        clock: monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        measurements: Measurements,
+        operation_counter: Callable[[], int],
+        interval_s: float = 1.0,
+        phase: str = "run",
+        sink: TextIO | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self._measurements = measurements
+        self._counter = operation_counter
+        self._interval_s = interval_s
+        self._phase = phase
+        self._sink = sink
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._last_total = 0
+        self._last_at: float | None = None
+        self.snapshots: list[StatusSnapshot] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._started_at = self._last_at = self._clock()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"ycsbt-status-{self._phase}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the thread, emitting one final interval so short runs
+        (and the tail of long ones) are never silently dropped."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.tick()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self.tick()
+
+    # -- one interval ---------------------------------------------------------
+
+    def tick(self) -> StatusSnapshot:
+        """Take one interval snapshot (called from the loop; public for tests)."""
+        now = self._clock()
+        elapsed = now - (self._started_at if self._started_at is not None else now)
+        window_s = now - (self._last_at if self._last_at is not None else now)
+        total = self._counter()
+        interval_ops = total - self._last_total
+        self._last_total = total
+        self._last_at = now
+        ops_per_second = interval_ops / window_s if window_s > 0 else 0.0
+        latencies = tuple(
+            IntervalLatency(
+                operation=name,
+                count=summary.count,
+                average_us=summary.average_us,
+                p95_us=summary.percentile_95_us,
+                p99_us=summary.percentile_99_us,
+            )
+            for name, summary in self._measurements.interval_summaries().items()
+            if summary.count > 0
+        )
+        snapshot = StatusSnapshot(
+            elapsed_s=elapsed,
+            operations=total,
+            interval_operations=interval_ops,
+            ops_per_second=ops_per_second,
+            latencies=latencies,
+        )
+        self.snapshots.append(snapshot)
+        if self._sink is not None:
+            self._sink.write(format_status_line(self._phase, snapshot) + "\n")
+            try:
+                self._sink.flush()
+            except (AttributeError, ValueError):
+                pass  # sink has no flush, or is already closed
+        return snapshot
+
+
+def format_status_line(phase: str, snapshot: StatusSnapshot) -> str:
+    """Render one YCSB ``-s``-style interval line."""
+    parts = [
+        f"[{phase}] {snapshot.elapsed_s:.0f} sec: {snapshot.operations} operations; "
+        f"{snapshot.ops_per_second:.1f} current ops/sec"
+    ]
+    for latency in snapshot.latencies:
+        parts.append(
+            f"{latency.operation} p95={latency.p95_us:.0f}us p99={latency.p99_us:.0f}us"
+        )
+    return "; ".join(parts)

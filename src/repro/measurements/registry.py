@@ -11,30 +11,64 @@ from __future__ import annotations
 import threading
 import time
 
+from .hdr import HdrHistogramMeasurement
 from .histogram import HistogramMeasurement, MeasurementSummary, OneMeasurement, RawMeasurement
 
-__all__ = ["Measurements", "StopWatch"]
+__all__ = ["Measurements", "StopWatch", "MEASUREMENT_TYPES", "DEFAULT_MEASUREMENT_TYPE"]
+
+#: Accepted ``measurementtype`` property values.
+MEASUREMENT_TYPES = ("hdrhistogram", "histogram", "raw")
+#: The streaming log-bucketed histogram: microsecond resolution, bounded memory.
+DEFAULT_MEASUREMENT_TYPE = "hdrhistogram"
 
 
 class Measurements:
     """Collects latencies and return codes for every operation type.
 
     Args:
-        measurement_type: ``"histogram"`` (bounded memory, ms-resolution
-            percentiles — YCSB's default) or ``"raw"`` (every sample kept).
+        measurement_type: ``"hdrhistogram"`` (the default: log-bucketed
+            streaming histogram, microsecond resolution, bounded memory),
+            ``"histogram"`` (YCSB's classic fixed 1 ms buckets) or
+            ``"raw"`` (every sample kept; exact but unbounded).
         histogram_buckets: bucket count for histogram mode; the paper's
             Listing 2 sets ``histogram.buckets=0`` which YCSB treats as
             "use the default", reproduced here.
+        hdr_digits: significant decimal digits for hdrhistogram mode
+            (percentile relative error bound ``10^-digits``).
     """
 
-    def __init__(self, measurement_type: str = "histogram", histogram_buckets: int = 1000):
-        if measurement_type not in ("histogram", "raw"):
+    def __init__(
+        self,
+        measurement_type: str = DEFAULT_MEASUREMENT_TYPE,
+        histogram_buckets: int = 1000,
+        hdr_digits: int = 2,
+    ):
+        if measurement_type not in MEASUREMENT_TYPES:
             raise ValueError(f"unknown measurement type {measurement_type!r}")
         self._type = measurement_type
         self._buckets = histogram_buckets if histogram_buckets > 0 else 1000
+        self._hdr_digits = hdr_digits
         self._lock = threading.Lock()
         self._measurements: dict[str, OneMeasurement] = {}
         self._counters: dict[str, int] = {}
+
+    @property
+    def measurement_type(self) -> str:
+        return self._type
+
+    @classmethod
+    def from_properties(cls, properties) -> "Measurements":
+        """Build a registry from benchmark properties.
+
+        Reads ``measurementtype``, ``histogram.buckets`` and
+        ``hdrhistogram.digits``; single source of truth for every phase
+        entry point (client, CLI, harness).
+        """
+        return cls(
+            measurement_type=properties.get_str("measurementtype", DEFAULT_MEASUREMENT_TYPE),
+            histogram_buckets=properties.get_int("histogram.buckets", 1000),
+            hdr_digits=properties.get_int("hdrhistogram.digits", 2),
+        )
 
     def _get(self, operation: str) -> OneMeasurement:
         # Double-checked creation: the common case is a hit without the lock.
@@ -46,8 +80,10 @@ class Measurements:
             if found is None:
                 if self._type == "raw":
                     found = RawMeasurement(operation)
-                else:
+                elif self._type == "histogram":
                     found = HistogramMeasurement(operation, self._buckets)
+                else:
+                    found = HdrHistogramMeasurement(operation, self._hdr_digits)
                 self._measurements[operation] = found
             return found
 
@@ -96,6 +132,17 @@ class Measurements:
         with self._lock:
             containers = dict(self._measurements)
         return {name: container.summary() for name, container in containers.items()}
+
+    def interval_summaries(self) -> dict[str, MeasurementSummary]:
+        """Per-operation summaries of the samples since the previous call.
+
+        Consumes the interval window of every container — intended for a
+        single periodic consumer (the live status thread).  Operations
+        with no samples this interval report ``count == 0``.
+        """
+        with self._lock:
+            containers = dict(self._measurements)
+        return {name: container.interval_summary() for name, container in containers.items()}
 
     def summary_for(self, operation: str) -> MeasurementSummary:
         """Summary of one operation (empty summary if never observed)."""

@@ -1,10 +1,16 @@
 """Client (workload executor) tests: phases, wrapping, validation stage."""
 
+import io
+import threading
+import time
+
 import pytest
 
-from repro.bindings import MemoryDB, TxnDB
+from repro.bindings import MemoryDB, TxnDB, registry
 from repro.core import Client, ClosedEconomyWorkload, CoreWorkload, Properties
-from repro.measurements import Measurements
+from repro.core import client as client_module
+from repro.core import status as st
+from repro.measurements import Measurements, TextExporter
 
 
 def make_setup(workload_class=ClosedEconomyWorkload, db="memory", **overrides):
@@ -130,3 +136,190 @@ class TestReport:
         assert report.operations == 200
         assert dict(report.validation)["TOTAL CASH"] == 40000
         assert report.throughput == pytest.approx(result.throughput)
+
+
+class TestBatchLoadThrottling:
+    """Regression: the batched load path used to skip the throttle entirely,
+    so ``target`` was silently ignored whenever ``batchsize > 1``."""
+
+    def _throttled_load(self, monkeypatch, batchsize):
+        clock = [0.0]
+        sleeps = []
+        real_throttle = client_module.Throttle
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock[0] += seconds
+
+        def fake_throttle(ops_per_second):
+            return real_throttle(
+                ops_per_second, clock=lambda: clock[0], sleep=fake_sleep
+            )
+
+        monkeypatch.setattr(client_module, "Throttle", fake_throttle)
+        properties = Properties(
+            {
+                "recordcount": "200",
+                "totalcash": "200000",
+                "fieldcount": "1",
+                "threadcount": "1",
+                "batchsize": str(batchsize),
+                "target": "1000",
+                "seed": "5",
+            }
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: MemoryDB(properties), properties, measurements)
+        return client.load(), sleeps
+
+    def test_batched_load_respects_target_under_fake_clock(self, monkeypatch):
+        result, sleeps = self._throttled_load(monkeypatch, batchsize=50)
+        assert result.operations == 200
+        assert result.failed_operations == 0
+        # 200 records at 1000 ops/s in batches of 50: the first batch is
+        # free (it starts the pacer), the remaining 150 slots cost 1 ms
+        # each of simulated sleeping.
+        assert sum(sleeps) == pytest.approx(0.150, abs=0.005)
+
+    def test_single_insert_path_pacing_unchanged(self, monkeypatch):
+        result, sleeps = self._throttled_load(monkeypatch, batchsize=1)
+        assert result.operations == 200
+        assert sum(sleeps) == pytest.approx(0.199, abs=0.005)
+
+
+class TestPhaseClock:
+    """Regression: ``started_at`` used to be stamped after the main thread
+    returned from ``barrier.wait()``; worker progress before the main
+    thread was rescheduled inflated the reported throughput."""
+
+    def test_run_time_covers_all_recorded_samples(self, monkeypatch):
+        real_barrier = threading.Barrier
+
+        class LaggyBarrier(real_barrier):
+            """Releases everyone, then delays only the main thread —
+            a deterministic stand-in for unlucky scheduling."""
+
+            def wait(self, timeout=None):
+                index = super().wait(timeout)
+                if threading.current_thread() is threading.main_thread():
+                    time.sleep(0.08)
+                return index
+
+        monkeypatch.setattr(client_module.threading, "Barrier", LaggyBarrier)
+
+        class SlowInsertDB(MemoryDB):
+            def insert(self, table, key, values):
+                time.sleep(0.002)
+                return super().insert(table, key, values)
+
+        properties = Properties(
+            {
+                "recordcount": "30",
+                "totalcash": "30000",
+                "fieldcount": "1",
+                "threadcount": "1",
+                "measurementtype": "raw",
+                "seed": "8",
+            }
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements(measurement_type="raw")
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: SlowInsertDB(properties), properties, measurements)
+        result = client.load()
+        assert result.operations == 30
+        insert = result.measurements.summary_for("INSERT")
+        # One worker thread: the phase cannot have finished faster than
+        # the sum of the latencies it recorded.
+        assert result.run_time_ms * 1000 >= insert.total_us
+
+
+class TestBatchSeriesAccounting:
+    """Regression: the batch path recorded ``claimed`` into the throughput
+    series before the batch committed, counting failed/aborted inserts."""
+
+    def _load(self, db_class):
+        properties = Properties(
+            {
+                "recordcount": "100",
+                "totalcash": "100000",
+                "fieldcount": "1",
+                "threadcount": "2",
+                "batchsize": "25",
+                "status.interval": "0.01",
+                "seed": "6",
+            }
+        )
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(workload, lambda: db_class(properties), properties, measurements)
+        return client.load()
+
+    def test_committed_batches_enter_the_series(self):
+        result = self._load(MemoryDB)
+        assert result.failed_operations == 0
+        assert result.throughput_series.total_operations() == 100
+
+    def test_aborted_batches_stay_out_of_the_series(self):
+        class FailingCommitDB(MemoryDB):
+            def commit(self):
+                return st.ERROR
+
+        result = self._load(FailingCommitDB)
+        assert result.operations == 100
+        assert result.failed_operations == 100
+        assert result.throughput_series.total_operations() == 0
+
+
+class TestStatusThread:
+    def _run(self, status, sink=None):
+        properties = Properties(
+            {
+                "recordcount": "30",
+                "operationcount": "300",
+                "totalcash": "30000",
+                "fieldcount": "1",
+                "threadcount": "1",
+                "seed": "2",
+            }
+        )
+        if status:
+            properties.set("status", "true")
+            properties.set("status.interval", "0.02")
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements()
+        workload.init(properties, measurements)
+        client = Client(
+            workload, lambda: MemoryDB(properties), properties, measurements,
+            status_sink=sink,
+        )
+        client.load()
+        return client.run()
+
+    def test_status_emits_interval_lines_and_snapshots(self):
+        sink = io.StringIO()
+        result = self._run(True, sink)
+        output = sink.getvalue()
+        assert "[run]" in output
+        assert "current ops/sec" in output
+        assert result.status_snapshots  # the final flush at minimum
+        assert sum(s.interval_operations for s in result.status_snapshots) == 300
+        assert result.report().intervals == result.status_snapshots
+
+    def test_status_does_not_perturb_report_structure(self):
+        with_status = self._run(True, io.StringIO())
+        registry.reset()  # fresh shared store: make the two runs comparable
+        without = self._run(False)
+
+        def skeleton(report_text):
+            # Keep "[SECTION], Metric" and drop the (timing-dependent) value.
+            return [line.rsplit(",", 1)[0] for line in report_text.splitlines()]
+
+        assert skeleton(TextExporter().export(with_status.report())) == skeleton(
+            TextExporter().export(without.report())
+        )
+        assert without.status_snapshots == []
+        assert without.throughput_series is None

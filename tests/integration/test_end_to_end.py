@@ -56,6 +56,36 @@ class TestCoreWorkloadsAtoF:
         assert code == 0
         assert "[TX-READ]" in output or "[TX-UPDATE]" in output
 
+    def test_status_flag_streams_interval_lines_to_stderr(self, capsys):
+        code = main(
+            ["bench", "-db", "memory", "-P", "workloads/workloada", "-s",
+             "-p", "recordcount=40", "-p", "operationcount=200", "-p", "seed=6",
+             "-p", "status.interval=0.02"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # Interval lines go to stderr; the report stays clean on stdout.
+        assert "current ops/sec" in captured.err
+        assert "[run]" in captured.err
+        assert "current ops/sec" not in captured.out
+        assert "[OVERALL], Throughput(ops/sec)," in captured.out
+
+    def test_jsonl_export_emits_typed_records(self, capsys):
+        import json
+
+        code = main(
+            ["bench", "-db", "memory", "-P", "workloads/workloada",
+             "--export", "jsonl",
+             "-p", "recordcount=40", "-p", "operationcount=80", "-p", "seed=6"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        records = [json.loads(line) for line in output.strip().splitlines()]
+        kinds = {record["record"] for record in records}
+        assert {"overall", "operation"} <= kinds
+        overall = next(r for r in records if r["record"] == "overall")
+        assert overall["operations"] == 80
+
 
 class TestFullHttpStack:
     def test_cew_over_http_and_lsm(self, tmp_path):

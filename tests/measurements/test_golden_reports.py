@@ -1,0 +1,132 @@
+"""Golden-file tests for every report exporter.
+
+One deterministic RunReport — raw measurements with fixed samples,
+counters, a validation block, throughput windows and a live-status
+interval — is rendered by each exporter and compared byte-for-byte
+against a checked-in golden file.  Any formatting change (field order,
+counter ordering, number rendering, new fields) shows up as a reviewable
+fixture diff.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/measurements/test_golden_reports.py
+"""
+
+from pathlib import Path
+
+from repro.measurements import (
+    CsvExporter,
+    IntervalLatency,
+    JsonExporter,
+    JsonLinesExporter,
+    Measurements,
+    RunReport,
+    StatusSnapshot,
+    TextExporter,
+    ThroughputWindow,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def build_report() -> RunReport:
+    """A fully deterministic report exercising every exporter feature."""
+    measurements = Measurements(measurement_type="raw")
+    for value in (120, 450, 800, 1500, 9000):
+        measurements.measure("READ", value)
+    for _ in range(4):
+        measurements.report_status("READ", "OK")
+    measurements.report_status("READ", "NOT_FOUND")
+    for value in (300, 600):
+        measurements.measure("UPDATE", value)
+        measurements.report_status("UPDATE", "OK")
+    # Counters arrive in non-alphabetical order; exporters sort them.
+    measurements.increment("RETRIES", 3)
+    measurements.set_counter("FAULTS-TRANSIENT", 2)
+    windows = [
+        ThroughputWindow(start_offset_s=0.0, operations=50, ops_per_second=50.0),
+        ThroughputWindow(start_offset_s=1.0, operations=70, ops_per_second=70.0),
+    ]
+    intervals = [
+        StatusSnapshot(
+            elapsed_s=1.0,
+            operations=50,
+            interval_operations=50,
+            ops_per_second=50.0,
+            latencies=(
+                IntervalLatency(
+                    operation="READ", count=50, average_us=400.0, p95_us=800.0, p99_us=1500.0
+                ),
+            ),
+        ),
+        StatusSnapshot(
+            elapsed_s=2.0,
+            operations=120,
+            interval_operations=70,
+            ops_per_second=70.0,
+            latencies=(
+                IntervalLatency(
+                    operation="READ", count=70, average_us=350.0, p95_us=450.0, p99_us=800.0
+                ),
+            ),
+        ),
+    ]
+    return RunReport.from_measurements(
+        measurements,
+        run_time_ms=2000.0,
+        operations=120,
+        validation=[
+            ("TOTAL CASH", 1000),
+            ("COUNTED CASH", 1000),
+            ("ACTUAL OPERATIONS", 120),
+            ("ANOMALY SCORE", 0.0),
+        ],
+        validation_passed=True,
+        windows=windows,
+        intervals=intervals,
+    )
+
+
+EXPORTERS = {
+    "report.txt": TextExporter(),
+    "report.json": JsonExporter(),
+    "report.jsonl": JsonLinesExporter(phase="run"),
+    "report.csv": CsvExporter(),
+}
+
+
+class TestGoldenReports:
+    def _check(self, name: str) -> None:
+        rendered = EXPORTERS[name].export(build_report())
+        # read_bytes: the CSV exporter emits \r\n, which read_text's
+        # universal-newline mode would silently translate.
+        golden = (GOLDEN / name).read_bytes().decode()
+        assert rendered == golden, f"{name} drifted from its golden file"
+
+    def test_text(self):
+        self._check("report.txt")
+
+    def test_json(self):
+        self._check("report.json")
+
+    def test_jsonl(self):
+        self._check("report.jsonl")
+
+    def test_csv(self):
+        self._check("report.csv")
+
+    def test_plain_report_omits_interval_sections(self):
+        """A run without status/interval data must not grow new blocks."""
+        report = RunReport.from_measurements(Measurements(), 10.0, 0)
+        assert '"windows"' not in JsonExporter().export(report)
+        assert '"intervals"' not in JsonExporter().export(report)
+        jsonl = JsonLinesExporter().export(report)
+        assert '"record": "window"' not in jsonl
+        assert '"record": "interval"' not in jsonl
+
+
+if __name__ == "__main__":  # regenerate the golden files
+    GOLDEN.mkdir(exist_ok=True)
+    for name, exporter in EXPORTERS.items():
+        (GOLDEN / name).write_text(exporter.export(build_report()))
+        print(f"wrote {GOLDEN / name}")

@@ -1,0 +1,221 @@
+"""Streaming log-bucketed (HDR-style) histogram tests.
+
+The headline guarantee: percentiles within the configured relative error
+of the exact (RawMeasurement) answer on the same sample stream, at
+O(buckets) memory.
+"""
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurements import HdrHistogramMeasurement, Measurements, RawMeasurement
+
+
+class TestIndexing:
+    def test_small_values_exact(self):
+        measurement = HdrHistogramMeasurement("X")
+        # With 2 significant digits the sub-bucket count is 256: every
+        # value below 256 us has its own slot.
+        for value in (0, 1, 17, 255):
+            assert measurement._index_for(value) == value
+            assert measurement._highest_equivalent(measurement._index_for(value)) == value
+
+    def test_round_trip_brackets_value(self):
+        measurement = HdrHistogramMeasurement("X")
+        for value in (256, 300, 1_000, 65_537, 10_000_000, 123_456_789):
+            index = measurement._index_for(value)
+            high = measurement._highest_equivalent(index)
+            assert high >= value
+            assert (high - value) / value < 1 / 100  # 2 significant digits
+
+    def test_indexes_are_contiguous_and_monotonic(self):
+        measurement = HdrHistogramMeasurement("X")
+        previous = -1
+        for value in range(0, 5_000):
+            index = measurement._index_for(value)
+            assert index in (previous, previous + 1)
+            previous = index
+
+    def test_rejects_bad_digits(self):
+        with pytest.raises(ValueError):
+            HdrHistogramMeasurement("X", significant_digits=0)
+        with pytest.raises(ValueError):
+            HdrHistogramMeasurement("X", significant_digits=6)
+
+
+class TestHdrHistogramMeasurement:
+    def test_empty_summary(self):
+        summary = HdrHistogramMeasurement("READ").summary()
+        assert summary.count == 0
+        assert summary.percentile_95_us == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HdrHistogramMeasurement("READ").measure(-1)
+
+    def test_exact_aggregates(self):
+        measurement = HdrHistogramMeasurement("READ")
+        for value in (120, 450, 999, 70_000):
+            measurement.measure(value)
+        summary = measurement.summary()
+        assert summary.count == 4
+        assert summary.min_us == 120
+        assert summary.max_us == 70_000
+        assert summary.average_us == pytest.approx((120 + 450 + 999 + 70_000) / 4)
+
+    def test_sub_millisecond_percentiles_not_quantised_to_zero(self):
+        # The bug this container exists to fix: the 1 ms-bucket histogram
+        # reports p95 = 0 us for any all-sub-millisecond run.
+        measurement = HdrHistogramMeasurement("READ")
+        for value in range(1, 101):  # 1..100 us
+            measurement.measure(value)
+        summary = measurement.summary()
+        assert summary.percentile_95_us == 95.0
+        assert summary.percentile_99_us == 99.0
+
+    def test_percentile_clamped_to_observed_max(self):
+        measurement = HdrHistogramMeasurement("READ")
+        measurement.measure(1_000_000)
+        # The slot's highest equivalent value exceeds the sample; the
+        # report must never exceed what was actually observed.
+        assert measurement.summary().percentile_99_us == 1_000_000.0
+
+    def test_percentile_us_arbitrary_fraction(self):
+        measurement = HdrHistogramMeasurement("READ")
+        for value in range(1, 101):
+            measurement.measure(value)
+        assert measurement.percentile_us(0.50) == 50.0
+        with pytest.raises(ValueError):
+            measurement.percentile_us(0.0)
+
+    def test_return_codes(self):
+        measurement = HdrHistogramMeasurement("READ")
+        measurement.report_status("OK")
+        measurement.report_status("ERROR")
+        assert measurement.summary().return_codes == {"OK": 1, "ERROR": 1}
+
+    def test_thread_safety(self):
+        measurement = HdrHistogramMeasurement("READ")
+
+        def worker():
+            for value in range(5000):
+                measurement.measure(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert measurement.summary().count == 20_000
+
+    def test_interval_summary_partitions_stream(self):
+        measurement = HdrHistogramMeasurement("READ")
+        for value in (100, 200):
+            measurement.measure(value)
+        window = measurement.interval_summary()
+        assert (window.count, window.min_us, window.max_us) == (2, 100, 200)
+        measurement.measure(50_000)
+        window = measurement.interval_summary()
+        assert (window.count, window.min_us) == (1, 50_000)
+        assert window.percentile_95_us == pytest.approx(50_000, rel=0.01)
+        assert measurement.interval_summary().count == 0
+        assert measurement.summary().count == 3
+
+
+class TestAccuracyAgainstRaw:
+    """The provable contract: HDR percentiles track RawMeasurement."""
+
+    @staticmethod
+    def _relative_error(approx: float, exact: float) -> float:
+        if exact == 0:
+            return abs(approx)
+        return abs(approx - exact) / exact
+
+    def test_100k_sub_millisecond_run_within_2_percent(self):
+        # Acceptance criterion: a 100k-sample sub-millisecond stream,
+        # p95/p99 within 2% of exact, at bounded memory.
+        rng = random.Random(1234)
+        hdr = HdrHistogramMeasurement("READ")
+        raw = RawMeasurement("READ")
+        for _ in range(100_000):
+            value = min(999, int(rng.lognormvariate(4.5, 0.8)))
+            hdr.measure(value)
+            raw.measure(value)
+        h, r = hdr.summary(), raw.summary()
+        assert self._relative_error(h.percentile_95_us, r.percentile_95_us) < 0.02
+        assert self._relative_error(h.percentile_99_us, r.percentile_99_us) < 0.02
+        assert (h.count, h.min_us, h.max_us) == (r.count, r.min_us, r.max_us)
+        assert h.average_us == pytest.approx(r.average_us)
+        # O(buckets) memory: sub-millisecond values need < 600 slots,
+        # versus the 100_000 samples RawMeasurement holds.
+        assert hdr.slot_count < 600
+
+    @given(
+        latencies=st.lists(st.integers(0, 10_000_000), min_size=1, max_size=500)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_percentiles_bracket_exact(self, latencies):
+        hdr = HdrHistogramMeasurement("X")
+        raw = RawMeasurement("X")
+        for value in latencies:
+            hdr.measure(value)
+            raw.measure(value)
+        h, r = hdr.summary(), raw.summary()
+        for approx, exact in (
+            (h.percentile_95_us, r.percentile_95_us),
+            (h.percentile_99_us, r.percentile_99_us),
+        ):
+            # Same nearest-rank target; the HDR answer is the slot's
+            # highest equivalent value, so it can only overshoot — and by
+            # at most the two-significant-digit bound.
+            assert approx >= exact or approx == float(h.max_us)
+            assert approx <= exact * 1.01 + 1e-9 or exact == 0 and approx == 0
+
+    def test_wide_dynamic_range_memory_stays_small(self):
+        measurement = HdrHistogramMeasurement("X")
+        rng = random.Random(7)
+        for _ in range(50_000):
+            measurement.measure(rng.randrange(0, 100_000_000))  # up to 100 s
+        # bit_length(1e8) == 27 -> ~ (27 - 8 + 2) * 128 slots.
+        assert measurement.slot_count <= (27 - 8 + 2) * 128
+
+
+class TestRegistryIntegration:
+    def test_hdrhistogram_is_the_default(self):
+        measurements = Measurements()
+        assert measurements.measurement_type == "hdrhistogram"
+        measurements.measure("READ", 95)
+        for value in range(1, 101):
+            measurements.measure("OP", value)
+        assert measurements.summary_for("OP").percentile_95_us == 95.0
+
+    def test_selectable_by_property(self):
+        from repro.core import Properties
+
+        measurements = Measurements.from_properties(
+            Properties({"measurementtype": "hdrhistogram", "hdrhistogram.digits": "3"})
+        )
+        container = measurements._get("READ")
+        assert isinstance(container, HdrHistogramMeasurement)
+        assert container.significant_digits == 3
+
+    def test_classic_types_still_selectable(self):
+        from repro.measurements import HistogramMeasurement
+
+        assert isinstance(
+            Measurements(measurement_type="histogram")._get("X"), HistogramMeasurement
+        )
+        assert isinstance(Measurements(measurement_type="raw")._get("X"), RawMeasurement)
+
+    def test_interval_summaries_drain_all_operations(self):
+        measurements = Measurements()
+        measurements.measure("READ", 100)
+        measurements.measure("UPDATE", 200)
+        windows = measurements.interval_summaries()
+        assert windows["READ"].count == 1
+        assert windows["UPDATE"].count == 1
+        assert all(s.count == 0 for s in measurements.interval_summaries().values())

@@ -39,8 +39,26 @@ class TestHistogramMeasurement:
         summary = measurement.summary()
         assert summary.count == 1
         assert summary.max_us == 10_000_000
-        # Percentile saturates at the bucket limit (in ms -> us).
-        assert summary.percentile_95_us == 2000.0
+        # A percentile that lands in the overflow bucket reports the
+        # observed maximum, not the regular-bucket limit.
+        assert summary.percentile_95_us == 10_000_000.0
+
+    def test_overflow_percentile_clamps_to_observed_max(self):
+        # Regression: overflow samples used to count toward the target
+        # while only the regular buckets were walked, so any overflow
+        # made p99 report `buckets` ms instead of the real tail.
+        measurement = HistogramMeasurement("READ", buckets=10)
+        for _ in range(90):
+            measurement.measure(2_500)  # bucket 2
+        for _ in range(10):
+            measurement.measure(123_456)  # overflow (>= 10 ms)
+        summary = measurement.summary()
+        assert summary.percentile_95_us == 123_456.0
+        assert summary.percentile_99_us == 123_456.0
+        # A percentile still inside the regular buckets is unaffected.
+        assert (
+            HistogramMeasurement._percentile_us([90, 0, 10], 100, 2_900, 0.90) == 0.0
+        )
 
     def test_percentiles_ms_resolution(self):
         measurement = HistogramMeasurement("READ")
@@ -115,6 +133,33 @@ class TestRawMeasurement:
         assert summary.max_us == max(latencies)
         assert summary.count == len(latencies)
 
+    @pytest.mark.parametrize(
+        ("count", "fraction", "expected_rank"),
+        [
+            # Nearest-rank is ceil(fraction * n); round() was wrong both
+            # ways: round(9.5) == 10 by luck, but round(2.5) == 2
+            # (banker's) and round(9.4) == 9 truncates the tail.
+            (10, 0.95, 10),  # 9.5 -> 10
+            (10, 0.25, 3),  # 2.5 -> 3 (round() gives 2)
+            (10, 0.94, 10),  # 9.4 -> 10 (round() gives 9)
+            (20, 0.95, 19),  # exact 19
+            (50, 0.95, 48),  # 47.5 -> 48
+            (100, 0.95, 95),
+            (100, 0.99, 99),
+            (3, 0.5, 2),  # 1.5 -> 2 (round() gives 2 too)
+            (4, 0.5, 2),  # exact 2
+            (1, 0.99, 1),
+            (200, 0.999, 200),  # 199.8 -> 200
+        ],
+    )
+    def test_nearest_rank_percentile_table(self, count, fraction, expected_rank):
+        measurement = RawMeasurement("X")
+        # Distinct ascending samples: value == its 1-based rank.
+        for value in range(1, count + 1):
+            measurement.measure(value)
+        ordered = sorted(measurement.samples())
+        assert RawMeasurement._percentile(ordered, fraction) == float(expected_rank)
+
     def test_histogram_and_raw_agree_on_aggregates(self):
         histogram = HistogramMeasurement("X")
         raw = RawMeasurement("X")
@@ -125,3 +170,41 @@ class TestRawMeasurement:
         h, r = histogram.summary(), raw.summary()
         assert (h.count, h.min_us, h.max_us) == (r.count, r.min_us, r.max_us)
         assert h.average_us == pytest.approx(r.average_us)
+
+
+class TestIntervalSummaries:
+    """interval_summary() drains a window without touching the cumulative view."""
+
+    @pytest.mark.parametrize("factory", [HistogramMeasurement, RawMeasurement])
+    def test_windows_partition_the_stream(self, factory):
+        measurement = factory("READ")
+        for value in (1_000, 2_000):
+            measurement.measure(value)
+        first = measurement.interval_summary()
+        assert first.count == 2
+        assert first.min_us == 1_000
+        assert first.max_us == 2_000
+        measurement.measure(7_000)
+        second = measurement.interval_summary()
+        assert second.count == 1
+        assert second.min_us == second.max_us == 7_000
+        # Empty window.
+        assert measurement.interval_summary().count == 0
+        # Cumulative summary still sees everything.
+        total = measurement.summary()
+        assert total.count == 3
+        assert total.min_us == 1_000
+        assert total.max_us == 7_000
+
+    def test_interval_percentiles_reflect_only_the_window(self):
+        measurement = HistogramMeasurement("READ")
+        for _ in range(100):
+            measurement.measure(1_500)  # bucket 1
+        measurement.interval_summary()  # drain
+        for _ in range(100):
+            measurement.measure(9_500)  # bucket 9
+        window = measurement.interval_summary()
+        assert window.percentile_95_us == 9_000.0
+        # Cumulative p95 still spans both halves.
+        assert measurement.summary().percentile_95_us == 9_000.0
+        assert measurement.summary().percentile_99_us == 9_000.0

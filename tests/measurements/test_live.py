@@ -1,0 +1,120 @@
+"""Live status reporter tests (fake clock, manual ticks)."""
+
+import io
+
+import pytest
+
+from repro.measurements import Measurements, StatusReporter
+from repro.measurements.live import format_status_line
+
+
+def make_reporter(sink=None, interval_s=1.0):
+    clock = [100.0]
+    measurements = Measurements()
+    counter = [0]
+    reporter = StatusReporter(
+        measurements,
+        operation_counter=lambda: counter[0],
+        interval_s=interval_s,
+        phase="run",
+        sink=sink,
+        clock=lambda: clock[0],
+    )
+    # Pin the reporter's epoch without starting the background thread;
+    # ticks are driven manually for determinism.
+    reporter._started_at = reporter._last_at = clock[0]
+    return reporter, measurements, counter, clock
+
+
+class TestStatusReporter:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            StatusReporter(Measurements(), lambda: 0, interval_s=0)
+
+    def test_tick_computes_interval_rate(self):
+        reporter, measurements, counter, clock = make_reporter()
+        counter[0] = 500
+        for _ in range(10):
+            measurements.measure("READ", 250)
+        clock[0] += 2.0
+        snapshot = reporter.tick()
+        assert snapshot.elapsed_s == pytest.approx(2.0)
+        assert snapshot.operations == 500
+        assert snapshot.interval_operations == 500
+        assert snapshot.ops_per_second == pytest.approx(250.0)
+        assert [lat.operation for lat in snapshot.latencies] == ["READ"]
+        assert snapshot.latencies[0].count == 10
+        assert snapshot.latencies[0].p95_us == 250.0
+
+    def test_second_tick_sees_only_new_work(self):
+        reporter, measurements, counter, clock = make_reporter()
+        counter[0] = 100
+        measurements.measure("READ", 100)
+        clock[0] += 1.0
+        reporter.tick()
+        counter[0] = 130
+        measurements.measure("UPDATE", 900)
+        clock[0] += 1.0
+        snapshot = reporter.tick()
+        assert snapshot.interval_operations == 30
+        assert snapshot.ops_per_second == pytest.approx(30.0)
+        # READ had no samples this window; only UPDATE appears.
+        assert [lat.operation for lat in snapshot.latencies] == ["UPDATE"]
+
+    def test_lines_written_to_sink(self):
+        sink = io.StringIO()
+        reporter, measurements, counter, clock = make_reporter(sink=sink)
+        counter[0] = 42
+        measurements.measure("TX-READ", 812)
+        clock[0] += 1.0
+        reporter.tick()
+        line = sink.getvalue().strip()
+        assert line.startswith("[run] 1 sec: 42 operations; 42.0 current ops/sec")
+        assert "TX-READ p95=812us p99=812us" in line
+
+    def test_snapshots_accumulate(self):
+        reporter, measurements, counter, clock = make_reporter()
+        for total in (10, 25, 70):
+            counter[0] = total
+            clock[0] += 1.0
+            reporter.tick()
+        assert [s.operations for s in reporter.snapshots] == [10, 25, 70]
+        assert [s.interval_operations for s in reporter.snapshots] == [10, 15, 45]
+
+    def test_does_not_disturb_cumulative_summaries(self):
+        reporter, measurements, counter, clock = make_reporter()
+        for value in (100, 200, 300):
+            measurements.measure("READ", value)
+        clock[0] += 1.0
+        reporter.tick()
+        measurements.measure("READ", 400)
+        summary = measurements.summary_for("READ")
+        assert summary.count == 4
+        assert summary.min_us == 100
+        assert summary.max_us == 400
+
+    def test_thread_start_stop_emits_final_interval(self):
+        sink = io.StringIO()
+        measurements = Measurements()
+        reporter = StatusReporter(
+            measurements, lambda: 7, interval_s=60.0, phase="load", sink=sink
+        )
+        reporter.start()
+        measurements.measure("INSERT", 55)
+        reporter.stop()  # final tick fires even though no interval elapsed
+        assert len(reporter.snapshots) >= 1
+        assert reporter.snapshots[-1].operations == 7
+        assert "[load]" in sink.getvalue()
+
+
+class TestFormatStatusLine:
+    def test_shape(self):
+        reporter, measurements, counter, clock = make_reporter()
+        counter[0] = 1000
+        measurements.measure("READ", 120)
+        measurements.measure("UPDATE", 450)
+        clock[0] += 10.0
+        line = format_status_line("run", reporter.tick())
+        assert line.startswith("[run] 10 sec: 1000 operations; 100.0 current ops/sec")
+        assert "READ p95=120us p99=120us" in line
+        assert "UPDATE p95=450us p99=450us" in line
