@@ -1,0 +1,49 @@
+"""Figure 2, multi-process edition — real workers against one HTTP store.
+
+Regenerates the throughput-vs-clients curve with the scale-out engine:
+each point spawns N OS processes that shard the load phase, barrier-start
+the run phase, and hammer the parent's rate-limited simulated cloud
+container over the batched HTTP protocol.  Asserts the paper's shape for
+honest reasons: a monotone rise while workers are latency-bound, then a
+plateau pinned at the container's request-rate ceiling (queueing, not
+rejection, so throughput flattens instead of collapsing).
+"""
+
+from repro.harness import figure2_multiprocess
+
+from conftest import archive
+
+
+def test_figure2_multiprocess(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure2_multiprocess(quick=True), rounds=1, iterations=1
+    )
+    archive(result, x_label="processes")
+
+    points = result.series[0].points
+    by_processes = {int(p.x): p for p in points}
+    thr = {p: point.throughput for p, point in by_processes.items()}
+    ceiling = by_processes[1].extra["rate_ceiling"]
+
+    # Rise: doubling 1 -> 2 workers buys real throughput while the
+    # container is latency-bound, and the peak clears 1 worker by a lot.
+    assert thr[2] > 1.3 * thr[1], thr
+    assert max(thr.values()) > 1.8 * thr[1], thr
+
+    # Plateau: once the ceiling binds, 8 workers buy almost nothing over
+    # the 2/4-worker peak (generous margin for scheduler noise).
+    assert thr[8] < 1.25 * max(thr[2], thr[4]), thr
+
+    # The flat region is the *container's* ceiling, not a client
+    # artefact: the top points actually hit the rate limiter, and
+    # throughput never exceeds what the ceiling admits.
+    assert by_processes[8].extra["throttled_requests"] > 0
+    assert max(thr.values()) <= ceiling * 1.15, thr
+
+    # Work accounting survives the merge: every point ran its full
+    # per-worker budget with nothing dropped.
+    for processes, point in by_processes.items():
+        assert point.operations == processes * 150, point
+        assert point.failed_operations == 0, point
+        # The load phase rode POST /batch, not per-record PUTs.
+        assert point.extra["http_requests"].get("batch", 0) > 0, point

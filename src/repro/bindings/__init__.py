@@ -4,7 +4,7 @@ from .basic import BasicDB
 from .delayed import DelayedDB
 from .kv import KVStoreDB
 from .stores import CloudDB, LsmDB, MemoryDB, RawHttpDB
-from .txn import TxnDB
+from .txn import HttpTxnDB, TxnDB
 
 #: Short names accepted by ``create_db`` and the command line.
 ALIASES = {
@@ -15,6 +15,8 @@ ALIASES = {
     "raw_http": RawHttpDB,
     "rawhttp": RawHttpDB,
     "txn": TxnDB,
+    "txn_http": HttpTxnDB,
+    "txnhttp": HttpTxnDB,
 }
 
 __all__ = [
@@ -26,5 +28,6 @@ __all__ = [
     "MemoryDB",
     "RawHttpDB",
     "TxnDB",
+    "HttpTxnDB",
     "ALIASES",
 ]

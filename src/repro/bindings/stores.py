@@ -12,6 +12,7 @@ import random
 
 from ..core.properties import Properties
 from ..core.retry import RetryPolicy, RetryingStore
+from ..http.batching import BatchingKVStore
 from ..http.client import HttpKVStore
 from ..kvstore.base import KeyValueStore
 from ..kvstore.cloud import GCS_PROFILE, WAS_PROFILE, SimulatedCloudStore
@@ -129,8 +130,11 @@ class RawHttpDB(KVStoreDB):
     """HTTP key-value store binding (the paper's ``RawHttpDB``).
 
     Properties: ``http.host`` [127.0.0.1], ``http.port`` (required),
-    ``http.timeout`` [10 s].  Each instance holds per-thread keep-alive
-    connections to the server.
+    ``http.timeout`` [10 s], ``http.pool_size`` [8] keep-alive
+    connections shared by the instance's threads, ``http.batchsize``
+    [1] — when > 1 the store is wrapped in a
+    :class:`~repro.http.batching.BatchingKVStore`, coalescing bulk-load
+    writes into ``POST /batch`` round trips of that many records.
     """
 
     def __init__(self, properties: Properties | None = None):
@@ -140,14 +144,16 @@ class RawHttpDB(KVStoreDB):
         if port == 0:
             raise ValueError("http.port is required for RawHttpDB")
         timeout_s = properties.get_float("http.timeout", 10.0)
-        super().__init__(
-            HttpKVStore(
-                (host, port),
-                timeout_s=timeout_s,
-                retry_policy=RetryPolicy.from_properties(properties),
-            ),
-            properties,
+        store: KeyValueStore = HttpKVStore(
+            (host, port),
+            timeout_s=timeout_s,
+            retry_policy=RetryPolicy.from_properties(properties),
+            pool_size=properties.get_int("http.pool_size", 8),
         )
+        batch_size = properties.get_int("http.batchsize", 1)
+        if batch_size > 1:
+            store = BatchingKVStore(store, batch_size=batch_size)
+        super().__init__(store, properties)
 
     def cleanup(self) -> None:
         self.store.close()

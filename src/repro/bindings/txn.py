@@ -27,7 +27,7 @@ from ..txn.errors import TransactionError
 from . import registry
 from .stores import MemoryDB
 
-__all__ = ["TxnDB"]
+__all__ = ["TxnDB", "HttpTxnDB"]
 
 
 def _default_manager(properties: Properties) -> TransactionManager:
@@ -237,3 +237,50 @@ class TxnDB(DB):
             txn.delete(internal)
 
         return self._run_op(body)
+
+
+def _http_manager(properties: Properties, host: str, port: int) -> TransactionManager:
+    from ..core.retry import RetryPolicy
+    from ..http.client import HttpKVStore
+    from ..txn.manager import ClientTransactionManager
+
+    store = HttpKVStore(
+        (host, port),
+        timeout_s=properties.get_float("http.timeout", 10.0),
+        pool_size=properties.get_int("http.pool_size", 8),
+    )
+    return ClientTransactionManager(
+        store,
+        isolation=properties.get_str("txn.isolation", "snapshot"),
+        lock_lease_ms=properties.get_float("txn.lock_lease_ms", 1000.0),
+        retry_policy=RetryPolicy.from_properties(properties),
+    )
+
+
+class HttpTxnDB(TxnDB):
+    """Transactional binding over a *remote* HTTP store (alias ``txn_http``).
+
+    The client-coordinated transaction protocol needs nothing from the
+    store beyond conditional writes, which :class:`~repro.http.client.
+    HttpKVStore` carries over the wire — so transactions compose across
+    real processes all pointing at one HTTP front end.  This is what lets
+    the multi-process consistency stress test assert gamma = 0 under
+    transactions where the raw binding races.
+
+    Properties: ``http.host`` [127.0.0.1], ``http.port`` (required),
+    ``http.timeout`` [10 s], ``http.pool_size`` [8], plus the ``txn.*``
+    family of :class:`TxnDB`.
+    """
+
+    def __init__(self, properties: Properties | None = None):
+        properties = properties or Properties()
+        host = properties.get_str("http.host", "127.0.0.1")
+        port = properties.get_int("http.port", 0)
+        if port == 0:
+            raise ValueError("http.port is required for HttpTxnDB")
+        manager = registry.get_or_create(
+            "txn-http-manager",
+            f"{host}:{port}",
+            lambda: _http_manager(properties, host, port),
+        )
+        super().__init__(properties, manager=manager)

@@ -126,6 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="multi-client coordination service: register, take a "
             "keyspace slice, rendezvous at phase barriers, report results",
         )
+        sub.add_argument(
+            "--processes",
+            type=int,
+            default=None,
+            metavar="N",
+            help="scale out across N worker processes (spawned and "
+            "coordinated automatically; requires an HTTP binding such as "
+            "raw_http or txn_http with http.port set).  operationcount "
+            "is per worker; recordcount is sharded across workers",
+        )
 
     coordinate = commands.add_parser(
         "coordinate", help="run the multi-client coordination service"
@@ -144,7 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument(
         "name",
-        choices=("fig2", "fig3", "fig4", "fig5", "tier5", "tier6", "ablation", "isolation", "all"),
+        choices=(
+            "fig2",
+            "fig2mp",
+            "fig3",
+            "fig4",
+            "fig5",
+            "tier5",
+            "tier6",
+            "ablation",
+            "isolation",
+            "all",
+        ),
     )
     experiment.add_argument(
         "--full", action="store_true", help="longer, lower-noise runs"
@@ -189,7 +210,60 @@ def _parse_host_port(value: str) -> tuple[str, int]:
     return host, int(port)
 
 
+_HTTP_BINDINGS = frozenset({"raw_http", "rawhttp", "txn_http", "txnhttp"})
+
+
+def _run_scaleout_phase(args: argparse.Namespace, phase: str) -> int:
+    """Drive ``--processes N``: spawn workers, merge, print one report."""
+    from ..scaleout import ScaleoutSpec, run_scaleout
+
+    if args.coordinator:
+        raise SystemExit(
+            "--processes embeds its own coordinator; it cannot be combined "
+            "with --coordinator"
+        )
+    if args.db not in _HTTP_BINDINGS:
+        raise SystemExit(
+            f"--processes requires an HTTP binding ({', '.join(sorted(_HTTP_BINDINGS))}); "
+            f"got {args.db!r}"
+        )
+    properties = _gather_properties(args)
+    host = properties.get_str("http.host", "127.0.0.1")
+    port = properties.get_int("http.port", 0)
+    if port == 0:
+        raise SystemExit("--processes needs http.port pointing at a running server")
+
+    phases = ("load", "run") if phase == "bench" else (phase,)
+    spec = ScaleoutSpec(
+        processes=args.processes,
+        db=args.db,
+        properties=dict(properties.as_dict()),
+        phases=phases,
+        store_address=(host, port),
+    )
+    result = run_scaleout(spec)
+
+    exporter = _EXPORTERS[args.export]()
+    final = result.run if result.run is not None else result.load
+    if final is None:
+        for error in result.worker_errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    # The merged result carries the parent's authoritative validation.
+    final.validation = result.validation
+    sys.stdout.write(exporter.export(final.report()))
+    for error in result.worker_errors:
+        print(f"error: {error}", file=sys.stderr)
+    if result.worker_errors:
+        return 1
+    if result.validation is not None and not result.validation.passed:
+        return 1
+    return 0
+
+
 def _run_phase(args: argparse.Namespace, phase: str) -> int:
+    if getattr(args, "processes", None):
+        return _run_scaleout_phase(args, phase)
     properties = _gather_properties(args)
 
     coordinator = None
@@ -319,6 +393,7 @@ def _experiment(args: argparse.Namespace) -> int:
 
     runners = {
         "fig2": (harness.fig2_cloud_scaling, "threads"),
+        "fig2mp": (harness.figure2_multiprocess, "processes"),
         "fig3": (harness.fig3_transaction_overhead, "threads"),
         "fig4": (harness.fig4_anomaly_score, "threads"),
         "fig5": (harness.fig5_raw_scaling, "threads"),

@@ -2,6 +2,7 @@
 
 from .contention import ContendedDB, ContentionModel
 from .experiments import (
+    PROCESSES_FIG2,
     THREADS_FIG2,
     THREADS_LOCAL,
     ablation_coordinators,
@@ -9,6 +10,7 @@ from .experiments import (
     fig3_transaction_overhead,
     fig4_anomaly_score,
     fig5_raw_scaling,
+    figure2_multiprocess,
     isolation_matrix,
     tier5_operation_overhead,
     tier6_consistency,
@@ -20,10 +22,12 @@ from .runner import cew_properties, run_cew, run_phase_pair
 __all__ = [
     "ContendedDB",
     "ContentionModel",
+    "PROCESSES_FIG2",
     "THREADS_FIG2",
     "THREADS_LOCAL",
     "ablation_coordinators",
     "fig2_cloud_scaling",
+    "figure2_multiprocess",
     "fig3_transaction_overhead",
     "fig4_anomaly_score",
     "fig5_raw_scaling",

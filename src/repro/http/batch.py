@@ -1,0 +1,189 @@
+"""Wire codec and executor for the pipelined ``POST /batch`` protocol.
+
+One HTTP round trip carries a JSON array of operations; the server
+executes them in order against its store and returns one result per
+operation, preserving order.  Both sides of the protocol use this module:
+the server executes decoded requests with :func:`execute_ops`, and the
+client builds requests with the ``op_*`` constructors — so the two can
+never drift apart on the wire format.
+
+Request body::
+
+    {"ops": [
+        {"op": "get",       "key": "k"},
+        {"op": "put",       "key": "k", "fields": {...}},
+        {"op": "insert",    "key": "k", "fields": {...}},
+        {"op": "cas",       "key": "k", "fields": {...}, "version": 3},
+        {"op": "delete",    "key": "k"},
+        {"op": "delete_if", "key": "k", "version": 3},
+        {"op": "scan",      "start": "k", "count": 10}
+    ]}
+
+Response body (HTTP 200 whenever the envelope parsed)::
+
+    {"results": [
+        {"status": 200, "fields": {...}, "version": 3},   # get hit
+        {"status": 200, "version": 4},                    # put / insert / cas
+        {"status": 404},                                  # get/delete miss
+        {"status": 412},                                  # failed precondition
+        {"status": 204},                                  # delete success
+        {"status": 200, "records": [["k", {...}], ...]},  # scan
+        {"status": 400, "error": "..."}                   # malformed op
+    ]}
+
+Per-operation status codes mirror the single-op REST endpoints exactly,
+so a batch of N operations is observationally equivalent to N sequential
+requests (asserted byte-for-byte by the protocol property tests).
+Failures are *partial*: a malformed or failing operation yields its error
+result and the remaining operations still execute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..kvstore.base import KeyValueStore, RateLimitExceeded, StoreError
+
+__all__ = [
+    "op_get",
+    "op_put",
+    "op_insert",
+    "op_cas",
+    "op_delete",
+    "op_delete_if",
+    "op_scan",
+    "insert_ops",
+    "put_ops",
+    "execute_ops",
+]
+
+#: Operation kinds understood by the executor.
+OP_KINDS = frozenset({"get", "put", "insert", "cas", "delete", "delete_if", "scan"})
+
+
+# -- request constructors -----------------------------------------------------
+
+def op_get(key: str) -> dict:
+    return {"op": "get", "key": key}
+
+
+def op_put(key: str, fields: Mapping[str, str]) -> dict:
+    return {"op": "put", "key": key, "fields": dict(fields)}
+
+
+def op_insert(key: str, fields: Mapping[str, str]) -> dict:
+    """Insert-if-absent (the single-op ``If-None-Match: *`` PUT)."""
+    return {"op": "insert", "key": key, "fields": dict(fields)}
+
+
+def op_cas(key: str, fields: Mapping[str, str], version: int) -> dict:
+    """Conditional update (the single-op ``If-Match`` PUT)."""
+    return {"op": "cas", "key": key, "fields": dict(fields), "version": version}
+
+
+def op_delete(key: str) -> dict:
+    return {"op": "delete", "key": key}
+
+
+def op_delete_if(key: str, version: int) -> dict:
+    return {"op": "delete_if", "key": key, "version": version}
+
+
+def op_scan(start: str, count: int) -> dict:
+    return {"op": "scan", "start": start, "count": count}
+
+
+def insert_ops(records: Sequence[tuple[str, Mapping[str, str]]]) -> list[dict]:
+    """Insert-if-absent ops for a record list (the load-phase shape)."""
+    return [op_insert(key, fields) for key, fields in records]
+
+
+def put_ops(records: Sequence[tuple[str, Mapping[str, str]]]) -> list[dict]:
+    """Unconditional-put ops for a record list (``put_batch`` semantics)."""
+    return [op_put(key, fields) for key, fields in records]
+
+
+# -- executor -----------------------------------------------------------------
+
+def _check_fields(op: dict) -> dict[str, str] | None:
+    fields = op.get("fields")
+    if not isinstance(fields, dict):
+        return None
+    return fields
+
+
+def _execute_one(store: KeyValueStore, op: object) -> dict:
+    """Run one decoded operation; never raises for per-op problems."""
+    if not isinstance(op, dict):
+        return {"status": 400, "error": "operation must be a JSON object"}
+    kind = op.get("op")
+    if kind not in OP_KINDS:
+        return {"status": 400, "error": f"unknown op {kind!r}"}
+    if kind == "scan":
+        start = op.get("start", "")
+        count = op.get("count")
+        if not isinstance(start, str) or not isinstance(count, int) or isinstance(count, bool):
+            return {"status": 400, "error": "scan needs a string start and integer count"}
+        return {"status": 200, "records": [[k, f] for k, f in store.scan(start, count)]}
+
+    key = op.get("key")
+    if not isinstance(key, str):
+        return {"status": 400, "error": "key must be a string"}
+
+    if kind == "get":
+        found = store.get_with_meta(key)
+        if found is None:
+            return {"status": 404}
+        return {"status": 200, "fields": found.value, "version": found.version}
+    if kind == "put":
+        fields = _check_fields(op)
+        if fields is None:
+            return {"status": 400, "error": "fields must be a JSON object"}
+        return {"status": 200, "version": store.put(key, fields)}
+    if kind == "insert":
+        fields = _check_fields(op)
+        if fields is None:
+            return {"status": 400, "error": "fields must be a JSON object"}
+        version = store.put_if_version(key, fields, None)
+        if version is None:
+            return {"status": 412}
+        return {"status": 200, "version": version}
+    if kind == "cas":
+        fields = _check_fields(op)
+        if fields is None:
+            return {"status": 400, "error": "fields must be a JSON object"}
+        expected = op.get("version")
+        if not isinstance(expected, int) or isinstance(expected, bool):
+            return {"status": 400, "error": "version must be an integer"}
+        version = store.put_if_version(key, fields, expected)
+        if version is None:
+            return {"status": 412}
+        return {"status": 200, "version": version}
+    if kind == "delete":
+        return {"status": 204} if store.delete(key) else {"status": 404}
+    # delete_if
+    expected = op.get("version")
+    if not isinstance(expected, int) or isinstance(expected, bool):
+        return {"status": 400, "error": "version must be an integer"}
+    result = store.delete_if_version(key, expected)
+    if result is None:
+        return {"status": 412}
+    return {"status": 204} if result else {"status": 404}
+
+
+def execute_ops(store: KeyValueStore, ops: Sequence[object]) -> list[dict]:
+    """Execute decoded operations in order; one result dict per op.
+
+    Store-level failures stay *partial*: a throttled or failing operation
+    reports 503/500 in its slot and the rest of the batch still runs —
+    matching what N independent single-op requests would produce.
+    """
+    results: list[dict] = []
+    for op in ops:
+        try:
+            results.append(_execute_one(store, op))
+        except RateLimitExceeded as exc:
+            results.append({"status": 503, "error": str(exc)})
+        except StoreError as exc:
+            results.append({"status": 500, "error": str(exc)})
+    return results

@@ -1,0 +1,135 @@
+"""Write-behind batching wrapper that coalesces bulk loads.
+
+:class:`BatchingKVStore` sits in front of any :class:`~repro.kvstore.
+base.KeyValueStore` and turns a stream of ``put_batch`` calls into
+chunked group commits of ``batch_size`` records.  Over
+:class:`~repro.http.client.HttpKVStore` each flush is one ``POST /batch``
+round trip, which is what makes the load phase cheap enough to saturate a
+rate-limited store instead of the network stack.
+
+Consistency rules keep the wrapper contract-safe:
+
+* only ``put_batch`` buffers; **every** other operation (including reads
+  and single puts) flushes the buffer first, then delegates — so no
+  operation can ever observe a store missing its own earlier writes;
+* ``flush``/``close`` drain the buffer explicitly;
+* deferred write errors surface on the call that triggers the flush
+  (write-behind moves *when* an error raises, never whether it does).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator, Mapping, Sequence
+
+from ..kvstore.base import Fields, KeyValueStore, VersionedValue
+
+__all__ = ["BatchingKVStore"]
+
+
+class BatchingKVStore(KeyValueStore):
+    """Buffers ``put_batch`` records and flushes them in fixed-size chunks."""
+
+    def __init__(self, inner: KeyValueStore, batch_size: int = 64):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self._inner = inner
+        self._batch_size = batch_size
+        self._lock = threading.Lock()
+        self._pending: list[tuple[str, Fields]] = []
+        #: flushes actually shipped to the inner store (observability).
+        self.flush_count = 0
+
+    @property
+    def inner(self) -> KeyValueStore:
+        return self._inner
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- buffering ---------------------------------------------------------------------
+
+    def _flush_chunks_locked(self, drain: bool) -> None:
+        """Ship full chunks (and the remainder when ``drain``) to the inner store."""
+        while len(self._pending) >= self._batch_size or (drain and self._pending):
+            chunk = self._pending[: self._batch_size]
+            del self._pending[: self._batch_size]
+            self._write_chunk(chunk)
+            self.flush_count += 1
+
+    def _write_chunk(self, chunk: list[tuple[str, Fields]]) -> None:
+        batched = getattr(self._inner, "put_batch", None)
+        if callable(batched):
+            batched(chunk)
+            return
+        for key, fields in chunk:
+            self._inner.put(key, fields)
+
+    def flush(self) -> None:
+        """Drain the buffer to the inner store immediately."""
+        with self._lock:
+            self._flush_chunks_locked(drain=True)
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        """Buffer records; full ``batch_size`` chunks ship immediately.
+
+        Returns a placeholder version (0) per record — write-behind means
+        the authoritative version is assigned at flush time.  Bulk-load
+        callers ignore these; anything that needs a real version should
+        use ``put``/``put_if_version``, which flush first.
+        """
+        with self._lock:
+            self._pending.extend((key, dict(fields)) for key, fields in records)
+            self._flush_chunks_locked(drain=False)
+        return [0] * len(records)
+
+    # -- delegated operations (flush first: read-your-writes) --------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        self.flush()
+        return self._inner.get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        self.flush()
+        return self._inner.scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        self.flush()
+        return self._inner.keys()
+
+    def size(self) -> int:
+        self.flush()
+        return self._inner.size()
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        self.flush()
+        return self._inner.put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        self.flush()
+        return self._inner.put_if_version(key, value, expected_version)
+
+    def delete(self, key: str) -> bool:
+        self.flush()
+        return self._inner.delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        self.flush()
+        return self._inner.delete_if_version(key, expected_version)
+
+    def counters(self) -> dict[str, int]:
+        inner_counters = getattr(self._inner, "counters", None)
+        return dict(inner_counters()) if callable(inner_counters) else {}
+
+    def close(self) -> None:
+        self.flush()
+        close = getattr(self._inner, "close", None)
+        if callable(close):
+            close()

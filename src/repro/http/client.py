@@ -3,9 +3,15 @@
 :class:`HttpKVStore` implements the full :class:`~repro.kvstore.base.
 KeyValueStore` interface over the REST protocol, so anything that runs on
 a local store — the raw bindings, the transaction managers — runs
-unchanged across a real network hop.  Connections are per-thread and
-reused (HTTP/1.1 keep-alive), matching how the paper's client threads
-each held a connection to the store.
+unchanged across a real network hop.  Connections come from a bounded
+LIFO pool shared by all threads (HTTP/1.1 keep-alive): a thread borrows a
+connection per request and returns it, so socket count is capped by
+``pool_size`` rather than growing one-per-thread.
+
+Beyond the single-op REST verbs, :meth:`HttpKVStore.execute_batch` ships
+an operation array through ``POST /batch`` in one round trip, and
+:meth:`HttpKVStore.put_batch` bulk-writes a record list that way —
+mirroring the group-commit ``put_batch`` of the LSM store.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import http.client
 import json
 import threading
 import urllib.parse
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterator, Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from ..kvstore.base import (
@@ -25,6 +31,7 @@ from ..kvstore.base import (
     StoreUnavailable,
     VersionedValue,
 )
+from .batch import put_ops
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports kvstore)
     from ..core.retry import RetryPolicy
@@ -35,6 +42,54 @@ __all__ = ["HttpKVStore"]
 #: 429 Too Many Requests and 503 Service Unavailable (what WAS/GCS send
 #: when a container is throttled).
 _RETRYABLE_HTTP = frozenset({429, 503})
+
+
+class _ConnectionPool:
+    """Bounded LIFO pool of keep-alive connections, shared across threads.
+
+    A thread borrows a connection for the duration of one request and
+    returns it afterwards.  When the pool is empty a fresh connection is
+    opened; when a returned connection would exceed ``max_size`` idle
+    entries it is closed instead.  LIFO keeps the hottest sockets in use,
+    so idle ones age out via the server's keep-alive timeout naturally.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float, max_size: int):
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._max_size = max(1, max_size)
+        self._lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        self._closed = False
+
+    def acquire(self) -> http.client.HTTPConnection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return http.client.HTTPConnection(self._host, self._port, timeout=self._timeout_s)
+
+    def release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self._max_size:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def discard(self, connection: http.client.HTTPConnection) -> None:
+        """Drop a connection whose transport failed — never re-pooled."""
+        connection.close()
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection in idle:
+            connection.close()
 
 
 class HttpKVStore(KeyValueStore):
@@ -53,11 +108,12 @@ class HttpKVStore(KeyValueStore):
         address: tuple[str, int],
         timeout_s: float = 10.0,
         retry_policy: "RetryPolicy | None" = None,
+        pool_size: int = 8,
     ):
         self._host, self._port = address
         self._timeout_s = timeout_s
         self._retry_policy = retry_policy
-        self._local = threading.local()
+        self._pool = _ConnectionPool(self._host, self._port, timeout_s, pool_size)
         self._closed = False
 
     def counters(self) -> dict[str, int]:
@@ -67,21 +123,6 @@ class HttpKVStore(KeyValueStore):
         return self._retry_policy.stats.counters()
 
     # -- connection handling ------------------------------------------------------
-
-    def _connection(self) -> http.client.HTTPConnection:
-        connection = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout_s
-            )
-            self._local.connection = connection
-        return connection
-
-    def _drop_connection(self) -> None:
-        connection = getattr(self._local, "connection", None)
-        if connection is not None:
-            connection.close()
-            self._local.connection = None
 
     def _request(
         self,
@@ -96,17 +137,18 @@ class HttpKVStore(KeyValueStore):
             send_headers["Content-Type"] = "application/json"
 
         def attempt_once() -> tuple[int, dict | None, dict[str, str]]:
-            connection = self._connection()
+            connection = self._pool.acquire()
             try:
                 connection.request(method, path, body=payload, headers=send_headers)
                 response = connection.getresponse()
                 raw = response.read()
                 document = json.loads(raw) if raw else None
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
-                self._drop_connection()
+                self._pool.discard(connection)
                 raise StoreUnavailable(
                     f"HTTP store {self._host}:{self._port} unreachable: {exc}"
                 ) from exc
+            self._pool.release(connection)
             if response.status in _RETRYABLE_HTTP:
                 raise RateLimitExceeded(
                     f"{method} {path} throttled with HTTP {response.status}"
@@ -210,8 +252,43 @@ class HttpKVStore(KeyValueStore):
             return None
         raise StoreError(f"conditional DELETE {key!r} failed with HTTP {status}")
 
+    # -- batch ------------------------------------------------------------------------
+
+    def execute_batch(self, ops: Sequence[dict]) -> list[dict]:
+        """Ship an operation array through ``POST /batch`` in one round trip.
+
+        Returns one result dict per operation, order-preserved, with the
+        same per-op statuses the single-op endpoints would have produced
+        (see :mod:`repro.http.batch` for the wire format).
+        """
+        status, document, _ = self._request("POST", "/batch", body={"ops": list(ops)})
+        if status != 200 or document is None:
+            raise StoreError(f"batch of {len(ops)} ops failed with HTTP {status}")
+        results = document.get("results")
+        if not isinstance(results, list) or len(results) != len(ops):
+            raise StoreError("batch response did not match the request shape")
+        return results
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        """Unconditionally write a record list in one round trip.
+
+        Same semantics as the LSM store's group-commit ``put_batch``:
+        every record is written, versions returned in order.
+        """
+        records = list(records)
+        results = self.execute_batch(put_ops(records))
+        versions: list[int] = []
+        for (key, _), result in zip(records, results):
+            op_status = result.get("status")
+            if op_status == 503:
+                raise RateLimitExceeded(f"batched PUT {key!r} throttled")
+            if op_status != 200:
+                raise StoreError(f"batched PUT {key!r} failed with status {op_status}")
+            versions.append(int(result["version"]))
+        return versions
+
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
-        self._drop_connection()
+        self._pool.close()
         self._closed = True

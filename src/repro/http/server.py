@@ -16,9 +16,14 @@ Protocol::
     DELETE /kv/<key>                    -> 204 | 404
            If-Match: <version>          conditional delete; 412 on mismatch
     GET    /scan?start=<key>&count=<n>  -> 200 {"records": [[key, fields], ...]}
-    GET    /stats                       -> 200 {"size": n}
+    GET    /stats                       -> 200 {"size": n, "requests": {...}}
+    POST   /batch      {"ops": [...]}   -> 200 {"results": [...]}
 
-Keys are URL-path-encoded by the client; bodies are JSON.
+Keys are URL-path-encoded by the client; bodies are JSON.  The batch
+endpoint executes a whole operation array in one round trip — its wire
+format lives in :mod:`repro.http.batch`.  The server counts every request
+it handles (total and per route) so tests and experiments can measure how
+many round trips a client actually paid.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..kvstore.base import KeyValueStore
+from .batch import execute_ops
 
 __all__ = ["KVStoreHTTPServer"]
 
@@ -48,6 +54,12 @@ class _Handler(BaseHTTPRequestHandler):
         """Benchmarks hammer the server; default stderr logging would drown it."""
 
     # -- helpers -------------------------------------------------------------
+
+    def _count_request(self, route: str) -> None:
+        lock: threading.Lock = self.server.request_lock  # type: ignore[attr-defined]
+        counts: dict[str, int] = self.server.request_counts  # type: ignore[attr-defined]
+        with lock:
+            counts[route] = counts.get(route, 0) + 1
 
     def _send_json(self, status: int, payload: object, etag: int | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -83,9 +95,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         parsed = urllib.parse.urlparse(self.path)
         if parsed.path == "/stats":
-            self._send_json(200, {"size": self._store.size()})
+            self._count_request("stats")
+            lock: threading.Lock = self.server.request_lock  # type: ignore[attr-defined]
+            counts: dict[str, int] = self.server.request_counts  # type: ignore[attr-defined]
+            with lock:
+                requests = dict(counts)
+            self._send_json(200, {"size": self._store.size(), "requests": requests})
             return
         if parsed.path == "/scan":
+            self._count_request("scan")
             query = urllib.parse.parse_qs(parsed.query)
             start = query.get("start", [""])[0]
             try:
@@ -96,6 +114,7 @@ class _Handler(BaseHTTPRequestHandler):
             records = self._store.scan(start, count)
             self._send_json(200, {"records": records})
             return
+        self._count_request("kv")
         key = self._key_from_path(parsed)
         if key is None:
             self._send_json(404, {"error": "unknown path"})
@@ -106,8 +125,21 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(200, versioned.value, etag=versioned.version)
 
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path != "/batch":
+            self._send_json(404, {"error": "unknown path"})
+            return
+        self._count_request("batch")
+        document = self._read_body()
+        if document is None or not isinstance(document.get("ops"), list):
+            self._send_json(400, {"error": "body must be a JSON object with an ops array"})
+            return
+        self._send_json(200, {"results": execute_ops(self._store, document["ops"])})
+
     def do_PUT(self) -> None:  # noqa: N802
         parsed = urllib.parse.urlparse(self.path)
+        self._count_request("kv")
         key = self._key_from_path(parsed)
         if key is None:
             self._send_json(404, {"error": "unknown path"})
@@ -136,6 +168,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802
         parsed = urllib.parse.urlparse(self.path)
+        self._count_request("kv")
         key = self._key_from_path(parsed)
         if key is None:
             self._send_json(404, {"error": "unknown path"})
@@ -175,6 +208,8 @@ class KVStoreHTTPServer:
     def __init__(self, store: KeyValueStore, host: str = "127.0.0.1", port: int = 0):
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.kv_store = store  # type: ignore[attr-defined]
+        self._server.request_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._server.request_counts = {}  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: threading.Thread | None = None
 
@@ -182,6 +217,17 @@ class KVStoreHTTPServer:
     def address(self) -> tuple[str, int]:
         """(host, port) actually bound — port 0 picks a free one."""
         return self._server.server_address[0], self._server.server_address[1]
+
+    @property
+    def request_counts(self) -> dict[str, int]:
+        """Requests handled so far, keyed by route (kv/scan/stats/batch)."""
+        with self._server.request_lock:  # type: ignore[attr-defined]
+            return dict(self._server.request_counts)  # type: ignore[attr-defined]
+
+    @property
+    def request_count(self) -> int:
+        """Total requests handled so far, across every route."""
+        return sum(self.request_counts.values())
 
     def start(self) -> "KVStoreHTTPServer":
         if self._thread is not None:

@@ -151,6 +151,68 @@ class HdrHistogramMeasurement(OneMeasurement):
             return 0.0
         return self._percentile_us(counts, count, max_us, fraction)
 
+    # -- merge & serialisation -------------------------------------------------
+
+    def merge_from(self, other: "OneMeasurement") -> None:
+        """Fold another HDR histogram in, losslessly.
+
+        Two histograms with the same ``significant_digits`` share slot
+        boundaries exactly, so merging is elementwise count addition: the
+        merged histogram is *identical* to one that had recorded both
+        sample streams directly.
+        """
+        if not isinstance(other, HdrHistogramMeasurement):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into HdrHistogramMeasurement"
+            )
+        if other.significant_digits != self.significant_digits:
+            raise ValueError(
+                "cannot merge HDR histograms with different precision "
+                f"({other.significant_digits} vs {self.significant_digits} digits)"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other._count, other._total_us
+            min_us, max_us = other._min_us, other._max_us
+            codes = dict(other._return_codes)
+        with self._lock:
+            if len(counts) > len(self._counts):
+                self._counts.extend([0] * (len(counts) - len(self._counts)))
+            for index, slot in enumerate(counts):
+                self._counts[index] += slot
+            self._count += count
+            self._total_us += total
+            if min_us is not None and (self._min_us is None or min_us < self._min_us):
+                self._min_us = min_us
+            if max_us is not None and (self._max_us is None or max_us > self._max_us):
+                self._max_us = max_us
+        self._absorb_return_codes(codes)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": "hdrhistogram",
+                "operation": self.operation,
+                "significant_digits": self.significant_digits,
+                "counts": list(self._counts),
+                "count": self._count,
+                "total_us": self._total_us,
+                "min_us": self._min_us,
+                "max_us": self._max_us,
+                "return_codes": dict(self._return_codes),
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HdrHistogramMeasurement":
+        instance = cls(data["operation"], significant_digits=data["significant_digits"])
+        instance._counts = list(data["counts"])
+        instance._count = data["count"]
+        instance._total_us = data["total_us"]
+        instance._min_us = data["min_us"]
+        instance._max_us = data["max_us"]
+        instance._return_codes = dict(data["return_codes"])
+        return instance
+
     def interval_summary(self) -> MeasurementSummary:
         with self._lock:
             delta = [

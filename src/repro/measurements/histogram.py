@@ -78,6 +78,27 @@ class OneMeasurement(ABC):
         with self._lock:
             return dict(self._return_codes)
 
+    def _absorb_return_codes(self, codes: dict[str, int]) -> None:
+        """Add another container's return-code counts into this one."""
+        with self._lock:
+            for code, occurrences in codes.items():
+                self._return_codes[code] = self._return_codes.get(code, 0) + occurrences
+
+    def merge_from(self, other: "OneMeasurement") -> None:
+        """Fold another container's samples into this one (scale-out merge).
+
+        Subclasses merge losslessly where the representation allows it
+        (same-shaped histograms add counts elementwise).  Raises
+        :class:`ValueError` when the two containers are not compatible.
+        """
+        raise ValueError(
+            f"cannot merge {type(other).__name__} into {type(self).__name__}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot, reversible via the matching ``from_dict``."""
+        raise NotImplementedError(f"{type(self).__name__} is not serialisable")
+
     @abstractmethod
     def measure(self, latency_us: int) -> None:
         """Record one latency sample, in microseconds."""
@@ -206,6 +227,63 @@ class HistogramMeasurement(OneMeasurement):
             percentile_99_us=self._percentile_us(delta, count, max_us, 0.99),
         )
 
+    # -- merge & serialisation -------------------------------------------------
+
+    def merge_from(self, other: "OneMeasurement") -> None:
+        if not isinstance(other, HistogramMeasurement):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into HistogramMeasurement"
+            )
+        with other._lock:
+            if len(other._buckets) != len(self._buckets):
+                raise ValueError(
+                    "cannot merge histograms with different bucket counts "
+                    f"({len(other._buckets)} vs {len(self._buckets)})"
+                )
+            buckets = list(other._buckets)
+            overflow, count, total = other._overflow, other._count, other._total_us
+            min_us, max_us = other._min_us, other._max_us
+            codes = dict(other._return_codes)
+        with self._lock:
+            for index, slot in enumerate(buckets):
+                self._buckets[index] += slot
+            self._overflow += overflow
+            self._count += count
+            self._total_us += total
+            if min_us is not None and (self._min_us is None or min_us < self._min_us):
+                self._min_us = min_us
+            if max_us is not None and (self._max_us is None or max_us > self._max_us):
+                self._max_us = max_us
+        self._absorb_return_codes(codes)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "operation": self.operation,
+                "bucket_count": len(self._buckets),
+                "buckets": list(self._buckets),
+                "overflow": self._overflow,
+                "count": self._count,
+                "total_us": self._total_us,
+                "min_us": self._min_us,
+                "max_us": self._max_us,
+                "return_codes": dict(self._return_codes),
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramMeasurement":
+        instance = cls(data["operation"], buckets=data["bucket_count"])
+        instance._buckets = list(data["buckets"])
+        instance._iv_buckets = [0] * len(instance._buckets)
+        instance._overflow = data["overflow"]
+        instance._count = data["count"]
+        instance._total_us = data["total_us"]
+        instance._min_us = data["min_us"]
+        instance._max_us = data["max_us"]
+        instance._return_codes = dict(data["return_codes"])
+        return instance
+
 
 class RawMeasurement(OneMeasurement):
     """Stores every sample; exact percentiles at O(n) memory."""
@@ -259,3 +337,31 @@ class RawMeasurement(OneMeasurement):
             window = self._samples[self._iv_start :]
             self._iv_start = len(self._samples)
         return self._summarize(self.operation, window, {})
+
+    # -- merge & serialisation -------------------------------------------------
+
+    def merge_from(self, other: "OneMeasurement") -> None:
+        if not isinstance(other, RawMeasurement):
+            raise ValueError(f"cannot merge {type(other).__name__} into RawMeasurement")
+        with other._lock:
+            samples = list(other._samples)
+            codes = dict(other._return_codes)
+        with self._lock:
+            self._samples.extend(samples)
+        self._absorb_return_codes(codes)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": "raw",
+                "operation": self.operation,
+                "samples": list(self._samples),
+                "return_codes": dict(self._return_codes),
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RawMeasurement":
+        instance = cls(data["operation"])
+        instance._samples = list(data["samples"])
+        instance._return_codes = dict(data["return_codes"])
+        return instance

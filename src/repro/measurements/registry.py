@@ -152,6 +152,55 @@ class Measurements:
             return MeasurementSummary(operation)
         return container.summary()
 
+    # -- merge & serialisation (scale-out result aggregation) ------------------
+
+    def merge_from(self, other: "Measurements") -> None:
+        """Fold another registry's samples and counters into this one.
+
+        Per-operation containers merge pairwise (HDR histograms of equal
+        precision merge losslessly); counters are summed — each worker
+        process kept its own cumulative totals, so across processes the
+        run total is the sum.
+        """
+        with other._lock:
+            containers = dict(other._measurements)
+            counters = dict(other._counters)
+        for operation, container in containers.items():
+            self._get(operation).merge_from(container)
+        with self._lock:
+            for counter, value in counters.items():
+                self._counters[counter] = self._counters.get(counter, 0) + value
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the whole registry."""
+        with self._lock:
+            containers = dict(self._measurements)
+            counters = dict(self._counters)
+        return {
+            "measurement_type": self._type,
+            "histogram_buckets": self._buckets,
+            "hdr_digits": self._hdr_digits,
+            "operations": {name: c.to_dict() for name, c in containers.items()},
+            "counters": counters,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Measurements":
+        instance = cls(
+            measurement_type=data["measurement_type"],
+            histogram_buckets=data["histogram_buckets"],
+            hdr_digits=data["hdr_digits"],
+        )
+        decoders = {
+            "hdrhistogram": HdrHistogramMeasurement.from_dict,
+            "histogram": HistogramMeasurement.from_dict,
+            "raw": RawMeasurement.from_dict,
+        }
+        for name, payload in data["operations"].items():
+            instance._measurements[name] = decoders[payload["type"]](payload)
+        instance._counters = dict(data["counters"])
+        return instance
+
 
 class StopWatch:
     """Microsecond stopwatch for the measurement hot path.

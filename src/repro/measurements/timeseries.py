@@ -40,6 +40,40 @@ class ThroughputTimeSeries:
     def window_s(self) -> float:
         return self._window_s
 
+    @classmethod
+    def from_window_counts(cls, window_s: float, counts: list[int]) -> "ThroughputTimeSeries":
+        """Rebuild a series from serialised per-window counts."""
+        instance = cls(window_s)
+        instance._counts = [int(count) for count in counts]
+        if instance._counts:
+            instance._started_at = 0.0
+        return instance
+
+    def window_counts(self) -> list[int]:
+        """Per-window operation counts (the serialisable representation)."""
+        with self._lock:
+            return list(self._counts)
+
+    def merge_from(self, other: "ThroughputTimeSeries") -> None:
+        """Add another series' window counts, aligned by window index.
+
+        Workers start each phase at a shared coordination barrier, so
+        window *i* of every worker covers the same wall-clock interval;
+        merging is elementwise addition.
+        """
+        if other.window_s != self.window_s:
+            raise ValueError(
+                f"cannot merge series with window {other.window_s}s into {self.window_s}s"
+            )
+        counts = other.window_counts()
+        with self._lock:
+            if self._started_at is None and counts:
+                self._started_at = 0.0
+            while len(self._counts) < len(counts):
+                self._counts.append(0)
+            for index, count in enumerate(counts):
+                self._counts[index] += count
+
     def record(self, operations: int = 1) -> None:
         """Count ``operations`` completions at the current time."""
         now = self._clock()

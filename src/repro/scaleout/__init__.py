@@ -1,0 +1,23 @@
+"""Multi-process scale-out: N worker processes, one merged report.
+
+The paper's Fig. 2 scales client *threads*; past ~8 threads a single
+CPython process measures the GIL, not the store.  This package spawns
+real worker processes — each running the ordinary :class:`~repro.core.
+client.Client` against :class:`~repro.http.client.HttpKVStore` —
+synchronised through the existing coordination barriers, with the
+keyspace sharded per worker index, and merges the per-worker
+:class:`~repro.core.client.BenchmarkResult`s (HDR histograms included,
+losslessly) into one report.
+"""
+
+from .engine import ScaleoutResult, ScaleoutSpec, run_scaleout
+from .merge import deserialize_result, merge_results, serialize_result
+
+__all__ = [
+    "ScaleoutSpec",
+    "ScaleoutResult",
+    "run_scaleout",
+    "serialize_result",
+    "deserialize_result",
+    "merge_results",
+]

@@ -1,0 +1,239 @@
+"""The multi-process scale-out engine.
+
+Spawns N worker processes (each the ordinary single-process client),
+wires them to one coordination server for barrier-synchronised phase
+starts and keyspace sharding, optionally serves the backing store over
+HTTP from the parent, and merges the per-worker results into one report.
+
+Process model::
+
+    parent ──┬── KVStoreHTTPServer (embedded store, optional)
+             ├── CoordinationServer (register / barriers / reports)
+             ├── worker 0 ──┐
+             ├── worker 1 ──┼── HttpKVStore ──> the one shared store
+             └── worker N-1 ┘
+
+Workers are started with the ``spawn`` method: the parent runs HTTP
+server threads, and forking a multi-threaded CPython process is a
+deadlock lottery.  Results cross back over a multiprocessing queue as
+JSON-safe dicts (see :mod:`repro.scaleout.merge`).
+
+After the run phase the parent re-validates **globally** on the shared
+store — per-worker validations race each other mid-run and are dropped
+by the merge; the parent's validation runs after every worker has
+finished, so it is the authoritative closed-economy check.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+
+from ..coordination.server import CoordinationServer
+from ..core.client import BenchmarkResult
+from ..core.db import MeasuredDB, create_db
+from ..core.properties import Properties
+from ..core.workload import ValidationResult
+from ..http.server import KVStoreHTTPServer
+from ..kvstore.base import KeyValueStore
+from ..kvstore.memory import InMemoryKVStore
+from ..measurements.registry import Measurements
+from .merge import deserialize_result, merge_results
+from .worker import worker_main
+
+__all__ = ["ScaleoutSpec", "ScaleoutResult", "run_scaleout"]
+
+
+@dataclass
+class ScaleoutSpec:
+    """What to run and how to spread it.
+
+    Attributes:
+        processes: worker process count (each runs ``threadcount``
+            threads of its own).
+        db: DB binding alias the *workers* use (``raw_http``,
+            ``txn_http``, or a dotted class path).
+        properties: benchmark properties passed to every worker.
+            ``recordcount`` is global (sharded across workers);
+            ``operationcount`` is **per worker**.
+        phases: phase names in order, subset of ``("load", "run")``.
+        store_address: ``(host, port)`` of an external HTTP store; when
+            None the engine serves ``store`` (or a fresh in-memory store)
+            itself.
+        timeout_s: per-phase ceiling on waiting for worker results.
+    """
+
+    processes: int
+    db: str = "raw_http"
+    properties: dict = field(default_factory=dict)
+    phases: tuple[str, ...] = ("load", "run")
+    store_address: tuple[str, int] | None = None
+    timeout_s: float = 120.0
+
+
+@dataclass
+class ScaleoutResult:
+    """Merged view of one scale-out run."""
+
+    load: BenchmarkResult | None
+    run: BenchmarkResult | None
+    #: phase -> per-worker results, in worker order where available.
+    per_worker: dict[str, list[BenchmarkResult]]
+    #: the coordination server's aggregate of submitted reports.
+    coordinator_summary: dict
+    #: authoritative post-run validation on the shared store (CEW: the
+    #: global anomaly score), None when validation was not applicable.
+    validation: ValidationResult | None
+    worker_errors: list[str]
+
+    @property
+    def anomaly_score(self) -> float | None:
+        return self.validation.anomaly_score if self.validation else None
+
+
+def _global_validation(
+    spec: ScaleoutSpec, address: tuple[str, int], total_operations: int
+) -> ValidationResult | None:
+    """Validate the shared store after all workers have finished.
+
+    Rebuilds the workload in the parent (same properties, no keyspace
+    slice) and runs its validation stage against the store over HTTP.
+    The anomaly-score denominator is the *total* operation count every
+    worker executed, matching the paper's per-operation drift definition.
+    """
+    from ..core.cli import _build_workload
+
+    properties = Properties()
+    for key, value in spec.properties.items():
+        properties.set(key, value)
+    properties.set("http.host", address[0])
+    properties.set("http.port", address[1])
+    workload = _build_workload(properties)
+    workload.init(properties, Measurements())
+    operations_lock = getattr(workload, "_operations_lock", None)
+    if operations_lock is not None:
+        with operations_lock:
+            workload._operations_executed = total_operations
+    db = MeasuredDB(create_db(spec.db, properties), Measurements())
+    db.init()
+    try:
+        return workload.validate(db)
+    finally:
+        db.cleanup()
+        workload.cleanup()
+
+
+def run_scaleout(spec: ScaleoutSpec, store: KeyValueStore | None = None) -> ScaleoutResult:
+    """Run a benchmark across ``spec.processes`` real worker processes.
+
+    ``store`` backs the embedded HTTP server when ``spec.store_address``
+    is None (default: a fresh :class:`~repro.kvstore.memory.
+    InMemoryKVStore`).  Returns the merged per-phase results plus the
+    parent's authoritative global validation.
+    """
+    if spec.processes < 1:
+        raise ValueError("need at least one worker process")
+    unknown = [phase for phase in spec.phases if phase not in ("load", "run")]
+    if unknown:
+        raise ValueError(f"unknown phases {unknown}; expected load/run")
+
+    properties = dict(spec.properties)
+    record_count = int(properties.get("recordcount", 1000))
+    total_cash = properties.get("totalcash")
+    if total_cash is not None and int(total_cash) % record_count != 0:
+        # CEW spreads totalcash % recordcount extra dollars over the
+        # first accounts *of each keyspace slice*; with several slices
+        # the loaded sum would exceed totalcash and every validation
+        # would flag a phantom anomaly.
+        raise ValueError(
+            "totalcash must be divisible by recordcount for multi-process "
+            f"runs ({total_cash} % {record_count} != 0)"
+        )
+
+    server: KVStoreHTTPServer | None = None
+    if spec.store_address is None:
+        server = KVStoreHTTPServer(store if store is not None else InMemoryKVStore())
+        server.start()
+        address = server.address
+    else:
+        address = spec.store_address
+    properties.setdefault("http.host", address[0])
+    properties.setdefault("http.port", address[1])
+
+    coordinator = CoordinationServer(expected_clients=spec.processes)
+    coordinator.start()
+
+    context = multiprocessing.get_context("spawn")
+    queue = context.Queue()
+    workers = []
+    try:
+        for index in range(spec.processes):
+            worker_spec = {
+                "worker_id": f"worker-{index}",
+                "coordinator": list(coordinator.address),
+                "db": spec.db,
+                "phases": list(spec.phases),
+                "properties": properties,
+            }
+            process = context.Process(
+                target=worker_main, args=(worker_spec, queue), name=worker_spec["worker_id"]
+            )
+            process.start()
+            workers.append(process)
+
+        expected_messages = spec.processes * len(spec.phases)
+        by_phase: dict[str, list[BenchmarkResult]] = {phase: [] for phase in spec.phases}
+        errors: list[str] = []
+        received = 0
+        while received < expected_messages:
+            try:
+                message = queue.get(timeout=spec.timeout_s)
+            except Exception as exc:  # queue.Empty, broken pipe on dead workers
+                errors.append(f"timed out waiting for worker results: {exc}")
+                break
+            received += 1
+            if "error" in message:
+                errors.append(f"{message['worker']}: {message['error']}")
+                # A dead worker sends exactly one message regardless of
+                # the remaining phases — stop expecting the rest of its.
+                expected_messages -= len(spec.phases) - 1
+                continue
+            by_phase[message["phase"]].append(deserialize_result(message["result"]))
+
+        for process in workers:
+            process.join(timeout=spec.timeout_s)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+                errors.append(f"{process.name}: terminated after timeout")
+
+        merged: dict[str, BenchmarkResult | None] = {"load": None, "run": None}
+        for phase, results in by_phase.items():
+            if results:
+                merged[phase] = merge_results(results)
+
+        validation: ValidationResult | None = None
+        if "run" in spec.phases and merged["run"] is not None and not errors:
+            total_operations = merged["run"].operations
+            try:
+                validation = _global_validation(spec, address, total_operations)
+            except Exception as exc:  # noqa: BLE001 - surfaced, not fatal
+                errors.append(f"global validation failed: {type(exc).__name__}: {exc}")
+
+        summary = coordinator.state.summary()
+    finally:
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+        coordinator.stop()
+        if server is not None:
+            server.stop()
+
+    return ScaleoutResult(
+        load=merged["load"],
+        run=merged["run"],
+        per_worker=by_phase,
+        coordinator_summary=summary,
+        validation=validation,
+        worker_errors=errors,
+    )

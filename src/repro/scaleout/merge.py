@@ -1,0 +1,127 @@
+"""Serialise, ship, and merge per-worker benchmark results.
+
+Worker processes cannot send live objects to the parent, so a
+:class:`~repro.core.client.BenchmarkResult` crosses the process boundary
+as a JSON-safe dict (:func:`serialize_result` / :func:`deserialize_result`)
+and the parent folds the per-worker results into one
+(:func:`merge_results`).
+
+Merge semantics:
+
+* ``operations`` / ``failed_operations`` / ``thread_count`` — summed;
+* ``run_time_ms`` — the **maximum**, because the phases run concurrently
+  from a shared coordination barrier (summing would divide throughput by
+  the worker count);
+* ``measurements`` — containers merged pairwise; HDR histograms of equal
+  precision merge losslessly (elementwise count addition), so merged
+  percentiles are identical to a single combined run's;
+* ``throughput_series`` — per-window counts added, aligned by index
+  (every worker's window *i* starts at the same barrier release);
+* ``validation`` — dropped (a per-slice validation of a shared table is
+  not meaningful summed; the engine re-validates globally instead).
+"""
+
+from __future__ import annotations
+
+from ..core.client import BenchmarkResult
+from ..core.workload import ValidationResult
+from ..measurements.registry import Measurements
+from ..measurements.timeseries import ThroughputTimeSeries
+
+__all__ = ["serialize_result", "deserialize_result", "merge_results"]
+
+
+def serialize_result(result: BenchmarkResult) -> dict:
+    """JSON-safe snapshot of a finished phase (loses live status snapshots)."""
+    validation = None
+    if result.validation is not None:
+        validation = {
+            "passed": result.validation.passed,
+            "fields": [[str(name), value] for name, value in result.validation.fields],
+            "anomaly_score": result.validation.anomaly_score,
+        }
+    series = None
+    if result.throughput_series is not None:
+        series = {
+            "window_s": result.throughput_series.window_s,
+            "counts": result.throughput_series.window_counts(),
+        }
+    return {
+        "phase": result.phase,
+        "operations": result.operations,
+        "failed_operations": result.failed_operations,
+        "run_time_ms": result.run_time_ms,
+        "thread_count": result.thread_count,
+        "errors": list(result.errors),
+        "measurements": result.measurements.to_dict(),
+        "validation": validation,
+        "throughput_series": series,
+    }
+
+
+def deserialize_result(data: dict) -> BenchmarkResult:
+    validation = None
+    if data["validation"] is not None:
+        validation = ValidationResult(
+            passed=data["validation"]["passed"],
+            fields=[(name, value) for name, value in data["validation"]["fields"]],
+            anomaly_score=data["validation"]["anomaly_score"],
+        )
+    series = None
+    if data["throughput_series"] is not None:
+        series = ThroughputTimeSeries.from_window_counts(
+            data["throughput_series"]["window_s"],
+            data["throughput_series"]["counts"],
+        )
+    return BenchmarkResult(
+        phase=data["phase"],
+        operations=data["operations"],
+        failed_operations=data["failed_operations"],
+        run_time_ms=data["run_time_ms"],
+        measurements=Measurements.from_dict(data["measurements"]),
+        validation=validation,
+        thread_count=data["thread_count"],
+        errors=list(data["errors"]),
+        throughput_series=series,
+    )
+
+
+def merge_results(results: list[BenchmarkResult]) -> BenchmarkResult:
+    """Fold per-worker results of one concurrent phase into a single report."""
+    if not results:
+        raise ValueError("cannot merge zero results")
+    phases = {result.phase for result in results}
+    if len(phases) != 1:
+        raise ValueError(f"cannot merge results from different phases: {sorted(phases)}")
+
+    merged_measurements = Measurements.from_dict(results[0].measurements.to_dict())
+    for result in results[1:]:
+        merged_measurements.merge_from(result.measurements)
+
+    merged_series: ThroughputTimeSeries | None = None
+    for result in results:
+        if result.throughput_series is None:
+            continue
+        if merged_series is None:
+            merged_series = ThroughputTimeSeries.from_window_counts(
+                result.throughput_series.window_s,
+                result.throughput_series.window_counts(),
+            )
+        else:
+            merged_series.merge_from(result.throughput_series)
+
+    errors: list[str] = []
+    for index, result in enumerate(results):
+        errors.extend(f"worker {index}: {error}" for error in result.errors)
+
+    return BenchmarkResult(
+        phase=results[0].phase,
+        operations=sum(result.operations for result in results),
+        failed_operations=sum(result.failed_operations for result in results),
+        run_time_ms=max(result.run_time_ms for result in results),
+        measurements=merged_measurements,
+        validation=None,
+        thread_count=sum(result.thread_count for result in results),
+        errors=errors,
+        throughput_series=merged_series,
+    )

@@ -1,0 +1,86 @@
+"""Worker-process entry point for the scale-out engine.
+
+:func:`worker_main` is what every spawned process runs: register with
+the coordinator, take a keyspace slice, rendezvous at the phase barriers,
+run the ordinary :class:`~repro.core.client.Client` phases, and ship each
+serialised :class:`~repro.core.client.BenchmarkResult` back to the parent
+through a multiprocessing queue.
+
+The function must stay module-level and import-clean: the engine uses the
+``spawn`` start method (fork is unsafe with the parent's HTTP server
+threads), so the child re-imports this module to find its target.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from ..coordination.client import CoordinatorClient
+from ..core.cli import _build_workload
+from ..core.db import create_db
+from ..core.properties import Properties
+from ..measurements.registry import Measurements
+from .merge import serialize_result
+
+__all__ = ["worker_main"]
+
+
+def worker_main(spec: dict, queue) -> None:
+    """Run one worker's share of the benchmark.
+
+    ``spec`` is a plain dict (it crosses the process boundary):
+
+    * ``worker_id`` — this worker's stable name;
+    * ``coordinator`` — ``[host, port]`` of the coordination server;
+    * ``db`` — binding alias or dotted class path (e.g. ``raw_http``);
+    * ``phases`` — subset of ``("load", "run")``, in order;
+    * ``properties`` — benchmark properties; ``operationcount`` is
+      per-worker, ``recordcount`` is global (sliced by worker index).
+
+    One message per phase is put on ``queue``:
+    ``{"worker": id, "phase": name, "result": <serialised result>}``, or a
+    single ``{"worker": id, "error": traceback}`` if the worker dies.
+    """
+    worker_id = spec["worker_id"]
+    try:
+        properties = Properties()
+        for key, value in spec["properties"].items():
+            properties.set(key, value)
+
+        host, port = spec["coordinator"]
+        coordinator = CoordinatorClient((host, port), client_id=worker_id)
+        index, expected = coordinator.register()
+        start, count = CoordinatorClient.keyspace_slice(
+            index, expected, properties.get_int("recordcount", 1000)
+        )
+        # Each worker loads its own contiguous slice; the transaction
+        # phase runs over the whole keyspace.
+        properties.set("insertstart", start)
+        properties.set("insertcount", count)
+
+        measurements = Measurements.from_properties(properties)
+        workload = _build_workload(properties)
+        workload.init(properties, measurements)
+
+        def db_factory():
+            return create_db(spec["db"], properties)
+
+        from ..core.client import Client
+
+        client = Client(workload, db_factory, properties, measurements)
+        try:
+            for phase in spec["phases"]:
+                coordinator.wait_barrier(f"{phase}-start")
+                result = client.load() if phase == "load" else client.run()
+                coordinator.submit_result(phase, result)
+                queue.put(
+                    {
+                        "worker": worker_id,
+                        "phase": phase,
+                        "result": serialize_result(result),
+                    }
+                )
+        finally:
+            workload.cleanup()
+    except BaseException:  # noqa: BLE001 - the parent needs the traceback
+        queue.put({"worker": worker_id, "error": traceback.format_exc()})

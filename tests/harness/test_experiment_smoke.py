@@ -14,10 +14,24 @@ from repro.harness import (
     fig3_transaction_overhead,
     fig4_anomaly_score,
     fig5_raw_scaling,
+    figure2_multiprocess,
     isolation_matrix,
     tier5_operation_overhead,
     tier6_consistency,
 )
+
+
+class TestFigure2MultiprocessSmoke:
+    @pytest.mark.slow
+    def test_structure(self):
+        """Tiny two-point sweep: spawns real processes, so marked slow."""
+        result = figure2_multiprocess(quick=True, process_counts=(1, 2))
+        series = result.series[0]
+        assert series.xs() == [1, 2]
+        for point in series.points:
+            assert point.throughput > 0
+            assert point.failed_operations == 0
+            assert point.extra["http_requests"].get("batch", 0) > 0
 
 
 class TestFig2Smoke:

@@ -1,0 +1,210 @@
+"""Batch protocol equivalence: one POST /batch == N single-op requests.
+
+The batch endpoint and the single-op REST routes are two encodings of
+the same store contract, so a batched op sequence must produce results
+**byte-for-byte identical** (as canonical JSON) to executing the same
+ops one by one — across unicode keys, empty field maps, mixed op kinds,
+and partial failures.  Seeded random sequences keep the space honest
+without flaky tests.
+
+Also pins the point of batching: loading records through the
+write-behind wrapper must cost at least 10x fewer HTTP round trips than
+single-op PUTs (the ISSUE's acceptance bar), measured with the server's
+own request counters.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.http import HttpKVStore, KVStoreHTTPServer
+from repro.http.batch import (
+    execute_ops,
+    insert_ops,
+    op_cas,
+    op_delete,
+    op_delete_if,
+    op_get,
+    op_insert,
+    op_put,
+    op_scan,
+    put_ops,
+)
+from repro.http.batching import BatchingKVStore
+from repro.kvstore import InMemoryKVStore
+
+# Deliberately hostile keys: multi-byte unicode, URL metacharacters,
+# whitespace, and a key that is pure percent-encoding bait.
+KEYS = [
+    "user1",
+    "user/2/with/slashes",
+    "ключ-три",
+    "鍵四",
+    "key five with spaces",
+    "percent%2Fencoded%20bait",
+    "emoji-🔑",
+]
+
+FIELD_POOL = [
+    {},
+    {"f": ""},
+    {"field0": "value0", "field1": "value1"},
+    {"поле": "значение", "λ": "μ"},
+    {"f": "x" * 200},
+]
+
+
+def _random_ops(rng: random.Random, count: int) -> list[dict]:
+    """A seeded op sequence with every kind and deliberate failures."""
+    ops: list[dict] = []
+    for _ in range(count):
+        key = rng.choice(KEYS)
+        fields = rng.choice(FIELD_POOL)
+        kind = rng.randrange(7)
+        if kind == 0:
+            ops.append(op_get(key))
+        elif kind == 1:
+            ops.append(op_put(key, fields))
+        elif kind == 2:
+            ops.append(op_insert(key, fields))  # 412 when the key exists
+        elif kind == 3:
+            # Version 1 is sometimes current, mostly stale -> mixed 200/412.
+            ops.append(op_cas(key, fields, rng.choice([1, 2, 999])))
+        elif kind == 4:
+            ops.append(op_delete(key))  # 404 when missing
+        elif kind == 5:
+            ops.append(op_delete_if(key, rng.choice([1, 999])))
+        else:
+            ops.append(op_scan(rng.choice(KEYS), rng.randrange(0, 5)))
+    return ops
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, ensure_ascii=False)
+
+
+def _state_dump(store) -> str:
+    return _canonical(
+        [[key, meta.value, meta.version] for key, meta in
+         ((k, store.get_with_meta(k)) for k in store.keys())]
+    )
+
+
+@pytest.fixture()
+def served_store():
+    backing = InMemoryKVStore()
+    server = KVStoreHTTPServer(backing).start()
+    client = HttpKVStore(server.address)
+    yield backing, server, client
+    client.close()
+    server.stop()
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_batched_results_match_sequential_execution(self, served_store, seed):
+        """POST /batch over the wire == the same ops on a local mirror."""
+        backing, _server, client = served_store
+        mirror = InMemoryKVStore()
+        rng = random.Random(seed)
+        for _round in range(4):
+            ops = _random_ops(rng, 25)
+            over_the_wire = client.execute_batch(ops)
+            locally = execute_ops(mirror, ops)
+            assert _canonical(over_the_wire) == _canonical(locally)
+        assert _state_dump(backing) == _state_dump(mirror)
+
+    def test_unicode_keys_survive_the_round_trip(self, served_store):
+        backing, _server, client = served_store
+        records = [(key, {"who": key}) for key in KEYS]
+        results = client.execute_batch(insert_ops(records))
+        assert [r["status"] for r in results] == [200] * len(KEYS)
+        for key in KEYS:
+            assert client.get(key) == {"who": key}
+            assert backing.get(key) == {"who": key}
+
+    def test_empty_fields_and_empty_values(self, served_store):
+        _backing, _server, client = served_store
+        results = client.execute_batch(
+            [op_put("empty", {}), op_put("blank", {"f": ""}), op_get("empty")]
+        )
+        assert [r["status"] for r in results] == [200, 200, 200]
+        assert results[2]["fields"] == {}
+        assert client.get("blank") == {"f": ""}
+
+    def test_partial_failures_do_not_poison_the_batch(self, served_store):
+        """Each op fails or succeeds alone; later ops still execute."""
+        _backing, _server, client = served_store
+        results = client.execute_batch(
+            [
+                op_insert("k", {"n": "1"}),
+                op_insert("k", {"n": "2"}),   # duplicate -> 412
+                op_cas("k", {"n": "3"}, 999),  # stale version -> 412
+                op_delete("missing"),          # -> 404
+                op_get("k"),                   # still the first insert
+            ]
+        )
+        assert [r["status"] for r in results] == [200, 412, 412, 404, 200]
+        assert results[4]["fields"] == {"n": "1"}
+
+    def test_malformed_op_is_a_per_op_400(self, served_store):
+        _backing, _server, client = served_store
+        results = client.execute_batch(
+            [{"op": "nonsense", "key": "k"}, op_put("k", {"f": "v"})]
+        )
+        assert results[0]["status"] == 400
+        assert results[1]["status"] == 200
+
+
+class TestRoundTripSavings:
+    def test_batched_load_is_10x_fewer_round_trips(self):
+        """The ISSUE's bar: batched load >= 10x fewer HTTP requests."""
+        records = [(f"user{i:04d}", {"field0": str(i)}) for i in range(300)]
+
+        single_server = KVStoreHTTPServer(InMemoryKVStore()).start()
+        try:
+            client = HttpKVStore(single_server.address)
+            for key, fields in records:
+                client.put(key, fields)
+            client.close()
+            single_requests = single_server.request_count
+        finally:
+            single_server.stop()
+
+        batch_server = KVStoreHTTPServer(InMemoryKVStore()).start()
+        try:
+            batching = BatchingKVStore(
+                HttpKVStore(batch_server.address), batch_size=50
+            )
+            batching.put_batch(records)
+            batching.close()
+            batch_requests = batch_server.request_count
+            batch_counts = batch_server.request_counts
+        finally:
+            batch_server.stop()
+
+        assert single_requests == 300
+        assert batch_counts.get("kv", 0) == 0  # everything rode /batch
+        assert batch_requests * 10 <= single_requests, (
+            f"batched load used {batch_requests} round trips vs "
+            f"{single_requests} single-op requests"
+        )
+
+    def test_put_batch_is_one_request(self):
+        server = KVStoreHTTPServer(InMemoryKVStore()).start()
+        try:
+            client = HttpKVStore(server.address)
+            versions = client.put_batch(
+                [(f"k{i}", {"n": str(i)}) for i in range(40)]
+            )
+            client.close()
+            assert len(versions) == 40
+            assert server.request_counts == {"batch": 1}
+        finally:
+            server.stop()
+
+    def test_put_ops_and_insert_ops_shapes(self):
+        records = [("a", {"f": "1"})]
+        assert put_ops(records)[0]["op"] == "put"
+        assert insert_ops(records)[0]["op"] == "insert"

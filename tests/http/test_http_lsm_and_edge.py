@@ -52,35 +52,43 @@ class TestConnectionBehaviour:
             yield server, client
             client.close()
 
-    def test_connection_reused_within_thread(self, stack):
+    def test_connection_returned_to_pool_and_reused(self, stack):
         _, client = stack
         client.put("k", {"f": "v"})
-        first = client._connection()
+        assert client._pool.idle_count() == 1
+        pooled = client._pool._idle[0]
         client.get("k")
-        assert client._connection() is first
+        # The same keep-alive connection was borrowed and returned.
+        assert client._pool.idle_count() == 1
+        assert client._pool._idle[0] is pooled
 
-    def test_threads_get_separate_connections(self, stack):
-        _, client = stack
-        client.put("k", {})
-        connections = {}
+    def test_pool_bounds_idle_connections(self, stack):
+        server, _ = stack
+        small = HttpKVStore(server.address, pool_size=2)
+        try:
+            small.put("k", {})
 
-        def worker(name):
-            client.get("k")
-            connections[name] = client._connection()
+            def worker():
+                for _ in range(5):
+                    small.get("k")
 
-        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        assert len({id(conn) for conn in connections.values()}) == 3
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # However many connections were open concurrently, at most
+            # pool_size survive as idle keep-alives.
+            assert small._pool.idle_count() <= 2
+        finally:
+            small.close()
 
     def test_stale_connection_transparently_retried(self, stack):
         _, client = stack
         client.put("k", {"f": "v"})
-        # Kill the cached connection behind the client's back; the next
-        # request must re-establish and succeed.
-        client._connection().close()
+        # Kill the pooled connection's socket behind the client's back;
+        # the next request must re-establish and succeed.
+        client._pool._idle[0].close()
         assert client.get("k") == {"f": "v"}
 
     def test_empty_key_round_trip(self, stack):

@@ -2,22 +2,36 @@
 
 Runs the same :class:`~repro.kvstore.base.KeyValueStore` behavioural
 contract against every store implementation in the repository (plus the
-HTTP client), so a new backend cannot silently diverge on the semantics
-the transaction layer depends on — especially the conditional writes.
+HTTP client, with and without write-behind batching), so a new backend
+cannot silently diverge on the semantics the transaction layer depends
+on — especially the conditional writes.
+
+The matrix is self-policing: :func:`test_every_store_class_is_in_the_matrix`
+walks the concrete ``KeyValueStore`` subclasses in the ``repro`` package
+and fails if one is neither parametrised below nor explicitly exempted,
+so adding a store without contract coverage is a test failure, not a
+code-review hope.
 """
 
+import inspect
 import random
 
 import pytest
 
+from repro.core.retry import RetryPolicy, RetryingStore
 from repro.http import HttpKVStore, KVStoreHTTPServer
+from repro.http.batching import BatchingKVStore
 from repro.kvstore import (
+    FaultInjectingStore,
     InMemoryKVStore,
+    LatencyInjectingStore,
+    NoLatency,
     ReadPreference,
     ReplicatedKVStore,
     ShardedKVStore,
     SimulatedCloudStore,
 )
+from repro.kvstore.base import KeyValueStore
 from repro.kvstore.cloud import CloudStoreProfile
 from repro.kvstore.lsm import LSMKVStore
 
@@ -30,10 +44,22 @@ _FAST_CLOUD = CloudStoreProfile(
     burst=1e9,
 )
 
+#: kind -> store class it exercises, for the coverage sweep below.
+MATRIX = {
+    "memory": InMemoryKVStore,
+    "lsm": LSMKVStore,
+    "cloud": SimulatedCloudStore,
+    "sharded": ShardedKVStore,
+    "replicated-primary": ReplicatedKVStore,
+    "faults-off": FaultInjectingStore,
+    "latency-zero": LatencyInjectingStore,
+    "retrying": RetryingStore,
+    "http": HttpKVStore,
+    "http-batching": BatchingKVStore,
+}
 
-@pytest.fixture(
-    params=["memory", "lsm", "cloud", "sharded", "replicated-primary", "http"]
-)
+
+@pytest.fixture(params=sorted(MATRIX))
 def store(request, tmp_path):
     """A fresh store of each kind, torn down afterwards."""
     kind = request.param
@@ -54,10 +80,30 @@ def store(request, tmp_path):
             read_preference=ReadPreference.PRIMARY,
             rng=random.Random(1),
         )
+    elif kind == "faults-off":
+        # Default profile: every fault rate is zero.  The wrapper must be
+        # perfectly transparent when quiet.
+        yield FaultInjectingStore(InMemoryKVStore())
+    elif kind == "latency-zero":
+        yield LatencyInjectingStore(InMemoryKVStore(), NoLatency())
+    elif kind == "retrying":
+        yield RetryingStore(
+            InMemoryKVStore(), RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+        )
     elif kind == "http":
         backing = InMemoryKVStore()
         server = KVStoreHTTPServer(backing).start()
         client = HttpKVStore(server.address)
+        yield client
+        client.close()
+        server.stop()
+    elif kind == "http-batching":
+        # The batch-coalescing wrapper over the real wire protocol: the
+        # whole suite doubles as the proof that write-behind batching
+        # preserves read-your-writes and conditional-write semantics.
+        backing = InMemoryKVStore()
+        server = KVStoreHTTPServer(backing).start()
+        client = BatchingKVStore(HttpKVStore(server.address), batch_size=3)
         yield client
         client.close()
         server.stop()
@@ -135,6 +181,21 @@ class TestStoreContract:
                     break
         assert store.get("counter") == {"n": "5"}
 
+    def test_put_batch_lands_and_reads_back(self, store):
+        """Stores exposing bulk writes must keep read-your-writes.
+
+        The batching wrapper buffers ``put_batch`` but flushes before any
+        other operation, so every store with a batch path must show all
+        batched records to an immediate read or scan.
+        """
+        if not hasattr(store, "put_batch"):
+            pytest.skip("store has no bulk-write path")
+        records = [(f"user{i}", {"n": str(i)}) for i in range(7)]
+        versions = store.put_batch(records)
+        assert len(versions) == len(records)
+        assert store.get("user3") == {"n": "3"}
+        assert [key for key, _ in store.scan("user0", 7)] == [k for k, _ in records]
+
     def test_transactions_run_on_top(self, store):
         """The contract is sufficient for the transaction layer."""
         from repro.txn import ClientTransactionManager
@@ -151,3 +212,29 @@ class TestStoreContract:
         with manager.transaction() as tx:
             assert tx.read("acct:a") == {"bal": "5"}
             assert tx.read("acct:b") == {"bal": "25"}
+
+
+def _concrete_store_classes() -> set[type]:
+    """Every concrete KeyValueStore subclass shipped in ``repro``.
+
+    Test doubles (``tests.*`` modules) are out of scope — only classes a
+    user can actually deploy must be in the matrix.
+    """
+    found: set[type] = set()
+    stack = list(KeyValueStore.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if cls.__module__.startswith("repro.") and not inspect.isabstract(cls):
+            found.add(cls)
+    return found
+
+
+def test_every_store_class_is_in_the_matrix():
+    """Adding a store without contract coverage fails loudly."""
+    covered = set(MATRIX.values())
+    missing = {cls.__name__ for cls in _concrete_store_classes() - covered}
+    assert not missing, (
+        f"stores without contract coverage: {sorted(missing)}; add them to "
+        "the MATRIX in tests/kvstore/test_store_contract.py"
+    )

@@ -1,0 +1,104 @@
+"""Fast end-to-end check of the multi-process scale-out engine.
+
+Two real spawned worker processes load disjoint keyspace slices into one
+embedded HTTP store, run a read-heavy CEW phase, and the parent merges
+their results and validates the shared store globally.  Marked at module
+level so the whole file can be excluded from ultra-fast loops, but it is
+deliberately small enough (tens of operations) for the tier-1 suite.
+"""
+
+import pytest
+
+from repro.harness import cew_properties
+from repro.kvstore import InMemoryKVStore
+from repro.scaleout import ScaleoutSpec, run_scaleout
+
+PROCESSES = 2
+RECORDS = 40
+OPS_PER_WORKER = 50
+
+
+def _spec(**extra) -> ScaleoutSpec:
+    properties = dict(
+        cew_properties(
+            recordcount=RECORDS,
+            operationcount=OPS_PER_WORKER,
+            totalcash=RECORDS * 100,
+            readproportion=1.0,
+            readmodifywriteproportion=0.0,
+            threadcount=2,
+            seed=7,
+        ).as_dict()
+    ) | {
+        "workload": "closed_economy",
+        "batchsize": "10",
+        "http.batchsize": "10",
+    } | extra
+    return ScaleoutSpec(
+        processes=PROCESSES,
+        db="raw_http",
+        properties=properties,
+        phases=("load", "run"),
+        timeout_s=60.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One shared run: spawning processes is the expensive part."""
+    return run_scaleout(_spec(), store=InMemoryKVStore())
+
+
+class TestScaleoutEngine:
+    def test_no_worker_errors(self, result):
+        assert result.worker_errors == []
+
+    def test_load_is_sharded_exactly_once(self, result):
+        # Every record loaded by exactly one worker: merged load ops ==
+        # the global record count, not processes * recordcount.
+        assert result.load.operations == RECORDS
+        assert result.load.failed_operations == 0
+
+    def test_run_sums_per_worker_budgets(self, result):
+        assert result.run.operations == PROCESSES * OPS_PER_WORKER
+        assert result.run.thread_count == PROCESSES * 2
+
+    def test_per_worker_results_are_kept(self, result):
+        assert len(result.per_worker["load"]) == PROCESSES
+        assert len(result.per_worker["run"]) == PROCESSES
+        assert (sum(r.operations for r in result.per_worker["run"])
+                == result.run.operations)
+
+    def test_global_validation_passes_for_read_only_run(self, result):
+        assert result.validation is not None
+        assert result.validation.passed is True
+        assert result.anomaly_score == 0.0
+
+    def test_coordinator_saw_every_report(self, result):
+        summary = result.coordinator_summary
+        assert summary["reports"] == PROCESSES * 2  # one per worker per phase
+        assert summary["total_operations"] == (
+            result.load.operations + result.run.operations
+        )
+
+    def test_measurements_cover_the_mix(self, result):
+        operations = set(result.run.measurements.operations())
+        assert "READ" in operations
+
+
+class TestSpecValidation:
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_scaleout(ScaleoutSpec(processes=0))
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phases"):
+            run_scaleout(ScaleoutSpec(processes=1, phases=("load", "verify")))
+
+    def test_rejects_indivisible_totalcash(self):
+        spec = ScaleoutSpec(
+            processes=2,
+            properties={"recordcount": "40", "totalcash": "4001"},
+        )
+        with pytest.raises(ValueError, match="divisible"):
+            run_scaleout(spec)

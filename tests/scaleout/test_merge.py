@@ -1,0 +1,166 @@
+"""Merged reports must equal the report of the combined run.
+
+The scale-out engine's whole credibility rests on one claim: merging K
+per-worker results is *lossless* — the merged HDR histograms, counters
+and throughput series are exactly what one process measuring all the
+samples would have produced.  These tests pin that claim for every
+measurement type, plus the serialisation the results ride across the
+process boundary on.
+"""
+
+import random
+
+import pytest
+
+from repro.core.client import BenchmarkResult
+from repro.core.workload import ValidationResult
+from repro.measurements.registry import Measurements
+from repro.measurements.timeseries import ThroughputTimeSeries
+from repro.scaleout import deserialize_result, merge_results, serialize_result
+
+K = 4
+SAMPLES_PER_WORKER = 500
+
+
+def _seeded_samples(worker: int) -> list[int]:
+    """A long-tailed latency series, microseconds, distinct per worker."""
+    rng = random.Random(1000 + worker)
+    return [int(rng.lognormvariate(7.0 + 0.2 * worker, 0.8)) + 1
+            for _ in range(SAMPLES_PER_WORKER)]
+
+
+def _fill(measurements: Measurements, samples: list[int], worker: int) -> None:
+    for latency in samples:
+        measurements.measure("READ", latency)
+        if latency % 3 == 0:
+            measurements.measure("UPDATE", latency // 2 + 1)
+    measurements.report_status("READ", "OK")
+    measurements.increment("retries", worker + 1)
+
+
+def _merged_and_combined(measurement_type: str) -> tuple[Measurements, Measurements]:
+    """Merge K per-worker registries; also build the one-process registry."""
+    per_worker = []
+    combined = Measurements(measurement_type=measurement_type)
+    for worker in range(K):
+        own = Measurements(measurement_type=measurement_type)
+        samples = _seeded_samples(worker)
+        _fill(own, samples, worker)
+        _fill(combined, samples, worker)
+        per_worker.append(own)
+    # Merge through the wire format, exactly as the engine does.
+    merged = Measurements.from_dict(per_worker[0].to_dict())
+    for other in per_worker[1:]:
+        merged.merge_from(Measurements.from_dict(other.to_dict()))
+    return merged, combined
+
+
+@pytest.mark.parametrize("measurement_type", ["hdrhistogram", "histogram", "raw"])
+def test_merge_is_lossless_for_every_measurement_type(measurement_type):
+    """Merged summaries == the combined run's summaries, field for field."""
+    merged, combined = _merged_and_combined(measurement_type)
+    assert merged.operations() == combined.operations()
+    assert merged.counters() == combined.counters()
+    for operation in combined.operations():
+        got = merged.summary_for(operation)
+        want = combined.summary_for(operation)
+        assert got.count == want.count
+        assert got.min_us == want.min_us
+        assert got.max_us == want.max_us
+        assert got.average_us == pytest.approx(want.average_us, rel=1e-9)
+        # Bucketed sketches quantise identically on both paths, so even
+        # the percentiles must match exactly, not approximately.
+        assert got.percentile_95_us == want.percentile_95_us
+        assert got.percentile_99_us == want.percentile_99_us
+        assert got.return_codes == want.return_codes
+
+
+def test_merged_hdr_percentiles_within_1pct_of_exact():
+    """<1% error vs the exact percentiles of the pooled raw samples."""
+    merged, _combined = _merged_and_combined("hdrhistogram")
+    exact = Measurements(measurement_type="raw")
+    for worker in range(K):
+        _fill(exact, _seeded_samples(worker), worker)
+    for operation in exact.operations():
+        got = merged.summary_for(operation)
+        want = exact.summary_for(operation)
+        assert got.percentile_95_us == pytest.approx(want.percentile_95_us, rel=0.01)
+        assert got.percentile_99_us == pytest.approx(want.percentile_99_us, rel=0.01)
+        assert got.average_us == pytest.approx(want.average_us, rel=0.01)
+
+
+def test_measurements_serialisation_round_trips():
+    for measurement_type in ("hdrhistogram", "histogram", "raw"):
+        original = Measurements(measurement_type=measurement_type)
+        _fill(original, _seeded_samples(0), 0)
+        clone = Measurements.from_dict(original.to_dict())
+        assert clone.measurement_type == original.measurement_type
+        assert clone.counters() == original.counters()
+        for operation in original.operations():
+            assert clone.summary_for(operation) == original.summary_for(operation)
+
+
+def _worker_result(worker: int, run_time_ms: float) -> BenchmarkResult:
+    measurements = Measurements()
+    _fill(measurements, _seeded_samples(worker), worker)
+    series = ThroughputTimeSeries.from_window_counts(1.0, [10 + worker, 20, 5])
+    return BenchmarkResult(
+        phase="run",
+        operations=100 + worker,
+        failed_operations=worker,
+        run_time_ms=run_time_ms,
+        measurements=measurements,
+        validation=ValidationResult(passed=True, fields=[("COUNTED", 1)], anomaly_score=0.0),
+        thread_count=2,
+        errors=[f"oops-{worker}"] if worker == 2 else [],
+        throughput_series=series,
+    )
+
+
+def test_result_serialisation_round_trips():
+    original = _worker_result(1, 1234.5)
+    clone = deserialize_result(serialize_result(original))
+    assert clone.phase == original.phase
+    assert clone.operations == original.operations
+    assert clone.failed_operations == original.failed_operations
+    assert clone.run_time_ms == original.run_time_ms
+    assert clone.thread_count == original.thread_count
+    assert clone.errors == original.errors
+    assert clone.validation.passed is True
+    assert clone.validation.anomaly_score == 0.0
+    assert clone.throughput_series.window_counts() == [10 + 1, 20, 5]
+    for operation in original.measurements.operations():
+        assert (clone.measurements.summary_for(operation)
+                == original.measurements.summary_for(operation))
+
+
+def test_merge_results_arithmetic():
+    results = [_worker_result(worker, 1000.0 + 100 * worker) for worker in range(K)]
+    merged = merge_results(results)
+    assert merged.phase == "run"
+    assert merged.operations == sum(100 + worker for worker in range(K))
+    assert merged.failed_operations == sum(range(K))
+    # Workers run concurrently from a barrier: wall time is the max.
+    assert merged.run_time_ms == 1000.0 + 100 * (K - 1)
+    assert merged.thread_count == 2 * K
+    assert merged.errors == ["worker 2: oops-2"]
+    # Per-worker validations race mid-run; the merge must drop them and
+    # leave global validation to the parent.
+    assert merged.validation is None
+    assert merged.throughput_series.window_counts() == [
+        sum(10 + worker for worker in range(K)), 20 * K, 5 * K]
+    combined = Measurements()
+    for worker in range(K):
+        _fill(combined, _seeded_samples(worker), worker)
+    for operation in combined.operations():
+        assert (merged.measurements.summary_for(operation)
+                == combined.summary_for(operation))
+
+
+def test_merge_results_rejects_empty_and_mixed_phases():
+    with pytest.raises(ValueError):
+        merge_results([])
+    load = _worker_result(0, 10.0)
+    load.phase = "load"
+    with pytest.raises(ValueError):
+        merge_results([load, _worker_result(1, 10.0)])

@@ -1,0 +1,72 @@
+"""The paper's core claim, across real OS processes.
+
+YCSB+T exists to show that the closed-economy anomaly score separates a
+raw (non-transactional) binding from a transactional one under real
+concurrency.  The in-process stress tests show it across threads; this
+one shows it across *processes* — N spawned workers hammer read-modify-
+write operations on a tiny shared keyspace through one HTTP front end:
+
+* raw binding: unprotected read-then-put loses updates, money leaks,
+  gamma > 0;
+* transactional binding: optimistic transactions with CAS commit keep
+  the economy closed, gamma == 0, exactly.
+"""
+
+import pytest
+
+from repro.harness import cew_properties
+from repro.scaleout import ScaleoutSpec, run_scaleout
+
+PROCESSES = 2
+THREADS = 3
+RECORDS = 8  # tiny keyspace -> near-certain cross-process collisions
+OPS_PER_WORKER = 200
+
+
+def _gamma(db: str, seed: int) -> float:
+    properties = dict(
+        cew_properties(
+            recordcount=RECORDS,
+            operationcount=OPS_PER_WORKER,
+            totalcash=RECORDS * 1000,
+            readproportion=0.0,
+            readmodifywriteproportion=1.0,
+            requestdistribution="uniform",
+            threadcount=THREADS,
+            seed=seed,
+        ).as_dict()
+    ) | {"workload": "closed_economy"}
+    result = run_scaleout(
+        ScaleoutSpec(
+            processes=PROCESSES,
+            db=db,
+            properties=properties,
+            phases=("load", "run"),
+            timeout_s=120.0,
+        )
+    )
+    assert result.worker_errors == []
+    assert result.run.operations == PROCESSES * OPS_PER_WORKER
+    assert result.validation is not None
+    return result.validation.anomaly_score
+
+
+@pytest.mark.slow
+class TestCrossProcessConsistency:
+    def test_raw_binding_leaks_money(self):
+        """Lost updates across processes must show up as gamma > 0."""
+        # The race is real nondeterminism: allow a couple of seeds before
+        # declaring the detector broken.
+        gammas = []
+        for seed in (11, 12, 13):
+            gammas.append(_gamma("raw_http", seed))
+            if gammas[-1] > 0:
+                break
+        assert max(gammas) > 0, (
+            f"no anomaly detected across seeds (gammas={gammas}); either the "
+            "store became accidentally serialisable or validation is broken"
+        )
+
+    def test_txn_binding_keeps_the_economy_closed(self):
+        """The transactional binding must score exactly zero."""
+        assert _gamma("txn_http", 21) == 0.0
