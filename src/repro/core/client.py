@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import sys
 import threading
-import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -25,6 +24,7 @@ from ..measurements.exporters import RunReport
 from ..measurements.live import StatusReporter, StatusSnapshot
 from ..measurements.registry import Measurements, StopWatch
 from ..measurements.timeseries import ThroughputTimeSeries
+from ..sim.clock import Clock, get_clock
 from .db import DB, MeasuredDB
 from .properties import Properties
 from .throttle import Throttle
@@ -117,6 +117,12 @@ class Client:
         measurements: shared measurement registry (created when omitted).
         status_sink: stream the live status thread writes to when the
             ``status`` property is true (default stderr).
+        clock: time source for the phase clock, throttles and throughput
+            windows.  Defaults to the ambient clock, so a client built
+            inside ``use_clock(SimClock(...))`` runs in virtual time: its
+            "threads" become cooperative tasks on the sim scheduler and a
+            phase spanning thousands of simulated seconds finishes in
+            milliseconds of wall time, deterministically.
     """
 
     def __init__(
@@ -126,12 +132,14 @@ class Client:
         properties: Properties | None = None,
         measurements: Measurements | None = None,
         status_sink=None,
+        clock: Clock | None = None,
     ):
         self.workload = workload
         self.db_factory = db_factory
         self.properties = properties or Properties()
         self.measurements = measurements or Measurements.from_properties(self.properties)
         self.status_sink = status_sink if status_sink is not None else sys.stderr
+        self._clock = clock
 
     # -- phases -----------------------------------------------------------------------
 
@@ -156,23 +164,78 @@ class Client:
 
     # -- machinery ---------------------------------------------------------------------
 
-    def _thread_throttle(self, thread_count: int) -> Callable[[], Throttle | None]:
+    def _thread_throttle(self, thread_count: int, clock: Clock) -> Callable[[], Throttle | None]:
         target = self.properties.get_float("target", 0.0)
         if target <= 0:
             return lambda: None
         per_thread = target / thread_count
-        return lambda: Throttle(per_thread)
+        return lambda: Throttle(per_thread, clock=clock.monotonic, sleep=clock.sleep)
+
+    def _worker_body(
+        self,
+        phase: str,
+        work: _SharedWork,
+        batch_size: int,
+        series: ThroughputTimeSeries | None,
+        db: MeasuredDB,
+        thread_state: object,
+        throttle: Throttle | None,
+        counts: list[int],
+    ) -> None:
+        """The per-thread operation loop, shared by real threads and
+        simulated tasks.  ``counts`` is ``[done, failed]``, updated in
+        place so a mid-loop exception loses no accounting."""
+        while True:
+            if self.workload.stop_requested:
+                break
+            if phase == "load" and batch_size > 1:
+                claimed = work.claim_up_to(batch_size)
+                if claimed == 0:
+                    break
+                if throttle is not None:
+                    throttle.wait_for_turns(claimed)
+                inserted = self._one_batch_insert(db, thread_state, claimed)
+                counts[0] += claimed
+                counts[1] += claimed - inserted
+                # Only committed inserts enter the throughput series, and
+                # only after the batch's fate is known.
+                if series is not None and inserted:
+                    series.record(inserted)
+                continue
+            if not work.claim():
+                break
+            if throttle is not None:
+                throttle.wait_for_turn()
+            if phase == "load":
+                ok = self._one_insert(db, thread_state)
+            else:
+                ok = self._one_transaction(db, thread_state)
+            counts[0] += 1
+            if not ok:
+                counts[1] += 1
+            if series is not None:
+                series.record()
 
     def _execute_phase(self, phase: str, total_operations: int) -> BenchmarkResult:
+        clock = self._clock if self._clock is not None else get_clock()
         thread_count = max(1, self.properties.get_int("threadcount", 1))
         work = _SharedWork(total_operations)
-        make_throttle = self._thread_throttle(thread_count)
+        make_throttle = self._thread_throttle(thread_count, clock)
         batch_size = max(1, self.properties.get_int("batchsize", 1))
         status_enabled = self.properties.get_bool("status", False)
         status_interval = self.properties.get_float("status.interval", 0.0)
         if status_enabled and status_interval <= 0:
             status_interval = 1.0
-        series = ThroughputTimeSeries(status_interval) if status_interval > 0 else None
+        series = (
+            ThroughputTimeSeries(status_interval, clock=clock.monotonic)
+            if status_interval > 0
+            else None
+        )
+        scheduler = getattr(clock, "scheduler", None)
+        if scheduler is not None:
+            return self._execute_phase_sim(
+                phase, clock, scheduler, thread_count, work, make_throttle, batch_size, series
+            )
         counters_lock = threading.Lock()
         completed = 0
         failed = 0
@@ -183,50 +246,22 @@ class Client:
         # never be excluded from the measured run time.
         start_stamp: list[float] = []
         barrier = threading.Barrier(
-            thread_count + 1, action=lambda: start_stamp.append(time.perf_counter())
+            thread_count + 1, action=lambda: start_stamp.append(clock.monotonic())
         )
 
         def worker(thread_id: int) -> None:
             nonlocal completed, failed
             db = None
-            local_done = 0
-            local_failed = 0
+            counts = [0, 0]
             try:
                 db = MeasuredDB(self.db_factory(), self.measurements)
                 db.init()
                 thread_state = self.workload.init_thread(thread_id, thread_count)
                 throttle = make_throttle()
                 barrier.wait()
-                while True:
-                    if self.workload.stop_requested:
-                        break
-                    if phase == "load" and batch_size > 1:
-                        claimed = work.claim_up_to(batch_size)
-                        if claimed == 0:
-                            break
-                        if throttle is not None:
-                            throttle.wait_for_turns(claimed)
-                        inserted = self._one_batch_insert(db, thread_state, claimed)
-                        local_done += claimed
-                        local_failed += claimed - inserted
-                        # Only committed inserts enter the throughput
-                        # series, and only after the batch's fate is known.
-                        if series is not None and inserted:
-                            series.record(inserted)
-                        continue
-                    if not work.claim():
-                        break
-                    if throttle is not None:
-                        throttle.wait_for_turn()
-                    if phase == "load":
-                        ok = self._one_insert(db, thread_state)
-                    else:
-                        ok = self._one_transaction(db, thread_state)
-                    local_done += 1
-                    if not ok:
-                        local_failed += 1
-                    if series is not None:
-                        series.record()
+                self._worker_body(
+                    phase, work, batch_size, series, db, thread_state, throttle, counts
+                )
             except threading.BrokenBarrierError:
                 pass  # a peer failed to initialise; its error is already recorded
             except Exception as exc:  # noqa: BLE001 - surfaced in the result
@@ -239,8 +274,8 @@ class Client:
                 if db is not None:
                     db.cleanup()
                 with counters_lock:
-                    completed += local_done
-                    failed += local_failed
+                    completed += counts[0]
+                    failed += counts[1]
 
         threads = [
             threading.Thread(target=worker, args=(i,), name=f"ycsbt-{phase}-{i}")
@@ -253,7 +288,7 @@ class Client:
         except threading.BrokenBarrierError:
             pass  # a worker failed during init; run ends immediately with errors
         if not start_stamp:
-            start_stamp.append(time.perf_counter())  # broken barrier: action never ran
+            start_stamp.append(clock.monotonic())  # broken barrier: action never ran
         reporter: StatusReporter | None = None
         if status_enabled and series is not None:
             reporter = StatusReporter(
@@ -266,7 +301,7 @@ class Client:
             reporter.start()
         for thread in threads:
             thread.join()
-        run_time_ms = (time.perf_counter() - start_stamp[0]) * 1000.0
+        run_time_ms = (clock.monotonic() - start_stamp[0]) * 1000.0
         if reporter is not None:
             reporter.stop()
 
@@ -282,6 +317,74 @@ class Client:
             errors=errors,
             throughput_series=series,
             status_snapshots=list(reporter.snapshots) if reporter is not None else [],
+        )
+
+    def _execute_phase_sim(
+        self,
+        phase: str,
+        clock: Clock,
+        scheduler,
+        thread_count: int,
+        work: _SharedWork,
+        make_throttle: Callable[[], Throttle | None],
+        batch_size: int,
+        series: ThroughputTimeSeries | None,
+    ) -> BenchmarkResult:
+        """Virtual-time phase execution: cooperative tasks, no barrier.
+
+        Every simulated "thread" starts at the same virtual instant (the
+        scheduler queues them all at ``now``), so no start rendezvous is
+        needed, and the phase clock is virtual.  The live status thread is
+        skipped — it is a wall-clock observer with no meaning inside a
+        simulation (the throughput *series* still fills from virtual
+        time).  Task ordering, and therefore every interleaving, is a pure
+        function of the scheduler state and the workload seeds.
+        """
+        completed = 0
+        failed = 0
+        errors: list[str] = []
+
+        def make_task(thread_id: int) -> Callable[[], None]:
+            def task() -> None:
+                nonlocal completed, failed
+                db = None
+                counts = [0, 0]
+                try:
+                    db = MeasuredDB(self.db_factory(), self.measurements)
+                    db.init()
+                    thread_state = self.workload.init_thread(thread_id, thread_count)
+                    throttle = make_throttle()
+                    self._worker_body(
+                        phase, work, batch_size, series, db, thread_state, throttle, counts
+                    )
+                except Exception as exc:  # noqa: BLE001 - surfaced in the result
+                    errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
+                finally:
+                    if db is not None:
+                        db.cleanup()
+                    completed += counts[0]
+                    failed += counts[1]
+
+            return task
+
+        started_at = clock.monotonic()
+        scheduler.run(
+            [make_task(i) for i in range(thread_count)],
+            names=[f"{phase}-{i}" for i in range(thread_count)],
+        )
+        run_time_ms = (clock.monotonic() - started_at) * 1000.0
+
+        validation = self._validation_stage()
+        return BenchmarkResult(
+            phase=phase,
+            operations=completed,
+            failed_operations=failed,
+            run_time_ms=run_time_ms,
+            measurements=self.measurements,
+            validation=validation,
+            thread_count=thread_count,
+            errors=errors,
+            throughput_series=series,
         )
 
     def _one_batch_insert(self, db: MeasuredDB, thread_state: object, count: int) -> int:

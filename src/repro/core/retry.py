@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 from collections.abc import Callable
 from typing import Any, TypeVar
 
+from ..sim.clock import ambient_monotonic, ambient_sleep
 from ..kvstore.base import (
     Fields,
     KeyValueStore,
@@ -126,8 +126,8 @@ class RetryPolicy:
         deadline_s: float | None = None,
         retryable: tuple[type[Exception], ...] = DEFAULT_RETRYABLE,
         rng: random.Random | None = None,
-        sleep=time.sleep,
-        clock=time.monotonic,
+        sleep=ambient_sleep,
+        clock=ambient_monotonic,
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -148,24 +148,33 @@ class RetryPolicy:
         self.stats = RetryStats()
 
     @classmethod
-    def from_properties(cls, properties, stats: RetryStats | None = None) -> "RetryPolicy | None":
+    def from_properties(
+        cls,
+        properties,
+        stats: RetryStats | None = None,
+        rng: random.Random | None = None,
+    ) -> "RetryPolicy | None":
         """Build a policy from workload properties; None when disabled.
 
         Properties: ``retry.max_attempts`` [1 = disabled],
         ``retry.base_delay_ms`` [5], ``retry.max_delay_ms`` [500],
-        ``retry.deadline_ms`` [none], ``retry.seed`` [none].
+        ``retry.deadline_ms`` [none], ``retry.seed`` [none].  An explicit
+        ``rng`` wins over ``retry.seed``; with neither, jitter is drawn
+        from a fresh unseeded RNG (non-deterministic).
         """
         max_attempts = properties.get_int("retry.max_attempts", 1)
         if max_attempts <= 1:
             return None
         deadline_ms = properties.get_float("retry.deadline_ms", 0.0)
         seed = properties.get("retry.seed")
+        if rng is None and seed is not None:
+            rng = random.Random(int(seed))
         policy = cls(
             max_attempts=max_attempts,
             base_delay_s=properties.get_float("retry.base_delay_ms", 5.0) / 1000.0,
             max_delay_s=properties.get_float("retry.max_delay_ms", 500.0) / 1000.0,
             deadline_s=deadline_ms / 1000.0 if deadline_ms > 0 else None,
-            rng=random.Random(int(seed)) if seed is not None else None,
+            rng=rng,
         )
         if stats is not None:
             policy.stats = stats

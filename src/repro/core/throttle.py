@@ -9,7 +9,7 @@ operation rather than drifting permanently below target.
 
 from __future__ import annotations
 
-import time
+from ..sim.clock import ambient_monotonic, ambient_sleep
 
 __all__ = ["Throttle"]
 
@@ -17,7 +17,7 @@ __all__ = ["Throttle"]
 class Throttle:
     """Paces one thread at ``ops_per_second`` operations per second."""
 
-    def __init__(self, ops_per_second: float, clock=time.monotonic, sleep=time.sleep):
+    def __init__(self, ops_per_second: float, clock=ambient_monotonic, sleep=ambient_sleep):
         if ops_per_second <= 0:
             raise ValueError(f"ops_per_second must be positive, got {ops_per_second}")
         self._interval = 1.0 / ops_per_second

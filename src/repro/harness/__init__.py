@@ -1,6 +1,6 @@
 """Experiment harness: one entry point per paper figure/table."""
 
-from .contention import ContendedDB, ContentionModel
+from .contention import ContendedDB, ContentionModel, VirtualTimeContentionModel
 from .experiments import (
     PROCESSES_FIG2,
     THREADS_FIG2,
@@ -12,6 +12,7 @@ from .experiments import (
     fig5_raw_scaling,
     figure2_multiprocess,
     isolation_matrix,
+    sim_figure2,
     tier5_operation_overhead,
     tier6_consistency,
 )
@@ -22,6 +23,7 @@ from .runner import cew_properties, run_cew, run_phase_pair
 __all__ = [
     "ContendedDB",
     "ContentionModel",
+    "VirtualTimeContentionModel",
     "PROCESSES_FIG2",
     "THREADS_FIG2",
     "THREADS_LOCAL",
@@ -32,6 +34,7 @@ __all__ = [
     "fig4_anomaly_score",
     "fig5_raw_scaling",
     "isolation_matrix",
+    "sim_figure2",
     "tier5_operation_overhead",
     "tier6_consistency",
     "render_experiment",

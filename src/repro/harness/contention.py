@@ -19,6 +19,10 @@ and aggregate throughput falls — reproducing Fig. 2's right-hand side.
 Busy-waiting is used for sub-millisecond costs because ``time.sleep``
 cannot resolve tens of microseconds reliably; the spin runs inside the
 critical section, which is exactly the semantics being modelled.
+:class:`VirtualTimeContentionModel` is the simulation-safe variant: under
+a :class:`~repro.sim.scheduler.SimClock` a busy-wait would hang forever
+(virtual time only advances when the running task sleeps), so it books
+the serialised cost on a FIFO virtual resource instead.
 """
 
 from __future__ import annotations
@@ -29,8 +33,10 @@ from collections.abc import Mapping
 
 from ..core.db import DB
 from ..core.status import Status
+from ..sim.clock import Clock, get_clock
+from ..sim.scheduler import VirtualResource
 
-__all__ = ["ContentionModel", "ContendedDB"]
+__all__ = ["ContentionModel", "VirtualTimeContentionModel", "ContendedDB"]
 
 
 class ContentionModel:
@@ -73,6 +79,30 @@ class ContentionModel:
                     pass
             else:
                 time.sleep(cost)
+
+
+class VirtualTimeContentionModel(ContentionModel):
+    """Contention model safe under a simulated clock.
+
+    Same cost curve as :class:`ContentionModel`, but the serialised
+    critical section is a :class:`~repro.sim.scheduler.VirtualResource`:
+    each operation reserves ``cost(N)`` seconds of the shared resource
+    (FIFO) and sleeps until its reservation completes, so contention
+    costs virtual time — one scheduler event — instead of a spin that
+    would never let virtual time advance.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        base_cost_s: float = 20e-6,
+        per_thread_cost_s: float = 3e-6,
+    ):
+        super().__init__(base_cost_s=base_cost_s, per_thread_cost_s=per_thread_cost_s)
+        self._resource = VirtualResource(clock if clock is not None else get_clock())
+
+    def pay(self) -> None:
+        self._resource.occupy(self.cost_s())
 
 
 class ContendedDB(DB):

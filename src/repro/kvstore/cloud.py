@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 
+from ..sim.clock import ambient_monotonic, ambient_sleep
 from .base import Fields, KeyValueStore, RateLimitExceeded, VersionedValue
 from .latency import LatencyModel, LognormalLatency, NoLatency
 from .memory import InMemoryKVStore
@@ -110,7 +110,8 @@ class SimulatedCloudStore(KeyValueStore):
         profile: CloudStoreProfile = WAS_PROFILE,
         scale: float = 1.0,
         rng: random.Random | None = None,
-        sleep=time.sleep,
+        sleep=ambient_sleep,
+        clock=ambient_monotonic,
     ):
         profile = profile.scaled(scale) if scale != 1.0 else profile
         self._profile = profile
@@ -127,7 +128,7 @@ class SimulatedCloudStore(KeyValueStore):
             if profile.write_median_s > 0
             else NoLatency()
         )
-        self._bucket = TokenBucket(profile.requests_per_second, profile.burst)
+        self._bucket = TokenBucket(profile.requests_per_second, profile.burst, clock=clock)
         self._throttle_lock = threading.Lock()
         self._throttled_requests = 0
 

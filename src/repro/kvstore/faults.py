@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 
+from ..sim.clock import ambient_sleep
 from .base import Fields, KeyValueStore, TransientStoreError, VersionedValue
 from .latency import ConstantLatency, LatencyModel
 from .ratelimit import TokenBucket
@@ -153,7 +153,7 @@ class FaultInjectingStore(KeyValueStore):
         seed: int | None = 0,
         rng: random.Random | None = None,
         token_bucket: TokenBucket | None = None,
-        sleep=time.sleep,
+        sleep=ambient_sleep,
     ):
         self._inner = inner
         self._profile = profile or FaultProfile()

@@ -12,10 +12,10 @@ thread-scaling experiments meaningful under the GIL.
 from __future__ import annotations
 
 import random
-import time
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Mapping
 
+from ..sim.clock import ambient_sleep
 from .base import Fields, KeyValueStore, VersionedValue
 
 __all__ = [
@@ -123,7 +123,7 @@ class LatencyInjectingStore(KeyValueStore):
         inner: KeyValueStore,
         read_latency: LatencyModel,
         write_latency: LatencyModel | None = None,
-        sleep=time.sleep,
+        sleep=ambient_sleep,
     ):
         self._inner = inner
         self._read_latency = read_latency

@@ -10,9 +10,21 @@ token bucket here reproduces that behaviour for the simulated cloud store.
 from __future__ import annotations
 
 import threading
-import time
+
+from ..sim.clock import ambient_monotonic, ambient_sleep
 
 __all__ = ["TokenBucket"]
+
+#: Tokens within this of the requirement count as available.  Refill
+#: arithmetic leaves float dust (a deficit of ~1e-15 tokens), and waiting
+#: it out would mean pauses too small to advance a virtual clock at all
+#: (now + 1e-18 == now in float64) — a Zeno loop that freezes simulated
+#: time.  Wall clocks self-advance, which is why only simulation hits it.
+_TOKEN_EPSILON = 1e-9
+
+#: Smallest blocking pause: short enough to be invisible in any measured
+#: latency, large enough that a virtual clock reliably moves forward.
+_MIN_PAUSE_S = 1e-7
 
 
 class TokenBucket:
@@ -23,7 +35,7 @@ class TokenBucket:
     retry with backoff folded into latency).
     """
 
-    def __init__(self, rate: float, burst: float | None = None, clock=time.monotonic):
+    def __init__(self, rate: float, burst: float | None = None, clock=ambient_monotonic):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self._rate = rate
@@ -45,27 +57,32 @@ class TokenBucket:
         if elapsed > 0:
             self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
             self._last_refill = now
+        elif elapsed < 0:
+            # The clock moved backwards: the ambient clock switched between
+            # wall and virtual time after construction. Re-anchor instead of
+            # freezing refills forever.
+            self._last_refill = now
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
         """Take ``tokens`` if available; False otherwise (no waiting)."""
         with self._lock:
             self._refill_locked()
-            if self._tokens >= tokens:
-                self._tokens -= tokens
+            if self._tokens + _TOKEN_EPSILON >= tokens:
+                self._tokens = max(0.0, self._tokens - tokens)
                 return True
             return False
 
-    def acquire(self, tokens: float = 1.0, sleep=time.sleep) -> float:
+    def acquire(self, tokens: float = 1.0, sleep=ambient_sleep) -> float:
         """Block until ``tokens`` are available; returns seconds waited."""
         waited = 0.0
         while True:
             with self._lock:
                 self._refill_locked()
-                if self._tokens >= tokens:
-                    self._tokens -= tokens
+                if self._tokens + _TOKEN_EPSILON >= tokens:
+                    self._tokens = max(0.0, self._tokens - tokens)
                     return waited
                 deficit = tokens - self._tokens
-                pause = deficit / self._rate
+                pause = max(deficit / self._rate, _MIN_PAUSE_S)
             sleep(pause)
             waited += pause
 

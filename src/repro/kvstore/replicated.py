@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 from collections import deque
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 from enum import Enum
 
 from .base import Fields, KeyValueStore, VersionedValue
+from ..sim.clock import ambient_monotonic
 from .memory import InMemoryKVStore
 
 __all__ = ["ReadPreference", "ReplicatedKVStore"]
@@ -61,7 +61,7 @@ class ReplicatedKVStore(KeyValueStore):
         lag_seconds: float = 0.05,
         read_preference: ReadPreference = ReadPreference.REPLICA,
         rng: random.Random | None = None,
-        clock=time.monotonic,
+        clock=ambient_monotonic,
     ):
         if replica_count < 1:
             raise ValueError(f"replica_count must be >= 1, got {replica_count}")

@@ -9,9 +9,9 @@ operation name ("READ", "TX-READ", "COMMIT", ...).
 from __future__ import annotations
 
 import threading
-import time
 
 from .hdr import HdrHistogramMeasurement
+from ..sim.clock import ambient_perf_counter_ns
 from .histogram import HistogramMeasurement, MeasurementSummary, OneMeasurement, RawMeasurement
 
 __all__ = ["Measurements", "StopWatch", "MEASUREMENT_TYPES", "DEFAULT_MEASUREMENT_TYPE"]
@@ -209,13 +209,14 @@ class StopWatch:
     CPython exposes.
     """
 
-    __slots__ = ("_start_ns",)
+    __slots__ = ("_start_ns", "_clock_ns")
 
-    def __init__(self) -> None:
-        self._start_ns = time.perf_counter_ns()
+    def __init__(self, clock_ns=ambient_perf_counter_ns) -> None:
+        self._clock_ns = clock_ns
+        self._start_ns = clock_ns()
 
     def restart(self) -> None:
-        self._start_ns = time.perf_counter_ns()
+        self._start_ns = self._clock_ns()
 
     def elapsed_us(self) -> int:
-        return (time.perf_counter_ns() - self._start_ns) // 1000
+        return (self._clock_ns() - self._start_ns) // 1000

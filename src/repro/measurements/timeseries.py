@@ -9,8 +9,9 @@ into fixed wall-clock windows with O(windows) memory.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
+
+from ..sim.clock import ambient_monotonic
 
 __all__ = ["ThroughputWindow", "ThroughputTimeSeries"]
 
@@ -27,7 +28,7 @@ class ThroughputWindow:
 class ThroughputTimeSeries:
     """Counts operations into consecutive windows of ``window_s`` seconds."""
 
-    def __init__(self, window_s: float = 1.0, clock=time.monotonic):
+    def __init__(self, window_s: float = 1.0, clock=ambient_monotonic):
         if window_s <= 0:
             raise ValueError(f"window_s must be positive, got {window_s}")
         self._window_s = window_s

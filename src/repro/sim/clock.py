@@ -1,0 +1,137 @@
+"""Clock protocol: wall time vs. virtual time.
+
+Every module in the stack that used to call ``time.sleep``/``time.monotonic``
+directly now defaults to the *ambient* clock — a process-global
+:class:`Clock` that is :class:`WallClock` unless a simulation has installed
+a :class:`~repro.sim.scheduler.SimClock` via :func:`use_clock`.  The
+``ambient_*`` module functions dispatch at **call time**, so they are safe
+to use as default parameter values: an object constructed before a sim
+clock is installed still runs on virtual time once inside the
+``use_clock`` block.
+
+The ambient clock is deliberately process-global rather than thread-local:
+a simulation's cooperative tasks are real OS threads (parked on events,
+one runnable at a time), and all of them must see the same virtual clock.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "WALL_CLOCK",
+    "get_clock",
+    "set_clock",
+    "use_clock",
+    "ambient_sleep",
+    "ambient_now",
+    "ambient_now_us",
+    "ambient_monotonic",
+    "ambient_perf_counter_ns",
+]
+
+
+class Clock(ABC):
+    """Time source + sleep primitive, swappable between wall and virtual."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Seconds since the epoch (wall) or since the sim epoch (virtual)."""
+
+    @abstractmethod
+    def monotonic(self) -> float:
+        """Monotonic seconds; only differences are meaningful."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block the caller for ``seconds`` (virtual seconds under a sim)."""
+
+    def now_us(self) -> int:
+        """Microseconds since the epoch (transaction-timestamp resolution)."""
+        return int(self.now() * 1_000_000)
+
+    def perf_counter_ns(self) -> int:
+        """Nanosecond counter for latency stopwatches."""
+        return int(self.monotonic() * 1_000_000_000)
+
+
+class WallClock(Clock):
+    """The real clock: thin delegation to the :mod:`time` module."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def now_us(self) -> int:
+        return time.time_ns() // 1000
+
+    def perf_counter_ns(self) -> int:
+        return time.perf_counter_ns()
+
+
+WALL_CLOCK = WallClock()
+
+_active: Clock = WALL_CLOCK
+
+
+def get_clock() -> Clock:
+    """The ambient clock (wall unless a simulation installed its own)."""
+    return _active
+
+
+def set_clock(clock: Clock | None) -> Clock:
+    """Install ``clock`` as the ambient clock; ``None`` restores wall time.
+
+    Returns the previously active clock so callers can restore it.  Prefer
+    the :func:`use_clock` context manager, which restores automatically.
+    """
+    global _active
+    previous = _active
+    _active = clock if clock is not None else WALL_CLOCK
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Clock):
+    """Run a block with ``clock`` as the ambient clock, then restore."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+# -- call-time dispatch helpers ---------------------------------------------------------
+#
+# These exist so modules can write ``sleep=ambient_sleep`` as a *default
+# argument* and still pick up a sim clock installed later: the default
+# binds the dispatcher function, not the clock active at import time.
+
+
+def ambient_sleep(seconds: float) -> None:
+    _active.sleep(seconds)
+
+
+def ambient_now() -> float:
+    return _active.now()
+
+
+def ambient_now_us() -> int:
+    return _active.now_us()
+
+
+def ambient_monotonic() -> float:
+    return _active.monotonic()
+
+
+def ambient_perf_counter_ns() -> int:
+    return _active.perf_counter_ns()

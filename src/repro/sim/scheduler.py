@@ -1,0 +1,207 @@
+"""Discrete-event scheduler: deterministic cooperative tasks in virtual time.
+
+The :class:`Scheduler` owns a virtual clock (``now``, in seconds) and an
+event heap keyed ``(wake_time, sequence)``.  Simulated client "threads"
+are real OS threads, but **cooperative**: exactly one is runnable at any
+moment, and control transfers only at :meth:`Scheduler.sleep` calls.  The
+heap's sequence number breaks wake-time ties in push order, so a whole
+run's interleaving is a pure function of the task bodies and their seeds
+— no OS scheduling, no wall time, no races.
+
+Sleeping costs nothing: ``sleep(30.0)`` pushes a wake event 30 virtual
+seconds out and hands control to the next event, so a benchmark spanning
+thousands of simulated seconds finishes in however long its *compute*
+takes (typically well under a second).
+
+:class:`SimClock` adapts a scheduler to the :class:`~repro.sim.clock.Clock`
+protocol so the entire benchmark stack — latency models, rate limiters,
+fault injectors, retry backoff, throttles, stopwatches — runs on virtual
+time when installed via :func:`~repro.sim.clock.use_clock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections.abc import Callable, Sequence
+
+from .clock import Clock
+
+__all__ = ["Scheduler", "SimClock", "SimTaskFailed", "VirtualResource", "SIM_EPOCH"]
+
+#: Fixed epoch for SimClock.now(): an arbitrary, stable instant so two runs
+#: of the same seed produce byte-identical timestamps (2020-09-13T12:26:40Z).
+SIM_EPOCH = 1_600_000_000.0
+
+
+class SimTaskFailed(Exception):
+    """A simulated task raised; carries the original as ``__cause__``."""
+
+
+class _Task:
+    __slots__ = ("name", "index", "fn", "thread", "resume", "finished", "error", "result")
+
+    def __init__(self, name: str, index: int, fn: Callable[[], object]):
+        self.name = name
+        self.index = index
+        self.fn = fn
+        self.thread: threading.Thread | None = None
+        self.resume = threading.Event()
+        self.finished = False
+        self.error: BaseException | None = None
+        self.result: object = None
+
+
+class Scheduler:
+    """Event-heap driver for deterministic cooperative multitasking."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self.events_processed = 0
+        self._heap: list[tuple[float, int, _Task]] = []
+        self._seq = itertools.count()
+        self._control = threading.Event()
+        self._tasks_by_ident: dict[int, _Task] = {}
+        self._current: _Task | None = None
+        self._running = False
+
+    @property
+    def current_task_name(self) -> str | None:
+        """Name of the task currently holding control (None in the driver)."""
+        task = self._tasks_by_ident.get(threading.get_ident())
+        return task.name if task is not None else None
+
+    # -- task-side API ------------------------------------------------------------------
+
+    def sleep(self, seconds: float) -> None:
+        """Suspend the calling task for ``seconds`` of virtual time.
+
+        Called from the driver (outside :meth:`run`) it simply advances the
+        clock, which lets setup code that sleeps — warmups, probes — work
+        before any tasks exist.
+        """
+        seconds = max(0.0, float(seconds))
+        task = self._tasks_by_ident.get(threading.get_ident())
+        if task is None or task is not self._current:
+            self.now += seconds
+            return
+        heapq.heappush(self._heap, (self.now + seconds, next(self._seq), task))
+        task.resume.clear()
+        self._control.set()
+        task.resume.wait()
+
+    # -- driver-side API ----------------------------------------------------------------
+
+    def run(
+        self,
+        fns: Sequence[Callable[[], object]],
+        names: Sequence[str] | None = None,
+    ) -> list[object]:
+        """Run callables as cooperative tasks until every one completes.
+
+        All tasks start at the current virtual instant, in list order.
+        Returns their results in the same order; if any task raised, the
+        first failure (by completion order) is re-raised as
+        :exc:`SimTaskFailed` after the remaining tasks finish.
+        """
+        if self._running:
+            raise RuntimeError("scheduler is already running a task set")
+        self._running = True
+        tasks = []
+        try:
+            for index, fn in enumerate(fns):
+                name = names[index] if names is not None else f"task-{index}"
+                task = _Task(name, index, fn)
+                task.thread = threading.Thread(
+                    target=self._task_main, args=(task,), name=f"sim:{name}", daemon=True
+                )
+                tasks.append(task)
+                heapq.heappush(self._heap, (self.now, next(self._seq), task))
+                task.thread.start()
+            while self._heap:
+                when, _, task = heapq.heappop(self._heap)
+                if when > self.now:
+                    self.now = when
+                self.events_processed += 1
+                self._control.clear()
+                self._current = task
+                task.resume.set()
+                self._control.wait()
+                self._current = None
+                if task.finished:
+                    task.thread.join()
+        finally:
+            self._running = False
+        for task in tasks:
+            if task.error is not None:
+                raise SimTaskFailed(f"simulated task {task.name!r} failed") from task.error
+        return [task.result for task in tasks]
+
+    def _task_main(self, task: _Task) -> None:
+        self._tasks_by_ident[threading.get_ident()] = task
+        task.resume.wait()
+        try:
+            task.result = task.fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via SimTaskFailed
+            task.error = exc
+        finally:
+            task.finished = True
+            self._tasks_by_ident.pop(threading.get_ident(), None)
+            self._control.set()
+
+
+class SimClock(Clock):
+    """Virtual-time :class:`Clock` driven by a :class:`Scheduler`.
+
+    ``monotonic()`` is the scheduler's clock directly; ``now()`` offsets it
+    by a fixed :data:`SIM_EPOCH` so epoch-based timestamps (transaction
+    clocks) are stable across runs and machines.
+    """
+
+    def __init__(self, scheduler: Scheduler | None = None, epoch: float = SIM_EPOCH):
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self._epoch = float(epoch)
+
+    def now(self) -> float:
+        return self._epoch + self.scheduler.now
+
+    def monotonic(self) -> float:
+        return self.scheduler.now
+
+    def sleep(self, seconds: float) -> None:
+        self.scheduler.sleep(seconds)
+
+    def now_us(self) -> int:
+        return int(round(self.now() * 1_000_000))
+
+    def perf_counter_ns(self) -> int:
+        return int(round(self.scheduler.now * 1_000_000_000))
+
+
+class VirtualResource:
+    """A serialised resource paid for in virtual time (FIFO queueing).
+
+    Models the shared client-side cost that produces Fig. 2's throughput
+    *decline*: each request occupies the resource for ``cost`` seconds,
+    and requests queue behind each other.  Under a busy-wait model this
+    would hang a simulation (spinning never advances virtual time), so
+    occupancy is book-kept as ``busy_until`` and the excess is slept —
+    one cheap event per request.
+
+    Safe without locks under a :class:`Scheduler` (only one task runs at a
+    time and control transfers only inside ``sleep``); for wall-clock use
+    wrap calls in an external lock.
+    """
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._busy_until = 0.0
+
+    def occupy(self, cost_s: float) -> None:
+        if cost_s <= 0.0:
+            return
+        now = self._clock.monotonic()
+        start = max(now, self._busy_until)
+        self._busy_until = start + cost_s
+        self._clock.sleep(self._busy_until - now)

@@ -1,0 +1,160 @@
+"""Operation tracing for simulated runs.
+
+A violation found by a seed-sweep campaign is only useful if it can be
+*replayed* and *read*: :class:`TracingDB` records every DB call a
+simulated run makes — virtual timestamp, which simulated task issued it,
+phase, operation, key, resulting status — into a :class:`SimTrace`.  A
+trace plus the run's seed and fault schedule is the minimal reproducing
+artifact: re-running the same seed regenerates the identical interleaving
+event for event.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..core.db import DB
+from ..core.status import Status
+from .scheduler import Scheduler
+
+__all__ = ["TraceEvent", "SimTrace", "TracingDB"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One DB call as seen by the simulation."""
+
+    time_s: float
+    task: str
+    phase: str
+    op: str
+    key: str | None
+    status: str
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "t": self.time_s,
+            "task": self.task,
+            "phase": self.phase,
+            "op": self.op,
+            "status": self.status,
+        }
+        if self.key is not None:
+            payload["key"] = self.key
+        return payload
+
+
+class SimTrace:
+    """Accumulates :class:`TraceEvent` rows from one simulated run.
+
+    ``phase`` is a settable label ("load", "run", "validate") the campaign
+    advances between client phases.  A ``max_events`` cap bounds memory on
+    long runs; ``dropped`` counts what the cap cut, so a truncated trace
+    is never mistaken for a complete one.
+    """
+
+    def __init__(self, scheduler: Scheduler, max_events: int = 200_000):
+        self._scheduler = scheduler
+        self._max_events = max_events
+        self.phase = "setup"
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, op: str, key: str | None, status: Status) -> None:
+        if len(self.events) >= self._max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                time_s=round(self._scheduler.now, 9),
+                task=self._scheduler.current_task_name or "driver",
+                phase=self.phase,
+                op=op,
+                key=key,
+                status=status.name,
+            )
+        )
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "dropped_events": self.dropped,
+        }
+
+
+class TracingDB(DB):
+    """DB wrapper that logs every call into a :class:`SimTrace`.
+
+    Sits *inside* the client's ``MeasuredDB`` wrapper (the campaign's DB
+    factory returns it), so measured latencies include no tracing overhead
+    distortions — tracing costs no virtual time at all.
+    """
+
+    def __init__(self, inner: DB, trace: SimTrace):
+        super().__init__(inner.properties)
+        self._inner = inner
+        self._trace = trace
+
+    @property
+    def inner(self) -> DB:
+        return self._inner
+
+    def init(self) -> None:
+        self._inner.init()
+
+    def cleanup(self) -> None:
+        self._inner.cleanup()
+
+    def counters(self) -> dict[str, int]:
+        return self._inner.counters()
+
+    @staticmethod
+    def _full_key(table: str, key: str) -> str:
+        return f"{table}:{key}" if table else key
+
+    def read(self, table, key, fields=None):
+        result, data = self._inner.read(table, key, fields)
+        self._trace.record("READ", self._full_key(table, key), result)
+        return result, data
+
+    def scan(self, table, start_key, record_count, fields=None):
+        result, rows = self._inner.scan(table, start_key, record_count, fields)
+        self._trace.record("SCAN", self._full_key(table, start_key), result)
+        return result, rows
+
+    def update(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        result = self._inner.update(table, key, values)
+        self._trace.record("UPDATE", self._full_key(table, key), result)
+        return result
+
+    def insert(self, table: str, key: str, values: Mapping[str, str]) -> Status:
+        result = self._inner.insert(table, key, values)
+        self._trace.record("INSERT", self._full_key(table, key), result)
+        return result
+
+    def delete(self, table: str, key: str) -> Status:
+        result = self._inner.delete(table, key)
+        self._trace.record("DELETE", self._full_key(table, key), result)
+        return result
+
+    def batch_insert(self, table, records) -> Status:
+        result = self._inner.batch_insert(table, records)
+        first_key = records[0][0] if records else ""
+        self._trace.record("BATCH-INSERT", self._full_key(table, first_key), result)
+        return result
+
+    def start(self) -> Status:
+        result = self._inner.start()
+        self._trace.record("START", None, result)
+        return result
+
+    def commit(self) -> Status:
+        result = self._inner.commit()
+        self._trace.record("COMMIT", None, result)
+        return result
+
+    def abort(self) -> Status:
+        result = self._inner.abort()
+        self._trace.record("ABORT", None, result)
+        return result

@@ -17,7 +17,6 @@ defaults to the manager's default store.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Mapping
 from contextlib import contextmanager
@@ -25,6 +24,7 @@ from enum import Enum
 from typing import Any, Iterator, TypeVar
 
 from ..kvstore.base import Fields, KeyValueStore
+from ..sim.clock import ambient_sleep
 from .errors import TransactionConflict, TransactionError, TransactionStateError
 
 __all__ = ["TxState", "Transaction", "TransactionManager"]
@@ -140,7 +140,7 @@ class TransactionManager(ABC):
         body: Callable[[Transaction], T],
         retries: int = 10,
         backoff_s: float = 0.001,
-        sleep: Callable[[float], Any] = time.sleep,
+        sleep: Callable[[float], Any] = ambient_sleep,
     ) -> T:
         """Run ``body`` in a transaction, retrying on conflicts.
 

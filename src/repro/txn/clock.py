@@ -19,8 +19,9 @@ guaranteed by bumping at least 1 per call.
 from __future__ import annotations
 
 import threading
-import time
 from abc import ABC, abstractmethod
+
+from ..sim.clock import ambient_now_us, ambient_sleep
 
 __all__ = ["TimestampSource", "LocalClock", "HybridClock", "TimestampOracle"]
 
@@ -43,7 +44,7 @@ class LocalClock(TimestampSource):
     def __init__(self, now_us=None):
         self._lock = threading.Lock()
         self._last = 0
-        self._now_us = now_us or (lambda: time.time_ns() // 1000)
+        self._now_us = now_us or ambient_now_us
 
     def next_timestamp(self) -> int:
         with self._lock:
@@ -63,7 +64,7 @@ class HybridClock(TimestampSource):
     def __init__(self, now_us=None):
         self._lock = threading.Lock()
         self._last = 0
-        self._now_us = now_us or (lambda: time.time_ns() // 1000)
+        self._now_us = now_us or ambient_now_us
 
     def observe(self, remote_timestamp: int) -> None:
         """Ratchet the clock past a timestamp another client produced."""
@@ -87,7 +88,7 @@ class TimestampOracle(TimestampSource):
     benchmark measures.
     """
 
-    def __init__(self, rpc_delay_s: float = 0.0, sleep=time.sleep):
+    def __init__(self, rpc_delay_s: float = 0.0, sleep=ambient_sleep):
         if rpc_delay_s < 0:
             raise ValueError(f"rpc_delay_s must be >= 0, got {rpc_delay_s}")
         self._lock = threading.Lock()

@@ -37,12 +37,12 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 import uuid
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..core.retry import RetryPolicy, RetryStats
+from ..sim.clock import ambient_now_us, ambient_sleep
 from ..kvstore.base import Fields, KeyValueStore, StoreError
 from .base import Transaction, TransactionManager, TxState
 from .clock import LocalClock, TimestampSource
@@ -114,8 +114,9 @@ class ClientTransactionManager(TransactionManager):
         lock_wait_retries: int = 50,
         lock_wait_s: float = 0.0005,
         isolation: str = "snapshot",
-        sleep=time.sleep,
+        sleep=ambient_sleep,
         retry_policy: RetryPolicy | None = None,
+        client_id: str | None = None,
     ):
         if isinstance(stores, KeyValueStore):
             stores = {"default": stores}
@@ -133,7 +134,10 @@ class ClientTransactionManager(TransactionManager):
         self.retry_policy = retry_policy
         self.retry_stats = retry_policy.stats if retry_policy is not None else RetryStats()
         self._sleep = sleep
-        self._client_id = uuid.uuid4().hex[:8]
+        # An explicit client_id pins transaction ids for deterministic
+        # simulation runs; the default random id keeps concurrently started
+        # real processes from colliding.
+        self._client_id = client_id if client_id is not None else uuid.uuid4().hex[:8]
         self._tx_counter = itertools.count(1)
 
     def _call(self, fn):
@@ -170,7 +174,7 @@ class ClientTransactionManager(TransactionManager):
     # -- shared helpers used by transactions and recovery ---------------------------
 
     def _now_us(self) -> int:
-        return time.time_ns() // 1000
+        return ambient_now_us()
 
     def _lease_expiry(self) -> int:
         return self._now_us() + int(self.lock_lease_ms * 1000)

@@ -21,10 +21,10 @@ Differences from Percolator proper, and why they don't matter here:
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping
 
 from ..kvstore.base import Fields, KeyValueStore
+from ..sim.clock import ambient_now_us, ambient_sleep
 from .base import Transaction, TransactionManager, TxState
 from .clock import TimestampOracle
 from .errors import TransactionConflict
@@ -55,7 +55,7 @@ class PercolatorLikeManager(TransactionManager):
         lock_lease_ms: float = 1000.0,
         lock_wait_retries: int = 50,
         lock_wait_s: float = 0.0005,
-        sleep=time.sleep,
+        sleep=ambient_sleep,
     ):
         if isinstance(stores, KeyValueStore):
             stores = {"default": stores}
@@ -73,7 +73,7 @@ class PercolatorLikeManager(TransactionManager):
         return PercolatorTransaction(self, f"pc-{start_ts}", start_ts)
 
     def _now_us(self) -> int:
-        return time.time_ns() // 1000
+        return ambient_now_us()
 
     def _lease_expiry(self) -> int:
         return self._now_us() + int(self.lock_lease_ms * 1000)

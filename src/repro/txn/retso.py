@@ -22,11 +22,11 @@ bottleneck over a long-haul network" is directly measurable by raising
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 from collections.abc import Mapping
 
 from ..kvstore.base import Fields, KeyValueStore
+from ..sim.clock import ambient_sleep
 from .base import Transaction, TransactionManager, TxState
 from .errors import TransactionConflict
 from .manager import TSR_PREFIX, TxnStats
@@ -46,7 +46,7 @@ class TransactionStatusOracle:
         rpc_delay_s: simulated network round trip per request.
     """
 
-    def __init__(self, max_tracked_keys: int = 100_000, rpc_delay_s: float = 0.0, sleep=time.sleep):
+    def __init__(self, max_tracked_keys: int = 100_000, rpc_delay_s: float = 0.0, sleep=ambient_sleep):
         if max_tracked_keys < 1:
             raise ValueError("max_tracked_keys must be >= 1")
         self._lock = threading.Lock()
@@ -126,7 +126,7 @@ class RetsoLikeManager(TransactionManager):
         oracle: TransactionStatusOracle | None = None,
         apply_wait_retries: int = 200,
         apply_wait_s: float = 0.0005,
-        sleep=time.sleep,
+        sleep=ambient_sleep,
     ):
         if isinstance(stores, KeyValueStore):
             stores = {"default": stores}

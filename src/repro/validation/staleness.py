@@ -10,10 +10,10 @@ whose replica reads lag the primary by a configured delay.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..kvstore.base import KeyValueStore
+from ..sim.clock import Clock, get_clock
 
 __all__ = ["StalenessSample", "StalenessProbe"]
 
@@ -33,24 +33,49 @@ class StalenessProbe:
 
     For each sample: write a fresh marker value, wait ``delay_s``, read it
     back, and record whether the read returned the just-written value.
+
+    Timing is injectable end-to-end: pass a :class:`~repro.sim.clock.Clock`
+    (the ambient clock by default, so a :class:`~repro.sim.scheduler.SimClock`
+    run measures in virtual time), or — for simple tests — just a ``sleep``
+    callable.  With a clock, ``elapsed_s`` is the *measured* write-to-read
+    gap (sleep plus store service time); with a bare ``sleep`` callable it
+    falls back to the requested delay, since there is nothing to measure
+    against.
     """
 
-    def __init__(self, store: KeyValueStore, key: str = "~staleness-probe", sleep=time.sleep):
+    def __init__(
+        self,
+        store: KeyValueStore,
+        key: str = "~staleness-probe",
+        sleep=None,
+        clock: Clock | None = None,
+    ):
         self._store = store
         self._key = key
+        self._clock = clock
         self._sleep = sleep
         self._sequence = 0
 
+    def _timing(self):
+        clock = self._clock if self._clock is not None else get_clock()
+        if self._sleep is not None:
+            measure = clock.monotonic if self._clock is not None else None
+            return self._sleep, measure
+        return clock.sleep, clock.monotonic
+
     def sample(self, delay_s: float) -> StalenessSample:
         """One observation at the given write-to-read delay."""
+        sleep, measure = self._timing()
         self._sequence += 1
         marker = str(self._sequence)
+        started = measure() if measure is not None else None
         self._store.put(self._key, {_PROBE_FIELD: marker})
         if delay_s > 0:
-            self._sleep(delay_s)
+            sleep(delay_s)
         observed = self._store.get(self._key)
         stale = observed is None or observed.get(_PROBE_FIELD) != marker
-        return StalenessSample(elapsed_s=delay_s, stale=stale)
+        elapsed_s = measure() - started if started is not None else delay_s
+        return StalenessSample(elapsed_s=elapsed_s, stale=stale)
 
     def stale_probability(self, delay_s: float, samples: int = 50) -> float:
         """Fraction of ``samples`` reads that were stale at ``delay_s``."""

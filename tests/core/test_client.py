@@ -151,7 +151,7 @@ class TestBatchLoadThrottling:
             sleeps.append(seconds)
             clock[0] += seconds
 
-        def fake_throttle(ops_per_second):
+        def fake_throttle(ops_per_second, **_ignored_clock_kwargs):
             return real_throttle(
                 ops_per_second, clock=lambda: clock[0], sleep=fake_sleep
             )

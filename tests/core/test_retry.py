@@ -180,6 +180,29 @@ class TestFromProperties:
         assert policy.max_delay_s == pytest.approx(0.080)
         assert policy.deadline_s == pytest.approx(0.500)
 
+    def test_seed_makes_backoff_deterministic(self):
+        def schedule(policy):
+            return [policy.backoff_s(i) for i in range(6)]
+
+        properties = Properties({"retry.max_attempts": "8", "retry.seed": "123"})
+        first = schedule(RetryPolicy.from_properties(properties))
+        second = schedule(RetryPolicy.from_properties(properties))
+        assert first == second
+        other = schedule(
+            RetryPolicy.from_properties(
+                Properties({"retry.max_attempts": "8", "retry.seed": "124"})
+            )
+        )
+        assert first != other
+
+    def test_explicit_rng_wins_over_seed_property(self):
+        properties = Properties({"retry.max_attempts": "8", "retry.seed": "123"})
+        injected = RetryPolicy.from_properties(properties, rng=random.Random(7))
+        reference = RetryPolicy(max_attempts=8, rng=random.Random(7))
+        assert [injected.backoff_s(i) for i in range(6)] == [
+            reference.backoff_s(i) for i in range(6)
+        ]
+
 
 class TestRetryingStore:
     def make_stack(self, profile, seed=0, **policy_kwargs):

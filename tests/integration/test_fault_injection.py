@@ -101,6 +101,47 @@ class TestCewInvariantUnderFaults:
         assert faulty.stats.torn_writes > 0
         assert manager.stats.ambiguous_commits >= 0  # decided, never guessed
 
+    def test_heavier_faults_more_threads_virtual_time(self):
+        """The slow stress case re-homed onto the simulator for the fast lane.
+
+        Same fault pressure and concurrency as the wall-clock variant
+        above, but on virtual time — and *with* store latency and real
+        backoff delays, which the noop-sleep wall variant has to forgo.
+        Operations genuinely overlap in virtual time (the interleavings
+        the fault stack must survive), yet the test runs in well under a
+        second of wall time.
+        """
+        from repro.kvstore.latency import ConstantLatency, LatencyInjectingStore
+        from repro.sim.clock import use_clock
+        from repro.sim.scheduler import SimClock
+
+        with use_clock(SimClock()):
+            faulty = FaultInjectingStore(
+                LatencyInjectingStore(InMemoryKVStore(), ConstantLatency(0.002)),
+                seed=99,
+            )
+            policy = RetryPolicy(
+                max_attempts=10,
+                base_delay_s=0.001,
+                max_delay_s=0.02,
+                rng=random.Random(100),
+            )
+            manager = ClientTransactionManager(
+                faulty,
+                isolation="serializable",
+                retry_policy=policy,
+                lock_wait_retries=500,
+            )
+            client, _ = run_cew(
+                manager, cew_properties(threadcount=8, operationcount=600)
+            )
+            faulty.profile = FaultProfile(error_rate=0.15, torn_write_rate=0.05)
+            run = client.run()
+        assert run.validation.passed, run.validation.fields
+        assert run.anomaly_score == 0.0
+        assert faulty.stats.torn_writes > 0
+        assert policy.stats.retries > 0
+
 
 class TestDeterminism:
     @staticmethod

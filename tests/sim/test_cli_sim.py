@@ -1,0 +1,61 @@
+"""The ``ycsbt sim`` sub-command."""
+
+import json
+
+from repro.core.cli import main
+
+
+class TestSimCommand:
+    def test_sweep_writes_artifacts_and_summarises(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "sim",
+                "--seeds", "3",
+                "--start-seed", "1",
+                "--out", str(tmp_path),
+            ]
+        )
+        captured = capsys.readouterr()
+
+        assert exit_code == 0  # txn binding never violated
+        # Progressive per-seed lines on stderr, one per (binding, seed).
+        assert captured.err.count("seed=") == 6
+        # Final summary on stdout covers both bindings.
+        assert "raw:" in captured.out and "txn:" in captured.out
+
+        # Seeds 1 and 2 violate under the baseline schedule (deterministic).
+        artifacts = sorted(tmp_path.glob("violation-*.json"))
+        assert artifacts, "sweep surfaced no violation artifacts"
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["kind"] == "ycsbt-sim-violation"
+        assert payload["binding"] == "raw"
+        assert payload["trace"]["events"]
+
+    def test_single_binding_schedule_and_overrides(self, capsys):
+        exit_code = main(
+            [
+                "sim",
+                "--seeds", "1",
+                "--db", "raw",
+                "--schedule", "torn-heavy",
+                "--no-trace",
+                "-p", "operationcount=100",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.err.count("seed=") == 1
+        assert "schedule=torn-heavy" in captured.err
+        assert "txn" not in captured.out.splitlines()[-1] or "raw:" in captured.out
+
+    def test_rejects_bad_property(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["sim", "--seeds", "1", "-p", "garbage"])
+
+    def test_rejects_zero_seeds(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["sim", "--seeds", "0"])

@@ -1,0 +1,96 @@
+"""Clock protocol: wall/sim implementations and the ambient dispatch."""
+
+import time
+
+import pytest
+
+from repro.sim.clock import (
+    WALL_CLOCK,
+    WallClock,
+    ambient_monotonic,
+    ambient_now,
+    ambient_now_us,
+    ambient_perf_counter_ns,
+    ambient_sleep,
+    get_clock,
+    set_clock,
+    use_clock,
+)
+from repro.sim.scheduler import SIM_EPOCH, SimClock
+
+
+class TestWallClock:
+    def test_tracks_time_module(self):
+        clock = WallClock()
+        assert abs(clock.now() - time.time()) < 1.0
+        assert abs(clock.monotonic() - time.monotonic()) < 1.0
+        assert abs(clock.now_us() - time.time_ns() // 1000) < 1_000_000
+
+    def test_sleep_actually_sleeps(self):
+        clock = WallClock()
+        before = time.monotonic()
+        clock.sleep(0.01)
+        assert time.monotonic() - before >= 0.009
+
+
+class TestSimClock:
+    def test_virtual_arithmetic(self):
+        clock = SimClock()
+        assert clock.monotonic() == 0.0
+        assert clock.now() == SIM_EPOCH
+        clock.sleep(12.5)  # driver context: advances directly
+        assert clock.monotonic() == 12.5
+        assert clock.now() == SIM_EPOCH + 12.5
+        assert clock.now_us() == int(round((SIM_EPOCH + 12.5) * 1e6))
+        assert clock.perf_counter_ns() == 12_500_000_000
+
+    def test_sleeping_costs_no_wall_time(self):
+        clock = SimClock()
+        before = time.monotonic()
+        clock.sleep(3600.0)
+        assert time.monotonic() - before < 0.1
+        assert clock.monotonic() == 3600.0
+
+
+class TestAmbientClock:
+    def test_default_is_wall(self):
+        assert get_clock() is WALL_CLOCK
+
+    def test_use_clock_installs_and_restores(self):
+        sim = SimClock()
+        with use_clock(sim):
+            assert get_clock() is sim
+            sim.scheduler.now = 7.0
+            assert ambient_monotonic() == 7.0
+            assert ambient_now() == SIM_EPOCH + 7.0
+            assert ambient_now_us() == int(round((SIM_EPOCH + 7.0) * 1e6))
+            assert ambient_perf_counter_ns() == 7_000_000_000
+            ambient_sleep(3.0)
+            assert sim.scheduler.now == 10.0
+        assert get_clock() is WALL_CLOCK
+
+    def test_use_clock_restores_on_error(self):
+        sim = SimClock()
+        with pytest.raises(RuntimeError):
+            with use_clock(sim):
+                raise RuntimeError("boom")
+        assert get_clock() is WALL_CLOCK
+
+    def test_set_clock_returns_previous(self):
+        sim = SimClock()
+        previous = set_clock(sim)
+        try:
+            assert previous is WALL_CLOCK
+            assert get_clock() is sim
+        finally:
+            set_clock(previous)
+        assert get_clock() is WALL_CLOCK
+
+    def test_ambient_functions_dispatch_at_call_time(self):
+        # The functions are usable as default parameter values: binding
+        # them early must not freeze the wall clock in.
+        captured = ambient_sleep
+        sim = SimClock()
+        with use_clock(sim):
+            captured(42.0)
+        assert sim.scheduler.now == 42.0

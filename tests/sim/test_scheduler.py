@@ -1,0 +1,155 @@
+"""Scheduler semantics: deterministic interleaving of cooperative tasks."""
+
+import time
+
+import pytest
+
+from repro.sim.scheduler import Scheduler, SimClock, SimTaskFailed, VirtualResource
+
+
+class TestScheduler:
+    def test_single_task_runs_to_completion(self):
+        scheduler = Scheduler()
+        log = []
+
+        def task():
+            log.append(("start", scheduler.now))
+            scheduler.sleep(5.0)
+            log.append(("end", scheduler.now))
+            return "done"
+
+        results = scheduler.run([task])
+        assert results == ["done"]
+        assert log == [("start", 0.0), ("end", 5.0)]
+        assert scheduler.now == 5.0
+
+    def test_interleaving_follows_virtual_time(self):
+        scheduler = Scheduler()
+        log = []
+
+        def make(name, delays):
+            def task():
+                for delay in delays:
+                    scheduler.sleep(delay)
+                    log.append((name, scheduler.now))
+
+            return task
+
+        # a wakes at 1, 3 (1+2); b wakes at 2, 4 (2+2).
+        scheduler.run([make("a", [1.0, 2.0]), make("b", [2.0, 2.0])])
+        assert log == [("a", 1.0), ("b", 2.0), ("a", 3.0), ("b", 4.0)]
+
+    def test_ties_break_in_push_order(self):
+        scheduler = Scheduler()
+        log = []
+
+        def make(name):
+            def task():
+                scheduler.sleep(1.0)  # identical wake time for all three
+                log.append(name)
+
+            return task
+
+        scheduler.run([make("x"), make("y"), make("z")])
+        assert log == ["x", "y", "z"]
+
+    def test_identical_runs_produce_identical_histories(self):
+        def run_once():
+            scheduler = Scheduler()
+            log = []
+
+            def make(name, step):
+                def task():
+                    for _ in range(5):
+                        scheduler.sleep(step)
+                        log.append((name, round(scheduler.now, 9)))
+
+                return task
+
+            scheduler.run(
+                [make("a", 0.3), make("b", 0.7), make("c", 0.3)],
+                names=["a", "b", "c"],
+            )
+            return log, scheduler.events_processed
+
+        assert run_once() == run_once()
+
+    def test_task_failure_surfaces_after_all_complete(self):
+        scheduler = Scheduler()
+        log = []
+
+        def bad():
+            scheduler.sleep(1.0)
+            raise ValueError("exploded")
+
+        def good():
+            scheduler.sleep(2.0)
+            log.append("good finished")
+
+        with pytest.raises(SimTaskFailed) as excinfo:
+            scheduler.run([bad, good])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert log == ["good finished"]  # the healthy task still completed
+
+    def test_driver_context_sleep_advances_directly(self):
+        scheduler = Scheduler(start_time=10.0)
+        scheduler.sleep(5.0)
+        assert scheduler.now == 15.0
+
+    def test_current_task_name(self):
+        scheduler = Scheduler()
+        seen = []
+
+        def task():
+            seen.append(scheduler.current_task_name)
+            scheduler.sleep(1.0)
+            seen.append(scheduler.current_task_name)
+
+        assert scheduler.current_task_name is None
+        scheduler.run([task], names=["worker-0"])
+        assert seen == ["worker-0", "worker-0"]
+        assert scheduler.current_task_name is None
+
+    def test_thousands_of_virtual_seconds_cost_no_wall_time(self):
+        scheduler = Scheduler()
+
+        def task():
+            for _ in range(100):
+                scheduler.sleep(100.0)
+
+        before = time.monotonic()
+        scheduler.run([task])
+        assert time.monotonic() - before < 1.0
+        assert scheduler.now == 10_000.0
+
+
+class TestVirtualResource:
+    def test_fifo_queueing(self):
+        clock = SimClock()
+        scheduler = clock.scheduler
+        resource = VirtualResource(clock)
+        log = []
+
+        def make(name):
+            def task():
+                resource.occupy(1.0)
+                log.append((name, scheduler.now))
+
+            return task
+
+        scheduler.run([make("a"), make("b"), make("c")])
+        # All request at t=0; the resource serialises them 1 s apart.
+        assert log == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_idle_resource_costs_only_the_occupancy(self):
+        clock = SimClock()
+        resource = VirtualResource(clock)
+        clock.scheduler.now = 100.0  # resource idle since busy_until=0
+        resource.occupy(2.0)
+        assert clock.scheduler.now == 102.0
+
+    def test_zero_cost_is_free(self):
+        clock = SimClock()
+        resource = VirtualResource(clock)
+        resource.occupy(0.0)
+        assert clock.scheduler.now == 0.0

@@ -1,0 +1,146 @@
+"""The benchmark client on virtual time.
+
+Covers the acceptance bar for the simulation subsystem: a CEW run
+spanning ~1000 *simulated* seconds — 8 simulated threads with latency,
+rate-limit and fault models all active — completes in well under 5 s of
+wall time and is byte-for-byte reproducible; and a short run under
+SimClock agrees with the same run under WallClock.
+"""
+
+import random
+import time
+
+from repro.bindings.kv import KVStoreDB
+from repro.bindings.stores import wrap_store
+from repro.bindings.txn import TxnDB
+from repro.core.client import Client
+from repro.core.closed_economy import ClosedEconomyWorkload
+from repro.core.properties import Properties
+from repro.kvstore.cloud import WAS_PROFILE, SimulatedCloudStore
+from repro.kvstore.memory import InMemoryKVStore
+from repro.measurements.exporters import JsonLinesExporter
+from repro.measurements.registry import Measurements
+from repro.sim.clock import use_clock
+from repro.sim.scheduler import SimClock
+from repro.txn.manager import ClientTransactionManager
+
+
+def _cew(properties, db_factory):
+    """Load + run one CEW benchmark; returns the run result."""
+    workload = ClosedEconomyWorkload()
+    measurements = Measurements.from_properties(properties)
+    workload.init(properties, measurements)
+    client = Client(workload, db_factory, properties, measurements)
+    client.load()
+    run = client.run()
+    workload.cleanup()
+    return run
+
+
+class TestThousandSimulatedSeconds:
+    """The flagship acceptance case."""
+
+    PROPERTIES = {
+        "table": "usertable",
+        "recordcount": "50",
+        "operationcount": "2000",
+        "totalcash": "50000",
+        "readproportion": "0.4",
+        "updateproportion": "0.2",
+        "insertproportion": "0.05",
+        "deleteproportion": "0.05",
+        "readmodifywriteproportion": "0.3",
+        "fieldcount": "1",
+        "threadcount": "8",
+        "target": "2.0",  # 2000 ops at 2 ops/s -> ~1000 virtual seconds
+        "measurementtype": "hdrhistogram",
+        # fault model (torn writes off: this test pins duration, not gamma)
+        "fault.error_rate": "0.02",
+        "fault.latency_spike_rate": "0.02",
+        "fault.latency_spike_ms": "40",
+        "retry.max_attempts": "8",
+        "retry.base_delay_ms": "1",
+        "retry.max_delay_ms": "20",
+        "retry.seed": "5",
+        "fault.seed": "6",
+        "seed": "4",
+    }
+
+    def _one_run(self):
+        props = Properties(dict(self.PROPERTIES))
+        clock = SimClock()
+        with use_clock(clock):
+            # Latency + rate ceiling from the simulated cloud store,
+            # faults + retries from the standard wrapper chain.
+            store = SimulatedCloudStore(WAS_PROFILE, scale=1.0, rng=random.Random(9))
+            wrapped = wrap_store(store, props)
+            run = _cew(props, lambda: KVStoreDB(wrapped, props))
+        return run, clock, store
+
+    def test_thousand_virtual_seconds_under_five_wall_seconds(self):
+        wall_started = time.monotonic()
+        run, clock, store = self._one_run()
+        wall_s = time.monotonic() - wall_started
+
+        assert run.operations == 2000
+        assert run.run_time_ms >= 990_000  # ~1000 simulated seconds
+        assert wall_s < 5.0
+        # All three models were genuinely in the path.
+        assert clock.scheduler.events_processed > 2000
+        assert store.throttled_requests >= 0  # rate limiter consulted
+        counters = run.measurements.counters()
+        assert counters.get("RETRIES", 0) > 0  # faults fired, retries absorbed
+
+    def test_same_seed_reports_are_byte_identical(self):
+        first, _, _ = self._one_run()
+        second, _, _ = self._one_run()
+        exporter = JsonLinesExporter()
+        assert exporter.export(first.report()) == exporter.export(second.report())
+
+
+class TestSimWallEquivalence:
+    """A simulated run is the same benchmark, just on a different clock."""
+
+    PROPERTIES = {
+        "table": "usertable",
+        "recordcount": "20",
+        "operationcount": "150",
+        "totalcash": "20000",
+        "readproportion": "0.4",
+        "updateproportion": "0.2",
+        "insertproportion": "0.05",
+        "deleteproportion": "0.05",
+        "readmodifywriteproportion": "0.3",
+        "fieldcount": "1",
+        "seed": "11",
+    }
+
+    def _txn_run(self, threadcount):
+        props = Properties(dict(self.PROPERTIES) | {"threadcount": str(threadcount)})
+        manager = ClientTransactionManager(
+            InMemoryKVStore(), isolation="serializable", client_id="equiv"
+        )
+        return _cew(props, lambda: TxnDB(props, manager=manager))
+
+    def test_single_thread_runs_agree_exactly(self):
+        sim_clock = SimClock()
+        with use_clock(sim_clock):
+            sim = self._txn_run(threadcount=1)
+        wall = self._txn_run(threadcount=1)
+
+        # Same committed-operation counts and the same verdict.
+        assert sim.operations == wall.operations == 150
+        assert sim.failed_operations == wall.failed_operations
+        assert sim.anomaly_score == wall.anomaly_score == 0.0
+        assert sim.validation.passed and wall.validation.passed
+        assert dict(sim.validation.fields) == dict(wall.validation.fields)
+
+    def test_concurrent_runs_agree_on_the_verdict(self):
+        sim_clock = SimClock()
+        with use_clock(sim_clock):
+            sim = self._txn_run(threadcount=6)
+        wall = self._txn_run(threadcount=6)
+
+        assert sim.operations == wall.operations == 150
+        assert sim.anomaly_score == wall.anomaly_score == 0.0
+        assert sim.validation.passed and wall.validation.passed

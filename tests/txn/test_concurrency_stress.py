@@ -108,6 +108,61 @@ class TestNoLostUpdates:
         assert read_counter(manager) == successes
         assert policy.stats.retries > 0  # the faults actually bit
 
+    def test_contended_counter_under_faults_exact_virtual_time(self):
+        """The slow stress case re-homed onto the simulator.
+
+        Same fault profile and per-worker workload as the wall-clock
+        variant above, but the six workers are cooperative simulated
+        tasks interleaved deterministically by the event scheduler, with
+        store latency and real (virtual) backoff providing the
+        interleavings. Runs in well under a second of wall time.
+        """
+        from repro.kvstore.latency import ConstantLatency, LatencyInjectingStore
+        from repro.sim.clock import use_clock
+        from repro.sim.scheduler import SimClock
+
+        clock = SimClock()
+        with use_clock(clock):
+            faulty = FaultInjectingStore(
+                LatencyInjectingStore(InMemoryKVStore(), ConstantLatency(0.001)),
+                profile=FaultProfile(error_rate=0.03, torn_write_rate=0.03),
+                seed=21,
+            )
+            policy = RetryPolicy(
+                max_attempts=8,
+                base_delay_s=0.001,
+                max_delay_s=0.02,
+                rng=random.Random(2),
+            )
+            manager = ClientTransactionManager(
+                faulty, retry_policy=policy, lock_wait_retries=500
+            )
+            seed_counter(manager)
+
+            successes = [0] * 6
+
+            def body(tx):
+                current = int(tx.read(COUNTER_KEY)["n"])
+                tx.write(COUNTER_KEY, {"n": str(current + 1)})
+
+            def worker(worker_id):
+                for _ in range(25):
+                    try:
+                        manager.run(body, retries=200, backoff_s=0.001)
+                    except (TransactionError, StoreError):
+                        continue  # not counted; must then not be applied either
+                    successes[worker_id] += 1
+
+            clock.scheduler.run(
+                [lambda i=i: worker(i) for i in range(6)],
+                names=[f"stress-{i}" for i in range(6)],
+            )
+
+            faulty.profile = FaultProfile()  # clean read-back
+            assert read_counter(manager) == sum(successes)
+        assert policy.stats.retries > 0  # the faults actually bit
+        assert clock.scheduler.now > 0.0  # latency/backoff really elapsed
+
 
 class _TearTsrCommitOnce(KeyValueStore):
     """Wrapper that tears exactly one committed-TSR insert (applies it,

@@ -188,6 +188,42 @@ class TestStalenessProbe:
         with pytest.raises(ValueError):
             StalenessProbe(InMemoryKVStore()).stale_probability(0.0, samples=0)
 
+    def test_injected_clock_measures_virtual_elapsed_time(self):
+        import random
+
+        from repro.kvstore import ReadPreference, ReplicatedKVStore
+        from repro.sim.scheduler import SimClock
+
+        clock = SimClock()
+        store = ReplicatedKVStore(
+            replica_count=1,
+            lag_seconds=1.0,
+            read_preference=ReadPreference.REPLICA,
+            rng=random.Random(1),
+            clock=clock.monotonic,
+        )
+        probe = StalenessProbe(store, clock=clock)
+        fresh = probe.sample(1.5)
+        assert not fresh.stale
+        assert fresh.elapsed_s >= 1.5  # measured on the virtual clock
+        stale = probe.sample(0.0)
+        assert stale.stale
+        assert stale.elapsed_s == 0.0
+
+    def test_ambient_sim_clock_drives_the_default_probe(self):
+        import time as time_module
+
+        from repro.kvstore import InMemoryKVStore
+        from repro.sim.clock import use_clock
+        from repro.sim.scheduler import SimClock
+
+        probe = StalenessProbe(InMemoryKVStore())  # constructed on wall time
+        before = time_module.monotonic()
+        with use_clock(SimClock()):
+            # 100 waits of 2 s each: 200 virtual seconds, no real sleeping.
+            assert probe.stale_probability(2.0, samples=100) == 0.0
+        assert time_module.monotonic() - before < 1.0
+
 
 class TestRecordingDB:
     def _setup(self, transactional: bool):
