@@ -94,6 +94,10 @@ class CoordinatorClient:
             f"barrier {name!r} did not release within {timeout_s:.0f}s"
         )
 
+    def heartbeat(self) -> None:
+        """Tell the coordinator this client is still alive."""
+        self._request("POST", "/heartbeat", {"client": self.client_id})
+
     def submit_result(self, phase: str, result: BenchmarkResult) -> int:
         """Report a finished phase; returns how many reports the
         coordinator now holds."""

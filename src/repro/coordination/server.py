@@ -25,12 +25,19 @@ Protocol (JSON bodies)::
     POST /report     {"client": ..., "phase": ..., "operations": n,
                       "run_time_ms": t, "throughput": x, ...}
                                                 -> {"received": 3}
+    POST /heartbeat  {"client": "host-1"}       -> {"ok": true}
+    GET  /health                                -> {"status": "ok", ...}
     GET  /summary                               -> {"clients": [...],
                                                     "total_throughput": x,
                                                     "total_operations": n}
 
-Barriers release once ``expected`` distinct clients have arrived; clients
-poll until released, which keeps the server stateless-simple (no hanging
+Barriers release once ``expected`` distinct clients have arrived — where
+clients that have been **marked dead** count as arrived, so one crashed
+worker cannot hang every survivor at the next rendezvous.  Death is
+declared by whoever supervises the clients (the scale-out engine watches
+its child processes; a remote deployment can watch ``/health`` heartbeat
+ages) and recorded via :meth:`CoordinationState.mark_dead`.  Clients poll
+until released, which keeps the server stateless-simple (no hanging
 connections).
 """
 
@@ -38,6 +45,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.parse
 from collections import defaultdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -56,6 +64,8 @@ class CoordinationState:
         self._clients: dict[str, int] = {}
         self._barriers: dict[str, set[str]] = defaultdict(set)
         self._reports: list[dict] = []
+        self._heartbeats: dict[str, float] = {}
+        self._dead: set[str] = set()
 
     # -- registration -------------------------------------------------------------
 
@@ -75,7 +85,42 @@ class CoordinationState:
         with self._lock:
             return sorted(self._clients, key=self._clients.__getitem__)
 
+    def client_index(self, client: str) -> int | None:
+        """The stable index ``client`` registered under, or None."""
+        with self._lock:
+            return self._clients.get(client)
+
+    # -- liveness ------------------------------------------------------------------
+
+    def heartbeat(self, client: str) -> None:
+        """Record a liveness beat from ``client`` (any name accepted)."""
+        with self._lock:
+            self._heartbeats[client] = time.monotonic()
+
+    def heartbeat_ages(self) -> dict[str, float]:
+        """Seconds since each client's last heartbeat."""
+        now = time.monotonic()
+        with self._lock:
+            return {client: now - at for client, at in self._heartbeats.items()}
+
+    def mark_dead(self, client: str) -> None:
+        """Declare ``client`` dead: it counts as arrived at every barrier.
+
+        Accepts any name — a worker that died before registering still
+        has to stop blocking the survivors' rendezvous.
+        """
+        with self._lock:
+            self._dead.add(client)
+
+    def dead_clients(self) -> list[str]:
+        with self._lock:
+            return sorted(self._dead)
+
     # -- barriers ------------------------------------------------------------------
+
+    def _released_locked(self, barrier: str) -> bool:
+        arrived = self._barriers.get(barrier, set())
+        return len(arrived | self._dead) >= self.expected_clients
 
     def arrive(self, barrier: str, client: str) -> bool:
         """Mark ``client`` as arrived; True when the barrier is released."""
@@ -83,13 +128,13 @@ class CoordinationState:
             if client not in self._clients:
                 raise KeyError(f"client {client!r} is not registered")
             self._barriers[barrier].add(client)
-            return len(self._barriers[barrier]) >= self.expected_clients
+            return self._released_locked(barrier)
 
     def barrier_status(self, barrier: str) -> tuple[bool, int]:
         """(released, clients waiting) for ``barrier``."""
         with self._lock:
             arrived = len(self._barriers.get(barrier, ()))
-            return arrived >= self.expected_clients, arrived
+            return self._released_locked(barrier), arrived
 
     # -- reports --------------------------------------------------------------------
 
@@ -118,6 +163,7 @@ class CoordinationState:
             "total_throughput": total_throughput,
             "total_failed_operations": failed,
             "max_anomaly_score": max(anomaly_scores) if anomaly_scores else None,
+            "dead_clients": self.dead_clients(),
         }
 
 
@@ -168,6 +214,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif parsed.path == "/report":
                 received = self._state.submit_report(body)
                 self._send(200, {"received": received})
+            elif parsed.path == "/heartbeat":
+                self._state.heartbeat(str(body["client"]))
+                self._send(200, {"ok": True})
             else:
                 self._send(404, {"error": "unknown path"})
         except (KeyError, ValueError) as exc:
@@ -184,6 +233,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, self._state.summary())
         elif parsed.path == "/clients":
             self._send(200, {"clients": self._state.registered_clients()})
+        elif parsed.path == "/health":
+            ages = self._state.heartbeat_ages()
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "expected": self._state.expected_clients,
+                    "registered": self._state.registered_clients(),
+                    "dead": self._state.dead_clients(),
+                    "heartbeat_ages_s": {
+                        client: round(age, 3) for client, age in ages.items()
+                    },
+                },
+            )
         else:
             self._send(404, {"error": "unknown path"})
 

@@ -17,6 +17,10 @@ Sub-commands:
   Workload under deterministic simulation across many seeds and fault
   schedules, hunting for consistency violations; violating seeds are
   written out as replayable JSON trace artifacts.
+* ``crash`` — crash-recovery campaign: kill simulated clients at named
+  crashpoints mid-protocol, let lock leases expire, run the transaction
+  scavenger, and re-validate the Closed Economy invariants; violating
+  seeds emit the same replayable trace artifacts.
 """
 
 from __future__ import annotations
@@ -218,6 +222,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for violation trace artifacts (none written without it)",
     )
     sim.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip operation-interleaving capture (faster, artifacts carry "
+        "no trace)",
+    )
+
+    from ..recovery.campaign import CRASH_BINDINGS, CRASH_SCHEDULES
+
+    crash = commands.add_parser(
+        "crash",
+        help="crash-recovery campaign: kill clients at scheduled "
+        "crashpoints, scavenge, re-validate the CEW invariants",
+    )
+    crash.add_argument(
+        "--seeds", type=int, default=10, help="number of seeds to sweep [10]"
+    )
+    crash.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the sweep [0]"
+    )
+    crash.add_argument(
+        "--db",
+        action="append",
+        choices=CRASH_BINDINGS,
+        default=None,
+        help="binding to sweep (repeatable) [raw and txn]",
+    )
+    crash.add_argument(
+        "--schedule",
+        action="append",
+        choices=sorted(CRASH_SCHEDULES) + ["seeded"],
+        default=None,
+        help="crash schedule to sweep (repeatable; 'seeded' derives one "
+        "from each seed) [prewrite, primary-commit, mid-secondary, worker-kill]",
+    )
+    crash.add_argument(
+        "-p",
+        "--property",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload property override (repeatable)",
+    )
+    crash.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for violation trace artifacts (none written without it)",
+    )
+    crash.add_argument(
         "--no-trace",
         action="store_true",
         help="skip operation-interleaving capture (faster, artifacts carry "
@@ -506,6 +559,54 @@ def _sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _crash(args: argparse.Namespace) -> int:
+    from ..recovery.campaign import run_crash_campaign
+
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    overrides: dict[str, str] = {}
+    for pair in args.property:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"bad -p argument {pair!r}: expected KEY=VALUE")
+        overrides[key.strip()] = value.strip()
+    bindings = tuple(dict.fromkeys(args.db)) if args.db else ("raw", "txn")
+    schedules = (
+        tuple(dict.fromkeys(args.schedule))
+        if args.schedule
+        else ("prewrite", "primary-commit", "mid-secondary", "worker-kill")
+    )
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+
+    result = run_crash_campaign(
+        seeds,
+        bindings=bindings,
+        schedules=schedules,
+        properties=overrides or None,
+        out_dir=args.out,
+        trace=not args.no_trace,
+        on_result=lambda run: print(run.summary_line(), file=sys.stderr),
+    )
+    print(result.summary())
+    for artifact in result.artifacts:
+        print(f"violation trace: {artifact}")
+    # The raw binding leaking money when a client dies mid-transfer is the
+    # campaign's expected baseline.  A *transactional* binding failing
+    # post-recovery validation means the scavenger broke its promise — that
+    # fails the command.
+    txn_violations = result.transactional_violations
+    if txn_violations:
+        seeds_hit = ", ".join(
+            f"{run.binding}/{run.schedule}/{run.seed}" for run in txn_violations
+        )
+        print(
+            f"error: post-recovery violation on {seeds_hit}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("load", "run", "bench"):
@@ -518,6 +619,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _experiment(args)
     if args.command == "sim":
         return _sim(args)
+    if args.command == "crash":
+        return _crash(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,6 +24,7 @@ from ..measurements.exporters import RunReport
 from ..measurements.live import StatusReporter, StatusSnapshot
 from ..measurements.registry import Measurements, StopWatch
 from ..measurements.timeseries import ThroughputTimeSeries
+from ..recovery.crashpoints import CrashError
 from ..sim.clock import Clock, get_clock
 from .db import DB, MeasuredDB
 from .properties import Properties
@@ -264,6 +265,12 @@ class Client:
                 )
             except threading.BrokenBarrierError:
                 pass  # a peer failed to initialise; its error is already recorded
+            except CrashError:
+                # A scheduled crash killed this client: it dies silently —
+                # no abort, no settlement — leaving stranded locks and
+                # half-applied writes for the recovery layer to find.
+                self.measurements.increment("CLIENT-CRASHES")
+                barrier.abort()  # only matters if we died before the rendezvous
             except Exception as exc:  # noqa: BLE001 - surfaced in the result
                 with counters_lock:
                     errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
@@ -357,6 +364,10 @@ class Client:
                     self._worker_body(
                         phase, work, batch_size, series, db, thread_state, throttle, counts
                     )
+                except CrashError:
+                    # A scheduled crash: the simulated client is dead, not
+                    # failed — no error is recorded and no peer is disturbed.
+                    self.measurements.increment("CLIENT-CRASHES")
                 except Exception as exc:  # noqa: BLE001 - surfaced in the result
                     errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
                 finally:
@@ -392,14 +403,19 @@ class Client:
         if not db.start().ok:
             return 0
         inserted = 0
+        crashed = False
         try:
             inserted = self.workload.do_batch_insert(db, thread_state, count)
+        except CrashError:
+            crashed = True
+            raise
         finally:
-            if inserted > 0:
-                if not db.commit().ok:
-                    inserted = 0
-            else:
-                db.abort()
+            if not crashed:
+                if inserted > 0:
+                    if not db.commit().ok:
+                        inserted = 0
+                else:
+                    db.abort()
         return inserted
 
     def _one_insert(self, db: MeasuredDB, thread_state: object) -> bool:
@@ -407,13 +423,18 @@ class Client:
         if not db.start().ok:
             return False
         ok = False
+        crashed = False
         try:
             ok = self.workload.do_insert(db, thread_state)
+        except CrashError:
+            crashed = True
+            raise
         finally:
-            if ok:
-                ok = db.commit().ok
-            else:
-                db.abort()
+            if not crashed:
+                if ok:
+                    ok = db.commit().ok
+                else:
+                    db.abort()
         return ok
 
     def _one_transaction(self, db: MeasuredDB, thread_state: object) -> bool:
@@ -423,14 +444,22 @@ class Client:
             return False
         operation: str | None = None
         committed = False
+        crashed = False
         try:
             operation = self.workload.do_transaction(db, thread_state)
+        except CrashError:
+            # A dead client commits nothing, aborts nothing, settles
+            # nothing; a crash *inside* db.commit() below likewise skips
+            # the rest of the cleanup, exactly like a real process death.
+            crashed = True
+            raise
         finally:
-            if operation is not None:
-                committed = db.commit().ok
-            else:
-                db.abort()
-            self.workload.finish_transaction(db, thread_state, operation, committed)
+            if not crashed:
+                if operation is not None:
+                    committed = db.commit().ok
+                else:
+                    db.abort()
+                self.workload.finish_transaction(db, thread_state, operation, committed)
         label = f"TX-{operation}" if operation is not None else "TX-ABORTED"
         self.measurements.measure(label, watch.elapsed_us())
         self.measurements.report_status(label, "OK" if committed else "ERROR")

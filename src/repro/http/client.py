@@ -43,6 +43,9 @@ __all__ = ["HttpKVStore"]
 #: when a container is throttled).
 _RETRYABLE_HTTP = frozenset({429, 503})
 
+#: Exceptions that mean the transport failed (vs. the server answering).
+_TRANSPORT_ERRORS = (http.client.HTTPException, ConnectionError, OSError)
+
 
 class _ConnectionPool:
     """Bounded LIFO pool of keep-alive connections, shared across threads.
@@ -63,11 +66,24 @@ class _ConnectionPool:
         self._idle: list[http.client.HTTPConnection] = []
         self._closed = False
 
-    def acquire(self) -> http.client.HTTPConnection:
+    def acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """A connection plus whether it came from the idle pool.
+
+        The flag matters for error handling: a *pooled* connection can be
+        stale (the server closed its side of the keep-alive, or bounced
+        entirely), so a transport error on it says nothing about the
+        server being down — the caller should retry once on a fresh
+        socket.  A fresh connection failing is the real signal.
+        """
         with self._lock:
             if self._idle:
-                return self._idle.pop()
-        return http.client.HTTPConnection(self._host, self._port, timeout=self._timeout_s)
+                return self._idle.pop(), True
+        return self.fresh(), False
+
+    def fresh(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout_s
+        )
 
     def release(self, connection: http.client.HTTPConnection) -> None:
         with self._lock:
@@ -79,6 +95,18 @@ class _ConnectionPool:
     def discard(self, connection: http.client.HTTPConnection) -> None:
         """Drop a connection whose transport failed — never re-pooled."""
         connection.close()
+
+    def clear(self) -> None:
+        """Close every idle connection (the pool stays usable).
+
+        After a server bounce every pooled socket is equally stale;
+        dropping them all at the first stale hit saves each later request
+        from paying its own failed attempt.
+        """
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
 
     def idle_count(self) -> int:
         with self._lock:
@@ -97,10 +125,13 @@ class HttpKVStore(KeyValueStore):
 
     ``retry_policy`` (a :class:`~repro.core.retry.RetryPolicy`) governs
     transport-level retries: connection failures and throttle responses
-    (429/503) are retried with backoff.  Without a policy the legacy
-    behaviour applies — one transparent retry on a stale keep-alive
-    connection, throttle responses surfaced as
-    :class:`~repro.kvstore.base.RateLimitExceeded` immediately.
+    (429/503) are retried with backoff.  Independently of any policy, a
+    transport error on a **pooled** connection is retried once on a fresh
+    socket after dropping every idle connection — a stale keep-alive (the
+    server timed the socket out, or bounced) is not a server failure and
+    must not surface as one, nor burn a policy attempt.  Without a policy,
+    throttle responses surface as :class:`~repro.kvstore.base.
+    RateLimitExceeded` immediately.
     """
 
     def __init__(
@@ -115,12 +146,24 @@ class HttpKVStore(KeyValueStore):
         self._retry_policy = retry_policy
         self._pool = _ConnectionPool(self._host, self._port, timeout_s, pool_size)
         self._closed = False
+        self._stale_lock = threading.Lock()
+        self._stale_retries = 0
+
+    @property
+    def stale_retries(self) -> int:
+        """Requests transparently replayed after a stale pooled connection."""
+        with self._stale_lock:
+            return self._stale_retries
 
     def counters(self) -> dict[str, int]:
-        """Transport retry counters (empty without a policy)."""
-        if self._retry_policy is None:
-            return {}
-        return self._retry_policy.stats.counters()
+        """Transport retry counters."""
+        counts: dict[str, int] = (
+            dict(self._retry_policy.stats.counters()) if self._retry_policy else {}
+        )
+        stale = self.stale_retries
+        if stale:
+            counts["HTTP-STALE-RETRIES"] = stale
+        return counts
 
     # -- connection handling ------------------------------------------------------
 
@@ -136,18 +179,39 @@ class HttpKVStore(KeyValueStore):
         if payload is not None:
             send_headers["Content-Type"] = "application/json"
 
+        def perform(connection):
+            connection.request(method, path, body=payload, headers=send_headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response, (json.loads(raw) if raw else None)
+
         def attempt_once() -> tuple[int, dict | None, dict[str, str]]:
-            connection = self._pool.acquire()
+            connection, pooled = self._pool.acquire()
             try:
-                connection.request(method, path, body=payload, headers=send_headers)
-                response = connection.getresponse()
-                raw = response.read()
-                document = json.loads(raw) if raw else None
-            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                response, document = perform(connection)
+            except _TRANSPORT_ERRORS as exc:
                 self._pool.discard(connection)
-                raise StoreUnavailable(
-                    f"HTTP store {self._host}:{self._port} unreachable: {exc}"
-                ) from exc
+                if not pooled:
+                    raise StoreUnavailable(
+                        f"HTTP store {self._host}:{self._port} unreachable: {exc}"
+                    ) from exc
+                # A pooled socket died under us: the server closed its
+                # side of the keep-alive or bounced.  Every idle socket
+                # is equally suspect — drop them all and replay this one
+                # request on a guaranteed-fresh connection.  Only *that*
+                # failing means the server is actually unreachable.
+                self._pool.clear()
+                with self._stale_lock:
+                    self._stale_retries += 1
+                connection = self._pool.fresh()
+                try:
+                    response, document = perform(connection)
+                except _TRANSPORT_ERRORS as fresh_exc:
+                    self._pool.discard(connection)
+                    raise StoreUnavailable(
+                        f"HTTP store {self._host}:{self._port} unreachable: "
+                        f"{fresh_exc}"
+                    ) from fresh_exc
             self._pool.release(connection)
             if response.status in _RETRYABLE_HTTP:
                 raise RateLimitExceeded(
@@ -157,13 +221,7 @@ class HttpKVStore(KeyValueStore):
 
         if self._retry_policy is not None:
             return self._retry_policy.call(attempt_once)
-        for attempt in (1, 2):  # one transparent retry on a stale keep-alive
-            try:
-                return attempt_once()
-            except StoreUnavailable:
-                if attempt == 2:
-                    raise
-        raise AssertionError("unreachable")
+        return attempt_once()
 
     @staticmethod
     def _key_path(key: str) -> str:
@@ -206,6 +264,18 @@ class HttpKVStore(KeyValueStore):
         if status != 200 or document is None:
             raise StoreError(f"stats failed with HTTP {status}")
         return int(document["size"])
+
+    def health(self) -> bool:
+        """Liveness probe: True iff the server answers ``GET /health``.
+
+        Never raises — an unreachable or misbehaving server is simply
+        unhealthy, which is the answer the caller asked for.
+        """
+        try:
+            status, document, _ = self._request("GET", "/health")
+        except StoreError:
+            return False
+        return status == 200 and bool(document) and document.get("status") == "ok"
 
     # -- writes -----------------------------------------------------------------------
 

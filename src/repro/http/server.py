@@ -17,6 +17,7 @@ Protocol::
            If-Match: <version>          conditional delete; 412 on mismatch
     GET    /scan?start=<key>&count=<n>  -> 200 {"records": [[key, fields], ...]}
     GET    /stats                       -> 200 {"size": n, "requests": {...}}
+    GET    /health                      -> 200 {"status": "ok"}
     POST   /batch      {"ops": [...]}   -> 200 {"results": [...]}
 
 Keys are URL-path-encoded by the client; bodies are JSON.  The batch
@@ -29,6 +30,8 @@ many round trips a client actually paid.
 from __future__ import annotations
 
 import json
+import socket
+import sys
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -37,6 +40,53 @@ from ..kvstore.base import KeyValueStore
 from .batch import execute_ops
 
 __all__ = ["KVStoreHTTPServer"]
+
+
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that doesn't scream when a client dies.
+
+    A benchmark client killed mid-request (worker-death runs do this on
+    purpose) resets its sockets; the stock server prints a full traceback
+    per dropped connection.  Losing a peer is not a server error.
+
+    It also tracks established connections so ``close_established`` can
+    sever lingering keep-alives — the stock ``shutdown()`` only stops the
+    accept loop, leaving idle handler threads parked on open sockets, so
+    a "stopped" server would otherwise keep answering pooled clients.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._established_lock = threading.Lock()
+        self._established: set[socket.socket] = set()
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._established_lock:
+            self._established.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request) -> None:
+        with self._established_lock:
+            self._established.discard(request)
+        super().shutdown_request(request)
+
+    def close_established(self) -> None:
+        """Force-close every live connection (a stop is a real bounce)."""
+        with self._established_lock:
+            lingering, self._established = self._established, set()
+        for request in lingering:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            request.close()
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionResetError, BrokenPipeError)):
+            return
+        super().handle_error(request, client_address)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -94,6 +144,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         parsed = urllib.parse.urlparse(self.path)
+        if parsed.path == "/health":
+            # Liveness probe: answers without touching the store, so a
+            # wedged store cannot mask a live server (and vice versa a
+            # dead server fails the connect, which is the real signal).
+            self._count_request("health")
+            self._send_json(200, {"status": "ok"})
+            return
         if parsed.path == "/stats":
             self._count_request("stats")
             lock: threading.Lock = self.server.request_lock  # type: ignore[attr-defined]
@@ -206,7 +263,7 @@ class KVStoreHTTPServer:
     """
 
     def __init__(self, store: KeyValueStore, host: str = "127.0.0.1", port: int = 0):
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server = _QuietThreadingHTTPServer((host, port), _Handler)
         self._server.kv_store = store  # type: ignore[attr-defined]
         self._server.request_lock = threading.Lock()  # type: ignore[attr-defined]
         self._server.request_counts = {}  # type: ignore[attr-defined]
@@ -242,6 +299,7 @@ class KVStoreHTTPServer:
         if self._thread is None:
             return
         self._server.shutdown()
+        self._server.close_established()
         self._thread.join(timeout=5)
         self._server.server_close()
         self._thread = None

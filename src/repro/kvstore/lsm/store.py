@@ -21,6 +21,7 @@ import threading
 from collections.abc import Iterator, Mapping
 from pathlib import Path
 
+from ...recovery.crashpoints import crashpoint
 from ..base import Fields, KeyValueStore, StoreClosed, VersionedValue
 from .memtable import Memtable, MemtableEntry
 from .sstable import SSTable
@@ -116,6 +117,10 @@ class LSMKVStore(KeyValueStore):
             return
         segment = SSTable.write(self._segment_path(), self._memtable.entries())
         self._segments.append(segment)
+        # Crash window: the segment is published but the WAL still holds the
+        # flushed records.  Recovery replays them over the segment — upserts
+        # are idempotent by sequence, so no acknowledged write is lost.
+        crashpoint("lsm.mid_checkpoint")
         self._memtable.clear()
         self._wal.truncate()
 

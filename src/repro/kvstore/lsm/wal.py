@@ -20,6 +20,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+from ...recovery.crashpoints import CrashError, get_crash_injector
 from ..base import Fields, StoreError
 
 __all__ = ["WalRecord", "WriteAheadLog", "WalCorruptionError"]
@@ -72,6 +73,20 @@ class WriteAheadLog:
     def append(self, record: WalRecord) -> None:
         """Durably (or lazily, per ``sync_writes``) append ``record``."""
         line = record.to_json() + "\n"
+        injector = get_crash_injector()
+        if injector is not None:
+            try:
+                injector.hit("wal.mid_append")
+            except CrashError:
+                # Die with the record half on disk: a torn tail with no
+                # trailing newline, exactly what an interrupted write +
+                # partial page flush leaves behind.  Replay must drop it.
+                with self._lock:
+                    self._file.write(line[: max(1, len(line) // 2)])
+                    self._file.flush()
+                    if self._sync_writes:
+                        os.fsync(self._file.fileno())
+                raise
         with self._lock:
             self._file.write(line)
             self._file.flush()

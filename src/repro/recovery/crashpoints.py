@@ -1,0 +1,167 @@
+"""Named, schedulable crashpoints.
+
+A *crashpoint* is a place in the stack where a participant can die:
+between prewrite and commit, with the commit record written but the
+intents unapplied, halfway through a WAL append.  Production code calls
+:func:`crashpoint` at those places; the call is a no-op unless a test or
+campaign has installed a :class:`CrashInjector` with a schedule naming
+that point.  When a scheduled hit count is reached the injector raises
+:class:`CrashError` — a ``BaseException`` on purpose, so none of the
+retry/fault handlers between the crash site and the client loop can
+swallow it: the "process" is dead and nothing downstream of the raise
+runs, exactly like a real crash.
+
+The catalogue (``CRASHPOINTS``):
+
+``txn.after_prewrite``
+    every write-set lock is installed (with staged intent); the commit
+    decision has not been made.  Recovery must roll the transaction back.
+``txn.after_primary_commit``
+    the commit point has been passed (TSR created / primary committed)
+    but no intent has been applied.  Recovery must roll forward.
+``txn.mid_secondary_commit``
+    the commit point passed and *some* intents applied.  Recovery must
+    finish the roll-forward.
+``wal.mid_append``
+    the WAL record is half on disk (a torn tail, no trailing newline).
+    Replay must drop exactly that record.
+``lsm.mid_checkpoint``
+    the memtable flush wrote its segment but the WAL was not truncated.
+    Recovery must lose no acknowledged write (replay is idempotent).
+``worker.mid_run``
+    a benchmark worker dies mid-run: a scale-out worker process exits, or
+    an in-sim client thread dies inside a store write (mid read-modify-
+    write for the raw binding, mid commit protocol for the transactional
+    one).
+
+Deterministic under simulation: hits are counted under a lock, and the
+PR 4 scheduler runs one task at a time, so *which* operation dies is a
+pure function of the seed and the schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+
+__all__ = [
+    "CRASHPOINTS",
+    "CrashError",
+    "CrashInjector",
+    "crashpoint",
+    "get_crash_injector",
+    "set_crash_injector",
+    "use_crash_injector",
+]
+
+#: The crashpoint catalogue: every name production code may hit.
+CRASHPOINTS = (
+    "txn.after_prewrite",
+    "txn.after_primary_commit",
+    "txn.mid_secondary_commit",
+    "wal.mid_append",
+    "lsm.mid_checkpoint",
+    "worker.mid_run",
+)
+
+
+class CrashError(BaseException):
+    """A scheduled crash fired: the simulated participant is dead.
+
+    Subclasses ``BaseException`` (like ``KeyboardInterrupt``) so that the
+    ``except StoreError`` / ``except TransactionError`` handlers along the
+    commit path cannot catch it — a crashed client performs no cleanup,
+    which is precisely the stranded state recovery must handle.
+    """
+
+    def __init__(self, point: str, hit: int):
+        super().__init__(f"crashpoint {point!r} fired on hit {hit}")
+        self.point = point
+        self.hit = hit
+
+
+class CrashInjector:
+    """Counts crashpoint hits and fires per a schedule.
+
+    Args:
+        schedule: crashpoint name -> hit number(s) at which to fire (an
+            ``int`` or an iterable of them, 1-based).  Each scheduled hit
+            fires exactly once; hit counting continues afterwards so a
+            later index on the same point can still fire (several clients
+            can die over one run).
+
+    Thread safety: hit counting is lock-protected.  Under the sim
+    scheduler only one task runs at a time, so the sequence of hits — and
+    therefore which task dies — is deterministic.
+    """
+
+    def __init__(self, schedule: Mapping[str, int | Iterable[int]]):
+        self._pending: dict[str, set[int]] = {}
+        for point, hits in schedule.items():
+            if point not in CRASHPOINTS:
+                raise ValueError(
+                    f"unknown crashpoint {point!r}; catalogue: {CRASHPOINTS}"
+                )
+            indices = {hits} if isinstance(hits, int) else {int(h) for h in hits}
+            if any(index < 1 for index in indices):
+                raise ValueError(f"crashpoint hits are 1-based, got {sorted(indices)}")
+            self._pending[point] = indices
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        #: (point, hit) pairs that fired, in firing order.
+        self.fired: list[tuple[str, int]] = []
+
+    def hit_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._hits)
+
+    def hit(self, point: str) -> None:
+        """Count one pass through ``point``; raise if the schedule says so."""
+        with self._lock:
+            count = self._hits.get(point, 0) + 1
+            self._hits[point] = count
+            pending = self._pending.get(point)
+            fire = pending is not None and count in pending
+            if fire:
+                pending.discard(count)
+                self.fired.append((point, count))
+        if fire:
+            raise CrashError(point, count)
+
+
+_active: CrashInjector | None = None
+
+
+def get_crash_injector() -> CrashInjector | None:
+    """The ambient injector, or None when no crash schedule is installed."""
+    return _active
+
+
+def set_crash_injector(injector: CrashInjector | None) -> CrashInjector | None:
+    """Install ``injector`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = injector
+    return previous
+
+
+@contextmanager
+def use_crash_injector(injector: CrashInjector):
+    """Run a block with ``injector`` installed, then restore."""
+    previous = set_crash_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_crash_injector(previous)
+
+
+def crashpoint(point: str) -> None:
+    """Hit ``point``: free when no injector is installed, else counted.
+
+    Call-time dispatch (like the ambient clock) so instrumented modules
+    pay one global read per crashpoint when no campaign is running.
+    """
+    injector = _active
+    if injector is not None:
+        injector.hit(point)

@@ -1,0 +1,208 @@
+"""Transaction scavenger: find and resolve stranded transactions.
+
+A client that dies mid-commit leaves locks (with staged intents) on its
+write set, and — for the TSR-based manager — possibly a transaction-status
+record.  The protocols already recover such state *lazily*: any reader
+that trips over an expired lock resolves it.  But a benchmark measuring
+recovery cannot wait for luck; the scavenger is the *eager* version of the
+same rules, shared by both coordinators:
+
+* scan every registered store for locked records;
+* for each lock, delegate to the manager's own ``resolve_lock`` — it
+  consults the commit point (TSR for :class:`~repro.txn.manager.
+  ClientTransactionManager`, the primary record for :class:`~repro.txn.
+  percolator.PercolatorLikeManager`), rolls **forward** if the owner
+  committed, rolls **back** if it is decided-aborted or its lease expired,
+  and leaves live undecided owners alone;
+* optionally (TSR manager only) delete *orphan* TSRs — status records no
+  surviving lock refers to.  Locks are always installed before the TSR is
+  created, so once a transaction has zero locks anywhere nothing depends
+  on its TSR.  This assumes no live client is mid-commit, which holds in
+  post-crash recovery; the background thread therefore skips it.
+
+Run :meth:`TxnScavenger.scavenge_once` explicitly after a (simulated)
+crash, or :meth:`TxnScavenger.start` a wall-clock background thread the
+way a real deployment would run a janitor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields as dataclass_fields
+
+from ..kvstore.base import StoreError
+from ..txn.manager import TSR_PREFIX
+from ..txn.record import TxRecord
+
+__all__ = ["ScavengeStats", "TxnScavenger"]
+
+
+@dataclass
+class ScavengeStats:
+    """What one scavenger pass saw and did."""
+
+    #: records examined (TSRs included).
+    scanned: int = 0
+    #: records carrying a lock when examined.
+    locks_seen: int = 0
+    #: of those, locks whose lease had expired (presumed-dead owners).
+    expired_locks: int = 0
+    #: locks resolved into a committed version (owner had committed).
+    rolled_forward: int = 0
+    #: stranded transactions decided ``aborted`` on behalf of their owner.
+    rolled_back: int = 0
+    #: locks left alone because the owner is alive and undecided.
+    pending_live: int = 0
+    #: transaction-status records no lock refers to, deleted.
+    orphan_tsrs_removed: int = 0
+
+    def add(self, other: "ScavengeStats") -> None:
+        for spec in dataclass_fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+
+
+class TxnScavenger:
+    """Eager recovery pass over a transaction manager's stores.
+
+    Works with any manager exposing the shared recovery surface:
+    ``store_names()`` / ``store(name)``, ``resolve_lock(store, key)``,
+    ``stats`` (a :class:`~repro.txn.manager.TxnStats`) and ``_now_us()`` —
+    i.e. both :class:`~repro.txn.manager.ClientTransactionManager` and
+    :class:`~repro.txn.percolator.PercolatorLikeManager`.
+    """
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.total = ScavengeStats()
+        self.passes = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- one explicit pass -----------------------------------------------------
+
+    def scavenge_once(self, remove_orphan_tsrs: bool = True) -> ScavengeStats:
+        """Scan every store, resolve every resolvable lock; returns stats."""
+        manager = self.manager
+        stats = ScavengeStats()
+        tsr_keys: list[tuple[str, str]] = []  # (store name, tsr key)
+        live_txids: set[str] = set()
+        for store_name in manager.store_names():
+            store = manager.store(store_name)
+            for key in list(store.keys()):
+                stats.scanned += 1
+                if key.startswith(TSR_PREFIX):
+                    tsr_keys.append((store_name, key))
+                    continue
+                versioned = store.get_with_meta(key)
+                if versioned is None:
+                    continue
+                try:
+                    record = TxRecord.decode(versioned.value)
+                except ValueError:
+                    continue  # raw (non-transactional) key; not ours
+                lock = record.lock
+                if lock is None:
+                    continue
+                stats.locks_seen += 1
+                if lock.lease_expiry_us < manager._now_us():
+                    stats.expired_locks += 1
+                before_forward = manager.stats.rollforwards
+                before_back = manager.stats.rollbacks_of_peers
+                try:
+                    resolved = manager.resolve_lock(store, key)
+                except StoreError:
+                    resolved = False  # store flaked; next pass retries
+                stats.rolled_forward += manager.stats.rollforwards - before_forward
+                stats.rolled_back += manager.stats.rollbacks_of_peers - before_back
+                if not resolved:
+                    stats.pending_live += 1
+                    live_txids.add(lock.txid)
+        if remove_orphan_tsrs:
+            self._remove_orphan_tsrs(tsr_keys, live_txids, stats)
+        self.total.add(stats)
+        self.passes += 1
+        return stats
+
+    def _remove_orphan_tsrs(
+        self,
+        tsr_keys: list[tuple[str, str]],
+        live_txids: set[str],
+        stats: ScavengeStats,
+    ) -> None:
+        """Delete status records whose transaction left no lock anywhere.
+
+        Re-checks the stores *after* the resolution pass: resolution itself
+        removes locks, so a TSR is orphaned exactly when no key — in any
+        store — still carries its txid.
+        """
+        if not tsr_keys:
+            return
+        manager = self.manager
+        remaining: set[str] = set(live_txids)
+        for store_name in manager.store_names():
+            store = manager.store(store_name)
+            for key in list(store.keys()):
+                if key.startswith(TSR_PREFIX):
+                    continue
+                versioned = store.get_with_meta(key)
+                if versioned is None:
+                    continue
+                try:
+                    record = TxRecord.decode(versioned.value)
+                except ValueError:
+                    continue
+                if record.lock is not None:
+                    remaining.add(record.lock.txid)
+        for store_name, key in tsr_keys:
+            txid = key[len(TSR_PREFIX) :]
+            if txid in remaining:
+                continue
+            try:
+                if manager.store(store_name).delete(key):
+                    stats.orphan_tsrs_removed += 1
+            except StoreError:
+                pass  # next pass retries
+
+    # -- background janitor ----------------------------------------------------
+
+    def start(self, interval_s: float = 0.25) -> None:
+        """Run :meth:`scavenge_once` every ``interval_s`` wall seconds.
+
+        The background thread is the deployment shape (a janitor beside
+        the clients); it skips orphan-TSR removal, which is only safe with
+        no live committers.  Under the sim clock call ``scavenge_once``
+        from the driver instead — a free-running wall thread has no place
+        in virtual time.
+        """
+        if self._thread is not None:
+            raise RuntimeError("scavenger already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                self.scavenge_once(remove_orphan_tsrs=False)
+
+        self._thread = threading.Thread(target=loop, name="txn-scavenger", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread (no-op when not running)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    # -- reporting -------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative counters in report-exporter naming."""
+        return {
+            "SCAVENGER-PASSES": self.passes,
+            "SCAVENGER-LOCKS-SEEN": self.total.locks_seen,
+            "SCAVENGER-EXPIRED-LOCKS": self.total.expired_locks,
+            "SCAVENGER-ROLLED-FORWARD": self.total.rolled_forward,
+            "SCAVENGER-ROLLED-BACK": self.total.rolled_back,
+            "SCAVENGER-PENDING-LIVE": self.total.pending_live,
+            "SCAVENGER-ORPHAN-TSRS-REMOVED": self.total.orphan_tsrs_removed,
+        }

@@ -1,0 +1,78 @@
+"""Store wrapper hitting the ``worker.mid_run`` crashpoint on writes.
+
+Separate from :mod:`repro.recovery.crashpoints` so that module stays free
+of storage imports — the LSM engine itself calls crashpoints, and a
+crashpoints -> kvstore -> lsm -> crashpoints cycle would follow.
+"""
+
+from __future__ import annotations
+
+from ..kvstore.base import Fields, KeyValueStore, VersionedValue
+from .crashpoints import crashpoint
+
+__all__ = ["CrashpointStore"]
+
+
+class CrashpointStore(KeyValueStore):
+    """Store wrapper that hits ``worker.mid_run`` before every write.
+
+    Used by the crash campaign to land a client death *inside* an
+    operation sequence: for the raw binding that is between the debit and
+    the credit of a read-modify-write; for the transactional binding it is
+    inside the lock-install / commit-apply protocol.  Reads never crash —
+    a read is where recovery happens, not where state is mutated.
+    """
+
+    def __init__(self, inner: KeyValueStore):
+        self._inner = inner
+
+    @property
+    def inner(self) -> KeyValueStore:
+        return self._inner
+
+    # -- reads (pass-through) --------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self._inner.get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        return self._inner.scan(start_key, record_count)
+
+    def keys(self):
+        return self._inner.keys()
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    # -- writes (crashpoint-guarded) -------------------------------------------
+
+    def put(self, key: str, value) -> int:
+        crashpoint("worker.mid_run")
+        return self._inner.put(key, value)
+
+    def put_batch(self, items):
+        crashpoint("worker.mid_run")
+        batched = getattr(self._inner, "put_batch", None)
+        if batched is not None:
+            return batched(items)
+        return [self._inner.put(key, value) for key, value in items]
+
+    def put_if_version(self, key: str, value, expected_version):
+        crashpoint("worker.mid_run")
+        return self._inner.put_if_version(key, value, expected_version)
+
+    def delete(self, key: str) -> bool:
+        crashpoint("worker.mid_run")
+        return self._inner.delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int):
+        crashpoint("worker.mid_run")
+        return self._inner.delete_if_version(key, expected_version)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+    def close(self) -> None:
+        self._inner.close()

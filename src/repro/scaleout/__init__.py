@@ -10,12 +10,13 @@ keyspace sharded per worker index, and merges the per-worker
 losslessly) into one report.
 """
 
-from .engine import ScaleoutResult, ScaleoutSpec, run_scaleout
+from .engine import ScaleoutResult, ScaleoutSpec, WorkerDeathError, run_scaleout
 from .merge import deserialize_result, merge_results, serialize_result
 
 __all__ = [
     "ScaleoutSpec",
     "ScaleoutResult",
+    "WorkerDeathError",
     "run_scaleout",
     "serialize_result",
     "deserialize_result",

@@ -22,13 +22,26 @@ After the run phase the parent re-validates **globally** on the shared
 store — per-worker validations race each other mid-run and are dropped
 by the merge; the parent's validation runs after every worker has
 finished, so it is the authoritative closed-economy check.
+
+Worker death: the engine polls the result queue with a short timeout and
+checks every child process between polls.  A worker that exits without
+delivering all its phase results is declared dead — it is marked dead at
+the coordinator (so the survivors' barriers release instead of hanging),
+its keyspace slice is recorded as lost, and per ``spec.on_worker_death``
+the run either completes **degraded** (merged report from the survivors,
+``degraded=True``, global validation still run — on a raw binding it
+shows exactly what the death cost) or **fails fast** with
+:class:`WorkerDeathError` after terminating the survivors.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
+import time
 from dataclasses import dataclass, field
 
+from ..coordination.client import CoordinatorClient
 from ..coordination.server import CoordinationServer
 from ..core.client import BenchmarkResult
 from ..core.db import MeasuredDB, create_db
@@ -41,7 +54,15 @@ from ..measurements.registry import Measurements
 from .merge import deserialize_result, merge_results
 from .worker import worker_main
 
-__all__ = ["ScaleoutSpec", "ScaleoutResult", "run_scaleout"]
+__all__ = ["ScaleoutSpec", "ScaleoutResult", "WorkerDeathError", "run_scaleout"]
+
+
+class WorkerDeathError(RuntimeError):
+    """A worker died and ``on_worker_death="fail_fast"`` was requested."""
+
+    def __init__(self, dead_workers: list[str]):
+        super().__init__(f"worker(s) died mid-run: {', '.join(dead_workers)}")
+        self.dead_workers = list(dead_workers)
 
 
 @dataclass
@@ -60,7 +81,12 @@ class ScaleoutSpec:
         store_address: ``(host, port)`` of an external HTTP store; when
             None the engine serves ``store`` (or a fresh in-memory store)
             itself.
-        timeout_s: per-phase ceiling on waiting for worker results.
+        timeout_s: overall ceiling on waiting for worker results.
+        on_worker_death: ``"degraded"`` completes the run on the
+            survivors and flags the merged result; ``"fail_fast"``
+            terminates everything and raises :class:`WorkerDeathError`.
+        poll_interval_s: result-queue poll granularity — also how often
+            worker liveness is checked.
     """
 
     processes: int
@@ -69,6 +95,8 @@ class ScaleoutSpec:
     phases: tuple[str, ...] = ("load", "run")
     store_address: tuple[str, int] | None = None
     timeout_s: float = 120.0
+    on_worker_death: str = "degraded"
+    poll_interval_s: float = 0.25
 
 
 @dataclass
@@ -85,6 +113,14 @@ class ScaleoutResult:
     #: global anomaly score), None when validation was not applicable.
     validation: ValidationResult | None
     worker_errors: list[str]
+    #: True when at least one worker died before delivering its results.
+    degraded: bool = False
+    #: names of workers that died, in detection order.
+    dead_workers: list[str] = field(default_factory=list)
+    #: keyspace slices the dead workers owned: ``{"worker": name,
+    #: "insertstart": s, "insertcount": n}``; start/count are None for a
+    #: worker that died before registering (it owned no slice yet).
+    lost_shards: list[dict] = field(default_factory=list)
 
     @property
     def anomaly_score(self) -> float | None:
@@ -136,6 +172,11 @@ def run_scaleout(spec: ScaleoutSpec, store: KeyValueStore | None = None) -> Scal
     unknown = [phase for phase in spec.phases if phase not in ("load", "run")]
     if unknown:
         raise ValueError(f"unknown phases {unknown}; expected load/run")
+    if spec.on_worker_death not in ("degraded", "fail_fast"):
+        raise ValueError(
+            f"on_worker_death must be 'degraded' or 'fail_fast', "
+            f"got {spec.on_worker_death!r}"
+        )
 
     properties = dict(spec.properties)
     record_count = int(properties.get("recordcount", 1000))
@@ -181,24 +222,66 @@ def run_scaleout(spec: ScaleoutSpec, store: KeyValueStore | None = None) -> Scal
             process.start()
             workers.append(process)
 
-        expected_messages = spec.processes * len(spec.phases)
+        remaining = {process.name: len(spec.phases) for process in workers}
         by_phase: dict[str, list[BenchmarkResult]] = {phase: [] for phase in spec.phases}
         errors: list[str] = []
-        received = 0
-        while received < expected_messages:
-            try:
-                message = queue.get(timeout=spec.timeout_s)
-            except Exception as exc:  # queue.Empty, broken pipe on dead workers
-                errors.append(f"timed out waiting for worker results: {exc}")
-                break
-            received += 1
+        dead_workers: list[str] = []
+
+        def handle(message: dict) -> None:
+            name = message["worker"]
             if "error" in message:
-                errors.append(f"{message['worker']}: {message['error']}")
-                # A dead worker sends exactly one message regardless of
+                errors.append(f"{name}: {message['error']}")
+                # A failed worker sends exactly one message regardless of
                 # the remaining phases — stop expecting the rest of its.
-                expected_messages -= len(spec.phases) - 1
+                remaining[name] = 0
+            else:
+                by_phase[message["phase"]].append(
+                    deserialize_result(message["result"])
+                )
+                remaining[name] = max(0, remaining.get(name, 0) - 1)
+
+        deadline = time.monotonic() + spec.timeout_s
+        while sum(remaining.values()) > 0:
+            if time.monotonic() > deadline:
+                waiting = sorted(name for name, left in remaining.items() if left)
+                errors.append(
+                    f"timed out after {spec.timeout_s:.0f}s waiting for "
+                    f"results from: {', '.join(waiting)}"
+                )
+                break
+            try:
+                handle(queue.get(timeout=spec.poll_interval_s))
                 continue
-            by_phase[message["phase"]].append(deserialize_result(message["result"]))
+            except queue_module.Empty:
+                pass
+            except Exception as exc:  # broken pipe on dying workers
+                errors.append(f"result queue failed: {exc}")
+                break
+            # Nothing arrived this interval — check worker liveness.
+            for process in workers:
+                if remaining.get(process.name, 0) == 0 or process.is_alive():
+                    continue
+                # The process exited.  Its final messages may still sit in
+                # the queue's pipe; drain before declaring anything lost.
+                while True:
+                    try:
+                        handle(queue.get(timeout=0.2))
+                    except queue_module.Empty:
+                        break
+                if remaining.get(process.name, 0) == 0:
+                    continue
+                # Dead for real: it owes results it can never deliver.
+                dead_workers.append(process.name)
+                remaining[process.name] = 0
+                # Count it as arrived at every barrier so the survivors'
+                # next rendezvous releases instead of hanging.
+                coordinator.state.mark_dead(process.name)
+                errors.append(
+                    f"{process.name}: died with exit code {process.exitcode} "
+                    f"before delivering all results"
+                )
+                if spec.on_worker_death == "fail_fast":
+                    raise WorkerDeathError(dead_workers)
 
         for process in workers:
             process.join(timeout=spec.timeout_s)
@@ -207,13 +290,34 @@ def run_scaleout(spec: ScaleoutSpec, store: KeyValueStore | None = None) -> Scal
                 process.join(timeout=5)
                 errors.append(f"{process.name}: terminated after timeout")
 
+        lost_shards: list[dict] = []
+        for name in dead_workers:
+            index = coordinator.state.client_index(name)
+            if index is None:  # died before registering: owned no slice yet
+                lost_shards.append(
+                    {"worker": name, "insertstart": None, "insertcount": None}
+                )
+            else:
+                start, count = CoordinatorClient.keyspace_slice(
+                    index, spec.processes, record_count
+                )
+                lost_shards.append(
+                    {"worker": name, "insertstart": start, "insertcount": count}
+                )
+
         merged: dict[str, BenchmarkResult | None] = {"load": None, "run": None}
         for phase, results in by_phase.items():
             if results:
                 merged[phase] = merge_results(results)
 
         validation: ValidationResult | None = None
-        if "run" in spec.phases and merged["run"] is not None and not errors:
+        if "run" in spec.phases and merged["run"] is not None:
+            # Run even in degraded mode: on a transactional binding the
+            # store should still validate (a dead worker aborts, never
+            # half-commits); on a raw binding the validation quantifies
+            # exactly what the death cost.  The denominator undercounts
+            # by whatever the dead worker executed before dying — those
+            # operations were never reported.
             total_operations = merged["run"].operations
             try:
                 validation = _global_validation(spec, address, total_operations)
@@ -236,4 +340,7 @@ def run_scaleout(spec: ScaleoutSpec, store: KeyValueStore | None = None) -> Scal
         coordinator_summary=summary,
         validation=validation,
         worker_errors=errors,
+        degraded=bool(dead_workers),
+        dead_workers=dead_workers,
+        lost_shards=lost_shards,
     )

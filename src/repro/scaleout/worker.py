@@ -6,6 +6,24 @@ run the ordinary :class:`~repro.core.client.Client` phases, and ship each
 serialised :class:`~repro.core.client.BenchmarkResult` back to the parent
 through a multiprocessing queue.
 
+Liveness: once registered, the worker beats a heartbeat to the
+coordinator (``POST /heartbeat``) from a daemon thread, so a remote
+supervisor can spot a wedged worker from heartbeat age alone.  The local
+engine additionally watches the child process itself.
+
+Crash injection: the worker arms a :class:`~repro.recovery.crashpoints.
+CrashInjector` of its own when the properties name it —
+
+* ``crash.worker`` — the ``worker_id`` that should die;
+* ``crash.worker_hits`` — comma-separated 1-based ``worker.mid_run`` hit
+  numbers (default ``50``), counted over that worker's DB writes.
+
+The injector global does not cross the ``spawn`` boundary, so the parent
+cannot arm a child directly; properties are the channel.  When the
+scheduled hit fires the worker dies by ``os._exit`` — no queue message,
+no cleanup, heartbeats stop — exactly the failure the engine's
+worker-death tolerance has to absorb.
+
 The function must stay module-level and import-clean: the engine uses the
 ``spawn`` start method (fork is unsafe with the parent's HTTP server
 threads), so the child re-imports this module to find its target.
@@ -13,16 +31,126 @@ threads), so the child re-imports this module to find its target.
 
 from __future__ import annotations
 
+import os
+import threading
 import traceback
 
-from ..coordination.client import CoordinatorClient
+from ..coordination.client import CoordinationError, CoordinatorClient
 from ..core.cli import _build_workload
-from ..core.db import create_db
+from ..core.db import DB, create_db
 from ..core.properties import Properties
 from ..measurements.registry import Measurements
+from ..recovery.crashpoints import (
+    CrashError,
+    CrashInjector,
+    crashpoint,
+    set_crash_injector,
+)
 from .merge import serialize_result
 
-__all__ = ["worker_main"]
+__all__ = ["worker_main", "WORKER_CRASH_EXIT_CODE"]
+
+#: Exit status of a worker killed by its armed ``worker.mid_run``
+#: crashpoint — distinguishable from a genuine uncaught failure.
+WORKER_CRASH_EXIT_CODE = 23
+
+
+class _CrashpointDB(DB):
+    """DB proxy firing ``worker.mid_run`` before every write operation.
+
+    The scale-out workers talk to the store over HTTP bindings, which the
+    in-process :class:`~repro.recovery.store.CrashpointStore` wrapper
+    never sees; this proxy puts the same crashpoint at the binding layer
+    instead, so a worker process can be killed mid-operation sequence.
+
+    When the scheduled hit fires the proxy ``os._exit``\\ s the whole
+    process right here: the benchmark client's worker threads treat a
+    :class:`CrashError` as an in-process simulated crash and carry on,
+    but a scale-out worker has to die for real — whichever thread trips
+    the crashpoint takes the process with it, mid-whatever-it-was-doing.
+    """
+
+    def __init__(self, inner: DB):
+        super().__init__(inner.properties)
+        self._inner = inner
+
+    @staticmethod
+    def _hit() -> None:
+        try:
+            crashpoint("worker.mid_run")
+        except CrashError:
+            os._exit(WORKER_CRASH_EXIT_CODE)
+
+    def init(self) -> None:
+        self._inner.init()
+
+    def cleanup(self) -> None:
+        self._inner.cleanup()
+
+    def counters(self) -> dict[str, int]:
+        return self._inner.counters()
+
+    def read(self, table, key, fields=None):
+        return self._inner.read(table, key, fields)
+
+    def scan(self, table, start_key, record_count, fields=None):
+        return self._inner.scan(table, start_key, record_count, fields)
+
+    def update(self, table, key, values):
+        self._hit()
+        return self._inner.update(table, key, values)
+
+    def insert(self, table, key, values):
+        self._hit()
+        return self._inner.insert(table, key, values)
+
+    def delete(self, table, key):
+        self._hit()
+        return self._inner.delete(table, key)
+
+    def batch_insert(self, table, records):
+        self._hit()
+        return self._inner.batch_insert(table, records)
+
+    def start(self):
+        return self._inner.start()
+
+    def commit(self):
+        self._hit()
+        return self._inner.commit()
+
+    def abort(self):
+        return self._inner.abort()
+
+
+def _arm_crash(worker_id: str, properties: Properties) -> bool:
+    """Install this worker's crash injector when the properties name it."""
+    if properties.get_str("crash.worker", "") != worker_id:
+        return False
+    hits = [
+        int(hit)
+        for hit in properties.get_str("crash.worker_hits", "50").split(",")
+        if hit.strip()
+    ]
+    set_crash_injector(CrashInjector({"worker.mid_run": hits}))
+    return True
+
+
+def _start_heartbeat(
+    coordinator: CoordinatorClient, interval_s: float
+) -> threading.Event:
+    """Beat liveness to the coordinator until the returned event is set."""
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval_s):
+            try:
+                coordinator.heartbeat()
+            except CoordinationError:
+                pass  # the parent owns the coordinator; it knows if it died
+
+    threading.Thread(target=beat, name="worker-heartbeat", daemon=True).start()
+    return stop
 
 
 def worker_main(spec: dict, queue) -> None:
@@ -39,7 +167,9 @@ def worker_main(spec: dict, queue) -> None:
 
     One message per phase is put on ``queue``:
     ``{"worker": id, "phase": name, "result": <serialised result>}``, or a
-    single ``{"worker": id, "error": traceback}`` if the worker dies.
+    single ``{"worker": id, "error": traceback}`` if the worker fails.  A
+    worker whose armed crashpoint fires sends **nothing** and exits with
+    :data:`WORKER_CRASH_EXIT_CODE` — a crash, not a failure report.
     """
     worker_id = spec["worker_id"]
     try:
@@ -50,6 +180,9 @@ def worker_main(spec: dict, queue) -> None:
         host, port = spec["coordinator"]
         coordinator = CoordinatorClient((host, port), client_id=worker_id)
         index, expected = coordinator.register()
+        heartbeat_stop = _start_heartbeat(
+            coordinator, properties.get_float("scaleout.heartbeat_interval_s", 0.2)
+        )
         start, count = CoordinatorClient.keyspace_slice(
             index, expected, properties.get_int("recordcount", 1000)
         )
@@ -58,12 +191,15 @@ def worker_main(spec: dict, queue) -> None:
         properties.set("insertstart", start)
         properties.set("insertcount", count)
 
+        armed = _arm_crash(worker_id, properties)
+
         measurements = Measurements.from_properties(properties)
         workload = _build_workload(properties)
         workload.init(properties, measurements)
 
         def db_factory():
-            return create_db(spec["db"], properties)
+            db = create_db(spec["db"], properties)
+            return _CrashpointDB(db) if armed else db
 
         from ..core.client import Client
 
@@ -81,6 +217,11 @@ def worker_main(spec: dict, queue) -> None:
                     }
                 )
         finally:
+            heartbeat_stop.set()
             workload.cleanup()
+    except CrashError:
+        # The armed crashpoint fired: die like a killed process — no
+        # message, no cleanup, no flushing.  The engine must cope.
+        os._exit(WORKER_CRASH_EXIT_CODE)
     except BaseException:  # noqa: BLE001 - the parent needs the traceback
         queue.put({"worker": worker_id, "error": traceback.format_exc()})

@@ -42,6 +42,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..core.retry import RetryPolicy, RetryStats
+from ..recovery.crashpoints import crashpoint
 from ..sim.clock import ambient_now_us, ambient_sleep
 from ..kvstore.base import Fields, KeyValueStore, StoreError
 from .base import Transaction, TransactionManager, TxState
@@ -63,6 +64,10 @@ class TxnStats:
     committed: int = 0
     aborted: int = 0
     conflicts: int = 0
+    #: aborts forced by peer/lease recovery (a peer presumed us dead and
+    #: decided ``aborted`` first) — distinct from first-class write-write
+    #: ``conflicts`` so crash campaigns can tell "scavenged" from "contended".
+    recovery_aborts: int = 0
     locks_acquired: int = 0
     rollforwards: int = 0
     rollbacks_of_peers: int = 0
@@ -157,6 +162,7 @@ class ClientTransactionManager(TransactionManager):
         """Shared-run counters surfaced into benchmark reports."""
         counters = {
             "TXN-CONFLICTS": self.stats.conflicts,
+            "TXN-RECOVERY-ABORTS": self.stats.recovery_aborts,
             "TXN-AMBIGUOUS-COMMITS": self.stats.ambiguous_commits,
             "TXN-POST-COMMIT-FAILURES": self.stats.post_commit_failures,
         }
@@ -476,6 +482,7 @@ class ClientTransaction(Transaction):
             self.state = TxState.ABORTED
             manager.stats.bump("aborted")
             raise
+        crashpoint("txn.after_prewrite")
 
         commit_ts = manager.clock.next_timestamp()
         tsr_store = manager.store(ordered[0][0])
@@ -489,7 +496,9 @@ class ClientTransaction(Transaction):
                 pass  # the abort TSR is garbage once our locks are gone
             self.state = TxState.ABORTED
             manager.stats.bump("aborted")
+            manager.stats.bump("recovery_aborts")
             raise TransactionAborted(f"{self.txid}: aborted by peer recovery before commit")
+        crashpoint("txn.after_primary_commit")
 
         # Past the commit point the transaction IS committed, whatever the
         # store does next: every staged intent is roll-forward-able by any
@@ -498,7 +507,9 @@ class ClientTransaction(Transaction):
         # it — deleting it with an intent still staged would let a peer
         # presume us aborted and roll the committed write *back*.
         apply_failures = 0
-        for address in ordered:
+        for position, address in enumerate(ordered):
+            if position == 1:
+                crashpoint("txn.mid_secondary_commit")
             try:
                 self._apply_commit(address, commit_ts)
             except StoreError:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from ..kvstore.base import Fields, KeyValueStore
+from ..recovery.crashpoints import crashpoint
 from ..sim.clock import ambient_now_us, ambient_sleep
 from .base import Transaction, TransactionManager, TxState
 from .clock import TimestampOracle
@@ -66,6 +67,13 @@ class PercolatorLikeManager(TransactionManager):
         self.lock_wait_s = lock_wait_s
         self.stats = TxnStats()
         self._sleep = sleep
+
+    def counters(self) -> dict[str, int]:
+        """Shared-run counters surfaced into benchmark reports."""
+        return {
+            "TXN-CONFLICTS": self.stats.conflicts,
+            "TXN-RECOVERY-ABORTS": self.stats.recovery_aborts,
+        }
 
     def begin(self) -> "PercolatorTransaction":
         start_ts = self.oracle.next_timestamp()
@@ -293,14 +301,21 @@ class PercolatorTransaction(Transaction):
             self.state = TxState.ABORTED
             manager.stats.bump("aborted")
             raise
+        crashpoint("txn.after_prewrite")
 
         commit_ts = manager.oracle.next_timestamp()
         if not self._commit_record(primary_address, commit_ts):
             self._rollback()
             self.state = TxState.ABORTED
             manager.stats.bump("aborted")
+            manager.stats.bump("recovery_aborts")
             raise TransactionConflict(f"{self.txid}: rolled back before primary commit")
+        crashpoint("txn.after_primary_commit")
+        # The commit point is behind us: the primary record is committed and
+        # every secondary is roll-forward-able from it.  Crashing anywhere in
+        # this loop leaves a partially applied transaction.
         for address in ordered[1:]:
+            crashpoint("txn.mid_secondary_commit")
             self._commit_record(address, commit_ts)
         self.state = TxState.COMMITTED
         manager.stats.bump("committed")

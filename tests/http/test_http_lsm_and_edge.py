@@ -95,3 +95,103 @@ class TestConnectionBehaviour:
         _, client = stack
         client.put("", {"f": "root"})
         assert client.get("") == {"f": "root"}
+
+    def test_health_endpoint(self, stack):
+        _, client = stack
+        assert client.health() is True
+
+    def test_health_false_when_server_gone(self):
+        from repro.kvstore import InMemoryKVStore
+
+        server = KVStoreHTTPServer(InMemoryKVStore())
+        server.start()
+        client = HttpKVStore(server.address)
+        server.stop()
+        try:
+            assert client.health() is False
+        finally:
+            client.close()
+
+
+class TestServerBounce:
+    """Regression: a bounced server must cost one stale retry, not errors.
+
+    After a restart every idle keep-alive in the pool points at a closed
+    socket.  The first request through the pool must drop the stale set,
+    replay on a fresh connection, and succeed — transparently.
+    """
+
+    def test_request_survives_server_bounce(self):
+        from repro.kvstore import InMemoryKVStore
+
+        store = InMemoryKVStore()
+        first = KVStoreHTTPServer(store)
+        first.start()
+        host, port = first.address
+        client = HttpKVStore((host, port))
+        try:
+            client.put("k", {"f": "v"})
+            assert client._pool.idle_count() == 1
+            first.stop()
+            # Same port, same store: the server came back after a crash.
+            second = KVStoreHTTPServer(store, host=host, port=port)
+            second.start()
+            try:
+                assert client.get("k") == {"f": "v"}
+                assert client.stale_retries == 1
+                assert client.counters() == {"HTTP-STALE-RETRIES": 1}
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_bounce_clears_every_idle_connection(self):
+        from repro.kvstore import InMemoryKVStore
+
+        store = InMemoryKVStore()
+        first = KVStoreHTTPServer(store)
+        first.start()
+        host, port = first.address
+        client = HttpKVStore((host, port))
+        try:
+            client.put("k", {"f": "v"})
+
+            def hammer():
+                for _ in range(3):
+                    client.get("k")
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert client._pool.idle_count() >= 1
+            first.stop()
+            second = KVStoreHTTPServer(store, host=host, port=port)
+            second.start()
+            try:
+                # One request pays one stale retry and flushes the whole
+                # pool; the follow-ups ride fresh keep-alives cleanly.
+                for _ in range(3):
+                    assert client.get("k") == {"f": "v"}
+                assert client.stale_retries == 1
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_fresh_connection_failure_still_raises(self):
+        from repro.kvstore import InMemoryKVStore
+        from repro.kvstore.base import StoreUnavailable
+
+        server = KVStoreHTTPServer(InMemoryKVStore())
+        server.start()
+        client = HttpKVStore(server.address)
+        client.put("k", {"f": "v"})
+        server.stop()  # nobody listening: the retry has nothing to reach
+        try:
+            with pytest.raises(StoreUnavailable):
+                client.get("k")
+            assert client.stale_retries == 1  # it did try the fresh socket
+        finally:
+            client.close()

@@ -34,6 +34,7 @@ from repro.kvstore import (
 from repro.kvstore.base import KeyValueStore
 from repro.kvstore.cloud import CloudStoreProfile
 from repro.kvstore.lsm import LSMKVStore
+from repro.recovery.store import CrashpointStore
 
 _FAST_CLOUD = CloudStoreProfile(
     name="fast",
@@ -56,6 +57,7 @@ MATRIX = {
     "retrying": RetryingStore,
     "http": HttpKVStore,
     "http-batching": BatchingKVStore,
+    "crashpoint-quiet": CrashpointStore,
 }
 
 
@@ -97,6 +99,10 @@ def store(request, tmp_path):
         yield client
         client.close()
         server.stop()
+    elif kind == "crashpoint-quiet":
+        # No injector installed: the crashpoint wrapper must be perfectly
+        # transparent, like faults-off for the fault wrapper.
+        yield CrashpointStore(InMemoryKVStore())
     elif kind == "http-batching":
         # The batch-coalescing wrapper over the real wire protocol: the
         # whole suite doubles as the proof that write-behind batching

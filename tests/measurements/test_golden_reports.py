@@ -43,6 +43,8 @@ def build_report() -> RunReport:
     # Counters arrive in non-alphabetical order; exporters sort them.
     measurements.increment("RETRIES", 3)
     measurements.set_counter("FAULTS-TRANSIENT", 2)
+    # Recovery-caused aborts are reported apart from write-write conflicts.
+    measurements.increment("TXN-RECOVERY-ABORTS", 1)
     windows = [
         ThroughputWindow(start_offset_s=0.0, operations=50, ops_per_second=50.0),
         ThroughputWindow(start_offset_s=1.0, operations=70, ops_per_second=70.0),

@@ -1,0 +1,97 @@
+"""Crashpoint injector semantics: scheduling, counting, scoping."""
+
+import pytest
+
+from repro.recovery import (
+    CRASHPOINTS,
+    CrashError,
+    CrashInjector,
+    crashpoint,
+    get_crash_injector,
+    set_crash_injector,
+    use_crash_injector,
+)
+
+
+class TestSchedule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown crashpoint"):
+            CrashInjector({"txn.not_a_point": 1})
+
+    def test_zero_hit_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            CrashInjector({"txn.after_prewrite": 0})
+
+    def test_single_int_and_iterable_both_accepted(self):
+        CrashInjector({"txn.after_prewrite": 2})
+        CrashInjector({"txn.after_prewrite": [2, 5]})
+
+    def test_every_catalogue_point_schedulable(self):
+        CrashInjector({point: 1 for point in CRASHPOINTS})
+
+
+class TestFiring:
+    def test_fires_on_exactly_the_scheduled_hit(self):
+        injector = CrashInjector({"txn.after_prewrite": 3})
+        injector.hit("txn.after_prewrite")
+        injector.hit("txn.after_prewrite")
+        with pytest.raises(CrashError) as excinfo:
+            injector.hit("txn.after_prewrite")
+        assert excinfo.value.point == "txn.after_prewrite"
+        assert excinfo.value.hit == 3
+        # Each scheduled hit fires once; counting continues afterwards.
+        injector.hit("txn.after_prewrite")
+        assert injector.hit_counts() == {"txn.after_prewrite": 4}
+        assert injector.fired == [("txn.after_prewrite", 3)]
+
+    def test_multiple_hits_on_one_point_each_fire_once(self):
+        injector = CrashInjector({"worker.mid_run": [1, 3]})
+        with pytest.raises(CrashError):
+            injector.hit("worker.mid_run")
+        injector.hit("worker.mid_run")
+        with pytest.raises(CrashError):
+            injector.hit("worker.mid_run")
+        injector.hit("worker.mid_run")
+        assert injector.fired == [("worker.mid_run", 1), ("worker.mid_run", 3)]
+
+    def test_unscheduled_point_never_fires(self):
+        injector = CrashInjector({"txn.after_prewrite": 1})
+        for _ in range(10):
+            injector.hit("lsm.mid_checkpoint")
+        assert injector.fired == []
+
+    def test_crasherror_passes_through_except_exception(self):
+        """The whole design: no fault/retry handler may swallow a crash."""
+        injector = CrashInjector({"wal.mid_append": 1})
+        with pytest.raises(CrashError):
+            try:
+                injector.hit("wal.mid_append")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("CrashError must not be an Exception subclass")
+
+
+class TestAmbientInjector:
+    def test_crashpoint_is_noop_without_injector(self):
+        assert get_crash_injector() is None
+        crashpoint("txn.after_prewrite")  # must not raise
+
+    def test_use_crash_injector_scopes_and_restores(self):
+        injector = CrashInjector({"txn.after_prewrite": 1})
+        with use_crash_injector(injector):
+            assert get_crash_injector() is injector
+            with pytest.raises(CrashError):
+                crashpoint("txn.after_prewrite")
+        assert get_crash_injector() is None
+
+    def test_nested_injectors_restore_outer(self):
+        outer = CrashInjector({"txn.after_prewrite": 99})
+        inner = CrashInjector({"wal.mid_append": 99})
+        with use_crash_injector(outer):
+            with use_crash_injector(inner):
+                assert get_crash_injector() is inner
+            assert get_crash_injector() is outer
+
+    def test_set_crash_injector_returns_previous(self):
+        injector = CrashInjector({})
+        assert set_crash_injector(injector) is None
+        assert set_crash_injector(None) is injector

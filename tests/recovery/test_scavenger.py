@@ -1,0 +1,182 @@
+"""Scavenger recovery: roll-forward, roll-back, orphan TSRs, liveness.
+
+Each scenario crashes a committing transaction at a protocol-stage
+crashpoint (leases are zero, so the dead owner is instantly presumed
+dead), then runs the scavenger as a *separate* coordinator over the same
+store — the janitor shape — and checks the store converged on a decided
+state: committed transactions fully applied, undecided ones fully undone.
+"""
+
+import pytest
+
+from repro.kvstore import InMemoryKVStore
+from repro.recovery import CrashError, CrashInjector, TxnScavenger, use_crash_injector
+from repro.txn import ClientTransactionManager
+from repro.txn.manager import TSR_PREFIX
+from repro.txn.percolator import PercolatorLikeManager
+
+MANAGERS = {
+    "manager": ClientTransactionManager,
+    "percolator": PercolatorLikeManager,
+}
+
+
+@pytest.fixture(params=sorted(MANAGERS))
+def make_manager(request):
+    """Two coordinators over one shared store: a victim and a janitor.
+
+    Percolator coordinators share the central timestamp oracle (as in a
+    real deployment) — with separate oracles the janitor's snapshot would
+    sit below every commit timestamp the victim ever issued.
+    """
+    store = InMemoryKVStore()
+    factory = MANAGERS[request.param]
+    shared: dict = {}
+    if factory is PercolatorLikeManager:
+        from repro.txn.clock import TimestampOracle
+
+        shared["oracle"] = TimestampOracle()
+
+    def make(**overrides):
+        kwargs = {"lock_lease_ms": 0.0, **shared, **overrides}
+        return factory(store, **kwargs)
+
+    make.store = store
+    return make
+
+
+def crash_commit(manager, point: str, writes: dict[str, dict[str, str]]) -> None:
+    """Commit ``writes`` in one transaction, dying at ``point``."""
+    tx = manager.begin()
+    for key, value in writes.items():
+        tx.write(key, value)
+    with use_crash_injector(CrashInjector({point: 1})):
+        with pytest.raises(CrashError):
+            tx.commit()
+
+
+class TestRollBack:
+    def test_crash_after_prewrite_rolls_back(self, make_manager):
+        victim = make_manager()
+        victim.run(lambda tx: tx.write("a", {"v": "old"}))
+        crash_commit(victim, "txn.after_prewrite", {"a": {"v": "new"}, "b": {"v": "new"}})
+
+        janitor = make_manager()
+        stats = TxnScavenger(janitor).scavenge_once()
+        assert stats.locks_seen == 2
+        assert stats.expired_locks == 2
+        assert stats.rolled_back >= 1
+        assert stats.rolled_forward == 0
+
+        with janitor.transaction() as tx:
+            assert tx.read("a") == {"v": "old"}  # undecided: undone
+            assert tx.read("b") is None
+
+
+class TestRollForward:
+    def test_crash_after_primary_commit_rolls_forward(self, make_manager):
+        victim = make_manager()
+        victim.run(lambda tx: tx.write("a", {"v": "old"}))
+        crash_commit(
+            victim, "txn.after_primary_commit", {"a": {"v": "new"}, "b": {"v": "new"}}
+        )
+
+        janitor = make_manager()
+        stats = TxnScavenger(janitor).scavenge_once()
+        assert stats.locks_seen >= 1
+        assert stats.rolled_forward >= 1
+        assert stats.rolled_back == 0
+
+        with janitor.transaction() as tx:
+            assert tx.read("a") == {"v": "new"}  # past the commit point: kept
+            assert tx.read("b") == {"v": "new"}
+
+    def test_crash_mid_secondary_commit_finishes_the_apply(self, make_manager):
+        victim = make_manager()
+        crash_commit(
+            victim,
+            "txn.mid_secondary_commit",
+            {"a": {"v": "new"}, "b": {"v": "new"}, "c": {"v": "new"}},
+        )
+
+        janitor = make_manager()
+        TxnScavenger(janitor).scavenge_once()
+        with janitor.transaction() as tx:
+            assert tx.read("a") == {"v": "new"}
+            assert tx.read("b") == {"v": "new"}
+            assert tx.read("c") == {"v": "new"}
+
+    def test_store_is_lock_free_after_scavenging(self, make_manager):
+        victim = make_manager()
+        crash_commit(
+            victim, "txn.after_primary_commit", {"a": {"v": "1"}, "b": {"v": "1"}}
+        )
+        janitor = make_manager()
+        scavenger = TxnScavenger(janitor)
+        scavenger.scavenge_once()
+        verify = scavenger.scavenge_once(remove_orphan_tsrs=False)
+        assert verify.locks_seen == 0
+
+
+class TestTsrCleanup:
+    def test_tsr_removed_once_no_lock_references_it(self):
+        store = InMemoryKVStore()
+        victim = ClientTransactionManager(store, lock_lease_ms=0.0)
+        crash_commit(
+            victim, "txn.after_primary_commit", {"a": {"v": "1"}, "b": {"v": "1"}}
+        )
+        assert any(key.startswith(TSR_PREFIX) for key in store.keys())
+
+        janitor = ClientTransactionManager(store, lock_lease_ms=0.0)
+        stats = TxnScavenger(janitor).scavenge_once()
+        assert stats.orphan_tsrs_removed == 1
+        assert not any(key.startswith(TSR_PREFIX) for key in store.keys())
+
+    def test_background_pass_keeps_tsrs(self):
+        """Orphan removal is unsafe while committers may be live."""
+        store = InMemoryKVStore()
+        victim = ClientTransactionManager(store, lock_lease_ms=0.0)
+        crash_commit(
+            victim, "txn.after_primary_commit", {"a": {"v": "1"}, "b": {"v": "1"}}
+        )
+        janitor = ClientTransactionManager(store, lock_lease_ms=0.0)
+        stats = TxnScavenger(janitor).scavenge_once(remove_orphan_tsrs=False)
+        assert stats.orphan_tsrs_removed == 0
+        assert any(key.startswith(TSR_PREFIX) for key in store.keys())
+
+
+class TestLiveOwnersLeftAlone:
+    def test_unexpired_lock_is_pending_live(self, make_manager):
+        victim = make_manager(lock_lease_ms=60_000.0)
+        crash_commit(victim, "txn.after_prewrite", {"a": {"v": "1"}})
+
+        janitor = make_manager(lock_lease_ms=60_000.0)
+        stats = TxnScavenger(janitor).scavenge_once()
+        assert stats.locks_seen == 1
+        assert stats.expired_locks == 0
+        assert stats.pending_live == 1
+        assert stats.rolled_back == 0
+        assert stats.rolled_forward == 0
+
+
+class TestReporting:
+    def test_counters_accumulate_across_passes(self):
+        store = InMemoryKVStore()
+        victim = ClientTransactionManager(store, lock_lease_ms=0.0)
+        crash_commit(victim, "txn.after_prewrite", {"a": {"v": "1"}})
+        janitor = ClientTransactionManager(store, lock_lease_ms=0.0)
+        scavenger = TxnScavenger(janitor)
+        scavenger.scavenge_once()
+        scavenger.scavenge_once()
+        counters = scavenger.counters()
+        assert counters["SCAVENGER-PASSES"] == 2
+        assert counters["SCAVENGER-ROLLED-BACK"] == 1
+
+    def test_background_thread_starts_and_stops(self):
+        janitor = ClientTransactionManager(InMemoryKVStore(), lock_lease_ms=0.0)
+        scavenger = TxnScavenger(janitor)
+        scavenger.start(interval_s=0.01)
+        with pytest.raises(RuntimeError):
+            scavenger.start(interval_s=0.01)
+        scavenger.stop()
+        scavenger.stop()  # idempotent

@@ -1,0 +1,104 @@
+"""Worker-death tolerance: a killed worker must not hang the run.
+
+One of the workers is armed (via ``crash.worker``) to ``os._exit`` mid
+run phase — no result message, no cleanup, exactly like a kill -9.  The
+engine has to notice, release the survivors' barriers through the
+coordinator, and either complete degraded (merged report from survivors,
+lost shard flagged) or fail fast, per policy.
+"""
+
+import pytest
+
+from repro.harness import cew_properties
+from repro.kvstore import InMemoryKVStore
+from repro.scaleout import ScaleoutSpec, WorkerDeathError, run_scaleout
+from repro.scaleout.worker import WORKER_CRASH_EXIT_CODE
+
+PROCESSES = 2
+RECORDS = 40
+OPS_PER_WORKER = 60
+
+
+def _spec(**overrides) -> ScaleoutSpec:
+    properties = dict(
+        cew_properties(
+            recordcount=RECORDS,
+            operationcount=OPS_PER_WORKER,
+            totalcash=RECORDS * 100,
+            readproportion=0.5,
+            readmodifywriteproportion=0.5,
+            threadcount=2,
+            seed=13,
+        ).as_dict()
+    ) | {
+        "workload": "closed_economy",
+        # Kill worker-1 early in its run phase.  Hits accumulate over the
+        # worker's DB writes: the load phase fires 2 per inserted record
+        # (insert + the YCSB+T per-op commit) over its 20-record slice,
+        # so hit 50 lands a handful of operations into the run phase.
+        "crash.worker": "worker-1",
+        "crash.worker_hits": "50",
+    }
+    spec_kwargs = {
+        "processes": PROCESSES,
+        "db": "raw_http",
+        "properties": properties,
+        "phases": ("load", "run"),
+        "timeout_s": 60.0,
+    } | overrides
+    return ScaleoutSpec(**spec_kwargs)
+
+
+@pytest.fixture(scope="module")
+def degraded_result():
+    """One shared degraded run: spawning processes is the expensive part."""
+    return run_scaleout(_spec(), store=InMemoryKVStore())
+
+
+class TestDegradedMode:
+    def test_run_terminates_and_is_degraded(self, degraded_result):
+        assert degraded_result.degraded is True
+        assert degraded_result.dead_workers == ["worker-1"]
+
+    def test_dead_worker_error_carries_crash_exit_code(self, degraded_result):
+        [error] = [
+            e for e in degraded_result.worker_errors if e.startswith("worker-1:")
+        ]
+        assert f"exit code {WORKER_CRASH_EXIT_CODE}" in error
+
+    def test_lost_shard_is_flagged(self, degraded_result):
+        [shard] = degraded_result.lost_shards
+        assert shard["worker"] == "worker-1"
+        # worker-1 registered second, so it owned the upper half.
+        assert shard["insertcount"] == RECORDS // PROCESSES
+
+    def test_survivor_results_are_merged(self, degraded_result):
+        # Both workers deliver their load result; only the survivor
+        # delivers a run result.
+        assert degraded_result.load is not None
+        assert degraded_result.load.operations == RECORDS
+        assert degraded_result.run is not None
+        assert len(degraded_result.per_worker["run"]) == PROCESSES - 1
+
+    def test_coordinator_knows_the_dead(self, degraded_result):
+        assert degraded_result.coordinator_summary["dead_clients"] == ["worker-1"]
+
+    def test_validation_still_runs(self, degraded_result):
+        # Degraded mode still validates the shared store; on the raw
+        # binding the verdict quantifies the damage rather than being
+        # skipped.  Passed-or-not depends on where the crash landed, so
+        # only its presence is asserted.
+        assert degraded_result.validation is not None
+
+
+class TestFailFast:
+    def test_fail_fast_raises_worker_death_error(self):
+        with pytest.raises(WorkerDeathError) as excinfo:
+            run_scaleout(
+                _spec(on_worker_death="fail_fast"), store=InMemoryKVStore()
+            )
+        assert excinfo.value.dead_workers == ["worker-1"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_worker_death"):
+            run_scaleout(_spec(on_worker_death="panic"), store=InMemoryKVStore())
