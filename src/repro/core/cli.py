@@ -21,6 +21,12 @@ Sub-commands:
   crashpoints mid-protocol, let lock leases expire, run the transaction
   scavenger, and re-validate the Closed Economy invariants; violating
   seeds emit the same replayable trace artifacts.
+* ``exp`` — declarative experiments: ``exp run`` executes a spec
+  (built-in name or JSON/TOML file) N times and aggregates every metric
+  into mean / stddev / 95 % confidence intervals (the extended
+  ``BENCH_*.json`` shape); ``exp diff`` compares two trajectories
+  significance-aware and exits non-zero on a regression; ``exp list``
+  prints the built-in catalogue.
 """
 
 from __future__ import annotations
@@ -276,6 +282,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip operation-interleaving capture (faster, artifacts carry "
         "no trace)",
     )
+
+    exp = commands.add_parser(
+        "exp",
+        help="declarative experiments: run specs with N repetitions, "
+        "aggregate confidence intervals, diff trajectories",
+    )
+    exp_commands = exp.add_subparsers(dest="exp_command", required=True)
+
+    exp_run = exp_commands.add_parser(
+        "run", help="run a spec (built-in name or .json/.toml file) N times"
+    )
+    exp_run.add_argument(
+        "spec", help="built-in spec name (see 'exp list') or path to a "
+        ".json/.toml spec file"
+    )
+    exp_run.add_argument(
+        "--reps", type=int, default=None, help="override the spec's repetitions"
+    )
+    exp_run.add_argument(
+        "--seed", type=int, default=None, help="override the spec's base seed"
+    )
+    exp_run.add_argument(
+        "--full", action="store_true", help="longer, lower-noise runs"
+    )
+    exp_run.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for the aggregated BENCH_<name>.json trajectory",
+    )
+    exp_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BENCH json document to stdout instead of the table",
+    )
+
+    exp_diff = exp_commands.add_parser(
+        "diff",
+        help="compare two BENCH trajectories; exit 1 on a significant "
+        "regression (CIs disjoint AND effect >= --min-effect; single-run "
+        "legacy documents use --legacy-threshold)",
+    )
+    exp_diff.add_argument("old", help="baseline BENCH_*.json (v1 or v2 schema)")
+    exp_diff.add_argument("new", help="fresh BENCH_*.json (v1 or v2 schema)")
+    exp_diff.add_argument(
+        "--min-effect",
+        type=float,
+        default=0.05,
+        help="minimum relative change to flag when both sides carry "
+        "confidence intervals [0.05]",
+    )
+    exp_diff.add_argument(
+        "--legacy-threshold",
+        type=float,
+        default=0.25,
+        help="relative-change threshold when either side is a single run "
+        "with no variance information [0.25]",
+    )
+    exp_diff.add_argument(
+        "--json", action="store_true", help="print the machine-readable diff"
+    )
+
+    exp_commands.add_parser("list", help="list built-in specs and runners")
     return parser
 
 
@@ -607,6 +676,95 @@ def _crash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exp(args: argparse.Namespace) -> int:
+    from ..experiments import SpecValidationError
+
+    try:
+        if args.exp_command == "run":
+            return _exp_run(args)
+        if args.exp_command == "diff":
+            return _exp_diff(args)
+        if args.exp_command == "list":
+            return _exp_list(args)
+    except SpecValidationError as exc:
+        raise SystemExit(f"spec error: {exc}") from None
+    raise AssertionError(f"unhandled exp command {args.exp_command!r}")
+
+
+def _exp_run(args: argparse.Namespace) -> int:
+    from ..experiments import (
+        load_spec,
+        render_aggregate_text,
+        render_bench_json,
+        run_spec,
+        write_bench,
+    )
+
+    if args.reps is not None and args.reps < 1:
+        raise SystemExit(f"--reps must be >= 1, got {args.reps}")
+    spec = load_spec(args.spec).with_overrides(
+        repetitions=args.reps,
+        seed=args.seed,
+        quick=False if args.full else None,
+    )
+
+    def progress(index: int, seed: int, result) -> None:
+        print(
+            f"[exp] {spec.name} repetition {index + 1}/{spec.repetitions} "
+            f"(seed {seed}) done",
+            file=sys.stderr,
+        )
+
+    aggregate = run_spec(spec, on_repetition=progress)
+    if args.json:
+        sys.stdout.write(render_bench_json(aggregate) + "\n")
+    else:
+        sys.stdout.write(render_aggregate_text(aggregate))
+    if args.out:
+        path = write_bench(aggregate, args.out)
+        print(f"[exp] wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _exp_diff(args: argparse.Namespace) -> int:
+    from ..experiments import compare_views, load_bench
+
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+        diff = compare_views(
+            old,
+            new,
+            min_effect=args.min_effect,
+            legacy_threshold=args.legacy_threshold,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"diff error: {exc}") from None
+    if args.json:
+        sys.stdout.write(json.dumps(diff.to_dict(), indent=2, sort_keys=True) + "\n")
+    else:
+        sys.stdout.write(diff.render())
+    return 0 if diff.passed else 1
+
+
+def _exp_list(args: argparse.Namespace) -> int:
+    from ..experiments import BUILTIN_SPECS, RUNNERS
+
+    print("built-in specs:")
+    for name, spec in sorted(BUILTIN_SPECS.items()):
+        deterministic = " [deterministic]" if spec.deterministic else ""
+        print(
+            f"  {name:<18} runner={spec.runner:<12} reps={spec.repetitions} "
+            f"seed={spec.seed}{deterministic}"
+        )
+        if spec.description:
+            print(f"                     {spec.description}")
+    print("runners:")
+    for name, info in sorted(RUNNERS.items()):
+        print(f"  {name:<18} engine={info.engine:<9} {info.description}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("load", "run", "bench"):
@@ -621,6 +779,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _sim(args)
     if args.command == "crash":
         return _crash(args)
+    if args.command == "exp":
+        return _exp(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,77 @@
+"""Declarative experiment runner with N-repetition statistics.
+
+The pipeline: an :class:`ExperimentSpec` (built-in, dict, JSON or TOML)
+compiles through a registered runner onto one of the engines (wall-clock
+harness, virtual-time simulation, multi-process scale-out), executes N
+repetitions with distinct seeds, and aggregates every numeric metric
+into mean / stddev / 95 % confidence intervals — the extended
+``BENCH_*.json`` shape that ``ycsbt exp diff`` compares
+significance-aware, and that the CI perf gate runs on.
+"""
+
+from .aggregate import (
+    AggregatePoint,
+    AggregateResult,
+    AggregateSeries,
+    MetricSample,
+    aggregate_results,
+    run_spec,
+)
+from .bench import (
+    BENCH_SCHEMA_V2,
+    BenchView,
+    load_bench,
+    load_bench_document,
+    render_aggregate_text,
+    render_bench_document,
+    render_bench_json,
+    write_bench,
+)
+from .diff import DEFAULT_GATE_METRICS, DiffResult, MetricDelta, compare_views
+from .runners import RUNNERS, RunnerInfo, SpecValidationError, runner_names
+from .spec import (
+    BUILTIN_SPECS,
+    ExperimentSpec,
+    builtin_spec,
+    builtin_spec_names,
+    load_spec,
+    spec_from_dict,
+)
+from .stats import SampleStats, T_TABLE_95, merge, percentile, summarize, t_critical_95
+
+__all__ = [
+    "AggregatePoint",
+    "AggregateResult",
+    "AggregateSeries",
+    "MetricSample",
+    "aggregate_results",
+    "run_spec",
+    "BENCH_SCHEMA_V2",
+    "BenchView",
+    "load_bench",
+    "load_bench_document",
+    "render_aggregate_text",
+    "render_bench_document",
+    "render_bench_json",
+    "write_bench",
+    "DEFAULT_GATE_METRICS",
+    "DiffResult",
+    "MetricDelta",
+    "compare_views",
+    "RUNNERS",
+    "RunnerInfo",
+    "SpecValidationError",
+    "runner_names",
+    "BUILTIN_SPECS",
+    "ExperimentSpec",
+    "builtin_spec",
+    "builtin_spec_names",
+    "load_spec",
+    "spec_from_dict",
+    "SampleStats",
+    "T_TABLE_95",
+    "merge",
+    "percentile",
+    "summarize",
+    "t_critical_95",
+]

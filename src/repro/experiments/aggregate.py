@@ -1,0 +1,217 @@
+"""Run a spec N times and aggregate per-metric statistics.
+
+Every repetition produces an :class:`ExperimentResult`; this module
+aligns them (same series labels, same x positions — a structural
+mismatch between repetitions is a bug, not noise, and raises) and folds
+each numeric metric at each point into a :class:`SampleStats`, keeping
+the per-repetition raw values alongside so nothing is lost to the
+aggregation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..harness.results import ExperimentResult
+from .spec import ExperimentSpec
+from .stats import SampleStats, summarize
+
+__all__ = [
+    "MetricSample",
+    "AggregatePoint",
+    "AggregateSeries",
+    "AggregateResult",
+    "run_spec",
+    "aggregate_results",
+]
+
+#: Point attributes always treated as metrics (beyond numeric ``extra``).
+_POINT_METRICS = ("throughput", "anomaly_score", "operations", "failed_operations")
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One metric at one point: the N raw values and their summary."""
+
+    stats: SampleStats
+    values: tuple[float, ...]
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSample":
+        return cls(stats=summarize(values), values=tuple(float(v) for v in values))
+
+
+@dataclass
+class AggregatePoint:
+    x: float
+    metrics: dict[str, MetricSample]
+
+
+@dataclass
+class AggregateSeries:
+    label: str
+    points: list[AggregatePoint] = field(default_factory=list)
+
+
+@dataclass
+class AggregateResult:
+    """N repetitions of one spec, folded into per-metric statistics."""
+
+    spec: ExperimentSpec
+    seeds: list[int]
+    description: str
+    notes: list[str]
+    series: list[AggregateSeries]
+    #: Tables with numeric cells replaced by ``MetricSample``; non-numeric
+    #: cells keep the first repetition's value (they are labels).
+    tables: dict[str, list[dict[str, Any]]]
+    #: Wall-clock seconds each repetition took (measurement overhead view).
+    repetition_wall_s: list[float] = field(default_factory=list)
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.seeds)
+
+    def series_by_label(self, label: str) -> AggregateSeries:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no series labelled {label!r} in {self.spec.name}")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _point_metric_values(points: Sequence[Any], attribute: str) -> list[float] | None:
+    values = [getattr(point, attribute) for point in points]
+    if any(value is None for value in values):
+        # A metric missing in any repetition is dropped (anomaly_score on
+        # load-only phases, for instance) — a partial sample would bias CI.
+        return None
+    return [float(value) for value in values]
+
+
+def _aggregate_series(
+    spec_name: str, results: Sequence[ExperimentResult]
+) -> list[AggregateSeries]:
+    reference = results[0]
+    labels = [series.label for series in reference.series]
+    for index, result in enumerate(results):
+        got = [series.label for series in result.series]
+        if got != labels:
+            raise ValueError(
+                f"{spec_name}: repetition {index} produced series {got}, "
+                f"expected {labels} — repetitions must be structurally identical"
+            )
+    aggregated: list[AggregateSeries] = []
+    for series_index, label in enumerate(labels):
+        per_rep = [result.series[series_index] for result in results]
+        xs = [point.x for point in per_rep[0].points]
+        for rep_index, series in enumerate(per_rep):
+            got_xs = [point.x for point in series.points]
+            if got_xs != xs:
+                raise ValueError(
+                    f"{spec_name}: series {label!r} repetition {rep_index} has "
+                    f"x positions {got_xs}, expected {xs}"
+                )
+        out = AggregateSeries(label=label)
+        for point_index, x in enumerate(xs):
+            points = [series.points[point_index] for series in per_rep]
+            metrics: dict[str, MetricSample] = {}
+            for attribute in _POINT_METRICS:
+                values = _point_metric_values(points, attribute)
+                if values is not None:
+                    metrics[attribute] = MetricSample.of(values)
+            extra_keys = set().union(*(point.extra.keys() for point in points))
+            for key in sorted(extra_keys):
+                raw = [point.extra.get(key) for point in points]
+                if all(_is_number(value) for value in raw):
+                    metrics[key] = MetricSample.of([float(v) for v in raw])
+            out.points.append(AggregatePoint(x=float(x), metrics=metrics))
+        aggregated.append(out)
+    return aggregated
+
+
+def _aggregate_tables(
+    spec_name: str, results: Sequence[ExperimentResult]
+) -> dict[str, list[dict[str, Any]]]:
+    reference = results[0]
+    names = list(reference.tables)
+    for index, result in enumerate(results):
+        if list(result.tables) != names:
+            raise ValueError(
+                f"{spec_name}: repetition {index} produced tables "
+                f"{list(result.tables)}, expected {names}"
+            )
+    aggregated: dict[str, list[dict[str, Any]]] = {}
+    for name in names:
+        per_rep = [result.tables[name] for result in results]
+        row_count = len(per_rep[0])
+        if any(len(rows) != row_count for rows in per_rep):
+            raise ValueError(
+                f"{spec_name}: table {name!r} row counts differ across "
+                f"repetitions ({[len(rows) for rows in per_rep]})"
+            )
+        out_rows: list[dict[str, Any]] = []
+        for row_index in range(row_count):
+            rows = [rep_rows[row_index] for rep_rows in per_rep]
+            out_row: dict[str, Any] = {}
+            for column in rows[0]:
+                cells = [row.get(column) for row in rows]
+                if all(_is_number(cell) for cell in cells):
+                    out_row[column] = MetricSample.of([float(c) for c in cells])
+                else:
+                    out_row[column] = cells[0]
+            out_rows.append(out_row)
+        aggregated[name] = out_rows
+    return aggregated
+
+
+def aggregate_results(
+    spec: ExperimentSpec,
+    seeds: Sequence[int],
+    results: Sequence[ExperimentResult],
+    repetition_wall_s: Sequence[float] = (),
+) -> AggregateResult:
+    """Fold per-repetition results into one aggregate."""
+    if len(results) != len(seeds) or not results:
+        raise ValueError(
+            f"{spec.name}: {len(results)} results for {len(seeds)} seeds"
+        )
+    reference = results[0]
+    return AggregateResult(
+        spec=spec,
+        seeds=list(seeds),
+        description=reference.description or spec.description,
+        notes=list(reference.notes),
+        series=_aggregate_series(spec.name, results),
+        tables=_aggregate_tables(spec.name, results),
+        repetition_wall_s=list(repetition_wall_s),
+    )
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    on_repetition: Callable[[int, int, ExperimentResult], None] | None = None,
+) -> AggregateResult:
+    """Execute every repetition of ``spec`` and aggregate.
+
+    ``on_repetition(index, seed, result)`` fires after each repetition —
+    the CLI uses it for progress lines.
+    """
+    info = spec.info
+    seeds = spec.seeds()
+    results: list[ExperimentResult] = []
+    walls: list[float] = []
+    for index, seed in enumerate(seeds):
+        started = time.perf_counter()
+        result = info.fn(seed=seed, quick=spec.quick, **dict(spec.params))
+        walls.append(time.perf_counter() - started)
+        results.append(result)
+        if on_repetition is not None:
+            on_repetition(index, seed, result)
+    return aggregate_results(spec, seeds, results, repetition_wall_s=walls)

@@ -1,0 +1,275 @@
+"""The extended ``BENCH_*.json`` shape and its readers.
+
+Version 2 documents carry repetition statistics: every numeric metric at
+every series point becomes ``{n, mean, stddev, ci95, min, max, values}``
+with the per-repetition raw values preserved.  Version 1 is the original
+single-run shape (scalar ``throughput`` etc. per point, written by
+``render_experiment_json``); :func:`load_bench_document` reads both and
+normalises them into one comparable view so ``ycsbt exp diff`` can gate
+a fresh aggregate against any historical trajectory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from .aggregate import AggregateResult, MetricSample
+from .stats import SampleStats
+
+__all__ = [
+    "BENCH_SCHEMA_V2",
+    "render_bench_document",
+    "render_bench_json",
+    "render_aggregate_text",
+    "write_bench",
+    "BenchView",
+    "load_bench",
+    "load_bench_document",
+]
+
+BENCH_SCHEMA_V2 = "ycsbt-bench/2"
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+def _metric_payload(sample: MetricSample) -> dict[str, Any]:
+    stats = sample.stats
+    return {
+        "n": stats.n,
+        "mean": stats.mean,
+        "stddev": stats.stddev,
+        "ci95": stats.ci95,
+        "min": stats.min,
+        "max": stats.max,
+        "values": list(sample.values),
+    }
+
+
+def render_bench_document(aggregate: AggregateResult) -> dict[str, Any]:
+    """The schema-v2 document for one aggregated experiment."""
+    return {
+        "schema": BENCH_SCHEMA_V2,
+        "experiment": aggregate.spec.name,
+        "description": aggregate.description,
+        "notes": list(aggregate.notes),
+        "spec": aggregate.spec.to_dict(),
+        "repetitions": aggregate.repetitions,
+        "seeds": list(aggregate.seeds),
+        # Wall-clock repetition times are deliberately NOT serialised:
+        # they are harness noise, and a deterministic spec's document
+        # must be byte-identical for the same seed.
+        "deterministic": aggregate.spec.deterministic,
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {
+                        "x": point.x,
+                        "metrics": {
+                            name: _metric_payload(sample)
+                            for name, sample in sorted(point.metrics.items())
+                        },
+                    }
+                    for point in series.points
+                ],
+            }
+            for series in aggregate.series
+        ],
+        "tables": {
+            name: [
+                {
+                    column: (
+                        _metric_payload(cell)
+                        if isinstance(cell, MetricSample)
+                        else cell
+                    )
+                    for column, cell in row.items()
+                }
+                for row in rows
+            ]
+            for name, rows in aggregate.tables.items()
+        },
+    }
+
+
+def render_bench_json(aggregate: AggregateResult) -> str:
+    return json.dumps(render_bench_document(aggregate), indent=2, sort_keys=True)
+
+
+def write_bench(aggregate: AggregateResult, directory: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{aggregate.spec.name}.json"
+    path.write_text(render_bench_json(aggregate) + "\n", encoding="utf-8")
+    return path
+
+
+def _format_stat(sample: MetricSample, precision: int = 1) -> str:
+    stats = sample.stats
+    if stats.ci95 is None:
+        return f"{stats.mean:,.{precision}f}"
+    return f"{stats.mean:,.{precision}f} ±{stats.ci95:,.{precision}f}"
+
+
+def render_aggregate_text(aggregate: AggregateResult) -> str:
+    """Human-readable report: mean ± 95 % CI per metric per point."""
+    out = io.StringIO()
+    spec = aggregate.spec
+    out.write(
+        f"== {spec.name}: {aggregate.description} ==\n"
+        f"   runner {spec.runner} ({spec.info.engine}), "
+        f"{aggregate.repetitions} repetitions, seeds {aggregate.seeds}\n"
+    )
+    for note in aggregate.notes:
+        out.write(f"   note: {note}\n")
+    if aggregate.repetition_wall_s:
+        total = sum(aggregate.repetition_wall_s)
+        out.write(f"   wall time: {total:.1f} s across repetitions\n")
+    for series in aggregate.series:
+        out.write(f"\n-- {series.label} --\n")
+        header = f"{spec.x_label:>12}  {'throughput (mean ±95% CI)':>28}"
+        has_anomaly = any("anomaly_score" in p.metrics for p in series.points)
+        if has_anomaly:
+            header += f"  {'anomaly (mean ±95% CI)':>24}"
+        out.write(header + "\n")
+        for point in series.points:
+            x = int(point.x) if float(point.x).is_integer() else point.x
+            row = f"{x:>12}"
+            throughput = point.metrics.get("throughput")
+            row += (
+                f"  {_format_stat(throughput):>28}"
+                if throughput is not None
+                else f"  {'-':>28}"
+            )
+            if has_anomaly:
+                anomaly = point.metrics.get("anomaly_score")
+                row += (
+                    f"  {_format_stat(anomaly, precision=6):>24}"
+                    if anomaly is not None
+                    else f"  {'-':>24}"
+                )
+            out.write(row + "\n")
+    for name, rows in aggregate.tables.items():
+        out.write(f"\n-- table: {name} --\n")
+        for row in rows:
+            cells = []
+            for column, cell in row.items():
+                if isinstance(cell, MetricSample):
+                    cells.append(f"{column}={_format_stat(cell, precision=3)}")
+                else:
+                    cells.append(f"{column}={cell}")
+            out.write("  " + "  ".join(cells) + "\n")
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Reading (v1 and v2)
+# ---------------------------------------------------------------------------
+
+class BenchView:
+    """Schema-independent view of a trajectory for comparison.
+
+    ``points`` maps ``(series_label, x, metric_name)`` to
+    :class:`SampleStats` — single-run v1 documents become n=1 samples
+    with no variance information, which the diff layer treats with a
+    coarser legacy threshold.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        schema_version: int,
+        points: dict[tuple[str, float, str], SampleStats],
+        repetitions: int = 1,
+    ):
+        self.experiment = experiment
+        self.schema_version = schema_version
+        self.points = points
+        self.repetitions = repetitions
+
+    def metrics_for(self, metric: str) -> dict[tuple[str, float], SampleStats]:
+        return {
+            (label, x): stats
+            for (label, x, name), stats in self.points.items()
+            if name == metric
+        }
+
+
+def _stats_from_payload(payload: dict[str, Any]) -> SampleStats:
+    values = payload.get("values")
+    n = int(payload.get("n", len(values) if values else 1))
+    mean = float(payload["mean"])
+    stddev = payload.get("stddev")
+    if payload.get("m2") is not None:
+        m2 = float(payload["m2"])
+    elif stddev is not None and n > 1:
+        m2 = float(stddev) ** 2 * (n - 1)
+    else:
+        m2 = 0.0
+    low = float(payload.get("min", mean))
+    high = float(payload.get("max", mean))
+    return SampleStats(n=n, mean=mean, m2=m2, min=low, max=high)
+
+
+def _scalar_stats(value: float) -> SampleStats:
+    value = float(value)
+    return SampleStats(n=1, mean=value, m2=0.0, min=value, max=value)
+
+
+def load_bench_document(data: dict[str, Any], source: str = "<document>") -> BenchView:
+    """Normalise a BENCH document of either schema into a :class:`BenchView`."""
+    if not isinstance(data, dict) or "experiment" not in data:
+        raise ValueError(f"{source}: not a BENCH document (no 'experiment' key)")
+    schema = data.get("schema")
+    points: dict[tuple[str, float, str], SampleStats] = {}
+    if schema == BENCH_SCHEMA_V2:
+        for series in data.get("series", []):
+            label = series["label"]
+            for point in series.get("points", []):
+                x = float(point["x"])
+                for metric, payload in point.get("metrics", {}).items():
+                    points[(label, x, metric)] = _stats_from_payload(payload)
+        return BenchView(
+            experiment=data["experiment"],
+            schema_version=2,
+            points=points,
+            repetitions=int(data.get("repetitions", 1)),
+        )
+    if schema is not None:
+        raise ValueError(
+            f"{source}: unsupported BENCH schema {schema!r} "
+            f"(this reader knows v1 and {BENCH_SCHEMA_V2!r})"
+        )
+    # Schema v1: the original single-run shape from render_experiment_json.
+    for series in data.get("series", []):
+        label = series["label"]
+        for point in series.get("points", []):
+            x = float(point["x"])
+            for metric in ("throughput", "anomaly_score", "operations",
+                           "failed_operations"):
+                value = point.get(metric)
+                if value is not None:
+                    points[(label, x, metric)] = _scalar_stats(value)
+            for key, value in (point.get("extra") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    points[(label, x, key)] = _scalar_stats(value)
+    return BenchView(
+        experiment=data["experiment"], schema_version=1, points=points, repetitions=1
+    )
+
+
+def load_bench(path: str | Path) -> BenchView:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValueError(f"no BENCH file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"cannot parse {path}: {exc}") from None
+    return load_bench_document(data, source=str(path))

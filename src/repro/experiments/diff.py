@@ -1,0 +1,251 @@
+"""Significance-aware comparison of two BENCH trajectories.
+
+``ycsbt exp diff old.json new.json`` answers one question: did a gated
+metric get *significantly* worse?  "Significantly" is the whole point —
+single-run diffs cannot tell a perf regression from run-to-run noise,
+which is why the old trajectories were never gated.  With repetition
+statistics on both sides the rule is:
+
+* both sides carry a 95 % confidence interval (n >= 2): flag only when
+  the intervals are **disjoint** *and* the relative change exceeds
+  ``min_effect`` (CI separation alone can be statistically significant
+  but practically irrelevant at large N);
+* either side is a single run (the legacy v1 shape): no variance
+  information exists, so fall back to a deliberately coarser
+  ``legacy_threshold`` on the relative change.
+
+Lower throughput is a regression; higher anomaly score is a regression;
+other metrics are reported but never gate.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any
+
+from .bench import BenchView
+from .stats import SampleStats
+
+__all__ = ["MetricDelta", "DiffResult", "compare_views", "DEFAULT_GATE_METRICS"]
+
+#: Metrics that gate by default, with the direction that counts as worse.
+#: ``+1``: larger is worse (anomaly score); ``-1``: smaller is worse.
+DEFAULT_GATE_METRICS: dict[str, int] = {
+    "throughput": -1,
+    "anomaly_score": +1,
+}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One (series, x, metric) compared across two trajectories."""
+
+    series: str
+    x: float
+    metric: str
+    old: SampleStats
+    new: SampleStats
+    #: Relative change of the mean, new vs old (+0.10 = 10 % higher).
+    relative_change: float
+    #: Confidence intervals exist on both sides and do not overlap.
+    ci_disjoint: bool | None
+    #: Direction-aware verdicts.
+    regression: bool
+    improvement: bool
+    reason: str
+
+    @property
+    def significant(self) -> bool:
+        return self.regression or self.improvement
+
+
+@dataclass
+class DiffResult:
+    experiment: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_in_new: list[tuple[str, float, str]] = field(default_factory=list)
+    added_in_new: list[tuple[str, float, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regression]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.improvement]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write(f"== exp diff: {self.experiment} ==\n")
+        gated = [d for d in self.deltas if d.metric in DEFAULT_GATE_METRICS]
+        informational = [d for d in self.deltas if d.metric not in DEFAULT_GATE_METRICS]
+        for delta in gated:
+            marker = (
+                "REGRESSION"
+                if delta.regression
+                else "improvement" if delta.improvement else "ok"
+            )
+            old_ci = f" ±{delta.old.ci95:,.2f}" if delta.old.ci95 is not None else ""
+            new_ci = f" ±{delta.new.ci95:,.2f}" if delta.new.ci95 is not None else ""
+            out.write(
+                f"  {delta.series} @ {delta.x:g} {delta.metric}: "
+                f"{delta.old.mean:,.2f}{old_ci} -> {delta.new.mean:,.2f}{new_ci} "
+                f"({delta.relative_change:+.1%}) {marker} [{delta.reason}]\n"
+            )
+        if informational:
+            noteworthy = [d for d in informational if abs(d.relative_change) >= 0.05]
+            if noteworthy:
+                out.write("  other metrics with >=5% mean shift (informational):\n")
+                for delta in noteworthy:
+                    out.write(
+                        f"    {delta.series} @ {delta.x:g} {delta.metric}: "
+                        f"{delta.old.mean:,.2f} -> {delta.new.mean:,.2f} "
+                        f"({delta.relative_change:+.1%})\n"
+                    )
+        for key in self.missing_in_new:
+            out.write(f"  warning: {key} present in old but missing in new\n")
+        verdict = "PASS" if self.passed else "FAIL"
+        out.write(
+            f"  {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s) -> {verdict}\n"
+        )
+        return out.getvalue()
+
+    def to_dict(self) -> dict[str, Any]:
+        def delta_payload(delta: MetricDelta) -> dict[str, Any]:
+            return {
+                "series": delta.series,
+                "x": delta.x,
+                "metric": delta.metric,
+                "old_mean": delta.old.mean,
+                "new_mean": delta.new.mean,
+                "old_ci95": delta.old.ci95,
+                "new_ci95": delta.new.ci95,
+                "relative_change": delta.relative_change,
+                "ci_disjoint": delta.ci_disjoint,
+                "regression": delta.regression,
+                "improvement": delta.improvement,
+                "reason": delta.reason,
+            }
+
+        return {
+            "experiment": self.experiment,
+            "passed": self.passed,
+            "deltas": [delta_payload(d) for d in self.deltas],
+            "missing_in_new": [list(key) for key in self.missing_in_new],
+            "added_in_new": [list(key) for key in self.added_in_new],
+        }
+
+
+def _relative_change(old_mean: float, new_mean: float) -> float:
+    if old_mean == 0.0:
+        return 0.0 if new_mean == 0.0 else float("inf") * (1 if new_mean > 0 else -1)
+    return (new_mean - old_mean) / abs(old_mean)
+
+
+def _intervals_disjoint(old: SampleStats, new: SampleStats) -> bool | None:
+    old_interval = old.ci95_interval
+    new_interval = new.ci95_interval
+    if old_interval is None or new_interval is None:
+        return None
+    return old_interval[1] < new_interval[0] or new_interval[1] < old_interval[0]
+
+
+def _judge(
+    metric: str,
+    old: SampleStats,
+    new: SampleStats,
+    min_effect: float,
+    legacy_threshold: float,
+    gate_metrics: dict[str, int],
+) -> tuple[bool, bool, str, float, bool | None]:
+    relative = _relative_change(old.mean, new.mean)
+    disjoint = _intervals_disjoint(old, new)
+    direction = gate_metrics.get(metric)
+    if direction is None:
+        return False, False, "not gated", relative, disjoint
+    worse = relative * direction > 0 or (relative == float("inf") and direction > 0) \
+        or (relative == float("-inf") and direction < 0)
+    magnitude = abs(relative)
+    if disjoint is None:
+        # At least one side is a single run: no CI, coarse threshold.
+        if magnitude >= legacy_threshold:
+            reason = (
+                f"single-run comparison, |Δ| {magnitude:.1%} >= "
+                f"legacy threshold {legacy_threshold:.0%}"
+            )
+            return (worse, not worse, reason, relative, disjoint)
+        return (
+            False,
+            False,
+            f"single-run comparison, |Δ| {magnitude:.1%} below legacy "
+            f"threshold {legacy_threshold:.0%}",
+            relative,
+            disjoint,
+        )
+    if not disjoint:
+        return False, False, "95% CIs overlap (noise)", relative, disjoint
+    if magnitude < min_effect:
+        return (
+            False,
+            False,
+            f"CIs disjoint but effect {magnitude:.1%} < min effect "
+            f"{min_effect:.0%}",
+            relative,
+            disjoint,
+        )
+    reason = f"CIs disjoint, effect {magnitude:.1%} >= {min_effect:.0%}"
+    return (worse, not worse, reason, relative, disjoint)
+
+
+def compare_views(
+    old: BenchView,
+    new: BenchView,
+    min_effect: float = 0.05,
+    legacy_threshold: float = 0.25,
+    gate_metrics: dict[str, int] | None = None,
+) -> DiffResult:
+    """Compare two trajectories point by point.
+
+    Metrics outside ``gate_metrics`` are compared and reported but never
+    fail the diff.  Points present on only one side are listed as
+    warnings (structural drift is visible, not fatal — a spec may
+    legitimately grow a sweep point).
+    """
+    if old.experiment != new.experiment:
+        raise ValueError(
+            f"cannot diff different experiments: {old.experiment!r} vs "
+            f"{new.experiment!r}"
+        )
+    gates = dict(DEFAULT_GATE_METRICS if gate_metrics is None else gate_metrics)
+    result = DiffResult(experiment=new.experiment)
+    shared = sorted(set(old.points) & set(new.points))
+    result.missing_in_new = sorted(set(old.points) - set(new.points))
+    result.added_in_new = sorted(set(new.points) - set(old.points))
+    for key in shared:
+        label, x, metric = key
+        old_stats = old.points[key]
+        new_stats = new.points[key]
+        regression, improvement, reason, relative, disjoint = _judge(
+            metric, old_stats, new_stats, min_effect, legacy_threshold, gates
+        )
+        result.deltas.append(
+            MetricDelta(
+                series=label,
+                x=x,
+                metric=metric,
+                old=old_stats,
+                new=new_stats,
+                relative_change=relative,
+                ci_disjoint=disjoint,
+                regression=regression,
+                improvement=improvement,
+                reason=reason,
+            )
+        )
+    return result

@@ -1,0 +1,366 @@
+"""Spec runners: the bridge from declarative specs to the engines.
+
+Each entry compiles one ``ExperimentSpec`` cell into a call against an
+existing engine — the wall-clock harness experiments, the virtual-time
+simulation engine, or the multi-process scale-out engine — and returns
+the engine's :class:`~repro.harness.results.ExperimentResult`.  The
+experiment runner calls the same entry once per repetition with a
+distinct seed; everything above this layer deals in aggregates only.
+
+The ``cew`` runner is the fully generic cell: binding x fault schedule x
+phases x properties against the Closed Economy Workload in virtual time,
+deterministic per seed — the cell the CI perf gate runs, because its
+numbers are reproducible across machines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..harness.results import ExperimentResult, Point, Series
+
+__all__ = ["RunnerInfo", "RUNNERS", "SpecValidationError", "runner_names"]
+
+
+class SpecValidationError(ValueError):
+    """An experiment spec that cannot run; the message says how to fix it."""
+
+
+@dataclass(frozen=True)
+class RunnerInfo:
+    """One registered spec runner.
+
+    ``fn(seed=..., quick=..., **params)`` must return an
+    :class:`ExperimentResult`.  ``allowed_params`` is the closed set of
+    spec ``params`` keys the runner accepts (unknown keys are spec
+    errors, not silently ignored kwargs); ``validate`` may add
+    runner-specific checks beyond key membership.
+    """
+
+    name: str
+    fn: Callable[..., ExperimentResult]
+    engine: str  # "wall" | "sim" | "scaleout"
+    x_label: str = "threads"
+    allowed_params: frozenset[str] = frozenset()
+    description: str = ""
+    validate: Callable[[Mapping[str, object]], None] | None = None
+    #: Runners whose output is a pure function of the seed (virtual or
+    #: fake time only) — safe to gate CI on across machines.
+    deterministic: bool = False
+
+
+# ---------------------------------------------------------------------------
+# The generic virtual-time CEW cell
+# ---------------------------------------------------------------------------
+
+#: Phases a cew cell may run, in their only legal order.
+CEW_PHASES = ("load", "run")
+
+
+def _validate_cew_params(params: Mapping[str, object]) -> None:
+    from ..sim.campaign import FAULT_SCHEDULES, SIM_BINDINGS
+
+    binding = params.get("binding", "txn")
+    if binding not in SIM_BINDINGS:
+        raise SpecValidationError(
+            f"unknown binding {binding!r}; the cew runner accepts one of "
+            f"{sorted(SIM_BINDINGS)} (HTTP bindings need the scaleout "
+            "engine — use the fig2mp runner)"
+        )
+    schedule = params.get("schedule", "baseline")
+    if isinstance(schedule, str):
+        if schedule != "none" and schedule not in FAULT_SCHEDULES:
+            raise SpecValidationError(
+                f"unknown fault schedule {schedule!r}; use one of "
+                f"{sorted(FAULT_SCHEDULES) + ['none']} or an inline "
+                "{'fault.<knob>': value} mapping"
+            )
+    elif not isinstance(schedule, Mapping):
+        raise SpecValidationError(
+            f"schedule must be a name or a mapping, got {type(schedule).__name__}"
+        )
+    phases = params.get("phases", CEW_PHASES)
+    if isinstance(phases, str) or not isinstance(phases, Sequence):
+        raise SpecValidationError(
+            f"phases must be a sequence of phase names, got {phases!r}"
+        )
+    phases = tuple(phases)
+    if len(set(phases)) != len(phases):
+        raise SpecValidationError(
+            f"conflicting phases {list(phases)}: each phase may appear once"
+        )
+    for phase in phases:
+        if phase not in CEW_PHASES:
+            raise SpecValidationError(
+                f"unknown phase {phase!r}; valid phases are {list(CEW_PHASES)}"
+            )
+    if not phases:
+        raise SpecValidationError("phases must not be empty")
+    if phases == ("run",):
+        raise SpecValidationError(
+            "conflicting phases ['run']: the run phase needs the load phase "
+            "first (every seed starts from an empty store); use "
+            "['load', 'run']"
+        )
+    if phases not in (("load",), ("load", "run")):
+        raise SpecValidationError(
+            f"phases {list(phases)} are out of order; the only legal orders "
+            f"are ['load'] and ['load', 'run']"
+        )
+    thread_counts = params.get("thread_counts")
+    if thread_counts is not None:
+        if isinstance(thread_counts, str) or not isinstance(thread_counts, Sequence):
+            raise SpecValidationError(
+                f"thread_counts must be a sequence of ints, got {thread_counts!r}"
+            )
+        for count in thread_counts:
+            if not isinstance(count, int) or count < 1:
+                raise SpecValidationError(
+                    f"thread_counts entries must be ints >= 1, got {count!r}"
+                )
+    properties = params.get("properties", {})
+    if not isinstance(properties, Mapping):
+        raise SpecValidationError(
+            f"properties must be a mapping of workload properties, got "
+            f"{type(properties).__name__}"
+        )
+
+
+def run_cew_cell(
+    seed: int = 0,
+    quick: bool = True,
+    binding: str = "txn",
+    schedule: str | Mapping[str, str] = "baseline",
+    phases: Sequence[str] = CEW_PHASES,
+    thread_counts: Sequence[int] | None = None,
+    properties: Mapping[str, str] | None = None,
+) -> ExperimentResult:
+    """One generic CEW cell in deterministic virtual time.
+
+    Built on the simulation campaign's single-run machinery: load phase
+    fault-free, the named fault schedule switched on for the measured run
+    phase, every sleep on a fresh :class:`SimClock`.  ``thread_counts``
+    turns the cell into a sweep (one point per thread count, each on its
+    own clock and store); without it the cell is a single point at the
+    configured ``threadcount``.
+    """
+    from ..sim.campaign import run_sim
+
+    _validate_cew_params(
+        {
+            "binding": binding,
+            "schedule": schedule,
+            "phases": tuple(phases),
+            "thread_counts": tuple(thread_counts) if thread_counts is not None else None,
+            "properties": properties or {},
+        }
+    )
+    phases = tuple(phases)
+    overrides = {str(key): str(value) for key, value in (properties or {}).items()}
+    if not quick:
+        # The full variant runs 4x the operations unless the spec pins them.
+        base_ops = int(overrides.get("operationcount", "400"))
+        overrides.setdefault("operationcount", str(base_ops * 4))
+    schedule_arg: str | Mapping[str, str]
+    if schedule == "none":
+        schedule_arg = {}
+    else:
+        schedule_arg = schedule
+
+    schedule_label = schedule if isinstance(schedule, str) else "custom"
+    result = ExperimentResult(
+        experiment="cew",
+        description=(
+            f"Closed Economy Workload cell: {binding} binding, "
+            f"{schedule_label} fault schedule, virtual time"
+        ),
+        notes=[
+            f"phases: {'+'.join(phases)}",
+            "deterministic: every metric is a pure function of the seed",
+        ],
+    )
+    series = Series(label=f"{binding}/{schedule_label}")
+    sweep = tuple(thread_counts) if thread_counts else (None,)
+    for threads in sweep:
+        point_overrides = dict(overrides)
+        if threads is not None:
+            point_overrides["threadcount"] = str(threads)
+        run = run_sim(
+            binding=binding,
+            properties=point_overrides,
+            seed=seed,
+            schedule=schedule_arg,
+            trace=False,
+        )
+        if run.errors:
+            raise RuntimeError(
+                f"cew cell (seed {seed}, threads {threads}) reported errors: "
+                f"{run.errors}"
+            )
+        measured_run = phases != ("load",)
+        operations = run.operations if measured_run else run.load_operations
+        virtual_s = run.run_time_virtual_s
+        x = float(threads) if threads is not None else float(
+            int(run.properties.get("threadcount", "1"))
+        )
+        series.points.append(
+            Point(
+                x=x,
+                throughput=(operations / virtual_s) if virtual_s > 0 else 0.0,
+                anomaly_score=run.gamma,
+                operations=operations,
+                failed_operations=run.failed_operations,
+                extra={
+                    "events_processed": run.events_processed,
+                    "virtual_run_time_s": virtual_s,
+                },
+            )
+        )
+    result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def _harness(name: str):
+    """Late import of a harness experiment (keeps import cost off the CLI)."""
+    def call(seed: int = 42, quick: bool = True, **params):
+        from .. import harness
+
+        return getattr(harness, name)(quick=quick, seed=seed, **params)
+
+    return call
+
+
+RUNNERS: dict[str, RunnerInfo] = {}
+
+
+def _register(info: RunnerInfo) -> None:
+    RUNNERS[info.name] = info
+
+
+def runner_names() -> list[str]:
+    return sorted(RUNNERS)
+
+
+_register(
+    RunnerInfo(
+        name="cew",
+        fn=run_cew_cell,
+        engine="sim",
+        x_label="threads",
+        allowed_params=frozenset(
+            {"binding", "schedule", "phases", "thread_counts", "properties"}
+        ),
+        description="generic CEW cell: binding x fault schedule x phases, virtual time",
+        validate=_validate_cew_params,
+        deterministic=True,
+    )
+)
+_register(
+    RunnerInfo(
+        name="fig2",
+        fn=_harness("fig2_cloud_scaling"),
+        engine="wall",
+        allowed_params=frozenset({"thread_counts", "mixes", "scale"}),
+        description="Fig. 2: throughput vs threads against the simulated WAS container",
+    )
+)
+_register(
+    RunnerInfo(
+        name="sim_figure2",
+        fn=_harness("sim_figure2"),
+        engine="sim",
+        allowed_params=frozenset({"thread_counts", "mixes"}),
+        description="Fig. 2 regenerated in deterministic virtual time",
+        deterministic=True,
+    )
+)
+_register(
+    RunnerInfo(
+        name="fig2mp",
+        fn=_harness("figure2_multiprocess"),
+        engine="scaleout",
+        x_label="processes",
+        allowed_params=frozenset({"process_counts", "threads_per_worker"}),
+        description="Fig. 2 with real worker processes over the scale-out engine",
+    )
+)
+_register(
+    RunnerInfo(
+        name="fig3",
+        fn=_harness("fig3_transaction_overhead"),
+        engine="wall",
+        allowed_params=frozenset({"thread_counts", "scale"}),
+        description="Fig. 3: transactional vs raw throughput",
+    )
+)
+_register(
+    RunnerInfo(
+        name="fig4",
+        fn=_harness("fig4_anomaly_score"),
+        engine="wall",
+        allowed_params=frozenset({"thread_counts", "scale"}),
+        description="Fig. 4: threads vs anomaly score",
+    )
+)
+_register(
+    RunnerInfo(
+        name="fig5",
+        fn=_harness("fig5_raw_scaling"),
+        engine="wall",
+        allowed_params=frozenset({"thread_counts", "scale"}),
+        description="Fig. 5: threads vs raw throughput",
+    )
+)
+_register(
+    RunnerInfo(
+        name="tier5",
+        fn=_harness("tier5_operation_overhead"),
+        engine="wall",
+        allowed_params=frozenset({"scale", "threads"}),
+        description="Tier 5: per-operation transactional overhead table",
+    )
+)
+_register(
+    RunnerInfo(
+        name="tier6",
+        fn=_harness("tier6_consistency"),
+        engine="wall",
+        allowed_params=frozenset({"scale", "threads"}),
+        description="Tier 6: consistency validation, raw vs transactional",
+    )
+)
+_register(
+    RunnerInfo(
+        name="ablation",
+        fn=_harness("ablation_coordinators"),
+        engine="wall",
+        x_label="oracle RPC delay (ms)",
+        allowed_params=frozenset({"oracle_delays_ms", "scale", "threads"}),
+        description="coordinator designs vs central-oracle RPC delay",
+    )
+)
+_register(
+    RunnerInfo(
+        name="isolation",
+        fn=_harness("isolation_matrix"),
+        engine="wall",
+        allowed_params=frozenset({"scale", "threads"}),
+        description="anomaly-targeting workloads vs isolation level",
+    )
+)
+_register(
+    RunnerInfo(
+        name="staleness",
+        fn=_harness("staleness_curve"),
+        engine="wall",
+        x_label="delay (ms)",
+        allowed_params=frozenset({"delays_ms", "lag_ms", "samples"}),
+        description="stale-read probability vs time since write (fake clock)",
+        deterministic=True,
+    )
+)

@@ -1,0 +1,388 @@
+"""Declarative experiment specs.
+
+An :class:`ExperimentSpec` names everything one experiment needs — which
+runner (and therefore which engine), its parameters, how many
+repetitions, the base seed — as plain data, so the same cell can come
+from Python code, a JSON/TOML file, or the built-in catalogue, and the
+experiment runner can execute it N times and aggregate without knowing
+what it measures.
+
+Validation is strict and early: unknown runners, unknown parameter keys,
+``repetitions < 1``, bad bindings or conflicting phases all raise
+:class:`SpecValidationError` with a message that says what to change,
+before any engine starts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from .runners import RUNNERS, SpecValidationError, runner_names
+
+__all__ = [
+    "ExperimentSpec",
+    "SpecValidationError",
+    "BUILTIN_SPECS",
+    "builtin_spec",
+    "builtin_spec_names",
+    "load_spec",
+    "spec_from_dict",
+]
+
+_SPEC_KEYS = frozenset(
+    {
+        "name",
+        "runner",
+        "repetitions",
+        "seed",
+        "quick",
+        "vary_seed",
+        "params",
+        "description",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment cell: runner x params x repetitions x seeding.
+
+    ``vary_seed=True`` (the default) runs repetition *i* with
+    ``seed + i`` — independent samples for the confidence interval.
+    ``vary_seed=False`` repeats the identical seed, which is only useful
+    for measuring wall-clock noise of a deterministic workload or for
+    determinism tests (every repetition must then agree exactly).
+    """
+
+    name: str
+    runner: str
+    repetitions: int = 3
+    seed: int = 42
+    quick: bool = True
+    vary_seed: bool = True
+    params: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def info(self):
+        return RUNNERS[self.runner]
+
+    @property
+    def x_label(self) -> str:
+        return self.info.x_label
+
+    @property
+    def deterministic(self) -> bool:
+        return self.info.deterministic
+
+    def seeds(self) -> list[int]:
+        if self.vary_seed:
+            return [self.seed + rep for rep in range(self.repetitions)]
+        return [self.seed] * self.repetitions
+
+    def validate(self) -> None:
+        if not self.name or not all(
+            ch.isalnum() or ch in "-_." for ch in self.name
+        ):
+            raise SpecValidationError(
+                f"bad spec name {self.name!r}: names become BENCH_<name>.json "
+                "files, use letters, digits, '-', '_' and '.'"
+            )
+        if self.runner not in RUNNERS:
+            raise SpecValidationError(
+                f"unknown runner {self.runner!r}; available runners: "
+                f"{', '.join(runner_names())}"
+            )
+        if not isinstance(self.repetitions, int) or isinstance(self.repetitions, bool):
+            raise SpecValidationError(
+                f"repetitions must be an int >= 1, got {self.repetitions!r}"
+            )
+        if self.repetitions < 1:
+            raise SpecValidationError(
+                f"repetitions must be >= 1, got {self.repetitions} "
+                "(a cell that never runs has no statistics)"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SpecValidationError(f"seed must be an int, got {self.seed!r}")
+        if not isinstance(self.params, Mapping):
+            raise SpecValidationError(
+                f"params must be a mapping, got {type(self.params).__name__}"
+            )
+        info = RUNNERS[self.runner]
+        unknown = set(self.params) - set(info.allowed_params)
+        if unknown:
+            raise SpecValidationError(
+                f"runner {self.runner!r} does not accept params "
+                f"{sorted(unknown)}; allowed: {sorted(info.allowed_params)}"
+            )
+        if info.validate is not None:
+            info.validate(self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "quick": self.quick,
+            "vary_seed": self.vary_seed,
+            "params": _plain(self.params),
+            "description": self.description,
+        }
+
+    def with_overrides(
+        self,
+        repetitions: int | None = None,
+        seed: int | None = None,
+        quick: bool | None = None,
+    ) -> "ExperimentSpec":
+        updated = self
+        if repetitions is not None:
+            updated = replace(updated, repetitions=repetitions)
+        if seed is not None:
+            updated = replace(updated, seed=seed)
+        if quick is not None:
+            updated = replace(updated, quick=quick)
+        return updated
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe copy: mappings to dicts, tuples to lists, keys to str."""
+    if isinstance(value, Mapping):
+        return {str(key): _plain(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(entry) for entry in value]
+    return value
+
+
+def spec_from_dict(data: Mapping[str, Any], source: str = "<dict>") -> ExperimentSpec:
+    """Build and validate a spec from parsed JSON/TOML/dict data."""
+    if not isinstance(data, Mapping):
+        raise SpecValidationError(
+            f"{source}: a spec must be a mapping, got {type(data).__name__}"
+        )
+    unknown = set(data) - _SPEC_KEYS
+    if unknown:
+        raise SpecValidationError(
+            f"{source}: unknown spec keys {sorted(unknown)}; "
+            f"allowed keys: {sorted(_SPEC_KEYS)}"
+        )
+    if "name" not in data:
+        raise SpecValidationError(f"{source}: a spec needs a 'name'")
+    values = dict(data)
+    values.setdefault("runner", values["name"])
+    # Sequences from JSON/TOML arrive as lists; normalise params tuples.
+    params = values.get("params", {})
+    if isinstance(params, Mapping):
+        values["params"] = {
+            key: tuple(entry) if isinstance(entry, list) else entry
+            for key, entry in params.items()
+        }
+    try:
+        return ExperimentSpec(**values)
+    except TypeError as exc:
+        raise SpecValidationError(f"{source}: {exc}") from None
+
+
+def load_spec(source: str | Path) -> ExperimentSpec:
+    """Resolve ``source`` to a spec: built-in name, ``.json`` or ``.toml`` file.
+
+    A path wins over a name when the file exists; otherwise the built-in
+    catalogue is consulted, and failing both the error lists what would
+    have worked.
+    """
+    path = Path(source)
+    if path.suffix in (".json", ".toml") or path.exists():
+        return _load_spec_file(path)
+    name = str(source)
+    if name in BUILTIN_SPECS:
+        return BUILTIN_SPECS[name]
+    raise SpecValidationError(
+        f"no spec file at {source!r} and no built-in spec by that name; "
+        f"built-ins: {', '.join(builtin_spec_names())}"
+    )
+
+
+def _load_spec_file(path: Path) -> ExperimentSpec:
+    if not path.exists():
+        raise SpecValidationError(f"spec file {path} does not exist")
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # Python 3.10: no stdlib TOML parser
+            raise SpecValidationError(
+                f"cannot read {path}: TOML specs need Python 3.11+ "
+                "(tomllib); use the JSON spec shape instead"
+            ) from None
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(f"cannot parse {path}: {exc}") from None
+    else:
+        raise SpecValidationError(
+            f"unsupported spec file type {path.suffix!r}; use .json or .toml"
+        )
+    return spec_from_dict(data, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Built-in catalogue: the existing experiments, ported onto specs
+# ---------------------------------------------------------------------------
+
+BUILTIN_SPECS: dict[str, ExperimentSpec] = {}
+
+
+def _builtin(spec: ExperimentSpec) -> None:
+    BUILTIN_SPECS[spec.name] = spec
+
+
+def builtin_spec(name: str) -> ExperimentSpec:
+    try:
+        return BUILTIN_SPECS[name]
+    except KeyError:
+        raise SpecValidationError(
+            f"unknown built-in spec {name!r}; built-ins: "
+            f"{', '.join(builtin_spec_names())}"
+        ) from None
+
+
+def builtin_spec_names() -> list[str]:
+    return sorted(BUILTIN_SPECS)
+
+
+_builtin(
+    ExperimentSpec(
+        name="ci_smoke",
+        runner="cew",
+        repetitions=3,
+        seed=1000,
+        params={
+            "binding": "txn",
+            "schedule": "baseline",
+            "thread_counts": (2, 6),
+            "properties": {"recordcount": "24", "operationcount": "240"},
+        },
+        description=(
+            "fast deterministic virtual-time CEW sweep for the CI perf gate "
+            "(txn binding, baseline faults, 2 and 6 simulated threads)"
+        ),
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="cew_raw_vs_faults",
+        runner="cew",
+        repetitions=5,
+        seed=2000,
+        params={
+            "binding": "raw",
+            "schedule": "torn-heavy",
+            "thread_counts": (4, 8),
+        },
+        description=(
+            "raw binding under torn-write-heavy faults: the anomaly-score "
+            "confidence interval quantifies how often money leaks"
+        ),
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="fig2",
+        runner="fig2",
+        repetitions=3,
+        seed=42,
+        description="Fig. 2 with repetition statistics (wall time)",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="sim_figure2",
+        runner="sim_figure2",
+        repetitions=2,
+        seed=42,
+        params={"thread_counts": (1, 4, 16, 64), "mixes": (0.9,)},
+        description="Fig. 2 in virtual time, reduced sweep, deterministic",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="fig2mp",
+        runner="fig2mp",
+        repetitions=2,
+        seed=42,
+        params={"process_counts": (1, 2, 4)},
+        description="Fig. 2 with real worker processes (scale-out engine)",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="fig3",
+        runner="fig3",
+        repetitions=3,
+        seed=42,
+        description="Fig. 3 transactional overhead with repetition statistics",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="fig4",
+        runner="fig4",
+        repetitions=3,
+        seed=42,
+        description="Fig. 4 anomaly score with repetition statistics",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="fig5",
+        runner="fig5",
+        repetitions=3,
+        seed=42,
+        description="Fig. 5 raw scaling with repetition statistics",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="tier5",
+        runner="tier5",
+        repetitions=3,
+        seed=42,
+        description="Tier-5 per-operation overhead with repetition statistics",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="tier6",
+        runner="tier6",
+        repetitions=3,
+        seed=42,
+        description="Tier-6 consistency table with repetition statistics",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="ablation",
+        runner="ablation",
+        repetitions=3,
+        seed=42,
+        description="coordinator ablation with repetition statistics",
+    )
+)
+_builtin(
+    ExperimentSpec(
+        name="staleness",
+        runner="staleness",
+        repetitions=3,
+        seed=3,
+        description="staleness curve with repetition statistics (fake clock)",
+    )
+)

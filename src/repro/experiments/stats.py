@@ -1,0 +1,192 @@
+"""Scipy-free summary statistics for repeated experiment runs.
+
+One experiment cell runs N times; every metric (throughput, anomaly
+score, ...) becomes a sample of N values.  This module turns such samples
+into the mean / sample standard deviation / 95 % confidence interval the
+extended ``BENCH_*.json`` shape reports, using the Student t distribution
+for small N (repetition counts of 2-10 are the norm, where the normal
+z = 1.96 would understate the interval badly).
+
+Mergeability matters for scale-out: two workers can summarise their own
+repetitions and the pooled summary must equal the summary of the pooled
+values.  :func:`merge` implements Chan et al.'s parallel variance update,
+which is exact (up to float association) rather than an approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..measurements.histogram import nearest_rank
+
+__all__ = [
+    "SampleStats",
+    "summarize",
+    "merge",
+    "t_critical_95",
+    "percentile",
+    "T_TABLE_95",
+]
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom.
+#: Standard table values (Abramowitz & Stegun 26.7); entries above 30
+#: step through 40/60/120 to the normal limit 1.960.
+T_TABLE_95: dict[int, float] = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+#: Normal-approximation limit used for df > 120.
+_T_INFINITY = 1.960
+
+
+def t_critical_95(degrees_of_freedom: int) -> float:
+    """Two-sided 95 % t critical value for ``degrees_of_freedom``.
+
+    Exact table lookup through df=30; above that the next *lower*
+    tabulated df is used (a slightly wider, i.e. conservative, interval),
+    converging on 1.960 beyond df=120.
+    """
+    if degrees_of_freedom < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {degrees_of_freedom}")
+    if degrees_of_freedom in T_TABLE_95:
+        return T_TABLE_95[degrees_of_freedom]
+    if degrees_of_freedom > 120:
+        return _T_INFINITY
+    # Between tabulated rows (31..119): conservative step-down lookup.
+    floor_df = max(df for df in T_TABLE_95 if df <= degrees_of_freedom)
+    return T_TABLE_95[floor_df]
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Moments of one metric across N repetitions.
+
+    ``m2`` is the sum of squared deviations from the mean (Welford's
+    second moment), carried so that :func:`merge` stays exact; the
+    sample variance is ``m2 / (n - 1)``.
+    """
+
+    n: int
+    mean: float
+    m2: float
+    min: float
+    max: float
+
+    @property
+    def variance(self) -> float | None:
+        """Sample variance (ddof=1); ``None`` below two samples."""
+        if self.n < 2:
+            return None
+        return self.m2 / (self.n - 1)
+
+    @property
+    def stddev(self) -> float | None:
+        variance = self.variance
+        if variance is None:
+            return None
+        # Guard tiny negative residue from float cancellation.
+        return math.sqrt(max(0.0, variance))
+
+    @property
+    def standard_error(self) -> float | None:
+        stddev = self.stddev
+        if stddev is None:
+            return None
+        return stddev / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> float | None:
+        """Half-width of the 95 % confidence interval for the mean.
+
+        Student t with n-1 degrees of freedom; ``None`` below two
+        samples (a single run carries no variance information).
+        """
+        error = self.standard_error
+        if error is None:
+            return None
+        return t_critical_95(self.n - 1) * error
+
+    @property
+    def ci95_interval(self) -> tuple[float, float] | None:
+        half_width = self.ci95
+        if half_width is None:
+            return None
+        return (self.mean - half_width, self.mean + half_width)
+
+    def to_dict(self) -> dict[str, float | int | None]:
+        """JSON-safe summary (computed fields expanded, ``m2`` kept)."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "ci95": self.ci95,
+            "min": self.min,
+            "max": self.max,
+            "m2": self.m2,
+        }
+
+
+def summarize(values: Sequence[float]) -> SampleStats:
+    """Single-pass Welford summary of ``values``."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    count = 0
+    mean = 0.0
+    m2 = 0.0
+    low = math.inf
+    high = -math.inf
+    for value in values:
+        value = float(value)
+        count += 1
+        delta = value - mean
+        mean += delta / count
+        m2 += delta * (value - mean)
+        low = min(low, value)
+        high = max(high, value)
+    return SampleStats(n=count, mean=mean, m2=m2, min=low, max=high)
+
+
+def merge(a: SampleStats, b: SampleStats) -> SampleStats:
+    """Pooled summary of two disjoint samples (Chan et al. update).
+
+    ``merge(summarize(xs), summarize(ys))`` equals
+    ``summarize(xs + ys)`` up to floating-point association, so workers
+    can aggregate their own repetitions and the coordinator can pool
+    them without access to the raw values.
+    """
+    if a.n == 0:
+        return b
+    if b.n == 0:
+        return a
+    total = a.n + b.n
+    delta = b.mean - a.mean
+    mean = a.mean + delta * (b.n / total)
+    m2 = a.m2 + b.m2 + delta * delta * (a.n * b.n / total)
+    return SampleStats(
+        n=total, mean=mean, m2=m2, min=min(a.min, b.min), max=max(a.max, b.max)
+    )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile, matching the measurement layer's definition.
+
+    Uses the same ``ceil(fraction * n)`` rank as the latency histograms
+    (see :func:`repro.measurements.histogram.nearest_rank`), so a p95
+    over repetition values and a p95 over latency samples agree on what
+    "95th percentile" means.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(float(value) for value in values)
+    rank = nearest_rank(fraction, len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]

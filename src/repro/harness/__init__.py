@@ -13,6 +13,7 @@ from .experiments import (
     figure2_multiprocess,
     isolation_matrix,
     sim_figure2,
+    staleness_curve,
     tier5_operation_overhead,
     tier6_consistency,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "fig5_raw_scaling",
     "isolation_matrix",
     "sim_figure2",
+    "staleness_curve",
     "tier5_operation_overhead",
     "tier6_consistency",
     "render_experiment",

@@ -43,6 +43,7 @@ __all__ = [
     "tier5_operation_overhead",
     "tier6_consistency",
     "ablation_coordinators",
+    "staleness_curve",
     "THREADS_FIG2",
     "THREADS_LOCAL",
     "PROCESSES_FIG2",
@@ -731,6 +732,71 @@ def ablation_coordinators(
                     anomaly_score=run.anomaly_score,
                     operations=run.operations,
                     failed_operations=run.failed_operations,
+                )
+            )
+        result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Staleness curve — Wada et al.'s measurement, from the paper's §VI
+# ---------------------------------------------------------------------------
+
+def staleness_curve(
+    quick: bool = True,
+    delays_ms: Sequence[float] = (0.0, 10.0, 25.0, 40.0, 49.0, 51.0, 75.0, 100.0),
+    lag_ms: float = 50.0,
+    samples: int | None = None,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Stale-read probability vs time since write (the paper's §VI).
+
+    "For clouds, Wada et al measured the probability of returning stale
+    values, as a function of how much time had elapsed between the latest
+    write and the read."  Probed here against the asynchronously
+    replicated store on a fake clock, once with replica reads (stale
+    inside the lag, fresh beyond it) and once with primary reads (never
+    stale).  Each point's ``throughput`` column carries the stale-read
+    probability; the run is a pure function of ``seed``.
+    """
+    from ..kvstore import ReadPreference, ReplicatedKVStore
+    from ..validation import StalenessProbe
+
+    sample_count = samples if samples is not None else (40 if quick else 400)
+    result = ExperimentResult(
+        experiment="staleness",
+        description="Stale-read probability vs time since write (replicated store)",
+        notes=[
+            f"replication lag {lag_ms:g} ms, {sample_count} probes per delay",
+            "'throughput' column = stale-read probability (0..1)",
+        ],
+    )
+    for label, preference in (
+        ("replica reads", ReadPreference.REPLICA),
+        ("primary reads", ReadPreference.PRIMARY),
+    ):
+        clock = [0.0]
+        store = ReplicatedKVStore(
+            replica_count=2,
+            lag_seconds=lag_ms / 1000.0,
+            read_preference=preference,
+            rng=random.Random(seed),
+            clock=lambda: clock[0],
+        )
+        probe = StalenessProbe(
+            store, sleep=lambda seconds: clock.__setitem__(0, clock[0] + seconds)
+        )
+        curve = probe.curve(
+            [delay / 1000.0 for delay in delays_ms], samples=sample_count
+        )
+        series = Series(label=label)
+        for delay_s, probability in curve:
+            series.points.append(
+                Point(
+                    x=delay_s * 1000.0,
+                    throughput=probability,
+                    operations=sample_count,
+                    extra={"stale_probability": probability},
                 )
             )
         result.series.append(series)

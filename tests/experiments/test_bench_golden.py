@@ -1,0 +1,182 @@
+"""Golden-file tests pinning the BENCH schema (v2) and v1 compatibility.
+
+The golden documents live in ``tests/experiments/golden/``.  They are
+built from fully synthetic :class:`ExperimentResult` objects (no engine
+involved) so the goldens only change when the *serialisation* changes —
+which is exactly the event this test exists to flag.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    BENCH_SCHEMA_V2,
+    ExperimentSpec,
+    aggregate_results,
+    compare_views,
+    load_bench_document,
+    render_bench_document,
+    render_bench_json,
+    write_bench,
+)
+from repro.harness.report import render_experiment_json
+from repro.harness.results import ExperimentResult, Point, Series
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def synthetic_repetitions() -> list[ExperimentResult]:
+    """Three structurally identical repetitions with fixed numbers."""
+    reps = []
+    for offset in (0.0, 2.0, -1.0):
+        reps.append(
+            ExperimentResult(
+                experiment="synthetic",
+                description="synthetic golden experiment",
+                notes=["golden fixture"],
+                series=[
+                    Series(
+                        label="txn",
+                        points=[
+                            Point(
+                                x=2,
+                                throughput=100.0 + offset,
+                                anomaly_score=0.01,
+                                operations=240,
+                                failed_operations=0,
+                                extra={"events_processed": 1000.0 + 10 * offset},
+                            ),
+                            Point(
+                                x=6,
+                                throughput=260.0 + offset,
+                                anomaly_score=0.02,
+                                operations=240,
+                                failed_operations=1,
+                                extra={"events_processed": 1300.0 + 10 * offset},
+                            ),
+                        ],
+                    )
+                ],
+                tables={
+                    "summary": [
+                        {"phase": "run", "ops": 240.0 + offset, "kind": "cew"}
+                    ]
+                },
+            )
+        )
+    return reps
+
+
+def synthetic_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="synthetic",
+        runner="cew",
+        repetitions=3,
+        seed=100,
+        description="synthetic golden experiment",
+    )
+
+
+def synthetic_aggregate():
+    spec = synthetic_spec()
+    return aggregate_results(spec, [100, 101, 102], synthetic_repetitions())
+
+
+class TestGoldenV2:
+    def test_document_matches_golden(self):
+        """Byte-for-byte: the v2 serialisation is pinned by a golden file."""
+        rendered = render_bench_json(synthetic_aggregate()) + "\n"
+        golden = (GOLDEN_DIR / "BENCH_synthetic_v2.json").read_text(
+            encoding="utf-8"
+        )
+        assert rendered == golden
+
+    def test_write_bench_round_trips_through_loader(self, tmp_path):
+        aggregate = synthetic_aggregate()
+        path = write_bench(aggregate, tmp_path)
+        assert path.name == "BENCH_synthetic.json"
+        view = load_bench_document(json.loads(path.read_text(encoding="utf-8")))
+        assert view.schema_version == 2
+        assert view.experiment == "synthetic"
+        assert view.repetitions == 3
+        stats = view.points[("txn", 2.0, "throughput")]
+        assert stats.n == 3
+        assert stats.mean == pytest.approx((100.0 + 102.0 + 99.0) / 3)
+        # Raw per-repetition values must be preserved in the document.
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        payload = doc["series"][0]["points"][0]["metrics"]["throughput"]
+        assert payload["values"] == [100.0, 102.0, 99.0]
+        assert payload["n"] == 3
+
+    def test_schema_marker(self):
+        doc = render_bench_document(synthetic_aggregate())
+        assert doc["schema"] == BENCH_SCHEMA_V2
+        assert doc["deterministic"] is True
+        assert doc["seeds"] == [100, 101, 102]
+        # Wall-clock noise must never leak into the document.
+        assert "repetition_wall_s" not in json.dumps(doc)
+
+    def test_extra_metrics_aggregated(self):
+        doc = render_bench_document(synthetic_aggregate())
+        metrics = doc["series"][0]["points"][0]["metrics"]
+        assert "events_processed" in metrics
+        assert metrics["events_processed"]["values"] == [1000.0, 1020.0, 990.0]
+
+    def test_table_numeric_cells_become_samples(self):
+        doc = render_bench_document(synthetic_aggregate())
+        row = doc["tables"]["summary"][0]
+        assert row["phase"] == "run"  # non-numeric: first repetition's value
+        assert row["kind"] == "cew"
+        assert row["ops"]["n"] == 3
+        assert row["ops"]["values"] == [240.0, 242.0, 239.0]
+
+
+class TestBackwardCompatV1:
+    def test_v1_golden_still_loads(self):
+        """`exp diff` must keep reading the original single-run shape."""
+        golden = json.loads(
+            (GOLDEN_DIR / "BENCH_synthetic_v1.json").read_text(encoding="utf-8")
+        )
+        view = load_bench_document(golden, source="golden-v1")
+        assert view.schema_version == 1
+        assert view.repetitions == 1
+        stats = view.points[("txn", 2.0, "throughput")]
+        assert stats.n == 1
+        assert stats.mean == 100.0
+        assert stats.ci95 is None  # single run: no variance information
+        # Numeric extras become metrics too.
+        assert view.points[("txn", 2.0, "events_processed")].mean == 1000.0
+
+    def test_v1_matches_current_render_experiment_json(self):
+        """The committed v1 golden is what render_experiment_json emits."""
+        rendered = render_experiment_json(synthetic_repetitions()[0])
+        golden = (GOLDEN_DIR / "BENCH_synthetic_v1.json").read_text(
+            encoding="utf-8"
+        )
+        assert json.loads(rendered) == json.loads(golden)
+
+    def test_diff_v1_baseline_against_v2_aggregate(self, tmp_path):
+        """A v2 aggregate gates against a v1 single-run baseline."""
+        old = load_bench_document(
+            json.loads(
+                (GOLDEN_DIR / "BENCH_synthetic_v1.json").read_text(
+                    encoding="utf-8"
+                )
+            )
+        )
+        new = load_bench_document(render_bench_document(synthetic_aggregate()))
+        result = compare_views(old, new)
+        # Means are within the 25 % legacy threshold -> no regression.
+        assert result.passed
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported BENCH schema"):
+            load_bench_document(
+                {"experiment": "x", "schema": "ycsbt-bench/99"}, source="s"
+            )
+
+    def test_non_bench_document_rejected(self):
+        with pytest.raises(ValueError, match="not a BENCH document"):
+            load_bench_document({"something": "else"})

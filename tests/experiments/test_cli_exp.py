@@ -1,0 +1,191 @@
+"""The ``ycsbt exp`` sub-command: run, diff, list."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main
+
+
+def run_tiny_spec(tmp_path, out_dir, name="tinycli", seed=77, scale=1.0, reps=2):
+    """Write a tiny JSON spec, run it with --out, return the BENCH path."""
+    spec_path = tmp_path / f"{name}.json"
+    spec_path.write_text(
+        json.dumps(
+            {
+                "name": name,
+                "runner": "cew",
+                "repetitions": reps,
+                "seed": seed,
+                "params": {
+                    "binding": "txn",
+                    "schedule": "baseline",
+                    "thread_counts": [2],
+                    "properties": {"recordcount": "24", "operationcount": "240"},
+                },
+            }
+        ),
+        encoding="utf-8",
+    )
+    exit_code = main(["exp", "run", str(spec_path), "--out", str(out_dir)])
+    assert exit_code == 0
+    bench = out_dir / f"BENCH_{name}.json"
+    if scale != 1.0:
+        document = json.loads(bench.read_text(encoding="utf-8"))
+        for series in document["series"]:
+            for point in series["points"]:
+                payload = point["metrics"]["throughput"]
+                payload["values"] = [v * scale for v in payload["values"]]
+                payload["mean"] = sum(payload["values"]) / len(payload["values"])
+                payload["min"] = min(payload["values"])
+                payload["max"] = max(payload["values"])
+        bench.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return bench
+
+
+class TestExpRun:
+    def test_builtin_spec_text_report(self, capsys):
+        exit_code = main(["exp", "run", "ci_smoke", "--reps", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ci_smoke" in captured.out
+        assert "±" in captured.out  # CI column present
+        assert captured.err.count("repetition") == 2
+
+    def test_json_output_is_schema_v2(self, capsys):
+        exit_code = main(
+            ["exp", "run", "ci_smoke", "--reps", "2", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(captured.out)
+        assert document["schema"] == "ycsbt-bench/2"
+        assert document["repetitions"] == 2
+        assert document["deterministic"] is True
+
+    def test_out_writes_bench_file(self, tmp_path, capsys):
+        bench = run_tiny_spec(tmp_path, tmp_path / "results")
+        capsys.readouterr()
+        assert bench.exists()
+        document = json.loads(bench.read_text(encoding="utf-8"))
+        assert document["experiment"] == "tinycli"
+
+    def test_cli_output_is_byte_identical_across_runs(self, tmp_path, capsys):
+        first = run_tiny_spec(tmp_path, tmp_path / "a")
+        second = run_tiny_spec(tmp_path, tmp_path / "b")
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_seed_override_changes_output(self, tmp_path, capsys):
+        first = run_tiny_spec(tmp_path, tmp_path / "a")
+        second = run_tiny_spec(tmp_path, tmp_path / "b", name="tinycli", seed=500)
+        capsys.readouterr()
+        assert first.read_bytes() != second.read_bytes()
+
+    def test_unknown_spec_is_actionable_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["exp", "run", "not_a_spec"])
+        assert "spec error" in str(excinfo.value)
+        assert "built-ins" in str(excinfo.value)
+
+    def test_invalid_spec_file_fails_before_running(self, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(
+            json.dumps({"name": "bad", "runner": "cew",
+                        "params": {"binding": "mongo"}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["exp", "run", str(spec_path)])
+        assert "unknown binding" in str(excinfo.value)
+
+    def test_zero_reps_rejected(self):
+        with pytest.raises(SystemExit, match="--reps must be >= 1"):
+            main(["exp", "run", "ci_smoke", "--reps", "0"])
+
+
+class TestExpDiff:
+    def test_identical_trajectories_pass(self, tmp_path, capsys):
+        bench = run_tiny_spec(tmp_path, tmp_path / "a")
+        capsys.readouterr()  # drop the run report
+        exit_code = main(["exp", "diff", str(bench), str(bench)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "PASS" in captured.out
+
+    def test_injected_slowdown_fails_with_exit_1(self, tmp_path, capsys):
+        # 5 repetitions: the CI is tight enough that -40% is significant.
+        baseline = run_tiny_spec(tmp_path, tmp_path / "a", reps=5)
+        slowed = run_tiny_spec(tmp_path, tmp_path / "b", scale=0.60, reps=5)
+        capsys.readouterr()  # drop the run reports
+        exit_code = main(["exp", "diff", str(baseline), str(slowed)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "REGRESSION" in captured.out
+        assert "FAIL" in captured.out
+
+    def test_json_diff_payload(self, tmp_path, capsys):
+        bench = run_tiny_spec(tmp_path, tmp_path / "a")
+        capsys.readouterr()  # drop the run report
+        exit_code = main(["exp", "diff", str(bench), str(bench), "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["passed"] is True
+        assert payload["experiment"] == "tinycli"
+
+    def test_missing_file_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit, match="no BENCH file"):
+            main(
+                ["exp", "diff", str(tmp_path / "nope.json"),
+                 str(tmp_path / "nope.json")]
+            )
+
+    def test_diff_reads_committed_v1_golden(self, tmp_path, capsys):
+        """Backward compatibility at the CLI level: v1 vs v1 diffs cleanly."""
+        from pathlib import Path
+
+        golden = Path(__file__).parent / "golden" / "BENCH_synthetic_v1.json"
+        exit_code = main(["exp", "diff", str(golden), str(golden)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "PASS" in captured.out
+
+
+class TestExpList:
+    def test_lists_builtins_and_runners(self, capsys):
+        exit_code = main(["exp", "list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ci_smoke" in captured.out
+        assert "[deterministic]" in captured.out
+        assert "runners:" in captured.out
+        assert "cew" in captured.out
+
+
+class TestBaselineGate:
+    """The committed baselines must gate a fresh run of the same spec."""
+
+    @pytest.mark.parametrize("name", ["ci_smoke", "staleness"])
+    def test_fresh_run_matches_committed_baseline(self, name, tmp_path, capsys):
+        from pathlib import Path
+
+        baseline = (
+            Path(__file__).parents[2] / "benchmarks" / "baselines"
+            / f"BENCH_{name}.json"
+        )
+        assert baseline.exists(), "seed baseline trajectory must be committed"
+        out = tmp_path / "results"
+        exit_code = main(["exp", "run", name, "--out", str(out)])
+        assert exit_code == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["exp", "diff", str(baseline), str(out / f"BENCH_{name}.json")]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0, captured.out
+        # Deterministic spec on the same seeds: byte-identical, not merely
+        # statistically compatible.
+        assert baseline.read_bytes() == (out / f"BENCH_{name}.json").read_bytes()

@@ -1,0 +1,276 @@
+"""End-to-end spec tests: determinism, validation errors, the diff gate."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    SpecValidationError,
+    builtin_spec,
+    builtin_spec_names,
+    compare_views,
+    load_bench_document,
+    load_spec,
+    render_bench_document,
+    render_bench_json,
+    run_spec,
+    spec_from_dict,
+)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    """A 2-repetition virtual-time CEW spec that runs in well under a second."""
+    values = dict(
+        name="tiny",
+        runner="cew",
+        repetitions=2,
+        seed=77,
+        params={
+            "binding": "txn",
+            "schedule": "baseline",
+            "thread_counts": (2,),
+            "properties": {"recordcount": "16", "operationcount": "120"},
+        },
+    )
+    values.update(overrides)
+    return ExperimentSpec(**values)
+
+
+class TestDeterminism:
+    def test_two_repetition_spec_is_byte_identical(self):
+        """The whole pipeline is a pure function of the spec."""
+        first = render_bench_json(run_spec(tiny_spec()))
+        second = render_bench_json(run_spec(tiny_spec()))
+        assert first == second
+
+    def test_repetitions_with_same_seed_agree_exactly(self):
+        """vary_seed=False makes every repetition identical (stddev 0)."""
+        aggregate = run_spec(tiny_spec(vary_seed=False))
+        assert aggregate.seeds == [77, 77]
+        for series in aggregate.series:
+            for point in series.points:
+                for sample in point.metrics.values():
+                    assert sample.stats.stddev == 0.0
+
+    def test_varied_seeds_produce_distinct_samples(self):
+        aggregate = run_spec(tiny_spec())
+        assert aggregate.seeds == [77, 78]
+        throughput = aggregate.series[0].points[0].metrics["throughput"]
+        assert len(set(throughput.values)) == 2, (
+            "distinct seeds should perturb virtual-time throughput"
+        )
+
+    def test_different_seed_changes_the_document(self):
+        base = render_bench_json(run_spec(tiny_spec()))
+        other = render_bench_json(run_spec(tiny_spec(seed=500)))
+        assert base != other
+
+
+class TestInvalidSpecs:
+    def test_unknown_binding(self):
+        with pytest.raises(SpecValidationError, match="unknown binding 'mongo'"):
+            tiny_spec(params={"binding": "mongo"})
+
+    def test_unknown_binding_error_is_actionable(self):
+        with pytest.raises(SpecValidationError, match="raw.*txn|txn.*raw"):
+            tiny_spec(params={"binding": "postgres"})
+
+    def test_repetitions_below_one(self):
+        with pytest.raises(SpecValidationError, match="repetitions must be >= 1"):
+            tiny_spec(repetitions=0)
+
+    def test_repetitions_not_an_int(self):
+        with pytest.raises(SpecValidationError, match="repetitions must be an int"):
+            tiny_spec(repetitions="three")
+
+    def test_conflicting_phases_duplicate(self):
+        with pytest.raises(SpecValidationError, match="conflicting phases"):
+            tiny_spec(params={"phases": ("load", "load")})
+
+    def test_conflicting_phases_run_without_load(self):
+        with pytest.raises(
+            SpecValidationError, match="run phase needs the load phase"
+        ):
+            tiny_spec(params={"phases": ("run",)})
+
+    def test_phases_out_of_order(self):
+        with pytest.raises(SpecValidationError, match="out of order"):
+            tiny_spec(params={"phases": ("run", "load")})
+
+    def test_unknown_phase(self):
+        with pytest.raises(SpecValidationError, match="unknown phase 'verify'"):
+            tiny_spec(params={"phases": ("load", "verify")})
+
+    def test_unknown_runner_lists_available(self):
+        with pytest.raises(SpecValidationError, match="available runners"):
+            ExperimentSpec(name="x", runner="does-not-exist")
+
+    def test_unknown_param_key_lists_allowed(self):
+        with pytest.raises(SpecValidationError, match="allowed:"):
+            tiny_spec(params={"bindings": "txn"})  # typo of 'binding'
+
+    def test_unknown_fault_schedule(self):
+        with pytest.raises(SpecValidationError, match="unknown fault schedule"):
+            tiny_spec(params={"schedule": "chaos-monkey"})
+
+    def test_bad_thread_counts(self):
+        with pytest.raises(SpecValidationError, match="ints >= 1"):
+            tiny_spec(params={"thread_counts": (0,)})
+
+    def test_bad_spec_name(self):
+        with pytest.raises(SpecValidationError, match="BENCH_<name>.json"):
+            tiny_spec(name="no/slashes")
+
+    def test_dict_with_unknown_top_level_key(self):
+        with pytest.raises(SpecValidationError, match="unknown spec keys"):
+            spec_from_dict({"name": "tiny", "runner": "cew", "reps": 3})
+
+    def test_dict_without_name(self):
+        with pytest.raises(SpecValidationError, match="needs a 'name'"):
+            spec_from_dict({"runner": "cew"})
+
+
+class TestLoadSpec:
+    def test_builtin_by_name(self):
+        spec = load_spec("ci_smoke")
+        assert spec.runner == "cew"
+        assert spec.deterministic
+
+    def test_unknown_name_lists_builtins(self):
+        with pytest.raises(SpecValidationError, match="built-ins: "):
+            load_spec("nonexistent_spec")
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "mini",
+                    "runner": "cew",
+                    "repetitions": 2,
+                    "seed": 9,
+                    "params": {"thread_counts": [2]},
+                }
+            ),
+            encoding="utf-8",
+        )
+        spec = load_spec(path)
+        assert spec.name == "mini"
+        assert spec.params["thread_counts"] == (2,)
+
+    def test_toml_file(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")
+        assert tomllib is not None
+        path = tmp_path / "mini.toml"
+        path.write_text(
+            'name = "mini"\nrunner = "cew"\nrepetitions = 2\n'
+            "[params]\nthread_counts = [2]\n",
+            encoding="utf-8",
+        )
+        spec = load_spec(path)
+        assert spec.name == "mini"
+        assert spec.params["thread_counts"] == (2,)
+
+    def test_runner_defaults_to_name(self, tmp_path):
+        path = tmp_path / "cew.json"
+        path.write_text(json.dumps({"name": "cew"}), encoding="utf-8")
+        assert load_spec(path).runner == "cew"
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SpecValidationError, match="cannot parse"):
+            load_spec(path)
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: x", encoding="utf-8")
+        with pytest.raises(SpecValidationError, match="use .json or .toml"):
+            load_spec(path)
+
+    def test_every_builtin_validates(self):
+        for name in builtin_spec_names():
+            spec = builtin_spec(name)
+            spec.validate()  # must not raise
+            assert spec.repetitions >= 1
+
+
+def _scaled_view(aggregate, factor: float):
+    """A BenchView with every throughput value scaled by ``factor``."""
+    document = render_bench_document(aggregate)
+    for series in document["series"]:
+        for point in series["points"]:
+            payload = point["metrics"].get("throughput")
+            if payload is None:
+                continue
+            values = [v * factor for v in payload["values"]]
+            mean = sum(values) / len(values)
+            payload["values"] = values
+            payload["mean"] = mean
+            payload["min"] = min(values)
+            payload["max"] = max(values)
+    return load_bench_document(document)
+
+
+class TestDiffGate:
+    """Acceptance criterion: the gate fails on an injected slowdown and
+    passes on noise-level jitter."""
+
+    @pytest.fixture(scope="class")
+    def aggregate(self):
+        # 5 repetitions keep the throughput CI tight enough (t(4)=2.776,
+        # se ~ s/sqrt(5)) that a 30 % slowdown separates from the noise.
+        return run_spec(
+            tiny_spec(
+                repetitions=5,
+                params={
+                    "binding": "txn",
+                    "schedule": "baseline",
+                    "thread_counts": (2,),
+                    "properties": {"recordcount": "24", "operationcount": "240"},
+                },
+            )
+        )
+
+    def test_identical_runs_pass(self, aggregate):
+        view = load_bench_document(render_bench_document(aggregate))
+        result = compare_views(view, view)
+        assert result.passed
+        assert not result.regressions
+
+    def test_injected_slowdown_fails(self, aggregate):
+        baseline = load_bench_document(render_bench_document(aggregate))
+        slowed = _scaled_view(aggregate, 0.70)  # 30 % throughput drop
+        result = compare_views(baseline, slowed)
+        assert not result.passed
+        reasons = [delta.reason for delta in result.regressions]
+        assert any("CIs disjoint" in reason for reason in reasons)
+        assert "FAIL" in result.render()
+
+    def test_noise_level_jitter_passes(self, aggregate):
+        baseline = load_bench_document(render_bench_document(aggregate))
+        jittered = _scaled_view(aggregate, 0.995)  # 0.5 % wiggle
+        result = compare_views(baseline, jittered)
+        assert result.passed
+
+    def test_speedup_is_improvement_not_regression(self, aggregate):
+        baseline = load_bench_document(render_bench_document(aggregate))
+        faster = _scaled_view(aggregate, 1.40)
+        result = compare_views(baseline, faster)
+        assert result.passed
+        assert result.improvements
+
+    def test_disjoint_but_tiny_effect_passes(self, aggregate):
+        baseline = load_bench_document(render_bench_document(aggregate))
+        nudged = _scaled_view(aggregate, 0.97)  # 3 % < 5 % min effect
+        result = compare_views(baseline, nudged, min_effect=0.05)
+        # Either the CIs overlap (noise) or the effect is below min_effect;
+        # both must pass the gate.
+        assert result.passed
+
+    def test_different_experiments_refuse_to_diff(self, aggregate):
+        view = load_bench_document(render_bench_document(aggregate))
+        other = load_bench_document({"experiment": "something-else"})
+        with pytest.raises(ValueError, match="cannot diff different"):
+            compare_views(view, other)

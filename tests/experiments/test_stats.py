@@ -1,0 +1,187 @@
+"""Unit and property tests for the repetition-statistics module."""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    T_TABLE_95,
+    SampleStats,
+    merge,
+    percentile,
+    summarize,
+    t_critical_95,
+)
+from repro.measurements.histogram import nearest_rank
+
+
+class TestTTable:
+    def test_known_critical_values(self):
+        """Spot checks against the standard two-sided 95 % t table."""
+        assert t_critical_95(1) == 12.706
+        assert t_critical_95(2) == 4.303
+        assert t_critical_95(5) == 2.571
+        assert t_critical_95(10) == 2.228
+        assert t_critical_95(30) == 2.042
+        assert t_critical_95(120) == 1.980
+
+    def test_limit_is_normal_z(self):
+        assert t_critical_95(121) == 1.960
+        assert t_critical_95(10_000) == 1.960
+
+    def test_between_rows_is_conservative(self):
+        """df between tabulated rows uses the next lower df (wider CI)."""
+        assert t_critical_95(35) == T_TABLE_95[30]
+        assert t_critical_95(100) == T_TABLE_95[60]
+
+    def test_monotone_decreasing(self):
+        values = [t_critical_95(df) for df in range(1, 200)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_zero_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestSummarize:
+    def test_matches_statistics_module(self):
+        values = [3.0, 1.5, 4.25, 0.5, 2.0]
+        stats = summarize(values)
+        assert stats.n == 5
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.stddev == pytest.approx(statistics.stdev(values))
+        assert stats.min == 0.5
+        assert stats.max == 4.25
+
+    def test_single_value_has_no_variance_information(self):
+        stats = summarize([7.0])
+        assert stats.n == 1
+        assert stats.stddev is None
+        assert stats.ci95 is None
+        assert stats.ci95_interval is None
+
+    def test_constant_sample_zero_width_ci(self):
+        stats = summarize([5.0] * 4)
+        assert stats.stddev == 0.0
+        assert stats.ci95 == 0.0
+        assert stats.ci95_interval == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_formula(self):
+        """ci95 = t(n-1) * s / sqrt(n), verified by hand for n=3."""
+        stats = summarize([10.0, 12.0, 14.0])
+        expected = 4.303 * statistics.stdev([10.0, 12.0, 14.0]) / math.sqrt(3)
+        assert stats.ci95 == pytest.approx(expected)
+
+
+class TestCiShrinksWithN:
+    def test_ci_width_shrinks_like_inverse_sqrt_n(self):
+        """On seeded gaussian data, CI half-width ~ 1/sqrt(N).
+
+        Uses matched t factors to isolate the 1/sqrt(N) term; the sample
+        stddev converges, so width(4N)/width(N) -> 1/2 up to noise.
+        """
+        rng = random.Random(424242)
+        small_n, big_n = 30, 480  # factor 16 => width ratio ~ 1/4
+        big = [rng.gauss(100.0, 10.0) for _ in range(big_n)]
+        small = big[:small_n]
+        width_small = summarize(small).ci95
+        width_big = summarize(big).ci95
+        ratio = width_big / width_small
+        expected = math.sqrt(small_n / big_n)  # 0.25
+        # stddev estimates differ between the windows; allow 30 % slack.
+        assert ratio == pytest.approx(expected, rel=0.30)
+
+    def test_more_repetitions_narrow_the_interval(self):
+        rng = random.Random(7)
+        values = [rng.gauss(50.0, 5.0) for _ in range(256)]
+        widths = [summarize(values[:n]).ci95 for n in (4, 16, 64, 256)]
+        assert all(b < a for a, b in zip(widths, widths[1:]))
+
+
+class TestMerge:
+    def test_merge_equals_pooled_computation(self):
+        xs = [1.0, 2.5, 3.25]
+        ys = [10.0, 11.5, 9.75, 12.0]
+        merged = merge(summarize(xs), summarize(ys))
+        pooled = summarize(xs + ys)
+        assert merged.n == pooled.n
+        assert merged.mean == pytest.approx(pooled.mean)
+        assert merged.m2 == pytest.approx(pooled.m2)
+        assert merged.min == pooled.min
+        assert merged.max == pooled.max
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        xs=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1
+        ),
+        ys=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1
+        ),
+    )
+    def test_merge_equals_pooled_property(self, xs, ys):
+        merged = merge(summarize(xs), summarize(ys))
+        pooled = summarize(xs + ys)
+        assert merged.n == pooled.n
+        assert merged.mean == pytest.approx(pooled.mean, rel=1e-9, abs=1e-6)
+        assert merged.m2 == pytest.approx(pooled.m2, rel=1e-6, abs=1e-3)
+        assert merged.min == pooled.min
+        assert merged.max == pooled.max
+
+    def test_merge_with_empty_side(self):
+        stats = summarize([1.0, 2.0])
+        empty = SampleStats(n=0, mean=0.0, m2=0.0, min=math.inf, max=-math.inf)
+        assert merge(stats, empty) is stats
+        assert merge(empty, stats) is stats
+
+    def test_merge_is_associative_enough(self):
+        a, b, c = [1.0, 2.0], [30.0, 31.0, 29.0], [5.5]
+        left = merge(merge(summarize(a), summarize(b)), summarize(c))
+        right = merge(summarize(a), merge(summarize(b), summarize(c)))
+        assert left.mean == pytest.approx(right.mean)
+        assert left.m2 == pytest.approx(right.m2)
+
+
+class TestPercentileNearestRank:
+    def test_interacts_with_measurement_nearest_rank(self):
+        """The stats percentile and the histogram layer agree on ranks."""
+        values = list(range(1, 11))  # 1..10
+        for fraction in (0.5, 0.90, 0.95, 0.99, 1.0):
+            rank = nearest_rank(fraction, len(values))
+            assert percentile(values, fraction) == float(values[rank - 1])
+
+    def test_p95_of_ten_samples_is_the_tenth(self):
+        # ceil(0.95 * 10) = 10: the regression the measurement layer
+        # fixed in PR 2 (round() would pick the 9th).
+        assert percentile(list(range(1, 11)), 0.95) == 10.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), min_size=1
+        ),
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_percentile_is_a_member_and_bounded(self, values, fraction):
+        result = percentile(values, fraction)
+        assert result in [float(v) for v in values]
+        assert min(values) <= result <= max(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
