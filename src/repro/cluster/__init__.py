@@ -1,0 +1,27 @@
+"""Multi-node shard cluster with cross-shard two-phase commit.
+
+The web-scale deployment shape of the benchmark: N HTTP key-value shard
+servers behind a client-side consistent-hash shard map, raw operations
+routed per key with per-shard bulk-load fan-out, and transactions
+spanning shards via two-phase commit — participant-side prepare, a
+TSR commit point compatible with every single-node recovery path, and a
+coordinator WAL enabling redo→undo recovery after coordinator death.
+"""
+
+from .cluster import ShardCluster
+from .participant import TwoPCParticipant
+from .router import ShardRoutedStore
+from .twopc import ParticipantClient, TwoPCManager, TwoPCTransaction, recover_coordinator
+from .wal import CoordinatorWAL, WalTxn
+
+__all__ = [
+    "ShardCluster",
+    "TwoPCParticipant",
+    "ShardRoutedStore",
+    "ParticipantClient",
+    "TwoPCManager",
+    "TwoPCTransaction",
+    "recover_coordinator",
+    "CoordinatorWAL",
+    "WalTxn",
+]

@@ -1,0 +1,219 @@
+"""Multi-node shard cluster: N HTTP shard servers plus the client stack.
+
+:class:`ShardCluster` is the one-call deployment used by tests, the
+``ycsbt cluster`` campaign and the ``shard_scaling`` experiment: it
+launches one :class:`~repro.http.server.KVStoreHTTPServer` per shard
+(each with a :class:`~repro.cluster.participant.TwoPCParticipant`
+attached), wires every participant to its peers, and exposes the two
+client-side views —
+
+* :meth:`router` — a :class:`~repro.cluster.router.ShardRoutedStore`
+  for raw routed reads/writes and per-shard bulk loads;
+* :meth:`manager` — a :class:`~repro.cluster.twopc.TwoPCManager` running
+  cross-shard two-phase commit over the same shard map.
+
+Failure injection mirrors a real node kill: :meth:`kill_shard` flips the
+server into the crashed state (port bound, every connection dropped
+responseless) and :meth:`restart_shard` revives it with a **fresh**
+participant — the durable store survives, the volatile prepared table
+does not, which is exactly the state 2PC recovery must handle.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections.abc import Callable
+from pathlib import Path
+
+from ..core.retry import RetryPolicy
+from ..kvstore.base import KeyValueStore
+from ..kvstore.memory import InMemoryKVStore
+from ..kvstore.sharded import ConsistentHashRing
+from ..http.client import HttpKVStore
+from ..http.server import KVStoreHTTPServer
+from ..recovery.scavenger import TxnScavenger
+from .participant import TwoPCParticipant
+from .router import ShardRoutedStore
+from .twopc import ParticipantClient, TwoPCManager
+from .wal import CoordinatorWAL
+
+__all__ = ["ShardCluster"]
+
+
+class ShardCluster:
+    """Launches and manages ``shard_count`` HTTP shard servers.
+
+    Args:
+        shard_count: number of shards (named ``shard0..shardN-1``).
+        store_factory: builds each shard's durable store; defaults to
+            :class:`~repro.kvstore.memory.InMemoryKVStore`.  Called with
+            the shard name (e.g. to derive per-shard data directories).
+        replicas: virtual nodes per shard on the hash ring.
+        lock_lease_ms: lock lease for participants and coordinators —
+            campaigns shrink it so presumed-dead recovery happens inside
+            a test budget.
+        wal_dir: directory for coordinator WALs; a temp dir by default.
+        retry_policy_factory: builds the per-client retry policy for the
+            coordinator's shard clients (None = no transport retries).
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        store_factory: Callable[[str], KeyValueStore] | None = None,
+        replicas: int = 32,
+        lock_lease_ms: float = 1000.0,
+        wal_dir: str | Path | None = None,
+        retry_policy_factory: Callable[[], RetryPolicy] | None = None,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        factory = store_factory or (lambda name: InMemoryKVStore())
+        self.shard_names = [f"shard{i}" for i in range(shard_count)]
+        self.replicas = replicas
+        self.lock_lease_ms = lock_lease_ms
+        self._retry_factory = retry_policy_factory
+        self._wal_dir = Path(wal_dir) if wal_dir else Path(tempfile.mkdtemp(prefix="twopc-wal-"))
+        self._wal_count = 0
+        self._closables: list[HttpKVStore] = []
+
+        self.stores: dict[str, KeyValueStore] = {
+            name: factory(name) for name in self.shard_names
+        }
+        self.servers: dict[str, KVStoreHTTPServer] = {}
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "ShardCluster":
+        """Bind and start every shard server, then wire participants.
+
+        Two passes because participants need peer *addresses*: servers
+        start first (ports are assigned at bind), then each shard gets a
+        participant holding HTTP clients to every other shard.
+        """
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for name in self.shard_names:
+            server = KVStoreHTTPServer(self.stores[name])
+            server.start()
+            self.servers[name] = server
+        for name in self.shard_names:
+            self.servers[name].revive(participant=self._build_participant(name))
+        self._started = True
+        return self
+
+    def _build_participant(self, name: str) -> TwoPCParticipant:
+        peers = {
+            peer: self._client(peer)
+            for peer in self.shard_names
+            if peer != name
+        }
+        return TwoPCParticipant(
+            name,
+            self.stores[name],
+            peers=peers,
+            lock_lease_ms=self.lock_lease_ms,
+        )
+
+    def _client(self, name: str, retry_policy: RetryPolicy | None = None) -> HttpKVStore:
+        client = HttpKVStore(self.servers[name].address, retry_policy=retry_policy)
+        self._closables.append(client)
+        return client
+
+    def stop(self) -> None:
+        for server in self.servers.values():
+            server.stop()
+        for client in self._closables:
+            client.close()
+        self._closables.clear()
+        self.servers.clear()
+        self._started = False
+
+    def __enter__(self) -> "ShardCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- client-side views ------------------------------------------------------------
+
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        return {name: server.address for name, server in self.servers.items()}
+
+    def ring(self) -> ConsistentHashRing:
+        return ConsistentHashRing(list(self.shard_names), replicas=self.replicas)
+
+    def router(self) -> ShardRoutedStore:
+        """A fresh routed raw-store client over every shard."""
+        self._require_started()
+        shards = {name: self._client(name, self._new_retry_policy()) for name in self.shard_names}
+        return ShardRoutedStore(shards, ring=self.ring())
+
+    def manager(self, client_id: str | None = None, **kwargs) -> TwoPCManager:
+        """A fresh 2PC coordinator over every shard, with its own WAL.
+
+        Each coordinator is an independent client process in the model,
+        so each gets a distinct WAL file; ``recover_with`` re-attaches a
+        new coordinator to a dead one's log.
+        """
+        self._require_started()
+        self._wal_count += 1
+        wal = CoordinatorWAL(self._wal_dir / f"coordinator-{self._wal_count}.jsonl")
+        return self.manager_for_wal(wal, client_id=client_id, **kwargs)
+
+    def manager_for_wal(
+        self, wal: CoordinatorWAL, client_id: str | None = None, **kwargs
+    ) -> TwoPCManager:
+        """A coordinator bound to an explicit WAL (restart-after-crash)."""
+        self._require_started()
+        shards = {
+            name: self._client(name, self._new_retry_policy())
+            for name in self.shard_names
+        }
+        participants = {
+            name: ParticipantClient(shards[name]) for name in self.shard_names
+        }
+        kwargs.setdefault("lock_lease_ms", self.lock_lease_ms)
+        return TwoPCManager(
+            shards,
+            participants,
+            wal,
+            ring=self.ring(),
+            client_id=client_id,
+            **kwargs,
+        )
+
+    def scavenger(self, manager: TwoPCManager | None = None) -> TxnScavenger:
+        """An eager recovery pass over every shard (via a coordinator view)."""
+        return TxnScavenger(manager if manager is not None else self.manager())
+
+    def _new_retry_policy(self) -> RetryPolicy | None:
+        return self._retry_factory() if self._retry_factory else None
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("cluster not started; use start() or a with-block")
+
+    # -- failure injection --------------------------------------------------------------
+
+    def kill_shard(self, name: str) -> None:
+        """Crash a shard server: port stays bound, connections drop dead.
+
+        The participant's prepared table is still referenced by the dead
+        server object but unreachable — exactly a process whose memory is
+        gone for every purpose but forensics.
+        """
+        self.servers[name].mark_crashed()
+
+    def restart_shard(self, name: str) -> None:
+        """Revive a crashed shard with a fresh participant.
+
+        The durable store carries over; the prepared-transaction table is
+        rebuilt empty, so in-doubt transactions on this shard are resolved
+        through the durable-state fallbacks (TSR lookup, lease expiry).
+        """
+        self.servers[name].revive(participant=self._build_participant(name))
+
+    def crashed_shards(self) -> list[str]:
+        return [name for name, server in self.servers.items() if server.crashed]

@@ -1,0 +1,242 @@
+"""Shard-side two-phase-commit participant.
+
+One :class:`TwoPCParticipant` lives behind each shard's HTTP server and
+handles the ``/txn/*`` verbs.  It layers on the existing client-side
+transaction machinery (:class:`~repro.txn.manager.ClientTransactionManager`)
+rather than inventing a second lock format: *prepare* installs the very
+same lock-with-staged-intent records a local transaction would, and the
+TSR on the primary shard remains the single commit point.  Everything the
+recovery stack already knows — lease expiry, roll-forward by TSR, the
+:class:`~repro.recovery.scavenger.TxnScavenger` — therefore works on a
+cluster unchanged.
+
+What moving prepare shard-side buys: the coordinator pays **one round
+trip per shard** per phase, instead of one per key (lock CAS loops run on
+the shard against its local store).  The participant registers each
+prepared transaction in a volatile table; a participant restart loses the
+table but not the locks, and the fallback paths (``commit``/``abort``
+with an unknown txid, plus :meth:`TwoPCParticipant.expire`) resolve those
+locks from durable state alone.
+
+Names are load-bearing: the participant registers *its own shard name*
+against its **local** store and every peer against an HTTP client, so a
+lock primary of ``"shard2:user41"`` routes TSR reads to shard2 whether
+the reader is shard2 itself (a local call) or any other shard (one HTTP
+hop) — the same code path either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+from ..kvstore.base import Fields, KeyValueStore, StoreError
+from ..recovery.crashpoints import crashpoint
+from ..txn.base import TxState
+from ..txn.manager import TSR_PREFIX, ClientTransaction, ClientTransactionManager
+from ..txn.record import TxRecord
+
+__all__ = ["TwoPCParticipant"]
+
+
+class TwoPCParticipant:
+    """Prepare/commit/abort handler for one shard of a 2PC cluster.
+
+    Args:
+        shard_name: this shard's name in the cluster's shard map; must
+            match what coordinators use, because it is baked into lock
+            primaries ("<shard>:<key>") and routes TSR lookups.
+        store: the shard's durable local store.
+        peers: shard name -> client store for every *other* shard (HTTP
+            clients in a real cluster); used only to read/arbitrate TSRs
+            on other shards during lock resolution.
+        lock_lease_ms: lease granted to locks installed here; after it
+            expires any peer may presume the transaction dead.
+    """
+
+    def __init__(
+        self,
+        shard_name: str,
+        store: KeyValueStore,
+        peers: Mapping[str, KeyValueStore] | None = None,
+        lock_lease_ms: float = 1000.0,
+    ):
+        stores: dict[str, KeyValueStore] = {shard_name: store}
+        for name, peer in (peers or {}).items():
+            if name == shard_name:
+                continue
+            stores[name] = peer
+        self._shard = shard_name
+        self._store = store
+        self._manager = ClientTransactionManager(
+            stores,
+            default_store=shard_name,
+            lock_lease_ms=lock_lease_ms,
+            client_id=f"part-{shard_name}",
+        )
+        self._table_lock = threading.Lock()
+        #: volatile prepared-transaction table: txid -> transaction.
+        self._prepared: dict[str, ClientTransaction] = {}
+
+    @property
+    def shard_name(self) -> str:
+        return self._shard
+
+    @property
+    def manager(self) -> ClientTransactionManager:
+        """The shard-local manager (for stats and tests)."""
+        return self._manager
+
+    def prepared_count(self) -> int:
+        with self._table_lock:
+            return len(self._prepared)
+
+    # -- phase 1 -----------------------------------------------------------------
+
+    def prepare(
+        self,
+        txid: str,
+        start_ts: int,
+        primary: str,
+        writes: Mapping[str, Fields | None],
+    ) -> dict:
+        """Vote on a transaction: install its locks + staged intents.
+
+        Idempotent — a coordinator replaying a prepare whose response was
+        lost finds its own locks already installed (the acquire loop
+        recognises the txid) and gets the same yes vote back.  A conflict
+        raises :class:`~repro.txn.errors.TransactionConflict`, which the
+        HTTP layer turns into a 409 no-vote; locks taken so far are
+        released before raising, so a no-vote leaves no residue.
+        """
+        if not writes:
+            return {"vote": "yes", "locked": 0}
+        with self._table_lock:
+            tx = self._prepared.get(txid)
+            if tx is None:
+                tx = ClientTransaction(self._manager, txid, start_ts)
+                self._prepared[txid] = tx
+        tx._writes.update(
+            {
+                (self._shard, key): (dict(fields) if fields is not None else None)
+                for key, fields in writes.items()
+            }
+        )
+        try:
+            for address in sorted(tx._writes):
+                tx._acquire_lock(address, primary)
+        except Exception:
+            # Plain failures (conflict, store error) release cleanly; a
+            # CrashError is a BaseException and deliberately skips this —
+            # a dead process performs no cleanup.
+            tx._rollback_locks()
+            with self._table_lock:
+                self._prepared.pop(txid, None)
+            raise
+        return {"vote": "yes", "locked": len(tx._writes)}
+
+    # -- phase 2 -----------------------------------------------------------------
+
+    def commit(self, txid: str, commit_ts: int, keys: list[str]) -> dict:
+        """Apply a decided commit to this shard's share of the write set.
+
+        With the prepared transaction still in the table this is a direct
+        apply.  After a participant restart (table lost) it falls back to
+        lock *resolution*: each named key's lock is resolved against the
+        TSR, which rolls the staged intent forward — same outcome, driven
+        purely from durable state.
+        """
+        with self._table_lock:
+            tx = self._prepared.pop(txid, None)
+        if tx is not None:
+            applied = 0
+            for address in sorted(tx._writes):
+                tx._apply_commit(address, commit_ts)
+                applied += 1
+                if applied == 1:
+                    # Die with the commit decided, this shard part-applied
+                    # and the ack unsent: the TSR must finish the job.
+                    crashpoint("twopc.mid_participant_commit")
+            tx.state = TxState.COMMITTED
+            return {"applied": applied, "resolved": 0}
+        return {"applied": 0, "resolved": self._resolve_keys(keys)}
+
+    def abort(self, txid: str, keys: list[str]) -> dict:
+        """Roll back this shard's share of an aborted transaction."""
+        with self._table_lock:
+            tx = self._prepared.pop(txid, None)
+        if tx is not None:
+            released = len(tx._held_locks)
+            tx._rollback_locks()
+            tx.state = TxState.ABORTED
+            return {"released": released, "resolved": 0}
+        return {"released": 0, "resolved": self._resolve_keys(keys)}
+
+    def _resolve_keys(self, keys: list[str]) -> int:
+        resolved = 0
+        for key in keys:
+            try:
+                if self._manager.resolve_lock(self._store, key):
+                    resolved += 1
+            except StoreError:
+                pass  # a later pass (or the scavenger) retries
+        return resolved
+
+    # -- timeout-abort -----------------------------------------------------------
+
+    def expire(self) -> dict:
+        """Resolve every expired lock on this shard (participant janitor).
+
+        The shard-local flavour of scavenging: scan own keys, and for each
+        lock whose lease has lapsed run the manager's resolution — consult
+        the TSR (over HTTP when the primary is a peer shard), roll forward
+        if committed, arbitrate an abort otherwise.  Locks with live
+        leases are left alone; their owner is still deciding.
+        """
+        scanned = 0
+        resolved = 0
+        now_us = self._manager._now_us()
+        for key in list(self._store.keys()):
+            if key.startswith(TSR_PREFIX):
+                continue
+            scanned += 1
+            versioned = self._store.get_with_meta(key)
+            if versioned is None:
+                continue
+            try:
+                record = TxRecord.decode(versioned.value)
+            except ValueError:
+                continue  # raw key, not transactional
+            lock = record.lock
+            if lock is None or lock.lease_expiry_us >= now_us:
+                continue
+            try:
+                if self._manager.resolve_lock(self._store, key):
+                    resolved += 1
+            except StoreError:
+                pass
+        # Drop table entries whose locks are all gone (aborted by peers):
+        # a prepared transaction with zero surviving locks can never
+        # commit, and keeping it would leak the table.
+        with self._table_lock:
+            stale = [
+                txid
+                for txid, tx in self._prepared.items()
+                if not any(self._holds_lock(address, txid) for address in tx._writes)
+            ]
+            for txid in stale:
+                self._prepared.pop(txid, None)
+        return {"scanned": scanned, "resolved": resolved, "dropped": len(stale)}
+
+    def _holds_lock(self, address: tuple[str, str], txid: str) -> bool:
+        try:
+            versioned = self._store.get_with_meta(address[1])
+        except StoreError:
+            return True  # can't tell; keep the entry
+        if versioned is None:
+            return False
+        try:
+            record = TxRecord.decode(versioned.value)
+        except ValueError:
+            return False
+        return record.lock is not None and record.lock.txid == txid

@@ -1,0 +1,155 @@
+"""Client-side shard router: one KeyValueStore facade over many shards.
+
+:class:`ShardRoutedStore` is the cluster's *raw* (non-transactional) data
+path: a consistent-hash shard map routes every single-key operation to
+the owning shard, ``put_batch`` fans a record list out **per shard** — one
+``POST /batch`` round trip per shard instead of one per record — and
+scans merge the per-shard ranges back into one ordered stream.
+
+It implements the full :class:`~repro.kvstore.base.KeyValueStore`
+contract, so workloads, bindings, wrappers (batching, retry, crashpoint)
+and the benchmark harness all run against a cluster unchanged.  The shard
+map is fixed for the router's lifetime — live resharding lives in
+:class:`~repro.kvstore.sharded.ShardedKVStore`; a router is a *client* of
+a static cluster topology.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator, Mapping, Sequence
+
+from ..kvstore.base import Fields, KeyValueStore, VersionedValue
+from ..kvstore.sharded import ConsistentHashRing
+
+__all__ = ["ShardRoutedStore"]
+
+
+class ShardRoutedStore(KeyValueStore):
+    """Routes operations across a fixed set of shard stores.
+
+    Args:
+        shards: shard name -> store client.  Any KeyValueStore works;
+            in a live cluster these are :class:`~repro.http.client.
+            HttpKVStore` instances.
+        replicas: virtual nodes per shard on the hash ring.
+        ring: share an existing ring (e.g. the coordinator's) instead of
+            building one — keeps router and transaction routing in exact
+            agreement.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, KeyValueStore],
+        replicas: int = 32,
+        ring: ConsistentHashRing | None = None,
+    ):
+        if not shards:
+            raise ValueError("at least one shard is required")
+        self._shards = dict(shards)
+        self._ring = ring or ConsistentHashRing(sorted(self._shards), replicas=replicas)
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    @property
+    def shards(self) -> dict[str, KeyValueStore]:
+        return dict(self._shards)
+
+    def shard_for(self, key: str) -> tuple[str, KeyValueStore]:
+        """(name, store) of the shard owning ``key``."""
+        name = self._ring.owner(key)
+        return name, self._shards[name]
+
+    # -- single-key operations (routed) -------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self.shard_for(key)[1].get_with_meta(key)
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        return self.shard_for(key)[1].put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        return self.shard_for(key)[1].put_if_version(key, value, expected_version)
+
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        return self.shard_for(key)[1].put_versioned(key, versioned)
+
+    def delete(self, key: str) -> bool:
+        return self.shard_for(key)[1].delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        return self.shard_for(key)[1].delete_if_version(key, expected_version)
+
+    # -- bulk load (per-shard fan-out) ---------------------------------------------
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        """Group records by owning shard; one bulk write per shard.
+
+        Returns versions in the order of ``records`` whatever the grouping
+        was, matching the contract of every other ``put_batch``.
+        """
+        records = list(records)
+        grouped: dict[str, list[tuple[int, str, Mapping[str, str]]]] = {}
+        for position, (key, fields) in enumerate(records):
+            grouped.setdefault(self._ring.owner(key), []).append(
+                (position, key, fields)
+            )
+        versions = [0] * len(records)
+        for shard_name, group in grouped.items():
+            shard = self._shards[shard_name]
+            chunk = [(key, fields) for _, key, fields in group]
+            batched = getattr(shard, "put_batch", None)
+            if callable(batched):
+                results = batched(chunk)
+            else:
+                results = [shard.put(key, fields) for key, fields in chunk]
+            for (position, _, _), version in zip(group, results):
+                versions[position] = version
+        return versions
+
+    # -- cluster-wide reads ----------------------------------------------------------
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        """Merge per-shard ordered ranges into one global ordered range.
+
+        Every shard can contribute up to ``record_count`` records to the
+        window, so each is asked for that many; the k-way merge then keeps
+        the first ``record_count`` overall.
+        """
+        if record_count <= 0:
+            return []
+        per_shard = [
+            shard.scan(start_key, record_count) for shard in self._shards.values()
+        ]
+        merged = heapq.merge(*per_shard, key=lambda pair: pair[0])
+        return [pair for _, pair in zip(range(record_count), merged)]
+
+    def keys(self) -> Iterator[str]:
+        for shard in self._shards.values():
+            yield from shard.keys()
+
+    def size(self) -> int:
+        return sum(shard.size() for shard in self._shards.values())
+
+    def counters(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self._shards.values():
+            counters_fn = getattr(shard, "counters", None)
+            if callable(counters_fn):
+                for name, value in counters_fn().items():
+                    totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def clear(self) -> None:
+        for shard in self._shards.values():
+            shard.clear()
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.close()

@@ -1,0 +1,439 @@
+"""Cross-shard two-phase commit: coordinator side.
+
+:class:`TwoPCManager` is a :class:`~repro.txn.manager.
+ClientTransactionManager` whose named stores are the cluster's shards
+(HTTP clients) and whose transactions commit through participant RPCs:
+
+1. ``BEGIN`` is logged to the coordinator WAL (write set included);
+2. phase 1 — one ``/txn/prepare`` per shard installs that shard's locks
+   and staged intents *server-side* (one round trip per shard, however
+   many keys it owns);
+3. the commit point is unchanged from the single-node protocol: an
+   insert-if-absent TSR on the primary shard.  This is what keeps every
+   existing recovery path — reader lock resolution, lease expiry,
+   :class:`~repro.recovery.scavenger.TxnScavenger` — valid for cluster
+   transactions;
+4. the decision is logged to the WAL **before any participant applies**;
+5. phase 2 — one ``/txn/commit`` per shard rolls the staged intents
+   forward; the TSR is removed and ``COMPLETE`` logged once every shard
+   acknowledged.
+
+Crash recovery is redo→undo over the WAL (:func:`recover_coordinator`):
+decided-but-incomplete transactions are re-driven to their logged
+decision (redo); begun-but-undecided ones consult the TSR — committed
+means redo, otherwise an ``aborted`` TSR is arbitrated in and every
+prepared shard rolled back (undo, presumed abort).
+
+Key routing is automatic: a transaction write/read with no explicit store
+is routed to the shard owning the key per the cluster's consistent-hash
+ring, so workload code written for one store runs on a cluster untouched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections.abc import Mapping
+
+from ..kvstore.base import Fields, KeyValueStore, StoreError
+from ..kvstore.sharded import ConsistentHashRing
+from ..recovery.crashpoints import crashpoint
+from ..txn.base import TxState
+from ..txn.errors import TransactionAborted, TransactionConflict
+from ..txn.manager import ClientTransaction, ClientTransactionManager
+from .wal import CoordinatorWAL, WalTxn
+
+__all__ = ["ParticipantClient", "TwoPCManager", "TwoPCTransaction", "recover_coordinator"]
+
+
+class ParticipantClient:
+    """RPC stub for one shard's ``/txn/*`` endpoints.
+
+    Wraps the shard's :class:`~repro.http.client.HttpKVStore` (reusing its
+    connection pool and stale-socket replay).  A 409 is a vote of no /
+    conflict; transport failures surface as
+    :class:`~repro.kvstore.base.StoreUnavailable` for the coordinator to
+    interpret — an unreachable participant during phase 1 is a no-vote,
+    during phase 2 it is deferred work.
+    """
+
+    def __init__(self, client: KeyValueStore):
+        post = getattr(client, "post_json", None)
+        if not callable(post):
+            raise TypeError("participant client requires a store with post_json()")
+        self._client = client
+
+    def _post(self, verb: str, body: dict) -> tuple[int, dict | None]:
+        return self._client.post_json(f"/txn/{verb}", body)
+
+    def prepare(
+        self, txid: str, start_ts: int, primary: str, writes: Mapping[str, Fields | None]
+    ) -> bool:
+        """True on a yes vote, False on a conflict no-vote; raises on errors."""
+        status, document = self._post(
+            "prepare",
+            {
+                "txid": txid,
+                "start_ts": start_ts,
+                "primary": primary,
+                "writes": dict(writes),
+            },
+        )
+        if status == 200:
+            return True
+        if status == 409:
+            return False
+        raise StoreError(
+            f"prepare of {txid!r} failed with HTTP {status}: "
+            f"{(document or {}).get('error')}"
+        )
+
+    def commit(self, txid: str, commit_ts: int, keys: list[str]) -> dict:
+        status, document = self._post(
+            "commit", {"txid": txid, "commit_ts": commit_ts, "keys": keys}
+        )
+        if status != 200 or document is None:
+            raise StoreError(f"commit of {txid!r} failed with HTTP {status}")
+        return document
+
+    def abort(self, txid: str, keys: list[str]) -> dict:
+        status, document = self._post("abort", {"txid": txid, "keys": keys})
+        if status != 200 or document is None:
+            raise StoreError(f"abort of {txid!r} failed with HTTP {status}")
+        return document
+
+    def expire(self) -> dict:
+        status, document = self._post("expire", {})
+        if status != 200 or document is None:
+            raise StoreError(f"expire failed with HTTP {status}")
+        return document
+
+
+class TwoPCManager(ClientTransactionManager):
+    """Transaction manager coordinating 2PC across a shard cluster.
+
+    Args:
+        shards: shard name -> store client (HTTP clients against the
+            shard servers).  These double as the manager's named stores,
+            so snapshot reads and the scavenger reach shard data directly.
+        participants: shard name -> :class:`ParticipantClient` for the
+            2PC verbs.
+        wal: the coordinator's decision log.
+        ring: the shard map; defaults to a fresh ring over the shard
+            names, which matches clusters built by
+            :class:`~repro.cluster.cluster.ShardCluster`.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, KeyValueStore],
+        participants: Mapping[str, ParticipantClient],
+        wal: CoordinatorWAL,
+        ring: ConsistentHashRing | None = None,
+        **kwargs,
+    ):
+        super().__init__(dict(shards), **kwargs)
+        missing = set(shards) - set(participants)
+        if missing:
+            raise ValueError(f"shards without participants: {sorted(missing)}")
+        self._participants = dict(participants)
+        self.wal = wal
+        self.ring = ring or ConsistentHashRing(sorted(shards))
+        self._twopc_lock = threading.Lock()
+        self.twopc_counters: dict[str, int] = {
+            "prepares": 0,
+            "no_votes": 0,
+            "commits": 0,
+            "aborts": 0,
+            "redone": 0,
+            "undone": 0,
+        }
+
+    def _bump_twopc(self, counter: str, amount: int = 1) -> None:
+        with self._twopc_lock:
+            self.twopc_counters[counter] += amount
+
+    def participant(self, shard: str) -> ParticipantClient:
+        return self._participants[shard]
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` per the cluster's ring."""
+        return self.ring.owner(key)
+
+    def counters(self) -> dict[str, int]:
+        counters = super().counters()
+        with self._twopc_lock:
+            counters["TWOPC-PREPARES"] = self.twopc_counters["prepares"]
+            counters["TWOPC-NO-VOTES"] = self.twopc_counters["no_votes"]
+            counters["TWOPC-REDONE"] = self.twopc_counters["redone"]
+            counters["TWOPC-UNDONE"] = self.twopc_counters["undone"]
+        return counters
+
+    def begin(self) -> "TwoPCTransaction":
+        txid = f"{self._client_id}-{next(self._tx_counter)}"
+        self.stats.bump("begun")
+        return TwoPCTransaction(self, txid, self.clock.next_timestamp())
+
+
+class TwoPCTransaction(ClientTransaction):
+    """A cross-shard transaction committing via prepare/commit RPCs.
+
+    Reads are the inherited snapshot reads (over the shard HTTP clients,
+    with full lock resolution); only the commit path differs.
+    """
+
+    _manager: TwoPCManager
+
+    def _address(self, key: str, store: str | None):
+        # Route store-less operations by the shard map instead of a fixed
+        # default store — cluster transactions span shards transparently.
+        return super()._address(key, store or self._manager.owner(key))
+
+    def scan(
+        self, start_key: str, record_count: int, store: str | None = None
+    ) -> list[tuple[str, Fields]]:
+        """A store-less scan covers the whole cluster, not one shard.
+
+        Each shard's ordered range (with the inherited snapshot/lock
+        semantics) is merged k-way into one global range; an explicit
+        ``store`` keeps the single-shard behaviour.
+        """
+        if store is not None:
+            return super().scan(start_key, record_count, store=store)
+        single_shard = super().scan
+        per_shard = [
+            single_shard(start_key, record_count, store=name)
+            for name in self._manager.store_names()
+        ]
+        merged = heapq.merge(*per_shard, key=lambda pair: pair[0])
+        return [pair for _, pair in zip(range(record_count), merged)]
+
+    # -- commit -------------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        manager = self._manager
+        if not self._writes:
+            self.state = TxState.COMMITTED
+            manager.stats.bump("committed")
+            return
+        ordered = sorted(self._writes)
+        primary = self._primary_name(ordered)
+        groups: dict[str, dict[str, Fields | None]] = {}
+        for shard, key in ordered:
+            groups.setdefault(shard, {})[key] = self._writes[(shard, key)]
+        wal = manager.wal
+        wal.log_begin(self.txid, self.start_timestamp, primary, groups)
+
+        # Phase 1: collect votes, one RPC per shard.
+        prepared: list[str] = []
+        try:
+            for shard in sorted(groups):
+                manager._bump_twopc("prepares")
+                voted_yes = manager.participant(shard).prepare(
+                    self.txid, self.start_timestamp, primary, groups[shard]
+                )
+                if not voted_yes:
+                    manager._bump_twopc("no_votes")
+                    raise TransactionConflict(
+                        f"{self.txid}: shard {shard!r} voted no (conflict)"
+                    )
+                prepared.append(shard)
+        except (TransactionConflict, StoreError) as exc:
+            self._abort_decided(groups, prepared, tsr_may_exist=False)
+            self.state = TxState.ABORTED
+            manager.stats.bump("aborted")
+            if isinstance(exc, TransactionConflict):
+                manager.stats.bump("conflicts")
+                raise
+            raise TransactionAborted(
+                f"{self.txid}: aborted, a participant failed in phase 1 ({exc})"
+            ) from exc
+        crashpoint("twopc.after_prepare")
+
+        # Commit point: TSR insert on the primary shard (unchanged from
+        # the single-node protocol, so peers and the scavenger can decide
+        # this transaction's fate without the coordinator).
+        commit_ts = manager.clock.next_timestamp()
+        primary_shard = ordered[0][0]
+        tsr_store = manager.store(primary_shard)
+        tsr_key = manager._tsr_key(self.txid)
+        if not self._decide_commit(tsr_store, tsr_key, commit_ts):
+            # A peer presumed us dead and arbitrated an abort first.
+            self._abort_decided(groups, prepared, tsr_may_exist=True)
+            self.state = TxState.ABORTED
+            manager.stats.bump("aborted")
+            manager.stats.bump("recovery_aborts")
+            raise TransactionAborted(f"{self.txid}: aborted by peer recovery")
+
+        # Decision durable before any participant applies: a coordinator
+        # death from here on is redo-able from the WAL alone.
+        wal.log_decision(self.txid, "commit", commit_ts)
+        crashpoint("twopc.after_decision_logged")
+
+        # Phase 2: roll the staged intents forward, one RPC per shard.
+        failures = 0
+        for shard in sorted(groups):
+            try:
+                manager.participant(shard).commit(
+                    self.txid, commit_ts, sorted(groups[shard])
+                )
+            except StoreError:
+                failures += 1
+        if failures:
+            # Committed regardless — the TSR and the WAL decision both
+            # say so; the unapplied shards are scavenger/redo work.  The
+            # WAL entry stays incomplete so recovery re-drives them.
+            manager.stats.bump("post_commit_failures", failures)
+        else:
+            tsr_removed = True
+            try:
+                manager._call(lambda: tsr_store.delete(tsr_key))
+            except StoreError:
+                tsr_removed = False
+                manager.stats.bump("post_commit_failures")
+            if tsr_removed:
+                wal.log_complete(self.txid)
+        manager._bump_twopc("commits")
+        self.state = TxState.COMMITTED
+        manager.stats.bump("committed")
+
+    def _abort_decided(
+        self,
+        groups: dict[str, dict[str, Fields | None]],
+        prepared: list[str],
+        tsr_may_exist: bool,
+    ) -> None:
+        """Drive the abort decision durably and release prepared shards.
+
+        The ``aborted`` TSR is written *before* participant aborts so
+        that a participant which lost its prepared table (restarted) can
+        still resolve the locks decisively instead of waiting out leases.
+        """
+        manager = self._manager
+        manager._bump_twopc("aborts")
+        manager.wal.log_decision(self.txid, "abort")
+        tsr_store = manager.store(sorted(groups)[0])
+        tsr_key = manager._tsr_key(self.txid)
+        if not tsr_may_exist:
+            try:
+                manager._call(
+                    lambda: tsr_store.put_if_version(
+                        tsr_key, {"state": "aborted", "commit_ts": "0"}, None
+                    )
+                )
+            except StoreError:
+                pass  # leases still guarantee eventual rollback
+        for shard in prepared:
+            try:
+                manager.participant(shard).abort(self.txid, sorted(groups[shard]))
+            except StoreError:
+                pass  # shard unreachable; its locks expire and resolve
+        try:
+            manager._call(lambda: tsr_store.delete(tsr_key))
+        except StoreError:
+            pass  # orphan TSR; the scavenger removes it
+        manager.wal.log_complete(self.txid)
+
+
+def recover_coordinator(manager: TwoPCManager) -> dict[str, int]:
+    """Redo→undo recovery over the coordinator WAL after a restart.
+
+    * **Redo** — transactions with a logged ``commit`` decision but no
+      ``COMPLETE``: re-issue every participant commit (idempotent: shards
+      that already applied resolve to no-ops) and remove the TSR.
+    * **Undo** — transactions begun but never decided: consult the TSR on
+      the primary shard.  A committed TSR means the coordinator died
+      between the commit point and the decision record — redo.  Otherwise
+      arbitrate an ``aborted`` TSR in (insert-if-absent — racing peers
+      agree by construction) and roll every shard back: presumed abort.
+
+    Logged ``abort`` decisions re-drive the abort path.  Every handled
+    transaction gets a ``COMPLETE`` record unless a shard stayed
+    unreachable, in which case the entry remains in doubt for the next
+    recovery (or the scavenger) to finish.
+    """
+    summary = {"replayed": 0, "redone": 0, "undone": 0, "skipped": 0}
+    for entry in manager.wal.in_doubt():
+        summary["replayed"] += 1
+        decision = entry.decision
+        commit_ts = entry.commit_ts
+        if decision is None:
+            decision, commit_ts = _consult_tsr(manager, entry)
+        if decision == "commit":
+            if _redo_commit(manager, entry, commit_ts):
+                manager.wal.log_complete(entry.txid)
+                manager._bump_twopc("redone")
+                summary["redone"] += 1
+            else:
+                summary["skipped"] += 1
+        else:
+            if _redo_abort(manager, entry):
+                manager.wal.log_complete(entry.txid)
+                manager._bump_twopc("undone")
+                summary["undone"] += 1
+            else:
+                summary["skipped"] += 1
+    return summary
+
+
+def _tsr_location(manager: TwoPCManager, entry: WalTxn) -> tuple[KeyValueStore, str]:
+    primary_shard, _, _ = entry.primary.partition(":")
+    return manager.store(primary_shard), manager._tsr_key(entry.txid)
+
+
+def _consult_tsr(manager: TwoPCManager, entry: WalTxn) -> tuple[str, int]:
+    """Decide an undecided transaction: committed TSR wins, else abort."""
+    tsr_store, tsr_key = _tsr_location(manager, entry)
+    tsr = manager._call(lambda: tsr_store.get(tsr_key))
+    if tsr is not None and tsr.get("state") == "committed":
+        return "commit", int(tsr.get("commit_ts", "0"))
+    if tsr is None:
+        # Presumed abort: arbitrate our decision in.  Losing the race can
+        # only mean someone else decided; read what they decided.
+        created = manager._call(
+            lambda: tsr_store.put_if_version(
+                tsr_key, {"state": "aborted", "commit_ts": "0"}, None
+            )
+        )
+        if created is None:
+            tsr = manager._call(lambda: tsr_store.get(tsr_key))
+            if tsr is not None and tsr.get("state") == "committed":
+                return "commit", int(tsr.get("commit_ts", "0"))
+    return "abort", 0
+
+
+def _redo_commit(manager: TwoPCManager, entry: WalTxn, commit_ts: int) -> bool:
+    ok = True
+    for shard in sorted(entry.groups):
+        try:
+            manager.participant(shard).commit(
+                entry.txid, commit_ts, sorted(entry.groups[shard])
+            )
+        except (StoreError, KeyError):
+            ok = False
+    if ok:
+        tsr_store, tsr_key = _tsr_location(manager, entry)
+        try:
+            manager._call(lambda: tsr_store.delete(tsr_key))
+        except StoreError:
+            ok = False
+    return ok
+
+
+def _redo_abort(manager: TwoPCManager, entry: WalTxn) -> bool:
+    ok = True
+    for shard in sorted(entry.groups):
+        try:
+            manager.participant(shard).abort(
+                entry.txid, sorted(entry.groups[shard])
+            )
+        except (StoreError, KeyError):
+            ok = False
+    if ok:
+        tsr_store, tsr_key = _tsr_location(manager, entry)
+        try:
+            manager._call(lambda: tsr_store.delete(tsr_key))
+        except StoreError:
+            pass  # orphan abort TSR; scavenger cleanup
+    return ok

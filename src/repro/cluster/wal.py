@@ -1,0 +1,191 @@
+"""Coordinator write-ahead log for cross-shard two-phase commit.
+
+The coordinator of :mod:`repro.cluster.twopc` is a client process; when it
+dies mid-protocol the participants are left with prepared (locked) state
+and no one driving phase 2.  The lease/TSR machinery recovers such
+transactions *eventually*; the WAL makes recovery *prompt and directed*:
+a restarted coordinator replays its log and finishes exactly the
+transactions it left in doubt, instead of waiting for every lease to
+expire.
+
+Record stream (JSONL, one object per line):
+
+``{"type": "begin", "txid", "start_ts", "primary", "groups"}``
+    written before any prepare RPC; ``groups`` maps shard name to the
+    per-key staged fields (``null`` = delete intent) so redo can re-issue
+    participant RPCs without the original transaction object.
+``{"type": "decision", "txid", "decision": "commit"|"abort", "commit_ts"}``
+    for commits, written *after* the TSR insert (the true commit point)
+    and **before any participant applies** — so a decision in the log is
+    always authoritative, and an applied intent always has a logged (or
+    TSR-recoverable) decision behind it.
+``{"type": "complete", "txid"}``
+    phase 2 fully acknowledged and the TSR removed; recovery skips these.
+
+Replay tolerates a torn tail exactly like the LSM WAL: a half-written
+last record (no trailing newline / invalid JSON) is dropped, everything
+before it is kept.  Appends run through the ``wal.mid_append`` crashpoint
+so campaigns can tear this log on purpose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..recovery.crashpoints import crashpoint
+
+__all__ = ["CoordinatorWAL", "WalTxn"]
+
+
+@dataclass
+class WalTxn:
+    """Replay state of one logged transaction."""
+
+    txid: str
+    start_ts: int = 0
+    primary: str = ""
+    #: shard name -> {key: staged fields | None (delete)}.
+    groups: dict[str, dict[str, dict | None]] = field(default_factory=dict)
+    #: "commit" / "abort" once decided, None while in phase 1.
+    decision: str | None = None
+    commit_ts: int = 0
+    complete: bool = False
+
+
+class CoordinatorWAL:
+    """Append-only JSONL decision log, fsync'd per record."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._lock = threading.Lock()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._truncate_torn_tail()
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a half-written last record before appending after it.
+
+        Without this a post-crash append would glue the next record onto
+        the torn line, corrupting *both*.  Our write pattern guarantees a
+        torn record is exactly "no trailing newline", so cutting back to
+        the last newline is cutting back to the last complete record.
+        """
+        try:
+            raw = self._path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not raw or raw.endswith(b"\n"):
+            return
+        keep = raw.rfind(b"\n") + 1  # 0 when no newline at all
+        with open(self._path, "r+b") as sealed:
+            sealed.truncate(keep)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- appends ---------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        half = len(line) // 2
+        with self._lock:
+            self._file.write(line[:half])
+            self._file.flush()
+            # A crash here leaves a torn tail; replay drops it.
+            crashpoint("wal.mid_append")
+            self._file.write(line[half:])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def log_begin(
+        self,
+        txid: str,
+        start_ts: int,
+        primary: str,
+        groups: dict[str, dict[str, dict | None]],
+    ) -> None:
+        self._append(
+            {
+                "type": "begin",
+                "txid": txid,
+                "start_ts": start_ts,
+                "primary": primary,
+                "groups": groups,
+            }
+        )
+
+    def log_decision(self, txid: str, decision: str, commit_ts: int = 0) -> None:
+        if decision not in ("commit", "abort"):
+            raise ValueError(f"decision must be commit or abort, got {decision!r}")
+        self._append(
+            {"type": "decision", "txid": txid, "decision": decision, "commit_ts": commit_ts}
+        )
+
+    def log_complete(self, txid: str) -> None:
+        self._append({"type": "complete", "txid": txid})
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self) -> dict[str, WalTxn]:
+        """Every logged transaction, folded into its latest state.
+
+        Reads the file fresh (a restarted coordinator may replay a log it
+        did not write).  The only record allowed to be unparseable is the
+        last one — a torn tail; corruption earlier in the stream raises.
+        """
+        transactions: dict[str, WalTxn] = {}
+        with self._lock:
+            self._file.flush()
+        try:
+            raw = self._path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return transactions
+        lines = raw.split("\n")
+        # A well-formed file ends with "\n", so the final split element is
+        # empty; anything else is the torn tail and is dropped.
+        if lines and lines[-1] != "":
+            lines = lines[:-1]
+        body = [line for line in lines if line]
+        for position, line in enumerate(body):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if position == len(body) - 1:
+                    break  # torn tail without even a newline boundary
+                raise ValueError(
+                    f"corrupt coordinator WAL record at line {position + 1}"
+                ) from None
+            txid = record["txid"]
+            entry = transactions.setdefault(txid, WalTxn(txid))
+            kind = record["type"]
+            if kind == "begin":
+                entry.start_ts = int(record["start_ts"])
+                entry.primary = record["primary"]
+                entry.groups = {
+                    shard: dict(keys) for shard, keys in record["groups"].items()
+                }
+            elif kind == "decision":
+                entry.decision = record["decision"]
+                entry.commit_ts = int(record.get("commit_ts", 0))
+            elif kind == "complete":
+                entry.complete = True
+        return transactions
+
+    def in_doubt(self) -> list[WalTxn]:
+        """Transactions with work left: logged but never completed."""
+        return [entry for entry in self.replay().values() if not entry.complete]
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.close()
+
+    def __enter__(self) -> "CoordinatorWAL":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -21,6 +21,10 @@ Sub-commands:
   crashpoints mid-protocol, let lock leases expire, run the transaction
   scavenger, and re-validate the Closed Economy invariants; violating
   seeds emit the same replayable trace artifacts.
+* ``cluster`` — multi-shard campaign: run the CEW against N live HTTP
+  shard servers (raw operations routed by the shard map, transactions
+  committing via cross-shard 2PC), kill one shard mid-run, recover via
+  coordinator-WAL replay + scavenging, and re-validate.
 * ``exp`` — declarative experiments: ``exp run`` executes a spec
   (built-in name or JSON/TOML file) N times and aggregates every metric
   into mean / stddev / 95 % confidence intervals (the extended
@@ -281,6 +285,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip operation-interleaving capture (faster, artifacts carry "
         "no trace)",
+    )
+
+    from ..cluster.campaign import CLUSTER_BINDINGS
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="multi-shard cluster campaign: run CEW over N HTTP shards "
+        "with cross-shard 2PC, kill one shard mid-run, recover "
+        "(WAL replay + scavenge), re-validate",
+    )
+    cluster.add_argument(
+        "--shards",
+        action="append",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count to sweep (repeatable) [4]",
+    )
+    cluster.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds to sweep [3]"
+    )
+    cluster.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the sweep [0]"
+    )
+    cluster.add_argument(
+        "--db",
+        action="append",
+        choices=CLUSTER_BINDINGS,
+        default=None,
+        help="binding to sweep (repeatable) [raw and txn]",
+    )
+    cluster.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="run fault-free (no shard is killed mid-run)",
+    )
+    cluster.add_argument(
+        "-p",
+        "--property",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload property override (repeatable)",
+    )
+    cluster.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for violation artifacts (none written without it)",
     )
 
     exp = commands.add_parser(
@@ -676,6 +729,52 @@ def _crash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster(args: argparse.Namespace) -> int:
+    from ..cluster.campaign import run_cluster_campaign
+
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    overrides: dict[str, str] = {}
+    for pair in args.property:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"bad -p argument {pair!r}: expected KEY=VALUE")
+        overrides[key.strip()] = value.strip()
+    bindings = tuple(dict.fromkeys(args.db)) if args.db else ("raw", "txn")
+    shard_counts = tuple(dict.fromkeys(args.shards)) if args.shards else (4,)
+    if any(count < 1 for count in shard_counts):
+        raise SystemExit(f"--shards must be >= 1, got {shard_counts}")
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+
+    result = run_cluster_campaign(
+        seeds,
+        bindings=bindings,
+        shard_counts=shard_counts,
+        properties=overrides or None,
+        kill=not args.no_kill,
+        out_dir=args.out,
+        on_result=lambda run: print(run.summary_line(), file=sys.stderr),
+    )
+    print(result.summary())
+    for artifact in result.artifacts:
+        print(f"violation artifact: {artifact}")
+    # Same exit-code rule as `ycsbt crash`: the raw binding leaking money
+    # across a dead shard is the expected baseline; a transactional
+    # post-recovery violation means 2PC recovery broke its promise.
+    txn_violations = result.transactional_violations
+    if txn_violations:
+        seeds_hit = ", ".join(
+            f"{run.binding}/shards{run.shard_count}/{run.seed}"
+            for run in txn_violations
+        )
+        print(
+            f"error: post-recovery violation on {seeds_hit}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _exp(args: argparse.Namespace) -> int:
     from ..experiments import SpecValidationError
 
@@ -779,6 +878,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _sim(args)
     if args.command == "crash":
         return _crash(args)
+    if args.command == "cluster":
+        return _cluster(args)
     if args.command == "exp":
         return _exp(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -282,6 +282,9 @@ class RetryingStore(KeyValueStore):
             lambda: self._inner.put_if_version(key, value, expected_version)
         )
 
+    def put_versioned(self, key, versioned) -> bool:
+        return self._policy.call(lambda: self._inner.put_versioned(key, versioned))
+
     def delete(self, key: str) -> bool:
         return self._policy.call(lambda: self._inner.delete(key))
 

@@ -222,6 +222,166 @@ def run_cew_cell(
 
 
 # ---------------------------------------------------------------------------
+# The shard-scaling cell: CEW against a live multi-shard cluster
+# ---------------------------------------------------------------------------
+
+#: Per-shard request ceiling for the scaling cell.  Latency is kept tiny
+#: (the wire adds its own); the token bucket is what makes throughput a
+#: function of shard count — one shard plateaus at the bucket rate, N
+#: shards at N buckets, the paper's Fig. 2 plateau story scaled out.
+_SHARD_PROFILE_PARAMS = {
+    "name": "shard",
+    "read_median_s": 0.001,
+    "write_median_s": 0.0015,
+    "sigma": 0.25,
+    "requests_per_second": 400.0,
+    "burst": 32.0,
+    "reject_on_throttle": False,
+}
+
+_SHARD_SCALING_BINDINGS = ("raw", "txn")
+
+
+def _validate_shard_scaling_params(params: Mapping[str, object]) -> None:
+    shard_counts = params.get("shard_counts")
+    if shard_counts is not None:
+        if isinstance(shard_counts, str) or not isinstance(shard_counts, Sequence):
+            raise SpecValidationError(
+                f"shard_counts must be a sequence of ints, got {shard_counts!r}"
+            )
+        for count in shard_counts:
+            if not isinstance(count, int) or count < 1:
+                raise SpecValidationError(
+                    f"shard_counts entries must be ints >= 1, got {count!r}"
+                )
+    bindings = params.get("bindings")
+    if bindings is not None:
+        if isinstance(bindings, str) or not isinstance(bindings, Sequence):
+            raise SpecValidationError(
+                f"bindings must be a sequence of binding names, got {bindings!r}"
+            )
+        for binding in bindings:
+            if binding not in _SHARD_SCALING_BINDINGS:
+                raise SpecValidationError(
+                    f"unknown binding {binding!r}; the shard_scaling runner "
+                    f"accepts {list(_SHARD_SCALING_BINDINGS)}"
+                )
+    properties = params.get("properties", {})
+    if not isinstance(properties, Mapping):
+        raise SpecValidationError(
+            f"properties must be a mapping of workload properties, got "
+            f"{type(properties).__name__}"
+        )
+
+
+def run_shard_scaling(
+    seed: int = 0,
+    quick: bool = True,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    bindings: Sequence[str] = ("raw", "txn"),
+    properties: Mapping[str, str] | None = None,
+) -> ExperimentResult:
+    """Tier-5 throughput + Tier-6 anomaly as the shard count grows.
+
+    Each point launches a fresh :class:`~repro.cluster.cluster.
+    ShardCluster` whose shards are rate-limited simulated cloud stores
+    behind real HTTP servers, then runs the CEW against it — the ``raw``
+    binding through the shard router, the ``txn`` binding through
+    cross-shard two-phase commit.  Throughput should rise with the shard
+    count (each shard brings its own request ceiling) while the anomaly
+    score stays 0 on ``txn`` at every scale; ``raw`` is the racing
+    baseline.  Wall-clock: real sockets, real sleeps — gate with wide
+    margins only.
+    """
+    import random
+
+    from ..bindings.kv import KVStoreDB
+    from ..bindings.txn import TxnDB
+    from ..cluster.campaign import DEFAULT_CLUSTER_PROPERTIES
+    from ..cluster.cluster import ShardCluster
+    from ..core.client import Client
+    from ..core.closed_economy import ClosedEconomyWorkload
+    from ..core.properties import Properties
+    from ..core.retry import RetryPolicy
+    from ..kvstore.cloud import CloudStoreProfile, SimulatedCloudStore
+    from ..measurements.registry import Measurements
+
+    _validate_shard_scaling_params(
+        {
+            "shard_counts": tuple(shard_counts),
+            "bindings": tuple(bindings),
+            "properties": properties or {},
+        }
+    )
+    values = dict(DEFAULT_CLUSTER_PROPERTIES)
+    # Enough client concurrency to saturate the largest cluster's
+    # aggregate ceiling; specs may still override it.
+    values["threadcount"] = "12"
+    values.update({str(key): str(value) for key, value in (properties or {}).items()})
+    if not quick:
+        base_ops = int(values.get("operationcount", "400"))
+        values["operationcount"] = str(base_ops * 4)
+    values["seed"] = str(seed)
+    values["retry.seed"] = str(seed + 2)
+    props = Properties(values)
+    profile = CloudStoreProfile(**_SHARD_PROFILE_PARAMS)
+
+    result = ExperimentResult(
+        experiment="shard_scaling",
+        description=(
+            "CEW over a live shard cluster: throughput vs shard count "
+            "(per-shard request ceiling), anomaly score per binding"
+        ),
+        notes=[
+            f"per-shard ceiling: {profile.requests_per_second:.0f} requests/s",
+            "wall-clock over real HTTP servers: NOT deterministic",
+        ],
+    )
+    for binding in bindings:
+        series = Series(label=binding)
+        for count in shard_counts:
+            cell_rng = random.Random((seed * 1000003 + count) % (2**31))
+            with ShardCluster(
+                count,
+                store_factory=lambda name: SimulatedCloudStore(
+                    profile, rng=random.Random(cell_rng.getrandbits(32))
+                ),
+                lock_lease_ms=props.get_float("txn.lock_lease_ms", 1000.0),
+                retry_policy_factory=lambda: RetryPolicy.from_properties(props),
+            ) as cluster:
+                if binding == "txn":
+                    manager = cluster.manager(client_id=f"scale{seed}")
+                    db_factory = lambda: TxnDB(props, manager=manager)  # noqa: E731
+                else:
+                    router = cluster.router()
+                    db_factory = lambda: KVStoreDB(router, props)  # noqa: E731
+                workload = ClosedEconomyWorkload()
+                measurements = Measurements.from_properties(props)
+                workload.init(props, measurements)
+                client = Client(workload, db_factory, props, measurements)
+                load = client.load()
+                run = client.run()
+                workload.cleanup()
+            if load.errors or run.errors:
+                raise RuntimeError(
+                    f"shard_scaling cell (binding {binding}, {count} shards, "
+                    f"seed {seed}) reported errors: {load.errors + run.errors}"
+                )
+            series.points.append(
+                Point(
+                    x=float(count),
+                    throughput=run.throughput,
+                    anomaly_score=run.anomaly_score if run.anomaly_score is not None else 0.0,
+                    operations=run.operations,
+                    failed_operations=run.failed_operations,
+                    extra={"run_time_s": run.run_time_ms / 1000.0},
+                )
+            )
+        result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -351,6 +511,20 @@ _register(
         engine="wall",
         allowed_params=frozenset({"scale", "threads"}),
         description="anomaly-targeting workloads vs isolation level",
+    )
+)
+_register(
+    RunnerInfo(
+        name="shard_scaling",
+        fn=run_shard_scaling,
+        engine="wall",
+        x_label="shards",
+        allowed_params=frozenset({"shard_counts", "bindings", "properties"}),
+        description=(
+            "CEW over a live shard cluster: throughput + anomaly vs shard "
+            "count (raw router and cross-shard 2PC)"
+        ),
+        validate=_validate_shard_scaling_params,
     )
 )
 _register(

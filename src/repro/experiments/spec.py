@@ -379,6 +379,24 @@ _builtin(
 )
 _builtin(
     ExperimentSpec(
+        name="shard_scaling",
+        runner="shard_scaling",
+        repetitions=2,
+        seed=500,
+        params={
+            "shard_counts": (1, 2, 4, 8),
+            "bindings": ("raw", "txn"),
+            "properties": {"recordcount": "40", "operationcount": "400"},
+        },
+        description=(
+            "CEW over a live shard cluster, 1 to 8 shards: Tier-5 "
+            "throughput should rise with the shard count, Tier-6 anomaly "
+            "stays 0 on the 2PC binding (wall clock; gate loosely)"
+        ),
+    )
+)
+_builtin(
+    ExperimentSpec(
         name="staleness",
         runner="staleness",
         repetitions=3,

@@ -116,6 +116,10 @@ class BatchingKVStore(KeyValueStore):
         self.flush()
         return self._inner.put_if_version(key, value, expected_version)
 
+    def put_versioned(self, key, versioned) -> bool:
+        self.flush()
+        return self._inner.put_versioned(key, versioned)
+
     def delete(self, key: str) -> bool:
         self.flush()
         return self._inner.delete(key)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import urllib.parse
 from collections.abc import Iterator, Mapping, Sequence
@@ -81,9 +82,27 @@ class _ConnectionPool:
         return self.fresh(), False
 
     def fresh(self) -> http.client.HTTPConnection:
-        return http.client.HTTPConnection(
+        connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout_s
         )
+        # Connect eagerly so Nagle can be switched off before the first
+        # request: header and body go out as separate writes, and Nagle
+        # holding the second behind the peer's delayed ACK costs ~40 ms
+        # per request — three orders of magnitude over loopback latency.
+        # Eager also means the connect itself can fail here, before any
+        # request-level error handling sees it — so translate.
+        try:
+            connection.connect()
+        except _TRANSPORT_ERRORS as exc:
+            connection.close()
+            raise StoreUnavailable(
+                f"HTTP store {self._host}:{self._port} unreachable: {exc}"
+            ) from exc
+        if connection.sock is not None:
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return connection
 
     def release(self, connection: http.client.HTTPConnection) -> None:
         with self._lock:
@@ -338,6 +357,17 @@ class HttpKVStore(KeyValueStore):
         if not isinstance(results, list) or len(results) != len(ops):
             raise StoreError("batch response did not match the request shape")
         return results
+
+    def post_json(self, path: str, body: dict) -> tuple[int, dict | None]:
+        """POST a JSON document to an arbitrary path; (status, response body).
+
+        The generic escape hatch for non-KV endpoints — the cluster layer
+        uses it for the two-phase-commit ``/txn/*`` verbs.  Transport
+        errors surface as :class:`~repro.kvstore.base.StoreUnavailable`
+        exactly like the KV verbs; the caller interprets the status.
+        """
+        status, document, _ = self._request("POST", path, body=body)
+        return status, document
 
     def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
         """Unconditionally write a record list in one round trip.

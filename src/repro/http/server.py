@@ -19,12 +19,24 @@ Protocol::
     GET    /stats                       -> 200 {"size": n, "requests": {...}}
     GET    /health                      -> 200 {"status": "ok"}
     POST   /batch      {"ops": [...]}   -> 200 {"results": [...]}
+    POST   /txn/<verb> {...}            -> 200 {...} (shard participants only)
 
 Keys are URL-path-encoded by the client; bodies are JSON.  The batch
 endpoint executes a whole operation array in one round trip — its wire
 format lives in :mod:`repro.http.batch`.  The server counts every request
 it handles (total and per route) so tests and experiments can measure how
 many round trips a client actually paid.
+
+**Cluster extensions.**  A server may carry a two-phase-commit
+*participant* (see :mod:`repro.cluster.participant`); the ``/txn/prepare``
+/ ``commit`` / ``abort`` / ``expire`` verbs dispatch to it.  Servers also
+support a *crashed* state (:meth:`KVStoreHTTPServer.mark_crashed`): the
+port stays bound — exactly like a just-killed real process whose OS has
+not released the address — but every connection is dropped without a
+response, so clients observe transport errors, not clean HTTP failures.
+A :class:`~repro.recovery.crashpoints.CrashError` fired inside a handler
+(a scheduled participant death) flips the same flag: the "process" dies
+mid-request and stays dead until :meth:`KVStoreHTTPServer.revive`.
 """
 
 from __future__ import annotations
@@ -36,7 +48,9 @@ import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..kvstore.base import KeyValueStore
+from ..kvstore.base import KeyValueStore, StoreError
+from ..recovery.crashpoints import CrashError
+from ..txn.errors import TransactionError
 from .batch import execute_ops
 
 __all__ = ["KVStoreHTTPServer"]
@@ -94,6 +108,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "ReproKV/1.0"
+    # Responses are written as separate header/body sends; without this,
+    # Nagle holds the body behind the client's delayed ACK (~40 ms per
+    # request over loopback).
+    disable_nagle_algorithm = True
 
     # The store is attached to the server object by KVStoreHTTPServer.
     @property
@@ -104,6 +122,18 @@ class _Handler(BaseHTTPRequestHandler):
         """Benchmarks hammer the server; default stderr logging would drown it."""
 
     # -- helpers -------------------------------------------------------------
+
+    def _dead(self) -> bool:
+        """True when the server is in the crashed state: drop, don't answer.
+
+        A crashed process sends nothing — closing the connection without a
+        response makes the client's transport layer fail, which is what a
+        kill looks like from the other end of a socket.
+        """
+        if getattr(self.server, "crashed", False):
+            self.close_connection = True
+            return True
+        return False
 
     def _count_request(self, route: str) -> None:
         lock: threading.Lock = self.server.request_lock  # type: ignore[attr-defined]
@@ -143,6 +173,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self._dead():
+            return
         parsed = urllib.parse.urlparse(self.path)
         if parsed.path == "/health":
             # Liveness probe: answers without touching the store, so a
@@ -183,7 +215,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, versioned.value, etag=versioned.version)
 
     def do_POST(self) -> None:  # noqa: N802
+        if self._dead():
+            return
         parsed = urllib.parse.urlparse(self.path)
+        if parsed.path.startswith("/txn/"):
+            self._handle_txn(parsed.path[len("/txn/") :])
+            return
         if parsed.path != "/batch":
             self._send_json(404, {"error": "unknown path"})
             return
@@ -194,7 +231,62 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(200, {"results": execute_ops(self._store, document["ops"])})
 
+    def _handle_txn(self, verb: str) -> None:
+        """Dispatch a two-phase-commit verb to the attached participant.
+
+        A scheduled :class:`CrashError` inside the participant kills this
+        "process": the server flips to crashed and the connection drops
+        with no response — the coordinator sees a transport failure, never
+        a vote, which is exactly the ambiguity 2PC recovery exists for.
+        """
+        self._count_request("txn")
+        participant = getattr(self.server, "participant", None)
+        if participant is None:
+            self._send_json(404, {"error": "no transaction participant attached"})
+            return
+        document = self._read_body() or {}
+        try:
+            if verb == "prepare":
+                result = participant.prepare(
+                    document["txid"],
+                    int(document["start_ts"]),
+                    document["primary"],
+                    document["writes"],
+                )
+            elif verb == "commit":
+                result = participant.commit(
+                    document["txid"],
+                    int(document["commit_ts"]),
+                    document.get("keys", []),
+                )
+            elif verb == "abort":
+                result = participant.abort(document["txid"], document.get("keys", []))
+            elif verb == "expire":
+                result = participant.expire()
+            else:
+                self._send_json(404, {"error": f"unknown txn verb {verb!r}"})
+                return
+        except CrashError:
+            self.server.crashed = True  # type: ignore[attr-defined]
+            self.close_connection = True
+            return
+        except TransactionError as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"malformed txn request: {exc}"})
+            return
+        except StoreError as exc:
+            # 500, not 503: a participant-side store failure must not be
+            # blindly replayed by the client's throttle-retry layer — the
+            # coordinator decides what a failed verb means.
+            self._send_json(500, {"error": str(exc)})
+            return
+        self._send_json(200, result)
+
     def do_PUT(self) -> None:  # noqa: N802
+        if self._dead():
+            return
         parsed = urllib.parse.urlparse(self.path)
         self._count_request("kv")
         key = self._key_from_path(parsed)
@@ -224,6 +316,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, {"version": version}, etag=version)
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self._dead():
+            return
         parsed = urllib.parse.urlparse(self.path)
         self._count_request("kv")
         key = self._key_from_path(parsed)
@@ -262,13 +356,57 @@ class KVStoreHTTPServer:
             ...
     """
 
-    def __init__(self, store: KeyValueStore, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        store: KeyValueStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        participant=None,
+    ):
         self._server = _QuietThreadingHTTPServer((host, port), _Handler)
         self._server.kv_store = store  # type: ignore[attr-defined]
         self._server.request_lock = threading.Lock()  # type: ignore[attr-defined]
         self._server.request_counts = {}  # type: ignore[attr-defined]
+        self._server.participant = participant  # type: ignore[attr-defined]
+        self._server.crashed = False  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: threading.Thread | None = None
+
+    @property
+    def store(self) -> KeyValueStore:
+        """The durable store behind this server (survives a crash)."""
+        return self._server.kv_store  # type: ignore[attr-defined]
+
+    @property
+    def participant(self):
+        """The attached 2PC participant, or None for a plain KV server."""
+        return self._server.participant  # type: ignore[attr-defined]
+
+    @property
+    def crashed(self) -> bool:
+        return self._server.crashed  # type: ignore[attr-defined]
+
+    def mark_crashed(self) -> None:
+        """Kill the "process" without releasing the port.
+
+        Every live connection is severed without a response and every new
+        request is dropped the same way, so clients see transport errors —
+        the shape of a real crash.  The durable store object is untouched;
+        volatile participant state (the prepared-transaction table) is the
+        participant's to lose on :meth:`revive`.
+        """
+        self._server.crashed = True  # type: ignore[attr-defined]
+        self._server.close_established()
+
+    def revive(self, participant=None) -> None:
+        """Bring a crashed server back, optionally with a fresh participant.
+
+        Passing a participant models a process restart: the durable store
+        carries over, the in-memory prepared table does not.
+        """
+        if participant is not None:
+            self._server.participant = participant  # type: ignore[attr-defined]
+        self._server.crashed = False  # type: ignore[attr-defined]
 
     @property
     def address(self) -> tuple[str, int]:

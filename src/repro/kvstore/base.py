@@ -133,6 +133,24 @@ class KeyValueStore(ABC):
         key's current version differs, or the key exists for an insert).
         """
 
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        """Restore ``key`` to an exact :class:`VersionedValue` — migration hook.
+
+        Unlike :meth:`put`, the version counter is *preserved*, so a key
+        moved between shards keeps its ETag history and in-flight
+        conditional writes keep their semantics.  The restore is
+        insert-if-absent: if the key already exists (e.g. a client wrote
+        to the destination shard while the migration was in flight) the
+        newer write wins and the restore is skipped.
+
+        Returns True when the value was installed, False when the key
+        already existed.  Stores that cannot restore versions raise
+        ``NotImplementedError``; wrappers delegate to their inner store.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support versioned restore"
+        )
+
     @abstractmethod
     def delete(self, key: str) -> bool:
         """Remove ``key``; True when it existed."""

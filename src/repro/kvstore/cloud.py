@@ -195,6 +195,10 @@ class SimulatedCloudStore(KeyValueStore):
         self._request(self._write_latency)
         return self._inner.put(key, value)
 
+    def put_versioned(self, key, versioned) -> bool:
+        self._request(self._write_latency)
+        return self._inner.put_versioned(key, versioned)
+
     def put_if_version(
         self, key: str, value: Mapping[str, str], expected_version: int | None
     ) -> int | None:

@@ -252,6 +252,10 @@ class FaultInjectingStore(KeyValueStore):
             self._maybe_tear()
         return result
 
+    def put_versioned(self, key, versioned) -> bool:
+        self._inject(write=True)
+        return self._inner.put_versioned(key, versioned)
+
     def delete(self, key: str) -> bool:
         self._inject(write=True)
         existed = self._inner.delete(key)

@@ -172,6 +172,10 @@ class LatencyInjectingStore(KeyValueStore):
         self._pay_write()
         return self._inner.put_if_version(key, value, expected_version)
 
+    def put_versioned(self, key, versioned) -> bool:
+        self._pay_write()
+        return self._inner.put_versioned(key, versioned)
+
     def delete(self, key: str) -> bool:
         self._pay_write()
         return self._inner.delete(key)

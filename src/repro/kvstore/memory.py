@@ -108,6 +108,15 @@ class InMemoryKVStore(KeyValueStore):
                 self._index_add(key)
             return version
 
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        with self._lock:
+            self._check_open()
+            if key in self._data:
+                return False
+            self._data[key] = VersionedValue(dict(versioned.value), versioned.version)
+            self._index_add(key)
+            return True
+
     def delete(self, key: str) -> bool:
         with self._lock:
             self._check_open()

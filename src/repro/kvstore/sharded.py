@@ -8,6 +8,27 @@ the "hybrid data stores" of §II-B).
 
 Placement uses a consistent-hash ring with virtual nodes so that adding a
 shard moves only ~1/n of the keys (the *elasticity* property).
+
+Migration-consistency guarantees (see docs/CLUSTER.md):
+
+* Routing state is copy-on-write: readers and writers always see a
+  complete ``(ring, shards)`` snapshot, never a half-mutated ring.
+* Key moves preserve the full :class:`VersionedValue` (version counter
+  included) via :meth:`KeyValueStore.put_versioned`, so conditional
+  writes keep their test-and-set semantics across a migration.
+* Each move is put-on-destination *before* delete-on-source; reads
+  racing a migration fall back to the previous ring's owner, so a live
+  key is never observed as missing.
+* Writes to a key whose owner changed pull the key to its new owner
+  first, and every write validates the routing epoch after applying: if
+  the ring moved the key mid-write, the write is taken back and replayed
+  on the current owner, so a migration cannot strand a write on a shard
+  that no longer owns the key.
+
+Residual caveat (documented in docs/CLUSTER.md): a *delete* racing the
+migration of its own key can be resurrected by the in-flight copy; the
+transaction layer is immune (its deletes are CAS-validated TxRecord
+writes), and the crash campaigns run delete-free CEW for this reason.
 """
 
 from __future__ import annotations
@@ -16,6 +37,7 @@ import bisect
 import heapq
 import threading
 from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
 
 from ..generators.hashing import fnv1a_64
 from .base import Fields, KeyValueStore, VersionedValue
@@ -27,7 +49,9 @@ class ConsistentHashRing:
     """Consistent hashing with virtual nodes.
 
     Each shard name is hashed ``replicas`` times onto a 64-bit ring; a key
-    is owned by the first virtual node clockwise from its hash.
+    is owned by the first virtual node at-or-clockwise-from its hash — a
+    key hashing *exactly onto* a virtual-node point belongs to that node,
+    matching the ``bisect_left`` order used at insertion time.
     """
 
     def __init__(self, shard_names: Sequence[str], replicas: int = 64):
@@ -43,6 +67,14 @@ class ConsistentHashRing:
     @staticmethod
     def _hash(token: str) -> int:
         return fnv1a_64(token.encode("utf-8"))
+
+    def copy(self) -> "ConsistentHashRing":
+        """An independent ring with the same shards and replica count."""
+        duplicate = type(self)([], replicas=self._replicas)
+        duplicate._ring = list(self._ring)
+        duplicate._points = list(self._points)
+        duplicate._names = list(self._names)
+        return duplicate
 
     def add_shard(self, name: str) -> None:
         if name in self._names:
@@ -69,10 +101,28 @@ class ConsistentHashRing:
         if not self._ring:
             raise RuntimeError("hash ring is empty")
         point = self._hash(key)
-        index = bisect.bisect_right(self._points, point)
+        # bisect_left, symmetric with add_shard's insertion order: a key
+        # whose hash equals a virtual-node point is owned by that node
+        # (bisect_right would skip it and hand the key to the next node).
+        index = bisect.bisect_left(self._points, point)
         if index == len(self._ring):
             index = 0
         return self._ring[index][1]
+
+
+@dataclass(frozen=True, slots=True)
+class _Routing:
+    """One immutable routing snapshot, swapped atomically on membership change.
+
+    ``prev_ring``/``prev_shards`` are only set while a migration is in
+    flight: they let readers fall back to a key's previous owner and let
+    writers pull not-yet-moved keys to their new owner.
+    """
+
+    ring: ConsistentHashRing
+    shards: dict[str, KeyValueStore]
+    prev_ring: ConsistentHashRing | None = None
+    prev_shards: dict[str, KeyValueStore] | None = None
 
 
 class ShardedKVStore(KeyValueStore):
@@ -80,25 +130,90 @@ class ShardedKVStore(KeyValueStore):
 
     Scans merge the per-shard ordered streams with a heap, so a ranged
     ``scan`` behaves exactly like it would on a single ordered store.
+
+    ``add_shard``/``remove_shard`` rebalance online: routing swaps to the
+    new ring immediately (copy-on-write) and keys then move one at a time
+    under a move mutex, preserving version metadata.  Concurrent reads
+    and writes stay correct throughout — see the module docstring.
     """
 
     def __init__(self, shards: Mapping[str, KeyValueStore], replicas: int = 64):
         if not shards:
             raise ValueError("at least one shard is required")
-        self._shards = dict(shards)
-        self._ring = ConsistentHashRing(list(self._shards), replicas=replicas)
-        self._lock = threading.Lock()
+        owned = dict(shards)
+        self._routing = _Routing(
+            ConsistentHashRing(list(owned), replicas=replicas), owned
+        )
+        # Serializes membership changes (one migration at a time).  Key
+        # moves themselves are lock-free: `_move_key` is idempotent
+        # (insert-if-absent on the target, conditional delete of exactly
+        # the copied version on the source), so a migrator and a writer
+        # pulling the same key forward cannot corrupt each other — and no
+        # mutex is ever held across a store call, which keeps the store
+        # deadlock-free under the cooperative sim scheduler.
+        self._admin_lock = threading.Lock()
 
     @property
     def shard_count(self) -> int:
-        return len(self._shards)
+        return len(self._routing.shards)
 
     def shard_for(self, key: str) -> KeyValueStore:
-        """The child store that owns ``key``."""
-        return self._shards[self._ring.owner(key)]
+        """The child store that owns ``key`` (current ring)."""
+        snapshot = self._routing
+        return snapshot.shards[snapshot.ring.owner(key)]
 
     def shard_names(self) -> list[str]:
-        return self._ring.shard_names()
+        return self._routing.ring.shard_names()
+
+    # -- migration ------------------------------------------------------------
+
+    @staticmethod
+    def _move_key(key: str, source: KeyValueStore, target: KeyValueStore) -> bool:
+        """Move one key, version intact: install on target, then drop source.
+
+        Insert-if-absent on the target means a newer client write there
+        wins over the migrated copy; the conditional delete on the source
+        removes exactly the copied version.  The protocol is idempotent,
+        so concurrent moves of the same key are harmless.
+        """
+        versioned = source.get_with_meta(key)
+        if versioned is None:
+            return False
+        installed = target.put_versioned(key, versioned)
+        source.delete_if_version(key, versioned.version)
+        return installed
+
+    def _pull_forward(self, snapshot: _Routing, key: str, owner: str, store: KeyValueStore) -> None:
+        """Move ``key`` to its new owner before writing, when a migration is
+        in flight and the key's owner changed."""
+        if snapshot.prev_ring is None:
+            return
+        prev_owner = snapshot.prev_ring.owner(key)
+        if prev_owner == owner or prev_owner not in snapshot.prev_shards:
+            return
+        if not store.contains(key):
+            self._move_key(key, snapshot.prev_shards[prev_owner], store)
+
+    def _apply_write(self, key: str, op) -> object:
+        """Apply ``op(store)`` on the key's owner with routing-epoch validation.
+
+        ``op`` returns ``(result, undo_version)`` — the version the op
+        created, or None when it wrote nothing.  If the ring moved the key
+        to a different owner while the op was in flight, the write may
+        have landed on a shard that no longer owns the key: take back
+        exactly what we wrote and replay against the current owner.
+        """
+        while True:
+            snapshot = self._routing
+            owner = snapshot.ring.owner(key)
+            store = snapshot.shards[owner]
+            self._pull_forward(snapshot, key, owner, store)
+            result, undo_version = op(store)
+            current = self._routing
+            if current is snapshot or current.ring.owner(key) == owner:
+                return result
+            if undo_version is not None:
+                store.delete_if_version(key, undo_version)
 
     def add_shard(self, name: str, store: KeyValueStore) -> int:
         """Attach a new shard and migrate the keys it now owns.
@@ -106,66 +221,170 @@ class ShardedKVStore(KeyValueStore):
         Returns the number of keys moved — the elasticity metric: with a
         balanced ring this is about ``size / (n + 1)``.
         """
-        with self._lock:
-            if name in self._shards:
+        with self._admin_lock:
+            snapshot = self._routing
+            if name in snapshot.shards:
                 raise ValueError(f"shard {name!r} already exists")
+            new_ring = snapshot.ring.copy()
+            new_ring.add_shard(name)
+            new_shards = {**snapshot.shards, name: store}
+            self._routing = _Routing(new_ring, new_shards, snapshot.ring, snapshot.shards)
             moved = 0
-            self._ring.add_shard(name)
-            self._shards[name] = store
-            for shard_name, shard in list(self._shards.items()):
-                if shard_name == name:
-                    continue
-                for key in list(shard.keys()):
-                    if self._ring.owner(key) == name:
-                        versioned = shard.get_with_meta(key)
-                        if versioned is None:
+            try:
+                for shard_name, shard in snapshot.shards.items():
+                    for key in list(shard.keys()):
+                        if new_ring.owner(key) != name:
                             continue
-                        store.put(key, versioned.value)
-                        shard.delete(key)
+                        if self._move_key(key, shard, store):
+                            moved += 1
+            finally:
+                self._routing = _Routing(new_ring, new_shards)
+            return moved
+
+    def remove_shard(self, name: str) -> int:
+        """Detach a shard, draining its keys to their new owners first.
+
+        The drain path the cluster needs for planned scale-in: routing
+        swaps to the shrunk ring immediately, then every key on the
+        leaving shard moves (version intact) to the shard that now owns
+        it.  Returns the number of keys moved.
+        """
+        with self._admin_lock:
+            snapshot = self._routing
+            if name not in snapshot.shards:
+                raise ValueError(f"shard {name!r} does not exist")
+            if len(snapshot.shards) == 1:
+                raise ValueError("cannot remove the last shard")
+            new_ring = snapshot.ring.copy()
+            new_ring.remove_shard(name)
+            new_shards = {
+                shard: store for shard, store in snapshot.shards.items() if shard != name
+            }
+            self._routing = _Routing(new_ring, new_shards, snapshot.ring, snapshot.shards)
+            source = snapshot.shards[name]
+            moved = 0
+            try:
+                for key in list(source.keys()):
+                    target = new_shards[new_ring.owner(key)]
+                    if self._move_key(key, source, target):
                         moved += 1
+            finally:
+                self._routing = _Routing(new_ring, new_shards)
             return moved
 
     # -- reads ---------------------------------------------------------------
 
     def get_with_meta(self, key: str) -> VersionedValue | None:
-        return self.shard_for(key).get_with_meta(key)
+        while True:
+            snapshot = self._routing
+            owner = snapshot.ring.owner(key)
+            if snapshot.prev_ring is not None:
+                # Migration in flight: check the previous owner first.
+                # Moves are put-before-delete, so prev-miss means the key
+                # (if it exists) is already at its current owner.
+                prev_owner = snapshot.prev_ring.owner(key)
+                if prev_owner != owner and prev_owner in snapshot.prev_shards:
+                    found = snapshot.prev_shards[prev_owner].get_with_meta(key)
+                    if found is not None:
+                        return found
+            found = snapshot.shards[owner].get_with_meta(key)
+            if found is not None or self._routing is snapshot:
+                return found
+            # The routing epoch changed underneath the read — the key may
+            # have moved mid-read.  Retry against the fresh snapshot.
 
     def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
         if record_count <= 0:
             return []
-        per_shard = (shard.scan(start_key, record_count) for shard in self._shards.values())
+        snapshot = self._routing
+        stores: list[KeyValueStore] = list(snapshot.shards.values())
+        if snapshot.prev_shards is not None:
+            stores.extend(
+                store for name, store in snapshot.prev_shards.items()
+                if name not in snapshot.shards
+            )
+        per_shard = (store.scan(start_key, record_count) for store in stores)
         merged = heapq.merge(*per_shard, key=lambda pair: pair[0])
-        return [pair for _, pair in zip(range(record_count), merged)]
+        results: list[tuple[str, Fields]] = []
+        last_key: str | None = None
+        for pair in merged:
+            if pair[0] == last_key:  # key present on two shards mid-move
+                continue
+            results.append(pair)
+            last_key = pair[0]
+            if len(results) == record_count:
+                break
+        return results
 
     def keys(self) -> Iterator[str]:
-        streams = [shard.keys() for shard in self._shards.values()]
-        return iter(heapq.merge(*streams))
+        snapshot = self._routing
+        streams = [store.keys() for store in snapshot.shards.values()]
+        if snapshot.prev_shards is not None:
+            streams.extend(
+                store.keys() for name, store in snapshot.prev_shards.items()
+                if name not in snapshot.shards
+            )
+        merged = heapq.merge(*streams)
+        seen_last: list[str | None] = [None]
+
+        def _dedup() -> Iterator[str]:
+            for key in merged:
+                if key != seen_last[0]:
+                    seen_last[0] = key
+                    yield key
+
+        return _dedup()
 
     def size(self) -> int:
-        return sum(shard.size() for shard in self._shards.values())
+        snapshot = self._routing
+        if snapshot.prev_shards is None:
+            return sum(shard.size() for shard in snapshot.shards.values())
+        # Mid-migration a key can briefly live on two shards; count distinct.
+        return sum(1 for _ in self.keys())
 
     # -- writes --------------------------------------------------------------
 
     def put(self, key: str, value: Mapping[str, str]) -> int:
-        return self.shard_for(key).put(key, value)
+        def op(store: KeyValueStore):
+            version = store.put(key, value)
+            return version, version
+
+        return self._apply_write(key, op)
 
     def put_if_version(
         self, key: str, value: Mapping[str, str], expected_version: int | None
     ) -> int | None:
-        return self.shard_for(key).put_if_version(key, value, expected_version)
+        def op(store: KeyValueStore):
+            version = store.put_if_version(key, value, expected_version)
+            return version, version
+
+        return self._apply_write(key, op)
+
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        def op(store: KeyValueStore):
+            installed = store.put_versioned(key, versioned)
+            return installed, versioned.version if installed else None
+
+        return self._apply_write(key, op)
 
     def delete(self, key: str) -> bool:
-        return self.shard_for(key).delete(key)
+        def op(store: KeyValueStore):
+            return store.delete(key), None
+
+        return self._apply_write(key, op)
 
     def delete_if_version(self, key: str, expected_version: int) -> bool | None:
-        return self.shard_for(key).delete_if_version(key, expected_version)
+        def op(store: KeyValueStore):
+            return store.delete_if_version(key, expected_version), None
+
+        return self._apply_write(key, op)
 
     # -- lifecycle -----------------------------------------------------------
 
     def clear(self) -> None:
-        for shard in self._shards.values():
+        for shard in self._routing.shards.values():
             shard.clear()
 
     def close(self) -> None:
-        for shard in self._shards.values():
+        for shard in self._routing.shards.values():
             shard.close()

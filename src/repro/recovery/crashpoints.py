@@ -33,6 +33,18 @@ The catalogue (``CRASHPOINTS``):
     an in-sim client thread dies inside a store write (mid read-modify-
     write for the raw binding, mid commit protocol for the transactional
     one).
+``twopc.after_prepare``
+    every participant voted yes (locks installed shard-side) but the
+    coordinator died before reaching the commit point.  Recovery must
+    abort: no TSR exists, so leases expire and peers roll back.
+``twopc.after_decision_logged``
+    the commit point passed (TSR created) and the decision is in the
+    coordinator WAL, but no participant has applied.  Coordinator-WAL
+    redo — or any peer reading the TSR — must roll forward.
+``twopc.mid_participant_commit``
+    a participant died halfway through applying its share of a committed
+    transaction.  The committed TSR survives; scavenging the shard must
+    finish the roll-forward.
 
 Deterministic under simulation: hits are counted under a lock, and the
 PR 4 scheduler runs one task at a time, so *which* operation dies is a
@@ -63,6 +75,9 @@ CRASHPOINTS = (
     "wal.mid_append",
     "lsm.mid_checkpoint",
     "worker.mid_run",
+    "twopc.after_prepare",
+    "twopc.after_decision_logged",
+    "twopc.mid_participant_commit",
 )
 
 

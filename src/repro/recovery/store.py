@@ -61,6 +61,10 @@ class CrashpointStore(KeyValueStore):
         crashpoint("worker.mid_run")
         return self._inner.put_if_version(key, value, expected_version)
 
+    def put_versioned(self, key, versioned) -> bool:
+        crashpoint("worker.mid_run")
+        return self._inner.put_versioned(key, versioned)
+
     def delete(self, key: str) -> bool:
         crashpoint("worker.mid_run")
         return self._inner.delete(key)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the cluster tests.
+
+Every fixture cluster uses a short lock lease so tests that must wait out
+a lease (timeout-abort, scavenging) stay fast.
+"""
+
+import pytest
+
+from repro.cluster import ShardCluster
+
+#: Short lease shared by the fixtures and the tests that sleep past it.
+LEASE_MS = 400.0
+
+
+@pytest.fixture
+def cluster():
+    """A running 3-shard cluster over in-memory stores."""
+    with ShardCluster(3, lock_lease_ms=LEASE_MS) as shard_cluster:
+        yield shard_cluster

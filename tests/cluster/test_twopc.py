@@ -1,0 +1,155 @@
+"""Cross-shard 2PC over a live HTTP cluster: commit, abort, conflict."""
+
+import pytest
+
+from repro.txn.errors import TransactionConflict, TransactionError
+
+
+def diverse_keys(count, stride=7919):
+    return [f"u{i * stride}" for i in range(count)]
+
+
+def spanning_keys(manager, count=6):
+    """Keys guaranteed to cover at least two distinct shards."""
+    keys = diverse_keys(40)
+    chosen, shards = [], set()
+    for key in keys:
+        chosen.append(key)
+        shards.add(manager.owner(key))
+        if len(chosen) >= count and len(shards) >= 2:
+            return chosen
+    raise AssertionError(f"could not span two shards: {shards}")
+
+
+def test_cross_shard_commit_is_visible_everywhere(cluster):
+    manager = cluster.manager()
+    keys = spanning_keys(manager)
+    shards_touched = {manager.owner(key) for key in keys}
+    assert len(shards_touched) >= 2
+
+    tx = manager.begin()
+    for key in keys:
+        tx.write(key, {"v": f"new-{key}"})
+    tx.commit()
+
+    assert manager.twopc_counters["prepares"] == len(shards_touched)
+    assert manager.twopc_counters["commits"] == 1
+
+    reader = cluster.manager()
+    check = reader.begin()
+    for key in keys:
+        assert check.read(key) == {"v": f"new-{key}"}
+    check.abort()
+
+    # Phase 2 completed everywhere: nothing is left in doubt.
+    assert manager.wal.in_doubt() == []
+    for name in cluster.shard_names:
+        assert cluster.servers[name].participant.prepared_count() == 0
+
+
+def test_abort_rolls_back_every_shard(cluster):
+    manager = cluster.manager()
+    keys = spanning_keys(manager)
+    seed_tx = manager.begin()
+    seed_tx.write(keys[0], {"v": "old"})
+    seed_tx.commit()
+
+    tx = manager.begin()
+    for key in keys:
+        tx.write(key, {"v": "doomed"})
+    tx.abort()
+
+    check = cluster.manager().begin()
+    assert check.read(keys[0]) == {"v": "old"}
+    for key in keys[1:]:
+        assert check.read(key) is None
+    check.abort()
+    for name in cluster.shard_names:
+        assert cluster.servers[name].participant.prepared_count() == 0
+
+
+def test_empty_commit_skips_the_protocol(cluster):
+    manager = cluster.manager()
+    tx = manager.begin()
+    tx.commit()
+    assert manager.twopc_counters["prepares"] == 0
+    assert manager.wal.replay() == {}
+
+
+def test_conflicting_coordinators_first_updater_wins(cluster):
+    manager_a = cluster.manager(client_id="coord-a")
+    manager_b = cluster.manager(client_id="coord-b")
+    key = diverse_keys(3)[2]
+
+    tx_a = manager_a.begin()
+    tx_b = manager_b.begin()
+    tx_a.write(key, {"v": "a"})
+    tx_b.write(key, {"v": "b"})
+    tx_a.commit()
+    with pytest.raises(TransactionError):
+        tx_b.commit()
+
+    check = cluster.manager().begin()
+    assert check.read(key) == {"v": "a"}
+    check.abort()
+
+
+def test_lock_conflict_is_a_no_vote(cluster):
+    """A live (uncommitted) prepare blocks a second coordinator's prepare."""
+    manager_a = cluster.manager(client_id="coord-a")
+    manager_b = cluster.manager(client_id="coord-b")
+    key = diverse_keys(3)[1]
+    shard = manager_a.owner(key)
+
+    # Install coordinator A's locks directly via phase 1, without phase 2.
+    participant = manager_a.participant(shard)
+    assert participant.prepare("held-tx", manager_a.clock.next_timestamp(),
+                               f"{shard}:{key}", {key: {"v": "a"}})
+
+    tx_b = manager_b.begin()
+    tx_b.write(key, {"v": "b"})
+    with pytest.raises(TransactionConflict):
+        tx_b.commit()
+    assert manager_b.twopc_counters["no_votes"] == 1
+
+    # Release A's locks so the fixture tears down clean.
+    participant.abort("held-tx", [key])
+
+
+def test_prepare_is_idempotent(cluster):
+    """A replayed prepare (lost response) must re-vote yes, not deadlock."""
+    manager = cluster.manager()
+    key = diverse_keys(2)[1]
+    shard = manager.owner(key)
+    participant = cluster.servers[shard].participant
+    start_ts = manager.clock.next_timestamp()
+
+    first = participant.prepare("tx-replay", start_ts, f"{shard}:{key}",
+                                {key: {"v": "1"}})
+    second = participant.prepare("tx-replay", start_ts, f"{shard}:{key}",
+                                 {key: {"v": "1"}})
+    assert first["vote"] == second["vote"] == "yes"
+    assert participant.prepared_count() == 1
+    participant.abort("tx-replay", [key])
+    assert participant.prepared_count() == 0
+
+
+def test_router_and_transactions_share_the_shard_map(cluster):
+    manager = cluster.manager()
+    router = cluster.router()
+    for key in diverse_keys(30):
+        assert router.shard_for(key)[0] == manager.owner(key)
+
+
+def test_transaction_scan_merges_all_shards(cluster):
+    manager = cluster.manager()
+    keys = sorted(diverse_keys(12))
+    tx = manager.begin()
+    for key in keys:
+        tx.write(key, {"v": key})
+    tx.commit()
+
+    check = cluster.manager().begin()
+    assert [key for key, _ in check.scan("", 50)] == keys
+    assert len(check.scan("", 5)) == 5
+    check.abort()

@@ -1,0 +1,190 @@
+"""2PC crash recovery: every crashpoint schedule converges.
+
+Each test kills the coordinator (or a participant) at one of the 2PC
+crashpoints, then drives recovery the way a restarted process would —
+``recover_coordinator`` over the surviving WAL, lease expiry, the
+scavenger — and asserts the cluster converges to all-commit or
+all-abort with no residual locks.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.twopc import recover_coordinator
+from repro.recovery.crashpoints import CrashError, CrashInjector, use_crash_injector
+from repro.recovery.scavenger import TxnScavenger
+from repro.txn.errors import TransactionError
+
+#: Must match the fixture cluster's lock_lease_ms (tests/cluster/conftest.py).
+LEASE_MS = 400.0
+
+
+def diverse_keys(count, stride=7919):
+    return [f"u{i * stride}" for i in range(count)]
+
+
+def spanning_keys(manager, count=6):
+    keys = diverse_keys(40)
+    chosen, shards = [], set()
+    for key in keys:
+        chosen.append(key)
+        shards.add(manager.owner(key))
+        if len(chosen) >= count and len(shards) >= 2:
+            return chosen
+    raise AssertionError(f"could not span two shards: {shards}")
+
+
+def seed_old_values(cluster, keys):
+    tx = cluster.manager(client_id="seeder").begin()
+    for key in keys:
+        tx.write(key, {"v": "old"})
+    tx.commit()
+
+
+def crash_commit(manager, keys, point):
+    """Run a cross-shard commit that dies at ``point``; return the txid."""
+    tx = manager.begin()
+    for key in keys:
+        tx.write(key, {"v": "new"})
+    with use_crash_injector(CrashInjector({point: [1]})):
+        with pytest.raises(CrashError):
+            tx.commit()
+    return tx.txid
+
+
+def read_all(cluster, keys):
+    check = cluster.manager(client_id="checker").begin()
+    values = [check.read(key) for key in keys]
+    check.abort()
+    return values
+
+
+def assert_converged(cluster, manager, keys):
+    """All-commit or all-abort, and zero residue anywhere."""
+    values = read_all(cluster, keys)
+    outcomes = {fields["v"] if fields else "old" for fields in values}
+    assert len(outcomes) == 1, f"mixed outcome across shards: {values}"
+    scavenger = TxnScavenger(cluster.manager_for_wal(manager.wal, client_id="scav"))
+    scavenger.scavenge_once(remove_orphan_tsrs=True)
+    residual = scavenger.scavenge_once(remove_orphan_tsrs=True)
+    assert residual.locks_seen == 0
+    for name in cluster.shard_names:
+        assert cluster.servers[name].participant.prepared_count() == 0
+    return outcomes.pop()
+
+
+def test_coordinator_death_after_prepare_is_undone(cluster):
+    """Locks installed, no decision logged: recovery must abort (undo)."""
+    manager = cluster.manager(client_id="doomed")
+    keys = spanning_keys(manager)
+    seed_old_values(cluster, keys)
+    crash_commit(manager, keys, "twopc.after_prepare")
+
+    recovery_manager = cluster.manager_for_wal(manager.wal, client_id="reborn")
+    stats = recover_coordinator(recovery_manager)
+    assert stats["undone"] == 1
+    assert stats["redone"] == 0
+
+    # Undo released the prepared locks immediately — no lease wait needed.
+    assert assert_converged(cluster, manager, keys) == "old"
+    assert recovery_manager.wal.in_doubt() == []
+
+
+def test_coordinator_death_after_decision_is_redone(cluster):
+    """Decision logged commit: recovery must roll forward (redo)."""
+    manager = cluster.manager(client_id="doomed")
+    keys = spanning_keys(manager)
+    seed_old_values(cluster, keys)
+    crash_commit(manager, keys, "twopc.after_decision_logged")
+
+    recovery_manager = cluster.manager_for_wal(manager.wal, client_id="reborn")
+    stats = recover_coordinator(recovery_manager)
+    assert stats["redone"] == 1
+    assert stats["undone"] == 0
+
+    assert assert_converged(cluster, manager, keys) == "new"
+    assert recovery_manager.wal.in_doubt() == []
+
+
+def test_participant_death_mid_commit_is_redone_after_restart(cluster):
+    """A shard dying in phase 2 leaves the txn committed but unapplied
+    there; restart + recovery re-drives that shard."""
+    manager = cluster.manager(client_id="coord")
+    keys = spanning_keys(manager)
+    seed_old_values(cluster, keys)
+
+    tx = manager.begin()
+    for key in keys:
+        tx.write(key, {"v": "new"})
+    with use_crash_injector(CrashInjector({"twopc.mid_participant_commit": [1]})):
+        tx.commit()  # returns: the coordinator survives a dead participant
+
+    assert manager.stats.post_commit_failures >= 1
+    crashed = cluster.crashed_shards()
+    assert len(crashed) == 1
+    assert [entry.txid for entry in manager.wal.in_doubt()] == [tx.txid]
+
+    cluster.restart_shard(crashed[0])
+    recovery_manager = cluster.manager_for_wal(manager.wal, client_id="reborn")
+    stats = recover_coordinator(recovery_manager)
+    assert stats["redone"] == 1
+
+    assert assert_converged(cluster, manager, keys) == "new"
+    assert recovery_manager.wal.in_doubt() == []
+
+
+@pytest.mark.parametrize(
+    "point",
+    [
+        "twopc.after_prepare",
+        "twopc.after_decision_logged",
+        "twopc.mid_participant_commit",
+    ],
+)
+def test_every_crashpoint_converges(cluster, point):
+    """The ISSUE invariant: any crash schedule ends all-commit or
+    all-abort once crashed shards restart and recovery + scavenging run."""
+    manager = cluster.manager(client_id="doomed")
+    keys = spanning_keys(manager)
+    seed_old_values(cluster, keys)
+
+    tx = manager.begin()
+    for key in keys:
+        tx.write(key, {"v": "new"})
+    with use_crash_injector(CrashInjector({point: [1]})):
+        try:
+            tx.commit()
+        except (CrashError, TransactionError):
+            pass
+
+    for name in cluster.crashed_shards():
+        cluster.restart_shard(name)
+    time.sleep(LEASE_MS / 1000.0 + 0.2)
+    recovery_manager = cluster.manager_for_wal(manager.wal, client_id="reborn")
+    recover_coordinator(recovery_manager)
+
+    outcome = assert_converged(cluster, manager, keys)
+    # With the decision durably logged the only legal outcome is commit.
+    if point in ("twopc.after_decision_logged", "twopc.mid_participant_commit"):
+        assert outcome == "new"
+
+
+def test_timeout_abort_without_coordinator_recovery(cluster):
+    """If the coordinator never comes back, participant lease expiry
+    alone must roll the prepared locks back (presumed abort)."""
+    manager = cluster.manager(client_id="gone-forever")
+    keys = spanning_keys(manager)
+    seed_old_values(cluster, keys)
+    crash_commit(manager, keys, "twopc.after_prepare")
+
+    time.sleep(LEASE_MS / 1000.0 + 0.2)
+    resolved = 0
+    for name in cluster.shard_names:
+        report = cluster.servers[name].participant.expire()
+        resolved += report["resolved"] + report["dropped"]
+    assert resolved >= 1
+
+    assert read_all(cluster, keys) == [{"v": "old"}] * len(keys)
+    for name in cluster.shard_names:
+        assert cluster.servers[name].participant.prepared_count() == 0

@@ -1,0 +1,108 @@
+"""Coordinator WAL: append/replay, torn tails, in-doubt filtering."""
+
+import json
+
+import pytest
+
+from repro.cluster.wal import CoordinatorWAL
+from repro.recovery.crashpoints import CrashError, CrashInjector, use_crash_injector
+
+GROUPS = {"shard0": {"a": {"f": "1"}}, "shard1": {"b": None}}
+
+
+def test_replay_round_trip(tmp_path):
+    wal = CoordinatorWAL(tmp_path / "wal.jsonl")
+    wal.log_begin("t1", 7, "shard0:a", GROUPS)
+    wal.log_decision("t1", "commit", 11)
+    wal.log_complete("t1")
+    wal.log_begin("t2", 9, "shard1:b", {"shard1": {"b": {"f": "2"}}})
+
+    entries = wal.replay()
+    assert set(entries) == {"t1", "t2"}
+    done = entries["t1"]
+    assert done.start_ts == 7
+    assert done.primary == "shard0:a"
+    assert done.groups == GROUPS
+    assert done.decision == "commit"
+    assert done.commit_ts == 11
+    assert done.complete
+    open_txn = entries["t2"]
+    assert open_txn.decision is None
+    assert not open_txn.complete
+
+
+def test_in_doubt_excludes_completed(tmp_path):
+    wal = CoordinatorWAL(tmp_path / "wal.jsonl")
+    wal.log_begin("t1", 1, "shard0:a", GROUPS)
+    wal.log_decision("t1", "commit", 2)
+    wal.log_complete("t1")
+    wal.log_begin("t2", 3, "shard0:a", GROUPS)
+    wal.log_decision("t2", "abort")
+    assert [entry.txid for entry in wal.in_doubt()] == ["t2"]
+
+
+def test_bad_decision_rejected(tmp_path):
+    wal = CoordinatorWAL(tmp_path / "wal.jsonl")
+    with pytest.raises(ValueError, match="commit or abort"):
+        wal.log_decision("t1", "maybe")
+
+
+def test_torn_tail_dropped_on_replay(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    wal = CoordinatorWAL(path)
+    wal.log_begin("t1", 1, "shard0:a", GROUPS)
+    wal.close()
+    with open(path, "a", encoding="utf-8") as f:
+        f.write('{"type": "decision", "txid": "t1", "deci')  # no newline
+
+    reopened = CoordinatorWAL(path)
+    entry = reopened.replay()["t1"]
+    assert entry.decision is None  # the torn decision never happened
+
+
+def test_append_after_torn_tail_does_not_glue(tmp_path):
+    """A post-crash append must not concatenate onto the torn line."""
+    path = tmp_path / "wal.jsonl"
+    wal = CoordinatorWAL(path)
+    wal.log_begin("t1", 1, "shard0:a", GROUPS)
+    wal.close()
+    with open(path, "a", encoding="utf-8") as f:
+        f.write('{"type": "decision", "txid": "t1"')  # torn, no newline
+
+    reopened = CoordinatorWAL(path)
+    reopened.log_decision("t1", "abort")
+    # Every line in the file must now parse: the torn tail was truncated
+    # away before the append, not glued to it.
+    lines = path.read_text(encoding="utf-8").splitlines()
+    parsed = [json.loads(line) for line in lines]
+    assert [record["type"] for record in parsed] == ["begin", "decision"]
+    assert reopened.replay()["t1"].decision == "abort"
+
+
+def test_mid_append_crashpoint_tears_the_record(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    wal = CoordinatorWAL(path)
+    wal.log_begin("t1", 1, "shard0:a", GROUPS)
+    injector = CrashInjector({"wal.mid_append": [1]})
+    with use_crash_injector(injector):
+        with pytest.raises(CrashError):
+            wal.log_decision("t1", "commit", 5)
+
+    # The writer is "dead"; a restarted coordinator replays the log.
+    recovered = CoordinatorWAL(path)
+    entry = recovered.replay()["t1"]
+    assert entry.decision is None
+    assert [entry.txid for entry in recovered.in_doubt()] == ["t1"]
+
+
+def test_corruption_mid_stream_raises(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    path.write_text(
+        '{"type": "begin", "txid": "t1", "start_ts": 1, "primary": "s:a", "groups": {}}\n'
+        "not json at all\n"
+        '{"type": "complete", "txid": "t1"}\n',
+        encoding="utf-8",
+    )
+    wal = CoordinatorWAL(path)
+    with pytest.raises(ValueError, match="corrupt coordinator WAL"):
+        wal.replay()

@@ -1,0 +1,53 @@
+"""Loopback latency regression guard for the HTTP store stack.
+
+http.client writes headers and body as separate sends.  Without
+TCP_NODELAY on both ends, Nagle's algorithm holds the second send behind
+the peer's delayed ACK, which costs ~40 ms *per request* over loopback —
+three orders of magnitude over the real round-trip, and enough to erase
+any visible shard-scaling effect.  This test fails (by a wide margin) if
+either the eager-connect/setsockopt in the client pool or
+``disable_nagle_algorithm`` on the server handler regresses.
+"""
+
+import socket
+import time
+
+from repro.http import HttpKVStore, KVStoreHTTPServer
+from repro.kvstore import InMemoryKVStore
+
+
+def test_sequential_requests_are_not_nagle_stalled():
+    requests = 50
+    with KVStoreHTTPServer(InMemoryKVStore()) as server:
+        client = HttpKVStore(server.address)
+        try:
+            client.put("warm", {"f": "v"})  # connection + handler warm-up
+            started = time.perf_counter()
+            for i in range(requests):
+                client.put(f"k{i}", {"f": str(i)})
+                client.get(f"k{i}")
+            elapsed = time.perf_counter() - started
+        finally:
+            client.close()
+    per_request_ms = elapsed / (2 * requests) * 1000.0
+    # Healthy loopback is ~0.2-0.3 ms/request; a Nagle/delayed-ACK stall
+    # is ~40 ms.  10 ms splits those regimes with slack for slow CI.
+    assert per_request_ms < 10.0, (
+        f"{per_request_ms:.2f} ms/request over loopback — Nagle stall?"
+    )
+
+
+def test_pooled_connections_have_nodelay_set():
+    with KVStoreHTTPServer(InMemoryKVStore()) as server:
+        client = HttpKVStore(server.address)
+        try:
+            connection, _pooled = client._pool.acquire()
+            try:
+                assert connection.sock is not None  # connected eagerly
+                assert connection.sock.getsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY
+                )
+            finally:
+                client._pool.release(connection)
+        finally:
+            client.close()

@@ -5,6 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kvstore import ConsistentHashRing, InMemoryKVStore, ShardedKVStore
+from repro.kvstore.base import VersionedValue
+from repro.kvstore.latency import ConstantLatency, LatencyInjectingStore
+from repro.sim.scheduler import Scheduler
 
 
 def make_store(shard_count=3):
@@ -128,3 +131,216 @@ class TestShardedKVStore:
             store.put(key, {"v": "x"})
         scanned = [key for key, _ in store.scan("", len(keys) + 1)]
         assert scanned == sorted(keys)
+
+
+class TestRingBoundary:
+    """Regression: ``owner()`` used ``bisect_right``, so a key hashing
+    exactly onto a virtual-node point skipped its owner (asymmetric with
+    ``add_shard``'s ``bisect_left`` insertion)."""
+
+    def test_key_on_virtual_node_point_belongs_to_that_node(self):
+        # The token "a#0" hashes to exactly the point where shard a's only
+        # virtual node sits, so shard a must own it; same for "b#0".
+        ring = ConsistentHashRing(["a", "b"], replicas=1)
+        assert ring.owner("a#0") == "a"
+        assert ring.owner("b#0") == "b"
+
+    def test_exact_point_ownership_many_shards(self):
+        names = [f"s{i}" for i in range(8)]
+        ring = ConsistentHashRing(names, replicas=4)
+        for name in names:
+            for replica in range(4):
+                assert ring.owner(f"{name}#{replica}") == name
+
+
+class TestVersionPreservingMigration:
+    """Regression: ``add_shard`` re-``put``-ed only the value, resetting the
+    version counter so a stale CAS could falsely succeed after migration."""
+
+    def test_migration_preserves_versions(self):
+        store, _ = make_store(2)
+        # Multiplied suffixes spread the FNV hashes across the ring
+        # (sequential key{i} strings hash into one vnode gap).
+        for i in range(120):
+            key = f"u{i * 7919}"
+            store.put(key, {"v": "1"})
+            store.put(key, {"v": "2"})
+            store.put(key, {"v": "3"})  # every key now at version 3
+        moved = store.add_shard("shard2", InMemoryKVStore())
+        assert moved > 0
+        for i in range(120):
+            key = f"u{i * 7919}"
+            found = store.get_with_meta(key)
+            assert found is not None and found.version == 3
+            # A CAS carrying a stale version observed long ago must fail...
+            assert store.put_if_version(key, {"v": "stale"}, 1) is None
+            assert store.delete_if_version(key, 1) is None
+            # ...while a CAS carrying the current version succeeds.
+            assert store.put_if_version(key, {"v": "4"}, 3) == 4
+
+    def test_put_versioned_routes_and_preserves(self):
+        store, _ = make_store(3)
+        assert store.put_versioned("k", VersionedValue({"v": "x"}, 7)) is True
+        found = store.get_with_meta("k")
+        assert found == VersionedValue({"v": "x"}, 7)
+        # Insert-if-absent: a second restore loses to the existing value.
+        assert store.put_versioned("k", VersionedValue({"v": "y"}, 1)) is False
+        assert store.get("k") == {"v": "x"}
+
+
+class TestRemoveShard:
+    def test_remove_shard_drains_keys_with_versions(self):
+        store, shards = make_store(3)
+        for i in range(150):
+            store.put(f"u{i * 7919}", {"v": "a"})
+            store.put(f"u{i * 7919}", {"v": "b"})  # version 2
+        victim = "shard1"
+        had = shards[victim].size()
+        moved = store.remove_shard(victim)
+        assert moved == had
+        assert store.shard_count == 2
+        assert shards[victim].size() == 0
+        assert store.size() == 150
+        for i in range(150):
+            found = store.get_with_meta(f"u{i * 7919}")
+            assert found is not None
+            assert found.value == {"v": "b"} and found.version == 2
+
+    def test_remove_last_shard_rejected(self):
+        store, _ = make_store(1)
+        with pytest.raises(ValueError):
+            store.remove_shard("shard0")
+
+    def test_remove_unknown_shard_rejected(self):
+        store, _ = make_store(2)
+        with pytest.raises(ValueError):
+            store.remove_shard("nope")
+
+
+class TestOwnershipStabilityProperties:
+    @given(
+        keys=st.sets(st.text(min_size=1, max_size=10), min_size=1, max_size=80),
+        replicas=st.sampled_from([1, 8, 32]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adding_shard_moves_only_keys_it_now_owns(self, keys, replicas):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=replicas)
+        before = {key: ring.owner(key) for key in keys}
+        ring.add_shard("d")
+        for key in keys:
+            after = ring.owner(key)
+            if after != before[key]:
+                assert after == "d"
+
+    @given(
+        keys=st.sets(st.text(min_size=1, max_size=10), min_size=1, max_size=80),
+        replicas=st.sampled_from([1, 8, 32]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_removing_shard_moves_only_its_keys(self, keys, replicas):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=replicas)
+        before = {key: ring.owner(key) for key in keys}
+        ring.remove_shard("b")
+        for key in keys:
+            if before[key] != "b":
+                assert ring.owner(key) == before[key]
+
+    @given(keys=st.sets(st.text(min_size=1, max_size=10), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_store_add_shard_moves_only_new_owner_keys(self, keys):
+        shards = {"shard0": InMemoryKVStore(), "shard1": InMemoryKVStore()}
+        store = ShardedKVStore(shards)
+        for key in keys:
+            store.put(key, {"v": "x"})
+        located_before = {
+            key: next(n for n, s in shards.items() if s.contains(key)) for key in keys
+        }
+        new_shard = InMemoryKVStore()
+        store.add_shard("shard2", new_shard)
+        for key in keys:
+            if not shards[located_before[key]].contains(key):
+                # A key that physically moved must have moved to the new shard.
+                assert new_shard.contains(key)
+            assert store.get(key) == {"v": "x"}
+
+
+class TestMigrationReadRace:
+    """Regression: readers raced ``add_shard`` — a get routed through the
+    new ring before the key was copied observed a missing key.  The sim
+    scheduler makes the interleaving deterministic: latency-wrapped child
+    stores yield at every store call, so readers run mid-migration."""
+
+    def _latency_wrapped(self, scheduler, inner):
+        return LatencyInjectingStore(
+            inner, ConstantLatency(0.001), sleep=scheduler.sleep
+        )
+
+    def test_reads_never_miss_during_add_shard(self):
+        scheduler = Scheduler()
+        store = ShardedKVStore(
+            {
+                "shard0": self._latency_wrapped(scheduler, InMemoryKVStore()),
+                "shard1": self._latency_wrapped(scheduler, InMemoryKVStore()),
+            }
+        )
+        keys = [f"u{i * 7919}" for i in range(60)]
+        for key in keys:
+            store.put(key, {"v": key})
+
+        missing = []
+        done = []
+
+        def migrator():
+            store.add_shard(
+                "shard2", self._latency_wrapped(scheduler, InMemoryKVStore())
+            )
+            done.append(True)
+
+        def reader():
+            while not done:
+                for key in keys:
+                    if store.get(key) is None:
+                        missing.append(key)
+                scheduler.sleep(0.0001)
+
+        scheduler.run([migrator, reader, reader])
+        assert missing == []
+        for key in keys:
+            assert store.get(key) == {"v": key}
+
+    def test_writes_never_lost_during_add_shard(self):
+        scheduler = Scheduler()
+        store = ShardedKVStore(
+            {
+                "shard0": self._latency_wrapped(scheduler, InMemoryKVStore()),
+                "shard1": self._latency_wrapped(scheduler, InMemoryKVStore()),
+            }
+        )
+        keys = [f"u{i * 7919}" for i in range(40)]
+        for key in keys:
+            store.put(key, {"gen": "0"})
+
+        done = []
+
+        def migrator():
+            store.add_shard(
+                "shard2", self._latency_wrapped(scheduler, InMemoryKVStore())
+            )
+            done.append(True)
+
+        def writer():
+            generation = 0
+            while not done:
+                generation += 1
+                for key in keys:
+                    store.put(key, {"gen": str(generation)})
+                scheduler.sleep(0.0001)
+
+        scheduler.run([migrator, writer])
+        # Every key survived the migration with its *latest* write, and the
+        # version counter kept increasing (one initial put + N overwrites).
+        for key in keys:
+            found = store.get_with_meta(key)
+            assert found is not None
+            assert found.value["gen"] != "0"
+            assert found.version >= 2

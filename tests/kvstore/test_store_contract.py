@@ -18,6 +18,7 @@ import random
 
 import pytest
 
+from repro.cluster.router import ShardRoutedStore
 from repro.core.retry import RetryPolicy, RetryingStore
 from repro.http import HttpKVStore, KVStoreHTTPServer
 from repro.http.batching import BatchingKVStore
@@ -51,6 +52,7 @@ MATRIX = {
     "lsm": LSMKVStore,
     "cloud": SimulatedCloudStore,
     "sharded": ShardedKVStore,
+    "shard-routed": ShardRoutedStore,
     "replicated-primary": ReplicatedKVStore,
     "faults-off": FaultInjectingStore,
     "latency-zero": LatencyInjectingStore,
@@ -75,6 +77,10 @@ def store(request, tmp_path):
         yield SimulatedCloudStore(_FAST_CLOUD)
     elif kind == "sharded":
         yield ShardedKVStore({f"s{i}": InMemoryKVStore() for i in range(3)})
+    elif kind == "shard-routed":
+        # The cluster router: same ring, but shards are opaque stores
+        # (in production, HTTP clients against the shard servers).
+        yield ShardRoutedStore({f"s{i}": InMemoryKVStore() for i in range(3)})
     elif kind == "replicated-primary":
         yield ReplicatedKVStore(
             replica_count=1,
