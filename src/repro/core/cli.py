@@ -25,6 +25,12 @@ Sub-commands:
   shard servers (raw operations routed by the shard map, transactions
   committing via cross-shard 2PC), kill one shard mid-run, recover via
   coordinator-WAL replay + scavenging, and re-validate.
+* ``replication`` — leader-follower campaign: run the CEW through the
+  consistency-routed store against a leader + N follower HTTP nodes,
+  kill the leader mid-run, fail over on the lease (clean drain of the
+  dead leader's durable log), rejoin it, and re-validate; strong and
+  read_your_writes must balance the economy, bounded_staleness reports
+  its expected leak.
 * ``exp`` — declarative experiments: ``exp run`` executes a spec
   (built-in name or JSON/TOML file) N times and aggregates every metric
   into mean / stddev / 95 % confidence intervals (the extended
@@ -330,6 +336,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload property override (repeatable)",
     )
     cluster.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for violation artifacts (none written without it)",
+    )
+
+    from ..replication.campaign import REPLICATION_LEVELS
+
+    replication = commands.add_parser(
+        "replication",
+        help="leader-follower replication campaign: run CEW through the "
+        "routed store at one or more consistency levels, kill the "
+        "leader mid-run, fail over on the lease, rejoin, re-validate",
+    )
+    replication.add_argument(
+        "--level",
+        action="append",
+        choices=REPLICATION_LEVELS,
+        default=None,
+        help="consistency level to sweep (repeatable) [all three]",
+    )
+    replication.add_argument(
+        "--followers", type=int, default=2, help="follower count [2]"
+    )
+    replication.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds to sweep [3]"
+    )
+    replication.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the sweep [0]"
+    )
+    replication.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="run fault-free (the leader survives the whole run)",
+    )
+    replication.add_argument(
+        "-p",
+        "--property",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload property override (repeatable)",
+    )
+    replication.add_argument(
         "--out",
         default=None,
         metavar="DIR",
@@ -775,6 +825,49 @@ def _cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replication(args: argparse.Namespace) -> int:
+    from ..replication.campaign import REPLICATION_LEVELS, run_replication_campaign
+
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    if args.followers < 1:
+        raise SystemExit(f"--followers must be >= 1, got {args.followers}")
+    overrides: dict[str, str] = {}
+    for pair in args.property:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"bad -p argument {pair!r}: expected KEY=VALUE")
+        overrides[key.strip()] = value.strip()
+    levels = tuple(dict.fromkeys(args.level)) if args.level else REPLICATION_LEVELS
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+
+    result = run_replication_campaign(
+        seeds,
+        levels=levels,
+        follower_count=args.followers,
+        properties=overrides or None,
+        kill=not args.no_kill,
+        out_dir=args.out,
+        on_result=lambda run: print(run.summary_line(), file=sys.stderr),
+    )
+    print(result.summary())
+    for artifact in result.artifacts:
+        print(f"violation artifact: {artifact}")
+    # Same exit-code shape as `ycsbt cluster`: bounded staleness leaking
+    # money through legally stale read-modify-writes is the expected
+    # baseline; a violation at strong or read_your_writes (or a broken
+    # log-prefix invariant at any level) fails the command.
+    gated = result.gated_violations
+    if gated:
+        seeds_hit = ", ".join(f"{run.level}/{run.seed}" for run in gated)
+        print(
+            f"error: post-failover violation on {seeds_hit}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _exp(args: argparse.Namespace) -> int:
     from ..experiments import SpecValidationError
 
@@ -880,6 +973,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _crash(args)
     if args.command == "cluster":
         return _cluster(args)
+    if args.command == "replication":
+        return _replication(args)
     if args.command == "exp":
         return _exp(args)
     raise AssertionError(f"unhandled command {args.command!r}")

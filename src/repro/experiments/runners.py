@@ -382,6 +382,150 @@ def run_shard_scaling(
 
 
 # ---------------------------------------------------------------------------
+# The consistency frontier: read level x replication lag, virtual time
+# ---------------------------------------------------------------------------
+
+_FRONTIER_LEVELS = ("strong", "read_your_writes", "bounded_staleness")
+
+
+def _validate_consistency_frontier_params(params: Mapping[str, object]) -> None:
+    lag_ms = params.get("lag_ms")
+    if lag_ms is not None:
+        if isinstance(lag_ms, str) or not isinstance(lag_ms, Sequence):
+            raise SpecValidationError(
+                f"lag_ms must be a sequence of positive numbers, got {lag_ms!r}"
+            )
+        for lag in lag_ms:
+            if not isinstance(lag, (int, float)) or isinstance(lag, bool) or lag <= 0:
+                raise SpecValidationError(
+                    f"lag_ms entries must be > 0 (a zero shipping interval "
+                    f"never advances virtual time), got {lag!r}"
+                )
+    levels = params.get("levels")
+    if levels is not None:
+        if isinstance(levels, str) or not isinstance(levels, Sequence):
+            raise SpecValidationError(
+                f"levels must be a sequence of level names, got {levels!r}"
+            )
+        for level in levels:
+            if level not in _FRONTIER_LEVELS:
+                raise SpecValidationError(
+                    f"unknown consistency level {level!r}; the "
+                    f"consistency_frontier runner accepts {list(_FRONTIER_LEVELS)}"
+                )
+    bound = params.get("staleness_bound_ms")
+    if bound is not None and (
+        not isinstance(bound, (int, float)) or isinstance(bound, bool) or bound <= 0
+    ):
+        raise SpecValidationError(
+            f"staleness_bound_ms must be > 0, got {bound!r}"
+        )
+    for key in ("sessions", "ops_per_session", "follower_count"):
+        value = params.get(key)
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool) or value < 1
+        ):
+            raise SpecValidationError(f"{key} must be an int >= 1, got {value!r}")
+
+
+def run_consistency_frontier(
+    seed: int = 0,
+    quick: bool = True,
+    lag_ms: Sequence[float] = (5, 20, 80, 160, 280),
+    levels: Sequence[str] = _FRONTIER_LEVELS,
+    staleness_bound_ms: float = 300.0,
+    sessions: int = 4,
+    ops_per_session: int = 80,
+    follower_count: int = 2,
+) -> ExperimentResult:
+    """The consistency-versus-staleness frontier in virtual time.
+
+    One :func:`~repro.replication.probe.run_probe` per (level, lag)
+    cell: N session tasks against a leader + followers replica set whose
+    log shipper wakes every ``lag`` milliseconds.  Each point reports the
+    Tier-6-style anomaly score (fraction of reads that missed the
+    newest write) plus the conformance-oracle violation counts for the
+    guarantees the level actually promises.  ``strong`` must sit at
+    anomaly 0 with zero violations at every lag; relaxed levels trade a
+    growing anomaly score for follower offload while their own
+    guarantees (session order, the staleness bound) stay at zero
+    violations.  Deterministic: every number is a pure function of the
+    seed, so CI pins the whole frontier against a committed baseline.
+
+    The default sweep keeps every lag at or below the staleness bound;
+    beyond the bound the bounded level routes back to the leader and its
+    anomaly score falls again, which would break the monotone-frontier
+    reading of the figure.
+    """
+    from ..replication.probe import run_probe
+
+    _validate_consistency_frontier_params(
+        {
+            "lag_ms": tuple(lag_ms),
+            "levels": tuple(levels),
+            "staleness_bound_ms": staleness_bound_ms,
+            "sessions": sessions,
+            "ops_per_session": ops_per_session,
+            "follower_count": follower_count,
+        }
+    )
+    if not quick:
+        ops_per_session *= 4
+    result = ExperimentResult(
+        experiment="consistency_frontier",
+        description=(
+            "per-read consistency level x replication lag: anomaly score "
+            "and conformance violations over the replication protocol"
+        ),
+        notes=[
+            f"staleness bound: {staleness_bound_ms:g} ms; "
+            f"{sessions} sessions x {ops_per_session} ops; "
+            f"{follower_count} followers",
+            "deterministic: every metric is a pure function of the seed",
+        ],
+    )
+    for level in levels:
+        series = Series(label=level)
+        for lag in lag_ms:
+            probe = run_probe(
+                seed=seed,
+                level=level,
+                ship_interval_s=lag / 1000.0,
+                staleness_bound_s=staleness_bound_ms / 1000.0,
+                sessions=sessions,
+                ops_per_session=ops_per_session,
+                follower_count=follower_count,
+            )
+            report = probe.report
+            if not probe.followers_prefix_ok or not probe.followers_caught_up:
+                raise RuntimeError(
+                    f"consistency_frontier cell (level {level}, lag {lag} ms, "
+                    f"seed {seed}): replication did not converge"
+                )
+            operations = report.reads + report.writes
+            elapsed = probe.virtual_elapsed_s
+            series.points.append(
+                Point(
+                    x=float(lag),
+                    throughput=(operations / elapsed) if elapsed > 0 else 0.0,
+                    anomaly_score=report.anomaly_score,
+                    operations=operations,
+                    failed_operations=0,
+                    extra={
+                        "stale_reads": report.stale_reads,
+                        "ryw_violations": len(report.ryw_violations),
+                        "monotonic_violations": len(report.monotonic_violations),
+                        "bounded_violations": len(report.bounded_violations),
+                        "follower_read_fraction": probe.follower_read_fraction,
+                        "virtual_run_time_s": elapsed,
+                    },
+                )
+            )
+        result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -525,6 +669,30 @@ _register(
             "count (raw router and cross-shard 2PC)"
         ),
         validate=_validate_shard_scaling_params,
+    )
+)
+_register(
+    RunnerInfo(
+        name="consistency_frontier",
+        fn=run_consistency_frontier,
+        engine="sim",
+        x_label="replication lag (ms)",
+        allowed_params=frozenset(
+            {
+                "lag_ms",
+                "levels",
+                "staleness_bound_ms",
+                "sessions",
+                "ops_per_session",
+                "follower_count",
+            }
+        ),
+        description=(
+            "consistency level x replication lag over the real replication "
+            "protocol: anomaly score + conformance violations, virtual time"
+        ),
+        validate=_validate_consistency_frontier_params,
+        deterministic=True,
     )
 )
 _register(

@@ -397,6 +397,25 @@ _builtin(
 )
 _builtin(
     ExperimentSpec(
+        name="consistency_frontier",
+        runner="consistency_frontier",
+        repetitions=2,
+        seed=800,
+        params={
+            "lag_ms": (5, 20, 80, 160, 280),
+            "levels": ("strong", "read_your_writes", "bounded_staleness"),
+            "staleness_bound_ms": 300,
+        },
+        description=(
+            "consistency level x replication lag over the leader-follower "
+            "protocol: strong pins anomaly 0, relaxed levels trade a "
+            "monotonically growing anomaly score for follower offload "
+            "(virtual time, deterministic, CI-gated)"
+        ),
+    )
+)
+_builtin(
+    ExperimentSpec(
         name="staleness",
         runner="staleness",
         repetitions=3,

@@ -20,6 +20,7 @@ Protocol::
     GET    /health                      -> 200 {"status": "ok"}
     POST   /batch      {"ops": [...]}   -> 200 {"results": [...]}
     POST   /txn/<verb> {...}            -> 200 {...} (shard participants only)
+    POST   /repl/<verb> {...}           -> 200 {...} (replication nodes only)
 
 Keys are URL-path-encoded by the client; bodies are JSON.  The batch
 endpoint executes a whole operation array in one round trip — its wire
@@ -29,7 +30,10 @@ many round trips a client actually paid.
 
 **Cluster extensions.**  A server may carry a two-phase-commit
 *participant* (see :mod:`repro.cluster.participant`); the ``/txn/prepare``
-/ ``commit`` / ``abort`` / ``expire`` verbs dispatch to it.  Servers also
+/ ``commit`` / ``abort`` / ``expire`` verbs dispatch to it.  It may also
+carry a *replicator* (a :class:`~repro.replication.node.ReplicationNode`);
+the ``/repl/status`` / ``append`` / ``since`` / ``resync`` / ``promote``
+/ ``demote`` verbs dispatch to its ``handle_repl`` method.  Servers also
 support a *crashed* state (:meth:`KVStoreHTTPServer.mark_crashed`): the
 port stays bound — exactly like a just-killed real process whose OS has
 not released the address — but every connection is dropped without a
@@ -221,6 +225,9 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path.startswith("/txn/"):
             self._handle_txn(parsed.path[len("/txn/") :])
             return
+        if parsed.path.startswith("/repl/"):
+            self._handle_repl(parsed.path[len("/repl/") :])
+            return
         if parsed.path != "/batch":
             self._send_json(404, {"error": "unknown path"})
             return
@@ -283,6 +290,35 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(exc)})
             return
         self._send_json(200, result)
+
+    def _handle_repl(self, verb: str) -> None:
+        """Dispatch a replication verb to the attached replication node.
+
+        Same death semantics as the 2PC verbs: a scheduled
+        :class:`CrashError` inside the node (``repl.mid_follower_apply``)
+        kills this "process" — the server flips to crashed and the
+        connection drops with no response, so the shipper sees a
+        transport failure and the node is left holding a strict prefix.
+        """
+        self._count_request("repl")
+        replicator = getattr(self.server, "replicator", None)
+        if replicator is None:
+            self._send_json(404, {"error": "no replication node attached"})
+            return
+        document = self._read_body() or {}
+        try:
+            status, payload = replicator.handle_repl(verb, document)
+        except CrashError:
+            self.server.crashed = True  # type: ignore[attr-defined]
+            self.close_connection = True
+            return
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"malformed repl request: {exc}"})
+            return
+        except StoreError as exc:
+            self._send_json(500, {"error": str(exc)})
+            return
+        self._send_json(status, payload)
 
     def do_PUT(self) -> None:  # noqa: N802
         if self._dead():
@@ -362,12 +398,14 @@ class KVStoreHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         participant=None,
+        replicator=None,
     ):
         self._server = _QuietThreadingHTTPServer((host, port), _Handler)
         self._server.kv_store = store  # type: ignore[attr-defined]
         self._server.request_lock = threading.Lock()  # type: ignore[attr-defined]
         self._server.request_counts = {}  # type: ignore[attr-defined]
         self._server.participant = participant  # type: ignore[attr-defined]
+        self._server.replicator = replicator  # type: ignore[attr-defined]
         self._server.crashed = False  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: threading.Thread | None = None
@@ -381,6 +419,11 @@ class KVStoreHTTPServer:
     def participant(self):
         """The attached 2PC participant, or None for a plain KV server."""
         return self._server.participant  # type: ignore[attr-defined]
+
+    @property
+    def replicator(self):
+        """The attached replication node, or None for a plain KV server."""
+        return self._server.replicator  # type: ignore[attr-defined]
 
     @property
     def crashed(self) -> bool:

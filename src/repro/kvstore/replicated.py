@@ -43,6 +43,10 @@ class _ReplicationEvent:
     key: str
     value: Fields | None  # None is a delete
     version: int
+    #: Store-wide monotonic stamp.  Per-key versions restart at 1 after a
+    #: delete+reinsert, so they cannot totally order a delayed delete
+    #: against a later put to the same key; ``seq`` can.
+    seq: int = 0
 
 
 class ReplicatedKVStore(KeyValueStore):
@@ -75,6 +79,7 @@ class ReplicatedKVStore(KeyValueStore):
         self._rng = rng or random.Random()
         self._clock = clock
         self._lock = threading.RLock()
+        self._seq = 0  # store-wide event order; see _ReplicationEvent.seq
 
     @property
     def lag_seconds(self) -> float:
@@ -87,7 +92,10 @@ class ReplicatedKVStore(KeyValueStore):
     # -- replication machinery -----------------------------------------------
 
     def _enqueue(self, key: str, value: Fields | None, version: int) -> None:
-        event = _ReplicationEvent(self._clock() + self._lag, key, value, version)
+        self._seq += 1
+        event = _ReplicationEvent(
+            self._clock() + self._lag, key, value, version, self._seq
+        )
         for queue in self._queues:
             queue.append(event)
 
@@ -140,8 +148,11 @@ class ReplicatedKVStore(KeyValueStore):
             return self._read_node().scan(start_key, record_count)
 
     def keys(self) -> Iterator[str]:
+        # Materialised under the lock: the snapshot must not depend on the
+        # backing store handing out an already-safe iterator, and must stay
+        # valid while writers keep mutating the primary.
         with self._lock:
-            return self._primary.keys()
+            return iter(list(self._primary.keys()))
 
     def size(self) -> int:
         with self._lock:
@@ -166,16 +177,20 @@ class ReplicatedKVStore(KeyValueStore):
 
     def delete(self, key: str) -> bool:
         with self._lock:
+            current = self._primary.get_with_meta(key)
             existed = self._primary.delete(key)
             if existed:
-                self._enqueue(key, None, 0)
+                # A tombstone stamped version 0 would sort *before* the put
+                # it deletes; stamp it one past the version it removed so
+                # the per-key version sequence stays monotonic.
+                self._enqueue(key, None, current.version + 1)
             return existed
 
     def delete_if_version(self, key: str, expected_version: int) -> bool | None:
         with self._lock:
             result = self._primary.delete_if_version(key, expected_version)
             if result is True:
-                self._enqueue(key, None, 0)
+                self._enqueue(key, None, expected_version + 1)
             return result
 
     # -- lifecycle -----------------------------------------------------------

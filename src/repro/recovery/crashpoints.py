@@ -45,6 +45,16 @@ The catalogue (``CRASHPOINTS``):
     a participant died halfway through applying its share of a committed
     transaction.  The committed TSR survives; scavenging the shard must
     finish the roll-forward.
+``repl.mid_log_ship``
+    the leader's log shipper died between chunks of one shipment: the
+    follower holds a strict prefix of the batch.  Anti-entropy must
+    finish the catch-up; no guarantee of any consistency level may break
+    while the follower is behind.
+``repl.mid_follower_apply``
+    a follower died between applying records of one shipped batch: its
+    store and log hold a strict prefix of the leader's log.  On rejoin,
+    anti-entropy resumes from ``applied_seq``; idempotent re-application
+    must converge.
 
 Deterministic under simulation: hits are counted under a lock, and the
 PR 4 scheduler runs one task at a time, so *which* operation dies is a
@@ -78,6 +88,8 @@ CRASHPOINTS = (
     "twopc.after_prepare",
     "twopc.after_decision_logged",
     "twopc.mid_participant_commit",
+    "repl.mid_log_ship",
+    "repl.mid_follower_apply",
 )
 
 

@@ -1,0 +1,60 @@
+"""Leader–follower replication with tunable consistency tiers.
+
+The protocol layer the paper's consistency-versus-performance experiments
+need: real leader/follower nodes (in-process or behind HTTP servers),
+leader leases, async log shipping, anti-entropy repair, and a
+client-side routed store exposing per-read consistency levels.  See
+docs/REPLICATION.md for the protocol description and the consistency
+matrix.
+"""
+
+from .cluster import InProcessReplicaSet, ReplicationCluster
+from .history import ConformanceReport, History
+from .lease import LeaderLease, LeaseError, LeaseTable
+from .log import ReplicationLog, ReplicationRecord
+from .node import (
+    LeaderStoreAdapter,
+    NodeRole,
+    NodeStatus,
+    NotLeaderError,
+    ReplicationNode,
+)
+from .probe import ProbeResult, run_probe
+from .routed import (
+    ConsistencyLevel,
+    ReplicaHandle,
+    ReplicaRoutedStore,
+    ReplicaSession,
+    ReplicaSetView,
+    StaticReplicaSet,
+)
+from .ship import HttpReplLink, InProcessLink, LogShipper, anti_entropy, rejoin_follower
+
+__all__ = [
+    "ConformanceReport",
+    "ConsistencyLevel",
+    "History",
+    "HttpReplLink",
+    "InProcessLink",
+    "InProcessReplicaSet",
+    "LeaderLease",
+    "LeaderStoreAdapter",
+    "LeaseError",
+    "LeaseTable",
+    "LogShipper",
+    "NodeRole",
+    "NodeStatus",
+    "NotLeaderError",
+    "ProbeResult",
+    "ReplicaHandle",
+    "ReplicaRoutedStore",
+    "ReplicaSession",
+    "ReplicaSetView",
+    "ReplicationCluster",
+    "ReplicationLog",
+    "ReplicationNode",
+    "StaticReplicaSet",
+    "anti_entropy",
+    "rejoin_follower",
+    "run_probe",
+]

@@ -1,0 +1,387 @@
+"""Replication campaigns: kill the leader mid-run, fail over, re-validate.
+
+The ``ycsbt replication`` counterpart to ``ycsbt cluster``: each run
+executes the Closed Economy Workload against a live
+:class:`~repro.replication.cluster.ReplicationCluster` — a leader and N
+followers behind real HTTP servers, reads routed by the run's
+consistency level — and, halfway through the measured phase, **kills the
+leader's process**.  The campaign then
+
+1. waits out the leader lease and promotes the most-caught-up follower
+   under a bumped term (a *clean* failover first drains the dead
+   leader's durable log, so no acknowledged write is lost),
+2. runs the second half of the workload through the *same* routed store,
+   whose lease-backed view discovers the new leader on its own,
+3. revives the old leader and folds it back in as a follower
+   (catch-up or full resync, whichever its log demands),
+4. re-validates the CEW economy through a ``strong`` reader and checks
+   every follower's log is once again identical to the leader's.
+
+The verdict mirrors the cluster campaign's exit-code rule: at ``strong``
+and ``read_your_writes`` the post-failover economy must balance (total
+cash preserved, gamma == 0) — those are the **gated** levels.
+``bounded_staleness`` read-modify-writes against legally stale follower
+data, so its leaked money is the expected baseline the campaign reports
+but does not fail on.  A broken log-prefix invariant after rejoin is a
+protocol violation at *every* level.
+
+Wall-clock, like every campaign over real sockets: the kill point is
+deterministic (two exact half-runs), the timings are not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bindings.kv import KVStoreDB
+from ..cluster.campaign import DEFAULT_CLUSTER_PROPERTIES, _NoValidation
+from ..core.client import Client
+from ..core.closed_economy import ClosedEconomyWorkload
+from ..core.properties import Properties
+from ..core.workload import WorkloadError
+from ..kvstore.base import StoreError
+from ..measurements.registry import Measurements
+from .cluster import ReplicationCluster
+from .routed import ConsistencyLevel
+
+__all__ = [
+    "DEFAULT_REPLICATION_PROPERTIES",
+    "REPLICATION_LEVELS",
+    "GATED_LEVELS",
+    "ReplicationRunResult",
+    "ReplicationCampaignResult",
+    "run_replication",
+    "run_replication_campaign",
+    "write_replication_violation_trace",
+]
+
+#: The cluster campaign's CEW, single-threaded: one client session means
+#: read-your-writes covers every read-modify-write the session issues, so
+#: the economy must balance at both gated levels; bounded staleness still
+#: bases RMWs on legally stale reads and leaks as the reported baseline.
+DEFAULT_REPLICATION_PROPERTIES: dict[str, str] = {
+    **DEFAULT_CLUSTER_PROPERTIES,
+    "threadcount": "1",
+}
+
+REPLICATION_LEVELS = ("strong", "read_your_writes", "bounded_staleness")
+
+#: Levels whose post-failover violations fail a campaign (and CI).
+GATED_LEVELS = ("strong", "read_your_writes")
+
+
+@dataclass
+class ReplicationRunResult:
+    """One load → run → kill-leader → failover → run → rejoin cycle."""
+
+    level: str
+    seed: int
+    follower_count: int
+    #: the node killed mid-run, or None for a fault-free run.
+    killed_leader: str | None
+    new_leader: str | None
+    term: int
+    #: acknowledged records lost in the failover (must be 0: clean drain).
+    lost_records: int
+    rejoin_mode: str | None
+    healthy_operations: int
+    degraded_operations: int
+    #: validation straight after the healthy half, read at the run's level.
+    pre_gamma: float
+    pre_passed: bool
+    #: validation after failover + rejoin through a strong reader — the verdict.
+    post_gamma: float
+    post_passed: bool
+    post_validation_fields: list[tuple[str, str]]
+    #: every follower log identical to the leader's after rejoin.
+    logs_converged: bool
+    operations: int
+    failed_operations: int
+    wall_time_s: float
+    counters: dict[str, int]
+    properties: dict[str, str]
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def gated(self) -> bool:
+        return self.level in GATED_LEVELS
+
+    @property
+    def violation(self) -> bool:
+        """True when failover broke a promise the level (or protocol) made."""
+        protocol_broken = not self.logs_converged or self.lost_records > 0
+        economy_broken = not self.post_passed or self.post_gamma > 0.0
+        return protocol_broken or (self.gated and economy_broken)
+
+    @property
+    def throughput(self) -> float:
+        return self.operations / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def summary_line(self) -> str:
+        flag = "VIOLATION" if self.violation else "ok"
+        killed = self.killed_leader or "-"
+        return (
+            f"{self.level:<17} seed={self.seed:<6} "
+            f"killed={killed:<6} new-leader={self.new_leader or '-':<6} "
+            f"term={self.term} lost={self.lost_records} "
+            f"rejoin={self.rejoin_mode or '-':<8} "
+            f"pre-gamma={self.pre_gamma:.6f} post-gamma={self.post_gamma:.6f} "
+            f"ops={self.operations} failed={self.failed_operations} "
+            f"wall={self.wall_time_s:.2f}s {flag}"
+        )
+
+
+def _replication_properties(base: Mapping[str, str] | None, seed: int) -> Properties:
+    values = dict(DEFAULT_REPLICATION_PROPERTIES)
+    if base:
+        values.update({key: str(value) for key, value in base.items()})
+    values["seed"] = str(seed)
+    values["retry.seed"] = str(seed + 2)
+    return Properties(values)
+
+
+def run_replication(
+    level: str = "strong",
+    seed: int = 0,
+    follower_count: int = 2,
+    properties: Mapping[str, str] | None = None,
+    kill: bool = True,
+    kill_fraction: float = 0.5,
+    lease_duration_s: float = 0.4,
+    staleness_bound_s: float = 0.1,
+) -> ReplicationRunResult:
+    """One kill-the-leader cycle; the campaign's unit of work."""
+    if level not in REPLICATION_LEVELS:
+        raise ValueError(
+            f"unknown consistency level {level!r}; use one of {REPLICATION_LEVELS}"
+        )
+    props = _replication_properties(properties, seed)
+    wall_started = time.perf_counter()
+    with ReplicationCluster(
+        follower_count=follower_count,
+        lease_duration_s=lease_duration_s,
+        seed=seed,
+    ) as cluster:
+        routed = cluster.routed(
+            ConsistencyLevel(level), staleness_bound_s=staleness_bound_s
+        )
+        db_factory = lambda: KVStoreDB(routed, props)  # noqa: E731
+
+        workload = ClosedEconomyWorkload()
+        measurements = Measurements.from_properties(props)
+        workload.init(props, measurements)
+        client = Client(workload, db_factory, props, measurements)
+        load = client.load()
+        cluster.wait_caught_up()
+
+        total_ops = props.get_int("operationcount", 400)
+        healthy_ops = max(1, int(total_ops * kill_fraction)) if kill else total_ops
+        degraded_ops = total_ops - healthy_ops
+
+        healthy = client.run(operation_count=healthy_ops)
+        errors = list(load.errors) + list(healthy.errors)
+        operations = healthy.operations
+        failed = healthy.failed_operations
+
+        killed_leader = None
+        new_leader = None
+        term = cluster.leader_node.term
+        lost_records = 0
+        rejoin_mode = None
+        degraded_count = 0
+        if kill and degraded_ops > 0:
+            killed_leader = cluster.kill_leader()
+            failover = cluster.failover(clean=True)
+            new_leader = failover["leader"]
+            term = failover["term"]
+            lost_records = failover["lost_records"]
+            # Same workload, same routed store — its lease-backed view
+            # already points at the new leader.  Validation is skipped
+            # for this half: it reads at the run's level, and the level's
+            # verdict is taken post-rejoin through a strong reader.
+            degraded_client = Client(
+                _NoValidation(workload), db_factory, props, measurements
+            )
+            degraded = degraded_client.run(operation_count=degraded_ops)
+            errors.extend(degraded.errors)
+            operations += degraded.operations
+            failed += degraded.failed_operations
+            degraded_count = degraded.operations
+            rejoin_mode = cluster.rejoin(killed_leader)["mode"]
+        cluster.wait_caught_up()
+
+        # -- post-failover validation through a strong reader ---------------
+        post_db = KVStoreDB(cluster.routed(ConsistencyLevel.STRONG), props)
+        post_db.init()
+        try:
+            post_validation = workload.validate(post_db)
+        except (WorkloadError, StoreError) as exc:
+            errors.append(f"post-validation: {type(exc).__name__}: {exc}")
+            post_validation = None
+        finally:
+            post_db.cleanup()
+        workload.cleanup()
+
+        leader_log = cluster.leader_node.log.snapshot()
+        logs_converged = all(
+            node.log.snapshot() == leader_log
+            for node in cluster.nodes.values()
+            if node is not cluster.leader_node
+        )
+        counters = {
+            name: int(value) for name, value in measurements.counters().items()
+        }
+        counters.update(routed.counters())
+    wall_time_s = time.perf_counter() - wall_started
+    return ReplicationRunResult(
+        level=level,
+        seed=seed,
+        follower_count=follower_count,
+        killed_leader=killed_leader,
+        new_leader=new_leader,
+        term=term,
+        lost_records=lost_records,
+        rejoin_mode=rejoin_mode,
+        healthy_operations=healthy.operations,
+        degraded_operations=degraded_count,
+        pre_gamma=healthy.anomaly_score if healthy.anomaly_score is not None else 0.0,
+        pre_passed=healthy.validation.passed if healthy.validation else False,
+        post_gamma=post_validation.anomaly_score if post_validation else 1.0,
+        post_passed=post_validation.passed if post_validation else False,
+        post_validation_fields=[
+            (str(name), str(value)) for name, value in post_validation.fields
+        ]
+        if post_validation
+        else [],
+        logs_converged=logs_converged,
+        operations=operations,
+        failed_operations=failed,
+        wall_time_s=wall_time_s,
+        counters=counters,
+        properties=props.as_dict(),
+        errors=errors,
+    )
+
+
+def write_replication_violation_trace(
+    result: ReplicationRunResult, directory: str | Path
+) -> Path:
+    """Write the replayable artifact for a run that broke its promises."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, object] = {
+        "kind": "ycsbt-replication-violation",
+        "level": result.level,
+        "seed": result.seed,
+        "follower_count": result.follower_count,
+        "failover": {
+            "killed_leader": result.killed_leader,
+            "new_leader": result.new_leader,
+            "term": result.term,
+            "lost_records": result.lost_records,
+            "rejoin_mode": result.rejoin_mode,
+        },
+        "healthy_operations": result.healthy_operations,
+        "degraded_operations": result.degraded_operations,
+        "pre_failover": {"gamma": result.pre_gamma, "passed": result.pre_passed},
+        "post_failover": {
+            "gamma": result.post_gamma,
+            "passed": result.post_passed,
+            "validation": [list(pair) for pair in result.post_validation_fields],
+            "logs_converged": result.logs_converged,
+        },
+        "operations": result.operations,
+        "failed_operations": result.failed_operations,
+        "wall_time_s": result.wall_time_s,
+        "counters": result.counters,
+        "properties": result.properties,
+        "replay": {
+            "command": (
+                f"ycsbt replication --level {result.level} "
+                f"--followers {result.follower_count} "
+                f"--seeds 1 --start-seed {result.seed}"
+            ),
+        },
+        "errors": result.errors,
+    }
+    path = directory / (
+        f"replication-violation-{result.level}-seed{result.seed}.json"
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@dataclass
+class ReplicationCampaignResult:
+    """All runs of one replication campaign plus the violations surfaced."""
+
+    runs: list[ReplicationRunResult]
+    artifacts: list[Path] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[ReplicationRunResult]:
+        return [run for run in self.runs if run.violation]
+
+    @property
+    def gated_violations(self) -> list[ReplicationRunResult]:
+        """The failures that fail the campaign (and the CI job)."""
+        return [run for run in self.runs if run.violation and run.gated]
+
+    def by_level(self, level: str) -> list[ReplicationRunResult]:
+        return [run for run in self.runs if run.level == level]
+
+    def summary(self) -> str:
+        lines = []
+        for level in sorted({run.level for run in self.runs}):
+            runs = self.by_level(level)
+            violations = [run for run in runs if run.violation]
+            kills = sum(1 for run in runs if run.killed_leader is not None)
+            max_post = max((run.post_gamma for run in runs), default=0.0)
+            max_pre = max((run.pre_gamma for run in runs), default=0.0)
+            wall = sum(run.wall_time_s for run in runs)
+            lines.append(
+                f"{level}: {len(runs)} runs, {kills} leader kills, "
+                f"{len(violations)} violations, "
+                f"max pre-gamma {max_pre:.6f}, max post-gamma {max_post:.6f}, "
+                f"{wall:.2f} wall s"
+            )
+        return "\n".join(lines)
+
+
+def run_replication_campaign(
+    seeds: Sequence[int],
+    levels: Sequence[str] = REPLICATION_LEVELS,
+    follower_count: int = 2,
+    properties: Mapping[str, str] | None = None,
+    kill: bool = True,
+    out_dir: str | Path | None = None,
+    on_result=None,
+) -> ReplicationCampaignResult:
+    """Sweep seeds x consistency levels; artifacts for every violation.
+
+    Only *gated-level* violations should fail a CI job — bounded
+    staleness leaking money through legally stale read-modify-writes is
+    the expected baseline, not a bug (see the CLI's exit-code rule).
+    """
+    result = ReplicationCampaignResult(runs=[])
+    for level in levels:
+        for seed in seeds:
+            run = run_replication(
+                level=level,
+                seed=seed,
+                follower_count=follower_count,
+                properties=properties,
+                kill=kill,
+            )
+            result.runs.append(run)
+            if run.violation and out_dir is not None:
+                result.artifacts.append(
+                    write_replication_violation_trace(run, out_dir)
+                )
+            if on_result is not None:
+                on_result(run)
+    return result

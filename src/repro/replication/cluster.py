@@ -1,0 +1,404 @@
+"""Replica sets: wiring nodes, links, leases and shippers together.
+
+Two assemblies over the same protocol objects:
+
+:class:`InProcessReplicaSet`
+    nodes as plain objects, links in-process, shipping driven explicitly
+    (``ship_once``) or as a virtual-time task — the deterministic
+    substrate for the conformance suite and the ``consistency_frontier``
+    experiment.
+
+:class:`ReplicationCluster`
+    one real :class:`~repro.http.server.KVStoreHTTPServer` per node
+    (reusing the cluster package's launch/kill/revive machinery), a
+    wall-clock :class:`~repro.replication.ship.LogShipper` thread that
+    renews the leader's lease, and lease-based failover: after
+    ``kill_leader`` the campaign waits out the lease, promotes the
+    most-caught-up follower under a bumped term, and (for a *clean*
+    failover) first drains the dead leader's durable log into the
+    candidate so no acknowledged write is lost.  The harness plays the
+    coordination service (it holds the :class:`LeaseTable`), exactly as
+    documented in docs/REPLICATION.md.
+
+Both expose ``routed(level, ...)`` returning a
+:class:`~repro.replication.routed.ReplicaRoutedStore` whose view tracks
+the lease table, so a client created before a failover keeps working
+after it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..http import HttpKVStore, KVStoreHTTPServer
+from ..kvstore.base import StoreUnavailable
+from ..sim.clock import ambient_now, ambient_sleep
+from .lease import LeaseTable
+from .node import LeaderStoreAdapter, NodeRole, ReplicationNode
+from .routed import (
+    ConsistencyLevel,
+    ReplicaHandle,
+    ReplicaRoutedStore,
+    ReplicaSession,
+    ReplicaSetView,
+)
+from .ship import HttpReplLink, InProcessLink, LogShipper, anti_entropy, rejoin_follower
+
+__all__ = ["InProcessReplicaSet", "ReplicationCluster"]
+
+
+class _LeaseView(ReplicaSetView):
+    """A replica-set view that believes whatever the lease table says."""
+
+    def __init__(self, owner):
+        self._owner = owner
+
+    def leader(self) -> ReplicaHandle:
+        return self._owner._leader_handle()
+
+    def followers(self):
+        return self._owner._follower_handles()
+
+    def refresh(self) -> None:
+        # The lease table *is* the source of truth; nothing cached here.
+        pass
+
+
+class InProcessReplicaSet:
+    """Leader + N followers as in-process objects (virtual-time friendly)."""
+
+    def __init__(
+        self,
+        follower_count: int = 2,
+        lease_duration_s: float = 1.0,
+        ship_interval_s: float = 0.05,
+        clock=ambient_now,
+        seed: int = 0,
+    ):
+        if follower_count < 1:
+            raise ValueError(f"follower_count must be >= 1, got {follower_count}")
+        self._clock = clock
+        self.lease = LeaseTable(lease_duration_s, clock)
+        lease = self.lease.grant("node0")
+        self.nodes: dict[str, ReplicationNode] = {}
+        leader = ReplicationNode("node0", clock=clock)
+        leader.promote(lease.term)
+        self.nodes["node0"] = leader
+        for index in range(1, follower_count + 1):
+            node = ReplicationNode(f"node{index}", clock=clock)
+            node.demote(lease.term, "node0")
+            self.nodes[node.name] = node
+        self.shipper = LogShipper(
+            leader,
+            {
+                name: InProcessLink(node)
+                for name, node in self.nodes.items()
+                if name != "node0"
+            },
+            interval_s=ship_interval_s,
+            lease=self.lease,
+        )
+        self._rng = random.Random(seed)
+        self._view = _LeaseView(self)
+
+    # -- handles ---------------------------------------------------------------
+
+    def _leader_name(self) -> str:
+        lease = self.lease.current()
+        if lease is None:
+            raise StoreUnavailable("no leader lease granted")
+        return lease.leader
+
+    def _leader_handle(self) -> ReplicaHandle:
+        node = self.nodes[self._leader_name()]
+        return ReplicaHandle(node.name, LeaderStoreAdapter(node), node)
+
+    def _follower_handles(self):
+        leader = self._leader_name()
+        return [
+            ReplicaHandle(node.name, node.store, node)
+            for name, node in self.nodes.items()
+            if name != leader
+        ]
+
+    @property
+    def leader_node(self) -> ReplicationNode:
+        return self.nodes[self._leader_name()]
+
+    def routed(
+        self,
+        level: ConsistencyLevel = ConsistencyLevel.STRONG,
+        staleness_bound_s: float = 0.1,
+        session: ReplicaSession | None = None,
+        rng: random.Random | None = None,
+    ) -> ReplicaRoutedStore:
+        return ReplicaRoutedStore(
+            self._view,
+            level=level,
+            staleness_bound_s=staleness_bound_s,
+            session=session,
+            rng=rng or random.Random(self._rng.randrange(2**31)),
+            clock=self._clock,
+        )
+
+    # -- shipping --------------------------------------------------------------
+
+    def ship_once(self) -> dict[str, int]:
+        return self.shipper.ship_once()
+
+    def flush(self) -> None:
+        """Ship until every reachable follower holds the full leader log."""
+        leader = self.leader_node
+        while True:
+            acked = self.ship_once()
+            behind = [
+                name for name, seq in acked.items()
+                if name not in self.shipper.dead and seq < leader.log.last_seq
+            ]
+            if not behind:
+                return
+
+    # -- failover --------------------------------------------------------------
+
+    def failover(self, clean: bool = True) -> dict:
+        """Promote the most-caught-up follower once the lease has lapsed.
+
+        ``clean=True`` first drains the dead leader's durable log into
+        the candidate (a process crashed, its disk did not), so no
+        acknowledged write is lost; ``clean=False`` models losing that
+        disk — the candidate's prefix is all that survives, and the
+        return value reports how many acknowledged records were lost.
+        """
+        old_name = self._leader_name()
+        old_leader = self.nodes[old_name]
+        if self.lease.holder_alive():
+            raise RuntimeError("lease still live; wait it out before failover")
+        followers = [node for name, node in self.nodes.items() if name != old_name]
+        candidate = max(followers, key=lambda node: (node.applied_seq, node.name))
+        if clean:
+            anti_entropy(old_leader, candidate)
+        lost = old_leader.log.last_seq - candidate.applied_seq
+        lease = self.lease.acquire(candidate.name)
+        candidate.promote(lease.term)
+        for node in followers:
+            if node is not candidate:
+                node.demote(lease.term, candidate.name)
+        self.shipper = LogShipper(
+            candidate,
+            {
+                node.name: InProcessLink(node)
+                for node in followers
+                if node is not candidate
+            },
+            interval_s=self.shipper.interval_s,
+            lease=self.lease,
+        )
+        return {"leader": candidate.name, "term": lease.term, "lost_records": max(0, lost)}
+
+    def rejoin(self, name: str) -> dict:
+        """Bring a previously-dead node back as a follower of the leader."""
+        leader = self.leader_node
+        node = self.nodes[name]
+        result = rejoin_follower(leader, node)
+        node.demote(leader.term, leader.name)
+        self.shipper.add_follower(name, InProcessLink(node))
+        return result
+
+
+class ReplicationCluster:
+    """Leader + N followers, each behind a real HTTP server."""
+
+    def __init__(
+        self,
+        follower_count: int = 2,
+        lease_duration_s: float = 0.5,
+        ship_interval_s: float = 0.02,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+    ):
+        if follower_count < 1:
+            raise ValueError(f"follower_count must be >= 1, got {follower_count}")
+        self._follower_count = follower_count
+        self._host = host
+        self._ship_interval_s = ship_interval_s
+        self.lease = LeaseTable(lease_duration_s)
+        self.nodes: dict[str, ReplicationNode] = {}
+        self.servers: dict[str, KVStoreHTTPServer] = {}
+        self._clients: dict[str, HttpKVStore] = {}
+        self.shipper: LogShipper | None = None
+        self._rng = random.Random(seed)
+        self._view = _LeaseView(self)
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ReplicationCluster":
+        if self._started:
+            raise RuntimeError("cluster already started")
+        lease = self.lease.grant("node0")
+        for index in range(self._follower_count + 1):
+            name = f"node{index}"
+            node = ReplicationNode(name)
+            if name == "node0":
+                node.promote(lease.term)
+            else:
+                node.demote(lease.term, "node0")
+            self.nodes[name] = node
+            # Every server fronts the *adapter*, so plain REST writes are
+            # logged and shipped; followers answer reads and /repl only.
+            server = KVStoreHTTPServer(
+                LeaderStoreAdapter(node), host=self._host, replicator=node
+            ).start()
+            self.servers[name] = server
+            self._clients[name] = HttpKVStore(server.address)
+        self.shipper = LogShipper(
+            self.nodes["node0"],
+            self._links(exclude="node0"),
+            interval_s=self._ship_interval_s,
+            lease=self.lease,
+        ).start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self.shipper is not None:
+            self.shipper.stop()
+        for client in self._clients.values():
+            client.close()
+        for server in self.servers.values():
+            server.stop()
+        self._clients.clear()
+        self.servers.clear()
+        self._started = False
+
+    def __enter__(self) -> "ReplicationCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _links(self, exclude: str) -> dict[str, HttpReplLink]:
+        return {
+            name: HttpReplLink(name, client)
+            for name, client in self._clients.items()
+            if name != exclude and not self.servers[name].crashed
+        }
+
+    # -- handles ---------------------------------------------------------------
+
+    def _leader_name(self) -> str:
+        lease = self.lease.current()
+        if lease is None:
+            raise StoreUnavailable("no leader lease granted")
+        return lease.leader
+
+    def _leader_handle(self) -> ReplicaHandle:
+        name = self._leader_name()
+        client = self._clients[name]
+        return ReplicaHandle(name, client, HttpReplLink(name, client))
+
+    def _follower_handles(self):
+        leader = self._leader_name()
+        return [
+            ReplicaHandle(name, client, HttpReplLink(name, client))
+            for name, client in self._clients.items()
+            if name != leader and not self.servers[name].crashed
+        ]
+
+    @property
+    def leader_node(self) -> ReplicationNode:
+        return self.nodes[self._leader_name()]
+
+    def routed(
+        self,
+        level: ConsistencyLevel = ConsistencyLevel.STRONG,
+        staleness_bound_s: float = 0.1,
+        session: ReplicaSession | None = None,
+        rng: random.Random | None = None,
+    ) -> ReplicaRoutedStore:
+        return ReplicaRoutedStore(
+            self._view,
+            level=level,
+            staleness_bound_s=staleness_bound_s,
+            session=session,
+            rng=rng or random.Random(self._rng.randrange(2**31)),
+        )
+
+    # -- failure & failover ----------------------------------------------------
+
+    def kill_leader(self) -> str:
+        """Crash the leader's process: server drops connections, shipper dies."""
+        name = self._leader_name()
+        if self.shipper is not None:
+            self.shipper.stop()
+            self.shipper = None
+        self.servers[name].mark_crashed()
+        return name
+
+    def failover(self, clean: bool = True, timeout_s: float = 10.0) -> dict:
+        """Lease-based failover: wait out the grant, promote, re-ship.
+
+        Mirrors :meth:`InProcessReplicaSet.failover`; the dead leader's
+        durable log is read object-side (its "disk" survived the process)
+        for a clean catch-up.
+        """
+        deadline = ambient_now() + timeout_s
+        while self.lease.holder_alive():
+            if ambient_now() > deadline:
+                raise TimeoutError("lease never expired")
+            ambient_sleep(self.lease.remaining_s() + 0.01)
+        old_name = self.lease.current().leader
+        old_leader = self.nodes[old_name]
+        candidates = [
+            self.nodes[name]
+            for name in self.nodes
+            if name != old_name and not self.servers[name].crashed
+        ]
+        candidate = max(candidates, key=lambda node: (node.applied_seq, node.name))
+        if clean:
+            anti_entropy(old_leader, candidate)
+        lost = old_leader.log.last_seq - candidate.applied_seq
+        lease = self.lease.acquire(candidate.name)
+        candidate.promote(lease.term)
+        for node in candidates:
+            if node is not candidate:
+                node.demote(lease.term, candidate.name)
+        self.shipper = LogShipper(
+            candidate,
+            self._links(exclude=candidate.name),
+            interval_s=self._ship_interval_s,
+            lease=self.lease,
+        ).start()
+        return {"leader": candidate.name, "term": lease.term, "lost_records": max(0, lost)}
+
+    def rejoin(self, name: str) -> dict:
+        """Revive a crashed node and fold it back in as a follower."""
+        leader = self.leader_node
+        node = self.nodes[name]
+        result = rejoin_follower(leader, node)
+        node.demote(leader.term, leader.name)
+        self.servers[name].revive()
+        if self.shipper is not None:
+            self.shipper.add_follower(name, HttpReplLink(name, self._clients[name]))
+        return result
+
+    def wait_caught_up(self, timeout_s: float = 10.0) -> None:
+        """Block until every live follower holds the full leader log."""
+        deadline = ambient_now() + timeout_s
+        leader = self.leader_node
+        while True:
+            live = [
+                node for name, node in self.nodes.items()
+                if name != leader.name and not self.servers[name].crashed
+            ]
+            if all(node.applied_seq >= leader.log.last_seq for node in live):
+                return
+            if ambient_now() > deadline:
+                behind = {
+                    node.name: node.applied_seq for node in live
+                    if node.applied_seq < leader.log.last_seq
+                }
+                raise TimeoutError(
+                    f"followers never caught up to seq {leader.log.last_seq}: {behind}"
+                )
+            ambient_sleep(self._ship_interval_s)

@@ -1,0 +1,230 @@
+"""A deterministic history checker for replicated reads.
+
+The conformance suite's oracle.  Workloads write **unique markers** (one
+fresh integer per write), so every read's answer identifies exactly which
+write it observed; under the cooperative scheduler each operation is
+atomic in virtual time, so the recorded history is the *true* history —
+no happened-before ambiguity, no coordinated-omission fudge.
+
+Recorded events carry a global operation index (``idx``, assignment
+order == real time order) and the virtual timestamp.  The checks:
+
+read-your-writes
+    a session's read of ``k`` must observe its own latest earlier write
+    to ``k`` or anything newer (by per-key write order).
+monotonic reads
+    per (session, key), the observed write index never goes backwards;
+    observing *absence* after observing a write is a violation (the
+    probe workloads are delete-free, so keys never legitimately vanish).
+bounded staleness
+    a read at time ``t`` must observe at least the newest write acked
+    strictly before ``t - bound``.  ``bound=0`` is the strong check:
+    every earlier write is visible.
+staleness (anomaly) score
+    the fraction of reads that did **not** observe the newest write
+    acked before them — the Tier-6-style consistency score for the read
+    dimension: 0 by construction at ``strong``, positive and seed-stable
+    for lagged follower reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["ReadObservation", "WriteRecord", "ConformanceReport", "History"]
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRecord:
+    idx: int
+    session: str
+    key: str
+    marker: int
+    at: float
+
+
+@dataclass(frozen=True, slots=True)
+class ReadObservation:
+    idx: int
+    session: str
+    key: str
+    marker: int | None  # None: key observed absent
+    at: float
+    source: str  # "leader" | "follower" (routing attribution for reports)
+
+
+@dataclass
+class ConformanceReport:
+    """Everything the conformance suite asserts on."""
+
+    reads: int = 0
+    writes: int = 0
+    stale_reads: int = 0
+    anomaly_score: float = 0.0
+    bound_s: float | None = None
+    ryw_violations: list[dict] = field(default_factory=list)
+    monotonic_violations: list[dict] = field(default_factory=list)
+    bounded_violations: list[dict] = field(default_factory=list)
+    reads_by_source: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def violation_count(self) -> int:
+        return (
+            len(self.ryw_violations)
+            + len(self.monotonic_violations)
+            + len(self.bounded_violations)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "stale_reads": self.stale_reads,
+            "anomaly_score": self.anomaly_score,
+            "bound_s": self.bound_s,
+            "ryw_violations": list(self.ryw_violations),
+            "monotonic_violations": list(self.monotonic_violations),
+            "bounded_violations": list(self.bounded_violations),
+            "reads_by_source": dict(self.reads_by_source),
+        }
+
+
+class History:
+    """Append-only event history plus the checks over it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_idx = 0
+        self._next_marker = 0
+        self.writes: list[WriteRecord] = []
+        self.reads: list[ReadObservation] = []
+        self._writes_by_key: dict[str, list[WriteRecord]] = {}
+        self._write_by_marker: dict[int, WriteRecord] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def next_marker(self) -> int:
+        with self._lock:
+            marker = self._next_marker
+            self._next_marker += 1
+            return marker
+
+    def note_write(self, session: str, key: str, marker: int, at: float) -> WriteRecord:
+        """Record a write *after* it was acknowledged."""
+        with self._lock:
+            record = WriteRecord(self._next_idx, session, key, marker, at)
+            self._next_idx += 1
+            self.writes.append(record)
+            self._writes_by_key.setdefault(key, []).append(record)
+            self._write_by_marker[marker] = record
+            return record
+
+    def note_read(
+        self, session: str, key: str, marker: int | None, at: float, source: str
+    ) -> ReadObservation:
+        with self._lock:
+            observation = ReadObservation(self._next_idx, session, key, marker, at, source)
+            self._next_idx += 1
+            self.reads.append(observation)
+            return observation
+
+    # -- checking --------------------------------------------------------------
+
+    def _observed_write(self, read: ReadObservation) -> WriteRecord | None:
+        if read.marker is None:
+            return None
+        return self._write_by_marker.get(read.marker)
+
+    def check(self, bound_s: float | None = None) -> ConformanceReport:
+        """Run every check; ``bound_s`` enables the staleness-bound check.
+
+        ``bound_s=0`` is the strong-consistency check; None skips the
+        bound check entirely (the level promises no freshness).
+        """
+        report = ConformanceReport(
+            reads=len(self.reads), writes=len(self.writes), bound_s=bound_s
+        )
+        last_write_by_session: dict[tuple[str, str], WriteRecord] = {}
+        last_observed_idx: dict[tuple[str, str], int] = {}
+        events: list[tuple[int, str, object]] = [
+            *((w.idx, "w", w) for w in self.writes),
+            *((r.idx, "r", r) for r in self.reads),
+        ]
+        events.sort(key=lambda item: item[0])
+
+        for _, kind, event in events:
+            if kind == "w":
+                last_write_by_session[(event.session, event.key)] = event
+                continue
+            read: ReadObservation = event
+            observed = self._observed_write(read)
+            observed_idx = observed.idx if observed is not None else -1
+            report.reads_by_source[read.source] = (
+                report.reads_by_source.get(read.source, 0) + 1
+            )
+
+            # Freshness score: did it miss the newest earlier write?
+            key_writes = self._writes_by_key.get(read.key, [])
+            newest = None
+            for write in reversed(key_writes):
+                if write.idx < read.idx:
+                    newest = write
+                    break
+            if newest is not None and observed_idx < newest.idx:
+                report.stale_reads += 1
+
+            # Read-your-writes.
+            own = last_write_by_session.get((read.session, read.key))
+            if own is not None and observed_idx < own.idx:
+                report.ryw_violations.append(
+                    {
+                        "session": read.session,
+                        "key": read.key,
+                        "at": read.at,
+                        "own_write_idx": own.idx,
+                        "observed_idx": observed_idx,
+                        "source": read.source,
+                    }
+                )
+
+            # Monotonic reads.
+            previous = last_observed_idx.get((read.session, read.key))
+            if previous is not None and observed_idx < previous:
+                report.monotonic_violations.append(
+                    {
+                        "session": read.session,
+                        "key": read.key,
+                        "at": read.at,
+                        "previous_idx": previous,
+                        "observed_idx": observed_idx,
+                        "source": read.source,
+                    }
+                )
+            last_observed_idx[(read.session, read.key)] = observed_idx
+
+            # Bounded staleness.
+            if bound_s is not None:
+                horizon = read.at - bound_s
+                must_see = None
+                for write in reversed(key_writes):
+                    if write.idx < read.idx and write.at < horizon:
+                        must_see = write
+                        break
+                if must_see is not None and observed_idx < must_see.idx:
+                    report.bounded_violations.append(
+                        {
+                            "session": read.session,
+                            "key": read.key,
+                            "at": read.at,
+                            "bound_s": bound_s,
+                            "required_idx": must_see.idx,
+                            "observed_idx": observed_idx,
+                            "source": read.source,
+                        }
+                    )
+
+        report.anomaly_score = (
+            report.stale_reads / report.reads if report.reads else 0.0
+        )
+        return report

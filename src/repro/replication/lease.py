@@ -1,0 +1,105 @@
+"""Leader leases: who may accept writes, and until when.
+
+A tiny lease oracle standing in for the external coordination service a
+production deployment would use (ZooKeeper/etcd in the systems the paper
+surveys).  One grant is live at a time; the holder must renew before
+``expires_at`` or lose the right to lead.  A candidate may only acquire
+after the current grant has *expired* — that wait is what makes failover
+safe without fencing the old leader's in-flight writes: by the time the
+new term starts, the old leader (if somehow alive) can no longer renew
+and every grant carries a strictly increasing ``term``.
+
+The table is driven by the ambient clock, so the same code runs under
+wall time (HTTP campaign) and virtual time (conformance suite).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..sim.clock import ambient_now
+
+__all__ = ["LeaderLease", "LeaseError", "LeaseTable"]
+
+
+class LeaseError(Exception):
+    """A lease operation the table's rules forbid."""
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderLease:
+    leader: str
+    term: int
+    expires_at: float
+
+
+class LeaseTable:
+    """Grant, renew, and hand over the single leader lease."""
+
+    def __init__(self, duration_s: float = 1.0, clock=ambient_now):
+        if duration_s <= 0:
+            raise ValueError(f"lease duration must be positive, got {duration_s}")
+        self._duration_s = duration_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._current: LeaderLease | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration_s
+
+    def current(self) -> LeaderLease | None:
+        with self._lock:
+            return self._current
+
+    def holder_alive(self) -> bool:
+        """True while the current grant has not expired."""
+        with self._lock:
+            return self._current is not None and self._current.expires_at > self._clock()
+
+    def remaining_s(self) -> float:
+        """Seconds until the current grant expires (0 when none/expired)."""
+        with self._lock:
+            if self._current is None:
+                return 0.0
+            return max(0.0, self._current.expires_at - self._clock())
+
+    def grant(self, leader: str) -> LeaderLease:
+        """Initial grant (or forced hand-over by the control plane).
+
+        Always bumps the term — even a forced grant must fence the old
+        regime's records.
+        """
+        with self._lock:
+            term = (self._current.term if self._current else 0) + 1
+            self._current = LeaderLease(leader, term, self._clock() + self._duration_s)
+            return self._current
+
+    def renew(self, leader: str) -> LeaderLease:
+        """Extend the grant; only the live holder may renew."""
+        with self._lock:
+            current = self._current
+            if current is None or current.leader != leader:
+                raise LeaseError(f"{leader!r} does not hold the lease")
+            if current.expires_at <= self._clock():
+                raise LeaseError(f"{leader!r}'s lease expired; cannot renew")
+            self._current = LeaderLease(
+                leader, current.term, self._clock() + self._duration_s
+            )
+            return self._current
+
+    def acquire(self, candidate: str) -> LeaderLease:
+        """Take the lease after the current grant expired; bumps the term."""
+        with self._lock:
+            current = self._current
+            if current is not None and current.expires_at > self._clock():
+                raise LeaseError(
+                    f"lease still held by {current.leader!r} "
+                    f"for {current.expires_at - self._clock():.3f}s"
+                )
+            term = (current.term if current else 0) + 1
+            self._current = LeaderLease(
+                candidate, term, self._clock() + self._duration_s
+            )
+            return self._current

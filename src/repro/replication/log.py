@@ -1,0 +1,144 @@
+"""The replication log: the unit of truth a leader ships to followers.
+
+Every write a leader accepts becomes one :class:`ReplicationRecord` with a
+**contiguous, store-wide sequence number** assigned under the leader's
+lock.  Per-key versions cannot order a replication stream — they restart
+at 1 after a delete+reinsert — so ``seq`` is the stream's total order and
+``version`` is carried alongside purely so followers can mirror the
+leader's per-key ETags exactly (via ``put_versioned``).
+
+A follower's log is always a *prefix* of its leader's log (the property
+tests in ``tests/replication`` enforce this literally): followers apply
+records strictly in ``seq`` order, acknowledge the highest contiguous
+``seq`` applied, and NACK gaps so the shipper rewinds.  ``term``
+identifies the leadership regime that produced a record; after a
+failover the new leader appends under a higher term, which is how a
+rejoining stale leader detects that its unshipped suffix has been
+superseded and must be discarded.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..kvstore.base import Fields
+
+__all__ = ["ReplicationRecord", "ReplicationLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationRecord:
+    """One logged write: a put (``value`` set) or a delete (``value=None``).
+
+    ``stamped_at`` is the leader's clock at append time — anti-entropy and
+    staleness accounting use the *frontier* timestamps shipped alongside
+    batches, but the per-record stamp makes traces self-describing.
+    """
+
+    seq: int
+    term: int
+    key: str
+    value: Fields | None
+    version: int
+    stamped_at: float
+
+    def to_wire(self) -> dict:
+        return {
+            "seq": self.seq,
+            "term": self.term,
+            "key": self.key,
+            "value": self.value,
+            "version": self.version,
+            "stamped_at": self.stamped_at,
+        }
+
+    @classmethod
+    def from_wire(cls, document: dict) -> "ReplicationRecord":
+        value = document["value"]
+        return cls(
+            seq=int(document["seq"]),
+            term=int(document["term"]),
+            key=document["key"],
+            value=None if value is None else dict(value),
+            version=int(document["version"]),
+            stamped_at=float(document["stamped_at"]),
+        )
+
+
+class ReplicationLog:
+    """An append-only, seq-contiguous record list.
+
+    Thread-safe; the owning node's lock serialises *which* records get
+    appended, this lock only protects the list itself (status probes read
+    it from other threads).
+    """
+
+    def __init__(self) -> None:
+        self._records: list[ReplicationRecord] = []
+        self._lock = threading.Lock()
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._records[-1].seq if self._records else 0
+
+    @property
+    def last_term(self) -> int:
+        with self._lock:
+            return self._records[-1].term if self._records else 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def append(
+        self,
+        term: int,
+        key: str,
+        value: Fields | None,
+        version: int,
+        stamped_at: float,
+    ) -> ReplicationRecord:
+        """Assign the next ``seq`` and append; returns the new record."""
+        with self._lock:
+            seq = (self._records[-1].seq if self._records else 0) + 1
+            record = ReplicationRecord(seq, term, key, value, version, stamped_at)
+            self._records.append(record)
+            return record
+
+    def append_record(self, record: ReplicationRecord) -> None:
+        """Append an already-sequenced record (the follower apply path)."""
+        with self._lock:
+            last = self._records[-1].seq if self._records else 0
+            if record.seq != last + 1:
+                raise ValueError(
+                    f"log append out of order: have seq {last}, got {record.seq}"
+                )
+            self._records.append(record)
+
+    def since(self, seq: int, limit: int | None = None) -> list[ReplicationRecord]:
+        """Records with ``seq`` strictly greater than the given one.
+
+        The log is seq-contiguous from 1, so the suffix is an index slice.
+        """
+        with self._lock:
+            start = max(0, seq)
+            suffix = self._records[start:]
+            return suffix[:limit] if limit is not None else list(suffix)
+
+    def record_at(self, seq: int) -> ReplicationRecord | None:
+        """The record with exactly this ``seq``, or None past the end."""
+        with self._lock:
+            index = seq - 1
+            if index < 0 or index >= len(self._records):
+                return None
+            return self._records[index]
+
+    def snapshot(self) -> list[ReplicationRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

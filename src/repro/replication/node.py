@@ -1,0 +1,440 @@
+"""A replication node: one store + one log + a role.
+
+The same :class:`ReplicationNode` object is both sides of the protocol:
+
+* As **leader** it accepts writes (``leader_put`` & co.), applies them to
+  its store and appends a :class:`~repro.replication.log.ReplicationRecord`
+  to its log *atomically* under one lock, so the log is always an exact
+  history of the store.
+* As **follower** it accepts shipped batches (:meth:`append_records`),
+  applying records strictly in ``seq`` order — idempotently skipping
+  already-applied seqs, NACKing gaps — and mirrors the leader's per-key
+  versions exactly (delete + ``put_versioned``), so a follower read
+  carries the same ETag the leader would have served.
+
+Freshness accounting: each shipped batch carries the leader-clock
+``frontier_ts`` at which the batch was cut and the leader's
+``leader_last_seq`` at that instant.  A follower adopts the frontier only
+once it has applied *everything up to that seq* — holding a prefix of a
+batch must not make a node look fresh.  ``staleness_s`` is then simply
+``now - frontier_ts`` (one process, one clock; documented in
+docs/REPLICATION.md).
+
+Deaths: ``repl.mid_follower_apply`` fires before each record apply, so a
+scheduled :class:`~repro.recovery.crashpoints.CrashError` leaves the
+node holding a strict prefix of the batch with store, log and
+``applied_seq`` mutually consistent — exactly the state anti-entropy
+must be able to resume from.
+
+The node is transport-neutral: in-process callers invoke methods
+directly; :func:`ReplicationNode.handle_repl` adapts the same methods to
+the ``POST /repl/<verb>`` wire protocol served by
+:class:`~repro.http.server.KVStoreHTTPServer`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from ..kvstore.base import Fields, KeyValueStore, StoreError, VersionedValue
+from ..kvstore.memory import InMemoryKVStore
+from ..recovery.crashpoints import crashpoint
+from ..sim.clock import ambient_now
+from .log import ReplicationLog, ReplicationRecord
+
+__all__ = [
+    "NodeRole",
+    "NodeStatus",
+    "NotLeaderError",
+    "ReplicationNode",
+    "LeaderStoreAdapter",
+]
+
+
+class NodeRole(Enum):
+    LEADER = "leader"
+    FOLLOWER = "follower"
+
+
+class NotLeaderError(StoreError):
+    """A write reached a node that does not currently lead."""
+
+
+@dataclass(frozen=True, slots=True)
+class NodeStatus:
+    """A point-in-time view of a node, cheap enough to poll per read."""
+
+    name: str
+    role: NodeRole
+    term: int
+    applied_seq: int
+    last_seq: int
+    frontier_ts: float | None
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "role": self.role.value,
+            "term": self.term,
+            "applied_seq": self.applied_seq,
+            "last_seq": self.last_seq,
+            "frontier_ts": self.frontier_ts,
+        }
+
+    @classmethod
+    def from_wire(cls, document: dict) -> "NodeStatus":
+        frontier = document.get("frontier_ts")
+        return cls(
+            name=document["name"],
+            role=NodeRole(document["role"]),
+            term=int(document["term"]),
+            applied_seq=int(document["applied_seq"]),
+            last_seq=int(document["last_seq"]),
+            frontier_ts=None if frontier is None else float(frontier),
+        )
+
+
+class ReplicationNode:
+    """One replica-set member: store + log + role, under one lock."""
+
+    def __init__(
+        self,
+        name: str,
+        store: KeyValueStore | None = None,
+        role: NodeRole = NodeRole.FOLLOWER,
+        term: int = 0,
+        clock=ambient_now,
+    ):
+        self.name = name
+        self._store = store if store is not None else InMemoryKVStore()
+        self._log = ReplicationLog()
+        self._role = role
+        self._term = term
+        self._leader: str | None = name if role is NodeRole.LEADER else None
+        self._applied_seq = 0
+        self._frontier_ts: float | None = None
+        self._clock = clock
+        self._lock = threading.RLock()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def store(self) -> KeyValueStore:
+        """The node's durable store (read path; writes go through the log)."""
+        return self._store
+
+    @property
+    def log(self) -> ReplicationLog:
+        """The node's durable log (survives a process crash, like the store)."""
+        return self._log
+
+    @property
+    def role(self) -> NodeRole:
+        with self._lock:
+            return self._role
+
+    @property
+    def term(self) -> int:
+        with self._lock:
+            return self._term
+
+    @property
+    def applied_seq(self) -> int:
+        with self._lock:
+            return self._applied_seq
+
+    def status(self) -> NodeStatus:
+        with self._lock:
+            frontier = self._clock() if self._role is NodeRole.LEADER else self._frontier_ts
+            return NodeStatus(
+                name=self.name,
+                role=self._role,
+                term=self._term,
+                applied_seq=self._applied_seq,
+                last_seq=self._log.last_seq,
+                frontier_ts=frontier,
+            )
+
+    def staleness_s(self) -> float | None:
+        """How far behind the leader this node may be, in seconds.
+
+        0 for a leader; None for a follower that has never heard a
+        frontier (unknown staleness must read as *unbounded*, not fresh).
+        """
+        with self._lock:
+            if self._role is NodeRole.LEADER:
+                return 0.0
+            if self._frontier_ts is None:
+                return None
+            return max(0.0, self._clock() - self._frontier_ts)
+
+    # -- leader write path ----------------------------------------------------
+
+    def _require_leader(self) -> None:
+        if self._role is not NodeRole.LEADER:
+            raise NotLeaderError(
+                f"node {self.name!r} is a follower (term {self._term}); "
+                f"current leader: {self._leader!r}"
+            )
+
+    def _append(self, key: str, value: Fields | None, version: int) -> ReplicationRecord:
+        record = self._log.append(self._term, key, value, version, self._clock())
+        self._applied_seq = record.seq
+        return record
+
+    def leader_put(self, key: str, value: Mapping[str, str]) -> int:
+        with self._lock:
+            self._require_leader()
+            version = self._store.put(key, value)
+            self._append(key, dict(value), version)
+            return version
+
+    def leader_put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        with self._lock:
+            self._require_leader()
+            version = self._store.put_if_version(key, value, expected_version)
+            if version is not None:
+                self._append(key, dict(value), version)
+            return version
+
+    def leader_put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        with self._lock:
+            self._require_leader()
+            installed = self._store.put_versioned(key, versioned)
+            if installed:
+                self._append(key, dict(versioned.value), versioned.version)
+            return installed
+
+    def leader_delete(self, key: str) -> bool:
+        with self._lock:
+            self._require_leader()
+            current = self._store.get_with_meta(key)
+            existed = self._store.delete(key)
+            if existed:
+                # Tombstones carry removed_version + 1 (never 0) so the
+                # per-key version sequence in the log stays monotonic up
+                # to the delete; ``seq`` totally orders it regardless.
+                self._append(key, None, current.version + 1)
+            return existed
+
+    def leader_delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        with self._lock:
+            self._require_leader()
+            result = self._store.delete_if_version(key, expected_version)
+            if result is True:
+                self._append(key, None, expected_version + 1)
+            return result
+
+    # -- log shipping (leader side) -------------------------------------------
+
+    def records_since(
+        self, seq: int, limit: int | None = None
+    ) -> tuple[list[ReplicationRecord], float, int, int]:
+        """``(records, frontier_ts, leader_last_seq, term)`` for a shipment.
+
+        ``frontier_ts``/``leader_last_seq`` are cut atomically with the
+        suffix: a receiver that applies through ``leader_last_seq`` has
+        seen everything this node did up to ``frontier_ts``.
+        """
+        with self._lock:
+            records = self._log.since(seq, limit)
+            return records, self._clock(), self._log.last_seq, self._term
+
+    # -- follower apply path --------------------------------------------------
+
+    def append_records(
+        self,
+        records: Sequence[ReplicationRecord],
+        frontier_ts: float,
+        leader_last_seq: int,
+        term: int,
+        leader: str,
+    ) -> dict:
+        """Apply a shipped batch (possibly empty: a heartbeat).
+
+        Returns ``{"ok", "applied_seq", "term"}``; ``ok=False`` NACKs a
+        stale term or a gap, with ``applied_seq`` telling the shipper
+        where to rewind to.
+        """
+        with self._lock:
+            if term < self._term:
+                return {"ok": False, "reason": "stale-term",
+                        "applied_seq": self._applied_seq, "term": self._term}
+            if term > self._term or self._role is NodeRole.LEADER:
+                # A higher-term leader exists: step down / adopt it.
+                self._role = NodeRole.FOLLOWER
+                self._term = term
+                self._leader = leader
+            for record in records:
+                if record.seq <= self._applied_seq:
+                    continue  # idempotent replay
+                if record.seq != self._applied_seq + 1:
+                    return {"ok": False, "reason": "gap",
+                            "applied_seq": self._applied_seq, "term": self._term}
+                crashpoint("repl.mid_follower_apply")
+                self._apply(record)
+                self._log.append_record(record)
+                self._applied_seq = record.seq
+            if self._applied_seq >= leader_last_seq:
+                # Caught up to the shipment's cut point: adopt its frontier.
+                if self._frontier_ts is None or frontier_ts > self._frontier_ts:
+                    self._frontier_ts = frontier_ts
+            return {"ok": True, "applied_seq": self._applied_seq, "term": self._term}
+
+    def _apply(self, record: ReplicationRecord) -> None:
+        """Mirror one record, preserving the leader's exact version."""
+        if record.value is None:
+            self._store.delete(record.key)
+        else:
+            self._store.delete(record.key)
+            self._store.put_versioned(
+                record.key, VersionedValue(dict(record.value), record.version)
+            )
+
+    # -- role transitions ------------------------------------------------------
+
+    def promote(self, term: int) -> None:
+        """Become leader for ``term`` (must fence every earlier regime)."""
+        with self._lock:
+            if term <= self._term and self._role is not NodeRole.LEADER:
+                raise ValueError(
+                    f"promotion term {term} must exceed current term {self._term}"
+                )
+            self._role = NodeRole.LEADER
+            self._term = term
+            self._leader = self.name
+
+    def demote(self, term: int, leader: str) -> None:
+        """Step down and follow ``leader``; frontier resets to unknown."""
+        with self._lock:
+            self._role = NodeRole.FOLLOWER
+            self._term = max(self._term, term)
+            self._leader = leader
+            self._frontier_ts = None
+
+    def resync_from(
+        self, records: Sequence[ReplicationRecord], term: int, leader: str
+    ) -> dict:
+        """Full resync: discard local state, adopt this exact history.
+
+        The rejoin path for a node whose log *diverged* from the new
+        leader's (an unclean failover superseded its unshipped suffix).
+        """
+        with self._lock:
+            self._store.clear()
+            self._log.clear()
+            self._applied_seq = 0
+            self._role = NodeRole.FOLLOWER
+            self._term = term
+            self._leader = leader
+            self._frontier_ts = None
+            for record in records:
+                self._apply(record)
+                self._log.append_record(record)
+                self._applied_seq = record.seq
+            return {"ok": True, "applied_seq": self._applied_seq, "term": self._term}
+
+    # -- HTTP adapter ----------------------------------------------------------
+
+    def handle_repl(self, verb: str, document: dict) -> tuple[int, dict]:
+        """Dispatch one ``POST /repl/<verb>`` body; ``(status, payload)``.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        documents (the server maps those to 400) and lets ``CrashError``
+        escape (the server flips to crashed, like the 2PC verbs).
+        """
+        if verb == "status":
+            return 200, self.status().to_wire()
+        if verb == "append":
+            result = self.append_records(
+                [ReplicationRecord.from_wire(r) for r in document["records"]],
+                float(document["frontier_ts"]),
+                int(document["leader_last_seq"]),
+                int(document["term"]),
+                document["leader"],
+            )
+            return (200 if result["ok"] else 409), result
+        if verb == "since":
+            records, frontier_ts, last_seq, term = self.records_since(
+                int(document["seq"]),
+                None if document.get("limit") is None else int(document["limit"]),
+            )
+            return 200, {
+                "records": [r.to_wire() for r in records],
+                "frontier_ts": frontier_ts,
+                "leader_last_seq": last_seq,
+                "term": term,
+            }
+        if verb == "resync":
+            result = self.resync_from(
+                [ReplicationRecord.from_wire(r) for r in document["records"]],
+                int(document["term"]),
+                document["leader"],
+            )
+            return 200, result
+        if verb == "promote":
+            self.promote(int(document["term"]))
+            return 200, self.status().to_wire()
+        if verb == "demote":
+            self.demote(int(document["term"]), document["leader"])
+            return 200, self.status().to_wire()
+        return 404, {"error": f"unknown repl verb {verb!r}"}
+
+
+class LeaderStoreAdapter(KeyValueStore):
+    """The node's store surface: every write goes through the log.
+
+    This is what a leader's HTTP server serves as its ``kv_store``, so
+    ordinary REST clients replicate without knowing it — and what the
+    router hands out as the leader handle in-process.  Reads come straight
+    from the node's store; writes call the ``leader_*`` methods and raise
+    :class:`NotLeaderError` after a demotion.
+    """
+
+    def __init__(self, node: ReplicationNode):
+        self._node = node
+
+    @property
+    def node(self) -> ReplicationNode:
+        return self._node
+
+    # -- reads (leader-local) -------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self._node.store.get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        return self._node.store.scan(start_key, record_count)
+
+    def keys(self):
+        return iter(list(self._node.store.keys()))
+
+    def size(self) -> int:
+        return self._node.store.size()
+
+    # -- writes (logged) ------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        return self._node.leader_put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        return self._node.leader_put_if_version(key, value, expected_version)
+
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        return self._node.leader_put_versioned(key, versioned)
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        return [self._node.leader_put(key, value) for key, value in records]
+
+    def delete(self, key: str) -> bool:
+        return self._node.leader_delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        return self._node.leader_delete_if_version(key, expected_version)

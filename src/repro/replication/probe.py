@@ -1,0 +1,195 @@
+"""The virtual-time consistency probe: one seeded, deterministic run.
+
+:func:`run_probe` drives an :class:`~repro.replication.cluster.
+InProcessReplicaSet` under the PR-4 scheduler: N session tasks issue a
+seeded mix of unique-marker writes and reads through a
+:class:`~repro.replication.routed.ReplicaRoutedStore` at one consistency
+level, while the leader's :class:`~repro.replication.ship.LogShipper`
+runs as its own task at the configured shipping interval (the
+replication *lag* knob).  Every operation is atomic in virtual time, so
+the recorded :class:`~repro.replication.history.History` is exact and
+the run is a pure function of the seed — the conformance suite asserts
+per-level guarantees on it, and the ``consistency_frontier`` experiment
+sweeps it across lag × level.
+
+Crash schedules (``repl.mid_log_ship`` / ``repl.mid_follower_apply``)
+are armed only for the run phase, exactly like the crash campaign: the
+load phase must not die.  After the run the injector is disarmed and —
+when ``repair=True`` — dead followers are rejoined via anti-entropy and
+the set is flushed, so the result reports whether recovery converged
+(``followers_prefix_ok`` / ``followers_caught_up``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..recovery.crashpoints import CrashInjector, use_crash_injector
+from ..sim.clock import use_clock
+from ..sim.scheduler import Scheduler, SimClock
+from .cluster import InProcessReplicaSet
+from .history import ConformanceReport, History
+from .routed import ConsistencyLevel, ReplicaSession
+
+__all__ = ["ProbeResult", "run_probe"]
+
+
+@dataclass
+class ProbeResult:
+    level: str
+    seed: int
+    ship_interval_s: float
+    staleness_bound_s: float
+    report: ConformanceReport
+    counters: dict[str, int] = field(default_factory=dict)
+    shipper_crashed: bool = False
+    dead_followers: list[str] = field(default_factory=list)
+    repaired: bool = False
+    followers_prefix_ok: bool = True
+    followers_caught_up: bool = True
+    leader_log_len: int = 0
+    virtual_elapsed_s: float = 0.0
+
+    @property
+    def follower_read_fraction(self) -> float:
+        reads = self.report.reads_by_source
+        total = sum(reads.values())
+        return reads.get("follower", 0) / total if total else 0.0
+
+
+def _check_bound(level: ConsistencyLevel, staleness_bound_s: float) -> float | None:
+    """Which staleness bound the history checker should enforce."""
+    if level is ConsistencyLevel.STRONG:
+        return 0.0
+    if level is ConsistencyLevel.BOUNDED_STALENESS:
+        return staleness_bound_s
+    return None  # read_your_writes promises session order, not freshness
+
+
+def run_probe(
+    seed: int,
+    level: ConsistencyLevel | str = ConsistencyLevel.STRONG,
+    ship_interval_s: float = 0.02,
+    staleness_bound_s: float = 0.3,
+    sessions: int = 4,
+    ops_per_session: int = 100,
+    key_count: int = 8,
+    write_fraction: float = 0.3,
+    mean_think_s: float = 0.01,
+    follower_count: int = 2,
+    crash_schedule: Mapping[str, int | Iterable[int]] | None = None,
+    repair: bool = True,
+) -> ProbeResult:
+    """One deterministic probe run; see the module docstring."""
+    if isinstance(level, str):
+        level = ConsistencyLevel(level)
+    if ship_interval_s <= 0:
+        raise ValueError(f"ship_interval_s must be > 0, got {ship_interval_s}")
+    scheduler = Scheduler()
+    clock = SimClock(scheduler)
+    history = History()
+    keys = [f"key{index:04d}" for index in range(key_count)]
+
+    with use_clock(clock):
+        replica_set = InProcessReplicaSet(
+            follower_count=follower_count,
+            lease_duration_s=max(1.0, ship_interval_s * 20),
+            ship_interval_s=ship_interval_s,
+            clock=clock.now,
+            seed=seed,
+        )
+
+        # -- load phase (driver-side, crashpoints disarmed) -------------------
+        loader = replica_set.routed(
+            ConsistencyLevel.STRONG, session=ReplicaSession(), rng=random.Random(seed)
+        )
+        for key in keys:
+            marker = history.next_marker()
+            loader.put(key, {"marker": str(marker)})
+            history.note_write("load", key, marker, clock.monotonic())
+        replica_set.flush()
+
+        # -- run phase ---------------------------------------------------------
+        stop = threading.Event()
+        live_sessions = [sessions]
+        session_lock = threading.Lock()
+        routed_stores = []
+
+        def session_fn(index: int):
+            name = f"s{index}"
+            rng = random.Random(seed * 1_000_003 + index)
+            routed = replica_set.routed(
+                level,
+                staleness_bound_s=staleness_bound_s,
+                session=ReplicaSession(),
+                rng=random.Random(seed * 7_919 + index),
+            )
+            routed_stores.append(routed)
+
+            def follower_reads() -> int:
+                return routed.counters().get("REPL-FOLLOWER-READS", 0)
+
+            for _ in range(ops_per_session):
+                scheduler.sleep(rng.expovariate(1.0 / mean_think_s))
+                key = keys[rng.randrange(len(keys))]
+                if rng.random() < write_fraction:
+                    marker = history.next_marker()
+                    routed.put(key, {"marker": str(marker)})
+                    history.note_write(name, key, marker, clock.monotonic())
+                else:
+                    before = follower_reads()
+                    value = routed.get(key)
+                    source = "follower" if follower_reads() > before else "leader"
+                    marker = None if value is None else int(value["marker"])
+                    history.note_read(name, key, marker, clock.monotonic(), source)
+            with session_lock:
+                live_sessions[0] -= 1
+                if live_sessions[0] == 0:
+                    stop.set()
+
+        tasks = [lambda: replica_set.shipper.run(stop)]
+        names = ["shipper"]
+        for index in range(sessions):
+            tasks.append(lambda index=index: session_fn(index))
+            names.append(f"session-{index}")
+
+        injector = CrashInjector(crash_schedule or {})
+        with use_crash_injector(injector):
+            scheduler.run(tasks, names)
+
+        # -- repair phase (disarmed again) ------------------------------------
+        result = ProbeResult(
+            level=level.value,
+            seed=seed,
+            ship_interval_s=ship_interval_s,
+            staleness_bound_s=staleness_bound_s,
+            report=history.check(_check_bound(level, staleness_bound_s)),
+            shipper_crashed=replica_set.shipper.crashed,
+            dead_followers=sorted(replica_set.shipper.dead),
+            virtual_elapsed_s=clock.monotonic(),
+        )
+        if repair:
+            for name in list(replica_set.shipper.dead):
+                replica_set.rejoin(name)
+            replica_set.flush()
+            result.repaired = True
+        leader = replica_set.leader_node
+        leader_log = leader.log.snapshot()
+        result.leader_log_len = len(leader_log)
+        for name, node in replica_set.nodes.items():
+            if node is leader:
+                continue
+            follower_log = node.log.snapshot()
+            if follower_log != leader_log[: len(follower_log)]:
+                result.followers_prefix_ok = False
+            if len(follower_log) != len(leader_log):
+                result.followers_caught_up = False
+        counters: dict[str, int] = {}
+        for routed in routed_stores:
+            for counter, count in routed.counters().items():
+                counters[counter] = counters.get(counter, 0) + count
+        result.counters = counters
+        return result

@@ -1,0 +1,387 @@
+"""Client-side replica routing with per-read consistency levels.
+
+:class:`ReplicaRoutedStore` is an ordinary
+:class:`~repro.kvstore.base.KeyValueStore` whose reads are routed by a
+:class:`ConsistencyLevel` — the paper's consistency-versus-performance
+dial, made explicit per handle:
+
+``strong``
+    every read from the leader.  Linearizable at the read level (the
+    leader applies writes under one lock), anomaly score 0 by
+    construction; every read pays the leader.
+``read_your_writes``
+    reads *try* a follower first, admitted by the session vector: the
+    follower's answer is served only if it reflects every write this
+    session made to that key and never travels backwards from what the
+    session already observed (monotonic reads).  Otherwise the read
+    falls back to the leader.  Guarantees are per session, per key.
+``bounded_staleness``
+    reads go to a follower whose replication frontier is within
+    ``staleness_bound_s`` of now, else to the leader.  No session
+    guarantee — a freshly-bounded follower may still miss this session's
+    newest write — but the *age* of any answer is bounded.
+
+The session vector is a per-key map of versions (written and observed),
+not a global sequence number, so the same admission test works over the
+plain REST protocol (where a write's response carries only its per-key
+ETag) and in-process.  One deliberate conservatism: after a key is
+observed deleted or vanishes, version numbers restart, so the session
+routes that key to the leader rather than reason about tombstone order.
+
+Writes always go to the leader.  On a leader transport failure the store
+asks its :class:`ReplicaSetView` to ``refresh()`` (re-reading the lease
+table) and retries once — that is lease-based failover from the client's
+chair.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from ..kvstore.base import (
+    Fields,
+    KeyValueStore,
+    StoreError,
+    StoreUnavailable,
+    TransientStoreError,
+    VersionedValue,
+)
+from ..sim.clock import ambient_now
+from .node import NodeStatus, NotLeaderError
+
+__all__ = [
+    "ConsistencyLevel",
+    "ReplicaSession",
+    "ReplicaHandle",
+    "ReplicaSetView",
+    "StaticReplicaSet",
+    "ReplicaRoutedStore",
+]
+
+
+class ConsistencyLevel(Enum):
+    STRONG = "strong"
+    READ_YOUR_WRITES = "read_your_writes"
+    BOUNDED_STALENESS = "bounded_staleness"
+
+
+class ReplicaSession:
+    """The session vector backing read-your-writes + monotonic reads.
+
+    Tracks, per key, the highest version this session wrote and the
+    highest it observed.  A follower answer is admissible only if it is
+    at least as new as both.  Once a key is deleted (or observed to
+    vanish) its version counter restarts, so version comparison can no
+    longer order a follower's answer against the session's history — such
+    keys are *pinned* to the leader for the rest of the session, trading
+    a little read locality for an admission test that stays sound.
+    Thread-safe so one session can be shared by one logical client.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._written: dict[str, int] = {}
+        self._observed: dict[str, int] = {}
+        self._pinned: set[str] = set()
+
+    def note_write(self, key: str, version: int) -> None:
+        with self._lock:
+            self._written[key] = version
+            self._observed[key] = version
+
+    def note_delete(self, key: str) -> None:
+        with self._lock:
+            self._pinned.add(key)
+            self._written.pop(key, None)
+            self._observed.pop(key, None)
+
+    def note_observed(self, key: str, versioned: VersionedValue | None) -> None:
+        with self._lock:
+            if versioned is None:
+                # The key vanished under this session's feet (someone
+                # else's delete): pin it, version order is gone.
+                if key in self._observed or key in self._written:
+                    self._pinned.add(key)
+                    self._written.pop(key, None)
+                    self._observed.pop(key, None)
+            else:
+                self._observed[key] = versioned.version
+
+    def admits(self, key: str, versioned: VersionedValue | None) -> bool:
+        """May this follower answer be served to this session?"""
+        with self._lock:
+            if key in self._pinned:
+                return False
+            floor = max(self._written.get(key, 0), self._observed.get(key, 0))
+            if floor == 0:
+                return True  # nothing to violate yet
+            return versioned is not None and versioned.version >= floor
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "written": dict(self._written),
+                "observed": dict(self._observed),
+                "pinned": sorted(self._pinned),
+            }
+
+
+@dataclass(frozen=True)
+class ReplicaHandle:
+    """One routable node: a data plane (store) plus a control plane.
+
+    ``store`` serves reads/writes (for the leader this is the logged
+    :class:`~repro.replication.node.LeaderStoreAdapter` — in-process or
+    via HTTP); ``control`` answers ``status()`` with a
+    :class:`~repro.replication.node.NodeStatus` for freshness routing.
+    """
+
+    name: str
+    store: KeyValueStore
+    control: object
+
+    def status(self) -> NodeStatus:
+        return self.control.status()
+
+
+class ReplicaSetView:
+    """What the routed store needs to know about the replica set."""
+
+    def leader(self) -> ReplicaHandle:
+        raise NotImplementedError
+
+    def followers(self) -> Sequence[ReplicaHandle]:
+        raise NotImplementedError
+
+    def refresh(self) -> None:
+        """Re-discover the leader (called after a leader write failed)."""
+
+
+class StaticReplicaSet(ReplicaSetView):
+    """A fixed view; ``set_leader`` models an external failover notice."""
+
+    def __init__(self, leader: ReplicaHandle, followers: Sequence[ReplicaHandle]):
+        self._lock = threading.Lock()
+        self._leader = leader
+        self._followers = list(followers)
+
+    def leader(self) -> ReplicaHandle:
+        with self._lock:
+            return self._leader
+
+    def followers(self) -> Sequence[ReplicaHandle]:
+        with self._lock:
+            return list(self._followers)
+
+    def set_leader(self, leader: ReplicaHandle) -> None:
+        with self._lock:
+            self._followers = [
+                handle for handle in [self._leader, *self._followers]
+                if handle.name != leader.name
+            ]
+            self._leader = leader
+
+
+class _Freshness:
+    """Cached follower staleness, refreshed only when it might matter.
+
+    The cached frontier only *understates* freshness (frontiers move
+    forward), so serving on a cached pass is always safe; on a cached
+    fail we pay one status round trip before falling back to the leader.
+    """
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._frontier: dict[str, float] = {}
+
+    def fresh_within(self, handle: ReplicaHandle, bound_s: float) -> bool:
+        now = self._clock()
+        with self._lock:
+            frontier = self._frontier.get(handle.name)
+        if frontier is not None and now - frontier <= bound_s:
+            return True
+        status = handle.status()
+        if status.frontier_ts is None:
+            return False
+        with self._lock:
+            previous = self._frontier.get(handle.name)
+            if previous is None or status.frontier_ts > previous:
+                self._frontier[handle.name] = status.frontier_ts
+        return now - status.frontier_ts <= bound_s
+
+
+class ReplicaRoutedStore(KeyValueStore):
+    """Route reads by consistency level; write through the leader.
+
+    Args:
+        view: the replica-set topology (leader + followers).
+        level: the read consistency level for this handle.
+        staleness_bound_s: freshness bound for ``BOUNDED_STALENESS``.
+        session: the session vector (one per logical client); a fresh
+            one is created when omitted.
+        rng: seeded follower picker — determinism under the sim.
+    """
+
+    def __init__(
+        self,
+        view: ReplicaSetView,
+        level: ConsistencyLevel = ConsistencyLevel.STRONG,
+        staleness_bound_s: float = 0.1,
+        session: ReplicaSession | None = None,
+        rng: random.Random | None = None,
+        clock=ambient_now,
+    ):
+        if staleness_bound_s < 0:
+            raise ValueError(
+                f"staleness_bound_s must be >= 0, got {staleness_bound_s}"
+            )
+        self._view = view
+        self._level = level
+        self._bound_s = staleness_bound_s
+        self.session = session if session is not None else ReplicaSession()
+        self._rng = rng or random.Random()
+        self._clock = clock
+        self._freshness = _Freshness(clock)
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "REPL-LEADER-READS": 0,
+            "REPL-FOLLOWER-READS": 0,
+            "REPL-FALLBACK-SESSION": 0,
+            "REPL-FALLBACK-STALE": 0,
+            "REPL-LEADER-FAILOVERS": 0,
+        }
+
+    @property
+    def level(self) -> ConsistencyLevel:
+        return self._level
+
+    @property
+    def staleness_bound_s(self) -> float:
+        return self._bound_s
+
+    def counters(self) -> dict[str, int]:
+        """Routing counters, merged into benchmark reports by the bindings."""
+        with self._counter_lock:
+            return {name: count for name, count in self._counters.items() if count}
+
+    def _count(self, name: str) -> None:
+        with self._counter_lock:
+            self._counters[name] += 1
+
+    # -- leader plumbing ------------------------------------------------------
+
+    def _on_leader(self, operation):
+        """Run an operation against the leader, retrying once on failover.
+
+        A transport failure or a demoted leader triggers one
+        ``view.refresh()`` — the client re-reading the lease table — and
+        one retry against the (possibly new) leader.
+        """
+        try:
+            return operation(self._view.leader().store)
+        except (NotLeaderError, StoreUnavailable, TransientStoreError):
+            self._view.refresh()
+            self._count("REPL-LEADER-FAILOVERS")
+            return operation(self._view.leader().store)
+
+    def _pick_follower(self) -> ReplicaHandle | None:
+        followers = self._view.followers()
+        if not followers:
+            return None
+        return followers[self._rng.randrange(len(followers))]
+
+    # -- reads ----------------------------------------------------------------
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        follower = None
+        if self._level is not ConsistencyLevel.STRONG:
+            follower = self._pick_follower()
+        if follower is not None:
+            if self._level is ConsistencyLevel.READ_YOUR_WRITES:
+                try:
+                    versioned = follower.store.get_with_meta(key)
+                except StoreError:
+                    versioned = None  # dead follower: fall back to the leader
+                else:
+                    if self.session.admits(key, versioned):
+                        self._count("REPL-FOLLOWER-READS")
+                        self.session.note_observed(key, versioned)
+                        return versioned
+                self._count("REPL-FALLBACK-SESSION")
+            elif self._level is ConsistencyLevel.BOUNDED_STALENESS:
+                try:
+                    if self._freshness.fresh_within(follower, self._bound_s):
+                        versioned = follower.store.get_with_meta(key)
+                        self._count("REPL-FOLLOWER-READS")
+                        self.session.note_observed(key, versioned)
+                        return versioned
+                except StoreError:
+                    pass  # dead follower: fall back to the leader
+                self._count("REPL-FALLBACK-STALE")
+        self._count("REPL-LEADER-READS")
+        versioned = self._on_leader(lambda store: store.get_with_meta(key))
+        self.session.note_observed(key, versioned)
+        return versioned
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        # Range reads need one consistent line across keys: the leader.
+        return self._on_leader(lambda store: store.scan(start_key, record_count))
+
+    def keys(self):
+        return self._on_leader(lambda store: iter(list(store.keys())))
+
+    def size(self) -> int:
+        return self._on_leader(lambda store: store.size())
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        version = self._on_leader(lambda store: store.put(key, value))
+        self.session.note_write(key, version)
+        return version
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        version = self._on_leader(
+            lambda store: store.put_if_version(key, value, expected_version)
+        )
+        if version is not None:
+            self.session.note_write(key, version)
+        return version
+
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        installed = self._on_leader(lambda store: store.put_versioned(key, versioned))
+        if installed:
+            self.session.note_write(key, versioned.version)
+        return installed
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        def batch(store: KeyValueStore) -> list[int]:
+            if hasattr(store, "put_batch"):
+                return store.put_batch(records)
+            return [store.put(key, value) for key, value in records]
+
+        versions = self._on_leader(batch)
+        for (key, _value), version in zip(records, versions):
+            self.session.note_write(key, version)
+        return versions
+
+    def delete(self, key: str) -> bool:
+        existed = self._on_leader(lambda store: store.delete(key))
+        if existed:
+            self.session.note_delete(key)
+        return existed
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        result = self._on_leader(
+            lambda store: store.delete_if_version(key, expected_version)
+        )
+        if result is True:
+            self.session.note_delete(key)
+        return result

@@ -1,0 +1,338 @@
+"""Log shipping and anti-entropy.
+
+The :class:`LogShipper` is the leader's replication engine: on every tick
+it cuts each follower's pending log suffix (``records_since(acked)``),
+ships it, and advances that follower's acked frontier from the response.
+Empty shipments are heartbeats — they still carry the leader's
+``(frontier_ts, leader_last_seq)`` cut, which is how an already-caught-up
+follower's staleness keeps shrinking between writes.
+
+Shipments of more than one record are sent in **two chunks** with the
+``repl.mid_log_ship`` crashpoint between them, so a scheduled death
+leaves the follower holding a strict prefix of the batch — the state the
+conformance suite proves harmless: the chunk carries the *full* batch's
+``leader_last_seq``, so a partial apply never advances the follower's
+frontier, and anti-entropy resumes from the follower's acked seq.
+
+Transport is pluggable: :class:`InProcessLink` calls a
+:class:`~repro.replication.node.ReplicationNode` directly (virtual-time
+suites), :class:`HttpReplLink` speaks ``POST /repl/*`` through
+:meth:`~repro.http.client.HttpKVStore.post_json` (the campaign).  Both
+raise the ordinary store error taxonomy, so the shipper treats a dead
+follower the same way over either transport: mark it dead, keep shipping
+to the others, and let :func:`anti_entropy` repair it on rejoin.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+from ..kvstore.base import StoreError, StoreUnavailable
+from ..recovery.crashpoints import CrashError, crashpoint
+from ..sim.clock import ambient_sleep
+from .lease import LeaseError, LeaseTable
+from .log import ReplicationRecord
+from .node import NodeStatus, ReplicationNode
+
+__all__ = [
+    "InProcessLink",
+    "HttpReplLink",
+    "LogShipper",
+    "anti_entropy",
+    "rejoin_follower",
+]
+
+
+class InProcessLink:
+    """A follower link that is just the node object."""
+
+    def __init__(self, node: ReplicationNode):
+        self.name = node.name
+        self._node = node
+
+    def status(self) -> NodeStatus:
+        return self._node.status()
+
+    def append(self, records, frontier_ts, leader_last_seq, term, leader) -> dict:
+        return self._node.append_records(
+            records, frontier_ts, leader_last_seq, term, leader
+        )
+
+    def records_since(self, seq: int, limit: int | None = None):
+        return self._node.records_since(seq, limit)
+
+    def resync(self, records, term, leader) -> dict:
+        return self._node.resync_from(records, term, leader)
+
+
+class HttpReplLink:
+    """The same link surface over ``POST /repl/*``.
+
+    A non-2xx/409 response or transport failure surfaces as
+    :class:`StoreUnavailable`; a 409 is a protocol NACK and comes back as
+    the decoded response document, mirroring the in-process node.
+    """
+
+    def __init__(self, name: str, client):
+        self.name = name
+        self._client = client  # an HttpKVStore (post_json escape hatch)
+
+    def _post(self, verb: str, body: dict) -> dict:
+        status, document = self._client.post_json(f"/repl/{verb}", body)
+        if status not in (200, 409) or document is None:
+            raise StoreUnavailable(f"/repl/{verb} on {self.name!r}: HTTP {status}")
+        return document
+
+    def status(self) -> NodeStatus:
+        return NodeStatus.from_wire(self._post("status", {}))
+
+    def append(self, records, frontier_ts, leader_last_seq, term, leader) -> dict:
+        return self._post(
+            "append",
+            {
+                "records": [r.to_wire() for r in records],
+                "frontier_ts": frontier_ts,
+                "leader_last_seq": leader_last_seq,
+                "term": term,
+                "leader": leader,
+            },
+        )
+
+    def records_since(self, seq: int, limit: int | None = None):
+        document = self._post("since", {"seq": seq, "limit": limit})
+        return (
+            [ReplicationRecord.from_wire(r) for r in document["records"]],
+            float(document["frontier_ts"]),
+            int(document["leader_last_seq"]),
+            int(document["term"]),
+        )
+
+    def resync(self, records, term, leader) -> dict:
+        return self._post(
+            "resync",
+            {"records": [r.to_wire() for r in records], "term": term, "leader": leader},
+        )
+
+
+class LogShipper:
+    """Ships the leader's log to every follower, forever or until stopped.
+
+    One shipper per leadership regime: it renews the leader's lease each
+    tick (when a :class:`LeaseTable` is attached) and dies — like the
+    process it models — on a scheduled :class:`CrashError`, leaving
+    ``crashed`` set for the harness to observe.
+    """
+
+    def __init__(
+        self,
+        leader: ReplicationNode,
+        links: Mapping[str, object],
+        interval_s: float = 0.05,
+        lease: LeaseTable | None = None,
+        batch_limit: int | None = None,
+    ):
+        self._leader = leader
+        self._links = dict(links)
+        self._interval_s = interval_s
+        self._lease = lease
+        self._batch_limit = batch_limit
+        self._acked: dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: followers currently unreachable (transport failures).
+        self.dead: set[str] = set()
+        #: set when a scheduled crash killed the shipper itself.
+        self.crashed = False
+        self.lease_lost = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def leader(self) -> ReplicationNode:
+        return self._leader
+
+    @property
+    def interval_s(self) -> float:
+        return self._interval_s
+
+    def acked(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._acked)
+
+    def add_follower(self, name: str, link) -> None:
+        with self._lock:
+            self._links[name] = link
+            self._acked.pop(name, None)
+        self.dead.discard(name)
+
+    def remove_follower(self, name: str) -> None:
+        with self._lock:
+            self._links.pop(name, None)
+            self._acked.pop(name, None)
+        self.dead.discard(name)
+
+    def revive_follower(self, name: str) -> None:
+        """Forget a follower's dead mark (it rejoined); re-learn its ack."""
+        self.dead.discard(name)
+        with self._lock:
+            self._acked.pop(name, None)
+
+    # -- one tick --------------------------------------------------------------
+
+    def ship_once(self) -> dict[str, int]:
+        """Ship every follower's pending suffix; returns acked seqs.
+
+        A follower that fails at the transport level is marked ``dead``
+        and skipped on later ticks until :meth:`revive_follower`.  A
+        scheduled mid-ship crash (:class:`CrashError`) kills the whole
+        shipper — it propagates after ``crashed`` is set.
+        """
+        with self._lock:
+            links = [
+                (name, link) for name, link in self._links.items()
+                if name not in self.dead
+            ]
+        for name, link in links:
+            try:
+                self._ship_follower(name, link)
+            except CrashError as crash:
+                if crash.point == "repl.mid_follower_apply":
+                    # In-process transport: the *follower* died mid-apply
+                    # (over HTTP its server flips to crashed and this
+                    # arrives as StoreUnavailable instead).  The shipper
+                    # survives and keeps serving the other followers.
+                    self.dead.add(name)
+                    continue
+                self.crashed = True
+                raise
+            except StoreError:
+                self.dead.add(name)
+        return self.acked()
+
+    def _ship_follower(self, name: str, link) -> None:
+        with self._lock:
+            acked = self._acked.get(name)
+        if acked is None:
+            acked = link.status().applied_seq
+        records, frontier_ts, last_seq, term = self._leader.records_since(
+            acked, self._batch_limit
+        )
+        if len(records) > 1:
+            # Two chunks with a schedulable death between them: a crash
+            # leaves the follower holding a strict prefix of the batch.
+            middle = len(records) // 2
+            chunks = [records[:middle], records[middle:]]
+        else:
+            chunks = [records]
+        for index, chunk in enumerate(chunks):
+            if index > 0:
+                crashpoint("repl.mid_log_ship")
+            response = link.append(chunk, frontier_ts, last_seq, term, self._leader.name)
+            with self._lock:
+                self._acked[name] = int(response["applied_seq"])
+            if not response.get("ok", False):
+                return  # NACK (gap or stale term): rewind next tick
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, stop: threading.Event | None = None) -> None:
+        """Ship every ``interval_s`` until ``stop`` is set.
+
+        Usable as a wall-clock thread target *and* as a virtual-time sim
+        task — the sleep is ambient, and the stop flag is checked after
+        every sleep so a sim run terminates cleanly.
+        """
+        stop = stop or self._stop
+        while not stop.is_set():
+            if self._lease is not None:
+                try:
+                    self._lease.renew(self._leader.name)
+                except LeaseError:
+                    self.lease_lost = True
+                    return
+            try:
+                self.ship_once()
+            except CrashError:
+                return  # the shipper "process" is dead; crashed already set
+            ambient_sleep(self._interval_s)
+
+    def start(self) -> "LogShipper":
+        if self._thread is not None:
+            raise RuntimeError("shipper already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run, name=f"log-shipper-{self._leader.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def _as_link(endpoint):
+    """Accept either a link or a bare node everywhere repair code runs."""
+    return InProcessLink(endpoint) if isinstance(endpoint, ReplicationNode) else endpoint
+
+
+def anti_entropy(source, target, batch: int = 64) -> int:
+    """Pull ``target`` up to ``source``'s log; returns records transferred.
+
+    ``source``/``target`` are links or bare :class:`ReplicationNode`
+    objects.  Idempotent: running it twice transfers nothing the second
+    time and leaves identical state, which the property tests assert
+    directly.
+    """
+    source, target = _as_link(source), _as_link(target)
+    moved = 0
+    while True:
+        applied = target.status().applied_seq
+        records, frontier_ts, last_seq, term = source.records_since(applied, batch)
+        leader = getattr(source, "name", "anti-entropy")
+        response = target.append(records, frontier_ts, last_seq, term, leader)
+        if not response.get("ok", False):
+            raise StoreUnavailable(
+                f"anti-entropy NACKed by {getattr(target, 'name', target)!r}: "
+                f"{response.get('reason')}"
+            )
+        moved += max(0, int(response["applied_seq"]) - applied)
+        if int(response["applied_seq"]) >= last_seq:
+            return moved
+
+
+def rejoin_follower(leader, rejoiner) -> dict:
+    """Bring a returning node back into the replica set.
+
+    If the rejoiner's log is still a prefix of the leader's history
+    (clean failover, or a follower that merely fell behind), ordinary
+    anti-entropy finishes the catch-up.  If it *diverged* — it holds an
+    unshipped suffix from a dead regime that an unclean failover
+    superseded — the suffix cannot be kept: the node is fully resynced
+    from the leader's log.  Returns ``{"mode": "catch-up"|"resync",
+    "records": n}``.
+    """
+    leader, rejoiner = _as_link(leader), _as_link(rejoiner)
+    status = rejoiner.status()
+    diverged = False
+    if status.applied_seq > 0:
+        # What does the leader hold at the rejoiner's last applied seq?
+        tail, _, last_seq, _ = leader.records_since(status.applied_seq - 1, 1)
+        leader_record = tail[0] if tail else None
+        own_tail, _, _, _ = rejoiner.records_since(status.applied_seq - 1, 1)
+        own_record = own_tail[0] if own_tail else None
+        diverged = (
+            status.applied_seq > last_seq
+            or leader_record is None
+            or own_record is None
+            or leader_record != own_record
+        )
+    if diverged:
+        records, _, _, term = leader.records_since(0)
+        leader_name = getattr(leader, "name", "leader")
+        rejoiner.resync(records, term, leader_name)
+        return {"mode": "resync", "records": len(records)}
+    moved = anti_entropy(leader, rejoiner)
+    return {"mode": "catch-up", "records": moved}

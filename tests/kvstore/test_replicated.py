@@ -90,3 +90,68 @@ class TestReplication:
         store.clear()
         assert store.size() == 0
         assert store.replication_backlog() == 0
+
+
+class TestSatelliteRegressions:
+    def test_keys_iterator_survives_concurrent_mutation(self):
+        """``keys()`` must hand back a snapshot, not a live view.
+
+        The original implementation returned whatever iterator the primary
+        produced straight through ``self._lock``; iterating it after the
+        lock was released raced with writers.  The snapshot contract:
+        mutations made *during* iteration are invisible to it and must not
+        break it.
+        """
+        store, _ = make_store(lag=0.0, preference=ReadPreference.PRIMARY)
+        for key in ("a", "b", "c", "d"):
+            store.put(key, {})
+        iterator = store.keys()
+        seen = [next(iterator)]
+        store.delete("c")          # mutate mid-iteration
+        store.put("e", {})
+        seen.extend(iterator)      # must not raise, must be the snapshot
+        assert seen == ["a", "b", "c", "d"]
+        assert list(store.keys()) == ["a", "b", "d", "e"]
+
+    def test_delete_events_are_stamped_with_monotonic_versions(self):
+        """Tombstones carry a real version, not 0.
+
+        A delete stamped ``version=0`` sorts *before* the put it removed,
+        so a delayed delete was unorderable against any later put to the
+        same key.  Deletes must carry ``removed_version + 1``.
+        """
+        store, _ = make_store(lag=1.0)
+        v1 = store.put("k", {"v": "a"})
+        store.delete("k")
+        events = list(store._queues[0])
+        assert [e.version for e in events] == [v1, v1 + 1]
+        assert all(e.version > 0 for e in events)
+
+    def test_conditional_delete_events_are_stamped_too(self):
+        store, _ = make_store(lag=1.0)
+        version = store.put("k", {"v": "a"})
+        assert store.delete_if_version("k", version) is True
+        tombstone = store._queues[0][-1]
+        assert tombstone.version == version + 1
+
+    def test_delete_put_interleaving_is_totally_ordered(self):
+        """put, delete, re-put: event stamps must strictly increase.
+
+        Per-key versions restart at 1 after delete+reinsert, so the
+        store-wide ``seq`` stamp is what orders the stream; it must be
+        strictly monotonic across the interleaving, and applying the
+        events in stamp order must land on the final primary state.
+        """
+        store, clock = make_store(lag=1.0)
+        store.put("k", {"v": "old"})
+        store.delete("k")
+        store.put("k", {"v": "new"})  # per-key version restarts at 1 here
+        events = list(store._queues[0])
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # Replaying in seq order converges on the primary's state.
+        clock[0] += 2.0
+        assert store.get("k") == {"v": "new"}
+        store.flush_replication()
+        assert store.get("k") == {"v": "new"}

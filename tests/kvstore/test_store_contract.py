@@ -36,6 +36,13 @@ from repro.kvstore.base import KeyValueStore
 from repro.kvstore.cloud import CloudStoreProfile
 from repro.kvstore.lsm import LSMKVStore
 from repro.recovery.store import CrashpointStore
+from repro.replication import (
+    ConsistencyLevel,
+    InProcessReplicaSet,
+    LeaderStoreAdapter,
+    ReplicaRoutedStore,
+    ReplicationNode,
+)
 
 _FAST_CLOUD = CloudStoreProfile(
     name="fast",
@@ -60,6 +67,8 @@ MATRIX = {
     "http": HttpKVStore,
     "http-batching": BatchingKVStore,
     "crashpoint-quiet": CrashpointStore,
+    "leader-adapter": LeaderStoreAdapter,
+    "replica-routed": ReplicaRoutedStore,
 }
 
 
@@ -109,6 +118,17 @@ def store(request, tmp_path):
         # No injector installed: the crashpoint wrapper must be perfectly
         # transparent, like faults-off for the fault wrapper.
         yield CrashpointStore(InMemoryKVStore())
+    elif kind == "leader-adapter":
+        # The replication leader's write path: every mutation is logged
+        # for shipping, so the suite proves logging changes no semantics.
+        node = ReplicationNode("leader", clock=lambda: 0.0)
+        node.promote(1)
+        yield LeaderStoreAdapter(node)
+    elif kind == "replica-routed":
+        # The client-side consistency router at its strictest level:
+        # every operation lands on the leader through the replica view.
+        replica_set = InProcessReplicaSet(follower_count=1, clock=lambda: 0.0)
+        yield replica_set.routed(ConsistencyLevel.STRONG)
     elif kind == "http-batching":
         # The batch-coalescing wrapper over the real wire protocol: the
         # whole suite doubles as the proof that write-behind batching

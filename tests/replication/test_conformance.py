@@ -1,0 +1,156 @@
+"""The consistency-conformance suite (the PR-8 tentpole).
+
+Deterministic virtual-time probe runs through the real replication
+protocol — leader node, log shipper task, routed clients — checked
+against the exact-history oracle.  Asserts the per-level guarantee
+matrix, the seed-stability of the anomaly score, and that every
+guarantee survives the two replication crash schedules.
+"""
+
+import pytest
+
+from repro.replication import ConsistencyLevel, run_probe
+
+SEED = 1234
+LEVELS = [
+    ConsistencyLevel.STRONG,
+    ConsistencyLevel.READ_YOUR_WRITES,
+    ConsistencyLevel.BOUNDED_STALENESS,
+]
+# Both replication crashpoints, hit at their Nth crossing during the run
+# phase.  mid_log_ship kills the shipper itself; mid_follower_apply kills
+# a follower mid-apply and the shipper routes around the corpse.
+CRASH_SCHEDULES = [
+    pytest.param({"repl.mid_log_ship": 3}, id="mid-log-ship"),
+    pytest.param({"repl.mid_follower_apply": 5}, id="mid-follower-apply"),
+]
+
+
+def assert_level_guarantees(result):
+    """The per-level contract every probe run must honour.
+
+    strong              every guarantee, anomaly 0, leader-only reads
+    read_your_writes    session guarantees (RYW + monotonic), no freshness
+    bounded_staleness   the freshness bound; sessions are NOT protected
+                        (routing is by frontier age alone, so a session
+                        may legally miss its own just-issued write)
+    """
+    report = result.report
+    if result.level == "strong":
+        assert report.ryw_violations == []
+        assert report.monotonic_violations == []
+        assert report.bounded_violations == []  # bound 0: perfect freshness
+        assert report.anomaly_score == 0.0
+        assert report.reads_by_source.get("follower", 0) == 0
+    elif result.level == "read_your_writes":
+        assert report.ryw_violations == []
+        assert report.monotonic_violations == []
+    elif result.level == "bounded_staleness":
+        assert report.bounded_violations == []  # never staler than the bound
+
+
+class TestFaultFreeRuns:
+    @pytest.mark.parametrize("level", LEVELS, ids=[l.value for l in LEVELS])
+    def test_level_guarantees_hold(self, level):
+        result = run_probe(SEED, level)
+        assert_level_guarantees(result)
+        assert not result.shipper_crashed
+        assert result.dead_followers == []
+        assert result.followers_prefix_ok
+        assert result.followers_caught_up
+
+    def test_strong_scores_zero_and_lagged_followers_score_positive(self):
+        strong = run_probe(SEED, ConsistencyLevel.STRONG)
+        assert strong.report.anomaly_score == 0.0
+        lagged = run_probe(
+            SEED, ConsistencyLevel.BOUNDED_STALENESS,
+            ship_interval_s=0.1, staleness_bound_s=0.5,
+        )
+        assert lagged.report.anomaly_score > 0.0
+        assert lagged.follower_read_fraction > 0.5  # lag tolerated, not hidden
+        assert lagged.report.bounded_violations == []
+
+    def test_relaxed_levels_actually_offload_the_leader(self):
+        strong = run_probe(SEED, ConsistencyLevel.STRONG)
+        ryw = run_probe(SEED, ConsistencyLevel.READ_YOUR_WRITES)
+        assert strong.follower_read_fraction == 0.0
+        assert ryw.follower_read_fraction > 0.5
+
+    @pytest.mark.parametrize("level", LEVELS, ids=[l.value for l in LEVELS])
+    def test_same_seed_same_history(self, level):
+        first = run_probe(SEED, level)
+        second = run_probe(SEED, level)
+        assert first.report.to_dict() == second.report.to_dict()
+        assert first.counters == second.counters
+        assert first.leader_log_len == second.leader_log_len
+
+    def test_different_seeds_diverge(self):
+        first = run_probe(1, ConsistencyLevel.READ_YOUR_WRITES)
+        second = run_probe(2, ConsistencyLevel.READ_YOUR_WRITES)
+        assert first.report.to_dict() != second.report.to_dict()
+
+
+class TestCrashSchedules:
+    @pytest.mark.parametrize("level", LEVELS, ids=[l.value for l in LEVELS])
+    @pytest.mark.parametrize("schedule", CRASH_SCHEDULES)
+    def test_guarantees_survive_crashes(self, level, schedule):
+        result = run_probe(SEED, level, crash_schedule=schedule)
+        assert_level_guarantees(result)
+        # The schedule actually fired somewhere.
+        assert result.shipper_crashed or result.dead_followers
+
+    @pytest.mark.parametrize("schedule", CRASH_SCHEDULES)
+    def test_recovery_converges_after_crash(self, schedule):
+        result = run_probe(
+            SEED, ConsistencyLevel.READ_YOUR_WRITES, crash_schedule=schedule
+        )
+        assert result.repaired
+        assert result.followers_prefix_ok  # never diverged, only lagged
+        assert result.followers_caught_up  # anti-entropy closed the gap
+
+    @pytest.mark.parametrize("schedule", CRASH_SCHEDULES)
+    def test_crashed_runs_are_deterministic_too(self, schedule):
+        first = run_probe(SEED, ConsistencyLevel.BOUNDED_STALENESS,
+                          crash_schedule=schedule)
+        second = run_probe(SEED, ConsistencyLevel.BOUNDED_STALENESS,
+                           crash_schedule=schedule)
+        assert first.report.to_dict() == second.report.to_dict()
+        assert first.dead_followers == second.dead_followers
+        assert first.shipper_crashed == second.shipper_crashed
+
+    def test_dead_follower_does_not_stop_the_others(self):
+        result = run_probe(
+            SEED, ConsistencyLevel.READ_YOUR_WRITES,
+            crash_schedule={"repl.mid_follower_apply": 5},
+        )
+        assert result.dead_followers  # one died...
+        assert not result.shipper_crashed  # ...but shipping continued
+
+    def test_without_repair_the_gap_is_visible(self):
+        result = run_probe(
+            SEED, ConsistencyLevel.READ_YOUR_WRITES,
+            crash_schedule={"repl.mid_follower_apply": 5}, repair=False,
+        )
+        assert not result.repaired
+        assert result.followers_prefix_ok  # prefix property holds regardless
+        assert not result.followers_caught_up  # the dead follower still lags
+
+
+class TestLagSensitivity:
+    def test_anomaly_grows_with_lag_under_a_fixed_bound(self):
+        """The frontier claim in miniature: more lag, more stale reads."""
+        bound = 0.3
+        lags = [0.005, 0.04, 0.25]
+        scores = [
+            run_probe(SEED, ConsistencyLevel.BOUNDED_STALENESS,
+                      ship_interval_s=lag, staleness_bound_s=bound,
+                      ).report.anomaly_score
+            for lag in lags
+        ]
+        assert scores == sorted(scores)
+        assert scores[-1] > scores[0]
+
+    def test_probe_rejects_zero_ship_interval(self):
+        # ambient_sleep(0) would spin forever in virtual time
+        with pytest.raises(ValueError):
+            run_probe(SEED, ConsistencyLevel.STRONG, ship_interval_s=0.0)

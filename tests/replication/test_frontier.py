@@ -1,0 +1,88 @@
+"""The consistency_frontier experiment: shape, monotonicity, spec wiring."""
+
+import pytest
+
+from repro.experiments.runners import (
+    RUNNERS,
+    SpecValidationError,
+    run_consistency_frontier,
+)
+from repro.experiments.spec import builtin_spec
+
+LAGS = (5, 20, 80, 160, 280)
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return run_consistency_frontier(seed=800, lag_ms=LAGS)
+
+
+class TestFrontierShape:
+    def test_one_series_per_level_one_point_per_lag(self, frontier):
+        assert [series.label for series in frontier.series] == [
+            "strong", "read_your_writes", "bounded_staleness",
+        ]
+        for series in frontier.series:
+            assert series.xs() == [float(lag) for lag in LAGS]
+
+    def test_strong_pins_anomaly_zero_at_every_lag(self, frontier):
+        strong = frontier.series_by_label("strong")
+        for point in strong.points:
+            assert point.anomaly_score == 0.0
+            assert point.extra["follower_read_fraction"] == 0.0
+            assert point.extra["bounded_violations"] == 0
+
+    @pytest.mark.parametrize("level", ["read_your_writes", "bounded_staleness"])
+    def test_anomaly_grows_monotonically_with_lag(self, frontier, level):
+        scores = frontier.series_by_label(level).anomaly_scores()
+        assert scores == sorted(scores)
+        assert scores[0] > 0.0  # lagged followers leak staleness immediately
+        assert scores[-1] > scores[0]
+
+    def test_promised_guarantees_cost_zero_violations(self, frontier):
+        for point in frontier.series_by_label("read_your_writes").points:
+            assert point.extra["ryw_violations"] == 0
+            assert point.extra["monotonic_violations"] == 0
+        for point in frontier.series_by_label("bounded_staleness").points:
+            assert point.extra["bounded_violations"] == 0
+
+    def test_relaxed_levels_offload_the_leader(self, frontier):
+        for level in ("read_your_writes", "bounded_staleness"):
+            for point in frontier.series_by_label(level).points:
+                assert point.extra["follower_read_fraction"] > 0.5
+
+
+class TestSpecWiring:
+    def test_runner_is_registered_deterministic(self):
+        info = RUNNERS["consistency_frontier"]
+        assert info.deterministic
+        assert info.engine == "sim"
+        assert info.x_label == "replication lag (ms)"
+
+    def test_builtin_spec_validates_and_stays_inside_the_bound(self):
+        spec = builtin_spec("consistency_frontier")
+        assert spec.deterministic
+        bound = spec.params["staleness_bound_ms"]
+        # lag beyond the bound routes reads back to the leader and the
+        # anomaly curve would bend down: the sweep must stay at/below it
+        assert all(lag <= bound for lag in spec.params["lag_ms"])
+
+    def test_param_validation_rejects_bad_cells(self):
+        with pytest.raises(SpecValidationError):
+            run_consistency_frontier(lag_ms=(0,))
+        with pytest.raises(SpecValidationError):
+            run_consistency_frontier(levels=("eventual",))
+        with pytest.raises(SpecValidationError):
+            run_consistency_frontier(staleness_bound_ms=-5)
+        with pytest.raises(SpecValidationError):
+            run_consistency_frontier(sessions=0)
+
+    def test_same_seed_reproduces_the_frontier_exactly(self, frontier):
+        again = run_consistency_frontier(seed=800, lag_ms=LAGS)
+        for first, second in zip(frontier.series, again.series):
+            assert [p.anomaly_score for p in first.points] == [
+                p.anomaly_score for p in second.points
+            ]
+            assert [p.throughput for p in first.points] == [
+                p.throughput for p in second.points
+            ]

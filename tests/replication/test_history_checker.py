@@ -1,0 +1,96 @@
+"""The checker itself must catch planted violations (tests of the oracle)."""
+
+from repro.replication import History
+
+
+def write(history, session, key, at):
+    marker = history.next_marker()
+    history.note_write(session, key, marker, at)
+    return marker
+
+
+class TestCleanHistories:
+    def test_empty_history_is_clean(self):
+        report = History().check(bound_s=0.0)
+        assert report.violation_count == 0
+        assert report.anomaly_score == 0.0
+
+    def test_perfectly_fresh_reads_are_clean_under_the_strong_check(self):
+        history = History()
+        m1 = write(history, "s1", "k", at=1.0)
+        history.note_read("s1", "k", m1, at=2.0, source="leader")
+        m2 = write(history, "s2", "k", at=3.0)
+        history.note_read("s1", "k", m2, at=4.0, source="leader")
+        report = history.check(bound_s=0.0)
+        assert report.violation_count == 0
+        assert report.stale_reads == 0
+        assert report.reads_by_source == {"leader": 2}
+
+
+class TestPlantedViolations:
+    def test_missing_own_write_is_a_ryw_violation(self):
+        history = History()
+        m1 = write(history, "s1", "k", at=1.0)
+        write(history, "s1", "k", at=2.0)  # s1's newer write
+        history.note_read("s1", "k", m1, at=3.0, source="follower")
+        report = history.check()
+        assert len(report.ryw_violations) == 1
+        assert report.ryw_violations[0]["source"] == "follower"
+
+    def test_other_sessions_writes_do_not_trigger_ryw(self):
+        history = History()
+        m1 = write(history, "s1", "k", at=1.0)
+        write(history, "s2", "k", at=2.0)  # someone else's write
+        history.note_read("s1", "k", m1, at=3.0, source="follower")
+        report = history.check()
+        assert report.ryw_violations == []
+        assert report.stale_reads == 1  # still counts as stale
+
+    def test_going_backwards_is_a_monotonic_violation(self):
+        history = History()
+        m1 = write(history, "w", "k", at=1.0)
+        m2 = write(history, "w", "k", at=2.0)
+        history.note_read("r", "k", m2, at=3.0, source="follower")
+        history.note_read("r", "k", m1, at=4.0, source="follower")
+        report = history.check()
+        assert len(report.monotonic_violations) == 1
+
+    def test_observed_absence_after_a_value_is_a_monotonic_violation(self):
+        history = History()
+        m1 = write(history, "w", "k", at=1.0)
+        history.note_read("r", "k", m1, at=2.0, source="follower")
+        history.note_read("r", "k", None, at=3.0, source="follower")
+        report = history.check()
+        assert len(report.monotonic_violations) == 1
+
+    def test_bounded_staleness_flags_only_beyond_the_bound(self):
+        history = History()
+        m1 = write(history, "w", "k", at=1.0)
+        write(history, "w", "k", at=5.0)
+        # read at 5.3 with bound 0.5: horizon 4.8, write@5.0 not yet owed
+        history.note_read("r", "k", m1, at=5.3, source="follower")
+        assert history.check(bound_s=0.5).bounded_violations == []
+        # read at 6.0: horizon 5.5 > 5.0, the newer write is owed
+        history.note_read("r", "k", m1, at=6.0, source="follower")
+        report = history.check(bound_s=0.5)
+        assert len(report.bounded_violations) == 1
+        assert report.bounded_violations[0]["bound_s"] == 0.5
+
+    def test_bound_zero_is_the_strong_check(self):
+        history = History()
+        m1 = write(history, "w", "k", at=1.0)
+        write(history, "w", "k", at=2.0)
+        history.note_read("r", "k", m1, at=3.0, source="follower")
+        assert len(history.check(bound_s=0.0).bounded_violations) == 1
+        assert history.check(bound_s=None).bounded_violations == []
+
+    def test_anomaly_score_is_the_stale_fraction(self):
+        history = History()
+        m1 = write(history, "w", "k", at=1.0)
+        m2 = write(history, "w", "k", at=2.0)
+        history.note_read("r", "k", m2, at=3.0, source="leader")  # fresh
+        history.note_read("r", "k", m1, at=4.0, source="follower")  # stale
+        history.note_read("r", "other", None, at=5.0, source="follower")  # no writes
+        report = history.check()
+        assert report.stale_reads == 1
+        assert report.anomaly_score == 1 / 3

@@ -1,0 +1,63 @@
+"""Lease-table rules: grant, renew, expiry, hand-over, term fencing."""
+
+import pytest
+
+from repro.replication import LeaseError, LeaseTable
+
+
+def make_table(duration=1.0):
+    clock = [0.0]
+    return LeaseTable(duration, clock=lambda: clock[0]), clock
+
+
+class TestLeaseTable:
+    def test_grant_and_hold(self):
+        table, _ = make_table()
+        lease = table.grant("a")
+        assert (lease.leader, lease.term) == ("a", 1)
+        assert table.holder_alive()
+
+    def test_renew_extends_only_for_holder(self):
+        table, clock = make_table(duration=1.0)
+        table.grant("a")
+        clock[0] = 0.5
+        renewed = table.renew("a")
+        assert renewed.expires_at == pytest.approx(1.5)
+        with pytest.raises(LeaseError):
+            table.renew("b")
+
+    def test_expired_lease_cannot_renew(self):
+        table, clock = make_table(duration=1.0)
+        table.grant("a")
+        clock[0] = 1.1
+        assert not table.holder_alive()
+        with pytest.raises(LeaseError):
+            table.renew("a")
+
+    def test_acquire_requires_expiry_and_bumps_term(self):
+        table, clock = make_table(duration=1.0)
+        table.grant("a")
+        with pytest.raises(LeaseError):
+            table.acquire("b")  # still held
+        clock[0] = 2.0
+        lease = table.acquire("b")
+        assert (lease.leader, lease.term) == ("b", 2)
+
+    def test_forced_grant_also_bumps_term(self):
+        table, _ = make_table()
+        table.grant("a")
+        lease = table.grant("b")  # control-plane hand-over fences the old regime
+        assert lease.term == 2
+
+    def test_remaining_s(self):
+        table, clock = make_table(duration=1.0)
+        assert table.remaining_s() == 0.0
+        table.grant("a")
+        clock[0] = 0.25
+        assert table.remaining_s() == pytest.approx(0.75)
+        clock[0] = 5.0
+        assert table.remaining_s() == 0.0
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            LeaseTable(0.0)

@@ -1,0 +1,68 @@
+"""Replication log unit tests: sequencing, slicing, wire format."""
+
+import pytest
+
+from repro.replication import ReplicationLog, ReplicationRecord
+
+
+def make_record(seq, term=1, key="k", value=None, version=1):
+    if value is None:
+        value = {"f": str(seq)}
+    return ReplicationRecord(seq, term, key, value, version, stamped_at=float(seq))
+
+
+class TestReplicationLog:
+    def test_append_assigns_contiguous_seqs_from_one(self):
+        log = ReplicationLog()
+        first = log.append(1, "a", {"f": "1"}, 1, 0.0)
+        second = log.append(1, "b", {"f": "2"}, 1, 0.1)
+        assert (first.seq, second.seq) == (1, 2)
+        assert log.last_seq == 2
+
+    def test_since_returns_strict_suffix(self):
+        log = ReplicationLog()
+        for index in range(5):
+            log.append(1, f"k{index}", {}, 1, 0.0)
+        assert [r.seq for r in log.since(2)] == [3, 4, 5]
+        assert [r.seq for r in log.since(2, limit=2)] == [3, 4]
+        assert log.since(5) == []
+        assert [r.seq for r in log.since(0)] == [1, 2, 3, 4, 5]
+
+    def test_append_record_rejects_gaps_and_replays(self):
+        log = ReplicationLog()
+        log.append_record(make_record(1))
+        with pytest.raises(ValueError):
+            log.append_record(make_record(3))
+        with pytest.raises(ValueError):
+            log.append_record(make_record(1))
+        log.append_record(make_record(2))
+        assert log.last_seq == 2
+
+    def test_record_at(self):
+        log = ReplicationLog()
+        log.append(1, "a", {"f": "x"}, 1, 0.0)
+        assert log.record_at(1).key == "a"
+        assert log.record_at(0) is None
+        assert log.record_at(2) is None
+
+    def test_tombstones_round_trip_the_wire(self):
+        record = ReplicationRecord(7, 2, "gone", None, 4, 12.5)
+        assert ReplicationRecord.from_wire(record.to_wire()) == record
+
+    def test_puts_round_trip_the_wire(self):
+        record = make_record(3, term=2, key="kéy", version=9)
+        assert ReplicationRecord.from_wire(record.to_wire()) == record
+
+    def test_last_term_tracks_regimes(self):
+        log = ReplicationLog()
+        assert log.last_term == 0
+        log.append(1, "a", {}, 1, 0.0)
+        log.append(3, "b", {}, 1, 0.0)
+        assert log.last_term == 3
+
+    def test_clear(self):
+        log = ReplicationLog()
+        log.append(1, "a", {}, 1, 0.0)
+        log.clear()
+        assert log.last_seq == 0
+        assert len(log) == 0

@@ -1,0 +1,226 @@
+"""Node behaviour: leader logging, follower apply, roles, /repl dispatch."""
+
+import pytest
+
+from repro.kvstore.base import VersionedValue
+from repro.replication import (
+    LeaderStoreAdapter,
+    NodeRole,
+    NotLeaderError,
+    ReplicationNode,
+)
+
+
+def make_leader(name="leader", term=1):
+    clock = [0.0]
+    node = ReplicationNode(name, clock=lambda: clock[0])
+    node.promote(term)
+    return node, clock
+
+
+def make_follower(name="follower", term=1, leader="leader"):
+    clock = [0.0]
+    node = ReplicationNode(name, clock=lambda: clock[0])
+    node.demote(term, leader)
+    return node, clock
+
+
+def ship_all(leader, follower):
+    records, frontier, last_seq, term = leader.records_since(follower.applied_seq)
+    return follower.append_records(records, frontier, last_seq, term, leader.name)
+
+
+class TestLeaderWritePath:
+    def test_every_write_is_logged_with_contiguous_seq(self):
+        node, _ = make_leader()
+        node.leader_put("a", {"f": "1"})
+        node.leader_put_if_version("b", {"f": "2"}, None)
+        node.leader_delete("a")
+        records = node.log.snapshot()
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert records[2].value is None  # tombstone
+
+    def test_failed_conditional_writes_are_not_logged(self):
+        node, _ = make_leader()
+        node.leader_put("a", {"f": "1"})
+        assert node.leader_put_if_version("a", {"f": "x"}, 99) is None
+        assert node.leader_delete_if_version("a", 99) is None
+        assert node.leader_delete("missing") is False
+        assert node.log.last_seq == 1
+
+    def test_tombstones_carry_monotonic_versions(self):
+        node, _ = make_leader()
+        version = node.leader_put("a", {"f": "1"})
+        node.leader_put("a", {"f": "2"})
+        node.leader_delete("a")
+        tombstone = node.log.snapshot()[-1]
+        assert tombstone.version == version + 2  # removed_version + 1, never 0
+
+    def test_followers_refuse_client_writes(self):
+        node, _ = make_follower()
+        with pytest.raises(NotLeaderError):
+            node.leader_put("a", {})
+
+    def test_put_versioned_is_logged_exactly(self):
+        node, _ = make_leader()
+        assert node.leader_put_versioned("m", VersionedValue({"f": "v"}, 41)) is True
+        record = node.log.snapshot()[-1]
+        assert (record.version, record.value) == (41, {"f": "v"})
+
+
+class TestFollowerApply:
+    def test_apply_mirrors_values_and_versions(self):
+        leader, _ = make_leader()
+        follower, _ = make_follower()
+        leader.leader_put("a", {"f": "1"})
+        leader.leader_put("a", {"f": "2"})
+        response = ship_all(leader, follower)
+        assert response["ok"] is True
+        mirrored = follower.store.get_with_meta("a")
+        expected = leader.store.get_with_meta("a")
+        assert mirrored == expected  # value AND version (ETag) identical
+
+    def test_apply_is_idempotent(self):
+        leader, _ = make_leader()
+        follower, _ = make_follower()
+        leader.leader_put("a", {"f": "1"})
+        records, frontier, last_seq, term = leader.records_since(0)
+        follower.append_records(records, frontier, last_seq, term, "leader")
+        again = follower.append_records(records, frontier, last_seq, term, "leader")
+        assert again == {"ok": True, "applied_seq": 1, "term": 1}
+        assert follower.store.get("a") == {"f": "1"}
+
+    def test_gap_is_nacked_with_rewind_position(self):
+        leader, _ = make_leader()
+        follower, _ = make_follower()
+        for index in range(3):
+            leader.leader_put(f"k{index}", {})
+        records, frontier, last_seq, term = leader.records_since(0)
+        response = follower.append_records(records[2:], frontier, last_seq, term, "leader")
+        assert response == {"ok": False, "reason": "gap", "applied_seq": 0, "term": 1}
+
+    def test_stale_term_is_rejected(self):
+        leader, _ = make_leader(term=1)
+        follower, _ = make_follower(term=5)
+        leader.leader_put("a", {})
+        response = ship_all(leader, follower)
+        assert response["ok"] is False
+        assert response["reason"] == "stale-term"
+
+    def test_higher_term_steps_a_leader_down(self):
+        old_leader, _ = make_leader("old", term=1)
+        new_leader, _ = make_leader("new", term=2)
+        new_leader.leader_put("a", {"f": "new"})
+        response = ship_all(new_leader, old_leader)
+        # the old leader's log was empty, so the new history applies cleanly
+        assert response["ok"] is True
+        assert old_leader.role is NodeRole.FOLLOWER
+        assert old_leader.term == 2
+
+    def test_delete_replicates_as_tombstone(self):
+        leader, _ = make_leader()
+        follower, _ = make_follower()
+        leader.leader_put("a", {"f": "1"})
+        leader.leader_delete("a")
+        ship_all(leader, follower)
+        assert follower.store.get("a") is None
+
+    def test_frontier_only_advances_when_caught_up(self):
+        leader, lclock = make_leader()
+        follower, fclock = make_follower()
+        leader.leader_put("a", {})
+        leader.leader_put("b", {})
+        lclock[0] = fclock[0] = 5.0
+        records, frontier, last_seq, term = leader.records_since(0)
+        # Ship only the first record but the full batch's cut point: the
+        # follower holds a prefix and must NOT look fresh.
+        follower.append_records(records[:1], frontier, last_seq, term, "leader")
+        assert follower.status().frontier_ts is None
+        assert follower.staleness_s() is None
+        follower.append_records(records[1:], frontier, last_seq, term, "leader")
+        assert follower.status().frontier_ts == 5.0
+        fclock[0] = 7.0
+        assert follower.staleness_s() == pytest.approx(2.0)
+
+
+class TestRolesAndStatus:
+    def test_leader_is_always_fresh(self):
+        node, _ = make_leader()
+        assert node.staleness_s() == 0.0
+
+    def test_promotion_requires_higher_term(self):
+        node, _ = make_follower(term=3)
+        with pytest.raises(ValueError):
+            node.promote(3)
+        node.promote(4)
+        assert node.role is NodeRole.LEADER
+
+    def test_resync_replaces_divergent_state(self):
+        node, _ = make_follower()
+        stale_leader, _ = make_leader("stale", term=1)
+        stale_leader.leader_put("lost", {"f": "x"})
+        ship_all(stale_leader, node)
+        new_leader, _ = make_leader("new", term=2)
+        new_leader.leader_put("kept", {"f": "y"})
+        node.resync_from(new_leader.log.snapshot(), 2, "new")
+        assert node.store.get("lost") is None
+        assert node.store.get("kept") == {"f": "y"}
+        assert node.log.snapshot() == new_leader.log.snapshot()
+
+
+class TestHandleRepl:
+    def test_status_append_since_round_trip(self):
+        leader, _ = make_leader()
+        follower, _ = make_follower()
+        leader.leader_put("a", {"f": "1"})
+        status, payload = leader.handle_repl("since", {"seq": 0, "limit": None})
+        assert status == 200
+        status, response = follower.handle_repl(
+            "append",
+            {
+                "records": payload["records"],
+                "frontier_ts": payload["frontier_ts"],
+                "leader_last_seq": payload["leader_last_seq"],
+                "term": payload["term"],
+                "leader": "leader",
+            },
+        )
+        assert status == 200 and response["applied_seq"] == 1
+        status, doc = follower.handle_repl("status", {})
+        assert status == 200 and doc["applied_seq"] == 1
+
+    def test_nacks_are_409(self):
+        follower, _ = make_follower(term=9)
+        status, response = follower.handle_repl(
+            "append",
+            {"records": [], "frontier_ts": 0.0, "leader_last_seq": 0,
+             "term": 1, "leader": "old"},
+        )
+        assert status == 409 and response["reason"] == "stale-term"
+
+    def test_unknown_verb_is_404(self):
+        node, _ = make_leader()
+        status, _ = node.handle_repl("nonsense", {})
+        assert status == 404
+
+
+class TestLeaderStoreAdapter:
+    def test_adapter_logs_every_write_kind(self):
+        node, _ = make_leader()
+        adapter = LeaderStoreAdapter(node)
+        adapter.put("a", {"f": "1"})
+        adapter.put_if_version("b", {"f": "2"}, None)
+        adapter.put_batch([("c", {"f": "3"}), ("d", {"f": "4"})])
+        adapter.delete("a")
+        assert node.log.last_seq == 5
+        assert adapter.get("b") == {"f": "2"}
+        assert adapter.size() == 3
+
+    def test_adapter_refuses_writes_after_demotion(self):
+        node, _ = make_leader()
+        adapter = LeaderStoreAdapter(node)
+        adapter.put("a", {})
+        node.demote(2, "other")
+        with pytest.raises(NotLeaderError):
+            adapter.put("b", {})
+        assert adapter.get("a") == {}  # reads still serve

@@ -1,0 +1,108 @@
+"""Property tests: prefix invariant, apply idempotency, anti-entropy.
+
+Random interleavings of leader writes and partial/duplicated log ships
+can never make a follower hold anything but a prefix of the leader's
+log, and anti-entropy from any lag position is idempotent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import ReplicationNode, anti_entropy
+
+KEYS = [f"k{index}" for index in range(4)]
+
+# Leader-side ops: puts, deletes, conditional deletes.
+write_op = st.one_of(
+    st.tuples(st.just("put"), st.sampled_from(KEYS), st.integers(0, 9)),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS)),
+)
+
+# One step of the generated schedule: a leader write, or a (possibly
+# partial, possibly duplicated) ship of up to `limit` records to one of
+# two followers.
+step = st.one_of(
+    st.tuples(st.just("write"), write_op),
+    st.tuples(st.just("ship"), st.integers(0, 1), st.integers(1, 5)),
+    st.tuples(st.just("reship"), st.integers(0, 1), st.integers(1, 5)),
+)
+
+
+def make_pair(follower_count=2):
+    leader = ReplicationNode("leader", clock=lambda: 0.0)
+    leader.promote(1)
+    followers = []
+    for index in range(follower_count):
+        node = ReplicationNode(f"f{index}", clock=lambda: 0.0)
+        node.demote(1, "leader")
+        followers.append(node)
+    return leader, followers
+
+
+def apply_write(leader, op):
+    if op[0] == "put":
+        leader.leader_put(op[1], {"v": str(op[2])})
+    else:
+        leader.leader_delete(op[1])
+
+
+def ship(leader, follower, limit, rewind=0):
+    """Ship up to ``limit`` records starting ``rewind`` back (a re-send)."""
+    start = max(0, follower.applied_seq - rewind)
+    records, frontier, last_seq, term = leader.records_since(start, limit=limit)
+    follower.append_records(records, frontier, last_seq, term, leader.name)
+
+
+def assert_prefix(leader, follower):
+    leader_log = leader.log.snapshot()
+    follower_log = follower.log.snapshot()
+    assert follower_log == leader_log[: len(follower_log)]
+
+
+class TestPrefixInvariant:
+    @given(st.lists(step, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_followers_always_hold_a_leader_log_prefix(self, schedule):
+        leader, followers = make_pair()
+        for action in schedule:
+            if action[0] == "write":
+                apply_write(leader, action[1])
+            elif action[0] == "ship":
+                ship(leader, followers[action[1]], limit=action[2])
+            else:  # reship: duplicate delivery of already-applied records
+                ship(leader, followers[action[1]], limit=action[2], rewind=2)
+            for follower in followers:
+                assert_prefix(leader, follower)
+
+    @given(st.lists(write_op, min_size=1, max_size=40), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_fully_shipped_follower_mirrors_the_leader_exactly(self, ops, limit):
+        leader, followers = make_pair(follower_count=1)
+        follower = followers[0]
+        for op in ops:
+            apply_write(leader, op)
+        while follower.applied_seq < leader.log.last_seq:
+            before = follower.applied_seq
+            ship(leader, follower, limit=limit)
+            assert follower.applied_seq > before  # progress every round
+        for key in KEYS:
+            assert follower.store.get_with_meta(key) == leader.store.get_with_meta(key)
+
+
+class TestAntiEntropy:
+    @given(st.lists(write_op, max_size=40), st.integers(0, 40), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_anti_entropy_is_idempotent(self, ops, pre_shipped, batch):
+        leader, followers = make_pair(follower_count=1)
+        follower = followers[0]
+        for op in ops:
+            apply_write(leader, op)
+        # Put the follower at an arbitrary lag position first.
+        ship(leader, follower, limit=pre_shipped)
+        moved = anti_entropy(leader, follower, batch=batch)
+        assert moved == leader.log.last_seq - min(pre_shipped, leader.log.last_seq)
+        state = [follower.store.get_with_meta(key) for key in KEYS]
+        assert anti_entropy(leader, follower, batch=batch) == 0  # second pass: no-op
+        assert [follower.store.get_with_meta(key) for key in KEYS] == state
+        assert_prefix(leader, follower)
+        assert follower.applied_seq == leader.log.last_seq

@@ -1,0 +1,168 @@
+"""ReplicaRoutedStore: session admission, level routing, failover retry."""
+
+import random
+
+import pytest
+
+from repro.kvstore.base import StoreUnavailable, VersionedValue
+from repro.replication import (
+    ConsistencyLevel,
+    InProcessReplicaSet,
+    LeaderStoreAdapter,
+    ReplicaHandle,
+    ReplicaRoutedStore,
+    ReplicaSession,
+    ReplicationNode,
+    StaticReplicaSet,
+)
+
+
+def make_set(clock=None, **kwargs):
+    cell = [0.0]
+    tick = clock if clock is not None else (lambda: cell[0])
+    replica_set = InProcessReplicaSet(clock=tick, **kwargs)
+    return replica_set, cell
+
+
+class TestReplicaSession:
+    def test_fresh_key_admits_anything(self):
+        session = ReplicaSession()
+        assert session.admits("k", None)
+        assert session.admits("k", VersionedValue({}, 3))
+
+    def test_own_write_sets_the_floor(self):
+        session = ReplicaSession()
+        session.note_write("k", 5)
+        assert not session.admits("k", VersionedValue({}, 4))
+        assert not session.admits("k", None)
+        assert session.admits("k", VersionedValue({}, 5))
+        assert session.admits("k", VersionedValue({}, 6))
+
+    def test_observations_are_monotonic(self):
+        session = ReplicaSession()
+        session.note_observed("k", VersionedValue({}, 3))
+        assert not session.admits("k", VersionedValue({}, 2))
+        assert session.admits("k", VersionedValue({}, 3))
+
+    def test_deleted_keys_are_pinned_to_the_leader(self):
+        session = ReplicaSession()
+        session.note_write("k", 5)
+        session.note_delete("k")
+        # version counters restart after delete; order is gone, pin wins
+        assert not session.admits("k", None)
+        assert not session.admits("k", VersionedValue({}, 1))
+        session.note_write("k", 1)  # re-created by this session
+        assert not session.admits("k", VersionedValue({}, 1))  # stays pinned
+
+    def test_observed_disappearance_pins_too(self):
+        session = ReplicaSession()
+        session.note_observed("k", VersionedValue({}, 2))
+        session.note_observed("k", None)  # someone else deleted it
+        assert not session.admits("k", VersionedValue({}, 9))
+
+
+class TestRoutingLevels:
+    def test_strong_reads_only_the_leader(self):
+        replica_set, _ = make_set()
+        routed = replica_set.routed(ConsistencyLevel.STRONG)
+        routed.put("k", {"f": "1"})
+        assert routed.get("k") == {"f": "1"}
+        counters = routed.counters()
+        assert counters["REPL-LEADER-READS"] == 1
+        assert "REPL-FOLLOWER-READS" not in counters
+
+    def test_ryw_falls_back_until_follower_catches_up(self):
+        replica_set, _ = make_set()
+        routed = replica_set.routed(ConsistencyLevel.READ_YOUR_WRITES)
+        routed.put("k", {"f": "1"})
+        assert routed.get("k") == {"f": "1"}  # follower stale -> leader
+        assert routed.counters()["REPL-FALLBACK-SESSION"] == 1
+        replica_set.flush()
+        assert routed.get("k") == {"f": "1"}  # now served by the follower
+        assert routed.counters()["REPL-FOLLOWER-READS"] == 1
+
+    def test_ryw_admits_unseen_keys_from_any_follower(self):
+        replica_set, _ = make_set()
+        strong = replica_set.routed(ConsistencyLevel.STRONG)
+        strong.put("other", {"f": "x"})
+        ryw = replica_set.routed(ConsistencyLevel.READ_YOUR_WRITES)
+        # this session never touched "other": a stale follower answer
+        # (absent key) violates nothing
+        assert ryw.get("other") is None
+        assert ryw.counters()["REPL-FOLLOWER-READS"] == 1
+
+    def test_bounded_staleness_routes_by_frontier_age(self):
+        replica_set, cell = make_set()
+        routed = replica_set.routed(
+            ConsistencyLevel.BOUNDED_STALENESS, staleness_bound_s=1.0
+        )
+        routed.put("k", {"f": "old"})
+        replica_set.flush()  # frontier at t=0
+        routed.put("k", {"f": "new"})  # not shipped
+        cell[0] = 0.5  # follower 0.5s stale, bound 1.0 -> follower serves
+        assert routed.get("k") == {"f": "old"}
+        assert routed.counters()["REPL-FOLLOWER-READS"] == 1
+        cell[0] = 2.0  # beyond the bound -> leader
+        assert routed.get("k") == {"f": "new"}
+        assert routed.counters()["REPL-FALLBACK-STALE"] == 1
+
+    def test_bounded_never_serves_a_follower_that_never_heard(self):
+        replica_set, _ = make_set()
+        routed = replica_set.routed(
+            ConsistencyLevel.BOUNDED_STALENESS, staleness_bound_s=100.0
+        )
+        routed.put("k", {"f": "1"})
+        # no ship yet: unknown staleness reads as unbounded, not fresh
+        assert routed.get("k") == {"f": "1"}
+        assert routed.counters()["REPL-FALLBACK-STALE"] == 1
+
+    def test_scans_and_size_always_use_the_leader(self):
+        replica_set, _ = make_set()
+        routed = replica_set.routed(ConsistencyLevel.BOUNDED_STALENESS)
+        routed.put("a", {"f": "1"})
+        routed.put("b", {"f": "2"})
+        assert [key for key, _ in routed.scan("a", 5)] == ["a", "b"]
+        assert routed.size() == 2
+        assert list(routed.keys()) == ["a", "b"]
+
+    def test_rejects_negative_bound(self):
+        replica_set, _ = make_set()
+        with pytest.raises(ValueError):
+            replica_set.routed(
+                ConsistencyLevel.BOUNDED_STALENESS, staleness_bound_s=-1
+            )
+
+
+class _FailingOnce:
+    """A leader store stand-in that dies once, then a new handle works."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def get_with_meta(self, key):
+        self.calls += 1
+        raise StoreUnavailable("leader crashed")
+
+
+class TestFailoverRetry:
+    def test_leader_failure_triggers_refresh_and_one_retry(self):
+        old = ReplicationNode("old")
+        old.promote(1)
+        new = ReplicationNode("new")
+        new.promote(2)
+        new.leader_put("k", {"f": "survivor"})
+        failing = _FailingOnce()
+        view = StaticReplicaSet(
+            ReplicaHandle("old", failing, old), [ReplicaHandle("f", new.store, new)]
+        )
+        original_refresh = view.refresh
+
+        def refresh():
+            view.set_leader(ReplicaHandle("new", LeaderStoreAdapter(new), new))
+            original_refresh()
+
+        view.refresh = refresh
+        routed = ReplicaRoutedStore(view, ConsistencyLevel.STRONG, rng=random.Random(0))
+        assert routed.get("k") == {"f": "survivor"}
+        assert failing.calls == 1
+        assert routed.counters()["REPL-LEADER-FAILOVERS"] == 1
