@@ -61,8 +61,23 @@ def wrap_store(store: KeyValueStore, properties: Properties) -> KeyValueStore:
     (see :meth:`~repro.kvstore.faults.FaultProfile.from_properties`) plus
     ``fault.seed`` [0]; and the ``retry.*`` family (see
     :meth:`~repro.core.retry.RetryPolicy.from_properties`).
+
+    When a layer's own seed is unset but ``workload.seed`` is present,
+    the layer seed is *derived* from it (the campaign fan-out offsets:
+    fault +1, retry +2, latency +3), so one spec-level seed replays the
+    whole stack — request generators and injection layers alike.
     """
-    latency_rng = random.Random(properties.get_int("latency.seed", 0))
+    base_seed = properties.get("workload.seed")
+
+    def _layer_seed(key: str, offset: int) -> int:
+        value = properties.get(key)
+        if value is not None:
+            return int(value)
+        if base_seed is not None:
+            return int(base_seed) + offset
+        return 0
+
+    latency_rng = random.Random(_layer_seed("latency.seed", 3))
     read_latency = _latency_model_from_properties(properties, "read", latency_rng)
     write_latency = _latency_model_from_properties(properties, "write", latency_rng)
     if read_latency is not None or write_latency is not None:
@@ -76,10 +91,13 @@ def wrap_store(store: KeyValueStore, properties: Properties) -> KeyValueStore:
         store = FaultInjectingStore(
             store,
             profile=fault_profile,
-            seed=properties.get_int("fault.seed", 0),
+            seed=_layer_seed("fault.seed", 1),
             token_bucket=getattr(store, "bucket", None),
         )
-    retry_policy = RetryPolicy.from_properties(properties)
+    retry_rng = None
+    if properties.get("retry.seed") is None and base_seed is not None:
+        retry_rng = random.Random(int(base_seed) + 2)
+    retry_policy = RetryPolicy.from_properties(properties, rng=retry_rng)
     if retry_policy is not None:
         store = RetryingStore(store, retry_policy)
     return store

@@ -17,6 +17,11 @@ Sub-commands:
   Workload under deterministic simulation across many seeds and fault
   schedules, hunting for consistency violations; violating seeds are
   written out as replayable JSON trace artifacts.
+* ``synth`` — statistical workload synthesis: compile declarative
+  scenarios (time-varying arrival curves, drifting hot-key skew,
+  multi-tenant mixes under token-bucket ceilings) into deterministic
+  million-user virtual-time campaigns with conformance assertions;
+  failing seeds emit replayable trace artifacts.
 * ``crash`` — crash-recovery campaign: kill simulated clients at named
   crashpoints mid-protocol, let lock leases expire, run the transaction
   scavenger, and re-validate the Closed Economy invariants; violating
@@ -242,6 +247,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip operation-interleaving capture (faster, artifacts carry "
         "no trace)",
+    )
+
+    synth = commands.add_parser(
+        "synth",
+        help="statistical workload-synthesis campaign: compile declarative "
+        "scenarios (diurnal curves, flash crowds, drifting hot sets, "
+        "multi-tenant mixes) into deterministic virtual-time runs",
+    )
+    synth.add_argument(
+        "--seeds", type=int, default=5, help="number of seeds to sweep [5]"
+    )
+    synth.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the sweep [0]"
+    )
+    synth.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="built-in scenario to sweep (repeatable) [steady]; "
+        "see 'ycsbt synth --list'",
+    )
+    synth.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="synth spec file (.json/.toml) to sweep (repeatable)",
+    )
+    synth.add_argument(
+        "--db",
+        action="append",
+        choices=("raw", "txn"),
+        default=None,
+        help="binding to sweep (repeatable) [each spec's own]",
+    )
+    synth.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override every spec's simulated duration",
+    )
+    synth.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for violation trace artifacts (none written without it)",
+    )
+    synth.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
     )
 
     from ..recovery.campaign import CRASH_BINDINGS, CRASH_SCHEDULES
@@ -731,6 +787,49 @@ def _sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synth(args: argparse.Namespace) -> int:
+    from ..synth import SCENARIOS, load_synth_spec, run_synth_campaign, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:<18} {SCENARIOS[name].description}")
+        return 0
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    sources = list(args.scenario or []) + list(args.spec or [])
+    if not sources:
+        sources = ["steady"]
+    specs = [load_synth_spec(source) for source in dict.fromkeys(sources)]
+    if args.duration is not None:
+        specs = [spec.with_overrides(duration_s=args.duration) for spec in specs]
+    bindings = tuple(dict.fromkeys(args.db)) if args.db else None
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+
+    result = run_synth_campaign(
+        specs,
+        seeds,
+        bindings=bindings,
+        out_dir=args.out,
+        on_result=lambda run: print(run.summary_line(), file=sys.stderr),
+    )
+    print(result.summary())
+    for artifact in result.artifacts:
+        print(f"violation trace: {artifact}")
+    # Unlike ``sim``, every synthesis assertion is expected to hold on
+    # both bindings (the engine is serial, so even raw stays consistent):
+    # any violation fails the command.
+    if result.violations:
+        for run in result.violations:
+            for outcome in run.failed_assertions():
+                print(
+                    f"error: {run.scenario}/{run.binding} seed {run.seed}: "
+                    f"{outcome.name}: {outcome.detail}",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
 def _crash(args: argparse.Namespace) -> int:
     from ..recovery.campaign import run_crash_campaign
 
@@ -969,6 +1068,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _experiment(args)
     if args.command == "sim":
         return _sim(args)
+    if args.command == "synth":
+        return _synth(args)
     if args.command == "crash":
         return _crash(args)
     if args.command == "cluster":

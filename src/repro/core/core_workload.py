@@ -74,7 +74,12 @@ class CoreWorkload(Workload):
         self.insert_start = p.get_int("insertstart", 0)
         self.insert_count = p.get_int("insertcount", self.record_count)
 
-        seed = p.get("seed")
+        # ``workload.seed`` is the single replay knob: it wins over the
+        # legacy ``seed`` so a synthesis spec can pin every request
+        # generator with one value.
+        seed = p.get("workload.seed")
+        if seed is None:
+            seed = p.get("seed")
         self._seed = int(seed) if seed is not None else None
         self._shared_rng = locked_random(self._seed)
 

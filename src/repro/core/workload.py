@@ -74,7 +74,9 @@ class Workload:
         The returned object is passed back to every ``do_*`` call made by
         that thread.  Default: an independently seeded ``random.Random``.
         """
-        seed = self.properties.get("seed")
+        seed = self.properties.get("workload.seed")
+        if seed is None:
+            seed = self.properties.get("seed")
         if seed is None:
             return random.Random()
         return random.Random(int(seed) * 1_000_003 + thread_id)

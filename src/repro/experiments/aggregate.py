@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..harness.results import ExperimentResult
+from ..measurements.hdr import HdrHistogramMeasurement
 from .spec import ExperimentSpec
 from .stats import SampleStats, summarize
 
@@ -23,6 +24,7 @@ __all__ = [
     "MetricSample",
     "AggregatePoint",
     "AggregateSeries",
+    "LatencyAggregate",
     "AggregateResult",
     "run_spec",
     "aggregate_results",
@@ -57,6 +59,30 @@ class AggregateSeries:
 
 
 @dataclass
+class LatencyAggregate:
+    """One operation's latency across repetitions.
+
+    The merged view (``count`` / ``mean_us`` / ``p*_us``) comes from a
+    lossless elementwise merge of the per-repetition HDR histograms, so
+    its percentiles are the percentiles of the pooled sample.  The
+    ``*_per_rep`` samples keep each repetition as one observation and
+    carry the CI band — ``p99_per_rep.stats.ci95`` is the confidence
+    band on p99 across seeds.
+    """
+
+    operation: str
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+    mean_per_rep: MetricSample
+    p95_per_rep: MetricSample
+    p99_per_rep: MetricSample
+
+
+@dataclass
 class AggregateResult:
     """N repetitions of one spec, folded into per-metric statistics."""
 
@@ -70,6 +96,9 @@ class AggregateResult:
     tables: dict[str, list[dict[str, Any]]]
     #: Wall-clock seconds each repetition took (measurement overhead view).
     repetition_wall_s: list[float] = field(default_factory=list)
+    #: Per-operation latency aggregates; empty when the runner attaches
+    #: no histograms (most runners).
+    latency: dict[str, LatencyAggregate] = field(default_factory=dict)
 
     @property
     def repetitions(self) -> int:
@@ -171,6 +200,49 @@ def _aggregate_tables(
     return aggregated
 
 
+def _aggregate_latency(
+    spec_name: str, results: Sequence[ExperimentResult]
+) -> dict[str, LatencyAggregate]:
+    reference = results[0]
+    operations = sorted(reference.histograms)
+    for index, result in enumerate(results):
+        got = sorted(result.histograms)
+        if got != operations:
+            raise ValueError(
+                f"{spec_name}: repetition {index} produced histograms for "
+                f"{got}, expected {operations} — repetitions must be "
+                "structurally identical"
+            )
+    aggregated: dict[str, LatencyAggregate] = {}
+    for operation in operations:
+        per_rep = [
+            HdrHistogramMeasurement.from_dict(result.histograms[operation])
+            for result in results
+        ]
+        merged = HdrHistogramMeasurement.from_dict(results[0].histograms[operation])
+        for other in per_rep[1:]:
+            merged.merge_from(other)
+        pooled = merged.summary()
+        per_rep_summaries = [rep.summary() for rep in per_rep]
+        aggregated[operation] = LatencyAggregate(
+            operation=operation,
+            count=pooled.count,
+            mean_us=pooled.average_us,
+            p50_us=merged.percentile_us(0.50),
+            p95_us=pooled.percentile_95_us,
+            p99_us=pooled.percentile_99_us,
+            max_us=float(pooled.max_us),
+            mean_per_rep=MetricSample.of([s.average_us for s in per_rep_summaries]),
+            p95_per_rep=MetricSample.of(
+                [s.percentile_95_us for s in per_rep_summaries]
+            ),
+            p99_per_rep=MetricSample.of(
+                [s.percentile_99_us for s in per_rep_summaries]
+            ),
+        )
+    return aggregated
+
+
 def aggregate_results(
     spec: ExperimentSpec,
     seeds: Sequence[int],
@@ -191,6 +263,7 @@ def aggregate_results(
         series=_aggregate_series(spec.name, results),
         tables=_aggregate_tables(spec.name, results),
         repetition_wall_s=list(repetition_wall_s),
+        latency=_aggregate_latency(spec.name, results),
     )
 
 

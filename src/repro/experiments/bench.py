@@ -16,7 +16,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from .aggregate import AggregateResult, MetricSample
+from .aggregate import AggregateResult, LatencyAggregate, MetricSample
 from .stats import SampleStats
 
 __all__ = [
@@ -50,9 +50,23 @@ def _metric_payload(sample: MetricSample) -> dict[str, Any]:
     }
 
 
+def _latency_payload(entry: LatencyAggregate) -> dict[str, Any]:
+    return {
+        "count": entry.count,
+        "mean_us": entry.mean_us,
+        "p50_us": entry.p50_us,
+        "p95_us": entry.p95_us,
+        "p99_us": entry.p99_us,
+        "max_us": entry.max_us,
+        "mean_per_rep": _metric_payload(entry.mean_per_rep),
+        "p95_per_rep": _metric_payload(entry.p95_per_rep),
+        "p99_per_rep": _metric_payload(entry.p99_per_rep),
+    }
+
+
 def render_bench_document(aggregate: AggregateResult) -> dict[str, Any]:
     """The schema-v2 document for one aggregated experiment."""
-    return {
+    document: dict[str, Any] = {
         "schema": BENCH_SCHEMA_V2,
         "experiment": aggregate.spec.name,
         "description": aggregate.description,
@@ -95,6 +109,16 @@ def render_bench_document(aggregate: AggregateResult) -> dict[str, Any]:
             for name, rows in aggregate.tables.items()
         },
     }
+    if aggregate.latency:
+        # Added only when a runner attaches histograms, so documents of
+        # latency-free experiments stay byte-identical to their committed
+        # baselines.  ``load_bench_document`` reads only series/tables,
+        # so the latency section is informational for ``exp diff``.
+        document["latency"] = {
+            operation: _latency_payload(entry)
+            for operation, entry in sorted(aggregate.latency.items())
+        }
+    return document
 
 
 def render_bench_json(aggregate: AggregateResult) -> str:
@@ -165,6 +189,19 @@ def render_aggregate_text(aggregate: AggregateResult) -> str:
                 else:
                     cells.append(f"{column}={cell}")
             out.write("  " + "  ".join(cells) + "\n")
+    if aggregate.latency:
+        out.write("\n-- latency (us, pooled across repetitions) --\n")
+        out.write(
+            f"{'operation':>22}  {'count':>9}  {'mean':>9}  {'p50':>9}"
+            f"  {'p95':>9}  {'p99':>9}  {'p99 ±95% CI':>18}\n"
+        )
+        for operation, entry in sorted(aggregate.latency.items()):
+            out.write(
+                f"{operation:>22}  {entry.count:>9,}  {entry.mean_us:>9,.0f}"
+                f"  {entry.p50_us:>9,.0f}  {entry.p95_us:>9,.0f}"
+                f"  {entry.p99_us:>9,.0f}"
+                f"  {_format_stat(entry.p99_per_rep, precision=0):>18}\n"
+            )
     return out.getvalue()
 
 

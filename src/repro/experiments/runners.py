@@ -382,6 +382,161 @@ def run_shard_scaling(
 
 
 # ---------------------------------------------------------------------------
+# The workload-synthesis cell: a statistical campaign as an experiment
+# ---------------------------------------------------------------------------
+
+_SYNTH_BINDINGS = ("raw", "txn")
+
+
+def _validate_synth_params(params: Mapping[str, object]) -> None:
+    from ..synth.spec import scenario_names
+
+    scenario = params.get("scenario", "diurnal")
+    if not isinstance(scenario, str) or not scenario:
+        raise SpecValidationError(
+            f"scenario must be a scenario name or spec-file path, got {scenario!r}"
+        )
+    binding = params.get("binding")
+    if binding is not None and binding not in _SYNTH_BINDINGS:
+        raise SpecValidationError(
+            f"unknown binding {binding!r}; the synth_cew runner accepts "
+            f"{list(_SYNTH_BINDINGS)} (or omit it to use the spec's own)"
+        )
+    duration_s = params.get("duration_s")
+    if duration_s is not None and (
+        not isinstance(duration_s, (int, float))
+        or isinstance(duration_s, bool)
+        or duration_s <= 0
+    ):
+        raise SpecValidationError(f"duration_s must be > 0, got {duration_s!r}")
+    properties = params.get("properties", {})
+    if not isinstance(properties, Mapping):
+        raise SpecValidationError(
+            f"properties must be a mapping of workload properties, got "
+            f"{type(properties).__name__}"
+        )
+    # Resolve built-in names eagerly so typos fail at spec time, not run
+    # time; file paths are checked when the cell runs.
+    from pathlib import Path
+
+    if not Path(scenario).suffix and not Path(scenario).exists():
+        if scenario not in scenario_names():
+            raise SpecValidationError(
+                f"unknown synth scenario {scenario!r}; built-ins: "
+                f"{', '.join(scenario_names())}"
+            )
+
+
+def run_synth_cell(
+    seed: int = 0,
+    quick: bool = True,
+    scenario: str = "diurnal",
+    binding: str | None = None,
+    duration_s: float | None = None,
+    properties: Mapping[str, str] | None = None,
+) -> ExperimentResult:
+    """One synthesized statistical campaign as a deterministic experiment.
+
+    Compiles the scenario's :class:`~repro.synth.spec.SynthSpec` through
+    :func:`~repro.synth.engine.run_synth` and reports the campaign as an
+    experiment cell: one series point per conformance bucket (achieved
+    rate vs the target curve), tables for tenants and assertions, and
+    the per-operation HDR histograms attached so the aggregation layer
+    computes pooled percentiles with CI bands across repetitions.  A
+    failed deterministic assertion raises — the cell must conform, not
+    just complete.  ``quick`` caps the campaign at 300 virtual seconds.
+    """
+    import dataclasses
+
+    from ..synth.engine import run_synth
+    from ..synth.spec import load_synth_spec
+
+    _validate_synth_params(
+        {
+            "scenario": scenario,
+            "binding": binding,
+            "duration_s": duration_s,
+            "properties": properties or {},
+        }
+    )
+    spec = load_synth_spec(scenario)
+    if duration_s is None and quick:
+        duration_s = min(spec.duration_s, 300.0)
+    spec = spec.with_overrides(binding=binding, duration_s=duration_s)
+    if properties:
+        merged = dict(spec.properties)
+        merged.update({str(key): str(value) for key, value in properties.items()})
+        spec = dataclasses.replace(spec, properties=merged)
+    run = run_synth(spec, seed=seed)
+    if run.violation:
+        failed = [a.name for a in run.assertions if not a.passed]
+        details = "; ".join(
+            a.detail for a in run.assertions if not a.passed
+        )
+        raise RuntimeError(
+            f"synth_cew cell (scenario {spec.name}, binding {run.binding}, "
+            f"seed {seed}) violated assertions {failed}: {details}"
+        )
+
+    buckets = len(run.target_by_bucket)
+    step = spec.duration_s / buckets if buckets else 0.0
+    series = Series(label=f"{spec.name}/{run.binding}")
+    for index in range(buckets):
+        executed = run.executed_by_bucket[index]
+        series.points.append(
+            Point(
+                x=round(index * step, 6),
+                throughput=(executed / step) if step > 0 else 0.0,
+                operations=executed,
+                extra={
+                    "target_rate": run.target_by_bucket[index],
+                    "arrivals": run.arrivals_by_bucket[index],
+                },
+            )
+        )
+    result = ExperimentResult(
+        experiment="synth_cew",
+        description=(
+            f"synthesized campaign {spec.name!r} on the {run.binding} "
+            "binding: achieved rate per conformance bucket vs the target "
+            "curve, virtual time"
+        ),
+        notes=[
+            f"{spec.users:,} simulated users, {run.distinct_users:,} active "
+            f"this run, peak {run.peak_user_states} resident",
+            "deterministic: every metric is a pure function of the seed",
+        ],
+        series=[series],
+        histograms=dict(run.histograms),
+    )
+    result.tables["campaign"] = [
+        {
+            "operations": run.operations,
+            "failed_operations": run.failed_operations,
+            "throttled_operations": run.throttled_operations,
+            "anomaly_score": run.gamma,
+            "peak_user_states": run.peak_user_states,
+            "distinct_users": run.distinct_users,
+            "virtual_time_s": run.virtual_time_s,
+        }
+    ]
+    result.tables["tenants"] = [
+        {
+            "tenant": name,
+            "offered": run.tenant_offered[name],
+            "admitted": run.tenant_admitted[name],
+            "throttled": run.tenant_throttled[name],
+        }
+        for name in sorted(run.tenant_offered)
+    ]
+    result.tables["assertions"] = [
+        {"assertion": outcome.name, "passed": outcome.passed}
+        for outcome in run.assertions
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
 # The consistency frontier: read level x replication lag, virtual time
 # ---------------------------------------------------------------------------
 
@@ -669,6 +824,23 @@ _register(
             "count (raw router and cross-shard 2PC)"
         ),
         validate=_validate_shard_scaling_params,
+    )
+)
+_register(
+    RunnerInfo(
+        name="synth_cew",
+        fn=run_synth_cell,
+        engine="sim",
+        x_label="virtual time (s)",
+        allowed_params=frozenset(
+            {"scenario", "binding", "duration_s", "properties"}
+        ),
+        description=(
+            "synthesized statistical campaign (arrival curve x drifting "
+            "skew x tenants) as a conformance-checked cell, virtual time"
+        ),
+        validate=_validate_synth_params,
+        deterministic=True,
     )
 )
 _register(

@@ -416,6 +416,21 @@ _builtin(
 )
 _builtin(
     ExperimentSpec(
+        name="synth_cew",
+        runner="synth_cew",
+        repetitions=3,
+        seed=7000,
+        params={"scenario": "diurnal", "binding": "txn"},
+        description=(
+            "synthesized diurnal campaign on the txn binding: achieved "
+            "rate tracks the target curve, per-tenant ceilings hold, "
+            "gamma stays 0, pooled HDR latency with CI bands "
+            "(virtual time, deterministic, CI-gated)"
+        ),
+    )
+)
+_builtin(
+    ExperimentSpec(
         name="staleness",
         runner="staleness",
         repetitions=3,

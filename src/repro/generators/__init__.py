@@ -8,6 +8,7 @@ entire benchmark run reproducible.
 from .base import ConstantGenerator, Generator, NumberGenerator, default_rng, locked_random
 from .counter import AcknowledgedCounterGenerator, CounterGenerator
 from .discrete import DiscreteGenerator
+from .drift import DriftingHotspotGenerator, DriftingZipfianGenerator
 from .exponential import ExponentialGenerator
 from .hashing import fnv1_64, fnv1a_64
 from .histogram import HistogramGenerator
@@ -31,6 +32,8 @@ __all__ = [
     "AcknowledgedCounterGenerator",
     "CounterGenerator",
     "DiscreteGenerator",
+    "DriftingHotspotGenerator",
+    "DriftingZipfianGenerator",
     "ExponentialGenerator",
     "fnv1_64",
     "fnv1a_64",

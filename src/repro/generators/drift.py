@@ -1,0 +1,162 @@
+"""Time-drifting request distributions.
+
+Real web workloads do not keep one hot set forever: trending content,
+cache warm-ups and regional day/night cycles *rotate* the popular keys
+while the popularity profile itself (how skewed traffic is) stays
+roughly constant.  The drifting generators here keep YCSB's popularity
+maths — a Zipfian or hotspot draw produces a *rank* — and add a
+time-dependent scatter: the rank-to-key mapping is re-randomised every
+``drift_period_s`` of (ambient, possibly virtual) time, so the hot set
+occupies a different region of the key space each epoch while every
+draw remains a pure function of ``(rng state, clock)``.
+
+The mapping is ``(fnv1_64(rank) + epoch * stride) % span``: FNV scatters
+ranks uniformly (exactly like :class:`ScrambledZipfianGenerator`), and
+the odd ``stride`` walks that scatter around the key space as the epoch
+advances, guaranteeing the hottest key changes between consecutive
+epochs for any span > 1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim.clock import ambient_monotonic
+from .base import NumberGenerator, default_rng
+from .hashing import fnv1_64
+from .hotspot import HotspotIntegerGenerator
+from .zipfian import ZIPFIAN_CONSTANT, ZipfianGenerator
+
+__all__ = ["DriftingZipfianGenerator", "DriftingHotspotGenerator"]
+
+#: Epoch stride for the rank scatter: a large odd constant (2**64 / phi,
+#: forced odd) so consecutive epochs land far apart and, because it is
+#: coprime with every power of two and with most spans, the hot set
+#: visits the whole key space before repeating.
+DRIFT_STRIDE = 0x9E3779B97F4A7C15
+
+
+class DriftingZipfianGenerator(NumberGenerator):
+    """Zipfian popularity whose hot set rotates every ``drift_period_s``.
+
+    Args:
+        lower: smallest generated value (inclusive).
+        upper: largest generated value (inclusive).
+        theta: Zipfian skew in (0, 1).
+        drift_period_s: seconds between hot-set rotations; ``0`` disables
+            drift (the mapping is then a plain scrambled Zipfian).
+        rng: source of randomness.
+        clock: time source (defaults to the ambient clock, so the hot
+            set rotates on *virtual* time under a simulation).
+    """
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        drift_period_s: float = 0.0,
+        rng: random.Random | None = None,
+        clock=ambient_monotonic,
+    ):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        if drift_period_s < 0:
+            raise ValueError(f"drift_period_s must be >= 0, got {drift_period_s}")
+        super().__init__()
+        self._base = lower
+        self._span = upper - lower + 1
+        self._period = float(drift_period_s)
+        self._clock = clock
+        self._rank_source = ZipfianGenerator(
+            0, self._span - 1, theta, rng=rng or default_rng()
+        )
+
+    @property
+    def span(self) -> int:
+        return self._span
+
+    def epoch_at(self, t: float) -> int:
+        """Rotation epoch in effect at clock time ``t``."""
+        if self._period <= 0:
+            return 0
+        return int(t / self._period)
+
+    def key_for_rank(self, rank: int, epoch: int) -> int:
+        """The key that popularity rank ``rank`` maps to during ``epoch``."""
+        return self._base + (fnv1_64(rank) + epoch * DRIFT_STRIDE) % self._span
+
+    def hot_keys(self, epoch: int, count: int = 1) -> list[int]:
+        """The ``count`` most popular keys of ``epoch`` (rank order)."""
+        return [self.key_for_rank(rank, epoch) for rank in range(count)]
+
+    def next_value(self) -> int:
+        rank = self._rank_source.next_value()
+        epoch = self.epoch_at(self._clock())
+        return self._remember(self.key_for_rank(rank, epoch))
+
+    def mean(self) -> float:
+        # The FNV scatter spreads every rank uniformly over the span.
+        return (2 * self._base + self._span - 1) / 2.0
+
+
+class DriftingHotspotGenerator(NumberGenerator):
+    """Hotspot distribution whose hot region rotates every ``drift_period_s``.
+
+    A hotspot draw produces an offset into the range; the offset is then
+    rotated by ``epoch * stride`` so the contiguous hot region sweeps
+    around the key space over time (a moving celebrity shard).
+    """
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        hot_set_fraction: float = 0.2,
+        hot_opn_fraction: float = 0.8,
+        drift_period_s: float = 0.0,
+        rng: random.Random | None = None,
+        clock=ambient_monotonic,
+    ):
+        if upper < lower:
+            raise ValueError(f"empty range [{lower}, {upper}]")
+        if drift_period_s < 0:
+            raise ValueError(f"drift_period_s must be >= 0, got {drift_period_s}")
+        super().__init__()
+        self._base = lower
+        self._span = upper - lower + 1
+        self._period = float(drift_period_s)
+        self._clock = clock
+        self._offset_source = HotspotIntegerGenerator(
+            0,
+            self._span - 1,
+            hot_set_fraction=hot_set_fraction,
+            hot_opn_fraction=hot_opn_fraction,
+            rng=rng or default_rng(),
+        )
+
+    @property
+    def span(self) -> int:
+        return self._span
+
+    def epoch_at(self, t: float) -> int:
+        if self._period <= 0:
+            return 0
+        return int(t / self._period)
+
+    def key_for_offset(self, offset: int, epoch: int) -> int:
+        return self._base + (offset + epoch * DRIFT_STRIDE) % self._span
+
+    def hot_keys(self, epoch: int, count: int = 1) -> list[int]:
+        return [self.key_for_offset(offset, epoch) for offset in range(count)]
+
+    def next_value(self) -> int:
+        offset = self._offset_source.next_value()
+        epoch = self.epoch_at(self._clock())
+        return self._remember(self.key_for_offset(offset, epoch))
+
+    def mean(self) -> float:
+        # Rotation is a bijection on the range; averaged over epochs the
+        # distribution of keys is the rotated hotspot's — report the
+        # uniform-over-span mean, exact whenever the hot region wraps.
+        return (2 * self._base + self._span - 1) / 2.0

@@ -97,6 +97,10 @@ class ZipfianGenerator(NumberGenerator):
         self._zetan = zetan if zetan is not None else zeta_static(0, self._items, theta)
         self._eta = self._compute_eta()
         self._allow_item_count_decrease = False
+        # Incremental cache for mean(): sum_{i=1..n} (i-1) / i**theta,
+        # extended the same way zeta is when the item space grows.
+        self._mean_numerator = 0.0
+        self._mean_count = 0
 
     @property
     def theta(self) -> float:
@@ -147,7 +151,23 @@ class ZipfianGenerator(NumberGenerator):
         return self.next_for_items(self._items)
 
     def mean(self) -> float:
-        raise NotImplementedError("Zipfian mean is not used by any workload")
+        """Exact expected value: ``base + sum((i-1) / i**theta) / zeta(n)``.
+
+        Rank ``r`` (0-based) has probability ``(r+1)**-theta / zeta(n)``,
+        so the mean offset is the partial sum above.  The numerator is
+        cached incrementally, mirroring the zeta bookkeeping, so a
+        growing key space (``next_for_items``) keeps mean() O(growth)
+        instead of O(n) per call.
+        """
+        with self._lock:
+            if self._mean_count > self._items:
+                # The item space shrank: recompute from scratch.
+                self._mean_numerator = 0.0
+                self._mean_count = 0
+            for i in range(self._mean_count + 1, self._items + 1):
+                self._mean_numerator += (i - 1) / i**self._theta
+            self._mean_count = self._items
+            return self._base + self._mean_numerator / self._zetan
 
 
 class ScrambledZipfianGenerator(NumberGenerator):

@@ -46,6 +46,11 @@ class ExperimentResult:
     series: list[Series] = field(default_factory=list)
     tables: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: Per-operation latency histogram payloads (``HdrHistogramMeasurement
+    #: .to_dict()`` shape), keyed by operation name.  Optional: runners
+    #: that attach them get per-repetition latency aggregation (merged
+    #: percentiles + CI bands) in the experiments layer.
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def series_by_label(self, label: str) -> Series:
         for entry in self.series:

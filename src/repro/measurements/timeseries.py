@@ -4,6 +4,13 @@ YCSB's ``-s`` flag prints interval throughput while the benchmark runs;
 the same data reveals warm-up effects, throttling plateaus and GC-like
 stalls.  :class:`ThroughputTimeSeries` aggregates completed operations
 into fixed wall-clock windows with O(windows) memory.
+
+For open-ended runs — a synthesized campaign can span a simulated day at
+millions of operations — ``max_windows`` bounds the memory to O(1): when
+the window list would exceed the cap, adjacent windows are merged
+pairwise and the window width doubles, so the series always covers the
+whole run at the finest resolution the cap allows (a classic decimating
+ring, the same trick HDR histograms use for value ranges).
 """
 
 from __future__ import annotations
@@ -28,10 +35,18 @@ class ThroughputWindow:
 class ThroughputTimeSeries:
     """Counts operations into consecutive windows of ``window_s`` seconds."""
 
-    def __init__(self, window_s: float = 1.0, clock=ambient_monotonic):
+    def __init__(
+        self,
+        window_s: float = 1.0,
+        clock=ambient_monotonic,
+        max_windows: int | None = None,
+    ):
         if window_s <= 0:
             raise ValueError(f"window_s must be positive, got {window_s}")
+        if max_windows is not None and max_windows < 2:
+            raise ValueError(f"max_windows must be >= 2, got {max_windows}")
         self._window_s = window_s
+        self._max_windows = max_windows
         self._clock = clock
         self._lock = threading.Lock()
         self._started_at: float | None = None
@@ -39,7 +54,22 @@ class ThroughputTimeSeries:
 
     @property
     def window_s(self) -> float:
-        return self._window_s
+        """Current window width (doubles when a bounded series decimates)."""
+        with self._lock:
+            return self._window_s
+
+    @property
+    def max_windows(self) -> int | None:
+        return self._max_windows
+
+    def _halve_locked(self) -> None:
+        """Merge adjacent window pairs; the window width doubles."""
+        counts = self._counts
+        self._counts = [
+            counts[i] + (counts[i + 1] if i + 1 < len(counts) else 0)
+            for i in range(0, len(counts), 2)
+        ]
+        self._window_s *= 2.0
 
     @classmethod
     def from_window_counts(cls, window_s: float, counts: list[int]) -> "ThroughputTimeSeries":
@@ -82,6 +112,12 @@ class ThroughputTimeSeries:
             if self._started_at is None:
                 self._started_at = now
             index = int((now - self._started_at) / self._window_s)
+            if self._max_windows is not None:
+                # Decimate *before* extending so the list never exceeds
+                # the cap, even transiently.
+                while index >= self._max_windows:
+                    self._halve_locked()
+                    index = int((now - self._started_at) / self._window_s)
             while len(self._counts) <= index:
                 self._counts.append(0)
             self._counts[index] += operations
@@ -90,11 +126,12 @@ class ThroughputTimeSeries:
         """All windows so far (the last one may still be filling)."""
         with self._lock:
             counts = list(self._counts)
+            window_s = self._window_s
         return [
             ThroughputWindow(
-                start_offset_s=index * self._window_s,
+                start_offset_s=index * window_s,
                 operations=count,
-                ops_per_second=count / self._window_s,
+                ops_per_second=count / window_s,
             )
             for index, count in enumerate(counts)
         ]

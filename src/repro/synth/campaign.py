@@ -1,0 +1,127 @@
+"""Synthesis campaigns: seeds x scenarios x bindings, with artifacts.
+
+Mirrors :mod:`repro.sim.campaign`: a campaign sweeps the grid, each cell
+is a pure function of its coordinates, and any cell whose deterministic
+assertions fail emits a *replayable* violation trace — the full spec,
+the seed, and the exact CLI command that reproduces it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import SynthRunResult, run_synth
+from .spec import SCENARIOS, SynthSpec, load_synth_spec
+
+__all__ = [
+    "SynthCampaignResult",
+    "run_synth_campaign",
+    "write_synth_violation_trace",
+]
+
+
+def write_synth_violation_trace(result: SynthRunResult, directory: str | Path) -> Path:
+    """Write the minimal reproducing artifact for a failed run."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = SCENARIOS.get(result.scenario)
+    payload: dict[str, object] = {
+        "kind": "ycsbt-synth-violation",
+        "scenario": result.scenario,
+        "binding": result.binding,
+        "seed": result.seed,
+        "operations": result.operations,
+        "failed_operations": result.failed_operations,
+        "throttled_operations": result.throttled_operations,
+        "gamma": result.gamma,
+        "validation_passed": result.validation_passed,
+        "validation": [list(pair) for pair in result.validation_fields],
+        "assertions": [outcome.to_dict() for outcome in result.assertions],
+        "arrivals_by_bucket": result.arrivals_by_bucket,
+        "target_by_bucket": result.target_by_bucket,
+        "tenant_offered": result.tenant_offered,
+        "tenant_admitted": result.tenant_admitted,
+        "tenant_throttled": result.tenant_throttled,
+        "peak_user_states": result.peak_user_states,
+        "distinct_users": result.distinct_users,
+        "virtual_time_s": result.virtual_time_s,
+        "counters": result.counters,
+        "properties": result.properties,
+        "replay": {
+            "command": (
+                f"ycsbt synth --scenario {result.scenario} --db {result.binding} "
+                f"--seeds 1 --start-seed {result.seed}"
+            ),
+        },
+    }
+    if spec is not None:
+        payload["spec"] = spec.to_dict()
+    path = directory / (
+        f"synth-violation-{result.scenario}-{result.binding}-seed{result.seed}.json"
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@dataclass
+class SynthCampaignResult:
+    """All runs of one synthesis campaign plus the violations surfaced."""
+
+    runs: list[SynthRunResult]
+    artifacts: list[Path] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[SynthRunResult]:
+        return [run for run in self.runs if run.violation]
+
+    def by_scenario(self, scenario: str) -> list[SynthRunResult]:
+        return [run for run in self.runs if run.scenario == scenario]
+
+    def summary(self) -> str:
+        lines = []
+        scenarios = sorted({run.scenario for run in self.runs})
+        for scenario in scenarios:
+            runs = self.by_scenario(scenario)
+            violations = [run for run in runs if run.violation]
+            ops = sum(run.operations for run in runs)
+            vtime = sum(run.virtual_time_s for run in runs)
+            wall = sum(run.wall_time_s for run in runs)
+            peak = max((run.peak_user_states for run in runs), default=0)
+            lines.append(
+                f"{scenario}: {len(runs)} runs, {len(violations)} violations, "
+                f"{ops} ops, peak {peak} resident users, "
+                f"{vtime:.0f} simulated s in {wall:.1f} wall s"
+            )
+        return "\n".join(lines)
+
+
+def run_synth_campaign(
+    scenarios: Sequence[str | SynthSpec],
+    seeds: Sequence[int],
+    bindings: Sequence[str] | None = None,
+    out_dir: str | Path | None = None,
+    on_result=None,
+) -> SynthCampaignResult:
+    """Sweep scenarios x bindings x seeds; write artifacts for violations.
+
+    ``scenarios`` entries are scenario names, spec file paths, or
+    :class:`SynthSpec` objects.  ``bindings=None`` uses each spec's own
+    binding.  ``on_result`` receives each :class:`SynthRunResult` as it
+    completes (the CLI uses it for progressive output).
+    """
+    result = SynthCampaignResult(runs=[])
+    for scenario in scenarios:
+        spec = scenario if isinstance(scenario, SynthSpec) else load_synth_spec(scenario)
+        sweep_bindings = list(bindings) if bindings else [spec.binding]
+        for binding in sweep_bindings:
+            for seed in seeds:
+                run = run_synth(spec, binding=binding, seed=seed)
+                result.runs.append(run)
+                if run.violation and out_dir is not None:
+                    result.artifacts.append(write_synth_violation_trace(run, out_dir))
+                if on_result is not None:
+                    on_result(run)
+    return result

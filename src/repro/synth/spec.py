@@ -1,0 +1,663 @@
+"""Declarative workload-synthesis specs.
+
+A :class:`SynthSpec` describes a whole campaign statistically — how many
+simulated users, how arrivals pace over time, how the hot keys drift,
+how tenants split the traffic — and the engine compiles it into a
+deterministic op stream.  Specs come from Python dicts, ``.json`` or
+``.toml`` files, or the built-in scenario catalogue, with the same
+strict-validation posture as :mod:`repro.experiments.spec`: unknown keys
+and out-of-range values raise :class:`SynthSpecError` with a message
+that says what to change, before anything runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from .models import RateCurve, SpikeSegment
+
+__all__ = [
+    "SynthSpecError",
+    "TenantSpec",
+    "SynthSpec",
+    "SCENARIOS",
+    "scenario_names",
+    "load_synth_spec",
+    "synth_spec_from_dict",
+]
+
+
+class SynthSpecError(ValueError):
+    """A synthesis spec that cannot run; the message says how to fix it."""
+
+
+_SPEC_KEYS = frozenset(
+    {
+        "name",
+        "description",
+        "duration_s",
+        "users",
+        "active_users",
+        "records",
+        "total_cash",
+        "binding",
+        "arrival",
+        "keys",
+        "tenants",
+        "assertions",
+        "properties",
+    }
+)
+_ARRIVAL_KEYS = frozenset(
+    {
+        "kind",
+        "base_rate",
+        "diurnal_amplitude",
+        "diurnal_period_s",
+        "diurnal_phase_s",
+        "spikes",
+    }
+)
+_SPIKE_KEYS = frozenset({"at_s", "peak_rate", "ramp_s", "hold_s", "decay_s"})
+_KEYS_KEYS = frozenset(
+    {"distribution", "theta", "hot_set_fraction", "hot_opn_fraction", "drift_period_s"}
+)
+_TENANT_KEYS = frozenset(
+    {"name", "weight", "keyspace", "rate_limit", "burst", "mix", "user_theta"}
+)
+_ASSERT_KEYS = frozenset(
+    {"rate_tolerance", "buckets", "min_bucket_expected", "require_zero_gamma"}
+)
+_KEY_DISTRIBUTIONS = ("zipfian", "hotspot", "uniform")
+_ARRIVAL_KINDS = ("paced", "poisson")
+_BINDINGS = ("raw", "txn")
+_MIX_OPS = ("read", "update", "insert", "scan", "readmodifywrite", "delete")
+
+#: Default per-tenant operation mix: the CEW shape, read-heavy with the
+#: contended transfer present.  Deliberately churn-free: a CEW ``delete``
+#: removes a record from the tenant's key window *permanently* (new
+#: accounts appear at the insert frontier, outside the synthesized key
+#: range), so over a 10^7-op campaign even a small delete share would
+#: hollow out the hot set and the failure rate would drift upward.
+#: Scenarios that want churn opt in per tenant and accept the NOT_FOUNDs.
+DEFAULT_MIX: dict[str, float] = {
+    "read": 0.62,
+    "update": 0.16,
+    "readmodifywrite": 0.22,
+}
+
+
+def _number(value: Any, what: str, minimum: float | None = None) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SynthSpecError(f"{what} must be a number, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise SynthSpecError(f"{what} must be >= {minimum}, got {value}")
+    return float(value)
+
+
+def _positive_int(value: Any, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise SynthSpecError(f"{what} must be an int >= 1, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a weighted share of arrivals with its own mix, slice
+    of the key space, and optional token-bucket rate ceiling."""
+
+    name: str
+    weight: float = 1.0
+    #: fraction of the record space this tenant touches, ``[lo, hi)``.
+    keyspace: tuple[float, float] = (0.0, 1.0)
+    #: ops/second ceiling (token bucket); None = unlimited.
+    rate_limit: float | None = None
+    #: bucket burst capacity; defaults to the rate.
+    burst: float | None = None
+    mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    #: skew of the user-popularity Zipfian within this tenant.
+    user_theta: float = 0.99
+
+    def validate(self) -> None:
+        if not self.name:
+            raise SynthSpecError("tenant name must not be empty")
+        _number(self.weight, f"tenant {self.name!r} weight", minimum=0.0)
+        if self.weight <= 0:
+            raise SynthSpecError(f"tenant {self.name!r} weight must be > 0")
+        lo, hi = self.keyspace
+        if not (0.0 <= lo < hi <= 1.0):
+            raise SynthSpecError(
+                f"tenant {self.name!r} keyspace must satisfy 0 <= lo < hi <= 1, "
+                f"got [{lo}, {hi})"
+            )
+        if self.rate_limit is not None:
+            _number(self.rate_limit, f"tenant {self.name!r} rate_limit")
+            if self.rate_limit <= 0:
+                raise SynthSpecError(
+                    f"tenant {self.name!r} rate_limit must be > 0 (omit it for "
+                    "unlimited)"
+                )
+        if self.burst is not None and self.rate_limit is None:
+            raise SynthSpecError(
+                f"tenant {self.name!r} sets burst without rate_limit"
+            )
+        if not isinstance(self.mix, Mapping) or not self.mix:
+            raise SynthSpecError(f"tenant {self.name!r} mix must be a non-empty mapping")
+        for op, share in self.mix.items():
+            if op not in _MIX_OPS:
+                raise SynthSpecError(
+                    f"tenant {self.name!r} mix has unknown op {op!r}; "
+                    f"valid ops: {list(_MIX_OPS)}"
+                )
+            _number(share, f"tenant {self.name!r} mix[{op}]", minimum=0.0)
+        if sum(self.mix.values()) <= 0:
+            raise SynthSpecError(f"tenant {self.name!r} mix sums to zero")
+        if not 0.0 < self.user_theta < 1.0:
+            raise SynthSpecError(
+                f"tenant {self.name!r} user_theta must be in (0, 1), "
+                f"got {self.user_theta}"
+            )
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """A statistically-synthesized campaign, ready to compile.
+
+    The spec is the complete replay unit: ``(spec, seed)`` determines
+    every arrival instant, every key, every operation — byte-identical
+    output across runs and machines.
+    """
+
+    name: str
+    duration_s: float
+    users: int
+    description: str = ""
+    #: cap on resident per-user state (lazy LRU); memory is O(this),
+    #: never O(users).
+    active_users: int = 4096
+    records: int = 10_000
+    total_cash: int | None = None
+    binding: str = "txn"
+    # arrival model
+    arrival_kind: str = "paced"
+    curve: RateCurve = field(default_factory=lambda: RateCurve(base_rate=100.0))
+    # key model
+    key_distribution: str = "zipfian"
+    key_theta: float = 0.99
+    hot_set_fraction: float = 0.2
+    hot_opn_fraction: float = 0.8
+    drift_period_s: float = 0.0
+    # tenants
+    tenants: tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
+    # assertions
+    rate_tolerance: float = 0.15
+    assert_buckets: int = 24
+    min_bucket_expected: int = 50
+    require_zero_gamma: bool = True
+    # extra workload property overrides
+    properties: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.name or not all(
+            ch.isalnum() or ch in "-_." for ch in self.name
+        ):
+            raise SynthSpecError(
+                f"bad spec name {self.name!r}: use letters, digits, '-', '_' "
+                "and '.' (names become artifact file names)"
+            )
+        _number(self.duration_s, "duration_s")
+        if self.duration_s <= 0:
+            raise SynthSpecError(f"duration_s must be > 0, got {self.duration_s}")
+        _positive_int(self.users, "users")
+        _positive_int(self.active_users, "active_users")
+        _positive_int(self.records, "records")
+        if self.total_cash is not None:
+            _positive_int(self.total_cash, "total_cash")
+            if self.total_cash < self.records:
+                raise SynthSpecError(
+                    f"total_cash must give every account at least $1 "
+                    f"({self.total_cash} < {self.records})"
+                )
+        if self.binding not in _BINDINGS:
+            raise SynthSpecError(
+                f"unknown binding {self.binding!r}; use one of {list(_BINDINGS)}"
+            )
+        if self.arrival_kind not in _ARRIVAL_KINDS:
+            raise SynthSpecError(
+                f"unknown arrival kind {self.arrival_kind!r}; use one of "
+                f"{list(_ARRIVAL_KINDS)}"
+            )
+        if self.key_distribution not in _KEY_DISTRIBUTIONS:
+            raise SynthSpecError(
+                f"unknown key distribution {self.key_distribution!r}; use one "
+                f"of {list(_KEY_DISTRIBUTIONS)}"
+            )
+        if not 0.0 < self.key_theta < 1.0:
+            raise SynthSpecError(
+                f"key_theta must be in (0, 1), got {self.key_theta}"
+            )
+        _number(self.drift_period_s, "drift_period_s", minimum=0.0)
+        if not self.tenants:
+            raise SynthSpecError("at least one tenant is required")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise SynthSpecError(f"duplicate tenant names in {names}")
+        for tenant in self.tenants:
+            tenant.validate()
+            span = tenant.keyspace[1] - tenant.keyspace[0]
+            if int(span * self.records) < 1:
+                raise SynthSpecError(
+                    f"tenant {tenant.name!r} keyspace slice {tenant.keyspace} "
+                    f"covers no records at records={self.records}"
+                )
+        _number(self.rate_tolerance, "rate_tolerance")
+        if not 0.0 < self.rate_tolerance < 1.0:
+            raise SynthSpecError(
+                f"rate_tolerance must be in (0, 1), got {self.rate_tolerance}"
+            )
+        if not isinstance(self.assert_buckets, int) or self.assert_buckets < 1:
+            raise SynthSpecError(
+                f"assert_buckets must be an int >= 1, got {self.assert_buckets!r}"
+            )
+        if not isinstance(self.min_bucket_expected, int) or self.min_bucket_expected < 0:
+            raise SynthSpecError(
+                f"min_bucket_expected must be an int >= 0, "
+                f"got {self.min_bucket_expected!r}"
+            )
+        if not isinstance(self.properties, Mapping):
+            raise SynthSpecError(
+                f"properties must be a mapping, got {type(self.properties).__name__}"
+            )
+
+    @property
+    def total_weight(self) -> float:
+        return sum(tenant.weight for tenant in self.tenants)
+
+    def expected_total_ops(self) -> float:
+        """Target operation count of the whole campaign (curve integral)."""
+        buckets = max(self.assert_buckets, 24)
+        step = self.duration_s / buckets
+        return sum(
+            self.curve.expected_ops(i * step, (i + 1) * step)
+            for i in range(buckets)
+        )
+
+    def with_overrides(
+        self,
+        binding: str | None = None,
+        duration_s: float | None = None,
+        scale: float | None = None,
+    ) -> "SynthSpec":
+        """A copy with common sweep knobs replaced.
+
+        ``scale`` multiplies the whole curve (base and spikes) — the
+        quick/full switch of the experiments layer.
+        """
+        updated = self
+        if binding is not None:
+            updated = replace(updated, binding=binding)
+        if duration_s is not None:
+            updated = replace(updated, duration_s=duration_s)
+        if scale is not None and scale != 1.0:
+            curve = updated.curve
+            updated = replace(
+                updated,
+                curve=RateCurve(
+                    base_rate=curve.base_rate * scale,
+                    diurnal_amplitude=curve.diurnal_amplitude,
+                    diurnal_period_s=curve.diurnal_period_s,
+                    diurnal_phase_s=curve.diurnal_phase_s,
+                    spikes=tuple(
+                        replace(spike, peak_rate=spike.peak_rate * scale)
+                        for spike in curve.spikes
+                    ),
+                ),
+            )
+        return updated
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe round-trippable form (the violation-trace payload)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "duration_s": self.duration_s,
+            "users": self.users,
+            "active_users": self.active_users,
+            "records": self.records,
+            "total_cash": self.total_cash,
+            "binding": self.binding,
+            "arrival": {
+                "kind": self.arrival_kind,
+                "base_rate": self.curve.base_rate,
+                "diurnal_amplitude": self.curve.diurnal_amplitude,
+                "diurnal_period_s": self.curve.diurnal_period_s,
+                "diurnal_phase_s": self.curve.diurnal_phase_s,
+                "spikes": [
+                    {
+                        "at_s": spike.at_s,
+                        "peak_rate": spike.peak_rate,
+                        "ramp_s": spike.ramp_s,
+                        "hold_s": spike.hold_s,
+                        "decay_s": spike.decay_s,
+                    }
+                    for spike in self.curve.spikes
+                ],
+            },
+            "keys": {
+                "distribution": self.key_distribution,
+                "theta": self.key_theta,
+                "hot_set_fraction": self.hot_set_fraction,
+                "hot_opn_fraction": self.hot_opn_fraction,
+                "drift_period_s": self.drift_period_s,
+            },
+            "tenants": [
+                {
+                    "name": tenant.name,
+                    "weight": tenant.weight,
+                    "keyspace": list(tenant.keyspace),
+                    "rate_limit": tenant.rate_limit,
+                    "burst": tenant.burst,
+                    "mix": dict(tenant.mix),
+                    "user_theta": tenant.user_theta,
+                }
+                for tenant in self.tenants
+            ],
+            "assertions": {
+                "rate_tolerance": self.rate_tolerance,
+                "buckets": self.assert_buckets,
+                "min_bucket_expected": self.min_bucket_expected,
+                "require_zero_gamma": self.require_zero_gamma,
+            },
+            "properties": dict(self.properties),
+        }
+
+
+def _check_keys(data: Mapping[str, Any], allowed: frozenset[str], what: str) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise SynthSpecError(
+            f"{what}: unknown keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+
+
+def _tenant_from_dict(data: Mapping[str, Any], index: int) -> TenantSpec:
+    if not isinstance(data, Mapping):
+        raise SynthSpecError(
+            f"tenants[{index}] must be a mapping, got {type(data).__name__}"
+        )
+    _check_keys(data, _TENANT_KEYS, f"tenants[{index}]")
+    values = dict(data)
+    values.setdefault("name", f"tenant{index}")
+    keyspace = values.get("keyspace")
+    if keyspace is not None:
+        if (
+            isinstance(keyspace, str)
+            or not isinstance(keyspace, Sequence)
+            or len(keyspace) != 2
+        ):
+            raise SynthSpecError(
+                f"tenants[{index}] keyspace must be a [lo, hi) pair, "
+                f"got {keyspace!r}"
+            )
+        values["keyspace"] = (float(keyspace[0]), float(keyspace[1]))
+    return TenantSpec(**values)
+
+
+def synth_spec_from_dict(
+    data: Mapping[str, Any], source: str = "<dict>"
+) -> SynthSpec:
+    """Build and validate a :class:`SynthSpec` from parsed config data."""
+    if not isinstance(data, Mapping):
+        raise SynthSpecError(
+            f"{source}: a synth spec must be a mapping, got {type(data).__name__}"
+        )
+    _check_keys(data, _SPEC_KEYS, source)
+    for required in ("name", "duration_s", "users"):
+        if required not in data:
+            raise SynthSpecError(f"{source}: a synth spec needs {required!r}")
+
+    arrival = data.get("arrival", {})
+    if not isinstance(arrival, Mapping):
+        raise SynthSpecError(f"{source}: arrival must be a mapping")
+    _check_keys(arrival, _ARRIVAL_KEYS, f"{source}: arrival")
+    spikes_data = arrival.get("spikes", [])
+    if isinstance(spikes_data, Mapping) or isinstance(spikes_data, str):
+        raise SynthSpecError(f"{source}: arrival.spikes must be a list")
+    spikes = []
+    for i, spike in enumerate(spikes_data):
+        if not isinstance(spike, Mapping):
+            raise SynthSpecError(f"{source}: arrival.spikes[{i}] must be a mapping")
+        _check_keys(spike, _SPIKE_KEYS, f"{source}: arrival.spikes[{i}]")
+        try:
+            spikes.append(SpikeSegment(**spike))
+        except (TypeError, ValueError) as exc:
+            raise SynthSpecError(f"{source}: arrival.spikes[{i}]: {exc}") from None
+    try:
+        curve = RateCurve(
+            base_rate=float(arrival.get("base_rate", 100.0)),
+            diurnal_amplitude=float(arrival.get("diurnal_amplitude", 0.0)),
+            diurnal_period_s=float(arrival.get("diurnal_period_s", 86_400.0)),
+            diurnal_phase_s=float(arrival.get("diurnal_phase_s", 0.0)),
+            spikes=tuple(spikes),
+        )
+    except ValueError as exc:
+        raise SynthSpecError(f"{source}: arrival: {exc}") from None
+
+    keys = data.get("keys", {})
+    if not isinstance(keys, Mapping):
+        raise SynthSpecError(f"{source}: keys must be a mapping")
+    _check_keys(keys, _KEYS_KEYS, f"{source}: keys")
+
+    tenants_data = data.get("tenants")
+    if tenants_data is None:
+        tenants: tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
+    else:
+        if isinstance(tenants_data, (str, Mapping)) or not isinstance(
+            tenants_data, Sequence
+        ):
+            raise SynthSpecError(f"{source}: tenants must be a list of mappings")
+        tenants = tuple(
+            _tenant_from_dict(tenant, index)
+            for index, tenant in enumerate(tenants_data)
+        )
+
+    assertions = data.get("assertions", {})
+    if not isinstance(assertions, Mapping):
+        raise SynthSpecError(f"{source}: assertions must be a mapping")
+    _check_keys(assertions, _ASSERT_KEYS, f"{source}: assertions")
+
+    properties = data.get("properties", {})
+    if not isinstance(properties, Mapping):
+        raise SynthSpecError(f"{source}: properties must be a mapping")
+
+    try:
+        return SynthSpec(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            duration_s=float(data["duration_s"]),
+            users=data["users"],
+            active_users=data.get("active_users", 4096),
+            records=data.get("records", 10_000),
+            total_cash=data.get("total_cash"),
+            binding=str(data.get("binding", "txn")),
+            arrival_kind=str(arrival.get("kind", "paced")),
+            curve=curve,
+            key_distribution=str(keys.get("distribution", "zipfian")),
+            key_theta=float(keys.get("theta", 0.99)),
+            hot_set_fraction=float(keys.get("hot_set_fraction", 0.2)),
+            hot_opn_fraction=float(keys.get("hot_opn_fraction", 0.8)),
+            drift_period_s=float(keys.get("drift_period_s", 0.0)),
+            tenants=tenants,
+            rate_tolerance=float(assertions.get("rate_tolerance", 0.15)),
+            assert_buckets=assertions.get("buckets", 24),
+            min_bucket_expected=assertions.get("min_bucket_expected", 50),
+            require_zero_gamma=bool(assertions.get("require_zero_gamma", True)),
+            properties={str(k): str(v) for k, v in properties.items()},
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SynthSpecError):
+            raise
+        raise SynthSpecError(f"{source}: {exc}") from None
+
+
+def load_synth_spec(source: str | Path) -> SynthSpec:
+    """Resolve ``source``: scenario name, ``.json`` or ``.toml`` file."""
+    path = Path(source)
+    if path.suffix in (".json", ".toml") or path.exists():
+        return _load_spec_file(path)
+    name = str(source)
+    if name in SCENARIOS:
+        return SCENARIOS[name]
+    raise SynthSpecError(
+        f"no synth spec file at {source!r} and no built-in scenario by that "
+        f"name; scenarios: {', '.join(scenario_names())}"
+    )
+
+
+def _load_spec_file(path: Path) -> SynthSpec:
+    if not path.exists():
+        raise SynthSpecError(f"synth spec file {path} does not exist")
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # Python 3.10: no stdlib TOML parser
+            raise SynthSpecError(
+                f"cannot read {path}: TOML specs need Python 3.11+ (tomllib); "
+                "use the JSON spec shape instead"
+            ) from None
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SynthSpecError(f"cannot parse {path}: {exc}") from None
+    else:
+        raise SynthSpecError(
+            f"unsupported synth spec file type {path.suffix!r}; use .json or .toml"
+        )
+    return synth_spec_from_dict(data, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenario catalogue
+# ---------------------------------------------------------------------------
+
+SCENARIOS: dict[str, SynthSpec] = {}
+
+
+def _scenario(spec: SynthSpec) -> None:
+    SCENARIOS[spec.name] = spec
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+_scenario(
+    SynthSpec(
+        name="steady",
+        description="flat arrival rate, static zipfian skew, one tenant",
+        duration_s=600.0,
+        users=50_000,
+        records=2_000,
+        curve=RateCurve(base_rate=80.0),
+    )
+)
+_scenario(
+    SynthSpec(
+        name="diurnal",
+        description=(
+            "one simulated day compressed to 2 hours: arrival rate follows "
+            "a day/night sine (amplitude 0.6) over a zipfian key space"
+        ),
+        duration_s=7_200.0,
+        users=100_000,
+        records=4_000,
+        curve=RateCurve(
+            base_rate=60.0, diurnal_amplitude=0.6, diurnal_period_s=7_200.0
+        ),
+    )
+)
+_scenario(
+    SynthSpec(
+        name="flash_crowd",
+        description=(
+            "steady background traffic with two flash-crowd spikes (5x and "
+            "8x base at the peak) — the cache-stampede shape"
+        ),
+        duration_s=1_800.0,
+        users=100_000,
+        records=4_000,
+        curve=RateCurve(
+            base_rate=50.0,
+            spikes=(
+                SpikeSegment(at_s=400.0, peak_rate=250.0, ramp_s=20.0,
+                             hold_s=60.0, decay_s=120.0),
+                SpikeSegment(at_s=1_200.0, peak_rate=400.0, ramp_s=10.0,
+                             hold_s=30.0, decay_s=180.0),
+            ),
+        ),
+    )
+)
+_scenario(
+    SynthSpec(
+        name="drifting_hotset",
+        description=(
+            "zipfian skew whose hot set rotates every 5 simulated minutes "
+            "— trending-content churn over a steady arrival rate"
+        ),
+        duration_s=3_600.0,
+        users=100_000,
+        records=5_000,
+        drift_period_s=300.0,
+        curve=RateCurve(base_rate=70.0),
+    )
+)
+_scenario(
+    SynthSpec(
+        name="multi_tenant",
+        description=(
+            "three tenants on disjoint keyspace slices: a read-heavy whale, "
+            "a write-heavy mid tenant under a 20 ops/s token-bucket "
+            "ceiling, and a small scan-free tail tenant"
+        ),
+        duration_s=1_200.0,
+        users=150_000,
+        records=6_000,
+        curve=RateCurve(base_rate=90.0),
+        tenants=(
+            TenantSpec(
+                name="whale",
+                weight=0.6,
+                keyspace=(0.0, 0.5),
+                mix={"read": 0.8, "update": 0.05, "readmodifywrite": 0.15},
+            ),
+            TenantSpec(
+                name="writer",
+                weight=0.3,
+                keyspace=(0.5, 0.85),
+                rate_limit=20.0,
+                burst=10.0,
+                mix={
+                    "read": 0.2,
+                    "update": 0.5,
+                    "insert": 0.05,
+                    "readmodifywrite": 0.25,
+                },
+            ),
+            TenantSpec(
+                name="tail",
+                weight=0.1,
+                keyspace=(0.85, 1.0),
+                mix={"read": 0.7, "update": 0.3},
+            ),
+        ),
+    )
+)

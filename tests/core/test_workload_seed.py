@@ -1,0 +1,112 @@
+"""``workload.seed``: one knob replays the whole request/injection stack."""
+
+import random
+
+from repro.bindings.stores import MemoryDB, wrap_store
+from repro.core.core_workload import CoreWorkload
+from repro.core.properties import Properties
+from repro.core.workload import Workload
+from repro.kvstore.faults import FaultInjectingStore
+from repro.kvstore.memory import InMemoryKVStore
+
+
+def key_stream(properties, draws=200):
+    workload = CoreWorkload()
+    workload.init(Properties(properties))
+    return [workload.next_key_number() for _ in range(draws)]
+
+
+class TestWorkloadSeedThreading:
+    def test_workload_seed_replays_key_stream(self):
+        base = {"recordcount": "1000", "requestdistribution": "zipfian"}
+        first = key_stream({**base, "workload.seed": "77"})
+        second = key_stream({**base, "workload.seed": "77"})
+        third = key_stream({**base, "workload.seed": "78"})
+        assert first == second
+        assert first != third
+
+    def test_workload_seed_wins_over_legacy_seed(self):
+        base = {"recordcount": "1000", "requestdistribution": "uniform"}
+        combined = key_stream({**base, "seed": "1", "workload.seed": "99"})
+        workload_only = key_stream({**base, "workload.seed": "99"})
+        legacy_only = key_stream({**base, "seed": "1"})
+        assert combined == workload_only
+        assert combined != legacy_only
+
+    def test_legacy_seed_still_replays(self):
+        base = {"recordcount": "500", "requestdistribution": "hotspot"}
+        assert key_stream({**base, "seed": "5"}) == key_stream({**base, "seed": "5"})
+
+    def test_every_request_distribution_is_seeded(self):
+        for distribution in ("uniform", "zipfian", "latest", "hotspot",
+                             "sequential", "exponential"):
+            base = {
+                "recordcount": "400",
+                "requestdistribution": distribution,
+                "workload.seed": "11",
+            }
+            assert key_stream(base, draws=100) == key_stream(base, draws=100), (
+                f"{distribution} is not replayable from workload.seed"
+            )
+
+    def test_thread_rng_derived_from_workload_seed(self):
+        workload = Workload()
+        workload.init(Properties({"workload.seed": "5"}), None)
+        first = workload.init_thread(0, 4)
+        second = workload.init_thread(0, 4)
+        other_thread = workload.init_thread(1, 4)
+        assert isinstance(first, random.Random)
+        assert first.random() == second.random()
+        assert first.random() != other_thread.random()
+
+
+def fault_outcomes(extra, puts=60):
+    """True/False per put: did the injected fault layer fail the write?
+
+    Retries are disabled so the raw fault sequence is observable; the
+    fault draws are a pure function of the effective ``fault.seed``.
+    """
+    props = Properties({
+        "fault.torn_write_rate": "0.5",
+        "retry.max_attempts": "1",
+        **extra,
+    })
+    wrapped = wrap_store(InMemoryKVStore(), props)
+    results = []
+    for i in range(puts):
+        try:
+            wrapped.put("k", {"f": str(i)})
+            results.append(True)
+        except Exception:
+            results.append(False)
+    return results
+
+
+class TestLayerSeedFanOut:
+    def test_fault_layer_engaged(self):
+        properties = Properties({
+            "workload.seed": "40",
+            "fault.torn_write_rate": "0.5",
+            "retry.max_attempts": "1",
+        })
+        store = wrap_store(InMemoryKVStore(), properties)
+        assert isinstance(store, FaultInjectingStore)
+
+    def test_fault_seed_derived_from_workload_seed(self):
+        assert fault_outcomes({"workload.seed": "40"}) == fault_outcomes(
+            {"workload.seed": "40"}
+        )
+        assert fault_outcomes({"workload.seed": "40"}) != fault_outcomes(
+            {"workload.seed": "41"}
+        )
+
+    def test_derived_seed_matches_fan_out_offset(self):
+        # The fault layer derives workload.seed + 1 when fault.seed is unset.
+        derived = fault_outcomes({"workload.seed": "40"})
+        explicit = fault_outcomes({"fault.seed": "41"})
+        assert derived == explicit
+
+    def test_explicit_layer_seed_wins(self):
+        pinned = fault_outcomes({"fault.seed": "123", "workload.seed": "1"})
+        pinned_other_base = fault_outcomes({"fault.seed": "123", "workload.seed": "2"})
+        assert pinned == pinned_other_base

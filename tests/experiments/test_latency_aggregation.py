@@ -1,0 +1,116 @@
+"""Per-repetition HDR latency aggregation and its BENCH serialisation."""
+
+import json
+
+import pytest
+
+from repro.experiments.aggregate import aggregate_results
+from repro.experiments.bench import (
+    render_aggregate_text,
+    render_bench_document,
+)
+from repro.experiments.spec import ExperimentSpec
+from repro.harness.results import ExperimentResult, Point, Series
+from repro.measurements.hdr import HdrHistogramMeasurement
+
+
+def histogram_payload(operation, latencies_us):
+    histogram = HdrHistogramMeasurement(operation)
+    for value in latencies_us:
+        histogram.measure(value)
+    return histogram.to_dict()
+
+
+def make_result(histogram_latencies, label="cell"):
+    """One fake repetition with a single-point series and histograms."""
+    return ExperimentResult(
+        experiment="fake",
+        description="latency aggregation fixture",
+        series=[Series(label=label, points=[Point(x=1.0, throughput=100.0)])],
+        histograms={
+            operation: histogram_payload(operation, latencies)
+            for operation, latencies in histogram_latencies.items()
+        },
+    )
+
+
+def spec():
+    return ExperimentSpec(name="fake-latency", runner="cew", repetitions=3)
+
+
+class TestLatencyAggregation:
+    def test_pooled_percentiles_match_merged_histogram(self):
+        reps = [
+            make_result({"READ": [100] * 98 + [1000, 2000]}),
+            make_result({"READ": [120] * 98 + [1100, 2200]}),
+            make_result({"READ": [110] * 98 + [1050, 2100]}),
+        ]
+        aggregate = aggregate_results(spec(), [1, 2, 3], reps)
+        entry = aggregate.latency["READ"]
+        assert entry.count == 300
+        merged = HdrHistogramMeasurement.from_dict(reps[0].histograms["READ"])
+        for rep in reps[1:]:
+            merged.merge_from(
+                HdrHistogramMeasurement.from_dict(rep.histograms["READ"])
+            )
+        assert entry.p99_us == merged.percentile_us(0.99)
+        assert entry.p50_us == merged.percentile_us(0.50)
+        assert entry.max_us == float(merged.summary().max_us)
+
+    def test_per_rep_ci_band_on_p99(self):
+        reps = [
+            make_result({"UPDATE": [100] * 98 + [900, 900]}),
+            make_result({"UPDATE": [100] * 98 + [1000, 1000]}),
+            make_result({"UPDATE": [100] * 98 + [1100, 1100]}),
+        ]
+        aggregate = aggregate_results(spec(), [1, 2, 3], reps)
+        entry = aggregate.latency["UPDATE"]
+        assert len(entry.p99_per_rep.values) == 3
+        assert entry.p99_per_rep.stats.ci95 is not None
+        assert entry.p99_per_rep.stats.ci95 > 0
+        assert len(entry.mean_per_rep.values) == 3
+        assert len(entry.p95_per_rep.values) == 3
+
+    def test_structural_mismatch_raises(self):
+        reps = [
+            make_result({"READ": [100]}),
+            make_result({"READ": [100], "UPDATE": [200]}),
+            make_result({"READ": [100]}),
+        ]
+        with pytest.raises(ValueError, match="structurally identical"):
+            aggregate_results(spec(), [1, 2, 3], reps)
+
+    def test_no_histograms_no_latency(self):
+        reps = [make_result({}) for _ in range(3)]
+        aggregate = aggregate_results(spec(), [1, 2, 3], reps)
+        assert aggregate.latency == {}
+
+
+class TestBenchLatencySection:
+    def aggregate(self, with_histograms):
+        latencies = {"READ": [100, 200, 300]} if with_histograms else {}
+        reps = [make_result(latencies) for _ in range(3)]
+        return aggregate_results(spec(), [1, 2, 3], reps)
+
+    def test_latency_key_present_only_with_histograms(self):
+        with_latency = render_bench_document(self.aggregate(True))
+        without = render_bench_document(self.aggregate(False))
+        assert "latency" in with_latency
+        assert "latency" not in without
+        payload = with_latency["latency"]["READ"]
+        assert payload["count"] == 9
+        assert set(payload) == {
+            "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us",
+            "mean_per_rep", "p95_per_rep", "p99_per_rep",
+        }
+        assert payload["p99_per_rep"]["n"] == 3
+
+    def test_latency_section_is_json_safe(self):
+        document = render_bench_document(self.aggregate(True))
+        json.dumps(document, sort_keys=True)
+
+    def test_text_report_has_latency_block(self):
+        text = render_aggregate_text(self.aggregate(True))
+        assert "latency (us, pooled across repetitions)" in text
+        assert "READ" in text
+        assert "latency (us" not in render_aggregate_text(self.aggregate(False))

@@ -1,0 +1,146 @@
+"""Drifting request distributions: the hot set must rotate on schedule."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.drift import (
+    DRIFT_STRIDE,
+    DriftingHotspotGenerator,
+    DriftingZipfianGenerator,
+)
+from repro.generators.zipfian import ZipfianGenerator, zeta_static
+
+
+def fixed_clock(value):
+    holder = [value]
+    return holder, (lambda: holder[0])
+
+
+class TestDriftingZipfian:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            DriftingZipfianGenerator(10, 5)
+        with pytest.raises(ValueError):
+            DriftingZipfianGenerator(0, 9, drift_period_s=-1.0)
+
+    def test_in_range(self):
+        holder, clock = fixed_clock(0.0)
+        gen = DriftingZipfianGenerator(
+            100, 199, drift_period_s=10.0, rng=random.Random(1), clock=clock
+        )
+        for step in range(500):
+            holder[0] = step * 0.5
+            assert 100 <= gen.next_value() <= 199
+
+    def test_seed_and_clock_determinism(self):
+        def stream(seed):
+            holder, clock = fixed_clock(0.0)
+            gen = DriftingZipfianGenerator(
+                0, 999, drift_period_s=5.0, rng=random.Random(seed), clock=clock
+            )
+            values = []
+            for step in range(300):
+                holder[0] = step * 0.1
+                values.append(gen.next_value())
+            return values
+
+        assert stream(7) == stream(7)
+        assert stream(7) != stream(8)
+
+    def test_hot_set_rotates_between_epochs(self):
+        gen = DriftingZipfianGenerator(0, 499, drift_period_s=60.0,
+                                       rng=random.Random(0))
+        for epoch in range(20):
+            current = gen.hot_keys(epoch, count=5)
+            following = gen.hot_keys(epoch + 1, count=5)
+            # The hottest key moves every epoch (the odd stride guarantees
+            # it for any span > 1)...
+            assert current[0] != following[0]
+            # ...while the epoch's own mapping stays injective.
+            assert len(set(current)) == 5
+
+    def test_epoch_boundary_switches_keys(self):
+        holder, clock = fixed_clock(0.0)
+        gen = DriftingZipfianGenerator(
+            0, 999, drift_period_s=10.0, rng=random.Random(3), clock=clock
+        )
+        assert gen.epoch_at(9.99) == 0
+        assert gen.epoch_at(10.0) == 1
+        # Same rank, different epochs, different keys.
+        assert gen.key_for_rank(0, 0) != gen.key_for_rank(0, 1)
+        shift = (gen.key_for_rank(0, 1) - gen.key_for_rank(0, 0)) % gen.span
+        assert shift == DRIFT_STRIDE % gen.span
+
+    def test_zero_period_never_rotates(self):
+        holder, clock = fixed_clock(0.0)
+        gen = DriftingZipfianGenerator(
+            0, 99, drift_period_s=0.0, rng=random.Random(5), clock=clock
+        )
+        assert gen.epoch_at(1e9) == 0
+
+    def test_mean_is_uniform_over_span(self):
+        gen = DriftingZipfianGenerator(100, 199, rng=random.Random(0))
+        assert gen.mean() == pytest.approx(149.5)
+
+
+class TestDriftingHotspot:
+    def test_in_range_and_deterministic(self):
+        def stream(seed):
+            holder, clock = fixed_clock(0.0)
+            gen = DriftingHotspotGenerator(
+                50, 149, drift_period_s=3.0, rng=random.Random(seed), clock=clock
+            )
+            values = []
+            for step in range(300):
+                holder[0] = step * 0.05
+                value = gen.next_value()
+                assert 50 <= value <= 149
+                values.append(value)
+            return values
+
+        assert stream(2) == stream(2)
+        assert stream(2) != stream(3)
+
+    def test_hot_region_rotates(self):
+        gen = DriftingHotspotGenerator(0, 199, drift_period_s=30.0,
+                                       rng=random.Random(0))
+        assert gen.hot_keys(0, count=3) != gen.hot_keys(1, count=3)
+
+    def test_mean_is_uniform_over_span(self):
+        gen = DriftingHotspotGenerator(0, 99, rng=random.Random(0))
+        assert gen.mean() == pytest.approx(49.5)
+
+
+class TestZipfianMeanUnderGrowth:
+    """Satellite property: the analytic mean stays exact while the item
+    space grows draw by draw (the ``latest`` distribution's shape)."""
+
+    def brute_force_mean(self, items, theta):
+        zetan = zeta_static(0, items, theta)
+        return sum((i - 1) / i**theta for i in range(1, items + 1)) / zetan
+
+    @pytest.mark.parametrize("theta", [0.5, 0.99])
+    def test_incremental_matches_brute_force(self, theta):
+        gen = ZipfianGenerator(0, 9, theta=theta, rng=random.Random(1))
+        for items in (10, 11, 25, 100, 101):
+            gen.next_for_items(items)
+            assert gen.mean() == pytest.approx(
+                self.brute_force_mean(items, theta), rel=1e-12
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        start=st.integers(min_value=3, max_value=50),
+        growth=st.integers(min_value=0, max_value=200),
+        theta=st.floats(min_value=0.1, max_value=0.99),
+    )
+    def test_mean_in_range_while_growing(self, start, growth, theta):
+        gen = ZipfianGenerator(0, start - 1, theta=theta, rng=random.Random(0))
+        gen.next_for_items(start + growth)
+        mean = gen.mean()
+        assert 0.0 <= mean <= start + growth - 1
+        # Skew keeps the mean below the uniform midpoint.
+        assert mean < (start + growth - 1) / 2.0 + 1e-9

@@ -68,3 +68,68 @@ class TestThroughputTimeSeries:
         for t in threads:
             t.join()
         assert series.total_operations() == 20000
+
+
+class TestBoundedTimeSeries:
+    """The ``max_windows`` decimating cap: O(1) memory for open-ended runs."""
+
+    def make_bounded(self, max_windows, window_s=1.0):
+        clock = [0.0]
+        series = ThroughputTimeSeries(
+            window_s, clock=lambda: clock[0], max_windows=max_windows
+        )
+        return series, clock
+
+    def test_rejects_cap_below_two(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeSeries(1.0, max_windows=1)
+
+    def test_never_exceeds_cap(self):
+        series, clock = self.make_bounded(max_windows=8)
+        for second in range(1000):
+            clock[0] = float(second)
+            series.record()
+            assert len(series.window_counts()) <= 8
+        assert series.total_operations() == 1000
+
+    def test_decimation_doubles_window_and_preserves_counts(self):
+        series, clock = self.make_bounded(max_windows=4)
+        for second in range(4):
+            clock[0] = float(second)
+            series.record(second + 1)  # counts 1..4
+        assert series.window_counts() == [1, 2, 3, 4]
+        assert series.window_s == 1.0
+        # The 5th window forces one halving: pairs merge, width doubles.
+        clock[0] = 4.0
+        series.record(10)
+        assert series.window_s == 2.0
+        assert series.window_counts() == [3, 7, 10]
+        assert series.total_operations() == 20
+
+    def test_long_run_window_grows_logarithmically(self):
+        series, clock = self.make_bounded(max_windows=16)
+        for second in range(0, 10_000, 10):
+            clock[0] = float(second)
+            series.record()
+        # 10_000 s at cap 16 needs width >= 625 -> next power of two: 1024.
+        assert series.window_s == 1024.0
+        assert len(series.window_counts()) <= 16
+        assert series.total_operations() == 1000
+
+    def test_windows_report_decimated_offsets(self):
+        series, clock = self.make_bounded(max_windows=2)
+        for second in range(4):
+            clock[0] = float(second)
+            series.record()
+        windows = series.windows()
+        assert [w.start_offset_s for w in windows] == [0.0, 2.0]
+        assert all(w.ops_per_second == pytest.approx(1.0) for w in windows)
+
+    def test_unbounded_series_unaffected(self):
+        series, clock = make_series()
+        for second in range(100):
+            clock[0] = 100.0 + second
+            series.record()
+        assert series.max_windows is None
+        assert len(series.window_counts()) == 100
+        assert series.window_s == 1.0

@@ -1,0 +1,202 @@
+"""Rate curves, spike segments and arrival processes."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.models import (
+    RateCurve,
+    SpikeSegment,
+    make_arrivals,
+    paced_arrivals,
+    poisson_arrivals,
+)
+
+
+def take_until(iterator, end_s):
+    return list(itertools.takewhile(lambda t: t <= end_s, iterator))
+
+
+class TestSpikeSegment:
+    def test_trapezoid_shape(self):
+        spike = SpikeSegment(at_s=100.0, peak_rate=50.0, ramp_s=10.0,
+                             hold_s=20.0, decay_s=40.0)
+        assert spike.rate_at(99.0) == 0.0
+        assert spike.rate_at(105.0) == pytest.approx(25.0)
+        assert spike.rate_at(110.0) == 50.0
+        assert spike.rate_at(125.0) == 50.0
+        assert spike.rate_at(150.0) == pytest.approx(25.0)
+        assert spike.rate_at(170.0) == 0.0
+        assert spike.end_s == 170.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SpikeSegment(at_s=-1.0, peak_rate=10.0)
+        with pytest.raises(ValueError):
+            SpikeSegment(at_s=0.0, peak_rate=0.0)
+        with pytest.raises(ValueError):
+            SpikeSegment(at_s=0.0, peak_rate=10.0, ramp_s=-1.0)
+
+
+class TestRateCurve:
+    def test_flat_curve(self):
+        curve = RateCurve(base_rate=100.0)
+        assert curve.rate_at(0.0) == 100.0
+        assert curve.rate_at(12345.0) == 100.0
+        assert curve.max_rate() == 100.0
+        assert curve.expected_ops(0.0, 10.0) == pytest.approx(1000.0)
+
+    def test_diurnal_sine(self):
+        curve = RateCurve(base_rate=100.0, diurnal_amplitude=0.5,
+                          diurnal_period_s=100.0)
+        assert curve.rate_at(0.0) == pytest.approx(100.0)
+        assert curve.rate_at(25.0) == pytest.approx(150.0)
+        assert curve.rate_at(75.0) == pytest.approx(50.0)
+        # One full period integrates the sine away.
+        assert curve.expected_ops(0.0, 100.0, samples=400) == pytest.approx(
+            10_000.0, rel=1e-3
+        )
+
+    def test_spike_is_additive(self):
+        curve = RateCurve(
+            base_rate=10.0,
+            spikes=(SpikeSegment(at_s=0.0, peak_rate=90.0, ramp_s=0.0,
+                                 hold_s=10.0, decay_s=0.0),),
+        )
+        assert curve.rate_at(5.0) == 100.0
+        assert curve.rate_at(20.0) == 10.0
+        assert curve.max_rate() == 100.0
+
+    def test_max_rate_bounds_rate_at(self):
+        curve = RateCurve(
+            base_rate=60.0,
+            diurnal_amplitude=0.6,
+            diurnal_period_s=600.0,
+            spikes=(SpikeSegment(at_s=100.0, peak_rate=200.0),),
+        )
+        bound = curve.max_rate()
+        for t in range(0, 700, 7):
+            assert curve.rate_at(float(t)) <= bound + 1e-9
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RateCurve(base_rate=0.0)
+        with pytest.raises(ValueError):
+            RateCurve(base_rate=10.0, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            RateCurve(base_rate=10.0, diurnal_period_s=0.0)
+
+
+class TestPacedArrivals:
+    def test_flat_rate_is_even_pacing(self):
+        curve = RateCurve(base_rate=10.0)
+        arrivals = take_until(paced_arrivals(curve), 10.0)
+        assert len(arrivals) == 100
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_deterministic(self):
+        curve = RateCurve(base_rate=30.0, diurnal_amplitude=0.4,
+                          diurnal_period_s=60.0)
+        first = take_until(paced_arrivals(curve), 120.0)
+        second = take_until(paced_arrivals(curve), 120.0)
+        assert first == second
+
+    def test_tracks_curve_integral(self):
+        curve = RateCurve(base_rate=50.0, diurnal_amplitude=0.6,
+                          diurnal_period_s=300.0)
+        arrivals = take_until(paced_arrivals(curve), 300.0)
+        expected = curve.expected_ops(0.0, 300.0, samples=600)
+        assert len(arrivals) == pytest.approx(expected, rel=0.01)
+
+    def test_scale(self):
+        curve = RateCurve(base_rate=10.0)
+        # The boundary arrival may land a float ulp past the horizon.
+        doubled = take_until(paced_arrivals(curve, scale=2.0), 10.0 + 1e-9)
+        assert len(doubled) == 200
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            next(paced_arrivals(RateCurve(base_rate=1.0), scale=0.0))
+
+
+class TestPoissonArrivals:
+    def test_seed_deterministic(self):
+        curve = RateCurve(base_rate=40.0, diurnal_amplitude=0.3,
+                          diurnal_period_s=120.0)
+        first = take_until(poisson_arrivals(curve, random.Random(7)), 60.0)
+        second = take_until(poisson_arrivals(curve, random.Random(7)), 60.0)
+        assert first == second
+        third = take_until(poisson_arrivals(curve, random.Random(8)), 60.0)
+        assert first != third
+
+    def test_count_tracks_integral(self):
+        curve = RateCurve(base_rate=100.0)
+        counts = [
+            len(take_until(poisson_arrivals(curve, random.Random(seed)), 100.0))
+            for seed in range(5)
+        ]
+        # 10_000 expected; 5-sigma is ~500.
+        for count in counts:
+            assert abs(count - 10_000) < 500
+
+    def test_monotone_increasing(self):
+        curve = RateCurve(
+            base_rate=20.0,
+            spikes=(SpikeSegment(at_s=5.0, peak_rate=100.0, ramp_s=1.0,
+                                 hold_s=2.0, decay_s=3.0),),
+        )
+        arrivals = take_until(poisson_arrivals(curve, random.Random(3)), 20.0)
+        assert arrivals == sorted(arrivals)
+        assert len(arrivals) == len(set(arrivals))
+
+
+class TestMakeArrivals:
+    def test_dispatch(self):
+        curve = RateCurve(base_rate=10.0)
+        paced = take_until(make_arrivals("paced", curve, random.Random(0)), 5.0)
+        assert len(paced) == 50
+        poisson = take_until(make_arrivals("poisson", curve, random.Random(0)), 5.0)
+        assert poisson  # nonempty, stochastic count
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            make_arrivals("burst", RateCurve(base_rate=1.0), random.Random(0))
+
+
+class TestArrivalRateProperty:
+    """Satellite property: achieved arrival rate stays within tolerance."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        base=st.floats(min_value=20.0, max_value=200.0),
+        amplitude=st.floats(min_value=0.0, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_poisson_rate_within_tolerance(self, base, amplitude, seed):
+        curve = RateCurve(base_rate=base, diurnal_amplitude=amplitude,
+                          diurnal_period_s=200.0)
+        horizon = 200.0
+        arrivals = take_until(
+            poisson_arrivals(curve, random.Random(seed)), horizon
+        )
+        expected = curve.expected_ops(0.0, horizon, samples=400)
+        # 6-sigma band around the Poisson mean.
+        assert abs(len(arrivals) - expected) < 6.0 * math.sqrt(expected) + 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        base=st.floats(min_value=20.0, max_value=200.0),
+        amplitude=st.floats(min_value=0.0, max_value=0.8),
+    )
+    def test_paced_rate_within_tolerance(self, base, amplitude):
+        curve = RateCurve(base_rate=base, diurnal_amplitude=amplitude,
+                          diurnal_period_s=200.0)
+        horizon = 200.0
+        arrivals = take_until(paced_arrivals(curve), horizon)
+        expected = curve.expected_ops(0.0, horizon, samples=400)
+        assert len(arrivals) == pytest.approx(expected, rel=0.02)

@@ -1,0 +1,178 @@
+"""SynthSpec validation, the scenario catalogue and spec files."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.synth.models import RateCurve
+from repro.synth.spec import (
+    DEFAULT_MIX,
+    SCENARIOS,
+    SynthSpec,
+    SynthSpecError,
+    TenantSpec,
+    load_synth_spec,
+    scenario_names,
+    synth_spec_from_dict,
+)
+
+
+def minimal(**overrides):
+    values = {"name": "t", "duration_s": 60.0, "users": 100}
+    values.update(overrides)
+    return SynthSpec(**values)
+
+
+class TestSynthSpecValidation:
+    def test_minimal_spec_valid(self):
+        spec = minimal()
+        assert spec.binding == "txn"
+        assert spec.tenants[0].name == "default"
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SynthSpecError, match="bad spec name"):
+            minimal(name="has space")
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(SynthSpecError, match="duration_s"):
+            minimal(duration_s=0.0)
+
+    def test_rejects_unknown_binding(self):
+        with pytest.raises(SynthSpecError, match="binding"):
+            minimal(binding="http")
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(SynthSpecError, match="key_theta"):
+            minimal(key_theta=1.5)
+
+    def test_rejects_duplicate_tenants(self):
+        with pytest.raises(SynthSpecError, match="duplicate tenant"):
+            minimal(tenants=(TenantSpec(name="a"), TenantSpec(name="a")))
+
+    def test_rejects_empty_tenant_slice(self):
+        with pytest.raises(SynthSpecError, match="covers no records"):
+            minimal(records=10, tenants=(
+                TenantSpec(name="thin", keyspace=(0.0, 0.01)),))
+
+    def test_rejects_low_total_cash(self):
+        with pytest.raises(SynthSpecError, match="total_cash"):
+            minimal(records=100, total_cash=50)
+
+    def test_tenant_burst_requires_rate_limit(self):
+        with pytest.raises(SynthSpecError, match="burst without rate_limit"):
+            TenantSpec(name="b", burst=5.0).validate()
+
+    def test_tenant_rejects_unknown_mix_op(self):
+        with pytest.raises(SynthSpecError, match="unknown op"):
+            TenantSpec(name="m", mix={"upsert": 1.0}).validate()
+
+    def test_default_mix_is_churn_free(self):
+        # A delete permanently removes a record from the synthesized key
+        # window, so the default mix must not include churn ops.
+        assert "delete" not in DEFAULT_MIX
+        assert "insert" not in DEFAULT_MIX
+
+    def test_expected_total_ops_flat(self):
+        spec = minimal(curve=RateCurve(base_rate=10.0), duration_s=100.0)
+        assert spec.expected_total_ops() == pytest.approx(1000.0, rel=1e-3)
+
+    def test_with_overrides(self):
+        spec = minimal(curve=RateCurve(base_rate=10.0))
+        scaled = spec.with_overrides(binding="raw", duration_s=30.0, scale=2.0)
+        assert scaled.binding == "raw"
+        assert scaled.duration_s == 30.0
+        assert scaled.curve.base_rate == 20.0
+        # The original is untouched (specs are frozen).
+        assert spec.binding == "txn" and spec.curve.base_rate == 10.0
+
+
+class TestSpecFromDict:
+    def test_round_trip_via_to_dict(self):
+        for name in scenario_names():
+            spec = SCENARIOS[name]
+            rebuilt = synth_spec_from_dict(spec.to_dict(), source=name)
+            assert rebuilt == spec
+
+    def test_requires_name_duration_users(self):
+        with pytest.raises(SynthSpecError, match="'name'"):
+            synth_spec_from_dict({"duration_s": 1.0, "users": 1})
+        with pytest.raises(SynthSpecError, match="'duration_s'"):
+            synth_spec_from_dict({"name": "x", "users": 1})
+        with pytest.raises(SynthSpecError, match="'users'"):
+            synth_spec_from_dict({"name": "x", "duration_s": 1.0})
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SynthSpecError, match="unknown keys.*'durations'"):
+            synth_spec_from_dict(
+                {"name": "x", "duration_s": 1.0, "users": 1, "durations": 2}
+            )
+
+    def test_unknown_nested_keys(self):
+        base = {"name": "x", "duration_s": 1.0, "users": 1}
+        with pytest.raises(SynthSpecError, match="arrival.*unknown keys"):
+            synth_spec_from_dict({**base, "arrival": {"rate": 5}})
+        with pytest.raises(SynthSpecError, match="keys.*unknown keys"):
+            synth_spec_from_dict({**base, "keys": {"dist": "zipfian"}})
+        with pytest.raises(SynthSpecError, match=r"tenants\[0\].*unknown keys"):
+            synth_spec_from_dict({**base, "tenants": [{"quota": 1}]})
+        with pytest.raises(SynthSpecError, match="assertions.*unknown keys"):
+            synth_spec_from_dict({**base, "assertions": {"tol": 0.1}})
+
+    def test_spikes_parsed(self):
+        spec = synth_spec_from_dict(
+            {
+                "name": "spiky",
+                "duration_s": 100.0,
+                "users": 10,
+                "arrival": {
+                    "base_rate": 10.0,
+                    "spikes": [{"at_s": 5.0, "peak_rate": 50.0}],
+                },
+            }
+        )
+        assert len(spec.curve.spikes) == 1
+        assert spec.curve.spikes[0].peak_rate == 50.0
+
+
+class TestLoadSynthSpec:
+    def test_builtin_scenarios_resolve(self):
+        assert scenario_names() == sorted(SCENARIOS)
+        for name in scenario_names():
+            assert load_synth_spec(name) is SCENARIOS[name]
+
+    def test_unknown_name_lists_scenarios(self):
+        with pytest.raises(SynthSpecError, match="no built-in scenario"):
+            load_synth_spec("nope")
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(
+            {"name": "mini", "duration_s": 10.0, "users": 5}))
+        spec = load_synth_spec(path)
+        assert spec.name == "mini"
+
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "mini.toml"
+        path.write_text(
+            'name = "mini"\nduration_s = 10.0\nusers = 5\n'
+            '[arrival]\nbase_rate = 25.0\n'
+        )
+        spec = load_synth_spec(path)
+        assert spec.curve.base_rate == 25.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SynthSpecError, match="does not exist"):
+            load_synth_spec(tmp_path / "absent.toml")
+
+    def test_committed_mega_campaign_loads(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        spec = load_synth_spec(
+            repo_root / "workloads" / "synth" / "million_user_campaign.toml"
+        )
+        assert spec.users == 1_000_000
+        assert spec.binding == "raw"
+        # The headline claim: the curve integrates to >= 10^7 operations.
+        assert spec.expected_total_ops() >= 10_000_000
+        # Memory must stay O(active_users), far below the population.
+        assert spec.active_users <= 10_000
