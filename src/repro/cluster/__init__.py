@@ -10,6 +10,12 @@ coordinator WAL enabling redo→undo recovery after coordinator death.
 
 from .cluster import ShardCluster
 from .participant import TwoPCParticipant
+from .replicated import (
+    ReplicaGroup,
+    ReplicatedShardCluster,
+    ReplicatedShardHttpCluster,
+    ReplicatedShardRoutedStore,
+)
 from .router import ShardRoutedStore
 from .twopc import ParticipantClient, TwoPCManager, TwoPCTransaction, recover_coordinator
 from .wal import CoordinatorWAL, WalTxn
@@ -17,6 +23,10 @@ from .wal import CoordinatorWAL, WalTxn
 __all__ = [
     "ShardCluster",
     "TwoPCParticipant",
+    "ReplicaGroup",
+    "ReplicatedShardCluster",
+    "ReplicatedShardHttpCluster",
+    "ReplicatedShardRoutedStore",
     "ShardRoutedStore",
     "ParticipantClient",
     "TwoPCManager",

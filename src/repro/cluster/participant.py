@@ -123,8 +123,16 @@ class TwoPCParticipant:
             }
         )
         try:
+            locked = 0
             for address in sorted(tx._writes):
                 tx._acquire_lock(address, primary)
+                locked += 1
+                if locked == 1:
+                    # Die as a replica-set leader mid-prepare: the first
+                    # lock is installed (and shipped to whichever
+                    # followers the log shipper reached) but the vote is
+                    # unsent.  Lease expiry must roll the prefix back.
+                    crashpoint("repl.leader_mid_prepare")
         except Exception:
             # Plain failures (conflict, store error) release cleanly; a
             # CrashError is a BaseException and deliberately skips this —
@@ -151,6 +159,11 @@ class TwoPCParticipant:
         if tx is not None:
             applied = 0
             for address in sorted(tx._writes):
+                if applied == 0:
+                    # Die as a replica-set leader with the commit decided
+                    # but *nothing* applied on this shard: redo against
+                    # the failed-over leader must roll it forward.
+                    crashpoint("repl.leader_mid_commit_apply")
                 tx._apply_commit(address, commit_ts)
                 applied += 1
                 if applied == 1:

@@ -1,0 +1,344 @@
+"""The replicated-cluster consistency probe: one seeded, deterministic run.
+
+:func:`run_replicated_probe` extends the replication package's
+:func:`~repro.replication.probe.run_probe` to the sharded topology: N
+session tasks issue a seeded mix of unique-marker KV operations (the
+consistency :class:`~repro.replication.history.History`) and **cross-
+shard 2PC transfers over a closed economy** against a
+:class:`~repro.cluster.replicated.ReplicatedShardCluster` under the PR-4
+virtual-time scheduler.  One driver task per shard renews that group's
+lease and ships its log each interval (the replication-lag knob), and an
+optional **nemesis** task kills a seed-chosen shard's leader mid-run,
+waits the lease out, and fails over — so in-flight transactions die in
+every phase of 2PC and must converge through recovery.
+
+Every operation is atomic in virtual time, so the run is a pure function
+of the seed.  The repair phase rejoins dead members, replays every
+session coordinator's WAL (:func:`~repro.cluster.twopc.
+recover_coordinator` — exercising the participant re-route path when a
+failover happened), scavenges, and audits: the history's per-level
+guarantee (γ == 0 at strong and quorum), total cash preserved, zero
+residual locks, and every follower log a prefix of its leader's.  The
+``replicated_shard_frontier`` experiment sweeps this across
+shards × replicas × lag; the conformance suite asserts it per crashpoint.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from ..kvstore.base import StoreError
+from ..recovery.scavenger import TxnScavenger
+from ..replication.history import ConformanceReport, History
+from ..replication.routed import ConsistencyLevel, ReplicaSession
+from ..sim.clock import use_clock
+from ..sim.scheduler import Scheduler, SimClock
+from ..txn.errors import TransactionAborted, TransactionConflict
+from .replicated import ReplicatedShardCluster
+from .twopc import recover_coordinator
+
+__all__ = ["ReplicatedProbeResult", "run_replicated_probe"]
+
+
+@dataclass
+class ReplicatedProbeResult:
+    level: str
+    seed: int
+    shard_count: int
+    follower_count: int
+    ship_interval_s: float
+    staleness_bound_s: float
+    report: ConformanceReport
+    economy_expected: int = 0
+    economy_total: int = 0
+    transfers_committed: int = 0
+    transfers_aborted: int = 0
+    ops_unavailable: int = 0
+    failovers: list[dict] = field(default_factory=list)
+    repaired: bool = False
+    followers_prefix_ok: bool = True
+    followers_caught_up: bool = True
+    residual_locks: int = 0
+    recovery: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    virtual_elapsed_s: float = 0.0
+
+    @property
+    def economy_ok(self) -> bool:
+        return self.economy_total == self.economy_expected
+
+    @property
+    def converged(self) -> bool:
+        """Did recovery restore a consistent cluster?
+
+        Total cash preserved (every in-flight transfer committed
+        everywhere or aborted everywhere), no residual locks, and every
+        follower log a prefix of its leader's.
+        """
+        return (
+            self.economy_ok
+            and self.residual_locks == 0
+            and self.followers_prefix_ok
+        )
+
+
+def _bound_for(level: ConsistencyLevel, staleness_bound_s: float) -> float | None:
+    """Which staleness bound the history checker enforces at this level."""
+    if level in (ConsistencyLevel.STRONG, ConsistencyLevel.QUORUM):
+        return 0.0
+    if level is ConsistencyLevel.BOUNDED_STALENESS:
+        return staleness_bound_s
+    return None  # read_your_writes promises session order, not freshness
+
+
+def run_replicated_probe(
+    seed: int,
+    level: ConsistencyLevel | str = ConsistencyLevel.STRONG,
+    shard_count: int = 2,
+    follower_count: int = 2,
+    ship_interval_s: float = 0.02,
+    staleness_bound_s: float = 0.3,
+    sessions: int = 4,
+    ops_per_session: int = 60,
+    key_count: int = 8,
+    account_count: int = 16,
+    initial_cash: int = 100,
+    write_fraction: float = 0.25,
+    transfer_fraction: float = 0.25,
+    transfer_amount: int = 5,
+    mean_think_s: float = 0.01,
+    nemesis: dict | None = None,
+    repair: bool = True,
+) -> ReplicatedProbeResult:
+    """One deterministic probe run; see the module docstring.
+
+    ``nemesis`` arms a leader kill: ``{"at_s": 0.4}`` kills the
+    seed-chosen shard's leader 0.4 virtual seconds into the run phase
+    (``"shard"`` overrides the victim, ``"clean"`` the failover mode,
+    ``"rejoin_after_s"`` folds the dead member back in mid-run).
+    """
+    if isinstance(level, str):
+        level = ConsistencyLevel(level)
+    if ship_interval_s <= 0:
+        raise ValueError(f"ship_interval_s must be > 0, got {ship_interval_s}")
+    scheduler = Scheduler()
+    clock = SimClock(scheduler)
+    history = History()
+    keys = [f"marker{index:04d}" for index in range(key_count)]
+    accounts = [f"acct{index:05d}" for index in range(account_count)]
+
+    with use_clock(clock):
+        cluster = ReplicatedShardCluster(
+            shard_count=shard_count,
+            follower_count=follower_count,
+            lease_duration_s=max(1.0, ship_interval_s * 20),
+            ship_interval_s=ship_interval_s,
+            clock=clock.now,
+            seed=seed,
+        )
+
+        # -- load phase (driver-side, no failures armed) ----------------------
+        managers = []
+        loader_mgr = cluster.manager(client_id=f"probe{seed}-loader")
+        managers.append(loader_mgr)
+        load_tx = loader_mgr.begin()
+        for account in accounts:
+            load_tx.write(account, {"cash": str(initial_cash)})
+        load_tx.commit()
+        loader = cluster.routed(
+            ConsistencyLevel.STRONG, session=ReplicaSession(), rng=random.Random(seed)
+        )
+        for key in keys:
+            marker = history.next_marker()
+            loader.put(key, {"marker": str(marker)})
+            history.note_write("load", key, marker, clock.monotonic())
+        cluster.flush_all()
+        scheduler.sleep(0.01)  # separate load and run snapshots in virtual time
+
+        # -- run phase ---------------------------------------------------------
+        stop = threading.Event()
+        live_sessions = [sessions]
+        session_lock = threading.Lock()
+        routed_stores = []
+        stats = {"committed": 0, "aborted": 0, "unavailable": 0}
+        failovers: list[dict] = []
+
+        def session_fn(index: int):
+            name = f"s{index}"
+            rng = random.Random(seed * 1_000_003 + index)
+            # Each session writes its own key partition (reads roam over
+            # all keys): per-key writes are then totally ordered by note
+            # time, so the checker's idx order matches apply order — a
+            # concurrent same-key quorum write could otherwise complete
+            # its majority ack (and be noted) after a later overwrite,
+            # reading as a false stale read.
+            own_keys = [key for pos, key in enumerate(keys) if pos % sessions == index]
+            if not own_keys:
+                own_keys = keys
+            routed = cluster.routed(
+                level,
+                staleness_bound_s=staleness_bound_s,
+                session=ReplicaSession(),
+                rng=random.Random(seed * 7_919 + index),
+            )
+            routed_stores.append(routed)
+            manager = cluster.manager(client_id=f"probe{seed}-s{index}")
+            managers.append(manager)
+
+            def follower_reads() -> int:
+                return routed.counters().get("REPL-FOLLOWER-READS", 0)
+
+            for _ in range(ops_per_session):
+                scheduler.sleep(rng.expovariate(1.0 / mean_think_s))
+                roll = rng.random()
+                if roll < transfer_fraction:
+                    source, target = rng.sample(accounts, 2)
+                    try:
+                        tx = manager.begin()
+                        debit = tx.read(source)
+                        credit = tx.read(target)
+                        if debit is None or credit is None:
+                            tx.abort()
+                            stats["unavailable"] += 1
+                            continue
+                        amount = min(transfer_amount, int(debit["cash"]))
+                        tx.write(source, {"cash": str(int(debit["cash"]) - amount)})
+                        tx.write(target, {"cash": str(int(credit["cash"]) + amount)})
+                        tx.commit()
+                        stats["committed"] += 1
+                    except (TransactionAborted, TransactionConflict):
+                        stats["aborted"] += 1
+                    except StoreError:
+                        # A shard leader is down (or died at the commit
+                        # point): the transaction is in doubt until the
+                        # repair phase replays this coordinator's WAL.
+                        stats["unavailable"] += 1
+                elif roll < transfer_fraction + write_fraction:
+                    key = own_keys[rng.randrange(len(own_keys))]
+                    marker = history.next_marker()
+                    try:
+                        routed.put(key, {"marker": str(marker)})
+                    except StoreError:
+                        stats["unavailable"] += 1
+                    else:
+                        history.note_write(name, key, marker, clock.monotonic())
+                else:
+                    key = keys[rng.randrange(len(keys))]
+                    before = follower_reads()
+                    try:
+                        value = routed.get(key)
+                    except StoreError:
+                        stats["unavailable"] += 1
+                    else:
+                        source = "follower" if follower_reads() > before else "leader"
+                        marker = None if value is None else int(value["marker"])
+                        history.note_read(name, key, marker, clock.monotonic(), source)
+            with session_lock:
+                live_sessions[0] -= 1
+                if live_sessions[0] == 0:
+                    stop.set()
+
+        def driver_fn(group):
+            # Re-reads group.shipper every tick, so the driver survives a
+            # failover (the scheduler cannot spawn tasks mid-run).
+            while not stop.is_set():
+                group.tick()
+                scheduler.sleep(ship_interval_s)
+
+        def nemesis_fn(spec: dict):
+            scheduler.sleep(float(spec.get("at_s", 0.2)))
+            if stop.is_set():
+                return
+            shard = spec.get("shard") or cluster.shard_names[seed % shard_count]
+            killed = cluster.kill_leader(shard)
+            group = cluster.groups[shard]
+            while group.lease.holder_alive():
+                scheduler.sleep(ship_interval_s)
+            info = cluster.failover(shard, clean=bool(spec.get("clean", True)))
+            failovers.append({"shard": shard, "killed": killed, **info})
+            rejoin_after = spec.get("rejoin_after_s")
+            if rejoin_after is not None:
+                scheduler.sleep(float(rejoin_after))
+                if killed in group.crashed:
+                    cluster.rejoin(shard, killed)
+
+        tasks = []
+        names = []
+        for shard_name, group in cluster.groups.items():
+            tasks.append(lambda group=group: driver_fn(group))
+            names.append(f"driver-{shard_name}")
+        if nemesis is not None:
+            tasks.append(lambda: nemesis_fn(dict(nemesis)))
+            names.append("nemesis")
+        for index in range(sessions):
+            tasks.append(lambda index=index: session_fn(index))
+            names.append(f"session-{index}")
+        scheduler.run(tasks, names)
+
+        # -- repair & audit phase ---------------------------------------------
+        result = ReplicatedProbeResult(
+            level=level.value,
+            seed=seed,
+            shard_count=shard_count,
+            follower_count=follower_count,
+            ship_interval_s=ship_interval_s,
+            staleness_bound_s=staleness_bound_s,
+            report=history.check(_bound_for(level, staleness_bound_s)),
+            economy_expected=account_count * initial_cash,
+            transfers_committed=stats["committed"],
+            transfers_aborted=stats["aborted"],
+            ops_unavailable=stats["unavailable"],
+            failovers=failovers,
+            virtual_elapsed_s=clock.monotonic(),
+        )
+        if repair:
+            for shard_name, group in cluster.groups.items():
+                for member in sorted(set(group.crashed)):
+                    group.rejoin(member)
+            # Let every lock lease lapse (virtual seconds are free), then
+            # replay each coordinator's WAL and scavenge the leftovers.
+            scheduler.sleep(cluster.lock_lease_ms / 1000.0 + 0.1)
+            recovery_totals: dict[str, int] = {}
+            for manager in managers:
+                for counter, value in recover_coordinator(manager).items():
+                    recovery_totals[counter] = recovery_totals.get(counter, 0) + value
+            scavenger = TxnScavenger(cluster.manager(client_id=f"probe{seed}-scav"))
+            scavenger.scavenge_once()
+            verify = scavenger.scavenge_once(remove_orphan_tsrs=False)
+            result.residual_locks = verify.locks_seen
+            result.recovery = recovery_totals
+            cluster.flush_all()
+            result.repaired = True
+
+        for group in cluster.groups.values():
+            leader = group.leader_node
+            leader_log = leader.log.snapshot()
+            for name, node in group.nodes.items():
+                if node is leader:
+                    continue
+                follower_log = node.log.snapshot()
+                if follower_log != leader_log[: len(follower_log)]:
+                    result.followers_prefix_ok = False
+                if len(follower_log) != len(leader_log):
+                    result.followers_caught_up = False
+
+        # -- closed-economy audit (strong, post-recovery) ---------------------
+        scheduler.sleep(0.01)
+        audit_mgr = cluster.manager(client_id=f"probe{seed}-audit")
+        audit = audit_mgr.begin()
+        total = 0
+        for account in accounts:
+            fields = audit.read(account)
+            if fields is not None:
+                total += int(fields["cash"])
+        audit.abort()
+        result.economy_total = total
+
+        counters: dict[str, int] = {}
+        for routed in routed_stores:
+            for counter, count in routed.counters().items():
+                counters[counter] = counters.get(counter, 0) + count
+        result.counters = counters
+        return result

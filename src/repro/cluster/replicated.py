@@ -1,0 +1,1021 @@
+"""Replicated shard cluster: every shard a replica set, 2PC on top.
+
+This module composes the two halves the repo already has — the cluster
+package's cross-shard two-phase commit and the replication package's
+leader/follower machinery — into the paper's full deployment shape: N
+shards, each a replica set of one leader plus K followers under a
+per-shard :class:`~repro.replication.lease.LeaseTable`, with a
+:class:`~repro.replication.ship.LogShipper` streaming the leader's log.
+
+Three composition rules make the marriage work:
+
+* **Store routing self-heals.**  Coordinators (and the scavenger) address
+  shards through :class:`_ShardLeaderStore` proxies that re-resolve the
+  lease on every call — the in-process analogue of "an address served by
+  whoever currently leads".  TSR reads, lock resolution and snapshot
+  reads therefore survive a failover with no coordinator changes.
+
+* **Participant stubs are regime-bound.**  A coordinator's 2PC stub
+  (:class:`_LocalParticipantLink` in process, a pinned HTTP client in the
+  real cluster) holds the address of whichever node led when the stub was
+  built.  After a failover that address is dead, so the stub answers
+  :class:`~repro.kvstore.base.StoreUnavailable` — exactly the failure
+  :func:`~repro.cluster.twopc.recover_coordinator` re-routes through the
+  manager's ``participant_resolver``.
+
+* **Participant death looks like transport loss.**  A participant-side
+  :class:`~repro.recovery.crashpoints.CrashError` (``repl.leader_mid_
+  prepare``, ``repl.leader_mid_commit_apply``, ``twopc.mid_participant_
+  commit``) marks the shard's leader crashed and surfaces as
+  ``StoreUnavailable`` — the coordinator outlives its participants, as it
+  does over HTTP where the server flips crashed.  Coordinator-side
+  crashpoints (``twopc.after_prepare`` & co.) still kill the coordinator.
+
+Because every lock, staged intent and TSR a participant writes goes
+through the leader's logged store adapter, 2PC state **replicates with
+the data**: after a leader dies mid-transaction, the failed-over leader
+holds exactly the shipped prefix (plus, on a clean failover, the drained
+suffix — the disk survived the process), and the existing recovery stack
+— CoordinatorWAL redo-before-undo, TSR arbitration, the scavenger —
+converges every in-flight transaction to one cluster-wide outcome.
+
+Two assemblies, mirroring the single-shard replication package:
+:class:`ReplicatedShardCluster` is in-process and virtual-time friendly
+(the conformance suite and the ``replicated_shard_frontier`` experiment);
+:class:`ReplicatedShardHttpCluster` puts every node behind a real
+:class:`~repro.http.server.KVStoreHTTPServer` (the ``ycsbt
+replicated-cluster`` campaign).  See docs/CLUSTER.md § "Replicated
+shards" and docs/REPLICATION.md § "Composing with 2PC".
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from collections.abc import Iterator, Mapping, Sequence
+from pathlib import Path
+
+from ..http.client import HttpKVStore
+from ..http.server import KVStoreHTTPServer
+from ..kvstore.base import (
+    Fields,
+    KeyValueStore,
+    StoreUnavailable,
+    VersionedValue,
+)
+from ..kvstore.sharded import ConsistentHashRing
+from ..recovery.crashpoints import CrashError
+from ..recovery.scavenger import TxnScavenger
+from ..replication.lease import LeaseError, LeaseTable
+from ..replication.log import DurableReplicationLog, ReplicationLog
+from ..replication.node import LeaderStoreAdapter, ReplicationNode
+from ..replication.routed import (
+    ConsistencyLevel,
+    ReplicaHandle,
+    ReplicaRoutedStore,
+    ReplicaSession,
+    ReplicaSetView,
+)
+from ..replication.ship import (
+    HttpReplLink,
+    InProcessLink,
+    LogShipper,
+    anti_entropy,
+    rejoin_follower,
+)
+from ..sim.clock import ambient_now, ambient_sleep
+from ..txn.errors import TransactionConflict
+from .participant import TwoPCParticipant
+from .router import ShardRoutedStore
+from .twopc import ParticipantClient, TwoPCManager
+from .wal import CoordinatorWAL
+
+__all__ = [
+    "ReplicaGroup",
+    "ReplicatedShardRoutedStore",
+    "ReplicatedShardCluster",
+    "ReplicatedShardHttpCluster",
+]
+
+
+def _member_log(log_dir: str | Path | None, name: str) -> ReplicationLog | None:
+    if log_dir is None:
+        return None
+    return DurableReplicationLog(Path(log_dir) / f"{name}.wal")
+
+
+class ReplicaGroup:
+    """One shard's replica set: leader + K followers + lease + shipper.
+
+    The harness plays the coordination service (it holds the lease
+    table), exactly as in the replication package.  ``crashed`` is the
+    set of member names whose *process* is dead — their node objects
+    survive as the "disk" a clean failover drains.
+    """
+
+    def __init__(
+        self,
+        shard_name: str,
+        follower_count: int = 2,
+        lease_duration_s: float = 1.0,
+        ship_interval_s: float = 0.05,
+        clock=ambient_now,
+        log_dir: str | Path | None = None,
+    ):
+        if follower_count < 1:
+            raise ValueError(f"follower_count must be >= 1, got {follower_count}")
+        self.shard_name = shard_name
+        self._clock = clock
+        self._ship_interval_s = ship_interval_s
+        self.lease = LeaseTable(lease_duration_s, clock)
+        names = [f"{shard_name}-n{index}" for index in range(follower_count + 1)]
+        lease = self.lease.grant(names[0])
+        self.nodes: dict[str, ReplicationNode] = {}
+        for index, name in enumerate(names):
+            node = ReplicationNode(name, clock=clock, log=_member_log(log_dir, name))
+            if index == 0:
+                node.promote(lease.term)
+            else:
+                node.demote(lease.term, names[0])
+            self.nodes[name] = node
+        #: members whose process is dead (node objects = their disks).
+        self.crashed: set[str] = set()
+        self.shipper = self._new_shipper(self.nodes[names[0]])
+        self.participant: TwoPCParticipant | None = None
+        self._peers: dict[str, KeyValueStore] = {}
+        self._lock_lease_ms = 1000.0
+
+    # -- membership ------------------------------------------------------------
+
+    def leader_name(self) -> str:
+        lease = self.lease.current()
+        if lease is None:
+            raise StoreUnavailable(f"{self.shard_name}: no leader lease granted")
+        return lease.leader
+
+    @property
+    def leader_node(self) -> ReplicationNode:
+        return self.nodes[self.leader_name()]
+
+    def leader_store(self) -> LeaderStoreAdapter:
+        """The live leader's logged store; raises while the leader is down."""
+        name = self.leader_name()
+        if name in self.crashed:
+            raise StoreUnavailable(f"{self.shard_name}: leader {name!r} is down")
+        return LeaderStoreAdapter(self.nodes[name])
+
+    def live_followers(self) -> list[ReplicationNode]:
+        leader = self.leader_name()
+        return [
+            node
+            for name, node in self.nodes.items()
+            if name != leader and name not in self.crashed
+        ]
+
+    # -- 2PC wiring ------------------------------------------------------------
+
+    def build_participant(
+        self, peers: Mapping[str, KeyValueStore], lock_lease_ms: float
+    ) -> None:
+        """Attach this shard's 2PC participant (cluster assembly calls it)."""
+        self._peers = dict(peers)
+        self._lock_lease_ms = lock_lease_ms
+        self._rebuild_participant()
+
+    def _rebuild_participant(self) -> None:
+        # The participant writes through the *live leader's* logged store,
+        # so locks, staged intents and TSRs replicate with the data.
+        self.participant = TwoPCParticipant(
+            self.shard_name,
+            _ShardLeaderStore(self),
+            peers=self._peers,
+            lock_lease_ms=self._lock_lease_ms,
+        )
+
+    # -- shipping --------------------------------------------------------------
+
+    def _new_shipper(self, leader: ReplicationNode) -> LogShipper:
+        return LogShipper(
+            leader,
+            {
+                node.name: InProcessLink(node)
+                for node in self.nodes.values()
+                if node is not leader and node.name not in self.crashed
+            },
+            interval_s=self._ship_interval_s,
+            lease=self.lease,
+        )
+
+    def tick(self) -> None:
+        """One heartbeat: renew the lease, ship one round.
+
+        Driven by a probe driver task each interval.  A dead leader
+        neither renews nor ships — its lease simply lapses; a scheduled
+        mid-ship :class:`CrashError` kills the leader process hosting
+        the shipper.
+        """
+        lease = self.lease.current()
+        if lease is None or lease.leader in self.crashed:
+            return
+        try:
+            self.lease.renew(lease.leader)
+        except LeaseError:
+            return  # superseded regime: this leader is done
+        try:
+            self.shipper.ship_once()
+        except CrashError:
+            self.crashed.add(lease.leader)
+
+    def flush(self) -> None:
+        """Ship until every reachable follower holds the full leader log."""
+        leader = self.leader_node
+        while True:
+            acked = self.shipper.ship_once()
+            behind = [
+                name
+                for name, seq in acked.items()
+                if name not in self.shipper.dead and seq < leader.log.last_seq
+            ]
+            if not behind:
+                return
+
+    # -- failure & failover ------------------------------------------------------
+
+    def kill_leader(self) -> str:
+        """Crash the leader's process; its node object remains as the disk."""
+        name = self.leader_name()
+        self.crashed.add(name)
+        return name
+
+    def failover(self, clean: bool = True) -> dict:
+        """Promote the most-caught-up live follower once the lease lapsed.
+
+        ``clean=True`` first drains the dead leader's durable log into
+        the candidate (the process died, its disk did not) so no
+        acknowledged write — including 2PC locks and TSRs — is lost;
+        ``clean=False`` models losing that disk, and the return value
+        reports how many acknowledged records went with it.  The 2PC
+        participant is rebuilt: its volatile prepared table died with
+        the old leader, which is exactly the state the durable fallbacks
+        (TSR lookup, lease expiry) must resolve.
+        """
+        old_name = self.leader_name()
+        old_leader = self.nodes[old_name]
+        if self.lease.holder_alive():
+            raise RuntimeError(
+                f"{self.shard_name}: lease still live; wait it out before failover"
+            )
+        candidates = self.live_followers()
+        if not candidates:
+            raise StoreUnavailable(f"{self.shard_name}: no live follower to promote")
+        candidate = max(candidates, key=lambda node: (node.applied_seq, node.name))
+        if clean:
+            anti_entropy(old_leader, candidate)
+        lost = old_leader.log.last_seq - candidate.applied_seq
+        lease = self.lease.acquire(candidate.name)
+        candidate.promote(lease.term)
+        for node in candidates:
+            if node is not candidate:
+                node.demote(lease.term, candidate.name)
+        self.shipper = self._new_shipper(candidate)
+        self._rebuild_participant()
+        return {
+            "leader": candidate.name,
+            "term": lease.term,
+            "lost_records": max(0, lost),
+        }
+
+    def rejoin(self, member: str) -> dict:
+        """Bring a dead member back as a follower of the current leader.
+
+        A member whose durable log survived (it always does in-process;
+        the node object is the disk) catches up from its applied seq; a
+        diverged log is resynced.  Returns the rejoin summary.
+        """
+        leader = self.leader_node
+        node = self.nodes[member]
+        self.crashed.discard(member)
+        result = rejoin_follower(leader, node)
+        node.demote(leader.term, leader.name)
+        self.shipper.add_follower(member, InProcessLink(node))
+        return result
+
+
+class _GroupView(ReplicaSetView):
+    """A routed store's window onto one group; the lease is the truth."""
+
+    def __init__(self, group: ReplicaGroup):
+        self._group = group
+
+    def leader(self) -> ReplicaHandle:
+        group = self._group
+        name = group.leader_name()
+        if name in group.crashed:
+            raise StoreUnavailable(f"{group.shard_name}: leader {name!r} is down")
+        node = group.nodes[name]
+        return ReplicaHandle(name, LeaderStoreAdapter(node), node)
+
+    def followers(self) -> Sequence[ReplicaHandle]:
+        group = self._group
+        lease = group.lease.current()
+        leader_name = lease.leader if lease is not None else None
+        return [
+            ReplicaHandle(node.name, node.store, node)
+            for name, node in group.nodes.items()
+            if name != leader_name and name not in group.crashed
+        ]
+
+    def refresh(self) -> None:
+        pass  # nothing cached: every call re-reads the lease table
+
+
+class _ShardLeaderStore(KeyValueStore):
+    """A shard-addressed store that always resolves the live leader.
+
+    The in-process analogue of an address served by whoever holds the
+    lease: every call re-resolves, so the same proxy object works before
+    and after a failover, and raises :class:`StoreUnavailable` in the
+    window between a leader kill and its failover.  Coordinators use
+    these as their shard stores — TSR reads and lock resolution survive
+    leader changes with no coordinator-side re-wiring.
+    """
+
+    def __init__(self, group: ReplicaGroup):
+        self._group = group
+
+    def _store(self) -> KeyValueStore:
+        return self._group.leader_store()
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self._store().get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        return self._store().scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        return self._store().keys()
+
+    def size(self) -> int:
+        return self._store().size()
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        return self._store().put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        return self._store().put_if_version(key, value, expected_version)
+
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        return self._store().put_versioned(key, versioned)
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        return self._store().put_batch(records)
+
+    def delete(self, key: str) -> bool:
+        return self._store().delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        return self._store().delete_if_version(key, expected_version)
+
+
+class _LocalParticipantLink:
+    """In-process 2PC stub bound to one leadership regime.
+
+    Mirrors an HTTP :class:`~repro.cluster.twopc.ParticipantClient`
+    holding the address of whichever node led the shard when the stub
+    was built: after that node dies or is demoted, every verb answers
+    :class:`StoreUnavailable` — the failure recovery re-routes through
+    the manager's ``participant_resolver``.  A participant-side
+    :class:`CrashError` marks the shard leader crashed and surfaces as
+    ``StoreUnavailable`` (over HTTP the server flips crashed and the
+    client sees a dropped connection), so the coordinator outlives its
+    participants; coordinator-side crashpoints still propagate.
+    """
+
+    def __init__(self, group: ReplicaGroup):
+        self._group = group
+        self._bound_to = group.leader_name()
+
+    def _participant(self) -> TwoPCParticipant:
+        group = self._group
+        if self._bound_to in group.crashed:
+            raise StoreUnavailable(
+                f"{group.shard_name}: node {self._bound_to!r} is down"
+            )
+        if group.leader_name() != self._bound_to:
+            raise StoreUnavailable(
+                f"{group.shard_name}: node {self._bound_to!r} no longer leads"
+            )
+        if group.participant is None:
+            raise StoreUnavailable(f"{group.shard_name}: no participant attached")
+        return group.participant
+
+    def _call(self, operation):
+        participant = self._participant()
+        try:
+            return operation(participant)
+        except CrashError:
+            self._group.crashed.add(self._bound_to)
+            raise StoreUnavailable(
+                f"{self._group.shard_name}: leader {self._bound_to!r} "
+                "died mid-request"
+            ) from None
+
+    def prepare(
+        self, txid: str, start_ts: int, primary: str, writes: Mapping[str, Fields | None]
+    ) -> bool:
+        try:
+            self._call(lambda p: p.prepare(txid, start_ts, primary, dict(writes)))
+        except TransactionConflict:
+            return False  # the HTTP layer's 409 no-vote, in-process
+        return True
+
+    def commit(self, txid: str, commit_ts: int, keys: list[str]) -> dict:
+        return self._call(lambda p: p.commit(txid, commit_ts, list(keys)))
+
+    def abort(self, txid: str, keys: list[str]) -> dict:
+        return self._call(lambda p: p.abort(txid, list(keys)))
+
+    def expire(self) -> dict:
+        return self._call(lambda p: p.expire())
+
+
+class ReplicatedShardRoutedStore(ShardRoutedStore):
+    """The raw data path when every shard is a replica set.
+
+    Ring routing picks the shard; a per-shard
+    :class:`~repro.replication.routed.ReplicaRoutedStore` then routes
+    within the replica set by consistency level (strong /
+    read_your_writes / bounded_staleness / quorum), with the inherited
+    retry-once-on-failover write path.  One session vector spans all
+    shards, so read-your-writes holds across shard boundaries.
+    """
+
+    def __init__(
+        self,
+        groups: Mapping[str, ReplicaGroup],
+        level: ConsistencyLevel | str = ConsistencyLevel.STRONG,
+        staleness_bound_s: float = 0.1,
+        session: ReplicaSession | None = None,
+        rng: random.Random | None = None,
+        clock=ambient_now,
+        ring: ConsistentHashRing | None = None,
+        replicas: int = 32,
+        quorum_timeout_s: float = 5.0,
+        quorum_poll_s: float = 0.005,
+    ):
+        if not groups:
+            raise ValueError("at least one shard group is required")
+        if isinstance(level, str):
+            level = ConsistencyLevel(level)
+        rng = rng or random.Random()
+        session = session if session is not None else ReplicaSession()
+        shards = {
+            name: ReplicaRoutedStore(
+                _GroupView(group),
+                level=level,
+                staleness_bound_s=staleness_bound_s,
+                session=session,
+                rng=random.Random(rng.randrange(2**31)),
+                clock=clock,
+                quorum_timeout_s=quorum_timeout_s,
+                quorum_poll_s=quorum_poll_s,
+            )
+            for name, group in sorted(groups.items())
+        }
+        super().__init__(shards, replicas=replicas, ring=ring)
+        self._level = level
+        self.session = session
+
+    @property
+    def level(self) -> ConsistencyLevel:
+        return self._level
+
+
+class ReplicatedShardCluster:
+    """N shards × (1 + K) replicas with cross-shard 2PC, in process.
+
+    The deterministic assembly for the conformance suite and the
+    ``replicated_shard_frontier`` experiment: pass a virtual clock and
+    drive shipping explicitly (:meth:`tick_all` from a scheduler task),
+    and every run is a pure function of the seed.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        follower_count: int = 2,
+        lease_duration_s: float = 1.0,
+        ship_interval_s: float = 0.05,
+        clock=ambient_now,
+        seed: int = 0,
+        lock_lease_ms: float = 1000.0,
+        replicas: int = 32,
+        wal_dir: str | Path | None = None,
+        log_dir: str | Path | None = None,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        self.shard_names = [f"shard{i}" for i in range(shard_count)]
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self.lock_lease_ms = lock_lease_ms
+        self._wal_dir = (
+            Path(wal_dir) if wal_dir else Path(tempfile.mkdtemp(prefix="repl-2pc-wal-"))
+        )
+        self._wal_count = 0
+        self.groups: dict[str, ReplicaGroup] = {}
+        for name in self.shard_names:
+            group_dir = None if log_dir is None else Path(log_dir) / name
+            if group_dir is not None:
+                group_dir.mkdir(parents=True, exist_ok=True)
+            self.groups[name] = ReplicaGroup(
+                name,
+                follower_count=follower_count,
+                lease_duration_s=lease_duration_s,
+                ship_interval_s=ship_interval_s,
+                clock=clock,
+                log_dir=group_dir,
+            )
+        self._ring = ConsistentHashRing(list(self.shard_names), replicas=replicas)
+        for name, group in self.groups.items():
+            peers = {
+                peer: _ShardLeaderStore(self.groups[peer])
+                for peer in self.shard_names
+                if peer != name
+            }
+            group.build_participant(peers, lock_lease_ms)
+
+    # -- client-side views -------------------------------------------------------
+
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    def routed(
+        self,
+        level: ConsistencyLevel | str = ConsistencyLevel.STRONG,
+        staleness_bound_s: float = 0.1,
+        session: ReplicaSession | None = None,
+        rng: random.Random | None = None,
+        **kwargs,
+    ) -> ReplicatedShardRoutedStore:
+        return ReplicatedShardRoutedStore(
+            self.groups,
+            level=level,
+            staleness_bound_s=staleness_bound_s,
+            session=session,
+            rng=rng or random.Random(self._rng.randrange(2**31)),
+            clock=self._clock,
+            ring=self._ring,
+            **kwargs,
+        )
+
+    def router(self) -> ReplicatedShardRoutedStore:
+        """Parity with :class:`~repro.cluster.cluster.ShardCluster`."""
+        return self.routed(ConsistencyLevel.STRONG)
+
+    def participant_link(self, shard: str) -> _LocalParticipantLink:
+        """A fresh stub bound to the shard's *current* leader (resolver)."""
+        return _LocalParticipantLink(self.groups[shard])
+
+    def manager(self, client_id: str | None = None, **kwargs) -> TwoPCManager:
+        """A fresh 2PC coordinator with its own WAL (one client process)."""
+        self._wal_count += 1
+        wal = CoordinatorWAL(self._wal_dir / f"coordinator-{self._wal_count}.jsonl")
+        return self.manager_for_wal(wal, client_id=client_id, **kwargs)
+
+    def manager_for_wal(
+        self, wal: CoordinatorWAL, client_id: str | None = None, **kwargs
+    ) -> TwoPCManager:
+        """A coordinator bound to an explicit WAL (restart-after-crash).
+
+        Shard stores self-heal across failovers; participant stubs are
+        regime-bound, and the default ``participant_resolver`` re-routes
+        them (pass ``participant_resolver=None`` for the static-cluster
+        behaviour the resolver regression test documents).
+        """
+        shards = {
+            name: _ShardLeaderStore(group) for name, group in self.groups.items()
+        }
+        participants = {
+            name: _LocalParticipantLink(group) for name, group in self.groups.items()
+        }
+        kwargs.setdefault("lock_lease_ms", self.lock_lease_ms)
+        kwargs.setdefault("participant_resolver", self.participant_link)
+        return TwoPCManager(
+            shards,
+            participants,
+            wal,
+            ring=self._ring,
+            client_id=client_id,
+            **kwargs,
+        )
+
+    def scavenger(self, manager: TwoPCManager | None = None) -> TxnScavenger:
+        """An eager recovery pass that reaches every shard's live leader."""
+        return TxnScavenger(manager if manager is not None else self.manager())
+
+    # -- shipping ----------------------------------------------------------------
+
+    def tick_all(self) -> None:
+        for group in self.groups.values():
+            group.tick()
+
+    def flush_all(self) -> None:
+        for group in self.groups.values():
+            group.flush()
+
+    # -- failure & failover ------------------------------------------------------
+
+    def kill_leader(self, shard: str) -> str:
+        return self.groups[shard].kill_leader()
+
+    def failover(self, shard: str, clean: bool = True) -> dict:
+        return self.groups[shard].failover(clean=clean)
+
+    def rejoin(self, shard: str, member: str) -> dict:
+        return self.groups[shard].rejoin(member)
+
+
+class _HttpLeaderStore(KeyValueStore):
+    """A shard-addressed HTTP store resolving the live leader's client.
+
+    What :class:`_ShardLeaderStore` is in process, over real sockets: the
+    coordinator-side stand-in for a load balancer that tracks the lease.
+    Exposes ``post_json`` so :class:`~repro.cluster.twopc.
+    ParticipantClient` built over it reaches the current leader too.
+    """
+
+    def __init__(self, cluster: "ReplicatedShardHttpCluster", shard: str):
+        self._cluster = cluster
+        self._shard = shard
+
+    def _client(self) -> HttpKVStore:
+        return self._cluster.leader_client(self._shard)
+
+    def post_json(self, path: str, body: dict) -> tuple[int, dict | None]:
+        return self._client().post_json(path, body)
+
+    def get_with_meta(self, key: str) -> VersionedValue | None:
+        return self._client().get_with_meta(key)
+
+    def scan(self, start_key: str, record_count: int) -> list[tuple[str, Fields]]:
+        return self._client().scan(start_key, record_count)
+
+    def keys(self) -> Iterator[str]:
+        return self._client().keys()
+
+    def size(self) -> int:
+        return self._client().size()
+
+    def put(self, key: str, value: Mapping[str, str]) -> int:
+        return self._client().put(key, value)
+
+    def put_if_version(
+        self, key: str, value: Mapping[str, str], expected_version: int | None
+    ) -> int | None:
+        return self._client().put_if_version(key, value, expected_version)
+
+    def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
+        return self._client().put_versioned(key, versioned)
+
+    def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
+        return self._client().put_batch(records)
+
+    def delete(self, key: str) -> bool:
+        return self._client().delete(key)
+
+    def delete_if_version(self, key: str, expected_version: int) -> bool | None:
+        return self._client().delete_if_version(key, expected_version)
+
+
+class _HttpGroupView(ReplicaSetView):
+    """A routed store's window onto one HTTP shard's replica set."""
+
+    def __init__(self, cluster: "ReplicatedShardHttpCluster", shard: str):
+        self._cluster = cluster
+        self._shard = shard
+
+    def leader(self) -> ReplicaHandle:
+        cluster = self._cluster
+        name = cluster.leader_member(self._shard)
+        client = cluster.leader_client(self._shard)
+        return ReplicaHandle(name, client, HttpReplLink(name, client))
+
+    def followers(self) -> Sequence[ReplicaHandle]:
+        return self._cluster.follower_handles(self._shard)
+
+    def refresh(self) -> None:
+        pass
+
+
+class ReplicatedShardHttpCluster:
+    """The same topology behind real HTTP servers (campaign substrate).
+
+    Every member of every shard runs a :class:`KVStoreHTTPServer`
+    fronting its node's logged store adapter (followers reject writes
+    with ``NotLeaderError`` and serve ``/repl/*``); only the current
+    leader's server carries the shard's 2PC participant.  Per-shard
+    wall-clock shippers renew leases; :meth:`kill_leader` crashes the
+    leader's server and its shipper, :meth:`failover` waits the lease
+    out and promotes — reviving the new leader's server with a fresh
+    participant whose volatile prepared table starts empty.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        follower_count: int = 2,
+        lease_duration_s: float = 0.5,
+        ship_interval_s: float = 0.02,
+        lock_lease_ms: float = 1000.0,
+        replicas: int = 32,
+        host: str = "127.0.0.1",
+        wal_dir: str | Path | None = None,
+        log_dir: str | Path | None = None,
+        seed: int = 0,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        if follower_count < 1:
+            raise ValueError(f"follower_count must be >= 1, got {follower_count}")
+        self.shard_names = [f"shard{i}" for i in range(shard_count)]
+        self._follower_count = follower_count
+        self._lease_duration_s = lease_duration_s
+        self._ship_interval_s = ship_interval_s
+        self.lock_lease_ms = lock_lease_ms
+        self._host = host
+        self._log_dir = Path(log_dir) if log_dir else None
+        self._wal_dir = (
+            Path(wal_dir) if wal_dir else Path(tempfile.mkdtemp(prefix="repl-2pc-wal-"))
+        )
+        self._wal_count = 0
+        self._rng = random.Random(seed)
+        self._ring = ConsistentHashRing(list(self.shard_names), replicas=replicas)
+        self.leases: dict[str, LeaseTable] = {}
+        self.nodes: dict[str, dict[str, ReplicationNode]] = {}
+        self.servers: dict[str, dict[str, KVStoreHTTPServer]] = {}
+        self.shippers: dict[str, LogShipper] = {}
+        self._clients: dict[str, dict[str, HttpKVStore]] = {}
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ReplicatedShardHttpCluster":
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for shard in self.shard_names:
+            lease_table = LeaseTable(self._lease_duration_s)
+            self.leases[shard] = lease_table
+            members = [
+                f"{shard}-n{index}" for index in range(self._follower_count + 1)
+            ]
+            lease = lease_table.grant(members[0])
+            shard_dir = None
+            if self._log_dir is not None:
+                shard_dir = self._log_dir / shard
+                shard_dir.mkdir(parents=True, exist_ok=True)
+            self.nodes[shard] = {}
+            self.servers[shard] = {}
+            self._clients[shard] = {}
+            for index, name in enumerate(members):
+                node = ReplicationNode(name, log=_member_log(shard_dir, name))
+                if index == 0:
+                    node.promote(lease.term)
+                else:
+                    node.demote(lease.term, members[0])
+                self.nodes[shard][name] = node
+                server = KVStoreHTTPServer(
+                    LeaderStoreAdapter(node), host=self._host, replicator=node
+                ).start()
+                self.servers[shard][name] = server
+                self._clients[shard][name] = HttpKVStore(server.address)
+        # Participants need peer addresses, so wire them in a second pass.
+        for shard in self.shard_names:
+            leader = self.leader_member(shard)
+            self.servers[shard][leader].revive(
+                participant=self._build_participant(shard)
+            )
+            self.shippers[shard] = LogShipper(
+                self.nodes[shard][leader],
+                self._links(shard, exclude=leader),
+                interval_s=self._ship_interval_s,
+                lease=self.leases[shard],
+            ).start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        for shipper in self.shippers.values():
+            shipper.stop()
+        self.shippers.clear()
+        for shard in self._clients:
+            for client in self._clients[shard].values():
+                client.close()
+        for shard in self.servers:
+            for server in self.servers[shard].values():
+                server.stop()
+        self._clients.clear()
+        self.servers.clear()
+        self._started = False
+
+    def __enter__(self) -> "ReplicatedShardHttpCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _build_participant(self, shard: str) -> TwoPCParticipant:
+        peers = {
+            peer: _HttpLeaderStore(self, peer)
+            for peer in self.shard_names
+            if peer != shard
+        }
+        return TwoPCParticipant(
+            shard,
+            _HttpLeaderStore(self, shard),
+            peers=peers,
+            lock_lease_ms=self.lock_lease_ms,
+        )
+
+    def _links(self, shard: str, exclude: str) -> dict[str, HttpReplLink]:
+        return {
+            name: HttpReplLink(name, client)
+            for name, client in self._clients[shard].items()
+            if name != exclude and not self.servers[shard][name].crashed
+        }
+
+    # -- membership --------------------------------------------------------------
+
+    def leader_member(self, shard: str) -> str:
+        lease = self.leases[shard].current()
+        if lease is None:
+            raise StoreUnavailable(f"{shard}: no leader lease granted")
+        return lease.leader
+
+    def leader_client(self, shard: str) -> HttpKVStore:
+        name = self.leader_member(shard)
+        if self.servers[shard][name].crashed:
+            raise StoreUnavailable(f"{shard}: leader {name!r} is down")
+        return self._clients[shard][name]
+
+    def follower_handles(self, shard: str) -> list[ReplicaHandle]:
+        leader = self.leader_member(shard)
+        return [
+            ReplicaHandle(name, client, HttpReplLink(name, client))
+            for name, client in self._clients[shard].items()
+            if name != leader and not self.servers[shard][name].crashed
+        ]
+
+    # -- client-side views -------------------------------------------------------
+
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    def routed(
+        self,
+        level: ConsistencyLevel | str = ConsistencyLevel.STRONG,
+        staleness_bound_s: float = 0.1,
+        session: ReplicaSession | None = None,
+        rng: random.Random | None = None,
+        **kwargs,
+    ) -> ShardRoutedStore:
+        if isinstance(level, str):
+            level = ConsistencyLevel(level)
+        rng = rng or random.Random(self._rng.randrange(2**31))
+        session = session if session is not None else ReplicaSession()
+        shards = {
+            shard: ReplicaRoutedStore(
+                _HttpGroupView(self, shard),
+                level=level,
+                staleness_bound_s=staleness_bound_s,
+                session=session,
+                rng=random.Random(rng.randrange(2**31)),
+                **kwargs,
+            )
+            for shard in self.shard_names
+        }
+        return ShardRoutedStore(shards, ring=self._ring)
+
+    def participant_link(self, shard: str) -> ParticipantClient:
+        """A fresh stub through the lease-tracking proxy (resolver)."""
+        return ParticipantClient(_HttpLeaderStore(self, shard))
+
+    def manager(self, client_id: str | None = None, **kwargs) -> TwoPCManager:
+        self._wal_count += 1
+        wal = CoordinatorWAL(self._wal_dir / f"coordinator-{self._wal_count}.jsonl")
+        return self.manager_for_wal(wal, client_id=client_id, **kwargs)
+
+    def manager_for_wal(
+        self, wal: CoordinatorWAL, client_id: str | None = None, **kwargs
+    ) -> TwoPCManager:
+        """A coordinator over the current leaders.
+
+        Participant stubs pin the leader's address at build time (what a
+        real client holds); the resolver re-routes them after failovers.
+        """
+        shards = {
+            shard: _HttpLeaderStore(self, shard) for shard in self.shard_names
+        }
+        participants = {
+            shard: ParticipantClient(self.leader_client(shard))
+            for shard in self.shard_names
+        }
+        kwargs.setdefault("lock_lease_ms", self.lock_lease_ms)
+        kwargs.setdefault("participant_resolver", self.participant_link)
+        return TwoPCManager(
+            shards,
+            participants,
+            wal,
+            ring=self._ring,
+            client_id=client_id,
+            **kwargs,
+        )
+
+    def scavenger(self, manager: TwoPCManager | None = None) -> TxnScavenger:
+        return TxnScavenger(manager if manager is not None else self.manager())
+
+    # -- failure & failover ------------------------------------------------------
+
+    def kill_leader(self, shard: str) -> str:
+        """Crash the shard leader's process: server and shipper die."""
+        name = self.leader_member(shard)
+        shipper = self.shippers.pop(shard, None)
+        if shipper is not None:
+            shipper.stop()
+        self.servers[shard][name].mark_crashed()
+        return name
+
+    def failover(self, shard: str, clean: bool = True, timeout_s: float = 10.0) -> dict:
+        """Wait the lease out, promote, re-ship, re-attach the participant."""
+        lease_table = self.leases[shard]
+        deadline = ambient_now() + timeout_s
+        while lease_table.holder_alive():
+            if ambient_now() > deadline:
+                raise TimeoutError(f"{shard}: lease never expired")
+            ambient_sleep(lease_table.remaining_s() + 0.01)
+        old_name = lease_table.current().leader
+        old_leader = self.nodes[shard][old_name]
+        candidates = [
+            self.nodes[shard][name]
+            for name in self.nodes[shard]
+            if name != old_name and not self.servers[shard][name].crashed
+        ]
+        if not candidates:
+            raise StoreUnavailable(f"{shard}: no live follower to promote")
+        candidate = max(candidates, key=lambda node: (node.applied_seq, node.name))
+        if clean:
+            anti_entropy(old_leader, candidate)
+        lost = old_leader.log.last_seq - candidate.applied_seq
+        lease = lease_table.acquire(candidate.name)
+        candidate.promote(lease.term)
+        for node in candidates:
+            if node is not candidate:
+                node.demote(lease.term, candidate.name)
+        self.servers[shard][candidate.name].revive(
+            participant=self._build_participant(shard)
+        )
+        self.shippers[shard] = LogShipper(
+            candidate,
+            self._links(shard, exclude=candidate.name),
+            interval_s=self._ship_interval_s,
+            lease=lease_table,
+        ).start()
+        return {
+            "leader": candidate.name,
+            "term": lease.term,
+            "lost_records": max(0, lost),
+        }
+
+    def rejoin(self, shard: str, member: str) -> dict:
+        """Revive a crashed member and fold it back in as a follower."""
+        leader = self.nodes[shard][self.leader_member(shard)]
+        node = self.nodes[shard][member]
+        result = rejoin_follower(leader, node)
+        node.demote(leader.term, leader.name)
+        self.servers[shard][member].revive()
+        shipper = self.shippers.get(shard)
+        if shipper is not None:
+            shipper.add_follower(
+                member, HttpReplLink(member, self._clients[shard][member])
+            )
+        return result
+
+    def wait_caught_up(self, timeout_s: float = 10.0) -> None:
+        """Block until every live follower of every shard is caught up."""
+        deadline = ambient_now() + timeout_s
+        while True:
+            behind: dict[str, int] = {}
+            for shard in self.shard_names:
+                leader = self.nodes[shard][self.leader_member(shard)]
+                for name, node in self.nodes[shard].items():
+                    if name == leader.name or self.servers[shard][name].crashed:
+                        continue
+                    if node.applied_seq < leader.log.last_seq:
+                        behind[name] = node.applied_seq
+            if not behind:
+                return
+            if ambient_now() > deadline:
+                raise TimeoutError(f"followers never caught up: {behind}")
+            ambient_sleep(self._ship_interval_s)

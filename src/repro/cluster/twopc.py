@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 import threading
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 
 from ..kvstore.base import Fields, KeyValueStore, StoreError
 from ..kvstore.sharded import ConsistentHashRing
@@ -122,6 +122,11 @@ class TwoPCManager(ClientTransactionManager):
         ring: the shard map; defaults to a fresh ring over the shard
             names, which matches clusters built by
             :class:`~repro.cluster.cluster.ShardCluster`.
+        participant_resolver: re-resolves one shard's participant stub
+            after a leader change (replicated clusters: the stub held the
+            old leader's address).  Recovery retries a failed participant
+            RPC once through it; without a resolver the transaction stays
+            in doubt for the next recovery pass.
     """
 
     def __init__(
@@ -130,6 +135,7 @@ class TwoPCManager(ClientTransactionManager):
         participants: Mapping[str, ParticipantClient],
         wal: CoordinatorWAL,
         ring: ConsistentHashRing | None = None,
+        participant_resolver: Callable[[str], "ParticipantClient"] | None = None,
         **kwargs,
     ):
         super().__init__(dict(shards), **kwargs)
@@ -137,6 +143,7 @@ class TwoPCManager(ClientTransactionManager):
         if missing:
             raise ValueError(f"shards without participants: {sorted(missing)}")
         self._participants = dict(participants)
+        self._participant_resolver = participant_resolver
         self.wal = wal
         self.ring = ring or ConsistentHashRing(sorted(shards))
         self._twopc_lock = threading.Lock()
@@ -155,6 +162,18 @@ class TwoPCManager(ClientTransactionManager):
 
     def participant(self, shard: str) -> ParticipantClient:
         return self._participants[shard]
+
+    def refresh_participant(self, shard: str) -> ParticipantClient | None:
+        """Swap in a freshly-resolved participant stub for ``shard``.
+
+        Returns the new stub, or None when no resolver is attached (a
+        static cluster: the old stub is the only address there is).
+        """
+        if self._participant_resolver is None:
+            return None
+        stub = self._participant_resolver(shard)
+        self._participants[shard] = stub
+        return stub
 
     def owner(self, key: str) -> str:
         """The shard owning ``key`` per the cluster's ring."""
@@ -403,14 +422,39 @@ def _consult_tsr(manager: TwoPCManager, entry: WalTxn) -> tuple[str, int]:
     return "abort", 0
 
 
+def _participant_call(manager: TwoPCManager, shard: str, call) -> bool:
+    """One participant RPC, re-routed once after a shard leader change.
+
+    A shard whose replica-set leader failed over since this coordinator's
+    stubs were built answers every verb with a transport error (the old
+    address is dead or demoted).  With a resolver attached the stub is
+    re-resolved and the call retried once against the new leader; without
+    one the failure stands and the transaction stays in doubt.
+    """
+    try:
+        call(manager.participant(shard))
+        return True
+    except (StoreError, KeyError):
+        stub = manager.refresh_participant(shard)
+        if stub is None:
+            return False
+        try:
+            call(stub)
+            return True
+        except (StoreError, KeyError):
+            return False
+
+
 def _redo_commit(manager: TwoPCManager, entry: WalTxn, commit_ts: int) -> bool:
     ok = True
     for shard in sorted(entry.groups):
-        try:
-            manager.participant(shard).commit(
+        if not _participant_call(
+            manager,
+            shard,
+            lambda stub, shard=shard: stub.commit(
                 entry.txid, commit_ts, sorted(entry.groups[shard])
-            )
-        except (StoreError, KeyError):
+            ),
+        ):
             ok = False
     if ok:
         tsr_store, tsr_key = _tsr_location(manager, entry)
@@ -424,11 +468,13 @@ def _redo_commit(manager: TwoPCManager, entry: WalTxn, commit_ts: int) -> bool:
 def _redo_abort(manager: TwoPCManager, entry: WalTxn) -> bool:
     ok = True
     for shard in sorted(entry.groups):
-        try:
-            manager.participant(shard).abort(
+        if not _participant_call(
+            manager,
+            shard,
+            lambda stub, shard=shard: stub.abort(
                 entry.txid, sorted(entry.groups[shard])
-            )
-        except (StoreError, KeyError):
+            ),
+        ):
             ok = False
     if ok:
         tsr_store, tsr_key = _tsr_location(manager, entry)

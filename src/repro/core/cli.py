@@ -442,6 +442,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for violation artifacts (none written without it)",
     )
 
+    replicated = commands.add_parser(
+        "replicated-cluster",
+        help="replicated shard cluster campaign: every shard a replica set "
+        "of HTTP nodes with durable follower logs, kill one shard's "
+        "leader mid-run, fail over on the lease, rejoin, replay the "
+        "coordinator WAL through the new leader, re-validate",
+    )
+    replicated.add_argument(
+        "--shards",
+        action="append",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count to sweep (repeatable) [2]",
+    )
+    replicated.add_argument(
+        "--followers", type=int, default=2, help="followers per shard [2]"
+    )
+    replicated.add_argument(
+        "--level",
+        choices=("strong", "quorum", "read_your_writes", "bounded_staleness"),
+        default="strong",
+        help="read consistency for the raw binding's routed store [strong]",
+    )
+    replicated.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds to sweep [3]"
+    )
+    replicated.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the sweep [0]"
+    )
+    replicated.add_argument(
+        "--db",
+        action="append",
+        choices=CLUSTER_BINDINGS,
+        default=None,
+        help="binding to sweep (repeatable) [raw and txn]",
+    )
+    replicated.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="run fault-free (every shard leader survives the whole run)",
+    )
+    replicated.add_argument(
+        "-p",
+        "--property",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload property override (repeatable)",
+    )
+    replicated.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for violation artifacts (none written without it)",
+    )
+
     exp = commands.add_parser(
         "exp",
         help="declarative experiments: run specs with N repetitions, "
@@ -924,6 +981,57 @@ def _cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replicated_cluster(args: argparse.Namespace) -> int:
+    from ..cluster.replicated_campaign import run_replicated_campaign
+
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    if args.followers < 1:
+        raise SystemExit(f"--followers must be >= 1, got {args.followers}")
+    overrides: dict[str, str] = {}
+    for pair in args.property:
+        key, separator, value = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"bad -p argument {pair!r}: expected KEY=VALUE")
+        overrides[key.strip()] = value.strip()
+    bindings = tuple(dict.fromkeys(args.db)) if args.db else ("raw", "txn")
+    shard_counts = tuple(dict.fromkeys(args.shards)) if args.shards else (2,)
+    if any(count < 1 for count in shard_counts):
+        raise SystemExit(f"--shards must be >= 1, got {shard_counts}")
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+
+    result = run_replicated_campaign(
+        seeds,
+        bindings=bindings,
+        shard_counts=shard_counts,
+        follower_count=args.followers,
+        level=args.level,
+        properties=overrides or None,
+        kill=not args.no_kill,
+        out_dir=args.out,
+        on_result=lambda run: print(run.summary_line(), file=sys.stderr),
+    )
+    print(result.summary())
+    for artifact in result.artifacts:
+        print(f"violation artifact: {artifact}")
+    # Same exit-code rule as `ycsbt cluster`: the raw binding leaking
+    # money across a leaderless shard is the expected baseline; a
+    # transactional post-recovery violation means 2PC + failover broke
+    # its promise.
+    txn_violations = result.transactional_violations
+    if txn_violations:
+        seeds_hit = ", ".join(
+            f"{run.binding}/shards{run.shard_count}/{run.seed}"
+            for run in txn_violations
+        )
+        print(
+            f"error: post-recovery violation on {seeds_hit}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _replication(args: argparse.Namespace) -> int:
     from ..replication.campaign import REPLICATION_LEVELS, run_replication_campaign
 
@@ -1074,6 +1182,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _crash(args)
     if args.command == "cluster":
         return _cluster(args)
+    if args.command == "replicated-cluster":
+        return _replicated_cluster(args)
     if args.command == "replication":
         return _replication(args)
     if args.command == "exp":

@@ -681,6 +681,168 @@ def run_consistency_frontier(
 
 
 # ---------------------------------------------------------------------------
+# The replicated-shard frontier: consistency x lag over replicated shards
+# ---------------------------------------------------------------------------
+
+_REPLICATED_LEVELS = ("strong", "quorum", "read_your_writes", "bounded_staleness")
+
+
+def _validate_replicated_frontier_params(params: Mapping[str, object]) -> None:
+    lag_ms = params.get("lag_ms")
+    if lag_ms is not None:
+        if isinstance(lag_ms, str) or not isinstance(lag_ms, Sequence):
+            raise SpecValidationError(
+                f"lag_ms must be a sequence of positive numbers, got {lag_ms!r}"
+            )
+        for lag in lag_ms:
+            if not isinstance(lag, (int, float)) or isinstance(lag, bool) or lag <= 0:
+                raise SpecValidationError(
+                    f"lag_ms entries must be > 0 (a zero shipping interval "
+                    f"never advances virtual time), got {lag!r}"
+                )
+    levels = params.get("levels")
+    if levels is not None:
+        if isinstance(levels, str) or not isinstance(levels, Sequence):
+            raise SpecValidationError(
+                f"levels must be a sequence of level names, got {levels!r}"
+            )
+        for level in levels:
+            if level not in _REPLICATED_LEVELS:
+                raise SpecValidationError(
+                    f"unknown consistency level {level!r}; the "
+                    f"replicated_shard_frontier runner accepts "
+                    f"{list(_REPLICATED_LEVELS)}"
+                )
+    bound = params.get("staleness_bound_ms")
+    if bound is not None and (
+        not isinstance(bound, (int, float)) or isinstance(bound, bool) or bound <= 0
+    ):
+        raise SpecValidationError(f"staleness_bound_ms must be > 0, got {bound!r}")
+    for key in ("sessions", "ops_per_session", "shard_count", "follower_count"):
+        value = params.get(key)
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool) or value < 1
+        ):
+            raise SpecValidationError(f"{key} must be an int >= 1, got {value!r}")
+    nemesis = params.get("nemesis")
+    if nemesis is not None and not isinstance(nemesis, bool):
+        raise SpecValidationError(f"nemesis must be a bool, got {nemesis!r}")
+
+
+def run_replicated_shard_frontier(
+    seed: int = 0,
+    quick: bool = True,
+    lag_ms: Sequence[float] = (10, 40, 120),
+    levels: Sequence[str] = _REPLICATED_LEVELS,
+    staleness_bound_ms: float = 300.0,
+    shard_count: int = 2,
+    follower_count: int = 2,
+    sessions: int = 4,
+    ops_per_session: int = 40,
+    nemesis: bool = True,
+) -> ExperimentResult:
+    """The consistency frontier over the *replicated shard* topology.
+
+    One :func:`~repro.cluster.probe.run_replicated_probe` per
+    (level, lag) cell: N session tasks mixing unique-marker operations
+    with cross-shard 2PC transfers over a closed economy against a
+    cluster of replica-set shards, while — with ``nemesis`` on — one
+    shard's leader is killed mid-run and the shard fails over on its
+    lease.  Each point reports the anomaly score under that level's
+    guarantee plus the convergence verdict of the repair phase: total
+    cash preserved through the failover, zero residual locks, every
+    follower log a prefix of its leader's.  ``strong`` and ``quorum``
+    must sit at anomaly 0 at every lag *including through the leader
+    kill*; every cell must converge.  Deterministic: every number is a
+    pure function of the seed.
+    """
+    from ..cluster.probe import run_replicated_probe
+
+    _validate_replicated_frontier_params(
+        {
+            "lag_ms": tuple(lag_ms),
+            "levels": tuple(levels),
+            "staleness_bound_ms": staleness_bound_ms,
+            "shard_count": shard_count,
+            "follower_count": follower_count,
+            "sessions": sessions,
+            "ops_per_session": ops_per_session,
+            "nemesis": nemesis,
+        }
+    )
+    if not quick:
+        ops_per_session *= 4
+    result = ExperimentResult(
+        experiment="replicated_shard_frontier",
+        description=(
+            "consistency level x replication lag over replica-set shards "
+            "with cross-shard 2PC and a mid-run leader failover"
+        ),
+        notes=[
+            f"{shard_count} shards x {1 + follower_count} replicas; "
+            f"staleness bound {staleness_bound_ms:g} ms; "
+            f"{sessions} sessions x {ops_per_session} ops; "
+            f"nemesis={'leader kill + lease failover' if nemesis else 'off'}",
+            "deterministic: every metric is a pure function of the seed",
+        ],
+    )
+    for level in levels:
+        series = Series(label=level)
+        for lag in lag_ms:
+            probe = run_replicated_probe(
+                seed=seed,
+                level=level,
+                shard_count=shard_count,
+                follower_count=follower_count,
+                ship_interval_s=lag / 1000.0,
+                staleness_bound_s=staleness_bound_ms / 1000.0,
+                sessions=sessions,
+                ops_per_session=ops_per_session,
+                nemesis={"at_s": 0.3, "rejoin_after_s": 0.5} if nemesis else None,
+            )
+            report = probe.report
+            if not probe.converged:
+                raise RuntimeError(
+                    f"replicated_shard_frontier cell (level {level}, lag "
+                    f"{lag} ms, seed {seed}): cluster did not converge "
+                    f"(economy {probe.economy_total}/{probe.economy_expected}, "
+                    f"residual locks {probe.residual_locks}, "
+                    f"prefix_ok {probe.followers_prefix_ok})"
+                )
+            if level in ("strong", "quorum") and report.anomaly_score > 0.0:
+                raise RuntimeError(
+                    f"replicated_shard_frontier cell (level {level}, lag "
+                    f"{lag} ms, seed {seed}): anomaly score "
+                    f"{report.anomaly_score} > 0 under a strong guarantee"
+                )
+            operations = report.reads + report.writes
+            elapsed = probe.virtual_elapsed_s
+            series.points.append(
+                Point(
+                    x=float(lag),
+                    throughput=(operations / elapsed) if elapsed > 0 else 0.0,
+                    anomaly_score=report.anomaly_score,
+                    operations=operations,
+                    failed_operations=probe.ops_unavailable,
+                    extra={
+                        "stale_reads": report.stale_reads,
+                        "ryw_violations": len(report.ryw_violations),
+                        "monotonic_violations": len(report.monotonic_violations),
+                        "bounded_violations": len(report.bounded_violations),
+                        "transfers_committed": probe.transfers_committed,
+                        "transfers_aborted": probe.transfers_aborted,
+                        "failovers": len(probe.failovers),
+                        "residual_locks": probe.residual_locks,
+                        "economy_ok": probe.economy_ok,
+                        "virtual_run_time_s": elapsed,
+                    },
+                )
+            )
+        result.series.append(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -864,6 +1026,32 @@ _register(
             "protocol: anomaly score + conformance violations, virtual time"
         ),
         validate=_validate_consistency_frontier_params,
+        deterministic=True,
+    )
+)
+_register(
+    RunnerInfo(
+        name="replicated_shard_frontier",
+        fn=run_replicated_shard_frontier,
+        engine="sim",
+        x_label="replication lag (ms)",
+        allowed_params=frozenset(
+            {
+                "lag_ms",
+                "levels",
+                "staleness_bound_ms",
+                "shard_count",
+                "follower_count",
+                "sessions",
+                "ops_per_session",
+                "nemesis",
+            }
+        ),
+        description=(
+            "consistency level x lag over replica-set shards with cross-shard "
+            "2PC and a mid-run leader failover, virtual time"
+        ),
+        validate=_validate_replicated_frontier_params,
         deterministic=True,
     )
 )

@@ -416,6 +416,29 @@ _builtin(
 )
 _builtin(
     ExperimentSpec(
+        name="replicated_shard_frontier",
+        runner="replicated_shard_frontier",
+        repetitions=2,
+        seed=900,
+        params={
+            "lag_ms": (10, 40, 120),
+            "levels": ("strong", "quorum", "read_your_writes", "bounded_staleness"),
+            "staleness_bound_ms": 300,
+            "shard_count": 2,
+            "follower_count": 2,
+            "nemesis": True,
+        },
+        description=(
+            "consistency level x replication lag over replica-set shards "
+            "with cross-shard 2PC and a mid-run leader kill + lease "
+            "failover: strong and quorum pin anomaly 0 through the "
+            "failover, every cell must converge — total cash preserved, "
+            "zero residual locks (virtual time, deterministic, CI-gated)"
+        ),
+    )
+)
+_builtin(
+    ExperimentSpec(
         name="synth_cew",
         runner="synth_cew",
         repetitions=3,

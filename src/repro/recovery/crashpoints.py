@@ -55,6 +55,17 @@ The catalogue (``CRASHPOINTS``):
     store and log hold a strict prefix of the leader's log.  On rejoin,
     anti-entropy resumes from ``applied_seq``; idempotent re-application
     must converge.
+``repl.leader_mid_prepare``
+    a shard's *replica-set leader* died inside a 2PC prepare, with some
+    of its locks installed (and replicated to whichever followers the
+    shipper reached).  The coordinator sees a dead participant; after
+    lease failover the new leader holds whatever lock prefix was
+    shipped, and lease expiry must roll it back.
+``repl.leader_mid_commit_apply``
+    a shard's replica-set leader died with the commit *decided* (TSR
+    present, decision in the coordinator WAL) but before applying any of
+    its share.  Coordinator-WAL redo against the failed-over leader — or
+    the scavenger reading the TSR — must finish the roll-forward.
 
 Deterministic under simulation: hits are counted under a lock, and the
 PR 4 scheduler runs one task at a time, so *which* operation dies is a
@@ -90,6 +101,8 @@ CRASHPOINTS = (
     "twopc.mid_participant_commit",
     "repl.mid_log_ship",
     "repl.mid_follower_apply",
+    "repl.leader_mid_prepare",
+    "repl.leader_mid_commit_apply",
 )
 
 

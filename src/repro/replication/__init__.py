@@ -11,7 +11,7 @@ matrix.
 from .cluster import InProcessReplicaSet, ReplicationCluster
 from .history import ConformanceReport, History
 from .lease import LeaderLease, LeaseError, LeaseTable
-from .log import ReplicationLog, ReplicationRecord
+from .log import DurableReplicationLog, ReplicationLog, ReplicationRecord
 from .node import (
     LeaderStoreAdapter,
     NodeRole,
@@ -33,6 +33,7 @@ from .ship import HttpReplLink, InProcessLink, LogShipper, anti_entropy, rejoin_
 __all__ = [
     "ConformanceReport",
     "ConsistencyLevel",
+    "DurableReplicationLog",
     "History",
     "HttpReplLink",
     "InProcessLink",

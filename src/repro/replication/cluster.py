@@ -29,11 +29,13 @@ after it.
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 from ..http import HttpKVStore, KVStoreHTTPServer
 from ..kvstore.base import StoreUnavailable
 from ..sim.clock import ambient_now, ambient_sleep
 from .lease import LeaseTable
+from .log import DurableReplicationLog, ReplicationLog
 from .node import LeaderStoreAdapter, NodeRole, ReplicationNode
 from .routed import (
     ConsistencyLevel,
@@ -45,6 +47,17 @@ from .routed import (
 from .ship import HttpReplLink, InProcessLink, LogShipper, anti_entropy, rejoin_follower
 
 __all__ = ["InProcessReplicaSet", "ReplicationCluster"]
+
+
+def _node_log(log_dir: str | Path | None, name: str) -> ReplicationLog | None:
+    """A durable per-node log when a directory is given, else in-memory.
+
+    Reopening the same directory restores each node from its own WAL —
+    the follower-restart path the durable-log satellite exists for.
+    """
+    if log_dir is None:
+        return None
+    return DurableReplicationLog(Path(log_dir) / f"{name}.wal")
 
 
 class _LeaseView(ReplicaSetView):
@@ -74,6 +87,7 @@ class InProcessReplicaSet:
         ship_interval_s: float = 0.05,
         clock=ambient_now,
         seed: int = 0,
+        log_dir: str | Path | None = None,
     ):
         if follower_count < 1:
             raise ValueError(f"follower_count must be >= 1, got {follower_count}")
@@ -81,11 +95,14 @@ class InProcessReplicaSet:
         self.lease = LeaseTable(lease_duration_s, clock)
         lease = self.lease.grant("node0")
         self.nodes: dict[str, ReplicationNode] = {}
-        leader = ReplicationNode("node0", clock=clock)
+        leader = ReplicationNode("node0", clock=clock, log=_node_log(log_dir, "node0"))
         leader.promote(lease.term)
         self.nodes["node0"] = leader
         for index in range(1, follower_count + 1):
-            node = ReplicationNode(f"node{index}", clock=clock)
+            name = f"node{index}"
+            node = ReplicationNode(
+                name, clock=clock, log=_node_log(log_dir, name)
+            )
             node.demote(lease.term, "node0")
             self.nodes[node.name] = node
         self.shipper = LogShipper(
@@ -215,11 +232,13 @@ class ReplicationCluster:
         ship_interval_s: float = 0.02,
         host: str = "127.0.0.1",
         seed: int = 0,
+        log_dir: str | Path | None = None,
     ):
         if follower_count < 1:
             raise ValueError(f"follower_count must be >= 1, got {follower_count}")
         self._follower_count = follower_count
         self._host = host
+        self._log_dir = log_dir
         self._ship_interval_s = ship_interval_s
         self.lease = LeaseTable(lease_duration_s)
         self.nodes: dict[str, ReplicationNode] = {}
@@ -238,7 +257,7 @@ class ReplicationCluster:
         lease = self.lease.grant("node0")
         for index in range(self._follower_count + 1):
             name = f"node{index}"
-            node = ReplicationNode(name)
+            node = ReplicationNode(name, log=_node_log(self._log_dir, name))
             if name == "node0":
                 node.promote(lease.term)
             else:

@@ -19,12 +19,15 @@ superseded and must be discarded.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..kvstore.base import Fields
+from ..kvstore.lsm.wal import WalRecord, WriteAheadLog
 
-__all__ = ["ReplicationRecord", "ReplicationLog"]
+__all__ = ["ReplicationRecord", "ReplicationLog", "DurableReplicationLog"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,3 +145,97 @@ class ReplicationLog:
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
+
+
+class DurableReplicationLog(ReplicationLog):
+    """A replication log whose records survive process death.
+
+    Backed by the PR-5 :class:`~repro.kvstore.lsm.wal.WriteAheadLog`: each
+    record is one fsync-ed JSONL line (``op="repl"``, the wire form of the
+    record in the value), appended **before** the in-memory list so a
+    crash can never acknowledge a record the disk does not hold.  The
+    ``wal.mid_append`` crashpoint therefore applies here too — a death
+    mid-append leaves a torn tail with no trailing newline, which reopen
+    truncates (the coordinator-WAL pattern) before replaying the intact
+    prefix.
+
+    This is what turns a follower restart from a full resync into a
+    catch-up: a :class:`~repro.replication.node.ReplicationNode` handed a
+    reopened durable log rebuilds its store and ``applied_seq`` from the
+    replayed prefix, and anti-entropy only ships the missing suffix.
+    """
+
+    def __init__(self, path: str | Path, sync_writes: bool = True):
+        super().__init__()
+        self._path = Path(path)
+        self._truncate_torn_tail()
+        self._wal = WriteAheadLog(self._path, sync_writes=sync_writes)
+        self._durable_lock = threading.Lock()
+        for wal_record in self._wal.replay():
+            record = ReplicationRecord.from_wire(
+                json.loads(wal_record.value["record"])
+            )
+            super().append_record(record)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a half-written final line so appends start on a boundary."""
+        try:
+            if self._path.stat().st_size == 0:
+                return
+        except FileNotFoundError:
+            return
+        with open(self._path, "rb+") as handle:
+            data = handle.read()
+            if data.endswith(b"\n"):
+                return
+            handle.truncate(data.rfind(b"\n") + 1)
+
+    def _persist(self, record: ReplicationRecord) -> None:
+        self._wal.append(
+            WalRecord(
+                sequence=record.seq,
+                op="repl",
+                key=record.key,
+                value={
+                    "record": json.dumps(record.to_wire(), separators=(",", ":"))
+                },
+            )
+        )
+
+    def append(
+        self,
+        term: int,
+        key: str,
+        value: Fields | None,
+        version: int,
+        stamped_at: float,
+    ) -> ReplicationRecord:
+        with self._durable_lock:
+            record = ReplicationRecord(
+                self.last_seq + 1, term, key, value, version, stamped_at
+            )
+            self._persist(record)
+            super().append_record(record)
+            return record
+
+    def append_record(self, record: ReplicationRecord) -> None:
+        with self._durable_lock:
+            if record.seq != self.last_seq + 1:
+                raise ValueError(
+                    f"log append out of order: have seq {self.last_seq}, "
+                    f"got {record.seq}"
+                )
+            self._persist(record)
+            super().append_record(record)
+
+    def clear(self) -> None:
+        with self._durable_lock:
+            super().clear()
+            self._wal.truncate()
+
+    def close(self) -> None:
+        self._wal.close()

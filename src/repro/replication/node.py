@@ -107,10 +107,11 @@ class ReplicationNode:
         role: NodeRole = NodeRole.FOLLOWER,
         term: int = 0,
         clock=ambient_now,
+        log: ReplicationLog | None = None,
     ):
         self.name = name
         self._store = store if store is not None else InMemoryKVStore()
-        self._log = ReplicationLog()
+        self._log = log if log is not None else ReplicationLog()
         self._role = role
         self._term = term
         self._leader: str | None = name if role is NodeRole.LEADER else None
@@ -118,6 +119,24 @@ class ReplicationNode:
         self._frontier_ts: float | None = None
         self._clock = clock
         self._lock = threading.RLock()
+        if len(self._log):
+            self._restore_from_log()
+
+    def _restore_from_log(self) -> None:
+        """Rebuild volatile state from a reopened durable log.
+
+        A restarted node's disk is its log (a
+        :class:`~repro.replication.log.DurableReplicationLog` replayed
+        from file): re-applying the prefix reconstructs the store exactly
+        and sets ``applied_seq``, so rejoin ships only the missing suffix
+        instead of resyncing from scratch.  The frontier stays unknown —
+        a node that was down has unbounded staleness until the next
+        shipment tells it otherwise.
+        """
+        for record in self._log.snapshot():
+            self._apply(record)
+            self._applied_seq = record.seq
+        self._term = max(self._term, self._log.last_term)
 
     # -- introspection --------------------------------------------------------
 

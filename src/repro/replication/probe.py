@@ -64,6 +64,8 @@ def _check_bound(level: ConsistencyLevel, staleness_bound_s: float) -> float | N
     """Which staleness bound the history checker should enforce."""
     if level is ConsistencyLevel.STRONG:
         return 0.0
+    if level is ConsistencyLevel.QUORUM:
+        return 0.0  # read quorum intersects write quorum: no stale reads
     if level is ConsistencyLevel.BOUNDED_STALENESS:
         return staleness_bound_s
     return None  # read_your_writes promises session order, not freshness

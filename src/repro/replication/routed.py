@@ -20,6 +20,18 @@ dial, made explicit per handle:
     ``staleness_bound_s`` of now, else to the leader.  No session
     guarantee — a freshly-bounded follower may still miss this session's
     newest write — but the *age* of any answer is bounded.
+``quorum``
+    writes ack only once a **majority** of the replica set (leader
+    included) has applied them; reads poll every member's status,
+    require a majority reachable, and serve the value from the member
+    with the highest applied ``seq``.  Because every log is a prefix of
+    the leader's and records apply strictly in ``seq`` order, the read
+    quorum intersects every write quorum in at least one member, and the
+    max-seq member has applied that member's entire prefix — so every
+    quorum-acked write is visible to every quorum read (anomaly score 0)
+    even while the leader is down, as long as a majority survives.
+    Range reads (scan/keys/size) still go to the leader, which holds a
+    superset of any quorum.
 
 The session vector is a per-key map of versions (written and observed),
 not a global sequence number, so the same admission test works over the
@@ -50,7 +62,7 @@ from ..kvstore.base import (
     TransientStoreError,
     VersionedValue,
 )
-from ..sim.clock import ambient_now
+from ..sim.clock import ambient_now, ambient_sleep
 from .node import NodeStatus, NotLeaderError
 
 __all__ = [
@@ -67,6 +79,7 @@ class ConsistencyLevel(Enum):
     STRONG = "strong"
     READ_YOUR_WRITES = "read_your_writes"
     BOUNDED_STALENESS = "bounded_staleness"
+    QUORUM = "quorum"
 
 
 class ReplicaSession:
@@ -225,6 +238,10 @@ class ReplicaRoutedStore(KeyValueStore):
         session: the session vector (one per logical client); a fresh
             one is created when omitted.
         rng: seeded follower picker — determinism under the sim.
+        quorum_timeout_s: how long a ``QUORUM`` write waits for majority
+            acknowledgement before declaring the set unavailable.
+        quorum_poll_s: the ack-polling interval (virtual seconds under a
+            sim — each poll yields to the log shipper task).
     """
 
     def __init__(
@@ -235,17 +252,23 @@ class ReplicaRoutedStore(KeyValueStore):
         session: ReplicaSession | None = None,
         rng: random.Random | None = None,
         clock=ambient_now,
+        quorum_timeout_s: float = 5.0,
+        quorum_poll_s: float = 0.005,
     ):
         if staleness_bound_s < 0:
             raise ValueError(
                 f"staleness_bound_s must be >= 0, got {staleness_bound_s}"
             )
+        if quorum_timeout_s <= 0 or quorum_poll_s <= 0:
+            raise ValueError("quorum timeout and poll interval must be > 0")
         self._view = view
         self._level = level
         self._bound_s = staleness_bound_s
         self.session = session if session is not None else ReplicaSession()
         self._rng = rng or random.Random()
         self._clock = clock
+        self._quorum_timeout_s = quorum_timeout_s
+        self._quorum_poll_s = quorum_poll_s
         self._freshness = _Freshness(clock)
         self._counter_lock = threading.Lock()
         self._counters = {
@@ -254,6 +277,8 @@ class ReplicaRoutedStore(KeyValueStore):
             "REPL-FALLBACK-SESSION": 0,
             "REPL-FALLBACK-STALE": 0,
             "REPL-LEADER-FAILOVERS": 0,
+            "REPL-QUORUM-READS": 0,
+            "REPL-QUORUM-WRITES": 0,
         }
 
     @property
@@ -295,9 +320,92 @@ class ReplicaRoutedStore(KeyValueStore):
             return None
         return followers[self._rng.randrange(len(followers))]
 
+    # -- quorum machinery -----------------------------------------------------
+
+    def _leader_status(self) -> NodeStatus:
+        try:
+            return self._view.leader().status()
+        except StoreError:
+            self._view.refresh()
+            return self._view.leader().status()
+
+    def _quorum_members(self) -> tuple[list[tuple[NodeStatus, ReplicaHandle, bool]], int]:
+        """Reachable members with statuses, plus the required quorum size.
+
+        The quorum size counts the full membership — leader plus every
+        follower the view knows, reachable or not — so a partitioned
+        minority can never assemble a "quorum" of itself.
+        """
+        followers = self._view.followers()
+        needed = (1 + len(followers)) // 2 + 1
+        members: list[tuple[NodeStatus, ReplicaHandle, bool]] = []
+        try:
+            leader = self._view.leader()
+            members.append((leader.status(), leader, True))
+        except StoreError:
+            pass
+        for handle in followers:
+            try:
+                members.append((handle.status(), handle, False))
+            except StoreError:
+                continue
+        return members, needed
+
+    def _quorum_ack(self) -> None:
+        """Block until a majority has applied everything acked so far.
+
+        Called after a leader write: the wait target is the leader's
+        applied seq *now*, which is at least the write's own seq (a
+        concurrent writer may push it higher — waiting on the later cut
+        is conservative, never wrong).
+        """
+        if self._level is not ConsistencyLevel.QUORUM:
+            return
+        target_seq = self._leader_status().applied_seq
+        deadline = self._clock() + self._quorum_timeout_s
+        while True:
+            members, needed = self._quorum_members()
+            acked = sum(
+                1 for status, _, _ in members if status.applied_seq >= target_seq
+            )
+            if acked >= needed:
+                self._count("REPL-QUORUM-WRITES")
+                return
+            if self._clock() >= deadline:
+                raise StoreUnavailable(
+                    f"quorum write stalled: {acked}/{needed} members at "
+                    f"seq {target_seq} after {self._quorum_timeout_s:g}s"
+                )
+            ambient_sleep(self._quorum_poll_s)
+
+    def _quorum_get(self, key: str) -> VersionedValue | None:
+        """Majority read: serve from the max-applied-seq reachable member."""
+        members, needed = self._quorum_members()
+        if len(members) < needed:
+            raise StoreUnavailable(
+                f"quorum read needs {needed} reachable members, "
+                f"found {len(members)}"
+            )
+        status, handle, is_leader = max(
+            members, key=lambda entry: (entry[0].applied_seq, entry[2], entry[0].name)
+        )
+        try:
+            versioned = handle.store.get_with_meta(key)
+        except StoreError:
+            # The chosen member died between status and read; the leader
+            # holds a superset of any quorum.
+            versioned = self._on_leader(lambda store: store.get_with_meta(key))
+            is_leader = True
+        self._count("REPL-QUORUM-READS")
+        self._count("REPL-LEADER-READS" if is_leader else "REPL-FOLLOWER-READS")
+        self.session.note_observed(key, versioned)
+        return versioned
+
     # -- reads ----------------------------------------------------------------
 
     def get_with_meta(self, key: str) -> VersionedValue | None:
+        if self._level is ConsistencyLevel.QUORUM:
+            return self._quorum_get(key)
         follower = None
         if self._level is not ConsistencyLevel.STRONG:
             follower = self._pick_follower()
@@ -343,6 +451,7 @@ class ReplicaRoutedStore(KeyValueStore):
     def put(self, key: str, value: Mapping[str, str]) -> int:
         version = self._on_leader(lambda store: store.put(key, value))
         self.session.note_write(key, version)
+        self._quorum_ack()
         return version
 
     def put_if_version(
@@ -353,12 +462,14 @@ class ReplicaRoutedStore(KeyValueStore):
         )
         if version is not None:
             self.session.note_write(key, version)
+            self._quorum_ack()
         return version
 
     def put_versioned(self, key: str, versioned: VersionedValue) -> bool:
         installed = self._on_leader(lambda store: store.put_versioned(key, versioned))
         if installed:
             self.session.note_write(key, versioned.version)
+            self._quorum_ack()
         return installed
 
     def put_batch(self, records: Sequence[tuple[str, Mapping[str, str]]]) -> list[int]:
@@ -370,12 +481,15 @@ class ReplicaRoutedStore(KeyValueStore):
         versions = self._on_leader(batch)
         for (key, _value), version in zip(records, versions):
             self.session.note_write(key, version)
+        if records:
+            self._quorum_ack()
         return versions
 
     def delete(self, key: str) -> bool:
         existed = self._on_leader(lambda store: store.delete(key))
         if existed:
             self.session.note_delete(key)
+            self._quorum_ack()
         return existed
 
     def delete_if_version(self, key: str, expected_version: int) -> bool | None:
@@ -384,4 +498,5 @@ class ReplicaRoutedStore(KeyValueStore):
         )
         if result is True:
             self.session.note_delete(key)
+            self._quorum_ack()
         return result

@@ -1,0 +1,379 @@
+"""Replicated shard cluster: failover, durable logs, 2PC through a leader change.
+
+The in-process assembly end to end: per-shard replica sets behind the
+consistency-routed store, cross-shard 2PC writing its protocol state
+(locks, intents, TSRs) through the self-healing leader proxies, lease
+failover promoting the most-caught-up follower, durable follower logs
+turning a rejoin into a log catch-up, and the coordinator-side
+participant re-route that lets WAL recovery finish against a *different*
+leader than the one its transactions prepared on.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.replicated import ReplicatedShardCluster
+from repro.cluster.twopc import recover_coordinator
+from repro.kvstore.base import StoreError, StoreUnavailable
+from repro.recovery.crashpoints import CrashError, CrashInjector, use_crash_injector
+from repro.recovery.scavenger import TxnScavenger
+from repro.txn.errors import TransactionError
+
+#: Short wall-clock leases so failover tests wait milliseconds, not seconds.
+LEASE_S = 0.05
+LEASE_LAPSE_S = LEASE_S * 2.5
+LOCK_LEASE_MS = 200.0
+
+
+def make_cluster(tmp_path=None, shard_count=2, follower_count=2):
+    return ReplicatedShardCluster(
+        shard_count=shard_count,
+        follower_count=follower_count,
+        lease_duration_s=LEASE_S,
+        ship_interval_s=0.01,
+        lock_lease_ms=LOCK_LEASE_MS,
+        log_dir=tmp_path,
+        seed=1,
+    )
+
+
+def spanning_keys(cluster, count=4):
+    """Keys that land on at least two different shards."""
+    routed = cluster.router()
+    chosen, shards = [], set()
+    for i in range(200):
+        key = f"u{i * 7919}"
+        chosen.append(key)
+        shards.add(routed.shard_for(key)[0])
+        if len(chosen) >= count and len(shards) >= 2:
+            return chosen
+    raise AssertionError(f"could not span two shards: {shards}")
+
+
+def read_all(cluster, keys):
+    check = cluster.manager(client_id="checker").begin()
+    values = [check.read(key) for key in keys]
+    check.abort()
+    return values
+
+
+def scavenge_residual_locks(cluster):
+    time.sleep(LOCK_LEASE_MS / 1000.0 + 0.05)
+    scavenger = TxnScavenger(cluster.manager(client_id="scavenger"))
+    scavenger.scavenge_once()
+    return scavenger.scavenge_once(remove_orphan_tsrs=False).locks_seen
+
+
+class TestReplicatedRouting:
+    def test_raw_operations_route_through_shard_leaders(self):
+        cluster = make_cluster()
+        routed = cluster.routed("strong")
+        for i in range(20):
+            routed.put(f"k{i}", {"n": str(i)})
+        assert routed.get("k7") == {"n": "7"}
+        assert routed.size() == 20
+        # Writes really did spread over both shards' leaders.
+        router = cluster.router()
+        seen = {router.shard_for(f"k{i}")[0] for i in range(20)}
+        assert len(seen) == 2
+
+    def test_cross_shard_transaction_commits(self):
+        cluster = make_cluster()
+        keys = spanning_keys(cluster)
+        manager = cluster.manager(client_id="writer")
+        tx = manager.begin()
+        for key in keys:
+            tx.write(key, {"v": "one"})
+        tx.commit()
+        assert all(value == {"v": "one"} for value in read_all(cluster, keys))
+
+    def test_replication_ships_to_followers_on_flush(self):
+        cluster = make_cluster()
+        routed = cluster.routed("strong")
+        for i in range(10):
+            routed.put(f"k{i}", {"n": str(i)})
+        cluster.flush_all()
+        for group in cluster.groups.values():
+            leader_seq = group.leader_node.status().applied_seq
+            for node in group.nodes.values():
+                assert node.status().applied_seq == leader_seq
+
+
+class TestFailover:
+    def test_clean_failover_promotes_and_loses_nothing(self):
+        cluster = make_cluster()
+        routed = cluster.routed("strong")
+        for i in range(12):
+            routed.put(f"k{i}", {"n": str(i)})
+        victim_shard = "shard0"
+        old_leader = cluster.kill_leader(victim_shard)
+        with pytest.raises(StoreError):
+            # Strong operations against the leaderless shard fail fast.
+            for i in range(12):
+                routed.put(f"k{i}", {"n": "again"})
+        time.sleep(LEASE_LAPSE_S)
+        info = cluster.failover(victim_shard)
+        assert info["leader"] != old_leader
+        assert info["term"] == 2
+        assert info["lost_records"] == 0
+        # The whole keyspace is readable again at strong.
+        for i in range(12):
+            assert routed.get(f"k{i}") is not None
+
+    def test_failover_refused_while_lease_alive(self):
+        cluster = ReplicatedShardCluster(
+            shard_count=2, follower_count=1, lease_duration_s=30.0, seed=1
+        )
+        cluster.kill_leader("shard0")
+        with pytest.raises(RuntimeError, match="lease"):
+            cluster.failover("shard0")
+
+    def test_unclean_failover_reports_lost_records(self):
+        cluster = make_cluster()
+        routed = cluster.routed("strong")
+        cluster.flush_all()
+        # Writes the shipper never shipped: an unclean promotion drops them.
+        for i in range(8):
+            routed.put(f"k{i}", {"n": str(i)})
+        victim = cluster.router().shard_for("k0")[0]
+        cluster.kill_leader(victim)
+        time.sleep(LEASE_LAPSE_S)
+        info = cluster.failover(victim, clean=False)
+        assert info["lost_records"] > 0
+
+    def test_rejoin_after_failover_is_catchup_with_durable_logs(self, tmp_path):
+        cluster = make_cluster(tmp_path=tmp_path)
+        routed = cluster.routed("strong")
+        for i in range(10):
+            routed.put(f"k{i}", {"n": str(i)})
+        cluster.flush_all()
+        old_leader = cluster.kill_leader("shard1")
+        time.sleep(LEASE_LAPSE_S)
+        cluster.failover("shard1")
+        for i in range(10, 16):
+            routed.put(f"k{i}", {"n": str(i)})
+        rejoined = cluster.rejoin("shard1", old_leader)
+        assert rejoined["mode"] == "catch-up"
+        cluster.flush_all()
+        group = cluster.groups["shard1"]
+        leader_log = group.leader_node.log.snapshot()
+        rejoined_log = group.nodes[old_leader].log.snapshot()
+        assert rejoined_log == leader_log
+
+    def test_quorum_reads_survive_a_leaderless_shard(self):
+        cluster = make_cluster()
+        # Seed at strong (a quorum write needs a concurrently-running
+        # shipper to ack; the in-process assembly ships on flush).
+        cluster.routed("strong").put("k1", {"n": "1"})
+        cluster.flush_all()
+        routed = cluster.routed("quorum")
+        victim = cluster.router().shard_for("k1")[0]
+        cluster.kill_leader(victim)
+        # Reads still assemble a follower majority; writes cannot.
+        assert routed.get("k1") == {"n": "1"}
+        with pytest.raises(StoreError):
+            routed.put("k1", {"n": "2"})
+
+
+class TestTwoPCThroughFailover:
+    def test_transaction_commits_after_failover(self):
+        cluster = make_cluster()
+        keys = spanning_keys(cluster)
+        manager = cluster.manager(client_id="writer")
+        tx = manager.begin()
+        for key in keys:
+            tx.write(key, {"v": "before"})
+        tx.commit()
+        victim = cluster.router().shard_for(keys[0])[0]
+        cluster.kill_leader(victim)
+        time.sleep(LEASE_LAPSE_S)
+        cluster.failover(victim)
+        # A *fresh* manager binds participants to the new leader; the 2PC
+        # state it needs (versions, locks table) replicated with the data.
+        manager2 = cluster.manager(client_id="writer2")
+        tx = manager2.begin()
+        for key in keys:
+            tx.write(key, {"v": "after"})
+        tx.commit()
+        assert all(value == {"v": "after"} for value in read_all(cluster, keys))
+
+    @pytest.mark.parametrize(
+        "point", ["repl.leader_mid_prepare", "repl.leader_mid_commit_apply"]
+    )
+    def test_leader_crashpoints_mark_the_leader_dead(self, point):
+        """The new crashpoints kill a *participant's leader* mid-2PC.
+
+        The coordinator outlives the participant: the CrashError becomes
+        a transport failure (StoreUnavailable), phase 1 aborts / phase 2
+        leaves redo work, and the group is leaderless until failover.
+        """
+        cluster = make_cluster()
+        keys = spanning_keys(cluster)
+        seeder = cluster.manager(client_id="seeder").begin()
+        for key in keys:
+            seeder.write(key, {"v": "old"})
+        seeder.commit()
+        manager = cluster.manager(client_id="writer")
+        tx = manager.begin()
+        for key in keys:
+            tx.write(key, {"v": "new"})
+        with use_crash_injector(CrashInjector({point: [1]})):
+            if point == "repl.leader_mid_prepare":
+                with pytest.raises(TransactionError):
+                    tx.commit()
+            else:
+                tx.commit()  # decision logged; the dead shard is redo work
+        crashed = [
+            shard for shard, group in cluster.groups.items() if group.crashed
+        ]
+        assert len(crashed) == 1
+        time.sleep(LEASE_LAPSE_S)
+        cluster.failover(crashed[0])
+        summary = recover_coordinator(manager)
+        assert summary["skipped"] == 0
+        assert scavenge_residual_locks(cluster) == 0
+        values = read_all(cluster, keys)
+        expected = "old" if point == "repl.leader_mid_prepare" else "new"
+        assert all(value == {"v": expected} for value in values), values
+
+
+class TestCoordinatorRecoveryAcrossFailover:
+    def crash_commit(self, manager, keys):
+        tx = manager.begin()
+        for key in keys:
+            tx.write(key, {"v": "new"})
+        with use_crash_injector(
+            CrashInjector({"twopc.after_decision_logged": [1]})
+        ):
+            with pytest.raises(CrashError):
+                tx.commit()
+
+    def test_recover_reroutes_to_the_new_leader(self):
+        """Satellite fix: WAL redo survives a participant leader change.
+
+        The dead coordinator's participant stubs are bound to the leader
+        regime they were built under.  After that leader is replaced,
+        redo's first attempt fails as a transport error and the manager's
+        ``participant_resolver`` re-binds to the new leader — the redo
+        then lands instead of failing permanently.
+        """
+        cluster = make_cluster()
+        keys = spanning_keys(cluster)
+        seeder = cluster.manager(client_id="seeder").begin()
+        for key in keys:
+            seeder.write(key, {"v": "old"})
+        seeder.commit()
+        manager = cluster.manager(client_id="writer")
+        self.crash_commit(manager, keys)
+        victim = cluster.router().shard_for(keys[0])[0]
+        cluster.kill_leader(victim)
+        time.sleep(LEASE_LAPSE_S)
+        cluster.failover(victim)
+        summary = recover_coordinator(manager)
+        assert summary == {"replayed": 1, "redone": 1, "undone": 0, "skipped": 0}
+        assert scavenge_residual_locks(cluster) == 0
+        assert all(value == {"v": "new"} for value in read_all(cluster, keys))
+
+    def test_without_resolver_the_redo_is_skipped(self):
+        """The pre-fix behavior, pinned: a resolver-less coordinator
+        cannot finish redo through a leader change — the entry stays in
+        doubt (skipped), it is *not* silently mis-resolved."""
+        cluster = make_cluster()
+        keys = spanning_keys(cluster)
+        manager = cluster.manager_for_wal(
+            cluster.manager(client_id="template").wal,
+            client_id="writer",
+            participant_resolver=None,
+        )
+        self.crash_commit(manager, keys)
+        victim = cluster.router().shard_for(keys[0])[0]
+        cluster.kill_leader(victim)
+        time.sleep(LEASE_LAPSE_S)
+        cluster.failover(victim)
+        summary = recover_coordinator(manager)
+        assert summary["redone"] == 0
+        assert summary["skipped"] == 1
+
+
+class TestDurableLogsAcrossRestart:
+    def test_node_restart_recovers_applied_state_from_its_log(self, tmp_path):
+        """A follower's durable log rebuilds its store across a process
+        restart, so rejoin ships only the missing suffix (catch-up)."""
+        from repro.replication.cluster import InProcessReplicaSet
+
+        replica_set = InProcessReplicaSet(follower_count=2, log_dir=tmp_path)
+        store = replica_set.routed()
+        for i in range(10):
+            store.put(f"k{i}", {"n": str(i)})
+        replica_set.flush()
+        follower = replica_set.nodes["node1"]
+        seq_before = follower.status().applied_seq
+        assert seq_before > 0
+        # "Restart": a brand-new node object over the same log file.
+        from repro.replication.log import DurableReplicationLog
+        from repro.replication.node import ReplicationNode
+
+        reopened = ReplicationNode(
+            "node1", log=DurableReplicationLog(tmp_path / "node1.wal")
+        )
+        assert reopened.status().applied_seq == seq_before
+        assert reopened.store.get("k3") == {"n": "3"}
+
+    def test_mid_follower_apply_crash_rejoins_via_catchup(self, tmp_path):
+        """Satellite regression: a follower that dies mid-apply keeps its
+        durable prefix, so rejoining is a catch-up, not a full resync."""
+        from repro.replication.cluster import InProcessReplicaSet
+        from repro.replication.ship import InProcessLink, rejoin_follower
+
+        replica_set = InProcessReplicaSet(follower_count=2, log_dir=tmp_path)
+        store = replica_set.routed()
+        for i in range(6):
+            store.put(f"k{i}", {"n": str(i)})
+        replica_set.flush()
+        leader = replica_set.leader_node
+        with use_crash_injector(
+            CrashInjector({"repl.mid_follower_apply": [1]})
+        ):
+            for i in range(6, 12):
+                store.put(f"k{i}", {"n": str(i)})
+            replica_set.ship_once()
+        assert "node1" in replica_set.shipper.dead
+        prefix_len = len(replica_set.nodes["node1"].log.snapshot())
+        assert 0 < prefix_len <= len(leader.log.snapshot())
+        result = rejoin_follower(
+            leader, InProcessLink(replica_set.nodes["node1"])
+        )
+        assert result["mode"] == "catch-up"
+        assert (
+            replica_set.nodes["node1"].log.snapshot()
+            == leader.log.snapshot()
+        )
+
+    def test_leader_restart_keeps_cluster_data(self, tmp_path):
+        """Kill a shard leader, fail over, rejoin from its durable log —
+        then the rejoined member's log matches the new leader's exactly."""
+        cluster = make_cluster(tmp_path=tmp_path)
+        routed = cluster.routed("strong")
+        for i in range(10):
+            routed.put(f"k{i}", {"n": str(i)})
+        cluster.flush_all()
+        dead = cluster.kill_leader("shard0")
+        time.sleep(LEASE_LAPSE_S)
+        cluster.failover("shard0")
+        routed.put("k99", {"n": "99"})
+        info = cluster.rejoin("shard0", dead)
+        assert info["mode"] == "catch-up"
+        cluster.flush_all()
+        group = cluster.groups["shard0"]
+        assert (
+            group.nodes[dead].log.snapshot()
+            == group.leader_node.log.snapshot()
+        )
+
+    def test_group_participant_raises_when_leaderless(self):
+        cluster = make_cluster()
+        cluster.kill_leader("shard0")
+        link = cluster.participant_link("shard0")
+        with pytest.raises(StoreUnavailable):
+            link.prepare("tx1", 1, "shard0:k", {"k": {"f": "v"}})

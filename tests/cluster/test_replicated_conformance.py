@@ -1,0 +1,237 @@
+"""Conformance through failover: γ == 0 when a shard leader dies mid-2PC.
+
+The headline suite of the replicated-cluster PR, all in deterministic
+virtual time:
+
+* the **convergence matrix** — at every 2PC crashpoint (coordinator-side
+  and participant-side) *and* the new replication crashpoints, a shard
+  leader dies mid-cross-shard-transaction; after lease failover,
+  coordinator WAL replay (redo before undo, rerouted to the new leader)
+  and scavenging, the transfer must have happened everywhere or nowhere,
+  the economy must balance, and a strong/quorum read must see the
+  freshest pre-crash write;
+* the **probe guarantees** — :func:`~repro.cluster.probe.
+  run_replicated_probe` mixes raw marker operations with cross-shard
+  transfers under a mid-run leader kill + failover and must hold each
+  consistency level's own promise: anomaly score 0 at strong and quorum,
+  session order at read_your_writes, the bound at bounded_staleness —
+  while the closed economy stays closed.
+"""
+
+import pytest
+
+from repro.cluster.probe import run_replicated_probe
+from repro.cluster.replicated import ReplicatedShardCluster
+from repro.cluster.twopc import recover_coordinator
+from repro.kvstore.base import StoreError
+from repro.recovery.crashpoints import CrashError, CrashInjector, use_crash_injector
+from repro.recovery.scavenger import TxnScavenger
+from repro.replication.routed import ReplicaSession
+from repro.sim.clock import use_clock
+from repro.sim.scheduler import Scheduler, SimClock
+from repro.txn.errors import TransactionError
+
+#: Crashpoint -> does the in-flight transfer survive?  The commit point
+#: (TSR insert, between after_prepare and after_decision_logged) is the
+#: paper's dividing line: die before it and recovery presumes abort, die
+#: after it and recovery must redo the commit everywhere.
+MATRIX = {
+    "twopc.after_prepare": "aborted",
+    "twopc.after_decision_logged": "committed",
+    "twopc.mid_participant_commit": "committed",
+    "repl.leader_mid_prepare": "aborted",
+    "repl.leader_mid_commit_apply": "committed",
+}
+
+
+def spanning_pair(cluster):
+    """Two keys on two different shards."""
+    routed = cluster.router()
+    first = "u0"
+    first_shard = routed.shard_for(first)[0]
+    for i in range(1, 200):
+        key = f"u{i * 7919}"
+        if routed.shard_for(key)[0] != first_shard:
+            return first, key
+    raise AssertionError("could not span two shards")
+
+
+@pytest.mark.parametrize("level", ["strong", "quorum"])
+@pytest.mark.parametrize("point", sorted(MATRIX))
+def test_leader_death_at_crashpoint_converges(point, level):
+    expected = MATRIX[point]
+    scheduler = Scheduler()
+    clock = SimClock(scheduler)
+    with use_clock(clock):
+        cluster = ReplicatedShardCluster(
+            shard_count=2,
+            follower_count=2,
+            lease_duration_s=0.5,
+            ship_interval_s=0.05,
+            lock_lease_ms=300.0,
+            clock=clock.now,
+            seed=2,
+        )
+        debit_key, credit_key = spanning_pair(cluster)
+        loader = cluster.manager(client_id="loader").begin()
+        loader.write(debit_key, {"cash": "100"})
+        loader.write(credit_key, {"cash": "100"})
+        loader.commit()
+        marker_key = "marker:conformance"
+        cluster.routed("strong").put(marker_key, {"marker": "1"})
+        cluster.flush_all()
+        scheduler.sleep(0.01)
+
+        manager = cluster.manager(client_id="writer")
+        tx = manager.begin()
+        tx.write(debit_key, {"cash": "90"})
+        tx.write(credit_key, {"cash": "110"})
+        with use_crash_injector(CrashInjector({point: [1]})):
+            if point.startswith("twopc.after"):
+                # Coordinator-side points: the coordinator process dies.
+                with pytest.raises(CrashError):
+                    tx.commit()
+            elif point == "repl.leader_mid_prepare":
+                # Participant-side, phase 1: the shard leader dies; the
+                # surviving coordinator sees a transport loss and aborts.
+                with pytest.raises((TransactionError, StoreError)):
+                    tx.commit()
+            else:
+                # Participant-side, phase 2: decision already durable;
+                # the dead shard is redo work, the commit stands.
+                tx.commit()
+
+        # Whichever crashpoint fired, a shard leader must end up dead —
+        # coordinator-side points kill one explicitly (the headline
+        # scenario: leader death *at* each 2PC crashpoint).
+        crashed = sorted(
+            shard for shard, group in cluster.groups.items() if group.crashed
+        )
+        if not crashed:
+            victim = cluster.router().shard_for(debit_key)[0]
+            cluster.kill_leader(victim)
+            crashed = [victim]
+        assert len(crashed) == 1
+
+        scheduler.sleep(1.25)  # let the dead leader's lease lapse
+        info = cluster.failover(crashed[0])
+        assert info["term"] == 2
+
+        # The restarted coordinator replays its WAL: redo before undo,
+        # with stale participant stubs rerouted to the new leader.
+        summary = recover_coordinator(manager)
+        assert summary["skipped"] == 0
+
+        scheduler.sleep(0.4)  # let every lock lease lapse
+        scavenger = TxnScavenger(cluster.manager(client_id="scav"))
+        scavenger.scavenge_once()
+        verify = scavenger.scavenge_once(remove_orphan_tsrs=False)
+        assert verify.locks_seen == 0
+
+        scheduler.sleep(0.01)
+        audit = cluster.manager(client_id="audit").begin()
+        debit = int(audit.read(debit_key)["cash"])
+        credit = int(audit.read(credit_key)["cash"])
+        audit.abort()
+        assert debit + credit == 200, "money leaked across the failover"
+        if expected == "committed":
+            assert (debit, credit) == (90, 110)
+        else:
+            assert (debit, credit) == (100, 100)
+
+        # γ == 0 at the strong/quorum level: a post-failover read must
+        # see the freshest acknowledged pre-crash write.
+        cluster.flush_all()
+        reader = cluster.routed(level, session=ReplicaSession())
+        assert reader.get(marker_key) == {"marker": "1"}
+
+
+class TestProbeGuarantees:
+    def test_strong_is_anomaly_free_through_a_failover(self):
+        result = run_replicated_probe(
+            seed=7, level="strong", nemesis={"at_s": 0.3, "rejoin_after_s": 0.5}
+        )
+        assert result.failovers, "the nemesis never fired"
+        assert result.report.anomaly_score == 0.0
+        assert result.report.violation_count == 0
+        assert result.converged, result
+        assert result.repaired
+
+    def test_quorum_is_anomaly_free_through_a_failover(self):
+        result = run_replicated_probe(
+            seed=7, level="quorum", nemesis={"at_s": 0.3, "rejoin_after_s": 0.5}
+        )
+        assert result.failovers
+        assert result.report.anomaly_score == 0.0
+        assert result.report.violation_count == 0
+        assert result.converged, result
+        # Quorum machinery was actually exercised.
+        assert result.counters.get("REPL-QUORUM-READS", 0) > 0
+        assert result.counters.get("REPL-QUORUM-WRITES", 0) > 0
+
+    def test_quorum_reads_keep_serving_while_leaderless(self):
+        """Between the kill and the failover, strong loses the shard but
+        quorum reads still assemble a follower majority."""
+        strong = run_replicated_probe(
+            seed=9, level="strong", nemesis={"at_s": 0.2}
+        )
+        quorum = run_replicated_probe(
+            seed=9, level="quorum", nemesis={"at_s": 0.2}
+        )
+        assert strong.ops_unavailable > quorum.ops_unavailable
+
+    def test_read_your_writes_holds_its_own_promise(self):
+        result = run_replicated_probe(seed=11, level="read_your_writes")
+        assert result.report.ryw_violations == []
+        assert result.report.monotonic_violations == []
+        assert result.converged
+
+    def test_bounded_staleness_holds_the_bound(self):
+        result = run_replicated_probe(
+            seed=11, level="bounded_staleness", staleness_bound_s=0.5
+        )
+        assert result.report.bounded_violations == []
+        assert result.converged
+
+    def test_relaxed_levels_actually_observe_staleness(self):
+        """The probe has teeth: with lag cranked up, relaxed levels do
+        record stale reads (so the zero at strong/quorum is meaningful)."""
+        result = run_replicated_probe(
+            seed=11, level="bounded_staleness", ship_interval_s=0.1
+        )
+        assert result.report.stale_reads > 0
+
+    def test_probe_is_deterministic(self):
+        first = run_replicated_probe(
+            seed=13, level="quorum", nemesis={"at_s": 0.25}
+        )
+        second = run_replicated_probe(
+            seed=13, level="quorum", nemesis={"at_s": 0.25}
+        )
+        fingerprint = lambda r: (  # noqa: E731
+            r.report.reads,
+            r.report.writes,
+            r.report.stale_reads,
+            r.report.anomaly_score,
+            r.transfers_committed,
+            r.transfers_aborted,
+            r.ops_unavailable,
+            r.economy_total,
+            r.virtual_elapsed_s,
+            sorted(r.counters.items()),
+        )
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_economy_balances_even_with_unclean_failover(self):
+        """Losing the dead leader's unshipped suffix may lose raw marker
+        writes, but the transactional economy must still balance after
+        recovery (2PC state that mattered was on a durable majority or
+        gets undone)."""
+        result = run_replicated_probe(
+            seed=17,
+            level="strong",
+            nemesis={"at_s": 0.3, "clean": False},
+        )
+        assert result.failovers
+        assert result.economy_ok, result
+        assert result.residual_locks == 0

@@ -1,0 +1,101 @@
+"""The replicated_shard_frontier experiment: shape, convergence gate, wiring."""
+
+import pytest
+
+from repro.experiments.runners import (
+    RUNNERS,
+    SpecValidationError,
+    run_replicated_shard_frontier,
+)
+from repro.experiments.spec import builtin_spec
+
+LAGS = (10, 80)
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    # Small cells (the builtin spec sweeps more), nemesis on: every cell
+    # survives a leader kill + failover or the runner raises.
+    return run_replicated_shard_frontier(
+        seed=901,
+        lag_ms=LAGS,
+        levels=("strong", "quorum", "bounded_staleness"),
+        sessions=3,
+        ops_per_session=30,
+    )
+
+
+class TestFrontierShape:
+    def test_one_series_per_level_one_point_per_lag(self, frontier):
+        assert [series.label for series in frontier.series] == [
+            "strong", "quorum", "bounded_staleness",
+        ]
+        for series in frontier.series:
+            assert series.xs() == [float(lag) for lag in LAGS]
+
+    @pytest.mark.parametrize("level", ["strong", "quorum"])
+    def test_strict_levels_pin_anomaly_zero_through_failover(self, frontier, level):
+        for point in frontier.series_by_label(level).points:
+            assert point.anomaly_score == 0.0
+            assert point.extra["stale_reads"] == 0
+            assert point.extra["failovers"] >= 1
+            assert point.extra["residual_locks"] == 0
+            assert point.extra["economy_ok"]
+
+    def test_relaxed_level_pays_in_staleness_not_money(self, frontier):
+        relaxed = frontier.series_by_label("bounded_staleness")
+        assert sum(p.extra["stale_reads"] for p in relaxed.points) > 0
+        for point in relaxed.points:
+            assert point.extra["bounded_violations"] == 0
+            assert point.extra["economy_ok"]
+
+    def test_transfers_actually_committed_in_every_cell(self, frontier):
+        for series in frontier.series:
+            for point in series.points:
+                assert point.extra["transfers_committed"] > 0
+
+
+class TestSpecWiring:
+    def test_runner_is_registered_deterministic(self):
+        info = RUNNERS["replicated_shard_frontier"]
+        assert info.deterministic
+        assert info.engine == "sim"
+        assert info.x_label == "replication lag (ms)"
+
+    def test_builtin_spec_validates_and_covers_all_levels(self):
+        spec = builtin_spec("replicated_shard_frontier")
+        assert spec.deterministic
+        assert spec.params["nemesis"] is True
+        assert set(spec.params["levels"]) == {
+            "strong", "quorum", "read_your_writes", "bounded_staleness",
+        }
+        assert all(lag <= spec.params["staleness_bound_ms"]
+                   for lag in spec.params["lag_ms"])
+
+    def test_param_validation_rejects_bad_cells(self):
+        with pytest.raises(SpecValidationError):
+            run_replicated_shard_frontier(lag_ms=(0,))
+        with pytest.raises(SpecValidationError):
+            run_replicated_shard_frontier(levels=("eventual",))
+        with pytest.raises(SpecValidationError):
+            run_replicated_shard_frontier(staleness_bound_ms=-5)
+        with pytest.raises(SpecValidationError):
+            run_replicated_shard_frontier(follower_count=0)
+        with pytest.raises(SpecValidationError):
+            run_replicated_shard_frontier(sessions=0)
+
+    def test_same_seed_reproduces_the_frontier_exactly(self, frontier):
+        again = run_replicated_shard_frontier(
+            seed=901,
+            lag_ms=LAGS,
+            levels=("strong", "quorum", "bounded_staleness"),
+            sessions=3,
+            ops_per_session=30,
+        )
+        for first, second in zip(frontier.series, again.series):
+            assert [p.anomaly_score for p in first.points] == [
+                p.anomaly_score for p in second.points
+            ]
+            assert [p.throughput for p in first.points] == [
+                p.throughput for p in second.points
+            ]

@@ -18,6 +18,13 @@ import random
 
 import pytest
 
+from repro.cluster.replicated import (
+    ReplicatedShardCluster,
+    ReplicatedShardHttpCluster,
+    ReplicatedShardRoutedStore,
+    _HttpLeaderStore,
+    _ShardLeaderStore,
+)
 from repro.cluster.router import ShardRoutedStore
 from repro.core.retry import RetryPolicy, RetryingStore
 from repro.http import HttpKVStore, KVStoreHTTPServer
@@ -69,6 +76,9 @@ MATRIX = {
     "crashpoint-quiet": CrashpointStore,
     "leader-adapter": LeaderStoreAdapter,
     "replica-routed": ReplicaRoutedStore,
+    "replicated-shard-routed": ReplicatedShardRoutedStore,
+    "replicated-shard-leader": _ShardLeaderStore,
+    "replicated-shard-http-leader": _HttpLeaderStore,
 }
 
 
@@ -129,6 +139,30 @@ def store(request, tmp_path):
         # every operation lands on the leader through the replica view.
         replica_set = InProcessReplicaSet(follower_count=1, clock=lambda: 0.0)
         yield replica_set.routed(ConsistencyLevel.STRONG)
+    elif kind == "replicated-shard-routed":
+        # The replicated shard router at its strictest level: every key
+        # hashes to a shard, every operation lands on that shard's leader
+        # through the group view — replica sets change no semantics.
+        cluster = ReplicatedShardCluster(
+            shard_count=2, follower_count=1, clock=lambda: 0.0
+        )
+        yield cluster.routed(ConsistencyLevel.STRONG)
+    elif kind == "replicated-shard-leader":
+        # The self-healing per-shard leader proxy the 2PC layer writes
+        # through: re-resolves the group's lease on every call, so 2PC
+        # state (locks, intents, TSRs) always lands on the current leader.
+        cluster = ReplicatedShardCluster(
+            shard_count=1, follower_count=1, clock=lambda: 0.0
+        )
+        yield _ShardLeaderStore(cluster.groups["shard0"])
+    elif kind == "replicated-shard-http-leader":
+        # The same proxy over the wire: resolves the shard's current
+        # leader *server* per call and speaks the HTTP store protocol.
+        http_cluster = ReplicatedShardHttpCluster(
+            shard_count=1, follower_count=1
+        ).start()
+        yield _HttpLeaderStore(http_cluster, "shard0")
+        http_cluster.stop()
     elif kind == "http-batching":
         # The batch-coalescing wrapper over the real wire protocol: the
         # whole suite doubles as the proof that write-behind batching
